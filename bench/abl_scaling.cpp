@@ -1,0 +1,77 @@
+// Ablation A4: scaling with the number of services. Response time of an SLP
+// client discovering UPnP devices through service-side INDISS, and the wire
+// traffic, as the device population grows.
+#include "calibration.hpp"
+
+namespace indiss::bench {
+namespace {
+
+struct Result {
+  double first_ms = -1;
+  std::uint64_t wire_bytes = 0;
+  std::size_t found = 0;
+};
+
+Result run(int devices) {
+  sim::Scheduler scheduler;
+  net::Network network(scheduler, calibrated_link(), 7);
+  auto& client_host = network.add_host("client", net::IpAddress(10, 0, 0, 1));
+  auto& service_host = network.add_host("service", net::IpAddress(10, 0, 0, 2));
+
+  // One device per host so discovery traffic actually crosses the wire;
+  // INDISS sits with the client, the deployment where population size shows.
+  std::vector<std::unique_ptr<upnp::RootDevice>> fleet;
+  for (int i = 0; i < devices; ++i) {
+    auto& host = i == 0 ? service_host
+                        : network.add_host(
+                              "dev" + std::to_string(i),
+                              net::IpAddress(10, 0, 1,
+                                             static_cast<std::uint8_t>(i)));
+    auto description =
+        upnp::make_clock_device("uuid:Clock" + std::to_string(i));
+    auto device = std::make_unique<upnp::RootDevice>(
+        host, description, 4004,
+        calibrated_upnp_device(static_cast<std::uint64_t>(i)));
+    device->start();
+    fleet.push_back(std::move(device));
+  }
+  core::Indiss indiss(client_host, calibrated_indiss());
+  indiss.start();
+  scheduler.run_for(sim::millis(5));
+  network.reset_stats();
+
+  slp::UserAgent ua(client_host, calibrated_slp());
+  Result result;
+  sim::SimTime started = scheduler.now();
+  ua.find_services("service:clock", "",
+                   [&](const slp::SearchResult&) {
+                     result.first_ms = sim::to_millis(scheduler.now() - started);
+                   },
+                   [&](const std::vector<slp::SearchResult>& all) {
+                     result.found = all.size();
+                   });
+  scheduler.run_for(sim::seconds(5));
+  result.wire_bytes = network.stats().wire_bytes();
+  return result;
+}
+
+}  // namespace
+}  // namespace indiss::bench
+
+int main() {
+  using namespace indiss::bench;
+  std::printf("Ablation A4 — scaling with UPnP device count "
+              "(SLP client, client-side INDISS)\n");
+  std::printf("%8s %16s %12s %14s\n", "devices", "first hit (ms)", "found",
+              "wire bytes");
+  for (int devices : {1, 2, 4, 8, 16}) {
+    Result r = run(devices);
+    std::printf("%8d %16.2f %12zu %14llu\n", devices, r.first_ms, r.found,
+                static_cast<unsigned long long>(r.wire_bytes));
+  }
+  std::printf(
+      "\nShape check: time-to-first-answer stays roughly flat (the first "
+      "device's\nresponse gates it) while wire traffic grows with the "
+      "population.\n");
+  return 0;
+}

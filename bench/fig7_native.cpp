@@ -1,0 +1,70 @@
+// Fig 7 reproduction: response time of native clients & services.
+//
+//   Paper (median of 30): SLP->SLP 0.7 ms, UPnP->UPnP 40 ms.
+//
+// These are the reference values the INDISS overhead (Figs 8/9) is judged
+// against. SLP is a single small UDP round trip; UPnP's search response is
+// dominated by the device stack's MX-derived response scheduling.
+#include "calibration.hpp"
+
+namespace indiss::bench {
+namespace {
+
+double native_slp_trial(std::uint64_t seed) {
+  sim::Scheduler scheduler;
+  net::Network network(scheduler, calibrated_link(), seed);
+  auto& client_host = network.add_host("client", net::IpAddress(10, 0, 0, 1));
+  auto& service_host = network.add_host("service", net::IpAddress(10, 0, 0, 2));
+
+  slp::ServiceAgent sa(service_host, calibrated_slp());
+  slp::ServiceRegistration reg;
+  reg.url = "service:clock:soap://10.0.0.2:4005/service/timer/control";
+  reg.attributes.set("friendlyName", "CyberGarage Clock Device");
+  sa.register_service(reg);
+
+  slp::UserAgent ua(client_host, calibrated_slp());
+  sim::SimTime started = scheduler.now();
+  sim::SimTime answered{-1};
+  ua.find_services("service:clock", "",
+                   [&](const slp::SearchResult&) { answered = scheduler.now(); },
+                   nullptr);
+  scheduler.run_for(sim::seconds(2));
+  return answered.count() < 0 ? -1.0 : sim::to_millis(answered - started);
+}
+
+double native_upnp_trial(std::uint64_t seed) {
+  sim::Scheduler scheduler;
+  net::Network network(scheduler, calibrated_link(), seed);
+  auto& client_host = network.add_host("client", net::IpAddress(10, 0, 0, 1));
+  auto& service_host = network.add_host("service", net::IpAddress(10, 0, 0, 2));
+
+  upnp::RootDevice device(service_host, upnp::make_clock_device(), 4004,
+                          calibrated_upnp_device(seed));
+  device.start();
+  scheduler.run_for(sim::millis(5));
+
+  upnp::ControlPoint cp(client_host, calibrated_control_point());
+  sim::SimTime started = scheduler.now();
+  sim::SimTime answered{-1};
+  cp.search("urn:schemas-upnp-org:device:clock:1",
+            [&](const upnp::SearchResponse&) { answered = scheduler.now(); },
+            nullptr, nullptr);
+  scheduler.run_for(sim::seconds(2));
+  return answered.count() < 0 ? -1.0 : sim::to_millis(answered - started);
+}
+
+}  // namespace
+}  // namespace indiss::bench
+
+int main() {
+  using namespace indiss::bench;
+  std::vector<double> slp, upnp;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    slp.push_back(native_slp_trial(static_cast<std::uint64_t>(trial) + 1));
+    upnp.push_back(native_upnp_trial(static_cast<std::uint64_t>(trial) + 1));
+  }
+  print_table("Fig 7 — native clients & services (median of 30 trials)",
+              {{"SLP -> SLP", 0.7, median_ms(slp)},
+               {"UPnP -> UPnP", 40.0, median_ms(upnp)}});
+  return 0;
+}

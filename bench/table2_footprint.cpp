@@ -1,0 +1,167 @@
+// Table 2 reproduction: size requirements of INDISS vs the native stacks.
+//
+// The paper counted Java classes, NCSS and jar KBytes. The C++ analogue
+// reported here:
+//   - source lines (non-comment, non-blank) per module, walked from the
+//     source tree at run time,
+//   - file counts per module (the "classes" analogue),
+//   - and the with/without-INDISS interoperability totals, including the
+//     paper's headline: the UPnP-side overhead (+14% in the paper) shrinks
+//     and the SLP side is *smaller* with INDISS (-31.5%), and the gap widens
+//     with every additional hosted service.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct ModuleSize {
+  std::size_t files = 0;
+  std::size_t lines = 0;  // non-comment, non-blank (NCSS analogue)
+  std::size_t bytes = 0;
+};
+
+ModuleSize measure(const std::filesystem::path& dir, bool recursive = true) {
+  ModuleSize total;
+  if (!std::filesystem::exists(dir)) return total;
+  auto consider = [&](const std::filesystem::path& path) {
+    auto ext = path.extension().string();
+    if (ext != ".cpp" && ext != ".hpp") return;
+    total.files += 1;
+    total.bytes += std::filesystem::file_size(path);
+    std::ifstream in(path);
+    std::string line;
+    bool in_block_comment = false;
+    while (std::getline(in, line)) {
+      std::size_t begin = line.find_first_not_of(" \t");
+      if (begin == std::string::npos) continue;
+      std::string_view text = std::string_view(line).substr(begin);
+      if (in_block_comment) {
+        if (text.find("*/") != std::string_view::npos) in_block_comment = false;
+        continue;
+      }
+      if (text.starts_with("//")) continue;
+      if (text.starts_with("/*")) {
+        if (text.find("*/") == std::string_view::npos) in_block_comment = true;
+        continue;
+      }
+      total.lines += 1;
+    }
+  };
+  if (recursive) {
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(dir)) {
+      if (entry.is_regular_file()) consider(entry.path());
+    }
+  } else {
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.is_regular_file()) consider(entry.path());
+    }
+  }
+  return total;
+}
+
+void row(const char* name, const ModuleSize& size, double paper_kb,
+         int paper_classes, int paper_ncss) {
+  std::printf("%-34s %6.1f %7zu %7zu   ", name,
+              static_cast<double>(size.bytes) / 1024.0, size.files,
+              size.lines);
+  if (paper_kb > 0) {
+    std::printf("%8.0f %8d %8d\n", paper_kb, paper_classes, paper_ncss);
+  } else {
+    std::printf("%8s %8s %8s\n", "-", "-", "-");
+  }
+}
+
+}  // namespace
+
+int main() {
+  namespace fs = std::filesystem;
+  fs::path src = fs::path(INDISS_SOURCE_DIR) / "src";
+
+  // The INDISS side of Table 2. The shared FSM scaffold counts toward the
+  // core framework; each unit is its own header/source pair.
+  ModuleSize core = measure(src / "core", false);
+  auto unit_file = [&](const char* stem) {
+    ModuleSize m;
+    for (const char* ext : {".hpp", ".cpp"}) {
+      fs::path p = src / "core" / "units" / (std::string(stem) + ext);
+      if (!fs::exists(p)) continue;
+      std::ifstream in(p);
+      std::string line;
+      m.files += 1;
+      m.bytes += fs::file_size(p);
+      while (std::getline(in, line)) {
+        auto begin = line.find_first_not_of(" \t");
+        if (begin == std::string::npos) continue;
+        auto text = std::string_view(line).substr(begin);
+        if (!text.starts_with("//")) m.lines += 1;
+      }
+    }
+    return m;
+  };
+  ModuleSize fsm_shared = unit_file("standard_fsm");
+  ModuleSize slp_unit = unit_file("slp_unit");
+  ModuleSize upnp_unit = unit_file("upnp_unit");
+  ModuleSize jini_unit = unit_file("jini_unit");
+  ModuleSize core_framework = core;
+  core_framework.files += fsm_shared.files;
+  core_framework.lines += fsm_shared.lines;
+  core_framework.bytes += fsm_shared.bytes;
+
+  // Native stacks (the OpenSLP / CyberLink analogues).
+  ModuleSize slp_lib = measure(src / "slp");
+  ModuleSize upnp_lib = measure(src / "upnp");
+  ModuleSize jini_lib = measure(src / "jini");
+
+  std::printf(
+      "Table 2 — size requirements (this repo vs the paper's Java "
+      "prototype)\n");
+  std::printf("%-34s %6s %7s %7s   %8s %8s %8s\n", "module", "KB", "files",
+              "lines", "paperKB", "classes", "NCSS");
+  std::printf("--- INDISS ---\n");
+  row("Core framework", core_framework, 44, 15, 789);
+  row("UPnP unit", upnp_unit, 125, 18, 1515);
+  row("SLP unit", slp_unit, 49, 6, 606);
+  row("Jini unit (extension)", jini_unit, 0, 0, 0);
+  ModuleSize indiss_total = core_framework;
+  for (const auto* m : {&upnp_unit, &slp_unit}) {
+    indiss_total.files += m->files;
+    indiss_total.lines += m->lines;
+    indiss_total.bytes += m->bytes;
+  }
+  row("Total (core + SLP + UPnP units)", indiss_total, 218, 39, 2910);
+  std::printf("--- native SDP libraries ---\n");
+  row("SLP library (OpenSLP analogue)", slp_lib, 126, 21, 1361);
+  row("UPnP stack (CyberLink analogue)", upnp_lib, 372, 107, 5887);
+  row("Jini stack", jini_lib, 0, 0, 0);
+
+  // The interoperability comparison: a node hosting N services, with and
+  // without INDISS. Without INDISS every service needs a client + service
+  // implementation per foreign SDP; with INDISS it needs only its native
+  // library plus the INDISS units.
+  std::printf(
+      "\nInterop configurations (KB of code carried by one node, N hosted "
+      "services)\n");
+  std::printf("%-10s %26s %24s %22s\n", "N", "no INDISS (SLP+UPnP libs x2)",
+              "UPnP node + INDISS", "SLP node + INDISS");
+  double slp_kb = static_cast<double>(slp_lib.bytes) / 1024.0;
+  double upnp_kb = static_cast<double>(upnp_lib.bytes) / 1024.0;
+  double indiss_kb = static_cast<double>(indiss_total.bytes) / 1024.0;
+  double per_service_kb = 4.0;  // one service implementation, per SDP
+  for (int services = 1; services <= 16; services *= 2) {
+    double without = slp_kb + upnp_kb + 2 * services * per_service_kb;
+    double upnp_side = upnp_kb + indiss_kb + services * per_service_kb;
+    double slp_side = slp_kb + indiss_kb + services * per_service_kb;
+    std::printf("%-10d %26.0f %24.0f %22.0f\n", services, without, upnp_side,
+                slp_side);
+  }
+  std::printf(
+      "\nShape check (paper): UPnP+INDISS starts ~14%% heavier than the "
+      "no-INDISS pair,\nSLP+INDISS ~31%% lighter, and INDISS wins on every "
+      "configuration as N grows\nbecause the no-INDISS node duplicates every "
+      "service per SDP.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// The dynamic networked home of the paper's introduction: devices from
+// different vendors, speaking three different SDPs, arrive over time; an
+// INDISS gateway keeps everybody discoverable by everybody.
+//
+//   build/examples/home_network
+#include <cstdio>
+
+#include "core/indiss.hpp"
+#include "jini/client.hpp"
+#include "jini/lookup.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "slp/agents.hpp"
+#include "upnp/control_point.hpp"
+#include "upnp/device.hpp"
+
+int main() {
+  using namespace indiss;
+  sim::Scheduler scheduler;
+  net::Network network(scheduler);
+  auto& gateway = network.add_host("gateway", net::IpAddress(10, 0, 0, 254));
+  auto& tv = network.add_host("tv", net::IpAddress(10, 0, 0, 10));
+  auto& thermostat = network.add_host("thermostat", net::IpAddress(10, 0, 0, 11));
+  auto& hub = network.add_host("hub", net::IpAddress(10, 0, 0, 12));
+  auto& phone = network.add_host("phone", net::IpAddress(10, 0, 0, 20));
+
+  // The home gateway runs INDISS with all three units.
+  core::IndissConfig config;
+  config.enable_jini = true;
+  core::Indiss indiss(gateway, config);
+  indiss.start();
+
+  // t=0s: a UPnP TV arrives.
+  upnp::RootDevice tv_device(
+      tv, [] {
+        auto d = upnp::make_clock_device("uuid:LivingRoomTV");
+        d.device_type = "urn:schemas-upnp-org:device:tv:1";
+        d.friendly_name = "Living Room TV";
+        return d;
+      }(),
+      4004);
+  scheduler.schedule(sim::seconds(0), [&] { tv_device.start(); });
+
+  // t=2s: an SLP thermostat arrives.
+  slp::ServiceAgent thermostat_sa(thermostat);
+  scheduler.schedule(sim::seconds(2), [&] {
+    slp::ServiceRegistration reg;
+    reg.url = "service:thermostat:http://10.0.0.11:8080/api";
+    reg.attributes.set("friendlyName", "Hallway Thermostat");
+    thermostat_sa.register_service(reg);
+    std::printf("[t=2s] SLP thermostat registered\n");
+  });
+
+  // t=4s: a Jini lookup service (home automation hub) boots.
+  jini::LookupConfig lk;
+  lk.announcement_interval = sim::seconds(2);
+  std::unique_ptr<jini::LookupService> registrar;
+  scheduler.schedule(sim::seconds(4), [&] {
+    registrar = std::make_unique<jini::LookupService>(hub, lk);
+    std::printf("[t=4s] Jini lookup service online\n");
+  });
+
+  // t=8s: a phone running only SLP looks around.
+  slp::UserAgent phone_slp(phone);
+  scheduler.schedule(sim::seconds(8), [&] {
+    std::printf("[t=8s] phone (SLP-only) searches for a TV...\n");
+    phone_slp.find_services(
+        "service:tv", "", nullptr,
+        [&](const std::vector<slp::SearchResult>& results) {
+          for (const auto& r : results) {
+            std::printf("        found: %s\n", r.entry.url.c_str());
+          }
+          if (results.empty()) std::printf("        nothing found!\n");
+        });
+  });
+
+  // t=10s: a UPnP control point on the phone searches for the thermostat.
+  upnp::ControlPoint phone_upnp(phone);
+  scheduler.schedule(sim::seconds(10), [&] {
+    std::printf("[t=10s] phone (UPnP side) searches for a thermostat...\n");
+    phone_upnp.search(
+        "urn:schemas-upnp-org:device:thermostat:1", nullptr,
+        [&](const upnp::DiscoveredDevice& d) {
+          std::printf("        found: %s (control %s)\n",
+                      d.description ? d.description->friendly_name.c_str()
+                                    : d.response.usn.c_str(),
+                      d.description && !d.description->services.empty()
+                          ? d.description->services[0].control_url.c_str()
+                          : "?");
+        },
+        nullptr);
+  });
+
+  scheduler.run_until(sim::seconds(15));
+
+  std::printf("\ngateway monitor detected:");
+  for (const auto& [sdp, when] : indiss.monitor().detected()) {
+    std::printf(" %s(@%s)", std::string(core::sdp_name(sdp)).c_str(),
+                sim::format_millis(when).c_str());
+  }
+  std::printf("\nforeign services remembered by the SLP unit: %zu\n",
+              indiss.slp_unit()->foreign_services().size());
+  std::printf("devices impersonated by the UPnP unit: %zu\n",
+              indiss.upnp_unit()->impersonated_devices());
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "common/bytes.hpp"
+
+namespace indiss {
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u24(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::raw(BytesView bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::raw(std::string_view s) {
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::str16(std::string_view s) {
+  if (s.size() > 0xFFFF) {
+    throw std::invalid_argument("str16: string longer than 65535 bytes");
+  }
+  u16(static_cast<std::uint16_t>(s.size()));
+  raw(s);
+}
+
+void ByteWriter::patch_u24(std::size_t offset, std::uint32_t v) {
+  if (offset + 3 > buf_.size()) {
+    throw std::out_of_range("patch_u24: offset past end of buffer");
+  }
+  buf_[offset] = static_cast<std::uint8_t>(v >> 16);
+  buf_[offset + 1] = static_cast<std::uint8_t>(v >> 8);
+  buf_[offset + 2] = static_cast<std::uint8_t>(v);
+}
+
+void ByteReader::require(std::size_t n) const {
+  if (pos_ + n > view_.size()) {
+    throw DecodeError("truncated message: needed " + std::to_string(n) +
+                      " bytes at offset " + std::to_string(pos_) +
+                      ", buffer holds " + std::to_string(view_.size()));
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  require(1);
+  return view_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  require(2);
+  auto v = static_cast<std::uint16_t>((view_[pos_] << 8) | view_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u24() {
+  require(3);
+  std::uint32_t v = (static_cast<std::uint32_t>(view_[pos_]) << 16) |
+                    (static_cast<std::uint32_t>(view_[pos_ + 1]) << 8) |
+                    view_[pos_ + 2];
+  pos_ += 3;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  require(4);
+  std::uint32_t v = (static_cast<std::uint32_t>(view_[pos_]) << 24) |
+                    (static_cast<std::uint32_t>(view_[pos_ + 1]) << 16) |
+                    (static_cast<std::uint32_t>(view_[pos_ + 2]) << 8) |
+                    view_[pos_ + 3];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  std::uint64_t hi = u32();
+  std::uint64_t lo = u32();
+  return (hi << 32) | lo;
+}
+
+std::string ByteReader::str16() {
+  std::size_t n = u16();
+  require(n);
+  std::string s(reinterpret_cast<const char*>(view_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Bytes ByteReader::raw(std::size_t n) {
+  require(n);
+  Bytes out(view_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            view_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Bytes to_bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+std::string to_string(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+}  // namespace indiss

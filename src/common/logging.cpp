@@ -1,0 +1,33 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace indiss::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kOff};
+
+std::string_view level_name(Level l) {
+  switch (l) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level l) { g_level.store(l, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void write(Level lvl, std::string_view tag, std::string_view message) {
+  std::cerr << "[" << level_name(lvl) << "] [" << tag << "] " << message
+            << "\n";
+}
+
+}  // namespace indiss::log

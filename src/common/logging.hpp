@@ -1,0 +1,51 @@
+// Leveled logger. Off by default so tests and benches stay quiet; examples
+// turn on Info to narrate the discovery sessions.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace indiss::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global threshold; messages below it are discarded.
+void set_level(Level level);
+[[nodiscard]] Level level();
+
+/// Emits one line to stderr: "[level] [tag] message".
+void write(Level level, std::string_view tag, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+void emit(Level lvl, std::string_view tag, const Args&... args) {
+  if (lvl < level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  write(lvl, tag, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void trace(std::string_view tag, const Args&... args) {
+  detail::emit(Level::kTrace, tag, args...);
+}
+template <typename... Args>
+void debug(std::string_view tag, const Args&... args) {
+  detail::emit(Level::kDebug, tag, args...);
+}
+template <typename... Args>
+void info(std::string_view tag, const Args&... args) {
+  detail::emit(Level::kInfo, tag, args...);
+}
+template <typename... Args>
+void warn(std::string_view tag, const Args&... args) {
+  detail::emit(Level::kWarn, tag, args...);
+}
+template <typename... Args>
+void error(std::string_view tag, const Args&... args) {
+  detail::emit(Level::kError, tag, args...);
+}
+
+}  // namespace indiss::log

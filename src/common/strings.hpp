@@ -1,0 +1,36 @@
+// Small string helpers used by the text-based protocol substrates (HTTP/SSDP
+// header handling is case-insensitive; SLP attribute lists are comma/semicolon
+// separated).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace indiss::str {
+
+/// Splits on a single character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on a character, trimming whitespace from each piece and dropping
+/// pieces that end up empty.
+[[nodiscard]] std::vector<std::string> split_trimmed(std::string_view s,
+                                                     char sep);
+
+[[nodiscard]] std::string_view trim(std::string_view s);
+[[nodiscard]] std::string to_lower(std::string_view s);
+[[nodiscard]] std::string to_upper(std::string_view s);
+
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+[[nodiscard]] bool istarts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool contains(std::string_view s, std::string_view needle);
+
+/// Parses a non-negative integer; returns fallback on any syntax error.
+[[nodiscard]] long parse_long(std::string_view s, long fallback);
+
+/// Joins pieces with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+}  // namespace indiss::str

@@ -1,0 +1,39 @@
+#include "common/uri.hpp"
+
+#include "common/strings.hpp"
+
+namespace indiss {
+
+std::string Uri::to_string() const {
+  std::string out = scheme + "://" + host;
+  if (port != 0) out += ":" + std::to_string(port);
+  out += path;
+  return out;
+}
+
+std::optional<Uri> Uri::parse(std::string_view text) {
+  auto sep = text.find("://");
+  if (sep == std::string_view::npos) return std::nullopt;
+
+  Uri uri;
+  uri.scheme = std::string(text.substr(0, sep));
+  std::string_view rest = text.substr(sep + 3);
+
+  auto slash = rest.find('/');
+  std::string_view authority = rest.substr(0, slash);
+  uri.path = slash == std::string_view::npos ? "" : std::string(rest.substr(slash));
+
+  auto colon = authority.rfind(':');
+  if (colon == std::string_view::npos) {
+    uri.host = std::string(authority);
+  } else {
+    uri.host = std::string(authority.substr(0, colon));
+    long port = str::parse_long(authority.substr(colon + 1), -1);
+    if (port < 0 || port > 0xFFFF) return std::nullopt;
+    uri.port = static_cast<std::uint16_t>(port);
+  }
+  if (uri.host.empty()) return std::nullopt;
+  return uri;
+}
+
+}  // namespace indiss

@@ -1,0 +1,28 @@
+// Minimal URI parser covering what the SDP stacks need:
+//   http://128.93.8.112:4004/description.xml
+//   service:clock:soap://host:4005/service/timer/control  (SLP service URLs)
+// A service: URL nests a concrete access URL after the abstract type; Uri keeps
+// the full scheme chain so SLP's ServiceUrl can split it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace indiss {
+
+struct Uri {
+  std::string scheme;       // "http", "soap", ...
+  std::string host;         // "128.93.8.112"
+  std::uint16_t port = 0;   // 0 = unspecified
+  std::string path;         // "/description.xml", may be empty
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses `scheme://host[:port][/path]`. Returns nullopt when the input has
+  /// no "://" or the port is not numeric.
+  static std::optional<Uri> parse(std::string_view text);
+};
+
+}  // namespace indiss

@@ -1,0 +1,56 @@
+#include "core/fsm.hpp"
+
+#include <stdexcept>
+
+namespace indiss::core {
+
+Guard any() {
+  return [](const Event&, const Session&) { return true; };
+}
+
+void StateMachine::add_tuple(std::string from, EventType trigger, Guard guard,
+                             std::string to, std::vector<Action> actions) {
+  if (!guard) guard = any();
+  transitions_.push_back(Transition{std::move(from), trigger, std::move(guard),
+                                    std::move(to), std::move(actions)});
+}
+
+const Transition* StateMachine::match(const std::string& state,
+                                      const Event& event,
+                                      const Session& session) const {
+  const Transition* found = nullptr;
+  for (const auto& t : transitions_) {
+    if (t.from != state || t.trigger != event.type) continue;
+    if (!t.guard(event, session)) continue;
+    if (found != nullptr) {
+      throw std::logic_error(
+          "nondeterministic state machine: state '" + state + "' has two "
+          "enabled transitions on " + std::string(event_name(event.type)));
+    }
+    found = &t;
+  }
+  return found;
+}
+
+std::set<std::string> StateMachine::states() const {
+  std::set<std::string> out{start_};
+  for (const auto& t : transitions_) {
+    out.insert(t.from);
+    out.insert(t.to);
+  }
+  return out;
+}
+
+bool fsm_step(const StateMachine& machine, Unit& unit, Session& session,
+              const Event& event) {
+  if (session.state.empty()) session.state = machine.start();
+  const Transition* transition = machine.match(session.state, event, session);
+  if (transition == nullptr) return false;
+  session.state = transition->to;
+  for (const auto& action : transition->actions) {
+    action(unit, event, session);
+  }
+  return true;
+}
+
+}  // namespace indiss::core

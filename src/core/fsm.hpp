@@ -1,0 +1,83 @@
+// The unit coordination engine: a deterministic finite automaton over event
+// types with condition guards and action lists (paper §2.3).
+//
+//   A SDP state machine is defined as (Q, ∑, C, T, q0, F) where T: Q x ∑ x C
+//   -> Q; transitions are labelled with events, conditions and actions.
+//
+// The declarative add_tuple() mirrors the paper's specification operator:
+//   AddTuple(CurrentState, trigger, condition-guard, NewState, actions)
+//
+// Determinism is enforced at run time: if more than one transition matches a
+// (state, event, guards) triple, step() throws — a mis-specified DFA is a
+// programming error we want tests to catch, not silently resolve.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/session.hpp"
+
+namespace indiss::core {
+
+class Unit;
+
+/// Boolean expression over the incoming event and recorded state variables.
+using Guard = std::function<bool(const Event&, const Session&)>;
+
+/// Operation a unit performs when a transition fires: dispatch events,
+/// record data, reconfigure components (paper: "actions are a sequence of
+/// operations").
+using Action = std::function<void(Unit&, const Event&, Session&)>;
+
+/// Always-true guard for unconditional transitions.
+[[nodiscard]] Guard any();
+
+struct Transition {
+  std::string from;
+  EventType trigger;
+  Guard guard;
+  std::string to;
+  std::vector<Action> actions;
+};
+
+class StateMachine {
+ public:
+  void set_start(std::string state) { start_ = std::move(state); }
+  [[nodiscard]] const std::string& start() const { return start_; }
+
+  void add_accepting(const std::string& state) { accepting_.insert(state); }
+  [[nodiscard]] bool is_accepting(const std::string& state) const {
+    return accepting_.contains(state);
+  }
+
+  /// The paper's AddTuple operator.
+  void add_tuple(std::string from, EventType trigger, Guard guard,
+                 std::string to, std::vector<Action> actions);
+
+  /// The unique transition enabled by (state, event); nullptr when none.
+  /// Throws std::logic_error when the machine is nondeterministic for this
+  /// input.
+  [[nodiscard]] const Transition* match(const std::string& state,
+                                        const Event& event,
+                                        const Session& session) const;
+
+  [[nodiscard]] std::size_t transition_count() const {
+    return transitions_.size();
+  }
+  [[nodiscard]] std::set<std::string> states() const;
+
+ private:
+  std::string start_ = "idle";
+  std::set<std::string> accepting_;
+  std::vector<Transition> transitions_;
+};
+
+/// Runs one event through the machine for `session`, executing the matched
+/// transition's actions against `unit`. Returns true when a transition fired.
+bool fsm_step(const StateMachine& machine, Unit& unit, Session& session,
+              const Event& event);
+
+}  // namespace indiss::core

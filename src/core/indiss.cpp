@@ -1,0 +1,171 @@
+#include "core/indiss.hpp"
+
+#include "common/logging.hpp"
+#include "net/network.hpp"
+
+namespace indiss::core {
+
+Indiss::Indiss(net::Host& host, IndissConfig config)
+    : host_(host),
+      config_(std::move(config)),
+      own_endpoints_(std::make_shared<OwnEndpoints>()) {
+  monitor_ = std::make_unique<Monitor>(host_, own_endpoints_);
+}
+
+Indiss::~Indiss() { stop(); }
+
+void Indiss::start() {
+  if (running_) return;
+  running_ = true;
+
+  auto with_registry = [this](Unit::Options options) {
+    options.own_endpoints = own_endpoints_;
+    return options;
+  };
+
+  if (config_.enable_slp) {
+    auto unit_config = config_.slp;
+    unit_config.unit = with_registry(config_.unit_options);
+    slp_unit_ = std::make_unique<SlpUnit>(host_, unit_config);
+    monitor_->forward_to(SdpId::kSlp, slp_unit_.get());
+  }
+  if (config_.enable_upnp) {
+    auto unit_config = config_.upnp;
+    unit_config.unit = with_registry(config_.unit_options);
+    upnp_unit_ = std::make_unique<UpnpUnit>(host_, unit_config);
+    monitor_->forward_to(SdpId::kUpnp, upnp_unit_.get());
+  }
+  if (config_.enable_jini) {
+    auto unit_config = config_.jini;
+    unit_config.unit = with_registry(config_.unit_options);
+    jini_unit_ = std::make_unique<JiniUnit>(host_, unit_config);
+    monitor_->forward_to(SdpId::kJini, jini_unit_.get());
+  }
+  wire_peers();
+
+  for (const auto& entry : iana_table()) {
+    bool enabled = (entry.sdp == SdpId::kSlp && config_.enable_slp) ||
+                   (entry.sdp == SdpId::kUpnp && config_.enable_upnp) ||
+                   (entry.sdp == SdpId::kJini && config_.enable_jini);
+    if (enabled) monitor_->scan(entry);
+  }
+
+  if (config_.context.enabled) {
+    last_sample_bytes_ = host_.network().stats().wire_bytes();
+    sample_task_ = host_.network().scheduler().schedule_periodic(
+        config_.context.sample_interval, [this]() { sample_traffic(); });
+  }
+  log::info("indiss", "started on ", host_.name(), " (slp=",
+            config_.enable_slp, " upnp=", config_.enable_upnp, " jini=",
+            config_.enable_jini, ")");
+}
+
+void Indiss::stop() {
+  if (!running_) return;
+  running_ = false;
+  sample_task_.cancel();
+  // Tear down routing before the units so in-flight datagrams cannot reach
+  // freed memory.
+  for (SdpId sdp : {SdpId::kSlp, SdpId::kUpnp, SdpId::kJini}) {
+    monitor_->forward_to(sdp, nullptr);
+    monitor_->stop_scanning(sdp);
+  }
+  slp_unit_.reset();
+  upnp_unit_.reset();
+  jini_unit_.reset();
+}
+
+void Indiss::wire_peers() {
+  std::vector<Unit*> units;
+  if (slp_unit_) units.push_back(slp_unit_.get());
+  if (upnp_unit_) units.push_back(upnp_unit_.get());
+  if (jini_unit_) units.push_back(jini_unit_.get());
+  for (Unit* a : units) {
+    for (Unit* b : units) {
+      if (a != b) a->add_peer(b);
+    }
+  }
+}
+
+Unit* Indiss::unit(SdpId sdp) {
+  switch (sdp) {
+    case SdpId::kSlp: return slp_unit_.get();
+    case SdpId::kUpnp: return upnp_unit_.get();
+    case SdpId::kJini: return jini_unit_.get();
+  }
+  return nullptr;
+}
+
+void Indiss::enable_unit(SdpId sdp) {
+  if (!running_ || unit(sdp) != nullptr) return;
+  switch (sdp) {
+    case SdpId::kSlp: {
+      config_.enable_slp = true;
+      auto unit_config = config_.slp;
+      unit_config.unit = config_.unit_options;
+      unit_config.unit.own_endpoints = own_endpoints_;
+      slp_unit_ = std::make_unique<SlpUnit>(host_, unit_config);
+      monitor_->forward_to(SdpId::kSlp, slp_unit_.get());
+      break;
+    }
+    case SdpId::kUpnp: {
+      config_.enable_upnp = true;
+      auto unit_config = config_.upnp;
+      unit_config.unit = config_.unit_options;
+      unit_config.unit.own_endpoints = own_endpoints_;
+      upnp_unit_ = std::make_unique<UpnpUnit>(host_, unit_config);
+      monitor_->forward_to(SdpId::kUpnp, upnp_unit_.get());
+      break;
+    }
+    case SdpId::kJini: {
+      config_.enable_jini = true;
+      auto unit_config = config_.jini;
+      unit_config.unit = config_.unit_options;
+      unit_config.unit.own_endpoints = own_endpoints_;
+      jini_unit_ = std::make_unique<JiniUnit>(host_, unit_config);
+      monitor_->forward_to(SdpId::kJini, jini_unit_.get());
+      break;
+    }
+  }
+  for (const auto& entry : iana_table()) {
+    if (entry.sdp == sdp) monitor_->scan(entry);
+  }
+  wire_peers();
+}
+
+std::size_t Indiss::unit_count() const {
+  std::size_t count = 0;
+  if (slp_unit_) ++count;
+  if (upnp_unit_) ++count;
+  if (jini_unit_) ++count;
+  return count;
+}
+
+void Indiss::sample_traffic() {
+  std::uint64_t bytes = host_.network().stats().wire_bytes();
+  double interval_sec =
+      static_cast<double>(config_.context.sample_interval.count()) / 1e9;
+  double rate = static_cast<double>(bytes - last_sample_bytes_) / interval_sec;
+  last_sample_bytes_ = bytes;
+
+  // Fig 6: below the threshold the network can afford active advertising;
+  // above it INDISS stays passive to preserve bandwidth.
+  bool should_be_active =
+      rate < config_.context.traffic_threshold_bytes_per_sec;
+  if (should_be_active && !active_mode_) {
+    log::info("indiss", "traffic ", rate, " B/s below threshold: going active");
+  }
+  active_mode_ = should_be_active;
+  if (upnp_unit_) upnp_unit_->set_active_advertising(active_mode_);
+  if (active_mode_) trigger_active_probe();
+}
+
+void Indiss::trigger_active_probe() {
+  for (const auto& type : config_.context.probe_types) {
+    if (slp_unit_) slp_unit_->probe(type);
+    if (upnp_unit_) upnp_unit_->probe(type);
+    if (jini_unit_) jini_unit_->probe(type);
+  }
+}
+
+}  // namespace indiss::core

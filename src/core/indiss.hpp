@@ -1,0 +1,111 @@
+// The INDISS system: a monitor plus a dynamically composed set of units
+// deployed on one host (client side, service side, or a dedicated gateway —
+// paper §4.2: "it is not mandatory for INDISS to be deployed on the client or
+// service host").
+//
+// Configuration mirrors the paper's design-time specification (Fig 5a):
+//
+//   System SDP = {
+//     Component Monitor = { ScanPort = { 1900; 1846; 4160; 427 } }
+//     Component Unit SLP(port=...); Component Unit UPnP(port=...); ...
+//   }
+//
+// while composition happens at run time: units are instantiated and wired
+// all-to-all as event listeners, and the ContextManager reshapes behaviour
+// (passive interception vs active re-advertisement) as traffic conditions
+// evolve (Fig 6).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "core/types.hpp"
+#include "core/unit.hpp"
+#include "core/units/jini_unit.hpp"
+#include "core/units/slp_unit.hpp"
+#include "core/units/upnp_unit.hpp"
+#include "net/host.hpp"
+#include "sim/scheduler.hpp"
+
+namespace indiss::core {
+
+/// Fig 6 adaptation policy: when observed wire traffic drops below the
+/// threshold, INDISS switches from passive interception to actively probing
+/// local services and re-advertising them in every peer SDP.
+struct ContextPolicy {
+  bool enabled = false;
+  double traffic_threshold_bytes_per_sec = 500.0;
+  sim::SimDuration sample_interval = sim::seconds(5);
+  /// Canonical service types probed in active mode.
+  std::vector<std::string> probe_types = {"clock"};
+};
+
+struct IndissConfig {
+  bool enable_slp = true;
+  bool enable_upnp = true;
+  bool enable_jini = false;  // the paper's prototype shipped SLP + UPnP
+  Unit::Options unit_options;
+  SlpUnit::Config slp;
+  UpnpUnit::Config upnp;
+  JiniUnit::Config jini;
+  ContextPolicy context;
+};
+
+class Indiss {
+ public:
+  explicit Indiss(net::Host& host, IndissConfig config = {});
+  ~Indiss();
+
+  Indiss(const Indiss&) = delete;
+  Indiss& operator=(const Indiss&) = delete;
+
+  /// Instantiates the configured units, wires them as mutual event
+  /// listeners, points the monitor at the IANA table entries of the enabled
+  /// SDPs, and (when configured) starts the context manager.
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+  [[nodiscard]] Monitor& monitor() { return *monitor_; }
+  [[nodiscard]] SlpUnit* slp_unit() { return slp_unit_.get(); }
+  [[nodiscard]] UpnpUnit* upnp_unit() { return upnp_unit_.get(); }
+  [[nodiscard]] JiniUnit* jini_unit() { return jini_unit_.get(); }
+  [[nodiscard]] Unit* unit(SdpId sdp);
+  [[nodiscard]] net::Host& host() { return host_; }
+
+  /// Dynamic composition: adds a unit for an SDP that was not part of the
+  /// initial configuration (Fig 5's evolution of the INDISS configuration).
+  void enable_unit(SdpId sdp);
+
+  // --- Context manager ------------------------------------------------------
+
+  /// True once the traffic threshold pushed INDISS into active mode.
+  [[nodiscard]] bool active_mode() const { return active_mode_; }
+  /// Runs one active probe sweep immediately (also used by tests/benches).
+  void trigger_active_probe();
+
+  /// Total footprint proxy: bytes of live unit/session state (Table 2's
+  /// runtime companion measurement).
+  [[nodiscard]] std::size_t unit_count() const;
+
+ private:
+  void sample_traffic();
+  void wire_peers();
+
+  net::Host& host_;
+  IndissConfig config_;
+  std::shared_ptr<OwnEndpoints> own_endpoints_;
+  std::unique_ptr<Monitor> monitor_;
+  std::unique_ptr<SlpUnit> slp_unit_;
+  std::unique_ptr<UpnpUnit> upnp_unit_;
+  std::unique_ptr<JiniUnit> jini_unit_;
+  bool running_ = false;
+  bool active_mode_ = false;
+  std::uint64_t last_sample_bytes_ = 0;
+  sim::TaskHandle sample_task_;
+};
+
+}  // namespace indiss::core

@@ -1,0 +1,75 @@
+#include "core/monitor.hpp"
+
+#include "common/logging.hpp"
+#include "core/unit.hpp"
+#include "jini/discovery.hpp"
+#include "net/network.hpp"
+#include "slp/agents.hpp"
+#include "upnp/ssdp.hpp"
+
+namespace indiss::core {
+
+const std::vector<IanaEntry>& iana_table() {
+  static const std::vector<IanaEntry> kTable = {
+      {SdpId::kSlp, slp::kSlpMulticastGroup, slp::kSlpPort},
+      {SdpId::kUpnp, upnp::kSsdpMulticastGroup, upnp::kSsdpPort},
+      {SdpId::kJini, jini::kRequestGroup, jini::kJiniPort},
+      {SdpId::kJini, jini::kAnnouncementGroup, jini::kJiniPort},
+  };
+  return kTable;
+}
+
+Monitor::Monitor(net::Host& host, std::shared_ptr<OwnEndpoints> own_endpoints)
+    : host_(host), own_endpoints_(std::move(own_endpoints)) {}
+
+Monitor::~Monitor() {
+  for (auto& [sdp, socket] : sockets_) socket->close();
+}
+
+void Monitor::scan(const IanaEntry& entry) {
+  auto socket = host_.udp_socket(entry.port);
+  socket->join_group(entry.group);
+  SdpId sdp = entry.sdp;
+  socket->set_receive_handler([this, sdp](const net::Datagram& datagram) {
+    on_datagram(sdp, datagram);
+  });
+  sockets_.emplace_back(sdp, std::move(socket));
+}
+
+void Monitor::scan_all() {
+  for (const auto& entry : iana_table()) scan(entry);
+}
+
+void Monitor::stop_scanning(SdpId sdp) {
+  for (auto& [id, socket] : sockets_) {
+    if (id == sdp) socket->close();
+  }
+  std::erase_if(sockets_, [sdp](const auto& kv) { return kv.first == sdp; });
+}
+
+void Monitor::forward_to(SdpId sdp, Unit* unit) { forwards_[sdp] = unit; }
+
+void Monitor::on_datagram(SdpId sdp, const net::Datagram& datagram) {
+  // Never re-ingest INDISS's own traffic.
+  if (own_endpoints_ != nullptr &&
+      own_endpoints_->contains(datagram.source)) {
+    datagrams_filtered_ += 1;
+    return;
+  }
+  datagrams_seen_ += 1;
+
+  // Detection is data *arrival*, not data content (paper §2.1).
+  if (!detected_.contains(sdp)) {
+    detected_[sdp] = host_.network().scheduler().now();
+    log::info("monitor", "detected ", sdp_name(sdp), " on port ",
+              datagram.destination.port);
+  }
+  if (detection_handler_) detection_handler_(sdp, datagram);
+
+  auto it = forwards_.find(sdp);
+  if (it != forwards_.end() && it->second != nullptr) {
+    it->second->on_native_message(datagram);
+  }
+}
+
+}  // namespace indiss::core

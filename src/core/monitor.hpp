@@ -1,0 +1,86 @@
+// The monitor component (paper §2.1): passive environmental SDP detection.
+//
+// "All SDPs use a multicast group address and a UDP/TCP port assigned by
+// IANA... These two characteristics are sufficient to provide simple but
+// efficient environmental SDP detection."
+//
+// The monitor joins the registered groups, listens on the registered ports,
+// and classifies traffic purely by *which port data arrived on* — no content
+// inspection, no computation. Detected SDPs are reported and the raw bytes
+// are forwarded to the unit registered for that SDP.
+//
+// Loop prevention: INDISS's own units send native messages from their own
+// sockets; the monitor must not re-ingest them. Units register their socket
+// endpoints in a shared own-endpoint set which the monitor filters against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/types.hpp"
+#include "net/host.hpp"
+#include "net/udp.hpp"
+#include "sim/time.hpp"
+
+namespace indiss::core {
+
+class Unit;
+
+class Monitor {
+ public:
+  /// Fired on every detection event (including repeats), before forwarding.
+  using DetectionHandler =
+      std::function<void(SdpId, const net::Datagram&)>;
+
+  Monitor(net::Host& host,
+          std::shared_ptr<OwnEndpoints> own_endpoints = nullptr);
+  ~Monitor();
+
+  /// Scans one (group, port) pair from the correspondence table.
+  void scan(const IanaEntry& entry);
+  /// Scans every entry in the static IANA table.
+  void scan_all();
+  /// Stops scanning an SDP's ports (dynamic reconfiguration).
+  void stop_scanning(SdpId sdp);
+
+  void set_detection_handler(DetectionHandler handler) {
+    detection_handler_ = std::move(handler);
+  }
+  /// Routes raw messages of `sdp` to `unit` (Fig 2 step 2).
+  void forward_to(SdpId sdp, Unit* unit);
+
+  /// SDPs observed so far, with first-detection timestamps.
+  [[nodiscard]] const std::map<SdpId, sim::SimTime>& detected() const {
+    return detected_;
+  }
+  [[nodiscard]] bool has_detected(SdpId sdp) const {
+    return detected_.contains(sdp);
+  }
+  [[nodiscard]] std::uint64_t datagrams_seen() const {
+    return datagrams_seen_;
+  }
+  [[nodiscard]] std::uint64_t datagrams_filtered() const {
+    return datagrams_filtered_;
+  }
+  [[nodiscard]] std::size_t scanned_port_count() const {
+    return sockets_.size();
+  }
+
+ private:
+  void on_datagram(SdpId sdp, const net::Datagram& datagram);
+
+  net::Host& host_;
+  std::shared_ptr<OwnEndpoints> own_endpoints_;
+  std::vector<std::pair<SdpId, std::shared_ptr<net::UdpSocket>>> sockets_;
+  std::map<SdpId, Unit*> forwards_;
+  std::map<SdpId, sim::SimTime> detected_;
+  DetectionHandler detection_handler_;
+  std::uint64_t datagrams_seen_ = 0;
+  std::uint64_t datagrams_filtered_ = 0;
+};
+
+}  // namespace indiss::core

@@ -1,0 +1,60 @@
+// Parser and composer component interfaces (paper §2.2, Fig 3).
+//
+// A parser "extracts semantic concepts as events from syntactic details of
+// the SDP detected"; a composer does the reverse. Both are dumb about
+// coordination — the unit's FSM decides where events go. Parsers must at
+// least generate the mandatory events; composers must understand them and are
+// free to ignore anything else.
+#pragma once
+
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "core/event.hpp"
+#include "net/address.hpp"
+
+namespace indiss::core {
+
+/// Transport facts about the message being parsed; parsers turn these into
+/// SDP Network Events.
+struct MessageContext {
+  net::Endpoint source;
+  net::Endpoint destination;
+  bool multicast = false;
+  /// Source host is the unit's own host (loopback interception).
+  bool from_local_host = false;
+  /// This parse continues an in-progress event stream after a parser switch:
+  /// the parser must not emit SDP_C_START.
+  bool continuation = false;
+};
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void emit(Event event) = 0;
+};
+
+class SdpParser {
+ public:
+  virtual ~SdpParser() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Translates one native message into events. Well-formed input yields a
+  /// START .. STOP framed stream (unless ctx.continuation). Malformed input
+  /// yields SDP_RES_ERR inside the framing — never an exception.
+  virtual void parse(BytesView raw, const MessageContext& ctx,
+                     EventSink& sink) = 0;
+};
+
+/// Collects events into an EventStream (the trivial sink).
+class CollectingSink : public EventSink {
+ public:
+  void emit(Event event) override { stream_.push_back(std::move(event)); }
+  [[nodiscard]] const EventStream& stream() const { return stream_; }
+  [[nodiscard]] EventStream take() { return std::move(stream_); }
+
+ private:
+  EventStream stream_;
+};
+
+}  // namespace indiss::core

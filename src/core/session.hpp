@@ -1,0 +1,64 @@
+// A Session is one coordination process run by a unit's FSM: the translation
+// of a single discovery transaction (or advertisement). It holds the DFA's
+// current state and the recorded state variables that later actions (reply
+// composition) draw on — "events data from previous states are recorded using
+// state variables" (paper §2.3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/event.hpp"
+#include "core/types.hpp"
+#include "net/address.hpp"
+#include "sim/time.hpp"
+
+namespace indiss::core {
+
+struct Session {
+  enum class Origin {
+    kNative,  // created by a native message arriving through the monitor
+    kPeer,    // created by an event stream dispatched from a peer unit
+    kLocal,   // created internally (context manager re-advertisement)
+  };
+
+  std::uint64_t id = 0;
+  Origin origin = Origin::kNative;
+  std::string state;  // FSM state
+
+  // Reply routing for kPeer sessions: where the translated response stream
+  // must be sent back.
+  SdpId origin_sdp = SdpId::kSlp;
+  std::uint64_t origin_session = 0;
+
+  /// Recorded state variables (FSM `record` actions write here).
+  std::map<std::string, std::string> vars;
+
+  /// Events of the in-progress message (between START and STOP).
+  EventStream collected;
+
+  /// The request stream that opened the session (kept for composing).
+  EventStream request;
+
+  /// Name of the parser currently active for this session (parser switch).
+  std::string active_parser;
+
+  bool done = false;
+  sim::SimTime created_at{0};
+
+  [[nodiscard]] std::string var(const std::string& key,
+                                const std::string& fallback = "") const {
+    auto it = vars.find(key);
+    return it == vars.end() ? fallback : it->second;
+  }
+  void set_var(const std::string& key, const std::string& value) {
+    vars[key] = value;
+  }
+  [[nodiscard]] bool has_var(const std::string& key) const {
+    return vars.contains(key);
+  }
+};
+
+}  // namespace indiss::core

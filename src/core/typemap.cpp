@@ -1,0 +1,53 @@
+#include "core/typemap.hpp"
+
+#include "common/strings.hpp"
+
+namespace indiss::core {
+
+std::string canonical_from_slp(std::string_view slp_type) {
+  auto lower = str::to_lower(str::trim(slp_type));
+  std::string_view rest = lower;
+  if (str::starts_with(rest, "service:")) rest.remove_prefix(8);
+  auto colon = rest.find(':');
+  if (colon != std::string_view::npos) rest = rest.substr(0, colon);
+  return std::string(rest);
+}
+
+std::string canonical_from_upnp(std::string_view search_target) {
+  auto lower = str::to_lower(str::trim(search_target));
+  if (lower == "ssdp:all" || lower == "upnp:rootdevice") return "*";
+  // urn:schemas-upnp-org:device:clock:1 / urn:...:service:timer:1
+  std::string_view rest = lower;
+  if (str::starts_with(rest, "urn:")) {
+    auto device_pos = rest.find(":device:");
+    auto service_pos = rest.find(":service:");
+    std::size_t start;
+    if (device_pos != std::string_view::npos) {
+      start = device_pos + 8;
+    } else if (service_pos != std::string_view::npos) {
+      start = service_pos + 9;
+    } else {
+      return std::string(rest);
+    }
+    rest = rest.substr(start);
+    auto colon = rest.find(':');
+    if (colon != std::string_view::npos) rest = rest.substr(0, colon);
+    return std::string(rest);
+  }
+  // The paper's own example uses the version-less, occasionally mangled form
+  // "urn:schemas-upnp org:device:clock"; handled by the urn branch above or
+  // taken verbatim here.
+  return std::string(rest);
+}
+
+std::string slp_from_canonical(std::string_view canonical) {
+  if (canonical == "*" || canonical.empty()) return "";
+  return "service:" + std::string(canonical);
+}
+
+std::string upnp_device_from_canonical(std::string_view canonical) {
+  if (canonical == "*" || canonical.empty()) return "ssdp:all";
+  return "urn:schemas-upnp-org:device:" + std::string(canonical) + ":1";
+}
+
+}  // namespace indiss::core

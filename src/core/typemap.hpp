@@ -1,0 +1,29 @@
+// Canonical service-type mapping across SDPs.
+//
+// SERVICE_TYPE events carry a canonical short type ("clock") so composers
+// never need to understand a foreign SDP's naming scheme:
+//   SLP:  service:clock[:soap]             <-> clock
+//   UPnP: urn:schemas-upnp-org:device:clock:1  <-> clock
+//   Jini: "clock" (item service type)          <-> clock
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace indiss::core {
+
+/// "service:clock:soap" -> "clock"; passes through already-canonical names.
+[[nodiscard]] std::string canonical_from_slp(std::string_view slp_type);
+
+/// "urn:schemas-upnp-org:device:clock:1" -> "clock". Also accepts service
+/// urns, ssdp:all ("*") and upnp:rootdevice ("*").
+[[nodiscard]] std::string canonical_from_upnp(std::string_view search_target);
+
+/// "clock" -> "service:clock".
+[[nodiscard]] std::string slp_from_canonical(std::string_view canonical);
+
+/// "clock" -> "urn:schemas-upnp-org:device:clock:1".
+[[nodiscard]] std::string upnp_device_from_canonical(
+    std::string_view canonical);
+
+}  // namespace indiss::core

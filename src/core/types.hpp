@@ -1,0 +1,40 @@
+// Core identifiers: the SDPs INDISS bridges and the IANA correspondence
+// table the monitor component scans (paper §2.1: "a static correspondence
+// table between the IANA-registered permanent ports and their associated
+// SDP").
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "net/address.hpp"
+
+namespace indiss::core {
+
+/// Shared registry of endpoints INDISS itself sends from; the monitor
+/// filters against it so the system never re-ingests its own traffic.
+using OwnEndpoints = std::set<net::Endpoint>;
+
+enum class SdpId : std::uint8_t { kSlp, kUpnp, kJini };
+
+[[nodiscard]] constexpr std::string_view sdp_name(SdpId sdp) {
+  switch (sdp) {
+    case SdpId::kSlp: return "slp";
+    case SdpId::kUpnp: return "upnp";
+    case SdpId::kJini: return "jini";
+  }
+  return "?";
+}
+
+struct IanaEntry {
+  SdpId sdp;
+  net::IpAddress group;
+  std::uint16_t port;
+};
+
+/// The monitor's permanent identification tags: (group, port) -> SDP.
+[[nodiscard]] const std::vector<IanaEntry>& iana_table();
+
+}  // namespace indiss::core

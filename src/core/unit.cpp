@@ -1,0 +1,285 @@
+#include "core/unit.hpp"
+
+#include <stdexcept>
+
+#include "common/logging.hpp"
+#include "net/network.hpp"
+
+namespace indiss::core {
+
+Unit::Unit(SdpId sdp, net::Host& host, Options options)
+    : sdp_(sdp), host_(host), options_(options) {}
+
+Unit::~Unit() = default;
+
+sim::Scheduler& Unit::scheduler() { return host_.network().scheduler(); }
+
+void Unit::add_peer(Unit* peer) {
+  if (peer == nullptr || peer == this) return;
+  peers_[peer->sdp()] = peer;
+}
+
+void Unit::remove_peer(Unit* peer) {
+  if (peer == nullptr) return;
+  auto it = peers_.find(peer->sdp());
+  if (it != peers_.end() && it->second == peer) peers_.erase(it);
+}
+
+void Unit::register_parser(std::unique_ptr<SdpParser> parser) {
+  std::string name(parser->name());
+  if (default_parser_.empty()) default_parser_ = name;
+  parsers_[name] = std::move(parser);
+}
+
+Session* Unit::find_session(std::uint64_t id) {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+Session& Unit::open_session(Session::Origin origin) {
+  std::uint64_t id = next_session_id_++;
+  Session session;
+  session.id = id;
+  session.origin = origin;
+  session.state = fsm_.start();
+  session.active_parser = default_parser_;
+  session.created_at = scheduler().now();
+  stats_.sessions_opened += 1;
+  auto [it, inserted] = sessions_.emplace(id, std::move(session));
+
+  // Garbage-collect abandoned sessions (e.g. searches nobody answered).
+  scheduler().schedule(options_.session_timeout, [this, id]() {
+    auto sit = sessions_.find(id);
+    if (sit == sessions_.end()) return;
+    if (!sit->second.done) {
+      sit->second.done = true;
+      on_session_complete(sit->second);
+    }
+    sessions_.erase(sit);
+  });
+  return it->second;
+}
+
+void Unit::feed_event(Session& session, Event event) {
+  if (session.done) return;
+  stats_.events_emitted += 1;
+  if (event.type == EventType::kControlStart) {
+    session.collected.clear();
+  }
+  session.collected.push_back(event);
+  if (!fsm_step(fsm_, *this, session, session.collected.back())) {
+    stats_.events_ignored += 1;
+  }
+}
+
+void Unit::feed_stream(Session& session, const EventStream& stream) {
+  for (const auto& event : stream) {
+    if (session.done) return;
+    feed_event(session, event);
+  }
+}
+
+void Unit::parse_into_session(Session& session, BytesView raw,
+                              const MessageContext& ctx) {
+  auto it = parsers_.find(session.active_parser);
+  if (it == parsers_.end()) {
+    throw std::logic_error("unit " + std::string(sdp_name(sdp_)) +
+                           ": no parser named '" + session.active_parser + "'");
+  }
+  stats_.messages_parsed += 1;
+
+  // Bridge the parser to the session: every emitted event is collected and
+  // immediately offered to the FSM.
+  struct SessionSink : EventSink {
+    Unit& unit;
+    Session& session;
+    SessionSink(Unit& u, Session& s) : unit(u), session(s) {}
+    void emit(Event event) override {
+      unit.feed_event(session, std::move(event));
+    }
+  } sink{*this, session};
+
+  it->second->parse(raw, ctx, sink);
+}
+
+void Unit::on_native_message(const net::Datagram& datagram) {
+  // INDISS's own processing cost for intercepting + parsing a message.
+  scheduler().schedule(options_.translate_delay, [this, datagram]() {
+    Session& session = open_session(Session::Origin::kNative);
+    MessageContext ctx;
+    ctx.source = datagram.source;
+    ctx.destination = datagram.destination;
+    ctx.multicast = datagram.multicast;
+    ctx.from_local_host = datagram.source.address == host_.address();
+    parse_into_session(session, datagram.payload, ctx);
+  });
+}
+
+void Unit::on_peer_stream(SdpId origin_sdp, std::uint64_t origin_session,
+                          const EventStream& stream) {
+  scheduler().schedule(options_.translate_delay, [this, origin_sdp,
+                                                  origin_session, stream]() {
+    Session& session = open_session(Session::Origin::kPeer);
+    session.origin_sdp = origin_sdp;
+    session.origin_session = origin_session;
+    feed_stream(session, stream);
+  });
+}
+
+void Unit::on_reply_stream(std::uint64_t session_id,
+                           const EventStream& stream) {
+  scheduler().schedule(options_.translate_delay, [this, session_id, stream]() {
+    Session* session = find_session(session_id);
+    if (session == nullptr || session->done) return;
+    feed_stream(*session, stream);
+  });
+}
+
+void Unit::probe(const std::string& canonical_type) {
+  Session& session = open_session(Session::Origin::kLocal);
+  EventStream stream;
+  stream.push_back(Event(EventType::kControlStart));
+  stream.push_back(Event(EventType::kServiceRequest));
+  stream.push_back(
+      Event(EventType::kServiceTypeIs, {{"type", canonical_type}}));
+  stream.push_back(Event(EventType::kControlStop));
+  feed_stream(session, stream);
+}
+
+void Unit::on_native_response(std::uint64_t session_id, BytesView raw,
+                              const MessageContext& ctx) {
+  Session* session = find_session(session_id);
+  if (session == nullptr || session->done) return;
+  parse_into_session(*session, raw, ctx);
+}
+
+// ---------------------------------------------------------------------------
+// Action factories
+// ---------------------------------------------------------------------------
+
+Action Unit::record(std::string var, std::string data_key) {
+  return [var = std::move(var), data_key = std::move(data_key)](
+             Unit&, const Event& event, Session& session) {
+    if (event.has(data_key)) session.set_var(var, event.get(data_key));
+  };
+}
+
+Action Unit::set(std::string var, std::string value) {
+  return [var = std::move(var), value = std::move(value)](
+             Unit&, const Event&, Session& session) {
+    session.set_var(var, value);
+  };
+}
+
+void Unit::mark_own(const net::UdpSocket& socket) {
+  if (options_.own_endpoints != nullptr) {
+    options_.own_endpoints->insert(socket.local_endpoint());
+  }
+}
+
+Action Unit::dispatch_to_peers() {
+  return [](Unit& unit, const Event&, Session& session) {
+    unit.do_dispatch_to_peers(session);
+  };
+}
+
+Action Unit::reply_to_origin() {
+  return [](Unit& unit, const Event&, Session& session) {
+    unit.do_reply_to_origin(session);
+  };
+}
+
+Action Unit::begin_native_request() {
+  return [](Unit& unit, const Event&, Session& session) {
+    unit.stats_.messages_composed += 1;
+    unit.compose_native_request(session);
+  };
+}
+
+Action Unit::send_native_reply() {
+  return [](Unit& unit, const Event&, Session& session) {
+    unit.stats_.messages_composed += 1;
+    unit.compose_native_reply(session);
+  };
+}
+
+Action Unit::follow_up() {
+  return [](Unit& unit, const Event& event, Session& session) {
+    unit.stats_.messages_composed += 1;
+    unit.compose_follow_up(session, event);
+  };
+}
+
+Action Unit::do_parser_switch() {
+  return [](Unit& unit, const Event& event, Session& session) {
+    unit.do_switch(session, event);
+  };
+}
+
+Action Unit::deliver_advertisement() {
+  return [](Unit& unit, const Event&, Session& session) {
+    unit.on_advertisement(session);
+  };
+}
+
+Action Unit::complete() {
+  return [](Unit& unit, const Event&, Session& session) {
+    unit.do_complete(session);
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Action implementations
+// ---------------------------------------------------------------------------
+
+void Unit::do_dispatch_to_peers(Session& session) {
+  if (peers_.empty()) return;
+  stats_.streams_dispatched += 1;
+  for (auto& [peer_sdp, peer] : peers_) {
+    peer->on_peer_stream(sdp_, session.id, session.collected);
+  }
+}
+
+void Unit::do_reply_to_origin(Session& session) {
+  auto it = peers_.find(session.origin_sdp);
+  if (it == peers_.end()) {
+    log::warn("unit", sdp_name(sdp_), ": reply for unknown origin unit ",
+              sdp_name(session.origin_sdp));
+    return;
+  }
+  stats_.streams_dispatched += 1;
+  it->second->on_reply_stream(session.origin_session, session.collected);
+}
+
+void Unit::do_complete(Session& session) {
+  if (session.done) return;
+  session.done = true;
+  stats_.sessions_completed += 1;
+  on_session_complete(session);
+}
+
+void Unit::do_switch(Session& session, const Event& event) {
+  std::string target = event.get("parser");
+  if (!parsers_.contains(target)) {
+    log::warn("unit", sdp_name(sdp_), ": parser switch to unknown parser '",
+              target, "'");
+    return;
+  }
+  session.active_parser = target;
+  // Continue parsing the carried payload with the new parser; its events run
+  // through the same session (no new SDP_C_START).
+  std::string payload = event.get("payload");
+  if (payload.empty()) return;
+  MessageContext ctx;
+  ctx.continuation = true;
+  Bytes raw = to_bytes(payload);
+  parse_into_session(session, raw, ctx);
+}
+
+void Unit::compose_follow_up(Session&, const Event&) {}
+
+void Unit::on_advertisement(Session&) {}
+
+void Unit::on_session_complete(Session&) {}
+
+}  // namespace indiss::core

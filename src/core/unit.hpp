@@ -1,0 +1,193 @@
+// The Unit: INDISS's per-SDP building block (paper §2.2-2.3).
+//
+// A unit embeds a parser and a composer for one SDP plus the finite state
+// machine that coordinates them. Units are composed through events only:
+// a unit dispatches the streams its parser produces to its peer units, and
+// receives translated reply streams back — "units are both event generator
+// and listener" (paper §3). Everything outside INDISS speaks native SDP
+// messages; everything inside speaks events.
+//
+// Coordination is session-based: each discovery transaction (or
+// advertisement) runs its own Session with its own FSM instance state, so a
+// unit can serve many interleaved translations. The FSM's actions call back
+// into the public action API below (record / dispatch_to_peers /
+// begin_native_request / send_native_reply / switch_parser / complete) — the
+// paper's "actions provided by the unit's interface".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/fsm.hpp"
+#include "core/parser.hpp"
+#include "core/session.hpp"
+#include "core/types.hpp"
+#include "net/host.hpp"
+#include "net/packet.hpp"
+#include "net/udp.hpp"
+#include "sim/scheduler.hpp"
+
+namespace indiss::core {
+
+struct UnitOptions {
+  /// INDISS's own per-message processing cost (parse or compose). This is
+  /// the system's overhead knob; Ablation A1 measures the real wall-clock
+  /// cost, this models it in simulated time.
+  sim::SimDuration translate_delay = sim::micros(20);
+  /// Forget completed/abandoned sessions after this long.
+  sim::SimDuration session_timeout = sim::seconds(10);
+  /// Own-endpoint registry shared with the monitor (loop prevention). May
+  /// be null for standalone unit tests.
+  std::shared_ptr<OwnEndpoints> own_endpoints;
+};
+
+class Unit {
+ public:
+  using Options = UnitOptions;
+
+  Unit(SdpId sdp, net::Host& host, Options options = {});
+  virtual ~Unit();
+
+  Unit(const Unit&) = delete;
+  Unit& operator=(const Unit&) = delete;
+
+  [[nodiscard]] SdpId sdp() const { return sdp_; }
+  [[nodiscard]] net::Host& host() { return host_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Registers a peer unit (event listener). Composition is dynamic: peers
+  /// may be added or removed at run time as the environment evolves.
+  void add_peer(Unit* peer);
+  void remove_peer(Unit* peer);
+  [[nodiscard]] const std::map<SdpId, Unit*>& peers() const { return peers_; }
+
+  // --- Entry points -------------------------------------------------------
+
+  /// Raw native message intercepted by the monitor component. Virtual so
+  /// tests can stub the routing without a full parser stack.
+  virtual void on_native_message(const net::Datagram& datagram);
+
+  /// Event stream dispatched by a peer unit (foreign request or
+  /// advertisement that this unit should translate into its native SDP).
+  void on_peer_stream(SdpId origin_sdp, std::uint64_t origin_session,
+                      const EventStream& stream);
+
+  /// Translated reply stream routed back to the session that originated the
+  /// foreign request.
+  void on_reply_stream(std::uint64_t session_id, const EventStream& stream);
+
+  /// Context-manager hook (Fig 6 active mode): runs a locally originated
+  /// native discovery for `canonical_type`; whatever answers is converted to
+  /// an advertisement stream and dispatched to peer units for
+  /// re-announcement in their SDPs.
+  void probe(const std::string& canonical_type);
+
+  // --- FSM action API (invoked by transitions) ------------------------------
+
+  /// Records event data under a session state variable.
+  static Action record(std::string var, std::string data_key);
+  /// Sets a session state variable to a constant.
+  static Action set(std::string var, std::string value);
+  /// Forwards the session's collected stream to all peer units.
+  static Action dispatch_to_peers();
+  /// Sends the session's collected stream back to the originating unit.
+  static Action reply_to_origin();
+  /// Asks the composer to build and send the native request for a
+  /// peer-originated session.
+  static Action begin_native_request();
+  /// Asks the composer to build and send the native reply for a
+  /// native-originated session (using recorded state variables).
+  static Action send_native_reply();
+  /// Issues a follow-up native request (e.g. the description GET the UPnP
+  /// unit generates when SDP_RES_SERV_URL is still missing — paper §2.4).
+  static Action follow_up();
+  /// Swaps the session's active parser (SDP_C_PARSER_SWITCH) and continues
+  /// parsing the event's payload with it.
+  static Action do_parser_switch();
+  /// Hands the collected advertisement stream to the subclass.
+  static Action deliver_advertisement();
+  /// Marks the session finished.
+  static Action complete();
+
+  // --- Statistics ------------------------------------------------------------
+
+  struct Stats {
+    std::uint64_t messages_parsed = 0;
+    std::uint64_t events_emitted = 0;
+    std::uint64_t messages_composed = 0;
+    std::uint64_t sessions_opened = 0;
+    std::uint64_t sessions_completed = 0;
+    std::uint64_t streams_dispatched = 0;
+    std::uint64_t events_ignored = 0;  // no FSM transition consumed them
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  [[nodiscard]] const StateMachine& state_machine() const { return fsm_; }
+  [[nodiscard]] std::size_t open_sessions() const { return sessions_.size(); }
+
+  /// Looks up a live session (tests and subclasses).
+  [[nodiscard]] Session* find_session(std::uint64_t id);
+
+ protected:
+  // --- Subclass surface -------------------------------------------------------
+
+  /// Parser registry. Every unit has a default parser; the UPnP unit also
+  /// registers an XML parser as the switch target.
+  void register_parser(std::unique_ptr<SdpParser> parser);
+  void set_default_parser(const std::string& name) { default_parser_ = name; }
+
+  /// Composer half, implemented per SDP.
+  virtual void compose_native_request(Session& session) = 0;
+  virtual void compose_native_reply(Session& session) = 0;
+  virtual void compose_follow_up(Session& session, const Event& event);
+  /// A peer advertisement stream was delivered (alive/byebye). Default:
+  /// ignore (poorest-SDP behaviour).
+  virtual void on_advertisement(Session& session);
+  /// Session ended: release any per-session transport resources.
+  virtual void on_session_complete(Session& session);
+
+  /// Native response arriving on a per-session socket the subclass opened
+  /// (the unit acting as a native client). Parses it into the session.
+  void on_native_response(std::uint64_t session_id, BytesView raw,
+                          const MessageContext& ctx);
+
+  /// Creates a session and runs `stream` through the FSM as if parsed.
+  Session& open_session(Session::Origin origin);
+
+  /// Feeds one event: collects it and steps the FSM.
+  void feed_event(Session& session, Event event);
+  void feed_stream(Session& session, const EventStream& stream);
+
+  /// Parses raw bytes with the session's active parser into the session.
+  void parse_into_session(Session& session, BytesView raw,
+                          const MessageContext& ctx);
+
+  /// Registers a socket's endpoint in the shared own-endpoint set.
+  void mark_own(const net::UdpSocket& socket);
+
+  [[nodiscard]] sim::Scheduler& scheduler();
+
+  StateMachine fsm_;
+  Stats stats_;
+
+ private:
+  void do_dispatch_to_peers(Session& session);
+  void do_reply_to_origin(Session& session);
+  void do_complete(Session& session);
+  void do_switch(Session& session, const Event& event);
+
+  SdpId sdp_;
+  net::Host& host_;
+  Options options_;
+  std::map<SdpId, Unit*> peers_;
+  std::map<std::uint64_t, Session> sessions_;
+  std::map<std::string, std::unique_ptr<SdpParser>> parsers_;
+  std::string default_parser_;
+  std::uint64_t next_session_id_ = 1;
+};
+
+}  // namespace indiss::core

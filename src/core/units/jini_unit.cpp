@@ -1,0 +1,207 @@
+#include "core/units/jini_unit.hpp"
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "core/typemap.hpp"
+#include "jini/discovery.hpp"
+#include "net/network.hpp"
+#include "net/tcp.hpp"
+
+namespace indiss::core {
+
+void JiniEventParser::parse(BytesView raw, const MessageContext& ctx,
+                            EventSink& sink) {
+  if (!ctx.continuation) sink.emit(Event(EventType::kControlStart));
+  sink.emit(Event(EventType::kNetType, {{"sdp", "jini"}}));
+  sink.emit(Event(ctx.multicast ? EventType::kNetMulticast
+                                : EventType::kNetUnicast));
+  sink.emit(Event(EventType::kNetSourceAddr,
+                  {{"addr", ctx.source.address.to_string()},
+                   {"port", std::to_string(ctx.source.port)},
+                   {"local", ctx.from_local_host ? "1" : "0"}}));
+
+  auto kind = jini::packet_kind(raw);
+  if (!kind.has_value()) {
+    sink.emit(Event(EventType::kResErr, {{"code", "parse"}}));
+    sink.emit(Event(EventType::kControlStop));
+    return;
+  }
+  if (*kind == jini::kPacketMulticastRequest) {
+    auto request = jini::MulticastRequest::decode(raw);
+    if (request.has_value()) {
+      // A registrar-discovery probe, not a service request: surfaced as a
+      // Discovery (extension-set) event.
+      sink.emit(Event(EventType::kDiscRepositoryQuery,
+                      {{"response_port", std::to_string(request->response_port)},
+                       {"groups", str::join(request->groups, ",")}}));
+      sink.emit(Event(EventType::kJiniGroups,
+                      {{"groups", str::join(request->groups, ",")}}));
+    }
+  } else {
+    auto announcement = jini::MulticastAnnouncement::decode(raw);
+    if (announcement.has_value()) {
+      sink.emit(Event(
+          EventType::kDiscRepositoryFound,
+          {{"host", announcement->registrar_host},
+           {"port", std::to_string(announcement->registrar_port)},
+           {"id", std::to_string(announcement->registrar_id)}}));
+      sink.emit(Event(EventType::kJiniRegistrarId,
+                      {{"id", std::to_string(announcement->registrar_id)}}));
+    }
+  }
+  sink.emit(Event(EventType::kControlStop));
+}
+
+// ---------------------------------------------------------------------------
+
+JiniUnit::JiniUnit(net::Host& host, Config config)
+    : Unit(SdpId::kJini, host, config.unit), config_(config) {
+  register_parser(std::make_unique<JiniEventParser>());
+  set_default_parser("jini");
+  build_standard_fsm(fsm_);
+  // Learn registrar locations from announcements.
+  fsm_.add_tuple("parsing", EventType::kDiscRepositoryFound, any(), "parsing",
+                 {note_registrar()});
+  fsm_.add_tuple("parsing", EventType::kDiscRepositoryQuery, any(), "parsing",
+                 {Unit::set("kind", "repo_query")});
+}
+
+JiniUnit::~JiniUnit() = default;
+
+Action JiniUnit::note_registrar() {
+  return [](Unit& unit, const Event& event, Session&) {
+    static_cast<JiniUnit&>(unit).do_note_registrar(event);
+  };
+}
+
+void JiniUnit::do_note_registrar(const Event& event) {
+  auto addr = net::IpAddress::parse(event.get("host"));
+  if (!addr.has_value()) return;
+  registrar_ = net::Endpoint{
+      *addr, static_cast<std::uint16_t>(
+                 str::parse_long(event.get("port"), config_.jini_port))};
+}
+
+void JiniUnit::registrar_op(Bytes request, std::function<void(Bytes)> handler) {
+  if (!registrar_.has_value()) {
+    handler({});
+    return;
+  }
+  auto socket = host().tcp_connect(*registrar_);
+  if (socket == nullptr) {
+    handler({});
+    return;
+  }
+  auto done = std::make_shared<bool>(false);
+  socket->set_data_handler(
+      [socket, done, handler = std::move(handler)](BytesView data) {
+        if (*done) return;
+        *done = true;
+        Bytes reply(data.begin(), data.end());
+        socket->close();
+        handler(std::move(reply));
+      });
+  socket->send(std::move(request));
+}
+
+// Translate a foreign request into a registrar lookup. Without a known
+// registrar, Jini can contribute nothing — the session simply times out and
+// the other peers' answers (if any) win.
+void JiniUnit::compose_native_request(Session& session) {
+  jini::ServiceTemplate tmpl;
+  std::string type = session.var("service_type", "*");
+  if (type != "*") tmpl.service_type = type;
+
+  ByteWriter w;
+  w.u8(jini::kOpLookup);
+  tmpl.encode(w);
+  std::uint64_t session_id = session.id;
+  registrar_op(w.take(), [this, session_id](Bytes reply) {
+    // Build the translated reply stream straight from the lookup result —
+    // the registrar already speaks our compact binary form, so this acts as
+    // the "parse" step for the unicast leg.
+    EventStream stream;
+    stream.push_back(Event(EventType::kControlStart));
+    stream.push_back(Event(EventType::kNetType, {{"sdp", "jini"}}));
+    stream.push_back(Event(EventType::kServiceResponse));
+    bool any_item = false;
+    try {
+      ByteReader r(reply);
+      if (!reply.empty() && r.u8() == jini::kStatusOk) {
+        std::uint16_t count = r.u16();
+        for (std::uint16_t i = 0; i < count; ++i) {
+          jini::ServiceItem item = jini::ServiceItem::decode(r);
+          std::string url;
+          for (const auto& [k, v] : item.attributes) {
+            if (k == "url") {
+              url = v;
+            } else {
+              stream.push_back(Event(EventType::kServiceAttr,
+                                     {{"key", k}, {"value", v}}));
+            }
+          }
+          if (url.empty()) url = "jini://" + item.id.to_string();
+          stream.push_back(Event(EventType::kResServUrl, {{"url", url}}));
+          stream.push_back(Event(EventType::kServiceTypeIs,
+                                 {{"type", item.service_type}}));
+          any_item = true;
+        }
+      }
+    } catch (const DecodeError&) {
+      any_item = false;
+    }
+    stream.push_back(Event(EventType::kControlStop));
+    if (!any_item) return;  // silence, like a multicast SDP with no match
+
+    Session* session = find_session(session_id);
+    if (session == nullptr || session->done) return;
+    feed_stream(*session, stream);
+  });
+}
+
+// Native Jini clients find services through a registrar, not through INDISS;
+// answering a repo query on the registrar's behalf is out of scope for this
+// unit (the registrar itself responds natively). Nothing to compose.
+void JiniUnit::compose_native_reply(Session&) {}
+
+// Translate a foreign advertisement into a registrar registration so native
+// Jini clients can look the service up.
+void JiniUnit::on_advertisement(Session& session) {
+  std::string url;
+  std::string desc_url;
+  jini::EntryAttributes attributes;
+  for (const auto& event : session.collected) {
+    if (event.type == EventType::kResServUrl && url.empty()) {
+      url = event.get("url");
+    } else if (event.type == EventType::kUpnpDeviceUrlDesc) {
+      desc_url = event.get("url");
+    } else if (event.type == EventType::kServiceAttr) {
+      attributes.emplace_back(event.get("key"), event.get("value"));
+    }
+  }
+  if (url.empty()) url = desc_url;
+  if (url.empty() || !registrar_.has_value()) return;
+  if (!meaningful_advert_type(session.var("service_type"))) return;
+  // One registration per foreign endpoint; alive bursts repeat the URL
+  // under several notification types.
+  if (!registered_urls_.insert(url).second) return;
+
+  jini::ServiceItem item;
+  item.id = jini::ServiceId{0x1D15500000000000ULL, next_service_id_++};
+  item.service_type = session.var("service_type", "service");
+  attributes.emplace_back("url", url);
+  attributes.emplace_back("bridged-by", "INDISS");
+  item.attributes = std::move(attributes);
+
+  ByteWriter w;
+  w.u8(jini::kOpRegister);
+  item.encode(w);
+  w.u32(config_.lease_seconds);
+  registrar_op(w.take(), [this](Bytes reply) {
+    if (!reply.empty() && reply[0] == jini::kStatusOk) {
+      foreign_registrations_ += 1;
+    }
+  });
+}
+
+}  // namespace indiss::core

@@ -1,0 +1,72 @@
+// The Jini unit: extends the paper's prototype (which shipped SLP + UPnP) to
+// a third, repository-based SDP, exercising INDISS's extensibility claim.
+//
+// Roles:
+//  - Parses Jini discovery datagrams (multicast requests / announcements)
+//    into events; announcements teach the unit where registrars live.
+//  - Translates foreign request streams into unicast registrar lookups.
+//  - Translates foreign advertisements into registrar registrations, making
+//    foreign services visible to native Jini clients through their own
+//    lookup protocol.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/unit.hpp"
+#include "core/units/standard_fsm.hpp"
+#include "jini/lookup.hpp"
+#include "net/udp.hpp"
+
+namespace indiss::core {
+
+class JiniEventParser : public SdpParser {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "jini"; }
+  void parse(BytesView raw, const MessageContext& ctx,
+             EventSink& sink) override;
+};
+
+struct JiniUnitConfig {
+  UnitOptions unit;
+  std::uint16_t jini_port = 4160;
+  std::uint32_t lease_seconds = 300;
+};
+
+class JiniUnit : public Unit {
+ public:
+  using Config = JiniUnitConfig;
+
+  JiniUnit(net::Host& host, Config config = {});
+  ~JiniUnit() override;
+
+  [[nodiscard]] std::optional<net::Endpoint> known_registrar() const {
+    return registrar_;
+  }
+  [[nodiscard]] std::uint64_t foreign_registrations() const {
+    return foreign_registrations_;
+  }
+
+ protected:
+  void compose_native_request(Session& session) override;
+  void compose_native_reply(Session& session) override;
+  void on_advertisement(Session& session) override;
+
+ private:
+  static Action note_registrar();
+  void do_note_registrar(const Event& event);
+  /// One-shot unicast registrar op; hands raw reply bytes to the handler.
+  void registrar_op(Bytes request, std::function<void(Bytes)> handler);
+
+  Config config_;
+  std::optional<net::Endpoint> registrar_;
+  std::set<std::string> registered_urls_;
+  std::uint64_t foreign_registrations_ = 0;
+  std::uint64_t next_service_id_ = 0x1D155;
+};
+
+}  // namespace indiss::core

@@ -1,0 +1,262 @@
+#include "core/units/slp_unit.hpp"
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "core/typemap.hpp"
+#include "net/network.hpp"
+#include "slp/agents.hpp"
+
+namespace indiss::core {
+
+namespace {
+
+void emit_net_events(EventSink& sink, const MessageContext& ctx) {
+  sink.emit(Event(EventType::kNetType, {{"sdp", "slp"}}));
+  sink.emit(Event(ctx.multicast ? EventType::kNetMulticast
+                                : EventType::kNetUnicast));
+  sink.emit(Event(EventType::kNetSourceAddr,
+                  {{"addr", ctx.source.address.to_string()},
+                   {"port", std::to_string(ctx.source.port)},
+                   {"local", ctx.from_local_host ? "1" : "0"}}));
+}
+
+void emit_attrs(EventSink& sink, const slp::AttributeList& attrs) {
+  for (const auto& [k, v] : attrs.pairs()) {
+    sink.emit(Event(EventType::kServiceAttr, {{"key", k}, {"value", v}}));
+  }
+  for (const auto& k : attrs.keywords()) {
+    sink.emit(Event(EventType::kServiceAttr, {{"key", k}, {"value", ""}}));
+  }
+}
+
+}  // namespace
+
+void SlpEventParser::parse(BytesView raw, const MessageContext& ctx,
+                           EventSink& sink) {
+  if (!ctx.continuation) sink.emit(Event(EventType::kControlStart));
+
+  std::string error;
+  auto message = slp::decode(raw, &error);
+  if (!message.has_value()) {
+    sink.emit(Event(EventType::kResErr, {{"code", "parse"}, {"detail", error}}));
+    sink.emit(Event(EventType::kControlStop));
+    return;
+  }
+
+  emit_net_events(sink, ctx);
+  const auto& header = slp::header_of(*message);
+  sink.emit(Event(EventType::kReqLang, {{"lang", header.language}}));
+
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, slp::SrvRqst>) {
+          sink.emit(Event(EventType::kServiceRequest));
+          // SLP-specific events; foreign composers discard them (paper §2.4).
+          sink.emit(Event(EventType::kSlpReqVersion, {{"version", "2"}}));
+          sink.emit(Event(EventType::kSlpReqScope, {{"scopes", m.scope_list}}));
+          sink.emit(
+              Event(EventType::kSlpReqPredicate, {{"predicate", m.predicate}}));
+          sink.emit(Event(EventType::kSlpReqId,
+                          {{"xid", std::to_string(m.header.xid)}}));
+          sink.emit(Event(EventType::kServiceTypeIs,
+                          {{"type", canonical_from_slp(m.service_type)},
+                           {"native", m.service_type}}));
+        } else if constexpr (std::is_same_v<T, slp::SrvRply>) {
+          sink.emit(Event(EventType::kServiceResponse));
+          sink.emit(Event(EventType::kSlpReqId,
+                          {{"xid", std::to_string(m.header.xid)}}));
+          if (m.error == slp::ErrorCode::kOk) {
+            sink.emit(Event(EventType::kResOk));
+          } else {
+            sink.emit(Event(
+                EventType::kResErr,
+                {{"code", std::to_string(static_cast<int>(m.error))}}));
+          }
+          for (const auto& entry : m.url_entries) {
+            auto parsed = slp::ServiceUrl::parse(entry.url);
+            sink.emit(Event(EventType::kResServUrl,
+                            {{"url", parsed ? parsed->access : entry.url},
+                             {"native", entry.url}}));
+            sink.emit(Event(EventType::kResTtl,
+                            {{"seconds",
+                              std::to_string(entry.lifetime_seconds)}}));
+            if (parsed) {
+              sink.emit(
+                  Event(EventType::kServiceTypeIs,
+                        {{"type", canonical_from_slp(parsed->type.full())},
+                         {"native", parsed->type.full()}}));
+            }
+          }
+        } else if constexpr (std::is_same_v<T, slp::SrvReg>) {
+          sink.emit(Event(EventType::kRegRegister));
+          sink.emit(Event(EventType::kServiceTypeIs,
+                          {{"type", canonical_from_slp(m.service_type)},
+                           {"native", m.service_type}}));
+          auto parsed = slp::ServiceUrl::parse(m.url_entry.url);
+          sink.emit(Event(EventType::kResServUrl,
+                          {{"url", parsed ? parsed->access : m.url_entry.url},
+                           {"native", m.url_entry.url}}));
+          sink.emit(Event(
+              EventType::kResTtl,
+              {{"seconds", std::to_string(m.url_entry.lifetime_seconds)}}));
+          emit_attrs(sink, slp::AttributeList::parse(m.attr_list));
+        } else if constexpr (std::is_same_v<T, slp::SrvDeReg>) {
+          sink.emit(Event(EventType::kRegDeregister));
+          sink.emit(Event(EventType::kResServUrl, {{"url", m.url_entry.url}}));
+        } else if constexpr (std::is_same_v<T, slp::DAAdvert>) {
+          sink.emit(Event(EventType::kDiscRepositoryFound,
+                          {{"url", m.url},
+                           {"boot", std::to_string(m.boot_timestamp)}}));
+        } else if constexpr (std::is_same_v<T, slp::AttrRply>) {
+          sink.emit(Event(EventType::kServiceResponse));
+          emit_attrs(sink, slp::AttributeList::parse(m.attr_list));
+        } else {
+          // SrvAck, AttrRqst, SrvTypeRqst/Rply: surfaced as plain events so
+          // listeners can trace them; no dedicated translation.
+          sink.emit(Event(EventType::kResOk));
+        }
+      },
+      *message);
+
+  sink.emit(Event(EventType::kControlStop));
+}
+
+// ---------------------------------------------------------------------------
+
+SlpUnit::SlpUnit(net::Host& host, Config config)
+    : Unit(SdpId::kSlp, host, config.unit), config_(config) {
+  register_parser(std::make_unique<SlpEventParser>());
+  set_default_parser("slp");
+  build_standard_fsm(fsm_);
+  // SLP-specific bookkeeping: remember the XID so the composed reply matches
+  // the native client's request (paper Fig 4's SDP_REQ_ID).
+  fsm_.add_tuple("parsing", EventType::kSlpReqId, any(), "parsing",
+                 {Unit::record("xid", "xid")});
+  fsm_.add_tuple("parsing", EventType::kSlpReqPredicate, any(), "parsing",
+                 {Unit::record("predicate", "predicate")});
+  fsm_.add_tuple("parsing", EventType::kSlpReqScope, any(), "parsing",
+                 {Unit::record("scopes", "scopes")});
+
+  reply_socket_ = host.udp_socket(0);
+  mark_own(*reply_socket_);
+}
+
+SlpUnit::~SlpUnit() {
+  if (reply_socket_) reply_socket_->close();
+  for (auto& [id, socket] : client_sockets_) socket->close();
+}
+
+void SlpUnit::send_from_reply_socket(const slp::Message& message,
+                                     const net::Endpoint& to) {
+  reply_socket_->send_to(to, slp::encode(message));
+}
+
+// The composer acting as an SLP client on behalf of a foreign request: send
+// a SrvRqst and wire replies back into the session ("INDISS simulates a
+// native client", paper §4.3).
+void SlpUnit::compose_native_request(Session& session) {
+  slp::SrvRqst request;
+  request.header.xid = next_xid_++;
+  request.service_type = slp_from_canonical(session.var("service_type", "*"));
+  request.predicate = session.var("predicate", "");
+  request.header.flags |= slp::kFlagRequestMcast;
+
+  auto socket = host().udp_socket(0);
+  mark_own(*socket);
+  std::uint64_t session_id = session.id;
+  socket->set_receive_handler([this, session_id](const net::Datagram& d) {
+    MessageContext ctx;
+    ctx.source = d.source;
+    ctx.destination = d.destination;
+    ctx.multicast = d.multicast;
+    ctx.from_local_host = d.source.address == host().address();
+    scheduler().schedule(options().translate_delay, [this, session_id, d,
+                                                     ctx]() {
+      on_native_response(session_id, d.payload, ctx);
+    });
+  });
+  client_sockets_[session.id] = socket;
+  socket->send_to(net::Endpoint{slp::kSlpMulticastGroup, config_.slp_port},
+                  slp::encode(slp::Message(request)));
+}
+
+// The composer answering a native SLP client from a translated reply stream:
+// assemble the SrvRply the paper's Fig 4 shows, attributes folded into the
+// URL.
+void SlpUnit::compose_native_reply(Session& session) {
+  slp::SrvRply reply;
+  reply.header.xid = static_cast<std::uint16_t>(
+      str::parse_long(session.var("xid", "0"), 0));
+
+  std::string type = session.var("service_type", "service");
+  std::string attr_suffix;
+  if (config_.attrs_in_url) {
+    for (const auto& event : session.collected) {
+      if (event.type == EventType::kServiceAttr) {
+        attr_suffix += ";" + event.get("key") + ":\"" + event.get("value") +
+                       "\"";
+      }
+    }
+  }
+  std::uint16_t lifetime = config_.reply_lifetime_seconds;
+  if (session.has_var("ttl")) {
+    lifetime = static_cast<std::uint16_t>(
+        str::parse_long(session.var("ttl"), lifetime));
+  }
+  for (const auto& event : session.collected) {
+    if (event.type != EventType::kResServUrl) continue;
+    std::string access = event.get("url");
+    std::string url = "service:" + type + ":" + access + attr_suffix;
+    reply.url_entries.push_back(slp::UrlEntry{lifetime, url});
+  }
+  if (reply.url_entries.empty()) return;  // nothing found: stay silent
+
+  auto addr = net::IpAddress::parse(session.var("src_addr"));
+  if (!addr.has_value()) {
+    log::warn("slp-unit", "reply without recorded source address");
+    return;
+  }
+  auto port = static_cast<std::uint16_t>(
+      str::parse_long(session.var("src_port", "0"), 0));
+  send_from_reply_socket(slp::Message(reply), net::Endpoint{*addr, port});
+}
+
+void SlpUnit::on_advertisement(Session& session) {
+  // Remember foreign services announced by peers; the context manager and
+  // Table-2-style introspection read this, and it feeds dynamic composition.
+  ForeignService service;
+  service.canonical_type = session.var("service_type");
+  std::string desc_url;
+  for (const auto& event : session.collected) {
+    if (event.type == EventType::kResServUrl && service.url.empty()) {
+      service.url = event.get("url");
+    } else if (event.type == EventType::kUpnpDeviceUrlDesc) {
+      desc_url = event.get("url");
+    } else if (event.type == EventType::kServiceAttr) {
+      service.attributes.emplace_back(event.get("key"), event.get("value"));
+    }
+  }
+  // UPnP NOTIFYs only carry the description LOCATION; it still identifies
+  // the service well enough to remember.
+  if (service.url.empty()) service.url = desc_url;
+  if (service.url.empty()) return;
+  if (!meaningful_advert_type(service.canonical_type)) return;
+  for (auto& existing : foreign_services_) {
+    if (existing.url == service.url) {
+      existing = service;
+      return;
+    }
+  }
+  foreign_services_.push_back(std::move(service));
+}
+
+void SlpUnit::on_session_complete(Session& session) {
+  auto it = client_sockets_.find(session.id);
+  if (it != client_sockets_.end()) {
+    it->second->close();
+    client_sockets_.erase(it);
+  }
+}
+
+}  // namespace indiss::core

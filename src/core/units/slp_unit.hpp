@@ -1,0 +1,74 @@
+// The SLP unit: event-based parser and composer for SLPv2 plus the FSM that
+// coordinates them (one of the two units in the paper's prototype).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/unit.hpp"
+#include "core/units/standard_fsm.hpp"
+#include "net/udp.hpp"
+#include "slp/service.hpp"
+#include "slp/wire.hpp"
+
+namespace indiss::core {
+
+/// Translates SLP wire messages into semantic event streams. Emits the
+/// mandatory events plus the SLP-specific SDP_REQ_VERSION / SDP_REQ_SCOPE /
+/// SDP_REQ_PREDICATE / SDP_REQ_ID from the paper's Fig 4.
+class SlpEventParser : public SdpParser {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "slp"; }
+  void parse(BytesView raw, const MessageContext& ctx,
+             EventSink& sink) override;
+};
+
+/// A foreign service the unit learned about from peer advertisements.
+struct ForeignService {
+  std::string canonical_type;
+  std::string url;
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+struct SlpUnitConfig {
+  UnitOptions unit;
+  std::uint16_t slp_port = 427;
+  /// Lifetime advertised in composed SrvRply URL entries.
+  std::uint16_t reply_lifetime_seconds = 65535;
+  /// Append attributes to the composed service URL after ';' the way the
+  /// paper's Fig 4 SrvRply does.
+  bool attrs_in_url = true;
+};
+
+class SlpUnit : public Unit {
+ public:
+  using Config = SlpUnitConfig;
+
+  SlpUnit(net::Host& host, Config config = {});
+  ~SlpUnit() override;
+
+  [[nodiscard]] const std::vector<ForeignService>& foreign_services() const {
+    return foreign_services_;
+  }
+
+ protected:
+  void compose_native_request(Session& session) override;
+  void compose_native_reply(Session& session) override;
+  void on_advertisement(Session& session) override;
+  void on_session_complete(Session& session) override;
+
+ private:
+  void send_from_reply_socket(const slp::Message& message,
+                              const net::Endpoint& to);
+
+  Config config_;
+  std::shared_ptr<net::UdpSocket> reply_socket_;
+  std::map<std::uint64_t, std::shared_ptr<net::UdpSocket>> client_sockets_;
+  std::vector<ForeignService> foreign_services_;
+  std::uint16_t next_xid_ = 0x4000;  // distinct from native agents' ranges
+};
+
+}  // namespace indiss::core

@@ -1,0 +1,476 @@
+#include "core/units/upnp_unit.hpp"
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "common/uri.hpp"
+#include "core/typemap.hpp"
+#include "net/network.hpp"
+#include "upnp/http_client.hpp"
+#include "xml/dom.hpp"
+
+namespace indiss::core {
+
+namespace {
+
+constexpr std::string_view kBridgeServer = "INDISS-bridge/1.0 UPnP/1.0";
+
+void emit_net_events(EventSink& sink, const MessageContext& ctx) {
+  sink.emit(Event(EventType::kNetType, {{"sdp", "upnp"}}));
+  sink.emit(Event(ctx.multicast ? EventType::kNetMulticast
+                                : EventType::kNetUnicast));
+  sink.emit(Event(EventType::kNetSourceAddr,
+                  {{"addr", ctx.source.address.to_string()},
+                   {"port", std::to_string(ctx.source.port)},
+                   {"local", ctx.from_local_host ? "1" : "0"}}));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SsdpEventParser
+// ---------------------------------------------------------------------------
+
+void SsdpEventParser::parse(BytesView raw, const MessageContext& ctx,
+                            EventSink& sink) {
+  if (!ctx.continuation) sink.emit(Event(EventType::kControlStart));
+
+  auto text = to_string(raw);
+  auto http = http::HttpMessage::parse(text);
+  if (!http.has_value()) {
+    sink.emit(Event(EventType::kResErr, {{"code", "parse"}}));
+    sink.emit(Event(EventType::kControlStop));
+    return;
+  }
+
+  // HTTP description responses (from the unit's own GET): hand the XML body
+  // to the description parser — the paper's SDP_C_PARSER_SWITCH moment.
+  if (!http->is_request() && !http->headers.contains("ST") &&
+      !http->headers.contains("NT")) {
+    emit_net_events(sink, ctx);
+    if (http->status == 200) {
+      sink.emit(Event(EventType::kResOk));
+      sink.emit(Event(EventType::kControlParserSwitch,
+                      {{"parser", "upnp-xml"}, {"payload", http->body}}));
+      // The description parser continues the stream and emits SDP_C_STOP.
+      return;
+    }
+    sink.emit(
+        Event(EventType::kResErr, {{"code", std::to_string(http->status)}}));
+    sink.emit(Event(EventType::kControlStop));
+    return;
+  }
+
+  auto message = upnp::parse_ssdp(raw);
+  if (!message.has_value()) {
+    sink.emit(Event(EventType::kResErr, {{"code", "ssdp-parse"}}));
+    sink.emit(Event(EventType::kControlStop));
+    return;
+  }
+  emit_net_events(sink, ctx);
+
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, upnp::SearchRequest>) {
+          sink.emit(Event(EventType::kServiceRequest));
+          sink.emit(Event(EventType::kUpnpSearchTarget, {{"st", m.st}}));
+          sink.emit(Event(EventType::kServiceTypeIs,
+                          {{"type", canonical_from_upnp(m.st)},
+                           {"native", m.st}}));
+        } else if constexpr (std::is_same_v<T, upnp::SearchResponse>) {
+          sink.emit(Event(EventType::kServiceResponse));
+          sink.emit(Event(EventType::kResOk));
+          sink.emit(Event(EventType::kUpnpUsn, {{"usn", m.usn}}));
+          sink.emit(Event(EventType::kUpnpServerHeader, {{"server", m.server}}));
+          sink.emit(Event(EventType::kServiceTypeIs,
+                          {{"type", canonical_from_upnp(m.st)},
+                           {"native", m.st}}));
+          sink.emit(Event(EventType::kResTtl,
+                          {{"seconds", std::to_string(m.max_age_seconds)}}));
+          // Note: no SDP_RES_SERV_URL — a UPnP search response only carries
+          // the description LOCATION; the FSM must chase it (paper §2.4).
+          sink.emit(
+              Event(EventType::kUpnpDeviceUrlDesc, {{"url", m.location}}));
+        } else if constexpr (std::is_same_v<T, upnp::Notify>) {
+          Event head(m.kind == upnp::Notify::Kind::kAlive
+                         ? EventType::kServiceAlive
+                         : EventType::kServiceByeBye);
+          head.data["server"] = m.server;
+          sink.emit(head);
+          sink.emit(Event(EventType::kUpnpUsn, {{"usn", m.usn}}));
+          sink.emit(Event(EventType::kServiceTypeIs,
+                          {{"type", canonical_from_upnp(m.nt)},
+                           {"native", m.nt}}));
+          if (!m.location.empty()) {
+            sink.emit(
+                Event(EventType::kUpnpDeviceUrlDesc, {{"url", m.location}}));
+          }
+          sink.emit(Event(EventType::kResTtl,
+                          {{"seconds", std::to_string(m.max_age_seconds)}}));
+        }
+      },
+      *message);
+
+  sink.emit(Event(EventType::kControlStop));
+}
+
+// ---------------------------------------------------------------------------
+// UpnpDescriptionParser
+// ---------------------------------------------------------------------------
+
+void UpnpDescriptionParser::parse(BytesView raw, const MessageContext&,
+                                  EventSink& sink) {
+  auto description = upnp::DeviceDescription::from_xml(to_string(raw));
+  if (!description.has_value()) {
+    sink.emit(Event(EventType::kResErr, {{"code", "xml-parse"}}));
+    sink.emit(Event(EventType::kControlStop));
+    return;
+  }
+
+  auto attr = [&](std::string_view key, const std::string& value) {
+    if (!value.empty()) {
+      sink.emit(Event(EventType::kServiceAttr,
+                      {{"key", std::string(key)}, {"value", value}}));
+    }
+  };
+  attr("friendlyName", description->friendly_name);
+  attr("manufacturer", description->manufacturer);
+  attr("manufacturerURL", description->manufacturer_url);
+  attr("modelDescription", description->model_description);
+  attr("modelName", description->model_name);
+  attr("modelNumber", description->model_number);
+  attr("modelURL", description->model_url);
+  attr("major", std::to_string(description->spec_major));
+  attr("minor", std::to_string(description->spec_minor));
+
+  sink.emit(Event(EventType::kServiceTypeIs,
+                  {{"type", canonical_from_upnp(description->device_type)},
+                   {"native", description->device_type}}));
+  if (!description->services.empty()) {
+    // The control URL is the endpoint an SLP client can be handed directly.
+    sink.emit(Event(EventType::kResServUrl,
+                    {{"url", description->services.front().control_url},
+                     {"scheme", "soap"}}));
+  }
+  sink.emit(Event(EventType::kControlStop));
+}
+
+// ---------------------------------------------------------------------------
+// UpnpUnit
+// ---------------------------------------------------------------------------
+
+UpnpUnit::UpnpUnit(net::Host& host, Config config)
+    : Unit(SdpId::kUpnp, host, config.unit), config_(config) {
+  register_parser(std::make_unique<SsdpEventParser>());
+  register_parser(std::make_unique<UpnpDescriptionParser>());
+  set_default_parser("ssdp");
+
+  StandardFsmOptions fsm_options;
+  fsm_options.direct_native_reply = false;  // description chase instead
+  build_standard_fsm(fsm_, fsm_options);
+
+  using ET = EventType;
+  // Record what the composer needs from the native side.
+  fsm_.add_tuple("parsing", ET::kUpnpSearchTarget, any(), "parsing",
+                 {Unit::record("st", "st")});
+  fsm_.add_tuple("collect_native", ET::kUpnpDeviceUrlDesc, any(),
+                 "collect_native", {Unit::record("desc_url", "url")});
+
+  // The §2.4 coordination: a search response without SDP_RES_SERV_URL forces
+  // a recursive description GET; with it (hypothetical richer responder) the
+  // reply can go straight back.
+  fsm_.add_tuple("collect_native", ET::kControlStop,
+                 all_of(lacks_var("url"), has_var("desc_url")), "fetching",
+                 {Unit::follow_up()});
+  fsm_.add_tuple("collect_native", ET::kControlStop,
+                 all_of(has_var("url"), negate(origin_local())), "done",
+                 {finalize_reply(), Unit::reply_to_origin(), Unit::complete()});
+  fsm_.add_tuple("collect_native", ET::kControlStop,
+                 all_of(has_var("url"), origin_local()), "done",
+                 {finalize_reply(), response_to_advert(),
+                  Unit::dispatch_to_peers(), Unit::complete()});
+  fsm_.add_tuple("collect_native", ET::kControlStop,
+                 all_of(lacks_var("url"), lacks_var("desc_url")), "done",
+                 {Unit::complete()});
+
+  // Description retrieval: HTTP 200 -> parser switch -> XML events.
+  fsm_.add_tuple("fetching", ET::kControlStart, any(), "parsing_desc", {});
+  fsm_.add_tuple("parsing_desc", ET::kControlParserSwitch, any(),
+                 "parsing_desc", {Unit::do_parser_switch()});
+  fsm_.add_tuple("parsing_desc", ET::kResServUrl, any(), "parsing_desc",
+                 {Unit::record("url", "url"),
+                  Unit::record("url_scheme", "scheme")});
+  fsm_.add_tuple("parsing_desc", ET::kServiceTypeIs, any(), "parsing_desc",
+                 {Unit::record("service_type", "type")});
+  fsm_.add_tuple("parsing_desc", ET::kControlStop,
+                 all_of(has_var("url"), negate(origin_local())), "done",
+                 {finalize_reply(), Unit::reply_to_origin(), Unit::complete()});
+  fsm_.add_tuple("parsing_desc", ET::kControlStop,
+                 all_of(has_var("url"), origin_local()), "done",
+                 {finalize_reply(), response_to_advert(),
+                  Unit::dispatch_to_peers(), Unit::complete()});
+  // A stray SSDP response (another device answering the same M-SEARCH) can
+  // interleave with the description fetch; without a URL we keep waiting
+  // rather than killing the session.
+  fsm_.add_tuple("parsing_desc", ET::kControlStop, lacks_var("url"),
+                 "fetching", {});
+
+  reply_socket_ = host.udp_socket(0);
+  mark_own(*reply_socket_);
+}
+
+UpnpUnit::~UpnpUnit() {
+  if (reply_socket_) reply_socket_->close();
+  for (auto& [id, socket] : client_sockets_) socket->close();
+}
+
+void UpnpUnit::ensure_http_server() {
+  if (http_server_ != nullptr) return;
+  // INDISS's description server is lightweight — no CyberLink-style delay.
+  http_server_ = std::make_unique<upnp::HttpServer>(
+      host(), config_.http_port, sim::SimDuration::zero());
+}
+
+// Acting as a UPnP control point for a foreign request: multicast M-SEARCH
+// from a per-session socket.
+void UpnpUnit::compose_native_request(Session& session) {
+  upnp::SearchRequest request;
+  request.st = upnp_device_from_canonical(session.var("service_type", "*"));
+  request.mx = 1;
+  request.user_agent = std::string(kBridgeServer);
+
+  auto socket = host().udp_socket(0);
+  mark_own(*socket);
+  std::uint64_t session_id = session.id;
+  socket->set_receive_handler([this, session_id](const net::Datagram& d) {
+    MessageContext ctx;
+    ctx.source = d.source;
+    ctx.destination = d.destination;
+    ctx.multicast = d.multicast;
+    ctx.from_local_host = d.source.address == host().address();
+    scheduler().schedule(options().translate_delay, [this, session_id, d,
+                                                     ctx]() {
+      on_native_response(session_id, d.payload, ctx);
+    });
+  });
+  client_sockets_[session.id] = socket;
+  socket->send_to(net::Endpoint{upnp::kSsdpMulticastGroup, config_.ssdp_port},
+                  to_bytes(request.to_http().serialize()));
+}
+
+// The recursive request of §2.4: GET the description document named by
+// SDP_DEVICE_URL_DESC; the response re-enters the session via
+// on_native_response and triggers the parser switch.
+void UpnpUnit::compose_follow_up(Session& session, const Event&) {
+  auto uri = Uri::parse(session.var("desc_url"));
+  if (!uri.has_value()) {
+    log::warn("upnp-unit", "bad description URL: ", session.var("desc_url"));
+    return;
+  }
+  std::uint64_t session_id = session.id;
+  upnp::http_get(host(), *uri,
+                 [this, session_id](std::optional<http::HttpMessage> response) {
+                   if (!response.has_value()) return;  // session will time out
+                   MessageContext ctx;
+                   ctx.from_local_host = true;
+                   Bytes raw = to_bytes(response->serialize());
+                   scheduler().schedule(
+                       options().translate_delay,
+                       [this, session_id, raw]() {
+                         on_native_response(session_id, raw, MessageContext{});
+                       });
+                 });
+}
+
+Action UpnpUnit::finalize_reply() {
+  return [](Unit& unit, const Event&, Session& session) {
+    static_cast<UpnpUnit&>(unit).do_finalize_reply(session);
+  };
+}
+
+// Rewrite the collected description events into a clean, self-contained
+// reply stream: absolute service URL, canonical type, TTL.
+void UpnpUnit::do_finalize_reply(Session& session) {
+  std::string url = session.var("url");
+  if (str::starts_with(url, "/")) {
+    // Relative control URL: absolutize against the description document's
+    // host and port; the paper hands SLP clients a soap:// endpoint.
+    auto base = Uri::parse(session.var("desc_url"));
+    if (base.has_value()) {
+      url = session.var("url_scheme", "soap") + "://" + base->host + ":" +
+            std::to_string(base->port) + url;
+      session.set_var("url", url);
+    }
+  }
+
+  EventStream clean;
+  clean.push_back(Event(EventType::kControlStart));
+  clean.push_back(Event(EventType::kNetType, {{"sdp", "upnp"}}));
+  clean.push_back(Event(EventType::kServiceResponse));
+  clean.push_back(Event(EventType::kResOk));
+  clean.push_back(Event(EventType::kServiceTypeIs,
+                        {{"type", session.var("service_type", "*")}}));
+  for (const auto& event : session.collected) {
+    if (event.type == EventType::kServiceAttr ||
+        event.type == EventType::kUpnpUsn) {
+      clean.push_back(event);
+    }
+  }
+  clean.push_back(Event(EventType::kResTtl,
+                        {{"seconds", session.var("ttl", "1800")}}));
+  clean.push_back(Event(EventType::kResServUrl, {{"url", url}}));
+  clean.push_back(Event(EventType::kControlStop));
+  session.collected = std::move(clean);
+}
+
+// Answering a native UPnP control point on behalf of a foreign service:
+// impersonate a device — serve a generated description and send the SSDP
+// search response, paced when the search came from the shared medium.
+void UpnpUnit::compose_native_reply(Session& session) {
+  bool have_url = false;
+  for (const auto& event : session.collected) {
+    if (event.type == EventType::kResServUrl) have_url = true;
+  }
+  if (!have_url) return;  // nothing discovered: SSDP answers with silence
+
+  ServedDescription& served = serve_description(session);
+
+  upnp::SearchResponse response;
+  std::string st = session.var("st");
+  response.st = st.empty() || str::iequals(st, upnp::kSearchTargetAll)
+                    ? served.description.device_type
+                    : st;
+  response.usn = served.usn;
+  response.location = "http://" + host().address().to_string() + ":" +
+                      std::to_string(http_server_->port()) + served.path;
+  response.server = std::string(kBridgeServer);
+
+  auto addr = net::IpAddress::parse(session.var("src_addr"));
+  if (!addr.has_value()) return;
+  net::Endpoint to{*addr, static_cast<std::uint16_t>(str::parse_long(
+                              session.var("src_port", "0"), 0))};
+
+  // MX pacing: only searches that crossed the shared medium are delayed;
+  // loopback interception answers immediately (Fig 9b's 0.12 ms hinges on
+  // this).
+  bool from_network = session.var("src_local") != "1" &&
+                      session.var("net") == "multicast";
+  sim::SimDuration pacing = sim::SimDuration::zero();
+  if (from_network) {
+    auto elapsed = scheduler().now() - session.created_at;
+    if (elapsed < config_.search_response_pacing) {
+      pacing = config_.search_response_pacing - elapsed;
+    }
+  }
+  scheduler().schedule(pacing, [this, response, to]() {
+    reply_socket_->send_to(to, to_bytes(response.to_http().serialize()));
+  });
+}
+
+UpnpUnit::ServedDescription& UpnpUnit::serve_description(
+    const Session& session) {
+  ensure_http_server();
+
+  std::string type = session.var("service_type", "service");
+  std::string url;
+  std::string friendly_name;
+  for (const auto& event : session.collected) {
+    if (event.type == EventType::kResServUrl && url.empty()) {
+      url = event.get("url");
+    }
+    if (event.type == EventType::kServiceAttr &&
+        event.get("key") == "friendlyName") {
+      friendly_name = event.get("value");
+    }
+  }
+  std::string usn_key = type + "|" + url;
+  auto it = served_descriptions_.find(usn_key);
+  if (it != served_descriptions_.end()) return it->second;
+
+  ServedDescription served;
+  std::uint64_t index = next_device_index_++;
+  served.path = "/indiss/" + std::to_string(index) + "/description.xml";
+
+  upnp::DeviceDescription description;
+  description.device_type = upnp_device_from_canonical(type);
+  description.friendly_name =
+      friendly_name.empty() ? "INDISS bridged " + type : friendly_name;
+  description.manufacturer = "INDISS";
+  description.model_name = type;
+  description.model_description = "Foreign " + type + " service bridged by "
+                                  "INDISS";
+  description.udn = "uuid:indiss-" + std::to_string(index);
+  upnp::ServiceDescription service;
+  service.service_type = "urn:schemas-upnp-org:service:" + type + ":1";
+  service.service_id = "urn:upnp-org:serviceId:" + type;
+  service.control_url = url;  // absolute foreign endpoint, handed through
+  service.scpd_url = served.path;
+  service.event_sub_url = url;
+  description.services.push_back(std::move(service));
+
+  served.description = description;
+  served.usn = description.usn_for(description.device_type);
+
+  http_server_->route(served.path, [description](const http::HttpMessage&) {
+    auto response = http::HttpMessage::response(200, "OK");
+    response.headers.set("CONTENT-TYPE", "text/xml");
+    response.headers.set("SERVER", std::string(kBridgeServer));
+    response.body = description.to_xml();
+    return response;
+  });
+
+  auto [inserted, ok] = served_descriptions_.emplace(usn_key, std::move(served));
+  return inserted->second;
+}
+
+// A peer advertised a foreign service: impersonate it so native UPnP control
+// points can find it, and (in active mode) announce it immediately.
+void UpnpUnit::on_advertisement(Session& session) {
+  bool have_url = false;
+  for (const auto& event : session.collected) {
+    if (event.type == EventType::kResServUrl) have_url = true;
+  }
+  if (!have_url) return;
+  if (!meaningful_advert_type(session.var("service_type"))) return;
+  ServedDescription& served = serve_description(session);
+  if (config_.active_advertising) {
+    upnp::Notify notify;
+    notify.kind = upnp::Notify::Kind::kAlive;
+    notify.nt = served.description.device_type;
+    notify.usn = served.usn;
+    notify.location = "http://" + host().address().to_string() + ":" +
+                      std::to_string(http_server_->port()) + served.path;
+    notify.server = std::string(kBridgeServer);
+    notify.max_age_seconds = config_.notify_max_age;
+    reply_socket_->send_to(
+        net::Endpoint{upnp::kSsdpMulticastGroup, config_.ssdp_port},
+        to_bytes(notify.to_http().serialize()));
+  }
+}
+
+void UpnpUnit::announce_foreign_services() {
+  ensure_http_server();
+  for (const auto& [key, served] : served_descriptions_) {
+    upnp::Notify notify;
+    notify.kind = upnp::Notify::Kind::kAlive;
+    notify.nt = served.description.device_type;
+    notify.usn = served.usn;
+    notify.location = "http://" + host().address().to_string() + ":" +
+                      std::to_string(http_server_->port()) + served.path;
+    notify.server = std::string(kBridgeServer);
+    notify.max_age_seconds = config_.notify_max_age;
+    reply_socket_->send_to(
+        net::Endpoint{upnp::kSsdpMulticastGroup, config_.ssdp_port},
+        to_bytes(notify.to_http().serialize()));
+  }
+}
+
+void UpnpUnit::on_session_complete(Session& session) {
+  auto it = client_sockets_.find(session.id);
+  if (it != client_sockets_.end()) {
+    it->second->close();
+    client_sockets_.erase(it);
+  }
+}
+
+}  // namespace indiss::core

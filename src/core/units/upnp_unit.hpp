@@ -1,0 +1,110 @@
+// The UPnP unit (the second unit of the paper's prototype, and the richer
+// one): an SSDP/HTTPU parser that switches to an XML parser for description
+// documents (SDP_C_PARSER_SWITCH), a composer that can act as a UPnP control
+// point on behalf of foreign clients — including the recursive description
+// GET of the paper's §2.4 — and an SSDP responder + description server that
+// impersonates a UPnP device for foreign services.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/unit.hpp"
+#include "core/units/standard_fsm.hpp"
+#include "net/udp.hpp"
+#include "upnp/description.hpp"
+#include "upnp/http_server.hpp"
+#include "upnp/ssdp.hpp"
+
+namespace indiss::core {
+
+/// SSDP + HTTP parser. SSDP datagrams produce full event streams; HTTP
+/// description responses produce RES_OK followed by SDP_C_PARSER_SWITCH
+/// carrying the XML body for the description parser.
+class SsdpEventParser : public SdpParser {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "ssdp"; }
+  void parse(BytesView raw, const MessageContext& ctx,
+             EventSink& sink) override;
+};
+
+/// UPnP description-document parser (the parser-switch target): walks the
+/// XML with the SAX substrate and emits SERVICE_ATTR events for device
+/// properties plus SDP_RES_SERV_URL for the first service's control URL.
+/// Always a continuation parser: never emits SDP_C_START.
+class UpnpDescriptionParser : public SdpParser {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "upnp-xml"; }
+  void parse(BytesView raw, const MessageContext& ctx,
+             EventSink& sink) override;
+};
+
+struct UpnpUnitConfig {
+  UnitOptions unit;
+  std::uint16_t ssdp_port = 1900;
+  /// Port for the unit's description server (0 = ephemeral).
+  std::uint16_t http_port = 0;
+  /// SSDP responders pace replies to multicast searches from the shared
+  /// medium (MX-derived scheduling). Loopback searches from a co-located
+  /// client are answered immediately — this asymmetry is what produces the
+  /// paper's 40 ms (Fig 8) vs 0.12 ms (Fig 9b) split.
+  sim::SimDuration search_response_pacing = sim::millis(30);
+  /// Re-announce foreign services as NOTIFY alive when the context manager
+  /// switches the unit to active advertising (Fig 6).
+  bool active_advertising = false;
+  int notify_max_age = 1800;
+};
+
+class UpnpUnit : public Unit {
+ public:
+  using Config = UpnpUnitConfig;
+
+  UpnpUnit(net::Host& host, Config config = {});
+  ~UpnpUnit() override;
+
+  /// Foreign services currently impersonated as UPnP devices.
+  [[nodiscard]] std::size_t impersonated_devices() const {
+    return served_descriptions_.size();
+  }
+  /// Multicasts NOTIFY alive for every impersonated foreign service (used by
+  /// the context manager in active mode).
+  void announce_foreign_services();
+
+  void set_active_advertising(bool on) { config_.active_advertising = on; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ protected:
+  void compose_native_request(Session& session) override;
+  void compose_native_reply(Session& session) override;
+  void compose_follow_up(Session& session, const Event& event) override;
+  void on_advertisement(Session& session) override;
+  void on_session_complete(Session& session) override;
+
+ private:
+  struct ServedDescription {
+    std::string path;  // "/indiss/<n>/description.xml"
+    upnp::DeviceDescription description;
+    std::string usn;
+  };
+
+  /// Builds (or reuses) a served description for a translated reply stream /
+  /// advertisement and returns its LOCATION URL + USN.
+  ServedDescription& serve_description(const Session& session);
+  void ensure_http_server();
+  /// Rewrites session.collected into a clean, absolute reply stream before
+  /// it is sent back to the origin unit (the finalize step of §2.4).
+  static Action finalize_reply();
+  void do_finalize_reply(Session& session);
+
+  Config config_;
+  std::shared_ptr<net::UdpSocket> reply_socket_;
+  std::map<std::uint64_t, std::shared_ptr<net::UdpSocket>> client_sockets_;
+  std::unique_ptr<upnp::HttpServer> http_server_;
+  std::map<std::string, ServedDescription> served_descriptions_;  // by USN key
+  std::uint64_t next_device_index_ = 1;
+};
+
+}  // namespace indiss::core

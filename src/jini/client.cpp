@@ -1,0 +1,263 @@
+#include "jini/client.hpp"
+
+#include "common/logging.hpp"
+#include "net/network.hpp"
+#include "net/tcp.hpp"
+
+namespace indiss::jini {
+
+namespace {
+
+/// One-shot unicast registrar operation: connect, send, read full reply,
+/// close. The reply handler receives the raw reply bytes (empty on failure).
+void registrar_op(net::Host& host, const net::Endpoint& registrar,
+                  Bytes request, std::function<void(Bytes)> handler,
+                  sim::SimDuration timeout) {
+  auto socket = host.tcp_connect(registrar);
+  if (socket == nullptr) {
+    handler({});
+    return;
+  }
+  auto buffer = std::make_shared<Bytes>();
+  auto done = std::make_shared<bool>(false);
+  socket->set_data_handler([socket, buffer, handler, done](BytesView data) {
+    buffer->insert(buffer->end(), data.begin(), data.end());
+    // Replies are self-delimiting for our fixed ops; hand the full buffer to
+    // the caller on every chunk — the caller re-parses and ignores partial
+    // data until decode succeeds.
+    try {
+      Bytes copy = *buffer;
+      if (*done) return;
+      *done = true;
+      socket->close();
+      handler(std::move(copy));
+    } catch (...) {
+    }
+  });
+  host.network().scheduler().schedule(timeout, [socket, done, handler]() {
+    if (*done) return;
+    *done = true;
+    socket->close();
+    handler({});
+  });
+  socket->send(std::move(request));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RegistrarDiscovery
+// ---------------------------------------------------------------------------
+
+RegistrarDiscovery::RegistrarDiscovery(net::Host& host, JiniConfig config)
+    : host_(host), config_(config) {
+  response_socket_ = host_.udp_socket(0);
+  response_socket_->set_receive_handler(
+      [this](const net::Datagram& d) { on_unicast(d); });
+}
+
+RegistrarDiscovery::~RegistrarDiscovery() {
+  retry_task_.cancel();
+  if (response_socket_) response_socket_->close();
+  if (announce_socket_) announce_socket_->close();
+}
+
+void RegistrarDiscovery::enable_passive_listening() {
+  if (announce_socket_) return;
+  announce_socket_ = host_.udp_socket(kJiniPort);
+  announce_socket_->join_group(kAnnouncementGroup);
+  announce_socket_->set_receive_handler(
+      [this](const net::Datagram& d) { on_announcement(d); });
+}
+
+void RegistrarDiscovery::discover(RegistrarHandler handler) {
+  // Replay known registrars immediately.
+  for (const auto& [id, info] : known_) handler(info);
+  pending_.push_back(std::move(handler));
+  sends_remaining_ = 1 + config_.discovery_retries;
+  transmit();
+  // Close the discovery session after the window.
+  host_.network().scheduler().schedule(config_.discovery_window, [this]() {
+    pending_.clear();
+    retry_task_.cancel();
+  });
+}
+
+void RegistrarDiscovery::transmit() {
+  if (sends_remaining_ <= 0) return;
+  sends_remaining_ -= 1;
+  MulticastRequest request;
+  request.response_port = response_socket_->port();
+  request.groups = config_.groups;
+  for (const auto& [id, info] : known_) {
+    request.heard.push_back(info.endpoint.address.to_string());
+  }
+  response_socket_->send_to(net::Endpoint{kRequestGroup, kJiniPort},
+                            request.encode());
+  if (sends_remaining_ > 0) {
+    retry_task_ = host_.network().scheduler().schedule(
+        config_.retry_interval, [this]() { transmit(); });
+  }
+}
+
+void RegistrarDiscovery::on_unicast(const net::Datagram& datagram) {
+  auto announcement = MulticastAnnouncement::decode(datagram.payload);
+  if (announcement.has_value()) accept(*announcement);
+}
+
+void RegistrarDiscovery::on_announcement(const net::Datagram& datagram) {
+  auto announcement = MulticastAnnouncement::decode(datagram.payload);
+  if (announcement.has_value()) accept(*announcement);
+}
+
+void RegistrarDiscovery::accept(const MulticastAnnouncement& announcement) {
+  auto addr = net::IpAddress::parse(announcement.registrar_host);
+  if (!addr.has_value()) return;
+  bool is_new = !known_.contains(announcement.registrar_id);
+  RegistrarInfo info;
+  info.endpoint = net::Endpoint{*addr, announcement.registrar_port};
+  info.registrar_id = announcement.registrar_id;
+  info.groups = announcement.groups;
+  known_[announcement.registrar_id] = info;
+  if (is_new) {
+    for (const auto& handler : pending_) handler(info);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JiniClient
+// ---------------------------------------------------------------------------
+
+JiniClient::JiniClient(net::Host& host, JiniConfig config)
+    : host_(host), config_(config), discovery_(host, config) {}
+
+void JiniClient::lookup(const ServiceTemplate& tmpl, LookupHandler handler) {
+  auto done = std::make_shared<bool>(false);
+  auto shared_handler = std::make_shared<LookupHandler>(std::move(handler));
+
+  discovery_.discover([this, tmpl, done, shared_handler](
+                          const RegistrarInfo& registrar) {
+    if (*done) return;  // first registrar wins
+    *done = true;
+    lookup_at(registrar, tmpl, [shared_handler](
+                                   const std::vector<ServiceItem>& items) {
+      (*shared_handler)(items);
+    });
+  });
+  // No registrar at all: report empty after the discovery window.
+  host_.network().scheduler().schedule(
+      config_.discovery_window + sim::millis(1), [done, shared_handler]() {
+        if (*done) return;
+        *done = true;
+        (*shared_handler)({});
+      });
+}
+
+void JiniClient::lookup_at(const RegistrarInfo& registrar,
+                           const ServiceTemplate& tmpl,
+                           LookupHandler handler) {
+  ByteWriter w;
+  w.u8(kOpLookup);
+  tmpl.encode(w);
+  registrar_op(
+      host_, registrar.endpoint, w.take(),
+      [handler = std::move(handler)](Bytes reply) {
+        std::vector<ServiceItem> items;
+        try {
+          ByteReader r(reply);
+          if (!reply.empty() && r.u8() == kStatusOk) {
+            std::uint16_t count = r.u16();
+            for (std::uint16_t i = 0; i < count; ++i) {
+              items.push_back(ServiceItem::decode(r));
+            }
+          }
+        } catch (const DecodeError&) {
+          items.clear();
+        }
+        handler(items);
+      },
+      sim::seconds(2));
+}
+
+// ---------------------------------------------------------------------------
+// JiniServiceProvider
+// ---------------------------------------------------------------------------
+
+JiniServiceProvider::JiniServiceProvider(net::Host& host, ServiceItem item,
+                                         JiniConfig config)
+    : host_(host),
+      config_(config),
+      item_(std::move(item)),
+      discovery_(host, config) {}
+
+JiniServiceProvider::~JiniServiceProvider() { renew_task_.cancel(); }
+
+void JiniServiceProvider::join() {
+  discovery_.enable_passive_listening();
+  auto done = std::make_shared<bool>(false);
+  discovery_.discover([this, done](const RegistrarInfo& registrar) {
+    if (*done) return;
+    *done = true;
+    register_with(registrar);
+  });
+}
+
+void JiniServiceProvider::leave() {
+  renew_task_.cancel();
+  if (!lease_id_.has_value() || !registrar_.has_value()) return;
+  ByteWriter w;
+  w.u8(kOpCancel);
+  w.u64(*lease_id_);
+  registrar_op(host_, registrar_->endpoint, w.take(), [](Bytes) {},
+               sim::seconds(2));
+  lease_id_.reset();
+}
+
+void JiniServiceProvider::register_with(const RegistrarInfo& registrar) {
+  registrar_ = registrar;
+  ByteWriter w;
+  w.u8(kOpRegister);
+  item_.encode(w);
+  w.u32(config_.lease_seconds);
+  registrar_op(
+      host_, registrar.endpoint, w.take(),
+      [this](Bytes reply) {
+        try {
+          ByteReader r(reply);
+          if (reply.empty() || r.u8() != kStatusOk) return;
+          lease_id_ = r.u64();
+          granted_seconds_ = r.u32();
+          auto renew_after = sim::SimDuration(static_cast<std::int64_t>(
+              static_cast<double>(sim::seconds(granted_seconds_).count()) *
+              config_.renew_fraction));
+          renew_task_ = host_.network().scheduler().schedule_periodic(
+              renew_after, [this]() { renew(); });
+        } catch (const DecodeError&) {
+        }
+      },
+      sim::seconds(2));
+}
+
+void JiniServiceProvider::renew() {
+  if (!lease_id_.has_value() || !registrar_.has_value()) return;
+  ByteWriter w;
+  w.u8(kOpRenew);
+  w.u64(*lease_id_);
+  w.u32(config_.lease_seconds);
+  registrar_op(host_, registrar_->endpoint, w.take(),
+               [this](Bytes reply) {
+                 try {
+                   ByteReader r(reply);
+                   if (reply.empty() || r.u8() != kStatusOk) {
+                     // Lost the lease: rejoin from scratch.
+                     lease_id_.reset();
+                     renew_task_.cancel();
+                     join();
+                   }
+                 } catch (const DecodeError&) {
+                 }
+               },
+               sim::seconds(2));
+}
+
+}  // namespace indiss::jini

@@ -1,0 +1,126 @@
+// Jini client-side roles: registrar discovery (multicast request + passive
+// announcement listening), lookup, and the join protocol for services
+// (register + periodic lease renewal).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "jini/discovery.hpp"
+#include "jini/lookup.hpp"
+#include "net/host.hpp"
+#include "net/udp.hpp"
+#include "sim/scheduler.hpp"
+
+namespace indiss::jini {
+
+struct RegistrarInfo {
+  net::Endpoint endpoint;
+  std::uint64_t registrar_id = 0;
+  std::vector<std::string> groups;
+};
+
+struct JiniConfig {
+  std::vector<std::string> groups = {""};
+  sim::SimDuration discovery_window = sim::millis(200);
+  int discovery_retries = 2;
+  sim::SimDuration retry_interval = sim::millis(75);
+  sim::SimDuration handling = sim::millis(1);
+  std::uint32_t lease_seconds = 300;
+  /// Renew at this fraction of the granted lease.
+  double renew_fraction = 0.5;
+};
+
+/// Discovers registrars actively (multicast request) and passively
+/// (announcement group). Shared by JiniClient and JiniServiceProvider.
+class RegistrarDiscovery {
+ public:
+  using RegistrarHandler = std::function<void(const RegistrarInfo&)>;
+
+  RegistrarDiscovery(net::Host& host, JiniConfig config = {});
+  ~RegistrarDiscovery();
+
+  /// Multicasts discovery requests; fires `handler` once per distinct
+  /// registrar (including ones already known from announcements).
+  void discover(RegistrarHandler handler);
+
+  /// Joins the announcement group; newly announced registrars fire handlers
+  /// of in-flight discover() calls and are remembered.
+  void enable_passive_listening();
+
+  [[nodiscard]] const std::map<std::uint64_t, RegistrarInfo>& known() const {
+    return known_;
+  }
+
+ private:
+  void on_unicast(const net::Datagram& datagram);
+  void on_announcement(const net::Datagram& datagram);
+  void accept(const MulticastAnnouncement& announcement);
+  void transmit();
+
+  net::Host& host_;
+  JiniConfig config_;
+  std::shared_ptr<net::UdpSocket> response_socket_;  // unicast responses
+  std::shared_ptr<net::UdpSocket> announce_socket_;  // group member
+  std::map<std::uint64_t, RegistrarInfo> known_;
+  std::vector<RegistrarHandler> pending_;
+  int sends_remaining_ = 0;
+  sim::TaskHandle retry_task_;
+};
+
+class JiniClient {
+ public:
+  using LookupHandler = std::function<void(const std::vector<ServiceItem>&)>;
+
+  JiniClient(net::Host& host, JiniConfig config = {});
+
+  /// Discovers a registrar (if none known) and performs a unicast lookup.
+  /// Fires with an empty vector when no registrar answers within the
+  /// discovery window.
+  void lookup(const ServiceTemplate& tmpl, LookupHandler handler);
+
+  [[nodiscard]] RegistrarDiscovery& discovery() { return discovery_; }
+
+ private:
+  void lookup_at(const RegistrarInfo& registrar, const ServiceTemplate& tmpl,
+                 LookupHandler handler);
+
+  net::Host& host_;
+  JiniConfig config_;
+  RegistrarDiscovery discovery_;
+};
+
+class JiniServiceProvider {
+ public:
+  JiniServiceProvider(net::Host& host, ServiceItem item,
+                      JiniConfig config = {});
+  ~JiniServiceProvider();
+
+  /// Runs the join protocol: discover a registrar, register, renew leases.
+  void join();
+  void leave();
+
+  [[nodiscard]] bool joined() const { return lease_id_.has_value(); }
+  [[nodiscard]] const ServiceItem& item() const { return item_; }
+
+ private:
+  void register_with(const RegistrarInfo& registrar);
+  void renew();
+
+  net::Host& host_;
+  JiniConfig config_;
+  ServiceItem item_;
+  RegistrarDiscovery discovery_;
+  std::optional<RegistrarInfo> registrar_;
+  std::optional<std::uint64_t> lease_id_;
+  std::uint32_t granted_seconds_ = 0;
+  sim::TaskHandle renew_task_;
+};
+
+}  // namespace indiss::jini

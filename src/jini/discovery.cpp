@@ -1,0 +1,80 @@
+#include "jini/discovery.hpp"
+
+namespace indiss::jini {
+
+namespace {
+
+void encode_string_list(ByteWriter& w, const std::vector<std::string>& list) {
+  w.u16(static_cast<std::uint16_t>(list.size()));
+  for (const auto& s : list) w.str16(s);
+}
+
+std::vector<std::string> decode_string_list(ByteReader& r) {
+  std::uint16_t count = r.u16();
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) out.push_back(r.str16());
+  return out;
+}
+
+}  // namespace
+
+Bytes MulticastRequest::encode() const {
+  ByteWriter w;
+  w.u8(kPacketMulticastRequest);
+  w.u16(response_port);
+  encode_string_list(w, groups);
+  encode_string_list(w, heard);
+  return w.take();
+}
+
+std::optional<MulticastRequest> MulticastRequest::decode(BytesView bytes) {
+  try {
+    ByteReader r(bytes);
+    if (r.u8() != kPacketMulticastRequest) return std::nullopt;
+    MulticastRequest out;
+    out.response_port = r.u16();
+    out.groups = decode_string_list(r);
+    out.heard = decode_string_list(r);
+    return out;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes MulticastAnnouncement::encode() const {
+  ByteWriter w;
+  w.u8(kPacketMulticastAnnouncement);
+  w.str16(registrar_host);
+  w.u16(registrar_port);
+  w.u64(registrar_id);
+  encode_string_list(w, groups);
+  return w.take();
+}
+
+std::optional<MulticastAnnouncement> MulticastAnnouncement::decode(
+    BytesView bytes) {
+  try {
+    ByteReader r(bytes);
+    if (r.u8() != kPacketMulticastAnnouncement) return std::nullopt;
+    MulticastAnnouncement out;
+    out.registrar_host = r.str16();
+    out.registrar_port = r.u16();
+    out.registrar_id = r.u64();
+    out.groups = decode_string_list(r);
+    return out;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::uint8_t> packet_kind(BytesView bytes) {
+  if (bytes.empty()) return std::nullopt;
+  std::uint8_t kind = bytes[0];
+  if (kind != kPacketMulticastRequest && kind != kPacketMulticastAnnouncement) {
+    return std::nullopt;
+  }
+  return kind;
+}
+
+}  // namespace indiss::jini

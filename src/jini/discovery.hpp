@@ -1,0 +1,56 @@
+// Jini discovery protocols (simplified from the Jini Architecture
+// Specification's multicast request / multicast announcement / unicast
+// discovery protocols).
+//
+// Substitution note (see DESIGN.md §3): real Jini marshals Java objects; we
+// use a compact big-endian binary encoding with the same message roles and
+// the same IANA port (4160), which is all INDISS's detection and translation
+// mechanisms observe.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "net/address.hpp"
+
+namespace indiss::jini {
+
+/// IANA assignment used by Jini discovery — the monitor component's table
+/// entry for Jini.
+inline constexpr std::uint16_t kJiniPort = 4160;
+/// Announcement group (224.0.1.84) and request group (224.0.1.85).
+inline const net::IpAddress kAnnouncementGroup(224, 0, 1, 84);
+inline const net::IpAddress kRequestGroup(224, 0, 1, 85);
+
+inline constexpr std::uint8_t kPacketMulticastRequest = 1;
+inline constexpr std::uint8_t kPacketMulticastAnnouncement = 2;
+
+/// A client or service looking for lookup services ("registrars").
+struct MulticastRequest {
+  std::uint16_t response_port = 0;  // unicast announcements come back here
+  std::vector<std::string> groups;  // Jini group names ("" = public)
+  std::vector<std::string> heard;   // registrar hosts already heard from
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<MulticastRequest> decode(BytesView bytes);
+};
+
+/// A registrar advertising itself (periodically, or in response to a
+/// multicast request).
+struct MulticastAnnouncement {
+  std::string registrar_host;
+  std::uint16_t registrar_port = kJiniPort;
+  std::uint64_t registrar_id = 0;
+  std::vector<std::string> groups;
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<MulticastAnnouncement> decode(BytesView bytes);
+};
+
+/// First byte of a discovery datagram, or nullopt when empty/unknown.
+[[nodiscard]] std::optional<std::uint8_t> packet_kind(BytesView bytes);
+
+}  // namespace indiss::jini

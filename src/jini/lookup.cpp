@@ -1,0 +1,239 @@
+#include "jini/lookup.hpp"
+
+#include "net/network.hpp"
+
+namespace indiss::jini {
+
+std::string ServiceId::to_string() const {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%016llx-%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+void ServiceItem::encode(ByteWriter& w) const {
+  w.u64(id.hi);
+  w.u64(id.lo);
+  w.str16(service_type);
+  w.u16(static_cast<std::uint16_t>(attributes.size()));
+  for (const auto& [k, v] : attributes) {
+    w.str16(k);
+    w.str16(v);
+  }
+  w.u16(static_cast<std::uint16_t>(proxy.size()));
+  w.raw(proxy);
+}
+
+ServiceItem ServiceItem::decode(ByteReader& r) {
+  ServiceItem item;
+  item.id.hi = r.u64();
+  item.id.lo = r.u64();
+  item.service_type = r.str16();
+  std::uint16_t attrs = r.u16();
+  for (std::uint16_t i = 0; i < attrs; ++i) {
+    std::string k = r.str16();
+    std::string v = r.str16();
+    item.attributes.emplace_back(std::move(k), std::move(v));
+  }
+  std::uint16_t proxy_len = r.u16();
+  item.proxy = r.raw(proxy_len);
+  return item;
+}
+
+bool ServiceTemplate::matches(const ServiceItem& item) const {
+  if (id.has_value() && *id != item.id) return false;
+  if (!service_type.empty() && service_type != item.service_type) return false;
+  for (const auto& [k, v] : attributes) {
+    bool found = false;
+    for (const auto& [ik, iv] : item.attributes) {
+      if (ik == k && iv == v) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+void ServiceTemplate::encode(ByteWriter& w) const {
+  w.u8(id.has_value() ? 1 : 0);
+  if (id.has_value()) {
+    w.u64(id->hi);
+    w.u64(id->lo);
+  }
+  w.str16(service_type);
+  w.u16(static_cast<std::uint16_t>(attributes.size()));
+  for (const auto& [k, v] : attributes) {
+    w.str16(k);
+    w.str16(v);
+  }
+}
+
+ServiceTemplate ServiceTemplate::decode(ByteReader& r) {
+  ServiceTemplate tmpl;
+  if (r.u8() != 0) {
+    ServiceId id;
+    id.hi = r.u64();
+    id.lo = r.u64();
+    tmpl.id = id;
+  }
+  tmpl.service_type = r.str16();
+  std::uint16_t attrs = r.u16();
+  for (std::uint16_t i = 0; i < attrs; ++i) {
+    std::string k = r.str16();
+    std::string v = r.str16();
+    tmpl.attributes.emplace_back(std::move(k), std::move(v));
+  }
+  return tmpl;
+}
+
+// ---------------------------------------------------------------------------
+
+LookupService::LookupService(net::Host& host, LookupConfig config)
+    : host_(host),
+      config_(config),
+      registrar_id_(host.network().random().uniform_int(1, 1'000'000'000)) {
+  request_socket_ = host_.udp_socket(config_.port);
+  request_socket_->join_group(kRequestGroup);
+  request_socket_->set_receive_handler(
+      [this](const net::Datagram& d) { on_request_datagram(d); });
+
+  announce_socket_ = host_.udp_socket(0);
+
+  listener_ = host_.tcp_listen(config_.port);
+  listener_->set_accept_handler([this](std::shared_ptr<net::TcpSocket> s) {
+    on_accept(std::move(s));
+  });
+
+  announce(std::nullopt);  // boot announcement
+  announce_task_ = host_.network().scheduler().schedule_periodic(
+      config_.announcement_interval, [this]() { announce(std::nullopt); });
+  sweep_task_ = host_.network().scheduler().schedule_periodic(
+      config_.lease_sweep, [this]() { sweep_leases(); });
+}
+
+LookupService::~LookupService() {
+  announce_task_.cancel();
+  sweep_task_.cancel();
+  if (request_socket_) request_socket_->close();
+  if (announce_socket_) announce_socket_->close();
+  if (listener_) listener_->close();
+}
+
+net::Endpoint LookupService::endpoint() const {
+  return net::Endpoint{host_.address(), config_.port};
+}
+
+std::vector<ServiceItem> LookupService::lookup_local(
+    const ServiceTemplate& tmpl) const {
+  std::vector<ServiceItem> out;
+  for (const auto& [lease, stored] : items_) {
+    if (tmpl.matches(stored.item)) out.push_back(stored.item);
+  }
+  return out;
+}
+
+void LookupService::announce(std::optional<net::Endpoint> to) {
+  MulticastAnnouncement announcement;
+  announcement.registrar_host = host_.address().to_string();
+  announcement.registrar_port = config_.port;
+  announcement.registrar_id = registrar_id_;
+  announcement.groups = config_.groups;
+  auto target = to.value_or(net::Endpoint{kAnnouncementGroup, kJiniPort});
+  announce_socket_->send_to(target, announcement.encode());
+}
+
+void LookupService::on_request_datagram(const net::Datagram& datagram) {
+  auto request = MulticastRequest::decode(datagram.payload);
+  if (!request.has_value()) return;
+  // Suppress the response when this registrar was already heard.
+  for (const auto& heard : request->heard) {
+    if (heard == host_.address().to_string()) return;
+  }
+  host_.network().scheduler().schedule(config_.handling, [this, datagram,
+                                                          request]() {
+    announce(net::Endpoint{datagram.source.address, request->response_port});
+  });
+}
+
+void LookupService::on_accept(std::shared_ptr<net::TcpSocket> socket) {
+  // One request per connection; buffer until decode succeeds.
+  auto buffer = std::make_shared<Bytes>();
+  socket->set_data_handler([this, socket, buffer](BytesView data) {
+    buffer->insert(buffer->end(), data.begin(), data.end());
+    try {
+      ByteReader r(*buffer);
+      handle_op(r, socket);
+    } catch (const DecodeError&) {
+      // Incomplete request; wait for more segments.
+    }
+  });
+}
+
+void LookupService::handle_op(ByteReader& r,
+                              const std::shared_ptr<net::TcpSocket>& socket) {
+  std::uint8_t op = r.u8();
+  ByteWriter reply;
+  switch (op) {
+    case kOpRegister: {
+      ServiceItem item = ServiceItem::decode(r);
+      std::uint32_t requested = r.u32();
+      std::uint32_t granted = std::min(requested, config_.max_lease_seconds);
+      StoredItem stored;
+      stored.item = std::move(item);
+      stored.lease_id = next_lease_id_++;
+      stored.expires_at =
+          host_.network().scheduler().now() + sim::seconds(granted);
+      reply.u8(kStatusOk);
+      reply.u64(stored.lease_id);
+      reply.u32(granted);
+      items_[stored.lease_id] = std::move(stored);
+      break;
+    }
+    case kOpLookup: {
+      ServiceTemplate tmpl = ServiceTemplate::decode(r);
+      lookups_served_ += 1;
+      auto matches = lookup_local(tmpl);
+      reply.u8(kStatusOk);
+      reply.u16(static_cast<std::uint16_t>(matches.size()));
+      for (const auto& m : matches) m.encode(reply);
+      break;
+    }
+    case kOpRenew: {
+      std::uint64_t lease = r.u64();
+      std::uint32_t requested = r.u32();
+      auto it = items_.find(lease);
+      if (it == items_.end()) {
+        reply.u8(kStatusError);
+      } else {
+        std::uint32_t granted = std::min(requested, config_.max_lease_seconds);
+        it->second.expires_at =
+            host_.network().scheduler().now() + sim::seconds(granted);
+        reply.u8(kStatusOk);
+        reply.u32(granted);
+      }
+      break;
+    }
+    case kOpCancel: {
+      std::uint64_t lease = r.u64();
+      reply.u8(items_.erase(lease) > 0 ? kStatusOk : kStatusError);
+      break;
+    }
+    default:
+      reply.u8(kStatusError);
+  }
+  host_.network().scheduler().schedule(
+      config_.handling, [socket, bytes = reply.take()]() {
+        if (socket->open()) socket->send(bytes);
+      });
+}
+
+void LookupService::sweep_leases() {
+  auto now = host_.network().scheduler().now();
+  std::erase_if(items_,
+                [now](const auto& kv) { return kv.second.expires_at <= now; });
+}
+
+}  // namespace indiss::jini

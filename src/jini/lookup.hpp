@@ -1,0 +1,120 @@
+// Jini lookup service (the "reggie" registrar role): the repository that
+// makes Jini a mandatory-centralization SDP — clients and services must first
+// discover a registrar, then interact with it over unicast.
+//
+// Registrar TCP protocol (one request per connection, big-endian):
+//   op 1 REGISTER: ServiceItem + lease duration  -> status + lease id/grant
+//   op 2 LOOKUP:   ServiceTemplate               -> status + matching items
+//   op 3 RENEW:    lease id + duration           -> status + granted seconds
+//   op 4 CANCEL:   lease id                      -> status
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "jini/discovery.hpp"
+#include "net/host.hpp"
+#include "net/tcp.hpp"
+#include "net/udp.hpp"
+#include "sim/scheduler.hpp"
+
+namespace indiss::jini {
+
+struct ServiceId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  [[nodiscard]] std::string to_string() const;
+  auto operator<=>(const ServiceId&) const = default;
+};
+
+/// Simplified Jini attribute entries: flat key/value pairs.
+using EntryAttributes = std::vector<std::pair<std::string, std::string>>;
+
+struct ServiceItem {
+  ServiceId id;
+  std::string service_type;  // e.g. "clock"
+  EntryAttributes attributes;
+  Bytes proxy;  // opaque stand-in for the marshalled Java proxy
+
+  void encode(ByteWriter& w) const;
+  static ServiceItem decode(ByteReader& r);
+};
+
+struct ServiceTemplate {
+  std::optional<ServiceId> id;
+  std::string service_type;      // empty = any type
+  EntryAttributes attributes;    // all pairs must be present on a match
+
+  [[nodiscard]] bool matches(const ServiceItem& item) const;
+
+  void encode(ByteWriter& w) const;
+  static ServiceTemplate decode(ByteReader& r);
+};
+
+// Registrar opcodes and statuses.
+inline constexpr std::uint8_t kOpRegister = 1;
+inline constexpr std::uint8_t kOpLookup = 2;
+inline constexpr std::uint8_t kOpRenew = 3;
+inline constexpr std::uint8_t kOpCancel = 4;
+inline constexpr std::uint8_t kStatusOk = 0;
+inline constexpr std::uint8_t kStatusError = 1;
+
+struct LookupConfig {
+  std::uint16_t port = kJiniPort;
+  std::vector<std::string> groups = {""};  // "" is the public group
+  sim::SimDuration announcement_interval = sim::seconds(120);
+  sim::SimDuration handling = sim::millis(1);  // per-request processing
+  std::uint32_t max_lease_seconds = 300;
+  sim::SimDuration lease_sweep = sim::seconds(10);
+};
+
+class LookupService {
+ public:
+  LookupService(net::Host& host, LookupConfig config = {});
+  ~LookupService();
+
+  [[nodiscard]] std::uint64_t registrar_id() const { return registrar_id_; }
+  [[nodiscard]] std::size_t item_count() const { return items_.size(); }
+  [[nodiscard]] net::Endpoint endpoint() const;
+  [[nodiscard]] std::uint64_t lookups_served() const {
+    return lookups_served_;
+  }
+
+  /// Direct (in-process) lookup, used by INDISS's Jini unit when co-located.
+  [[nodiscard]] std::vector<ServiceItem> lookup_local(
+      const ServiceTemplate& tmpl) const;
+
+ private:
+  struct StoredItem {
+    ServiceItem item;
+    std::uint64_t lease_id = 0;
+    sim::SimTime expires_at{0};
+  };
+
+  void on_request_datagram(const net::Datagram& datagram);
+  void on_accept(std::shared_ptr<net::TcpSocket> socket);
+  void handle_op(ByteReader& r, const std::shared_ptr<net::TcpSocket>& socket);
+  void announce(std::optional<net::Endpoint> to);
+  void sweep_leases();
+
+  net::Host& host_;
+  LookupConfig config_;
+  std::uint64_t registrar_id_;
+  std::shared_ptr<net::UdpSocket> request_socket_;   // request group member
+  std::shared_ptr<net::UdpSocket> announce_socket_;  // sends announcements
+  std::shared_ptr<net::TcpListener> listener_;
+  std::map<std::uint64_t, StoredItem> items_;  // keyed by lease id
+  std::uint64_t next_lease_id_ = 1;
+  std::uint64_t lookups_served_ = 0;
+  sim::TaskHandle announce_task_;
+  sim::TaskHandle sweep_task_;
+};
+
+}  // namespace indiss::jini

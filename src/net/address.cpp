@@ -1,0 +1,30 @@
+#include "net/address.hpp"
+
+#include "common/strings.hpp"
+
+namespace indiss::net {
+
+std::optional<IpAddress> IpAddress::parse(std::string_view dotted) {
+  auto parts = str::split(dotted, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t bits = 0;
+  for (const auto& part : parts) {
+    long v = str::parse_long(part, -1);
+    if (v < 0 || v > 255) return std::nullopt;
+    bits = (bits << 8) | static_cast<std::uint32_t>(v);
+  }
+  return IpAddress(bits);
+}
+
+std::string IpAddress::to_string() const {
+  return std::to_string((bits_ >> 24) & 0xFF) + "." +
+         std::to_string((bits_ >> 16) & 0xFF) + "." +
+         std::to_string((bits_ >> 8) & 0xFF) + "." +
+         std::to_string(bits_ & 0xFF);
+}
+
+std::string Endpoint::to_string() const {
+  return address.to_string() + ":" + std::to_string(port);
+}
+
+}  // namespace indiss::net

@@ -1,0 +1,25 @@
+#include "net/host.hpp"
+
+#include "net/network.hpp"
+#include "net/tcp.hpp"
+#include "net/udp.hpp"
+
+namespace indiss::net {
+
+Host::Host(Network& network, std::string name, IpAddress address)
+    : network_(network), name_(std::move(name)), address_(address) {}
+
+std::shared_ptr<UdpSocket> Host::udp_socket(std::uint16_t port) {
+  return std::make_shared<UdpSocket>(*this, port);
+}
+
+std::shared_ptr<TcpListener> Host::tcp_listen(std::uint16_t port) {
+  return std::make_shared<TcpListener>(
+      *this, port == 0 ? next_ephemeral_port() : port);
+}
+
+std::shared_ptr<TcpSocket> Host::tcp_connect(const Endpoint& to) {
+  return network_.tcp_connect(*this, to);
+}
+
+}  // namespace indiss::net

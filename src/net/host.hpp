@@ -1,0 +1,50 @@
+// A host on the simulated LAN. Creates sockets and allocates ephemeral ports,
+// mirroring the slice of the BSD socket API the SDP stacks need.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/address.hpp"
+
+namespace indiss::net {
+
+class Network;
+class UdpSocket;
+class TcpListener;
+class TcpSocket;
+
+class Host {
+ public:
+  Host(Network& network, std::string name, IpAddress address);
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] IpAddress address() const { return address_; }
+  [[nodiscard]] Network& network() { return network_; }
+
+  /// Creates a UDP socket bound to `port` (0 = ephemeral).
+  std::shared_ptr<UdpSocket> udp_socket(std::uint16_t port = 0);
+
+  /// Starts a TCP listener on `port` (0 = ephemeral).
+  std::shared_ptr<TcpListener> tcp_listen(std::uint16_t port = 0);
+
+  /// Connects to a remote endpoint. Nullptr on refusal (no listener / host
+  /// down), matching ECONNREFUSED.
+  std::shared_ptr<TcpSocket> tcp_connect(const Endpoint& to);
+
+  [[nodiscard]] std::uint16_t next_ephemeral_port() {
+    return ephemeral_port_++;
+  }
+
+ private:
+  Network& network_;
+  std::string name_;
+  IpAddress address_;
+  std::uint16_t ephemeral_port_ = 40000;
+};
+
+}  // namespace indiss::net

@@ -1,0 +1,206 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/host.hpp"
+#include "net/tcp.hpp"
+#include "net/tcp_pipe.hpp"
+#include "net/udp.hpp"
+
+namespace indiss::net {
+
+Network::Network(sim::Scheduler& scheduler, LinkProfile profile,
+                 std::uint64_t seed)
+    : scheduler_(scheduler), profile_(profile), random_(seed) {}
+
+Network::~Network() = default;
+
+Host& Network::add_host(const std::string& name, IpAddress address) {
+  if (hosts_by_address_.contains(address)) {
+    throw std::invalid_argument("duplicate host address " +
+                                address.to_string());
+  }
+  hosts_.push_back(std::make_unique<Host>(*this, name, address));
+  Host* host = hosts_.back().get();
+  hosts_by_address_[address] = host;
+  return *host;
+}
+
+Host* Network::host_by_address(IpAddress address) {
+  auto it = hosts_by_address_.find(address);
+  return it == hosts_by_address_.end() ? nullptr : it->second;
+}
+
+void Network::set_host_down(Host& host, bool down) {
+  if (down) {
+    down_hosts_.insert(&host);
+  } else {
+    down_hosts_.erase(&host);
+  }
+}
+
+bool Network::host_down(const Host& host) const {
+  return down_hosts_.contains(&host);
+}
+
+void Network::udp_register(UdpSocket* socket) {
+  udp_bindings_[{&socket->host(), socket->port()}].push_back(socket);
+}
+
+void Network::udp_unregister(UdpSocket* socket) {
+  auto key = std::make_pair<const Host*, std::uint16_t>(&socket->host(),
+                                                        socket->port());
+  auto it = udp_bindings_.find(key);
+  if (it == udp_bindings_.end()) return;
+  std::erase(it->second, socket);
+  if (it->second.empty()) udp_bindings_.erase(it);
+}
+
+void Network::udp_join_group(UdpSocket* socket, IpAddress group) {
+  multicast_groups_[group][socket->id()] = socket;
+}
+
+void Network::udp_leave_group(UdpSocket* socket, IpAddress group) {
+  auto it = multicast_groups_.find(group);
+  if (it == multicast_groups_.end()) return;
+  it->second.erase(socket->id());
+  if (it->second.empty()) multicast_groups_.erase(it);
+}
+
+sim::SimDuration Network::udp_latency(const Host& a, const Host& b,
+                                      std::size_t bytes) const {
+  if (&a == &b) return profile_.loopback_latency;
+  auto serialization = sim::SimDuration(static_cast<std::int64_t>(
+      static_cast<double>(bytes) * 8.0 / profile_.bandwidth_bps * 1e9));
+  return profile_.propagation + serialization;
+}
+
+void Network::deliver_udp(UdpSocket* socket, Datagram datagram) {
+  socket->deliver(datagram);
+}
+
+void Network::udp_send(const UdpSocket& from, const Endpoint& to,
+                       Bytes payload) {
+  if (host_down(from.host())) {
+    stats_.dropped_packets += 1;
+    return;
+  }
+
+  Datagram datagram;
+  datagram.source = from.local_endpoint();
+  datagram.destination = to;
+  datagram.payload = std::move(payload);
+  datagram.multicast = to.address.is_multicast();
+
+  auto schedule_delivery = [&](UdpSocket* target) {
+    const bool loopback = &target->host() == &from.host();
+    if (!loopback) {
+      if (host_down(target->host())) {
+        stats_.dropped_packets += 1;
+        return;
+      }
+      if (profile_.udp_loss_rate > 0.0 &&
+          random_.chance(profile_.udp_loss_rate)) {
+        stats_.dropped_packets += 1;
+        return;
+      }
+    } else {
+      stats_.loopback_packets += 1;
+    }
+    auto latency =
+        udp_latency(from.host(), target->host(), datagram.payload.size());
+    scheduler_.schedule(
+        latency, [this, target, alive = target->liveness(), datagram]() {
+          if (!*alive) return;
+          deliver_udp(target, datagram);
+        });
+  };
+
+  if (datagram.multicast) {
+    // A multicast send is one frame on the shared medium regardless of who
+    // subscribed (2005-era hubs flood multicast; no IGMP snooping).
+    stats_.udp_multicast_packets += 1;
+    stats_.udp_multicast_bytes += datagram.payload.size();
+    auto it = multicast_groups_.find(to.address);
+    if (it != multicast_groups_.end()) {
+      for (auto& [id, member] : it->second) {
+        if (member == &from) continue;  // no self-delivery to sending socket
+        if (member->port() != to.port) continue;
+        schedule_delivery(member);
+      }
+    }
+    return;
+  }
+
+  Host* target_host = host_by_address(to.address);
+  if (target_host == nullptr) {
+    stats_.dropped_packets += 1;
+    return;
+  }
+  if (target_host != &from.host()) {
+    stats_.udp_unicast_packets += 1;
+    stats_.udp_unicast_bytes += datagram.payload.size();
+  }
+  auto it = udp_bindings_.find({target_host, to.port});
+  if (it == udp_bindings_.end()) return;  // UDP: silently dropped
+  for (UdpSocket* target : it->second) {
+    if (target == &from) continue;
+    schedule_delivery(target);
+  }
+}
+
+void Network::tcp_register_listener(TcpListener* listener) {
+  auto key = std::make_pair<const Host*, std::uint16_t>(&listener->host(),
+                                                        listener->port());
+  if (tcp_listeners_.contains(key)) {
+    throw std::invalid_argument("TCP port already listening: " +
+                                std::to_string(listener->port()));
+  }
+  tcp_listeners_[key] = listener;
+}
+
+void Network::tcp_unregister_listener(TcpListener* listener) {
+  tcp_listeners_.erase({&listener->host(), listener->port()});
+}
+
+std::shared_ptr<TcpSocket> Network::tcp_connect(Host& from,
+                                                const Endpoint& to) {
+  Host* target_host = host_by_address(to.address);
+  if (target_host == nullptr || host_down(*target_host) || host_down(from)) {
+    return nullptr;
+  }
+  auto it = tcp_listeners_.find({target_host, to.port});
+  if (it == tcp_listeners_.end()) return nullptr;  // connection refused
+  TcpListener* listener = it->second;
+
+  auto pipe = std::make_shared<TcpSocket::Pipe>();
+  pipe->network = this;
+  pipe->hosts[0] = &from;
+  pipe->hosts[1] = target_host;
+  pipe->endpoints[0] = Endpoint{from.address(), from.next_ephemeral_port()};
+  pipe->endpoints[1] = to;
+  pipe->open = true;
+
+  const bool loopback = &from == target_host;
+  auto handshake =
+      loopback ? profile_.loopback_latency : profile_.tcp_handshake;
+  pipe->established_at = scheduler_.now() + handshake;
+  if (!loopback) {
+    stats_.tcp_segments += 3;  // SYN / SYN-ACK / ACK
+    stats_.tcp_bytes += 3 * 40;
+  }
+
+  auto client = std::make_shared<TcpSocket>(pipe, 0);
+  auto server = std::make_shared<TcpSocket>(pipe, 1);
+  scheduler_.schedule(handshake, [listener_host = &listener->host(),
+                                  port = listener->port(), this, server]() {
+    // Re-resolve the listener at accept time; it may have closed meanwhile.
+    auto lit = tcp_listeners_.find({listener_host, port});
+    if (lit == tcp_listeners_.end()) return;
+    if (lit->second->accept_handler()) lit->second->accept_handler()(server);
+  });
+  return client;
+}
+
+}  // namespace indiss::net

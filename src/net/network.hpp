@@ -1,0 +1,125 @@
+// The simulated LAN: hosts, UDP datagram delivery with multicast groups, and
+// TCP pipes, all driven by the discrete-event scheduler.
+//
+// This module substitutes for the paper's physical 10 Mb/s Ethernet testbed.
+// The timing model is deliberately simple and fully parameterized
+// (LinkProfile): per-packet latency = propagation + size/bandwidth for
+// cross-host traffic, a cheap loopback path for same-host traffic, and fixed
+// per-connection/per-segment overheads for TCP, which in 2005-era stacks
+// (Nagle, delayed ACKs, JVM scheduling) dominated small HTTP exchanges. The
+// calibrated defaults that reproduce the paper's Figures 7-9 live in
+// bench/calibration.hpp, not here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+#include "net/packet.hpp"
+#include "net/stats.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace indiss::net {
+
+class Host;
+class UdpSocket;
+class TcpListener;
+class TcpSocket;
+
+/// Timing and reliability parameters of the simulated LAN.
+struct LinkProfile {
+  // Shared-medium parameters (cross-host traffic).
+  double bandwidth_bps = 10e6;                       // the paper's 10 Mb/s LAN
+  sim::SimDuration propagation = sim::micros(5);     // per packet
+  // TCP connection setup (SYN/SYN-ACK/ACK) and per-segment stack overhead.
+  sim::SimDuration tcp_handshake = sim::millis_f(6.0);
+  sim::SimDuration tcp_segment_overhead = sim::millis_f(2.2);
+  // Same-host (loopback) per-packet latency; bandwidth is not modelled on
+  // loopback.
+  sim::SimDuration loopback_latency = sim::micros(5);
+  // Probability that a cross-host UDP packet is dropped (TCP is modelled as
+  // reliable; retransmission cost is folded into tcp_segment_overhead).
+  double udp_loss_rate = 0.0;
+};
+
+/// The network fabric. Owns hosts; routes datagrams and TCP segments between
+/// sockets with LinkProfile timing; keeps global traffic statistics.
+class Network {
+ public:
+  Network(sim::Scheduler& scheduler, LinkProfile profile = {},
+          std::uint64_t seed = 1);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Creates a host with the given name and address. Addresses must be
+  /// unique; throws std::invalid_argument otherwise.
+  Host& add_host(const std::string& name, IpAddress address);
+
+  [[nodiscard]] Host* host_by_address(IpAddress address);
+  [[nodiscard]] sim::Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] const LinkProfile& profile() const { return profile_; }
+  [[nodiscard]] LinkProfile& profile() { return profile_; }
+  [[nodiscard]] const TrafficStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+  [[nodiscard]] sim::Random& random() { return random_; }
+
+  /// Failure injection: marks a host unreachable (packets to/from it are
+  /// dropped; existing TCP pipes deliver nothing further).
+  void set_host_down(Host& host, bool down);
+  [[nodiscard]] bool host_down(const Host& host) const;
+
+  // --- UDP plumbing (used by UdpSocket) ---------------------------------
+  void udp_register(UdpSocket* socket);
+  void udp_unregister(UdpSocket* socket);
+  void udp_join_group(UdpSocket* socket, IpAddress group);
+  void udp_leave_group(UdpSocket* socket, IpAddress group);
+  void udp_send(const UdpSocket& from, const Endpoint& to, Bytes payload);
+
+  // --- TCP plumbing (used by Host / TcpListener / TcpSocket) ------------
+  void tcp_register_listener(TcpListener* listener);
+  void tcp_unregister_listener(TcpListener* listener);
+  /// Opens a connection from `from` to `to`. Returns the client-side socket
+  /// or nullptr when nothing listens at `to` (connection refused) or the
+  /// destination host is down.
+  std::shared_ptr<TcpSocket> tcp_connect(Host& from, const Endpoint& to);
+
+  /// Delivery latency for a payload of `bytes` between two hosts.
+  [[nodiscard]] sim::SimDuration udp_latency(const Host& a, const Host& b,
+                                             std::size_t bytes) const;
+
+ private:
+  friend class TcpSocket;
+  void deliver_udp(UdpSocket* socket, Datagram datagram);
+
+  sim::Scheduler& scheduler_;
+  LinkProfile profile_;
+  sim::Random random_;
+  TrafficStats stats_;
+
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::map<IpAddress, Host*> hosts_by_address_;
+  std::set<const Host*> down_hosts_;
+
+  // (host, port) -> bound sockets (multiple sockets may share a port when
+  // they joined a multicast group, mirroring SO_REUSEADDR semantics).
+  std::map<std::pair<const Host*, std::uint16_t>, std::vector<UdpSocket*>>
+      udp_bindings_;
+  // Group members keyed by socket creation id so that same-instant deliveries
+  // happen in a deterministic order (pointer order would vary with ASLR).
+  std::map<IpAddress, std::map<std::uint64_t, UdpSocket*>> multicast_groups_;
+  std::map<std::pair<const Host*, std::uint16_t>, TcpListener*> tcp_listeners_;
+  std::uint64_t next_socket_id_ = 1;
+
+ public:
+  [[nodiscard]] std::uint64_t allocate_socket_id() { return next_socket_id_++; }
+};
+
+}  // namespace indiss::net

@@ -1,0 +1,16 @@
+// Datagram record handed to UDP receive handlers.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "net/address.hpp"
+
+namespace indiss::net {
+
+struct Datagram {
+  Endpoint source;
+  Endpoint destination;  // the group endpoint for multicast deliveries
+  Bytes payload;
+  bool multicast = false;
+};
+
+}  // namespace indiss::net

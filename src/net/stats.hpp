@@ -1,0 +1,31 @@
+// Traffic accounting for the simulated LAN.
+//
+// Two consumers: (1) the Fig 6 / bandwidth experiments, which compare bytes on
+// the wire across INDISS configurations, and (2) INDISS's ContextManager,
+// which samples the observed rate to decide when the passive/passive deadlock
+// escape (switch to active advertising) is affordable.
+#pragma once
+
+#include <cstdint>
+
+namespace indiss::net {
+
+struct TrafficStats {
+  std::uint64_t udp_unicast_packets = 0;
+  std::uint64_t udp_unicast_bytes = 0;
+  std::uint64_t udp_multicast_packets = 0;  // counted once per send
+  std::uint64_t udp_multicast_bytes = 0;
+  std::uint64_t tcp_segments = 0;
+  std::uint64_t tcp_bytes = 0;
+  std::uint64_t dropped_packets = 0;  // loss injection + partitions
+  std::uint64_t loopback_packets = 0; // same-host traffic, not on the wire
+
+  [[nodiscard]] std::uint64_t wire_bytes() const {
+    return udp_unicast_bytes + udp_multicast_bytes + tcp_bytes;
+  }
+  [[nodiscard]] std::uint64_t wire_packets() const {
+    return udp_unicast_packets + udp_multicast_packets + tcp_segments;
+  }
+};
+
+}  // namespace indiss::net

@@ -1,0 +1,101 @@
+#include "net/tcp.hpp"
+
+#include "net/host.hpp"
+#include "net/network.hpp"
+#include "net/tcp_pipe.hpp"
+
+namespace indiss::net {
+
+TcpListener::TcpListener(Host& host, std::uint16_t port)
+    : host_(host), port_(port) {
+  host_.network().tcp_register_listener(this);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+void TcpListener::close() {
+  if (closed_) return;
+  closed_ = true;
+  host_.network().tcp_unregister_listener(this);
+}
+
+TcpSocket::TcpSocket(std::shared_ptr<Pipe> pipe, int side)
+    : pipe_(std::move(pipe)), side_(side) {}
+
+Endpoint TcpSocket::local_endpoint() const { return pipe_->endpoints[side_]; }
+
+Endpoint TcpSocket::remote_endpoint() const {
+  return pipe_->endpoints[1 - side_];
+}
+
+bool TcpSocket::open() const { return pipe_->open; }
+
+void TcpSocket::set_data_handler(DataHandler handler) {
+  pipe_->data_handlers[side_] = std::move(handler);
+  pipe_->flush_inbox(side_);
+}
+
+void TcpSocket::set_close_handler(CloseHandler handler) {
+  pipe_->close_handlers[side_] = std::move(handler);
+}
+
+void TcpSocket::send(Bytes payload) {
+  auto pipe = pipe_;
+  if (!pipe->open || payload.empty()) return;
+  Network& net = *pipe->network;
+  if (net.host_down(*pipe->hosts[0]) || net.host_down(*pipe->hosts[1])) return;
+
+  const int to_side = 1 - side_;
+  const bool loopback = pipe->hosts[0] == pipe->hosts[1];
+  const LinkProfile& prof = net.profile();
+
+  sim::SimDuration latency;
+  if (loopback) {
+    latency = prof.loopback_latency;
+  } else {
+    auto serialization = sim::SimDuration(static_cast<std::int64_t>(
+        static_cast<double>(payload.size()) * 8.0 / prof.bandwidth_bps * 1e9));
+    latency = prof.propagation + serialization + prof.tcp_segment_overhead;
+    net.stats_.tcp_segments += 1;
+    net.stats_.tcp_bytes += payload.size();
+  }
+  if (loopback) net.stats_.loopback_packets += 1;
+
+  sim::Scheduler& sched = net.scheduler();
+  sim::SimTime deliver_at = sched.now() + latency;
+  if (deliver_at < pipe->established_at) deliver_at = pipe->established_at;
+  if (deliver_at < pipe->busy_until[to_side]) {
+    deliver_at = pipe->busy_until[to_side];
+  }
+  pipe->busy_until[to_side] = deliver_at;
+
+  sched.schedule(deliver_at - sched.now(),
+                 [pipe, to_side, data = std::move(payload)]() mutable {
+                   if (!pipe->open) return;
+                   if (!pipe->data_handlers[to_side]) {
+                     pipe->inbox[to_side].push_back(std::move(data));
+                     return;
+                   }
+                   pipe->flush_inbox(to_side);
+                   if (pipe->data_handlers[to_side]) {
+                     pipe->data_handlers[to_side](data);
+                   }
+                 });
+}
+
+void TcpSocket::close() {
+  auto pipe = pipe_;
+  if (!pipe->open) return;
+  pipe->open = false;
+  const int peer = 1 - side_;
+  // Notify the peer after one propagation delay (FIN).
+  sim::Scheduler& sched = pipe->network->scheduler();
+  sim::SimDuration latency = pipe->hosts[0] == pipe->hosts[1]
+                                 ? pipe->network->profile().loopback_latency
+                                 : pipe->network->profile().propagation;
+  sched.schedule(latency, [pipe, peer]() {
+    if (pipe->close_handlers[peer]) pipe->close_handlers[peer]();
+  });
+}
+
+}  // namespace indiss::net

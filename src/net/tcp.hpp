@@ -1,0 +1,81 @@
+// TCP on the simulated network: a reliable, ordered byte-pipe between two
+// TcpSocket endpoints, plus a TcpListener accept queue. UPnP's description
+// retrieval (HTTP GET of description.xml) runs over this.
+//
+// The model is intentionally coarse: connection setup costs
+// LinkProfile::tcp_handshake, each send is delivered as one ordered segment
+// after propagation + serialization + tcp_segment_overhead, and loss is not
+// modelled (TCP retransmits; the overhead parameter absorbs that). Ordering
+// is enforced per-direction with a busy-until watermark.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "net/address.hpp"
+#include "sim/time.hpp"
+
+namespace indiss::net {
+
+class Host;
+class Network;
+class TcpSocket;
+
+/// Listening socket; invokes the accept handler with the server-side socket
+/// once a client's handshake completes.
+class TcpListener {
+ public:
+  using AcceptHandler = std::function<void(std::shared_ptr<TcpSocket>)>;
+
+  TcpListener(Host& host, std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] Host& host() { return host_; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  void set_accept_handler(AcceptHandler handler) {
+    handler_ = std::move(handler);
+  }
+  [[nodiscard]] const AcceptHandler& accept_handler() const {
+    return handler_;
+  }
+
+  void close();
+
+ private:
+  Host& host_;
+  std::uint16_t port_;
+  AcceptHandler handler_;
+  bool closed_ = false;
+};
+
+/// One side of an established connection.
+class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
+ public:
+  using DataHandler = std::function<void(BytesView)>;
+  using CloseHandler = std::function<void()>;
+
+  /// Internal shared state of a connection; created by Network::tcp_connect.
+  struct Pipe;
+
+  TcpSocket(std::shared_ptr<Pipe> pipe, int side);
+
+  [[nodiscard]] Endpoint local_endpoint() const;
+  [[nodiscard]] Endpoint remote_endpoint() const;
+
+  void send(Bytes payload);
+  void set_data_handler(DataHandler handler);
+  void set_close_handler(CloseHandler handler);
+  void close();
+  [[nodiscard]] bool open() const;
+
+ private:
+  std::shared_ptr<Pipe> pipe_;
+  int side_;  // 0 = client (initiator), 1 = server
+};
+
+}  // namespace indiss::net

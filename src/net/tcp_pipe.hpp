@@ -1,0 +1,36 @@
+// Internal shared state of a TCP connection (see tcp.hpp for the model).
+// Included only by tcp.cpp and network.cpp; not part of the public surface.
+#pragma once
+
+#include <deque>
+
+#include "net/tcp.hpp"
+
+namespace indiss::net {
+
+// Side 0 is the initiator (client), side 1 the acceptor (server). Each
+// direction keeps a busy-until watermark so segments never reorder, and an
+// inbox that buffers data delivered before the receiving side installed a
+// handler (the accept callback and the first request can land at the same
+// instant).
+struct TcpSocket::Pipe {
+  Network* network = nullptr;
+  Host* hosts[2] = {nullptr, nullptr};
+  Endpoint endpoints[2];
+  DataHandler data_handlers[2];
+  CloseHandler close_handlers[2];
+  std::deque<Bytes> inbox[2];
+  sim::SimTime busy_until[2] = {sim::SimTime{0}, sim::SimTime{0}};
+  sim::SimTime established_at{0};
+  bool open = false;
+
+  void flush_inbox(int side) {
+    while (open && data_handlers[side] && !inbox[side].empty()) {
+      Bytes chunk = std::move(inbox[side].front());
+      inbox[side].pop_front();
+      data_handlers[side](chunk);
+    }
+  }
+};
+
+}  // namespace indiss::net

@@ -1,0 +1,68 @@
+// UDP socket on the simulated network: bind, join/leave multicast groups,
+// send, and a receive callback. INDISS's monitor component is built on
+// exactly this interface — "subscription and listening are solely IP
+// features" (paper §2.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "net/address.hpp"
+#include "net/packet.hpp"
+
+namespace indiss::net {
+
+class Host;
+class Network;
+
+class UdpSocket {
+ public:
+  using ReceiveHandler = std::function<void(const Datagram&)>;
+
+  UdpSocket(Host& host, std::uint16_t port);
+  ~UdpSocket();
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  [[nodiscard]] Host& host() { return host_; }
+  [[nodiscard]] const Host& host() const { return host_; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] Endpoint local_endpoint() const;
+  [[nodiscard]] const std::set<IpAddress>& groups() const { return groups_; }
+
+  void join_group(IpAddress group);
+  void leave_group(IpAddress group);
+
+  void send_to(const Endpoint& to, Bytes payload);
+
+  /// At most one handler; replacing is allowed (e.g. a unit re-wiring its
+  /// socket on SDP_C_SOCKET_SWITCH).
+  void set_receive_handler(ReceiveHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  void close();
+  [[nodiscard]] bool closed() const { return closed_; }
+
+  /// Called by the Network when a datagram reaches this socket.
+  void deliver(const Datagram& datagram);
+
+  /// Liveness flag shared with in-flight deliveries so a datagram scheduled
+  /// before close() is dropped instead of dereferencing a dead socket.
+  [[nodiscard]] std::shared_ptr<bool> liveness() const { return alive_; }
+
+ private:
+  Host& host_;
+  std::uint16_t port_;
+  std::uint64_t id_;
+  std::set<IpAddress> groups_;
+  ReceiveHandler handler_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  bool closed_ = false;
+};
+
+}  // namespace indiss::net

@@ -1,0 +1,67 @@
+#include "sim/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace indiss::sim {
+
+TaskHandle Scheduler::schedule(SimDuration delay, Task task) {
+  if (delay.count() < 0) delay = SimDuration::zero();
+  auto alive = std::make_shared<bool>(true);
+  queue_.emplace(Key{now_ + delay, seq_++}, Entry{std::move(task), alive});
+  return TaskHandle(std::move(alive));
+}
+
+TaskHandle Scheduler::schedule_periodic(SimDuration period, Task task) {
+  if (period.count() <= 0) {
+    throw std::invalid_argument("schedule_periodic: period must be positive");
+  }
+  auto alive = std::make_shared<bool>(true);
+  // Self-rescheduling wrapper; checks the shared liveness flag on each run so
+  // cancel() stops the chain.
+  auto loop = std::make_shared<std::function<void()>>();
+  *loop = [this, period, task = std::move(task), alive, loop]() {
+    if (!*alive) return;
+    task();
+    if (!*alive) return;
+    queue_.emplace(Key{now_ + period, seq_++}, Entry{*loop, alive});
+  };
+  queue_.emplace(Key{now_ + period, seq_++}, Entry{*loop, alive});
+  return TaskHandle(std::move(alive));
+}
+
+bool Scheduler::run_next() {
+  while (!queue_.empty()) {
+    auto it = queue_.begin();
+    SimTime at = it->first.first;
+    Entry entry = std::move(it->second);
+    queue_.erase(it);
+    if (entry.alive && !*entry.alive) continue;  // cancelled
+    now_ = at;
+    entry.task();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run_until(SimTime deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.begin()->first.first <= deadline) {
+    if (run_next()) ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+std::size_t Scheduler::run_all(std::size_t max_tasks) {
+  std::size_t executed = 0;
+  while (executed < max_tasks && run_next()) ++executed;
+  if (executed >= max_tasks) {
+    throw std::runtime_error(
+        "Scheduler::run_all exceeded task cap; a periodic task is likely "
+        "still registered");
+  }
+  return executed;
+}
+
+}  // namespace indiss::sim

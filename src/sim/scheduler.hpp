@@ -1,0 +1,75 @@
+// Discrete-event scheduler: the single source of time and concurrency for the
+// whole testbed. Hosts, sockets, protocol stacks and INDISS itself all run as
+// callbacks scheduled here, which keeps every experiment single-threaded and
+// bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "sim/time.hpp"
+
+namespace indiss::sim {
+
+/// Handle for a scheduled task; lets the owner cancel it (e.g. a periodic
+/// advertisement loop stopped when a device leaves the network).
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+  [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class Scheduler;
+  explicit TaskHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Scheduler {
+ public:
+  using Task = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `task` to run at now() + delay. Tasks with equal deadlines run
+  /// in scheduling order (FIFO), which models in-order delivery on a link.
+  TaskHandle schedule(SimDuration delay, Task task);
+
+  /// Schedules `task` every `period`, first run after `period`. The returned
+  /// handle cancels all future occurrences.
+  TaskHandle schedule_periodic(SimDuration period, Task task);
+
+  /// Runs tasks until the queue is empty or `deadline` (absolute sim time) is
+  /// reached. Returns the number of tasks executed.
+  std::size_t run_until(SimTime deadline);
+
+  /// Runs tasks until the queue drains completely (periodic tasks must be
+  /// cancelled first or this never returns; a safety cap guards against that).
+  std::size_t run_all(std::size_t max_tasks = 10'000'000);
+
+  /// Advances time by `d`, executing everything due in the window.
+  std::size_t run_for(SimDuration d) { return run_until(now_ + d); }
+
+  [[nodiscard]] std::size_t pending_tasks() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    Task task;
+    std::shared_ptr<bool> alive;
+  };
+  // Key: (deadline, seq). seq makes ordering FIFO among equal deadlines.
+  using Key = std::pair<SimTime, std::uint64_t>;
+
+  bool run_next();
+
+  SimTime now_{0};
+  std::uint64_t seq_ = 0;
+  std::map<Key, Entry> queue_;
+};
+
+}  // namespace indiss::sim

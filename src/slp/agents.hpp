@@ -1,0 +1,234 @@
+// SLP agents per RFC 2608 terminology:
+//   - UserAgent (UA): the client; multicasts SrvRqst (active discovery) or
+//     unicasts to a Directory Agent when one is known.
+//   - ServiceAgent (SA): advertises services; answers matching requests with
+//     unicast SrvRply; registers with a DA when one appears.
+//   - DirectoryAgent (DA): the optional repository; aggregates registrations
+//     and multicasts unsolicited DAAdverts.
+//
+// Timing: every agent runs a StackProfile of processing delays (request
+// preparation, reply parsing, request handling). These model the native
+// library costs that the paper's measurements include (OpenSLP's ~0.7 ms
+// round trip on a 10 Mb/s LAN) and are what the Fig 7/9 calibration adjusts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/network.hpp"
+#include "net/udp.hpp"
+#include "sim/random.hpp"
+#include "slp/service.hpp"
+#include "slp/wire.hpp"
+
+namespace indiss::slp {
+
+/// IANA assignments for SLP (RFC 2608 §13): the monitor component's
+/// correspondence table entry for SLP is exactly this pair.
+inline constexpr std::uint16_t kSlpPort = 427;
+inline const net::IpAddress kSlpMulticastGroup(239, 255, 255, 253);
+
+/// Processing-cost model of a native SLP implementation.
+struct StackProfile {
+  sim::SimDuration request_prep = sim::micros(300);  // UA builds a request
+  sim::SimDuration reply_parse = sim::micros(300);   // UA parses a reply
+  sim::SimDuration handling = sim::micros(20);       // SA/DA serves a request
+};
+
+struct SlpConfig {
+  std::uint16_t port = kSlpPort;
+  net::IpAddress multicast_group = kSlpMulticastGroup;
+  StackProfile profile;
+  /// Multicast convergence: how long a UA collects replies, and how often it
+  /// retransmits with an updated previous-responder list.
+  sim::SimDuration multicast_wait = sim::millis(200);
+  int retransmissions = 2;
+  sim::SimDuration retry_interval = sim::millis(75);
+  /// DA behaviour.
+  sim::SimDuration da_advert_interval = sim::seconds(30);
+  sim::SimDuration da_expiry_sweep = sim::seconds(5);
+};
+
+struct ServiceRegistration {
+  std::string url;  // "service:clock:soap://host:4005/control"
+  ServiceType type; // derived from url when default-constructed
+  std::string scope_list = "DEFAULT";
+  AttributeList attributes;
+  std::uint16_t lifetime_seconds = 65535;
+};
+
+/// Result of a UA search.
+struct SearchResult {
+  UrlEntry entry;
+  net::Endpoint responder;
+};
+
+// ---------------------------------------------------------------------------
+
+class ServiceAgent {
+ public:
+  ServiceAgent(net::Host& host, SlpConfig config = {});
+  ~ServiceAgent();
+
+  void register_service(ServiceRegistration registration);
+  /// Returns true when a registration with this URL existed.
+  bool deregister_service(const std::string& url);
+
+  [[nodiscard]] const std::vector<ServiceRegistration>& registrations() const {
+    return registrations_;
+  }
+
+  /// Statistics for tests and benches.
+  [[nodiscard]] std::uint64_t requests_seen() const { return requests_seen_; }
+  [[nodiscard]] std::uint64_t replies_sent() const { return replies_sent_; }
+
+  /// Known DA (set on DAAdvert receipt); exposed for tests.
+  [[nodiscard]] std::optional<net::Endpoint> directory_agent() const {
+    return directory_agent_;
+  }
+
+ private:
+  void on_datagram(const net::Datagram& datagram);
+  void handle_srv_rqst(const SrvRqst& request, const net::Endpoint& from,
+                       bool was_multicast);
+  void handle_attr_rqst(const AttrRqst& request, const net::Endpoint& from,
+                        bool was_multicast);
+  void handle_srv_type_rqst(const SrvTypeRqst& request,
+                            const net::Endpoint& from, bool was_multicast);
+  void handle_da_advert(const DAAdvert& advert);
+  void register_with_da(const ServiceRegistration& registration);
+  void send(const Message& message, const net::Endpoint& to);
+  [[nodiscard]] bool in_previous_responders(const std::string& pr_list) const;
+  [[nodiscard]] bool scopes_intersect(const std::string& scopes) const;
+
+  net::Host& host_;
+  SlpConfig config_;
+  std::shared_ptr<net::UdpSocket> socket_;
+  std::vector<ServiceRegistration> registrations_;
+  std::optional<net::Endpoint> directory_agent_;
+  std::uint32_t da_boot_timestamp_ = 0;
+  std::uint16_t next_xid_ = 1;
+  std::uint64_t requests_seen_ = 0;
+  std::uint64_t replies_sent_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+class UserAgent {
+ public:
+  /// Fired (after reply-parse delay) for the first matching URL of a search.
+  using FirstResultHandler = std::function<void(const SearchResult&)>;
+  /// Fired when the collection window closes with everything found.
+  using CompleteHandler = std::function<void(const std::vector<SearchResult>&)>;
+  using AttributesHandler =
+      std::function<void(ErrorCode, const AttributeList&)>;
+
+  UserAgent(net::Host& host, SlpConfig config = {});
+  ~UserAgent();
+
+  /// Active discovery. Multicasts (or unicasts to the known DA) a SrvRqst and
+  /// collects unicast replies, deduplicating by URL and retransmitting with a
+  /// previous-responder list. Either handler may be null.
+  void find_services(const std::string& service_type,
+                     const std::string& predicate, FirstResultHandler on_first,
+                     CompleteHandler on_complete);
+  void find_services(const std::string& service_type,
+                     const std::string& predicate, const std::string& scopes,
+                     FirstResultHandler on_first, CompleteHandler on_complete);
+
+  /// AttrRqst for a concrete URL (or service type).
+  void find_attributes(const std::string& url, AttributesHandler handler);
+
+  /// Points the UA at a repository: subsequent requests go unicast to it.
+  void set_directory_agent(const net::Endpoint& da);
+  [[nodiscard]] std::optional<net::Endpoint> directory_agent() const {
+    return directory_agent_;
+  }
+
+  /// Joins the SLP multicast group on the SLP port to hear DAAdverts and set
+  /// the repository automatically (passive DA discovery).
+  void enable_da_listening();
+
+  [[nodiscard]] std::uint64_t requests_sent() const { return requests_sent_; }
+
+ private:
+  struct PendingSearch {
+    std::uint16_t xid = 0;
+    SrvRqst request;
+    std::vector<SearchResult> results;
+    std::set<std::string> seen_urls;
+    std::set<std::string> responders;
+    FirstResultHandler on_first;
+    CompleteHandler on_complete;
+    int sends_remaining = 0;
+    bool first_delivered = false;
+    sim::TaskHandle retry_task;
+    sim::TaskHandle deadline_task;
+  };
+  struct PendingAttrRqst {
+    std::uint16_t xid = 0;
+    AttributesHandler handler;
+  };
+
+  void on_datagram(const net::Datagram& datagram);
+  void transmit_search(PendingSearch& search);
+  void finish_search(std::uint16_t xid);
+  void send(const Message& message, const net::Endpoint& to);
+
+  net::Host& host_;
+  SlpConfig config_;
+  std::shared_ptr<net::UdpSocket> socket_;      // ephemeral request socket
+  std::shared_ptr<net::UdpSocket> da_listener_;  // optional, port 427 + group
+  std::optional<net::Endpoint> directory_agent_;
+  std::map<std::uint16_t, PendingSearch> searches_;
+  std::map<std::uint16_t, PendingAttrRqst> attr_requests_;
+  std::uint16_t next_xid_ = 1;
+  std::uint64_t requests_sent_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+class DirectoryAgent {
+ public:
+  DirectoryAgent(net::Host& host, SlpConfig config = {});
+  ~DirectoryAgent();
+
+  [[nodiscard]] std::size_t registration_count() const {
+    return store_.size();
+  }
+  [[nodiscard]] net::Endpoint endpoint() const;
+  [[nodiscard]] std::uint64_t registrations_received() const {
+    return registrations_received_;
+  }
+
+ private:
+  struct StoredRegistration {
+    SrvReg registration;
+    AttributeList attributes;
+    sim::SimTime expires_at;
+  };
+
+  void on_datagram(const net::Datagram& datagram);
+  void advertise();
+  void sweep_expired();
+  void send(const Message& message, const net::Endpoint& to);
+
+  net::Host& host_;
+  SlpConfig config_;
+  std::shared_ptr<net::UdpSocket> socket_;
+  std::map<std::string, StoredRegistration> store_;  // key: type|url
+  std::uint32_t boot_timestamp_;
+  std::uint16_t next_xid_ = 1;
+  std::uint64_t registrations_received_ = 0;
+  sim::TaskHandle advert_task_;
+  sim::TaskHandle sweep_task_;
+};
+
+}  // namespace indiss::slp

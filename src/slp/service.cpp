@@ -1,0 +1,247 @@
+#include "slp/service.hpp"
+
+#include "common/strings.hpp"
+
+namespace indiss::slp {
+
+ServiceType::ServiceType(std::string_view text) {
+  full_ = str::to_lower(str::trim(text));
+  // "service:clock:soap" -> abstract "service:clock", concrete "soap".
+  // "service:clock" -> abstract only. Anything else is taken whole.
+  if (str::starts_with(full_, "service:")) {
+    auto rest = std::string_view(full_).substr(8);
+    auto colon = rest.find(':');
+    if (colon == std::string_view::npos) {
+      abstract_ = full_;
+    } else {
+      abstract_ = "service:" + std::string(rest.substr(0, colon));
+      concrete_ = std::string(rest.substr(colon + 1));
+    }
+  } else {
+    abstract_ = full_;
+  }
+}
+
+bool ServiceType::matches_request(const ServiceType& request) const {
+  if (request.full_.empty()) return true;  // wildcard request
+  if (request.full_ == full_) return true;
+  // Abstract request matches concrete registration of the same family.
+  return request.concrete_.empty() && request.abstract_ == abstract_;
+}
+
+std::optional<ServiceUrl> ServiceUrl::parse(std::string_view url) {
+  auto trimmed = str::trim(url);
+  if (trimmed.empty()) return std::nullopt;
+  ServiceUrl out;
+  out.full = std::string(trimmed);
+  if (str::istarts_with(trimmed, "service:")) {
+    // service:<abstract>[:<concrete>]://<access part>
+    auto scheme_end = trimmed.find("://");
+    if (scheme_end == std::string_view::npos) return std::nullopt;
+    std::string_view type_part = trimmed.substr(0, scheme_end);
+    out.type = ServiceType(type_part);
+    if (!out.type.concrete().empty()) {
+      // Concrete scheme carries the access URL: soap://host:port/path
+      out.access = out.type.concrete() + std::string(trimmed.substr(scheme_end));
+    } else {
+      out.access = std::string(trimmed.substr(scheme_end + 3));
+    }
+  } else {
+    // Plain URL such as http://host/. Type is the scheme.
+    auto scheme_end = trimmed.find("://");
+    if (scheme_end == std::string_view::npos) return std::nullopt;
+    out.type = ServiceType(trimmed.substr(0, scheme_end));
+    out.access = std::string(trimmed);
+  }
+  return out;
+}
+
+AttributeList AttributeList::parse(std::string_view text) {
+  AttributeList out;
+  // Parenthesised pairs and bare keywords, comma separated:
+  //   (a=1),(b=2 with spaces),keyword
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (std::isspace(static_cast<unsigned char>(text[i])) || text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] == '(') {
+      auto close = text.find(')', i);
+      if (close == std::string_view::npos) break;  // malformed tail: stop
+      std::string_view inner = text.substr(i + 1, close - i - 1);
+      auto eq = inner.find('=');
+      if (eq == std::string_view::npos) {
+        out.add_keyword(str::trim(inner));
+      } else {
+        out.set(str::trim(inner.substr(0, eq)), str::trim(inner.substr(eq + 1)));
+      }
+      i = close + 1;
+    } else {
+      auto comma = text.find(',', i);
+      std::string_view word = comma == std::string_view::npos
+                                  ? text.substr(i)
+                                  : text.substr(i, comma - i);
+      out.add_keyword(str::trim(word));
+      i = comma == std::string_view::npos ? text.size() : comma + 1;
+    }
+  }
+  return out;
+}
+
+void AttributeList::set(std::string_view key, std::string_view value) {
+  for (auto& [k, v] : pairs_) {
+    if (str::iequals(k, key)) {
+      v = std::string(value);
+      return;
+    }
+  }
+  pairs_.emplace_back(std::string(key), std::string(value));
+}
+
+void AttributeList::add_keyword(std::string_view keyword) {
+  if (keyword.empty()) return;
+  if (!has_keyword(keyword)) keywords_.emplace_back(keyword);
+}
+
+std::optional<std::string> AttributeList::get(std::string_view key) const {
+  for (const auto& [k, v] : pairs_) {
+    if (str::iequals(k, key)) return v;
+  }
+  return std::nullopt;
+}
+
+bool AttributeList::has_keyword(std::string_view keyword) const {
+  for (const auto& k : keywords_) {
+    if (str::iequals(k, keyword)) return true;
+  }
+  return false;
+}
+
+std::string AttributeList::serialize() const {
+  std::vector<std::string> parts;
+  parts.reserve(pairs_.size() + keywords_.size());
+  for (const auto& [k, v] : pairs_) parts.push_back("(" + k + "=" + v + ")");
+  for (const auto& k : keywords_) parts.push_back(k);
+  return str::join(parts, ",");
+}
+
+// ---------------------------------------------------------------------------
+// Predicate
+// ---------------------------------------------------------------------------
+
+struct Predicate::Node {
+  enum class Op { kAnd, kOr, kNot, kEquals, kPresent };
+  Op op = Op::kEquals;
+  std::string key;
+  std::string value;  // may end with '*' for a prefix wildcard
+  std::vector<std::shared_ptr<const Node>> children;
+};
+
+namespace {
+
+using Node = Predicate::Node;
+
+// Recursive descent over "(...)" filters.
+std::shared_ptr<const Node> parse_filter(std::string_view text,
+                                         std::size_t* pos);
+
+std::shared_ptr<const Node> parse_filter_list(std::string_view text,
+                                              std::size_t* pos,
+                                              Node::Op op) {
+  auto node = std::make_shared<Node>();
+  node->op = op;
+  while (*pos < text.size() && text[*pos] == '(') {
+    auto child = parse_filter(text, pos);
+    if (child == nullptr) return nullptr;
+    node->children.push_back(std::move(child));
+  }
+  if (node->children.empty()) return nullptr;
+  if (op == Node::Op::kNot && node->children.size() != 1) return nullptr;
+  return node;
+}
+
+std::shared_ptr<const Node> parse_filter(std::string_view text,
+                                         std::size_t* pos) {
+  if (*pos >= text.size() || text[*pos] != '(') return nullptr;
+  ++*pos;  // consume '('
+  if (*pos >= text.size()) return nullptr;
+
+  std::shared_ptr<const Node> node;
+  char c = text[*pos];
+  if (c == '&' || c == '|' || c == '!') {
+    ++*pos;
+    Node::Op op = c == '&'   ? Node::Op::kAnd
+                  : c == '|' ? Node::Op::kOr
+                             : Node::Op::kNot;
+    node = parse_filter_list(text, pos, op);
+    if (node == nullptr) return nullptr;
+  } else {
+    auto close = text.find(')', *pos);
+    if (close == std::string_view::npos) return nullptr;
+    std::string_view inner = text.substr(*pos, close - *pos);
+    auto eq = inner.find('=');
+    if (eq == std::string_view::npos) return nullptr;
+    auto leaf = std::make_shared<Node>();
+    leaf->key = std::string(indiss::str::trim(inner.substr(0, eq)));
+    leaf->value = std::string(indiss::str::trim(inner.substr(eq + 1)));
+    if (leaf->key.empty()) return nullptr;
+    leaf->op = leaf->value == "*" ? Node::Op::kPresent : Node::Op::kEquals;
+    *pos = close;
+    node = leaf;
+  }
+  if (*pos >= text.size() || text[*pos] != ')') return nullptr;
+  ++*pos;  // consume ')'
+  return node;
+}
+
+bool eval(const Node& node, const AttributeList& attrs) {
+  switch (node.op) {
+    case Node::Op::kAnd:
+      for (const auto& c : node.children) {
+        if (!eval(*c, attrs)) return false;
+      }
+      return true;
+    case Node::Op::kOr:
+      for (const auto& c : node.children) {
+        if (eval(*c, attrs)) return true;
+      }
+      return false;
+    case Node::Op::kNot:
+      return !eval(*node.children.front(), attrs);
+    case Node::Op::kPresent:
+      return attrs.get(node.key).has_value() || attrs.has_keyword(node.key);
+    case Node::Op::kEquals: {
+      auto v = attrs.get(node.key);
+      if (!v.has_value()) return false;
+      if (!node.value.empty() && node.value.back() == '*') {
+        auto prefix = std::string_view(node.value);
+        prefix.remove_suffix(1);
+        return indiss::str::istarts_with(*v, prefix);
+      }
+      return indiss::str::iequals(*v, node.value);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Predicate> Predicate::parse(std::string_view text) {
+  Predicate p;
+  auto trimmed = str::trim(text);
+  p.text_ = std::string(trimmed);
+  if (trimmed.empty()) return p;  // match everything
+  std::size_t pos = 0;
+  auto root = parse_filter(trimmed, &pos);
+  if (root == nullptr || pos != trimmed.size()) return std::nullopt;
+  p.root_ = std::move(root);
+  return p;
+}
+
+bool Predicate::matches(const AttributeList& attributes) const {
+  if (root_ == nullptr) return true;
+  return eval(*root_, attributes);
+}
+
+}  // namespace indiss::slp

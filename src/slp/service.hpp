@@ -1,0 +1,95 @@
+// SLP service model: service: URLs, service types, attribute lists and the
+// LDAPv3 predicate subset used in SrvRqst filtering (RFC 2608 §8.1 /
+// RFC 2254 subset).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace indiss::slp {
+
+/// A service type: abstract ("service:clock") possibly refined by a concrete
+/// protocol ("service:clock:soap"). Requests for the abstract type match
+/// concrete registrations.
+class ServiceType {
+ public:
+  ServiceType() = default;
+  explicit ServiceType(std::string_view text);
+
+  [[nodiscard]] const std::string& full() const { return full_; }
+  [[nodiscard]] const std::string& abstract_type() const { return abstract_; }
+  [[nodiscard]] const std::string& concrete() const { return concrete_; }
+
+  /// True when `request` (possibly abstract) matches this (possibly concrete)
+  /// registered type. Case-insensitive per RFC 2608.
+  [[nodiscard]] bool matches_request(const ServiceType& request) const;
+
+  bool operator==(const ServiceType&) const = default;
+
+ private:
+  std::string full_;      // normalized lower-case full type
+  std::string abstract_;  // "service:clock"
+  std::string concrete_;  // "soap" (may be empty)
+};
+
+/// "service:clock:soap://128.93.8.112:4005/service/timer/control"
+struct ServiceUrl {
+  ServiceType type;
+  std::string access;  // "soap://128.93.8.112:4005/service/timer/control"
+  std::string full;    // the original URL text
+
+  static std::optional<ServiceUrl> parse(std::string_view url);
+};
+
+/// Attribute list: "(a=1),(b=2),keyword". Order-preserving.
+class AttributeList {
+ public:
+  AttributeList() = default;
+
+  static AttributeList parse(std::string_view text);
+
+  void set(std::string_view key, std::string_view value);
+  void add_keyword(std::string_view keyword);
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+  [[nodiscard]] bool has_keyword(std::string_view keyword) const;
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& pairs()
+      const {
+    return pairs_;
+  }
+  [[nodiscard]] const std::vector<std::string>& keywords() const {
+    return keywords_;
+  }
+  [[nodiscard]] bool empty() const {
+    return pairs_.empty() && keywords_.empty();
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> pairs_;
+  std::vector<std::string> keywords_;
+};
+
+/// LDAPv3 filter subset: (key=value) with trailing-* wildcard, presence
+/// (key=*), and the boolean combinators & | !.
+class Predicate {
+ public:
+  /// Empty text parses to a match-everything predicate. Returns nullopt on a
+  /// syntax error.
+  static std::optional<Predicate> parse(std::string_view text);
+
+  [[nodiscard]] bool matches(const AttributeList& attributes) const;
+  [[nodiscard]] const std::string& text() const { return text_; }
+  [[nodiscard]] bool always_true() const { return root_ == nullptr; }
+
+  struct Node;  // implementation detail, public for the parser in service.cpp
+
+ private:
+  std::shared_ptr<const Node> root_;  // null = match everything
+  std::string text_;
+};
+
+}  // namespace indiss::slp

@@ -1,0 +1,254 @@
+#include "slp/wire.hpp"
+
+#include <stdexcept>
+
+namespace indiss::slp {
+
+namespace {
+
+constexpr std::uint8_t kVersion = 2;
+constexpr std::size_t kLengthOffset = 2;  // version(1) + function(1)
+
+void encode_header(ByteWriter& w, const Header& h, FunctionId function) {
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(function));
+  w.u24(0);  // length, patched afterwards
+  w.u16(h.flags);
+  w.u24(0);  // next extension offset (none)
+  w.u16(h.xid);
+  w.str16(h.language);
+}
+
+Header decode_header(ByteReader& r, FunctionId* function,
+                     std::uint32_t* length) {
+  std::uint8_t version = r.u8();
+  if (version != kVersion) {
+    throw DecodeError("unsupported SLP version " + std::to_string(version));
+  }
+  std::uint8_t fn = r.u8();
+  if (fn < 1 || fn > 10) {
+    throw DecodeError("unknown SLP function id " + std::to_string(fn));
+  }
+  *function = static_cast<FunctionId>(fn);
+  *length = r.u24();
+  Header h;
+  h.function = *function;
+  h.flags = r.u16();
+  (void)r.u24();  // next extension offset, ignored
+  h.xid = r.u16();
+  h.language = r.str16();
+  return h;
+}
+
+void encode_url_entry(ByteWriter& w, const UrlEntry& entry) {
+  w.u8(0);  // reserved
+  w.u16(entry.lifetime_seconds);
+  w.str16(entry.url);
+  w.u8(0);  // number of auth blocks
+}
+
+UrlEntry decode_url_entry(ByteReader& r) {
+  (void)r.u8();  // reserved
+  UrlEntry e;
+  e.lifetime_seconds = r.u16();
+  e.url = r.str16();
+  std::uint8_t auths = r.u8();
+  if (auths != 0) throw DecodeError("auth blocks not supported");
+  return e;
+}
+
+}  // namespace
+
+FunctionId function_of(const Message& message) {
+  return header_of(message).function;
+}
+
+const Header& header_of(const Message& message) {
+  return std::visit([](const auto& m) -> const Header& { return m.header; },
+                    message);
+}
+
+Header& header_of(Message& message) {
+  return std::visit([](auto& m) -> Header& { return m.header; }, message);
+}
+
+Bytes encode(const Message& message) {
+  ByteWriter w;
+  std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, SrvRqst>) {
+          encode_header(w, m.header, FunctionId::kSrvRqst);
+          w.str16(m.previous_responders);
+          w.str16(m.service_type);
+          w.str16(m.scope_list);
+          w.str16(m.predicate);
+          w.str16(m.spi);
+        } else if constexpr (std::is_same_v<T, SrvRply>) {
+          encode_header(w, m.header, FunctionId::kSrvRply);
+          w.u16(static_cast<std::uint16_t>(m.error));
+          w.u16(static_cast<std::uint16_t>(m.url_entries.size()));
+          for (const auto& e : m.url_entries) encode_url_entry(w, e);
+        } else if constexpr (std::is_same_v<T, SrvReg>) {
+          encode_header(w, m.header, FunctionId::kSrvReg);
+          encode_url_entry(w, m.url_entry);
+          w.str16(m.service_type);
+          w.str16(m.scope_list);
+          w.str16(m.attr_list);
+          w.u8(0);  // attr auth blocks
+        } else if constexpr (std::is_same_v<T, SrvDeReg>) {
+          encode_header(w, m.header, FunctionId::kSrvDeReg);
+          w.str16(m.scope_list);
+          encode_url_entry(w, m.url_entry);
+          w.str16(m.tag_list);
+        } else if constexpr (std::is_same_v<T, SrvAck>) {
+          encode_header(w, m.header, FunctionId::kSrvAck);
+          w.u16(static_cast<std::uint16_t>(m.error));
+        } else if constexpr (std::is_same_v<T, AttrRqst>) {
+          encode_header(w, m.header, FunctionId::kAttrRqst);
+          w.str16(m.previous_responders);
+          w.str16(m.url);
+          w.str16(m.scope_list);
+          w.str16(m.tag_list);
+          w.str16(m.spi);
+        } else if constexpr (std::is_same_v<T, AttrRply>) {
+          encode_header(w, m.header, FunctionId::kAttrRply);
+          w.u16(static_cast<std::uint16_t>(m.error));
+          w.str16(m.attr_list);
+          w.u8(0);  // auth blocks
+        } else if constexpr (std::is_same_v<T, DAAdvert>) {
+          encode_header(w, m.header, FunctionId::kDAAdvert);
+          w.u16(static_cast<std::uint16_t>(m.error));
+          w.u32(m.boot_timestamp);
+          w.str16(m.url);
+          w.str16(m.scope_list);
+          w.str16(m.attr_list);
+          w.str16(m.spi);
+          w.u8(0);  // auth blocks
+        } else if constexpr (std::is_same_v<T, SrvTypeRqst>) {
+          encode_header(w, m.header, FunctionId::kSrvTypeRqst);
+          w.str16(m.previous_responders);
+          w.str16(m.naming_authority);
+          w.str16(m.scope_list);
+        } else if constexpr (std::is_same_v<T, SrvTypeRply>) {
+          encode_header(w, m.header, FunctionId::kSrvTypeRply);
+          w.u16(static_cast<std::uint16_t>(m.error));
+          w.str16(m.type_list);
+        }
+      },
+      message);
+  w.patch_u24(kLengthOffset, static_cast<std::uint32_t>(w.size()));
+  return w.take();
+}
+
+std::optional<Message> decode(BytesView bytes, std::string* error) {
+  try {
+    ByteReader r(bytes);
+    FunctionId function;
+    std::uint32_t length = 0;
+    Header h = decode_header(r, &function, &length);
+    if (length != bytes.size()) {
+      throw DecodeError("length field " + std::to_string(length) +
+                        " does not match datagram size " +
+                        std::to_string(bytes.size()));
+    }
+    switch (function) {
+      case FunctionId::kSrvRqst: {
+        SrvRqst m;
+        m.header = h;
+        m.previous_responders = r.str16();
+        m.service_type = r.str16();
+        m.scope_list = r.str16();
+        m.predicate = r.str16();
+        m.spi = r.str16();
+        return Message(std::move(m));
+      }
+      case FunctionId::kSrvRply: {
+        SrvRply m;
+        m.header = h;
+        m.error = static_cast<ErrorCode>(r.u16());
+        std::uint16_t count = r.u16();
+        m.url_entries.reserve(count);
+        for (std::uint16_t i = 0; i < count; ++i) {
+          m.url_entries.push_back(decode_url_entry(r));
+        }
+        return Message(std::move(m));
+      }
+      case FunctionId::kSrvReg: {
+        SrvReg m;
+        m.header = h;
+        m.url_entry = decode_url_entry(r);
+        m.service_type = r.str16();
+        m.scope_list = r.str16();
+        m.attr_list = r.str16();
+        if (r.u8() != 0) throw DecodeError("attr auth blocks not supported");
+        return Message(std::move(m));
+      }
+      case FunctionId::kSrvDeReg: {
+        SrvDeReg m;
+        m.header = h;
+        m.scope_list = r.str16();
+        m.url_entry = decode_url_entry(r);
+        m.tag_list = r.str16();
+        return Message(std::move(m));
+      }
+      case FunctionId::kSrvAck: {
+        SrvAck m;
+        m.header = h;
+        m.error = static_cast<ErrorCode>(r.u16());
+        return Message(std::move(m));
+      }
+      case FunctionId::kAttrRqst: {
+        AttrRqst m;
+        m.header = h;
+        m.previous_responders = r.str16();
+        m.url = r.str16();
+        m.scope_list = r.str16();
+        m.tag_list = r.str16();
+        m.spi = r.str16();
+        return Message(std::move(m));
+      }
+      case FunctionId::kAttrRply: {
+        AttrRply m;
+        m.header = h;
+        m.error = static_cast<ErrorCode>(r.u16());
+        m.attr_list = r.str16();
+        if (r.u8() != 0) throw DecodeError("auth blocks not supported");
+        return Message(std::move(m));
+      }
+      case FunctionId::kDAAdvert: {
+        DAAdvert m;
+        m.header = h;
+        m.error = static_cast<ErrorCode>(r.u16());
+        m.boot_timestamp = r.u32();
+        m.url = r.str16();
+        m.scope_list = r.str16();
+        m.attr_list = r.str16();
+        m.spi = r.str16();
+        if (r.u8() != 0) throw DecodeError("auth blocks not supported");
+        return Message(std::move(m));
+      }
+      case FunctionId::kSrvTypeRqst: {
+        SrvTypeRqst m;
+        m.header = h;
+        m.previous_responders = r.str16();
+        m.naming_authority = r.str16();
+        m.scope_list = r.str16();
+        return Message(std::move(m));
+      }
+      case FunctionId::kSrvTypeRply: {
+        SrvTypeRply m;
+        m.header = h;
+        m.error = static_cast<ErrorCode>(r.u16());
+        m.type_list = r.str16();
+        return Message(std::move(m));
+      }
+    }
+    throw DecodeError("unreachable function id");
+  } catch (const DecodeError& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  }
+}
+
+}  // namespace indiss::slp

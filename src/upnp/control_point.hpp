@@ -1,0 +1,96 @@
+// UPnP control point (the client role): active M-SEARCH discovery with
+// response collection and description fetching, plus passive NOTIFY
+// listening.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/udp.hpp"
+#include "sim/scheduler.hpp"
+#include "upnp/description.hpp"
+#include "upnp/ssdp.hpp"
+
+namespace indiss::upnp {
+
+struct ControlPointConfig {
+  /// MX advertised in M-SEARCH requests (seconds).
+  int mx = 1;
+  /// How long a search session collects responses before completing.
+  sim::SimDuration search_window = sim::millis(200);
+  /// Whether discovered devices' description documents are fetched
+  /// automatically before on_device fires.
+  bool fetch_descriptions = true;
+  /// Client-side stack processing per inbound message.
+  sim::SimDuration stack_handling = sim::micros(50);
+};
+
+struct DiscoveredDevice {
+  SearchResponse response;
+  net::Endpoint source;
+  std::optional<DeviceDescription> description;  // set when fetched
+};
+
+class ControlPoint {
+ public:
+  /// Fired when a search response arrives (before any description fetch) —
+  /// this is the "client got its answer" instant that Fig 7 measures.
+  using ResponseHandler = std::function<void(const SearchResponse&)>;
+  /// Fired per device once the description document has been retrieved (or
+  /// immediately when fetch_descriptions is off).
+  using DeviceHandler = std::function<void(const DiscoveredDevice&)>;
+  using CompleteHandler =
+      std::function<void(const std::vector<DiscoveredDevice>&)>;
+  using ByeByeHandler = std::function<void(const Notify&)>;
+
+  ControlPoint(net::Host& host, ControlPointConfig config = {});
+  ~ControlPoint();
+
+  /// Active discovery: multicasts an M-SEARCH for `st` and collects unicast
+  /// responses until the search window closes. Any handler may be null.
+  void search(const std::string& st, ResponseHandler on_response,
+              DeviceHandler on_device, CompleteHandler on_complete);
+
+  /// Passive discovery: joins the SSDP group and reports alive notifications
+  /// (with description fetched per fetch_descriptions) and byebyes.
+  void enable_passive_listening(DeviceHandler on_alive, ByeByeHandler on_bye);
+
+  [[nodiscard]] std::uint64_t searches_sent() const { return searches_sent_; }
+
+ private:
+  struct SearchSession {
+    std::uint64_t id = 0;
+    std::string st;
+    std::set<std::string> seen_usns;
+    std::vector<DiscoveredDevice> devices;
+    std::size_t fetches_in_flight = 0;
+    bool window_closed = false;
+    ResponseHandler on_response;
+    DeviceHandler on_device;
+    CompleteHandler on_complete;
+  };
+
+  void on_search_datagram(const net::Datagram& datagram);
+  void on_group_datagram(const net::Datagram& datagram);
+  void fetch_description(std::uint64_t session_id, DiscoveredDevice device);
+  void maybe_complete(std::uint64_t session_id);
+
+  net::Host& host_;
+  ControlPointConfig config_;
+  std::shared_ptr<net::UdpSocket> search_socket_;  // ephemeral, for responses
+  std::shared_ptr<net::UdpSocket> group_socket_;   // 1900 + group, passive
+  std::map<std::uint64_t, SearchSession> sessions_;
+  std::uint64_t next_session_id_ = 1;
+  std::uint64_t searches_sent_ = 0;
+  DeviceHandler on_alive_;
+  ByeByeHandler on_byebye_;
+};
+
+}  // namespace indiss::upnp

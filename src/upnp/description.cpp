@@ -1,0 +1,116 @@
+#include "upnp/description.hpp"
+
+#include "common/strings.hpp"
+#include "xml/dom.hpp"
+
+namespace indiss::upnp {
+
+std::string DeviceDescription::to_xml(const std::string& url_base) const {
+  xml::Element root("root");
+  root.set_attribute("xmlns", "urn:schemas-upnp-org:device-1-0");
+
+  auto& spec = root.add_child("specVersion");
+  spec.add_child("major").set_text(std::to_string(spec_major));
+  spec.add_child("minor").set_text(std::to_string(spec_minor));
+  if (!url_base.empty()) root.add_child("URLBase").set_text(url_base);
+
+  auto& device = root.add_child("device");
+  device.add_child("deviceType").set_text(device_type);
+  device.add_child("friendlyName").set_text(friendly_name);
+  device.add_child("manufacturer").set_text(manufacturer);
+  if (!manufacturer_url.empty()) {
+    device.add_child("manufacturerURL").set_text(manufacturer_url);
+  }
+  if (!model_description.empty()) {
+    device.add_child("modelDescription").set_text(model_description);
+  }
+  device.add_child("modelName").set_text(model_name);
+  if (!model_number.empty()) {
+    device.add_child("modelNumber").set_text(model_number);
+  }
+  if (!model_url.empty()) device.add_child("modelURL").set_text(model_url);
+  device.add_child("UDN").set_text(udn);
+  if (!presentation_url.empty()) {
+    device.add_child("presentationURL").set_text(presentation_url);
+  }
+
+  if (!services.empty()) {
+    auto& list = device.add_child("serviceList");
+    for (const auto& s : services) {
+      auto& service = list.add_child("service");
+      service.add_child("serviceType").set_text(s.service_type);
+      service.add_child("serviceId").set_text(s.service_id);
+      service.add_child("SCPDURL").set_text(s.scpd_url);
+      service.add_child("controlURL").set_text(s.control_url);
+      service.add_child("eventSubURL").set_text(s.event_sub_url);
+    }
+  }
+  return root.serialize();
+}
+
+std::optional<DeviceDescription> DeviceDescription::from_xml(
+    const std::string& document) {
+  auto dom = xml::parse_document(document);
+  if (dom.root == nullptr || dom.root->name() != "root") return std::nullopt;
+  const xml::Element* device = dom.root->child("device");
+  if (device == nullptr) return std::nullopt;
+
+  DeviceDescription out;
+  out.spec_major = static_cast<int>(
+      str::parse_long(dom.root->text_at("specVersion/major", "1"), 1));
+  out.spec_minor = static_cast<int>(
+      str::parse_long(dom.root->text_at("specVersion/minor", "0"), 0));
+  out.device_type = device->text_at("deviceType");
+  out.friendly_name = device->text_at("friendlyName");
+  out.manufacturer = device->text_at("manufacturer");
+  out.manufacturer_url = device->text_at("manufacturerURL");
+  out.model_description = device->text_at("modelDescription");
+  out.model_name = device->text_at("modelName");
+  out.model_number = device->text_at("modelNumber");
+  out.model_url = device->text_at("modelURL");
+  out.udn = device->text_at("UDN");
+  out.presentation_url = device->text_at("presentationURL");
+  if (out.device_type.empty() || out.udn.empty()) return std::nullopt;
+
+  if (const xml::Element* list = device->child("serviceList")) {
+    for (const xml::Element* s : list->children_named("service")) {
+      ServiceDescription service;
+      service.service_type = s->text_at("serviceType");
+      service.service_id = s->text_at("serviceId");
+      service.scpd_url = s->text_at("SCPDURL");
+      service.control_url = s->text_at("controlURL");
+      service.event_sub_url = s->text_at("eventSubURL");
+      out.services.push_back(std::move(service));
+    }
+  }
+  return out;
+}
+
+std::string DeviceDescription::usn_for(const std::string& nt) const {
+  if (nt == udn) return udn;
+  return udn + "::" + nt;
+}
+
+DeviceDescription make_clock_device(const std::string& udn) {
+  DeviceDescription d;
+  d.device_type = "urn:schemas-upnp-org:device:clock:1";
+  d.friendly_name = "CyberGarage Clock Device";
+  d.manufacturer = "CyberGarage";
+  d.manufacturer_url = "http://www.cybergarage.org";
+  d.model_description = "CyberUPnP Clock Device";
+  d.model_name = "Clock";
+  d.model_number = "1.0";
+  d.model_url = "http://www.cybergarage.org";
+  d.udn = udn;
+
+  ServiceDescription timer;
+  timer.service_type = "urn:schemas-upnp-org:service:timer:1";
+  timer.service_id = "urn:upnp-org:serviceId:timer";
+  timer.scpd_url = "/service/timer/scpd.xml";
+  timer.control_url = "/service/timer/control";
+  timer.event_sub_url = "/service/timer/event";
+  d.services.push_back(std::move(timer));
+  return d;
+}
+
+}  // namespace indiss::upnp

@@ -1,0 +1,80 @@
+#include "upnp/http_client.hpp"
+
+#include "http/parser.hpp"
+#include "net/tcp.hpp"
+
+namespace indiss::upnp {
+
+namespace {
+
+/// Per-request state kept alive by the socket callbacks.
+struct GetContext : std::enable_shared_from_this<GetContext> {
+  explicit GetContext(HttpResponseHandler h) : handler(std::move(h)) {}
+
+  HttpResponseHandler handler;
+  http::MessageCollector collector;
+  std::unique_ptr<http::HttpParser> parser;
+  std::shared_ptr<net::TcpSocket> socket;
+  bool done = false;
+
+  void finish(std::optional<http::HttpMessage> result) {
+    if (done) return;
+    done = true;
+    if (socket) socket->close();
+    if (handler) handler(std::move(result));
+  }
+};
+
+}  // namespace
+
+void http_request(net::Host& host, const Uri& uri, http::HttpMessage request,
+                  HttpResponseHandler handler) {
+  auto context = std::make_shared<GetContext>(std::move(handler));
+  context->parser = std::make_unique<http::HttpParser>(context->collector);
+
+  auto addr = net::IpAddress::parse(uri.host);
+  if (!addr.has_value()) {
+    context->finish(std::nullopt);
+    return;
+  }
+  auto socket = host.tcp_connect(net::Endpoint{*addr, uri.port});
+  if (socket == nullptr) {
+    context->finish(std::nullopt);  // connection refused
+    return;
+  }
+  context->socket = socket;
+
+  socket->set_data_handler([context](BytesView data) {
+    context->parser->feed(data);
+    if (context->parser->failed()) {
+      context->finish(std::nullopt);
+      return;
+    }
+    if (!context->collector.messages().empty()) {
+      context->finish(std::move(context->collector.messages().front()));
+    }
+  });
+  socket->set_close_handler([context]() {
+    // Server closed: complete read-until-close responses.
+    context->parser->finish();
+    if (!context->collector.messages().empty()) {
+      context->finish(std::move(context->collector.messages().front()));
+    } else {
+      context->finish(std::nullopt);
+    }
+  });
+
+  if (!request.headers.contains("HOST")) {
+    request.headers.set("HOST",
+                        uri.host + ":" + std::to_string(uri.port));
+  }
+  socket->send(request.serialize_bytes());
+}
+
+void http_get(net::Host& host, const Uri& uri, HttpResponseHandler handler) {
+  auto request = http::HttpMessage::request(
+      "GET", uri.path.empty() ? "/" : uri.path);
+  http_request(host, uri, std::move(request), std::move(handler));
+}
+
+}  // namespace indiss::upnp

@@ -1,0 +1,33 @@
+// Asynchronous HTTP GET over the simulated TCP layer.
+//
+// Used by the UPnP control point to fetch device descriptions, and reused by
+// INDISS's UPnP unit when it chases LOCATION URLs on behalf of a foreign
+// client — an instance of the component reuse across units the paper calls
+// out (HTTP parsers developed for one SDP reused by another).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/uri.hpp"
+#include "http/message.hpp"
+#include "net/host.hpp"
+
+namespace indiss::upnp {
+
+/// Fires exactly once: with the response, or nullopt on connection refusal /
+/// connection loss / malformed response.
+using HttpResponseHandler =
+    std::function<void(std::optional<http::HttpMessage>)>;
+
+/// Issues `GET <uri.path>` to uri.host:uri.port from `host`. The connection
+/// is closed after the response.
+void http_get(net::Host& host, const Uri& uri, HttpResponseHandler handler);
+
+/// Issues an arbitrary request (e.g. POST to a control URL).
+void http_request(net::Host& host, const Uri& uri, http::HttpMessage request,
+                  HttpResponseHandler handler);
+
+}  // namespace indiss::upnp

@@ -1,0 +1,53 @@
+// Minimal HTTP server over the simulated TCP layer: a route table mapping
+// request paths to handlers, with a configurable per-request handling delay
+// that models the 2005-era device stack cost of serving description
+// documents (part of the Fig 8/9 calibration).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "http/message.hpp"
+#include "net/host.hpp"
+#include "net/tcp.hpp"
+#include "sim/time.hpp"
+
+namespace indiss::upnp {
+
+class HttpServer {
+ public:
+  using RouteHandler =
+      std::function<http::HttpMessage(const http::HttpMessage&)>;
+
+  /// Starts listening on `port` (0 = ephemeral).
+  HttpServer(net::Host& host, std::uint16_t port,
+             sim::SimDuration handling_delay = sim::SimDuration::zero());
+  ~HttpServer();
+
+  /// Registers a handler for an exact path. GET/POST both route here.
+  void route(const std::string& path, RouteHandler handler);
+
+  [[nodiscard]] std::uint16_t port() const;
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_served_;
+  }
+  void set_handling_delay(sim::SimDuration delay) { handling_delay_ = delay; }
+
+ private:
+  struct Connection;
+  void on_accept(std::shared_ptr<net::TcpSocket> socket);
+  void respond(const std::shared_ptr<Connection>& connection,
+               const http::HttpMessage& request);
+
+  net::Host& host_;
+  std::shared_ptr<net::TcpListener> listener_;
+  std::map<std::string, RouteHandler> routes_;
+  sim::SimDuration handling_delay_;
+  std::uint64_t requests_served_ = 0;
+};
+
+}  // namespace indiss::upnp

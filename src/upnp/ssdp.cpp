@@ -1,0 +1,118 @@
+#include "upnp/ssdp.hpp"
+
+#include "common/strings.hpp"
+
+namespace indiss::upnp {
+
+http::HttpMessage SearchRequest::to_http() const {
+  auto m = http::HttpMessage::request("M-SEARCH", "*");
+  m.headers.set("HOST", kSsdpMulticastGroup.to_string() + ":" +
+                            std::to_string(kSsdpPort));
+  m.headers.set("MAN", man);
+  m.headers.set("MX", std::to_string(mx));
+  m.headers.set("ST", st);
+  if (!user_agent.empty()) m.headers.set("USER-AGENT", user_agent);
+  return m;
+}
+
+std::optional<SearchRequest> SearchRequest::from_http(
+    const http::HttpMessage& m) {
+  if (!m.is_request() || !str::iequals(m.method, "M-SEARCH")) {
+    return std::nullopt;
+  }
+  SearchRequest out;
+  auto st = m.headers.get("ST");
+  if (!st.has_value()) return std::nullopt;
+  out.st = *st;
+  out.man = m.headers.get_or("MAN", "\"ssdp:discover\"");
+  out.mx = static_cast<int>(str::parse_long(m.headers.get_or("MX", "3"), 3));
+  out.user_agent = m.headers.get_or("USER-AGENT", "");
+  return out;
+}
+
+http::HttpMessage SearchResponse::to_http() const {
+  auto m = http::HttpMessage::response(200, "OK");
+  m.headers.set("CACHE-CONTROL", "max-age=" + std::to_string(max_age_seconds));
+  m.headers.set("EXT", "");
+  m.headers.set("LOCATION", location);
+  m.headers.set("SERVER", server);
+  m.headers.set("ST", st);
+  m.headers.set("USN", usn);
+  m.headers.set("Content-Length", "0");
+  return m;
+}
+
+std::optional<SearchResponse> SearchResponse::from_http(
+    const http::HttpMessage& m) {
+  if (m.is_request() || m.status != 200) return std::nullopt;
+  // A search response must carry ST and USN; that distinguishes it from a
+  // plain HTTP 200.
+  auto st = m.headers.get("ST");
+  auto usn = m.headers.get("USN");
+  if (!st.has_value() || !usn.has_value()) return std::nullopt;
+  SearchResponse out;
+  out.st = *st;
+  out.usn = *usn;
+  out.location = m.headers.get_or("LOCATION", "");
+  out.server = m.headers.get_or("SERVER", "");
+  auto cache = m.headers.get_or("CACHE-CONTROL", "");
+  auto eq = cache.find('=');
+  if (eq != std::string::npos) {
+    out.max_age_seconds = static_cast<int>(
+        str::parse_long(std::string_view(cache).substr(eq + 1), 1800));
+  }
+  return out;
+}
+
+http::HttpMessage Notify::to_http() const {
+  auto m = http::HttpMessage::request("NOTIFY", "*");
+  m.headers.set("HOST", kSsdpMulticastGroup.to_string() + ":" +
+                            std::to_string(kSsdpPort));
+  m.headers.set("NT", nt);
+  m.headers.set("NTS", kind == Kind::kAlive ? "ssdp:alive" : "ssdp:byebye");
+  m.headers.set("USN", usn);
+  if (kind == Kind::kAlive) {
+    m.headers.set("CACHE-CONTROL",
+                  "max-age=" + std::to_string(max_age_seconds));
+    m.headers.set("LOCATION", location);
+    m.headers.set("SERVER", server);
+  }
+  return m;
+}
+
+std::optional<Notify> Notify::from_http(const http::HttpMessage& m) {
+  if (!m.is_request() || !str::iequals(m.method, "NOTIFY")) {
+    return std::nullopt;
+  }
+  auto nt = m.headers.get("NT");
+  auto nts = m.headers.get("NTS");
+  auto usn = m.headers.get("USN");
+  if (!nt.has_value() || !nts.has_value() || !usn.has_value()) {
+    return std::nullopt;
+  }
+  Notify out;
+  out.nt = *nt;
+  out.usn = *usn;
+  if (str::iequals(*nts, "ssdp:alive")) {
+    out.kind = Kind::kAlive;
+  } else if (str::iequals(*nts, "ssdp:byebye")) {
+    out.kind = Kind::kByeBye;
+  } else {
+    return std::nullopt;
+  }
+  out.location = m.headers.get_or("LOCATION", "");
+  out.server = m.headers.get_or("SERVER", "");
+  return out;
+}
+
+std::optional<SsdpMessage> parse_ssdp(BytesView datagram) {
+  auto text = to_string(datagram);
+  auto m = http::HttpMessage::parse(text);
+  if (!m.has_value()) return std::nullopt;
+  if (auto req = SearchRequest::from_http(*m)) return SsdpMessage(*req);
+  if (auto rsp = SearchResponse::from_http(*m)) return SsdpMessage(*rsp);
+  if (auto ntf = Notify::from_http(*m)) return SsdpMessage(*ntf);
+  return std::nullopt;
+}
+
+}  // namespace indiss::upnp

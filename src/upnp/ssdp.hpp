@@ -1,0 +1,69 @@
+// SSDP: the Simple Service Discovery Protocol layer of UPnP (UPnP Device
+// Architecture 1.0, section 1). HTTP-formatted messages carried in UDP
+// datagrams ("HTTPU") on the IANA pair 239.255.255.250:1900 — the UPnP entry
+// in INDISS's monitor correspondence table.
+//
+// Three message kinds:
+//   M-SEARCH * HTTP/1.1          (search request, multicast)
+//   HTTP/1.1 200 OK              (search response, unicast back)
+//   NOTIFY * HTTP/1.1            (alive / byebye announcements, multicast)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "http/message.hpp"
+#include "net/address.hpp"
+#include "sim/time.hpp"
+
+namespace indiss::upnp {
+
+inline constexpr std::uint16_t kSsdpPort = 1900;
+inline const net::IpAddress kSsdpMulticastGroup(239, 255, 255, 250);
+
+inline constexpr std::string_view kSearchTargetAll = "ssdp:all";
+inline constexpr std::string_view kSearchTargetRoot = "upnp:rootdevice";
+
+struct SearchRequest {
+  std::string st;        // search target: ssdp:all, upnp:rootdevice, urn:...
+  int mx = 3;            // max response delay in seconds
+  std::string man = "\"ssdp:discover\"";
+  std::string user_agent;
+
+  [[nodiscard]] http::HttpMessage to_http() const;
+  static std::optional<SearchRequest> from_http(const http::HttpMessage& m);
+};
+
+struct SearchResponse {
+  std::string st;
+  std::string usn;       // uuid:...::urn:...
+  std::string location;  // URL of the device description document
+  std::string server = "INDISS-sim/1.0 UPnP/1.0";
+  int max_age_seconds = 1800;
+
+  [[nodiscard]] http::HttpMessage to_http() const;
+  static std::optional<SearchResponse> from_http(const http::HttpMessage& m);
+};
+
+struct Notify {
+  enum class Kind { kAlive, kByeBye };
+  Kind kind = Kind::kAlive;
+  std::string nt;        // notification type (device/service type or root)
+  std::string usn;
+  std::string location;  // alive only
+  std::string server = "INDISS-sim/1.0 UPnP/1.0";
+  int max_age_seconds = 1800;
+
+  [[nodiscard]] http::HttpMessage to_http() const;
+  static std::optional<Notify> from_http(const http::HttpMessage& m);
+};
+
+using SsdpMessage = std::variant<SearchRequest, SearchResponse, Notify>;
+
+/// Classifies and parses one HTTPU datagram. Returns nullopt for anything
+/// that is not a well-formed SSDP message.
+[[nodiscard]] std::optional<SsdpMessage> parse_ssdp(BytesView datagram);
+
+}  // namespace indiss::upnp

@@ -1,0 +1,117 @@
+#include "xml/dom.hpp"
+
+#include "common/strings.hpp"
+
+namespace indiss::xml {
+
+Element& Element::add_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+Element& Element::add_child(std::unique_ptr<Element> child) {
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+const Element* Element::child(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(
+    std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+const Element* Element::find(std::string_view path) const {
+  const Element* cur = this;
+  for (const auto& segment : str::split(path, '/')) {
+    if (segment.empty()) continue;
+    cur = cur->child(segment);
+    if (cur == nullptr) return nullptr;
+  }
+  return cur;
+}
+
+std::string Element::text_at(std::string_view path,
+                             std::string_view fallback) const {
+  const Element* e = find(path);
+  return e == nullptr ? std::string(fallback) : e->text();
+}
+
+void Element::write(std::string& out, int depth) const {
+  std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  out += indent + "<" + name_;
+  for (const auto& [n, v] : attributes_) {
+    out += " " + n + "=\"" + escape(v) + "\"";
+  }
+  if (children_.empty() && text_.empty()) {
+    out += "/>\n";
+    return;
+  }
+  out += ">";
+  if (!children_.empty()) {
+    out += "\n";
+    for (const auto& c : children_) c->write(out, depth + 1);
+    if (!text_.empty()) out += indent + "  " + escape(text_) + "\n";
+    out += indent + "</" + name_ + ">\n";
+  } else {
+    out += escape(text_) + "</" + name_ + ">\n";
+  }
+}
+
+std::string Element::serialize(bool declaration) const {
+  std::string out;
+  if (declaration) out += "<?xml version=\"1.0\"?>\n";
+  write(out, 0);
+  return out;
+}
+
+namespace {
+class DomBuilder : public SaxHandler {
+ public:
+  void on_start_element(std::string_view name,
+                        const Attributes& attributes) override {
+    auto e = std::make_unique<Element>(std::string(name));
+    for (const auto& [n, v] : attributes) e->set_attribute(n, v);
+    Element* raw = e.get();
+    if (stack_.empty()) {
+      root_ = std::move(e);
+    } else {
+      stack_.back()->add_child(std::move(e));
+    }
+    stack_.push_back(raw);
+  }
+
+  void on_text(std::string_view text) override {
+    if (!stack_.empty()) stack_.back()->append_text(text);
+  }
+
+  void on_end_element(std::string_view) override { stack_.pop_back(); }
+
+  std::unique_ptr<Element> take_root() { return std::move(root_); }
+
+ private:
+  std::unique_ptr<Element> root_;
+  std::vector<Element*> stack_;
+};
+}  // namespace
+
+DomResult parse_document(std::string_view document) {
+  DomBuilder builder;
+  ParseResult result = parse(document, builder);
+  if (!result.ok) {
+    return DomResult{nullptr, result.error + " at offset " +
+                                  std::to_string(result.position)};
+  }
+  return DomResult{builder.take_root(), ""};
+}
+
+}  // namespace indiss::xml

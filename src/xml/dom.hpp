@@ -1,0 +1,65 @@
+// Tiny DOM built on the SAX parser, plus a writer. Used to build and walk
+// UPnP device descriptions.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/sax.hpp"
+
+namespace indiss::xml {
+
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& text() const { return text_; }
+  [[nodiscard]] const Attributes& attributes() const { return attributes_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Element>>& children() const {
+    return children_;
+  }
+
+  void set_text(std::string_view text) { text_ = std::string(text); }
+  void append_text(std::string_view text) { text_ += std::string(text); }
+  void set_attribute(std::string_view name, std::string_view value) {
+    attributes_.emplace_back(std::string(name), std::string(value));
+  }
+  Element& add_child(std::string name);
+  Element& add_child(std::unique_ptr<Element> child);
+
+  /// First direct child with this name, or nullptr.
+  [[nodiscard]] const Element* child(std::string_view name) const;
+  /// All direct children with this name.
+  [[nodiscard]] std::vector<const Element*> children_named(
+      std::string_view name) const;
+  /// Walks a '/'-separated path of child names ("device/serviceList").
+  [[nodiscard]] const Element* find(std::string_view path) const;
+  /// Text of the element at `path`, or fallback.
+  [[nodiscard]] std::string text_at(std::string_view path,
+                                    std::string_view fallback = "") const;
+
+  /// Serializes with 2-space indentation and an XML declaration at the root.
+  [[nodiscard]] std::string serialize(bool declaration = true) const;
+
+ private:
+  void write(std::string& out, int depth) const;
+
+  std::string name_;
+  std::string text_;
+  Attributes attributes_;
+  std::vector<std::unique_ptr<Element>> children_;
+};
+
+struct DomResult {
+  std::unique_ptr<Element> root;  // null on failure
+  std::string error;
+};
+
+/// Parses a document into a DOM tree.
+[[nodiscard]] DomResult parse_document(std::string_view document);
+
+}  // namespace indiss::xml

@@ -1,0 +1,234 @@
+#include "xml/sax.hpp"
+
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace indiss::xml {
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view doc) : doc_(doc) {}
+
+  [[nodiscard]] bool eof() const { return pos_ >= doc_.size(); }
+  [[nodiscard]] char peek() const { return doc_[pos_]; }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  char take() { return doc_[pos_++]; }
+  void skip(std::size_t n) { pos_ += n; }
+
+  [[nodiscard]] bool starts_with(std::string_view s) const {
+    return doc_.substr(pos_, s.size()) == s;
+  }
+
+  void skip_whitespace() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) take();
+  }
+
+  /// Advances past `needle`, returning the text before it; npos on miss.
+  [[nodiscard]] bool take_until(std::string_view needle,
+                                std::string_view* out) {
+    auto found = doc_.find(needle, pos_);
+    if (found == std::string_view::npos) return false;
+    *out = doc_.substr(pos_, found - pos_);
+    pos_ = found + needle.size();
+    return true;
+  }
+
+ private:
+  std::string_view doc_;
+  std::size_t pos_ = 0;
+};
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == ':' || c == '.';
+}
+
+std::string unescape(std::string_view text, bool* ok) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size();) {
+    if (text[i] != '&') {
+      out += text[i++];
+      continue;
+    }
+    auto end = text.find(';', i);
+    if (end == std::string_view::npos) {
+      *ok = false;
+      return out;
+    }
+    std::string_view entity = text.substr(i + 1, end - i - 1);
+    if (entity == "amp") out += '&';
+    else if (entity == "lt") out += '<';
+    else if (entity == "gt") out += '>';
+    else if (entity == "quot") out += '"';
+    else if (entity == "apos") out += '\'';
+    else if (!entity.empty() && entity[0] == '#') {
+      long code = entity[1] == 'x' || entity[1] == 'X'
+                      ? std::strtol(std::string(entity.substr(2)).c_str(),
+                                    nullptr, 16)
+                      : indiss::str::parse_long(entity.substr(1), -1);
+      if (code < 0 || code > 127) {  // ASCII payloads only in SDP documents
+        *ok = false;
+        return out;
+      }
+      out += static_cast<char>(code);
+    } else {
+      *ok = false;
+      return out;
+    }
+    i = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+ParseResult parse(std::string_view document, SaxHandler& handler) {
+  Cursor cur(document);
+  std::vector<std::string> stack;
+  std::string pending_text;
+
+  auto error = [&](std::string what) {
+    return ParseResult{false, std::move(what), cur.pos()};
+  };
+  auto flush_text = [&] {
+    auto trimmed = str::trim(pending_text);
+    if (!trimmed.empty()) handler.on_text(trimmed);
+    pending_text.clear();
+  };
+
+  bool seen_root = false;
+  while (!cur.eof()) {
+    if (cur.peek() != '<') {
+      if (stack.empty()) {
+        if (!std::isspace(static_cast<unsigned char>(cur.peek()))) {
+          return error("text outside root element");
+        }
+        cur.take();
+        continue;
+      }
+      bool ok = true;
+      std::string_view raw;
+      // Collect character data until the next markup.
+      std::size_t start = cur.pos();
+      while (!cur.eof() && cur.peek() != '<') cur.take();
+      raw = document.substr(start, cur.pos() - start);
+      pending_text += unescape(raw, &ok);
+      if (!ok) return error("bad entity reference");
+      continue;
+    }
+
+    // Markup.
+    if (cur.starts_with("<?")) {
+      std::string_view ignored;
+      if (!cur.take_until("?>", &ignored)) return error("unterminated <?");
+      continue;
+    }
+    if (cur.starts_with("<!--")) {
+      std::string_view ignored;
+      cur.skip(4);
+      if (!cur.take_until("-->", &ignored)) return error("unterminated comment");
+      continue;
+    }
+    if (cur.starts_with("<![CDATA[")) {
+      if (stack.empty()) return error("CDATA outside root element");
+      cur.skip(9);
+      std::string_view cdata;
+      if (!cur.take_until("]]>", &cdata)) return error("unterminated CDATA");
+      pending_text += std::string(cdata);
+      continue;
+    }
+    if (cur.starts_with("<!")) {
+      return error("DOCTYPE/markup declarations are not supported");
+    }
+    if (cur.starts_with("</")) {
+      cur.skip(2);
+      std::string name;
+      while (!cur.eof() && is_name_char(cur.peek())) name += cur.take();
+      cur.skip_whitespace();
+      if (cur.eof() || cur.take() != '>') return error("malformed end tag");
+      if (stack.empty() || stack.back() != name) {
+        return error("mismatched end tag </" + name + ">");
+      }
+      flush_text();
+      stack.pop_back();
+      handler.on_end_element(name);
+      continue;
+    }
+
+    // Start tag.
+    cur.take();  // '<'
+    std::string name;
+    while (!cur.eof() && is_name_char(cur.peek())) name += cur.take();
+    if (name.empty()) return error("empty element name");
+    if (stack.empty() && seen_root) return error("multiple root elements");
+
+    Attributes attributes;
+    bool self_closing = false;
+    while (true) {
+      cur.skip_whitespace();
+      if (cur.eof()) return error("unterminated start tag");
+      if (cur.peek() == '>') {
+        cur.take();
+        break;
+      }
+      if (cur.starts_with("/>")) {
+        cur.skip(2);
+        self_closing = true;
+        break;
+      }
+      std::string attr_name;
+      while (!cur.eof() && is_name_char(cur.peek())) attr_name += cur.take();
+      if (attr_name.empty()) return error("malformed attribute");
+      cur.skip_whitespace();
+      if (cur.eof() || cur.take() != '=') return error("attribute missing =");
+      cur.skip_whitespace();
+      if (cur.eof()) return error("attribute missing value");
+      char quote = cur.take();
+      if (quote != '"' && quote != '\'') return error("unquoted attribute");
+      std::string raw_value;
+      while (!cur.eof() && cur.peek() != quote) raw_value += cur.take();
+      if (cur.eof()) return error("unterminated attribute value");
+      cur.take();  // closing quote
+      bool ok = true;
+      attributes.emplace_back(attr_name, unescape(raw_value, &ok));
+      if (!ok) return error("bad entity in attribute");
+    }
+
+    flush_text();
+    seen_root = true;
+    handler.on_start_element(name, attributes);
+    if (self_closing) {
+      handler.on_end_element(name);
+    } else {
+      stack.push_back(name);
+    }
+  }
+
+  if (!stack.empty()) {
+    return error("unclosed element <" + stack.back() + ">");
+  }
+  if (!seen_root) return error("no root element");
+  return ParseResult{};
+}
+
+}  // namespace indiss::xml

@@ -1,0 +1,46 @@
+// SAX-style event XML parser.
+//
+// UPnP device descriptions are XML; in the paper's §2.4 scenario the UPnP
+// unit's SSDP parser emits SDP_C_PARSER_SWITCH and the unit continues parsing
+// the HTTP body with an XML parser. This is that parser: it pushes start/
+// text/end events to a handler, from which the unit derives SDP_RES_ATTR and
+// SDP_RES_SERV_URL semantic events.
+//
+// Supported: elements, attributes, character data, XML declaration, comments,
+// CDATA, and the five predefined entities. Not supported (rejected):
+// DOCTYPE/external entities — none of the SDP payloads use them and they are
+// a classic attack surface.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace indiss::xml {
+
+using Attributes = std::vector<std::pair<std::string, std::string>>;
+
+class SaxHandler {
+ public:
+  virtual ~SaxHandler() = default;
+  virtual void on_start_element(std::string_view name,
+                                const Attributes& attributes) = 0;
+  virtual void on_text(std::string_view text) = 0;
+  virtual void on_end_element(std::string_view name) = 0;
+};
+
+struct ParseResult {
+  bool ok = true;
+  std::string error;      // empty when ok
+  std::size_t position = 0;  // byte offset of the error
+};
+
+/// Parses a complete document, firing events on `handler`. Checks
+/// well-formedness (tag balance); stops at the first error.
+ParseResult parse(std::string_view document, SaxHandler& handler);
+
+/// Escapes <, >, &, ", ' for use in text content or attribute values.
+[[nodiscard]] std::string escape(std::string_view text);
+
+}  // namespace indiss::xml

@@ -1,0 +1,114 @@
+// Tests for the INDISS event model (Table 1): set membership, mandatory
+// alphabet, names and stream framing.
+#include <gtest/gtest.h>
+
+#include "core/event.hpp"
+#include "core/typemap.hpp"
+
+namespace indiss::core {
+namespace {
+
+TEST(EventSets, Table1Classification) {
+  EXPECT_EQ(event_set(EventType::kControlStart), EventSet::kControl);
+  EXPECT_EQ(event_set(EventType::kControlParserSwitch), EventSet::kControl);
+  EXPECT_EQ(event_set(EventType::kNetMulticast), EventSet::kNetwork);
+  EXPECT_EQ(event_set(EventType::kServiceRequest), EventSet::kService);
+  EXPECT_EQ(event_set(EventType::kReqLang), EventSet::kRequest);
+  EXPECT_EQ(event_set(EventType::kResServUrl), EventSet::kResponse);
+  EXPECT_EQ(event_set(EventType::kRegRegister), EventSet::kRegistration);
+  EXPECT_EQ(event_set(EventType::kDiscRepositoryFound), EventSet::kDiscovery);
+  EXPECT_EQ(event_set(EventType::kAdvInterval), EventSet::kAdvertisement);
+  EXPECT_EQ(event_set(EventType::kSlpReqPredicate), EventSet::kSdpSpecific);
+  EXPECT_EQ(event_set(EventType::kUpnpDeviceUrlDesc), EventSet::kSdpSpecific);
+}
+
+TEST(EventSets, MandatoryAlphabetIsTheFiveTable1Sets) {
+  // ∑m = Control ∪ Network ∪ Service ∪ Request ∪ Response.
+  EXPECT_TRUE(is_mandatory(EventType::kControlStop));
+  EXPECT_TRUE(is_mandatory(EventType::kNetSourceAddr));
+  EXPECT_TRUE(is_mandatory(EventType::kServiceByeBye));
+  EXPECT_TRUE(is_mandatory(EventType::kReqLang));
+  EXPECT_TRUE(is_mandatory(EventType::kResTtl));
+  // Extension sets and SDP-specific events are not mandatory.
+  EXPECT_FALSE(is_mandatory(EventType::kRegRegister));
+  EXPECT_FALSE(is_mandatory(EventType::kDiscRepositoryQuery));
+  EXPECT_FALSE(is_mandatory(EventType::kSlpReqId));
+  EXPECT_FALSE(is_mandatory(EventType::kUpnpUsn));
+  EXPECT_FALSE(is_mandatory(EventType::kJiniProxy));
+}
+
+TEST(EventNames, MatchThePaper) {
+  EXPECT_EQ(event_name(EventType::kControlStart), "SDP_C_START");
+  EXPECT_EQ(event_name(EventType::kControlParserSwitch),
+            "SDP_C_PARSER_SWITCH");
+  EXPECT_EQ(event_name(EventType::kNetSourceAddr), "SDP_NET_SOURCE_ADDR");
+  EXPECT_EQ(event_name(EventType::kServiceByeBye), "SDP_SERVICE_BYEBYE");
+  EXPECT_EQ(event_name(EventType::kResServUrl), "SDP_RES_SERV_URL");
+  EXPECT_EQ(event_name(EventType::kSlpReqPredicate), "SDP_REQ_PREDICATE");
+  EXPECT_EQ(event_name(EventType::kUpnpDeviceUrlDesc), "SDP_DEVICE_URL_DESC");
+}
+
+TEST(Event, DataAccessors) {
+  Event e(EventType::kResServUrl, {{"url", "soap://10.0.0.2:4005/c"}});
+  EXPECT_TRUE(e.has("url"));
+  EXPECT_EQ(e.get("url"), "soap://10.0.0.2:4005/c");
+  EXPECT_EQ(e.get("missing", "dflt"), "dflt");
+  EXPECT_NE(e.to_string().find("SDP_RES_SERV_URL"), std::string::npos);
+}
+
+TEST(Framing, WellFramedStreams) {
+  EventStream good{Event(EventType::kControlStart),
+                   Event(EventType::kServiceRequest),
+                   Event(EventType::kControlStop)};
+  EXPECT_TRUE(well_framed(good));
+
+  EventStream no_start{Event(EventType::kServiceRequest),
+                       Event(EventType::kControlStop)};
+  EXPECT_FALSE(well_framed(no_start));
+
+  EventStream nested{Event(EventType::kControlStart),
+                     Event(EventType::kControlStart),
+                     Event(EventType::kControlStop)};
+  EXPECT_FALSE(well_framed(nested));
+
+  EXPECT_FALSE(well_framed(EventStream{}));
+}
+
+TEST(Framing, FindEvent) {
+  EventStream stream{Event(EventType::kControlStart),
+                     Event(EventType::kResServUrl, {{"url", "x"}}),
+                     Event(EventType::kControlStop)};
+  ASSERT_NE(find_event(stream, EventType::kResServUrl), nullptr);
+  EXPECT_EQ(find_event(stream, EventType::kResServUrl)->get("url"), "x");
+  EXPECT_EQ(find_event(stream, EventType::kResTtl), nullptr);
+}
+
+// --- Canonical type mapping ---------------------------------------------
+
+TEST(TypeMap, SlpCanonicalization) {
+  EXPECT_EQ(canonical_from_slp("service:clock"), "clock");
+  EXPECT_EQ(canonical_from_slp("service:clock:soap"), "clock");
+  EXPECT_EQ(canonical_from_slp("Service:Clock"), "clock");
+  EXPECT_EQ(canonical_from_slp("clock"), "clock");
+}
+
+TEST(TypeMap, UpnpCanonicalization) {
+  EXPECT_EQ(canonical_from_upnp("urn:schemas-upnp-org:device:clock:1"),
+            "clock");
+  EXPECT_EQ(canonical_from_upnp("urn:schemas-upnp-org:service:timer:1"),
+            "timer");
+  EXPECT_EQ(canonical_from_upnp("ssdp:all"), "*");
+  EXPECT_EQ(canonical_from_upnp("upnp:rootdevice"), "*");
+}
+
+TEST(TypeMap, RoundTrips) {
+  EXPECT_EQ(slp_from_canonical("clock"), "service:clock");
+  EXPECT_EQ(upnp_device_from_canonical("clock"),
+            "urn:schemas-upnp-org:device:clock:1");
+  EXPECT_EQ(canonical_from_upnp(upnp_device_from_canonical("clock")), "clock");
+  EXPECT_EQ(canonical_from_slp(slp_from_canonical("clock")), "clock");
+  EXPECT_EQ(upnp_device_from_canonical("*"), "ssdp:all");
+}
+
+}  // namespace
+}  // namespace indiss::core

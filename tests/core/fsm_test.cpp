@@ -1,0 +1,154 @@
+// Tests for the DFA engine: add_tuple, guards, actions, determinism
+// enforcement and the paper's 5-tuple semantics.
+#include <gtest/gtest.h>
+
+#include "core/fsm.hpp"
+#include "core/unit.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace indiss::core {
+namespace {
+
+// A minimal concrete unit so actions have a target.
+struct TestUnit : Unit {
+  explicit TestUnit(net::Host& host) : Unit(SdpId::kSlp, host) {}
+  int requests_composed = 0;
+  int replies_composed = 0;
+
+ protected:
+  void compose_native_request(Session&) override { ++requests_composed; }
+  void compose_native_reply(Session&) override { ++replies_composed; }
+};
+
+struct FsmFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, 1};
+  net::Host& host = network.add_host("h", net::IpAddress(10, 0, 0, 1));
+  TestUnit unit{host};
+  Session session;
+
+  FsmFixture() {
+    session.id = 1;
+    session.state = "idle";
+  }
+};
+
+TEST_F(FsmFixture, TransitionFiresAndChangesState) {
+  StateMachine fsm;
+  fsm.set_start("idle");
+  fsm.add_tuple("idle", EventType::kControlStart, any(), "parsing", {});
+  EXPECT_TRUE(fsm_step(fsm, unit, session, Event(EventType::kControlStart)));
+  EXPECT_EQ(session.state, "parsing");
+}
+
+TEST_F(FsmFixture, NoMatchingTransitionReturnsFalse) {
+  StateMachine fsm;
+  fsm.set_start("idle");
+  fsm.add_tuple("idle", EventType::kControlStart, any(), "parsing", {});
+  EXPECT_FALSE(fsm_step(fsm, unit, session, Event(EventType::kResOk)));
+  EXPECT_EQ(session.state, "idle");
+}
+
+TEST_F(FsmFixture, GuardsSelectAmongTransitions) {
+  StateMachine fsm;
+  fsm.set_start("s");
+  fsm.add_tuple("s", EventType::kControlStop,
+                [](const Event&, const Session& s) {
+                  return s.var("kind") == "request";
+                },
+                "requesting", {});
+  fsm.add_tuple("s", EventType::kControlStop,
+                [](const Event&, const Session& s) {
+                  return s.var("kind") != "request";
+                },
+                "other", {});
+  session.state = "s";
+  session.set_var("kind", "request");
+  fsm_step(fsm, unit, session, Event(EventType::kControlStop));
+  EXPECT_EQ(session.state, "requesting");
+
+  Session session2;
+  session2.state = "s";
+  fsm_step(fsm, unit, session2, Event(EventType::kControlStop));
+  EXPECT_EQ(session2.state, "other");
+}
+
+TEST_F(FsmFixture, NondeterminismIsAnError) {
+  StateMachine fsm;
+  fsm.set_start("s");
+  fsm.add_tuple("s", EventType::kControlStop, any(), "a", {});
+  fsm.add_tuple("s", EventType::kControlStop, any(), "b", {});
+  session.state = "s";
+  EXPECT_THROW(fsm_step(fsm, unit, session, Event(EventType::kControlStop)),
+               std::logic_error);
+}
+
+TEST_F(FsmFixture, ActionsRunInOrder) {
+  StateMachine fsm;
+  fsm.set_start("s");
+  std::vector<int> order;
+  fsm.add_tuple("s", EventType::kControlStart, any(), "t",
+                {[&](Unit&, const Event&, Session&) { order.push_back(1); },
+                 [&](Unit&, const Event&, Session&) { order.push_back(2); },
+                 [&](Unit&, const Event&, Session&) { order.push_back(3); }});
+  session.state = "s";
+  fsm_step(fsm, unit, session, Event(EventType::kControlStart));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(FsmFixture, RecordActionCopiesEventData) {
+  StateMachine fsm;
+  fsm.set_start("s");
+  fsm.add_tuple("s", EventType::kNetSourceAddr, any(), "s",
+                {Unit::record("src_addr", "addr")});
+  session.state = "s";
+  fsm_step(fsm, unit, session,
+           Event(EventType::kNetSourceAddr, {{"addr", "10.0.0.7"}}));
+  EXPECT_EQ(session.var("src_addr"), "10.0.0.7");
+}
+
+TEST_F(FsmFixture, RecordSkipsMissingKeys) {
+  StateMachine fsm;
+  fsm.set_start("s");
+  fsm.add_tuple("s", EventType::kNetSourceAddr, any(), "s",
+                {Unit::record("src_addr", "addr")});
+  session.state = "s";
+  fsm_step(fsm, unit, session, Event(EventType::kNetSourceAddr));
+  EXPECT_FALSE(session.has_var("src_addr"));
+}
+
+TEST_F(FsmFixture, SetActionWritesConstant) {
+  StateMachine fsm;
+  fsm.set_start("s");
+  fsm.add_tuple("s", EventType::kServiceRequest, any(), "s",
+                {Unit::set("kind", "request")});
+  session.state = "s";
+  fsm_step(fsm, unit, session, Event(EventType::kServiceRequest));
+  EXPECT_EQ(session.var("kind"), "request");
+}
+
+TEST_F(FsmFixture, AcceptingStatesAndIntrospection) {
+  StateMachine fsm;
+  fsm.set_start("idle");
+  fsm.add_accepting("done");
+  fsm.add_tuple("idle", EventType::kControlStart, any(), "done", {});
+  EXPECT_TRUE(fsm.is_accepting("done"));
+  EXPECT_FALSE(fsm.is_accepting("idle"));
+  EXPECT_EQ(fsm.transition_count(), 1u);
+  auto states = fsm.states();
+  EXPECT_TRUE(states.contains("idle"));
+  EXPECT_TRUE(states.contains("done"));
+}
+
+TEST_F(FsmFixture, EmptyStateInitializedToStart) {
+  StateMachine fsm;
+  fsm.set_start("begin");
+  fsm.add_tuple("begin", EventType::kControlStart, any(), "next", {});
+  Session fresh;  // state empty
+  fsm_step(fsm, unit, fresh, Event(EventType::kControlStart));
+  EXPECT_EQ(fresh.state, "next");
+}
+
+}  // namespace
+}  // namespace indiss::core

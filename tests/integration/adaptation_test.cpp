@@ -1,0 +1,129 @@
+// Context-aware adaptation tests (paper §3 and Fig 6): the passive/passive
+// deadlock and its traffic-threshold escape.
+#include <gtest/gtest.h>
+
+#include "core/indiss.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "slp/agents.hpp"
+#include "upnp/control_point.hpp"
+
+namespace indiss::core {
+namespace {
+
+struct AdaptationFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, 1};
+  net::Host& client_host = network.add_host("client", net::IpAddress(10, 0, 0, 1));
+  net::Host& service_host = network.add_host("service", net::IpAddress(10, 0, 0, 2));
+
+  void add_local_slp_service() {
+    sa = std::make_unique<slp::ServiceAgent>(service_host);
+    slp::ServiceRegistration reg;
+    reg.url = "service:clock:soap://10.0.0.2:4005/service/timer/control";
+    reg.attributes.set("friendlyName", "SLP Clock");
+    sa->register_service(reg);
+  }
+  std::unique_ptr<slp::ServiceAgent> sa;
+};
+
+TEST_F(AdaptationFixture, PassivePassiveDeadlockWithoutAdaptation) {
+  // A UPnP control point listening passively and an SLP service waiting for
+  // requests: nobody emits anything another party understands (Fig 6 top
+  // right). With the context manager off, discovery never happens.
+  add_local_slp_service();
+  IndissConfig config;
+  config.context.enabled = false;
+  Indiss indiss(service_host, config);
+  indiss.start();
+
+  upnp::ControlPoint cp(client_host);
+  int discoveries = 0;
+  cp.enable_passive_listening(
+      [&](const upnp::DiscoveredDevice&) { ++discoveries; }, nullptr);
+  scheduler.run_for(sim::seconds(30));
+  EXPECT_EQ(discoveries, 0);
+}
+
+TEST_F(AdaptationFixture, TrafficThresholdTriggersActiveMode) {
+  add_local_slp_service();
+  IndissConfig config;
+  config.context.enabled = true;
+  config.context.sample_interval = sim::seconds(2);
+  config.context.traffic_threshold_bytes_per_sec = 500.0;
+  config.context.probe_types = {"clock"};
+  Indiss indiss(service_host, config);
+  indiss.start();
+
+  upnp::ControlPoint cp(client_host);
+  std::vector<upnp::DiscoveredDevice> discovered;
+  cp.enable_passive_listening(
+      [&](const upnp::DiscoveredDevice& d) { discovered.push_back(d); },
+      nullptr);
+
+  scheduler.run_for(sim::seconds(10));
+  EXPECT_TRUE(indiss.active_mode()) << "idle network must trip the threshold";
+  ASSERT_FALSE(discovered.empty())
+      << "active re-advertisement must reach the passive UPnP listener";
+  ASSERT_TRUE(discovered[0].description.has_value());
+  EXPECT_EQ(discovered[0].description->services[0].control_url,
+            "soap://10.0.0.2:4005/service/timer/control");
+}
+
+TEST_F(AdaptationFixture, BusyNetworkStaysPassive) {
+  add_local_slp_service();
+  IndissConfig config;
+  config.context.enabled = true;
+  config.context.sample_interval = sim::seconds(2);
+  config.context.traffic_threshold_bytes_per_sec = 50.0;  // very low bar
+  Indiss indiss(service_host, config);
+  indiss.start();
+
+  // Keep the wire busy: a chatty pair exchanging datagrams.
+  auto tx = client_host.udp_socket(0);
+  auto rx = service_host.udp_socket(9999);
+  rx->set_receive_handler([](const net::Datagram&) {});
+  auto chatter = scheduler.schedule_periodic(sim::millis(50), [&] {
+    tx->send_to(net::Endpoint{service_host.address(), 9999}, Bytes(200, 0));
+  });
+  scheduler.run_for(sim::seconds(10));
+  chatter.cancel();
+  EXPECT_FALSE(indiss.active_mode());
+}
+
+TEST_F(AdaptationFixture, ManualProbeBridgesWithoutContextManager) {
+  add_local_slp_service();
+  Indiss indiss(service_host);
+  indiss.start();
+  indiss.upnp_unit()->set_active_advertising(true);
+
+  upnp::ControlPoint cp(client_host);
+  std::vector<upnp::DiscoveredDevice> discovered;
+  cp.enable_passive_listening(
+      [&](const upnp::DiscoveredDevice& d) { discovered.push_back(d); },
+      nullptr);
+
+  indiss.trigger_active_probe();
+  scheduler.run_for(sim::seconds(2));
+  ASSERT_FALSE(discovered.empty());
+  EXPECT_GE(indiss.upnp_unit()->impersonated_devices(), 1u);
+}
+
+TEST_F(AdaptationFixture, ActiveModeCostsBandwidth) {
+  // The paper: "service advertisements following the enactment of the
+  // active model increases bandwidth usage".
+  add_local_slp_service();
+  IndissConfig config;
+  config.context.enabled = true;
+  config.context.sample_interval = sim::seconds(2);
+  Indiss indiss(service_host, config);
+  indiss.start();
+  scheduler.run_for(sim::seconds(1));
+  auto before = network.stats().wire_bytes();
+  scheduler.run_for(sim::seconds(20));
+  auto with_probing = network.stats().wire_bytes() - before;
+  EXPECT_GT(with_probing, 0u) << "active probing must emit wire traffic";
+}
+
+}  // namespace
+}  // namespace indiss::core

@@ -1,0 +1,169 @@
+// Deployment-location tests (paper §4.2): gateway node, dynamic unit
+// composition, and multi-node configurations.
+#include <gtest/gtest.h>
+
+#include "core/indiss.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "slp/agents.hpp"
+#include "upnp/control_point.hpp"
+#include "upnp/device.hpp"
+
+namespace indiss::core {
+namespace {
+
+struct DeploymentFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, 1};
+  net::Host& client_host = network.add_host("client", net::IpAddress(10, 0, 0, 1));
+  net::Host& service_host = network.add_host("service", net::IpAddress(10, 0, 0, 2));
+  net::Host& gateway_host = network.add_host("gateway", net::IpAddress(10, 0, 0, 3));
+};
+
+TEST_F(DeploymentFixture, GatewayNodeBridgesSlpToUpnp) {
+  // "INDISS may be deployed on a dedicated networked node" — neither the
+  // client nor the service hosts anything extra.
+  upnp::RootDevice device(service_host, upnp::make_clock_device(), 4004);
+  device.start();
+  Indiss indiss(gateway_host);
+  indiss.start();
+  scheduler.run_for(sim::millis(10));
+
+  slp::UserAgent client(client_host);
+  std::vector<slp::SearchResult> results;
+  client.find_services("service:clock", "", nullptr,
+                       [&](const std::vector<slp::SearchResult>& r) {
+                         results = r;
+                       });
+  scheduler.run_for(sim::seconds(2));
+  ASSERT_FALSE(results.empty());
+  EXPECT_NE(results[0].entry.url.find("soap://10.0.0.2:4004"),
+            std::string::npos);
+}
+
+TEST_F(DeploymentFixture, GatewayBridgesBothDirectionsSimultaneously) {
+  upnp::RootDevice device(service_host, upnp::make_clock_device(), 4004);
+  device.start();
+  slp::ServiceAgent sa(service_host);
+  slp::ServiceRegistration reg;
+  reg.url = "service:printer:lpr://10.0.0.2:515/queue";
+  sa.register_service(reg);
+  Indiss indiss(gateway_host);
+  indiss.start();
+  scheduler.run_for(sim::millis(10));
+
+  slp::UserAgent slp_client(client_host);
+  std::vector<slp::SearchResult> slp_results;
+  slp_client.find_services("service:clock", "", nullptr,
+                           [&](const std::vector<slp::SearchResult>& r) {
+                             slp_results = r;
+                           });
+  upnp::ControlPoint upnp_client(client_host);
+  std::vector<upnp::DiscoveredDevice> upnp_results;
+  upnp_client.search("urn:schemas-upnp-org:device:printer:1", nullptr,
+                     [&](const upnp::DiscoveredDevice& d) {
+                       upnp_results.push_back(d);
+                     },
+                     nullptr);
+  scheduler.run_for(sim::seconds(2));
+  EXPECT_FALSE(slp_results.empty()) << "SLP->UPnP through gateway";
+  EXPECT_FALSE(upnp_results.empty()) << "UPnP->SLP through gateway";
+}
+
+TEST_F(DeploymentFixture, DynamicUnitComposition) {
+  // Fig 5: the configuration evolves at run time; a Jini unit is added to a
+  // running instance.
+  IndissConfig config;
+  config.enable_jini = false;
+  Indiss indiss(gateway_host, config);
+  indiss.start();
+  EXPECT_EQ(indiss.unit_count(), 2u);
+  EXPECT_EQ(indiss.jini_unit(), nullptr);
+
+  indiss.enable_unit(SdpId::kJini);
+  EXPECT_EQ(indiss.unit_count(), 3u);
+  ASSERT_NE(indiss.jini_unit(), nullptr);
+  // The new unit is wired into the peer mesh.
+  EXPECT_EQ(indiss.slp_unit()->peers().size(), 2u);
+  EXPECT_EQ(indiss.jini_unit()->peers().size(), 2u);
+}
+
+TEST_F(DeploymentFixture, MonitorSeesOnlyEnabledSdps) {
+  IndissConfig config;
+  config.enable_upnp = false;
+  config.enable_jini = false;
+  Indiss indiss(gateway_host, config);
+  indiss.start();
+
+  upnp::RootDevice device(service_host, upnp::make_clock_device(), 4004);
+  device.start();
+  scheduler.run_for(sim::seconds(1));
+  EXPECT_FALSE(indiss.monitor().has_detected(SdpId::kUpnp))
+      << "UPnP scanning disabled: NOTIFYs must be invisible";
+}
+
+TEST_F(DeploymentFixture, ServiceSideAndClientSideCoexist) {
+  // Both endpoints run INDISS; bridge echo suppression must prevent loops
+  // and the client must still get exactly one usable answer per search.
+  upnp::RootDevice device(service_host, upnp::make_clock_device(), 4004);
+  device.start();
+  Indiss service_side(service_host);
+  service_side.start();
+  Indiss client_side(client_host);
+  client_side.start();
+  scheduler.run_for(sim::millis(10));
+
+  slp::UserAgent client(client_host);
+  std::vector<slp::SearchResult> results;
+  client.find_services("service:clock", "", nullptr,
+                       [&](const std::vector<slp::SearchResult>& r) {
+                         results = r;
+                       });
+  scheduler.run_for(sim::seconds(3));
+  ASSERT_FALSE(results.empty());
+  // Deduplication at the UA means double translation cannot multiply
+  // results beyond the distinct URLs.
+  EXPECT_LE(results.size(), 2u);
+}
+
+TEST_F(DeploymentFixture, IndissStopSilencesTranslation) {
+  upnp::RootDevice device(service_host, upnp::make_clock_device(), 4004);
+  device.start();
+  Indiss indiss(gateway_host);
+  indiss.start();
+  indiss.stop();
+  scheduler.run_for(sim::millis(10));
+
+  slp::UserAgent client(client_host);
+  std::vector<slp::SearchResult> results;
+  client.find_services("service:clock", "", nullptr,
+                       [&](const std::vector<slp::SearchResult>& r) {
+                         results = r;
+                       });
+  scheduler.run_for(sim::seconds(2));
+  EXPECT_TRUE(results.empty());
+}
+
+TEST_F(DeploymentFixture, UnitStatsAccumulate) {
+  upnp::RootDevice device(service_host, upnp::make_clock_device(), 4004);
+  device.start();
+  Indiss indiss(gateway_host);
+  indiss.start();
+  scheduler.run_for(sim::millis(10));
+
+  slp::UserAgent client(client_host);
+  client.find_services("service:clock", "", nullptr, nullptr);
+  scheduler.run_for(sim::seconds(2));
+
+  const auto& slp_stats = indiss.slp_unit()->stats();
+  const auto& upnp_stats = indiss.upnp_unit()->stats();
+  EXPECT_GT(slp_stats.messages_parsed, 0u);
+  EXPECT_GT(slp_stats.streams_dispatched, 0u);
+  EXPECT_GT(slp_stats.messages_composed, 0u);  // the SrvRply back
+  EXPECT_GT(upnp_stats.messages_parsed, 0u);   // search response + desc
+  EXPECT_GT(upnp_stats.sessions_completed, 0u);
+  EXPECT_GT(upnp_stats.events_emitted, 10u);
+}
+
+}  // namespace
+}  // namespace indiss::core

@@ -1,0 +1,174 @@
+// Jini stack tests: discovery packets, the lookup service (registrar) with
+// leases, client lookup and the provider join protocol.
+#include <gtest/gtest.h>
+
+#include "jini/client.hpp"
+#include "jini/discovery.hpp"
+#include "jini/lookup.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace indiss::jini {
+namespace {
+
+TEST(Packets, MulticastRequestRoundTrip) {
+  MulticastRequest request;
+  request.response_port = 41234;
+  request.groups = {"", "home"};
+  request.heard = {"10.0.0.9"};
+  auto decoded = MulticastRequest::decode(request.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->response_port, 41234);
+  EXPECT_EQ(decoded->groups, request.groups);
+  EXPECT_EQ(decoded->heard, request.heard);
+}
+
+TEST(Packets, AnnouncementRoundTrip) {
+  MulticastAnnouncement a;
+  a.registrar_host = "10.0.0.9";
+  a.registrar_port = 4160;
+  a.registrar_id = 0xFEEDBEEF;
+  a.groups = {""};
+  auto decoded = MulticastAnnouncement::decode(a.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->registrar_id, 0xFEEDBEEFu);
+}
+
+TEST(Packets, KindDetectionAndRejection) {
+  MulticastRequest request;
+  EXPECT_EQ(packet_kind(request.encode()).value(), kPacketMulticastRequest);
+  EXPECT_FALSE(packet_kind(Bytes{}).has_value());
+  EXPECT_FALSE(packet_kind(Bytes{99}).has_value());
+  EXPECT_FALSE(MulticastRequest::decode(Bytes{1, 2}).has_value());
+}
+
+TEST(Items, TemplateMatching) {
+  ServiceItem item;
+  item.id = ServiceId{1, 2};
+  item.service_type = "clock";
+  item.attributes = {{"room", "kitchen"}, {"vendor", "acme"}};
+
+  ServiceTemplate anything;
+  EXPECT_TRUE(anything.matches(item));
+  ServiceTemplate by_type;
+  by_type.service_type = "clock";
+  EXPECT_TRUE(by_type.matches(item));
+  by_type.service_type = "printer";
+  EXPECT_FALSE(by_type.matches(item));
+  ServiceTemplate by_attr;
+  by_attr.attributes = {{"room", "kitchen"}};
+  EXPECT_TRUE(by_attr.matches(item));
+  by_attr.attributes = {{"room", "garage"}};
+  EXPECT_FALSE(by_attr.matches(item));
+  ServiceTemplate by_id;
+  by_id.id = ServiceId{1, 2};
+  EXPECT_TRUE(by_id.matches(item));
+  by_id.id = ServiceId{9, 9};
+  EXPECT_FALSE(by_id.matches(item));
+}
+
+struct JiniFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, 1};
+  net::Host& registrar_host = network.add_host("reggie", net::IpAddress(10, 0, 0, 9));
+  net::Host& client_host = network.add_host("client", net::IpAddress(10, 0, 0, 1));
+  net::Host& service_host = network.add_host("service", net::IpAddress(10, 0, 0, 2));
+
+  ServiceItem clock_item() {
+    ServiceItem item;
+    item.id = ServiceId{0xAA, 0xBB};
+    item.service_type = "clock";
+    item.attributes = {{"url", "soap://10.0.0.2:4005/clock"},
+                       {"friendlyName", "Jini Clock"}};
+    return item;
+  }
+};
+
+TEST_F(JiniFixture, ProviderJoinsAndClientFindsIt) {
+  LookupService registrar(registrar_host);
+  JiniServiceProvider provider(service_host, clock_item());
+  provider.join();
+  scheduler.run_for(sim::seconds(1));
+  EXPECT_TRUE(provider.joined());
+  EXPECT_EQ(registrar.item_count(), 1u);
+
+  JiniClient client(client_host);
+  std::vector<ServiceItem> found;
+  ServiceTemplate tmpl;
+  tmpl.service_type = "clock";
+  client.lookup(tmpl, [&](const std::vector<ServiceItem>& items) {
+    found = items;
+  });
+  scheduler.run_for(sim::seconds(1));
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].service_type, "clock");
+  EXPECT_EQ(registrar.lookups_served(), 1u);
+}
+
+TEST_F(JiniFixture, LookupWithoutRegistrarReportsEmpty) {
+  JiniClient client(client_host);
+  bool called = false;
+  std::vector<ServiceItem> found{clock_item()};  // sentinel, must be cleared
+  client.lookup(ServiceTemplate{}, [&](const std::vector<ServiceItem>& items) {
+    called = true;
+    found = items;
+  });
+  scheduler.run_for(sim::seconds(2));
+  EXPECT_TRUE(called);
+  EXPECT_TRUE(found.empty());
+}
+
+TEST_F(JiniFixture, PassiveDiscoveryViaAnnouncements) {
+  JiniConfig config;
+  RegistrarDiscovery discovery(client_host, config);
+  discovery.enable_passive_listening();
+  LookupConfig lk;
+  lk.announcement_interval = sim::seconds(3);
+  LookupService registrar(registrar_host, lk);
+  scheduler.run_for(sim::seconds(4));
+  EXPECT_EQ(discovery.known().size(), 1u);
+}
+
+TEST_F(JiniFixture, LeaseExpiryRemovesItemWithoutRenewal) {
+  LookupConfig lk;
+  lk.max_lease_seconds = 2;
+  lk.lease_sweep = sim::seconds(1);
+  LookupService registrar(registrar_host, lk);
+
+  // Register directly (no provider, so no renewals).
+  JiniConfig config;
+  config.lease_seconds = 2;
+  JiniServiceProvider provider(service_host, clock_item(), config);
+  provider.join();
+  scheduler.run_for(sim::seconds(1));
+  EXPECT_EQ(registrar.item_count(), 1u);
+  provider.leave();
+  scheduler.run_for(sim::seconds(1));
+  EXPECT_EQ(registrar.item_count(), 0u);
+}
+
+TEST_F(JiniFixture, RenewalKeepsLeaseAlive) {
+  LookupConfig lk;
+  lk.max_lease_seconds = 2;
+  lk.lease_sweep = sim::seconds(1);
+  LookupService registrar(registrar_host, lk);
+  JiniConfig config;
+  config.lease_seconds = 2;
+  config.renew_fraction = 0.4;
+  JiniServiceProvider provider(service_host, clock_item(), config);
+  provider.join();
+  scheduler.run_for(sim::seconds(10));
+  EXPECT_EQ(registrar.item_count(), 1u) << "renewals must keep the item";
+}
+
+TEST_F(JiniFixture, HeardSuppressionSilencesKnownRegistrar) {
+  LookupService registrar(registrar_host);
+  RegistrarDiscovery discovery(client_host);
+  int callbacks = 0;
+  discovery.discover([&](const RegistrarInfo&) { ++callbacks; });
+  scheduler.run_for(sim::seconds(1));
+  EXPECT_EQ(callbacks, 1) << "retries carry 'heard' so no duplicate answers";
+}
+
+}  // namespace
+}  // namespace indiss::jini

@@ -1,0 +1,250 @@
+// SLP agent tests: UA/SA discovery on the simulated LAN, predicate
+// filtering, multicast convergence, loss recovery, and the Directory Agent
+// (repository) mode.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "slp/agents.hpp"
+
+namespace indiss::slp {
+namespace {
+
+struct SlpFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, 1};
+  net::Host& client_host = network.add_host("client", net::IpAddress(10, 0, 0, 1));
+  net::Host& service_host = network.add_host("service", net::IpAddress(10, 0, 0, 2));
+
+  ServiceRegistration clock_registration() {
+    ServiceRegistration reg;
+    reg.url = "service:clock:soap://10.0.0.2:4005/service/timer/control";
+    reg.attributes.set("friendlyName", "CyberGarage Clock Device");
+    reg.attributes.set("model", "Clock");
+    return reg;
+  }
+};
+
+TEST_F(SlpFixture, ActiveDiscoveryFindsService) {
+  ServiceAgent sa(service_host);
+  sa.register_service(clock_registration());
+  UserAgent ua(client_host);
+
+  std::vector<SearchResult> results;
+  bool complete = false;
+  ua.find_services("service:clock", "", nullptr,
+                   [&](const std::vector<SearchResult>& r) {
+                     results = r;
+                     complete = true;
+                   });
+  scheduler.run_for(sim::seconds(1));
+  ASSERT_TRUE(complete);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].entry.url,
+            "service:clock:soap://10.0.0.2:4005/service/timer/control");
+  EXPECT_EQ(results[0].responder.address, service_host.address());
+}
+
+TEST_F(SlpFixture, FirstResultLatencyIsAbout0p7ms) {
+  // The Fig 7 reference point: native SLP round trip = request prep (0.3)
+  // + network + handling (0.02) + network + reply parse (0.3) ≈ 0.7 ms.
+  ServiceAgent sa(service_host);
+  sa.register_service(clock_registration());
+  UserAgent ua(client_host);
+
+  sim::SimTime first_at{};
+  ua.find_services("service:clock", "",
+                   [&](const SearchResult&) { first_at = scheduler.now(); },
+                   nullptr);
+  scheduler.run_for(sim::seconds(1));
+  ASSERT_GT(first_at.count(), 0);
+  double ms = sim::to_millis(first_at);
+  EXPECT_GT(ms, 0.5);
+  EXPECT_LT(ms, 0.9);
+}
+
+TEST_F(SlpFixture, PredicateFiltersAtTheServiceAgent) {
+  ServiceAgent sa(service_host);
+  sa.register_service(clock_registration());
+  UserAgent ua(client_host);
+
+  std::vector<SearchResult> hits, misses;
+  ua.find_services("service:clock", "(friendlyName=CyberGarage*)", nullptr,
+                   [&](const std::vector<SearchResult>& r) { hits = r; });
+  ua.find_services("service:clock", "(friendlyName=Siemens*)", nullptr,
+                   [&](const std::vector<SearchResult>& r) { misses = r; });
+  scheduler.run_for(sim::seconds(1));
+  EXPECT_EQ(hits.size(), 1u);
+  EXPECT_EQ(misses.size(), 0u);
+}
+
+TEST_F(SlpFixture, WrongTypeGetsSilence) {
+  ServiceAgent sa(service_host);
+  sa.register_service(clock_registration());
+  UserAgent ua(client_host);
+  std::vector<SearchResult> results;
+  ua.find_services("service:printer", "", nullptr,
+                   [&](const std::vector<SearchResult>& r) { results = r; });
+  scheduler.run_for(sim::seconds(1));
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(sa.replies_sent(), 0u);  // multicast no-match -> silence
+}
+
+TEST_F(SlpFixture, MultipleServicesAllDiscoveredAndDeduplicated) {
+  ServiceAgent sa1(service_host);
+  sa1.register_service(clock_registration());
+  net::Host& third = network.add_host("svc2", net::IpAddress(10, 0, 0, 3));
+  ServiceAgent sa2(third);
+  ServiceRegistration other;
+  other.url = "service:clock:http://10.0.0.3:80/clock";
+  sa2.register_service(other);
+
+  UserAgent ua(client_host);
+  std::vector<SearchResult> results;
+  ua.find_services("service:clock", "", nullptr,
+                   [&](const std::vector<SearchResult>& r) { results = r; });
+  scheduler.run_for(sim::seconds(1));
+  // Retransmissions must not produce duplicates.
+  EXPECT_EQ(results.size(), 2u);
+}
+
+TEST_F(SlpFixture, RetransmissionRecoversFromPacketLoss) {
+  network.profile().udp_loss_rate = 0.4;
+  ServiceAgent sa(service_host);
+  sa.register_service(clock_registration());
+
+  SlpConfig config;
+  config.retransmissions = 4;
+  config.multicast_wait = sim::millis(800);  // room for all five attempts
+  UserAgent ua(client_host, config);
+  std::vector<SearchResult> results;
+  ua.find_services("service:clock", "", nullptr,
+                   [&](const std::vector<SearchResult>& r) { results = r; });
+  scheduler.run_for(sim::seconds(2));
+  EXPECT_EQ(results.size(), 1u) << "5 tries at 40% loss should get through";
+}
+
+TEST_F(SlpFixture, PreviousResponderSuppression) {
+  ServiceAgent sa(service_host);
+  sa.register_service(clock_registration());
+  UserAgent ua(client_host);
+  ua.find_services("service:clock", "", nullptr, nullptr);
+  scheduler.run_for(sim::seconds(1));
+  // The UA retransmits (default 2 retries) with the SA in the PR list; the
+  // SA sees every request but answers only the first.
+  EXPECT_EQ(ua.requests_sent(), 3u);
+  EXPECT_EQ(sa.replies_sent(), 1u);
+}
+
+TEST_F(SlpFixture, AttributeRequestReturnsAttributes) {
+  ServiceAgent sa(service_host);
+  sa.register_service(clock_registration());
+  UserAgent ua(client_host);
+  AttributeList attrs;
+  ErrorCode error = ErrorCode::kParseError;
+  ua.find_attributes(
+      "service:clock:soap://10.0.0.2:4005/service/timer/control",
+      [&](ErrorCode e, const AttributeList& a) {
+        error = e;
+        attrs = a;
+      });
+  scheduler.run_for(sim::seconds(1));
+  EXPECT_EQ(error, ErrorCode::kOk);
+  EXPECT_EQ(attrs.get("friendlyName").value_or(""),
+            "CyberGarage Clock Device");
+}
+
+TEST_F(SlpFixture, DeregisteredServiceStopsAnswering) {
+  ServiceAgent sa(service_host);
+  auto reg = clock_registration();
+  sa.register_service(reg);
+  EXPECT_TRUE(sa.deregister_service(reg.url));
+  EXPECT_FALSE(sa.deregister_service(reg.url));  // second time: gone
+
+  UserAgent ua(client_host);
+  std::vector<SearchResult> results;
+  ua.find_services("service:clock", "", nullptr,
+                   [&](const std::vector<SearchResult>& r) { results = r; });
+  scheduler.run_for(sim::seconds(1));
+  EXPECT_TRUE(results.empty());
+}
+
+// --- Directory Agent (repository) mode -------------------------------------
+
+struct DaFixture : SlpFixture {
+  net::Host& da_host = network.add_host("da", net::IpAddress(10, 0, 0, 9));
+  // Agents created after the DA's boot advert need a periodic one soon.
+  SlpConfig fast_da_config() {
+    SlpConfig config;
+    config.da_advert_interval = sim::millis(200);
+    return config;
+  }
+};
+
+TEST_F(DaFixture, SaRegistersWithDaOnAdvert) {
+  DirectoryAgent da(da_host, fast_da_config());
+  ServiceAgent sa(service_host);
+  sa.register_service(clock_registration());
+  scheduler.run_for(sim::seconds(1));
+  EXPECT_TRUE(sa.directory_agent().has_value());
+  EXPECT_EQ(da.registration_count(), 1u);
+}
+
+TEST_F(DaFixture, UaQueriesDaUnicast) {
+  DirectoryAgent da(da_host, fast_da_config());
+  ServiceAgent sa(service_host);
+  sa.register_service(clock_registration());
+  scheduler.run_for(sim::seconds(1));
+
+  UserAgent ua(client_host);
+  ua.set_directory_agent(da.endpoint());
+  std::vector<SearchResult> results;
+  ua.find_services("service:clock", "", nullptr,
+                   [&](const std::vector<SearchResult>& r) { results = r; });
+  scheduler.run_for(sim::seconds(1));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].responder.address, da_host.address());
+  EXPECT_EQ(da.registrations_received(), 1u);
+}
+
+TEST_F(DaFixture, UaPassiveDaDiscovery) {
+  SlpConfig config;
+  config.da_advert_interval = sim::seconds(5);
+  DirectoryAgent da(da_host, config);
+  UserAgent ua(client_host);
+  ua.enable_da_listening();
+  scheduler.run_for(sim::seconds(6));
+  ASSERT_TRUE(ua.directory_agent().has_value());
+  EXPECT_EQ(ua.directory_agent()->address, da_host.address());
+}
+
+TEST_F(DaFixture, RegistrationLifetimeExpires) {
+  SlpConfig config = fast_da_config();
+  config.da_expiry_sweep = sim::seconds(1);
+  DirectoryAgent da(da_host, config);
+  ServiceAgent sa(service_host);
+  auto reg = clock_registration();
+  reg.lifetime_seconds = 3;
+  sa.register_service(reg);
+  scheduler.run_for(sim::seconds(2));
+  EXPECT_EQ(da.registration_count(), 1u);
+  scheduler.run_for(sim::seconds(5));
+  EXPECT_EQ(da.registration_count(), 0u);
+}
+
+TEST_F(DaFixture, ActiveDaDiscoveryViaServiceRequest) {
+  DirectoryAgent da(da_host);
+  ServiceAgent sa(service_host);  // hears the boot advert
+  scheduler.run_for(sim::millis(100));
+  // A SrvRqst for service:directory-agent is answered with a DAAdvert, not a
+  // SrvRply, and the SA must not answer it.
+  UserAgent ua(client_host);
+  std::vector<SearchResult> results;
+  ua.find_services("service:directory-agent", "", nullptr,
+                   [&](const std::vector<SearchResult>& r) { results = r; });
+  scheduler.run_for(sim::seconds(1));
+  EXPECT_TRUE(results.empty());  // DAAdvert is not a SrvRply
+}
+
+}  // namespace
+}  // namespace indiss::slp

@@ -1,0 +1,143 @@
+// SLP service model tests: service types, service URLs, attribute lists and
+// the LDAP predicate subset (property-style parameterized sweeps).
+#include <gtest/gtest.h>
+
+#include "slp/service.hpp"
+
+namespace indiss::slp {
+namespace {
+
+TEST(ServiceType, AbstractAndConcreteParts) {
+  ServiceType t("service:clock:soap");
+  EXPECT_EQ(t.abstract_type(), "service:clock");
+  EXPECT_EQ(t.concrete(), "soap");
+  ServiceType plain("service:clock");
+  EXPECT_EQ(plain.abstract_type(), "service:clock");
+  EXPECT_TRUE(plain.concrete().empty());
+}
+
+TEST(ServiceType, MatchingIsCaseInsensitive) {
+  ServiceType reg("Service:Clock:SOAP");
+  EXPECT_TRUE(reg.matches_request(ServiceType("service:clock")));
+}
+
+struct TypeMatchCase {
+  const char* registered;
+  const char* requested;
+  bool expected;
+};
+
+class TypeMatch : public ::testing::TestWithParam<TypeMatchCase> {};
+
+TEST_P(TypeMatch, MatchesRequest) {
+  const auto& c = GetParam();
+  EXPECT_EQ(ServiceType(c.registered).matches_request(ServiceType(c.requested)),
+            c.expected)
+      << c.registered << " vs " << c.requested;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TypeMatch,
+    ::testing::Values(
+        TypeMatchCase{"service:clock:soap", "service:clock", true},
+        TypeMatchCase{"service:clock:soap", "service:clock:soap", true},
+        TypeMatchCase{"service:clock", "service:clock", true},
+        TypeMatchCase{"service:clock:soap", "service:printer", false},
+        TypeMatchCase{"service:clock:soap", "service:clock:http", false},
+        TypeMatchCase{"service:clock", "", true},  // wildcard request
+        TypeMatchCase{"service:clockwork", "service:clock", false}));
+
+TEST(ServiceUrl, ParsesPaperExample) {
+  auto url = ServiceUrl::parse(
+      "service:clock:soap://128.93.8.112:4005/service/timer/control");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->type.abstract_type(), "service:clock");
+  EXPECT_EQ(url->access, "soap://128.93.8.112:4005/service/timer/control");
+}
+
+TEST(ServiceUrl, ParsesPlainUrl) {
+  auto url = ServiceUrl::parse("http://10.0.0.1:80/x");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->type.full(), "http");
+  EXPECT_EQ(url->access, "http://10.0.0.1:80/x");
+}
+
+TEST(ServiceUrl, RejectsGarbage) {
+  EXPECT_FALSE(ServiceUrl::parse("").has_value());
+  EXPECT_FALSE(ServiceUrl::parse("service:clock").has_value());
+}
+
+TEST(AttributeList, ParseAndSerializeRoundTrip) {
+  auto attrs = AttributeList::parse("(a=1),(b=hello world),keyword");
+  EXPECT_EQ(attrs.get("a").value(), "1");
+  EXPECT_EQ(attrs.get("b").value(), "hello world");
+  EXPECT_TRUE(attrs.has_keyword("keyword"));
+  auto reparsed = AttributeList::parse(attrs.serialize());
+  EXPECT_EQ(reparsed.get("a").value(), "1");
+  EXPECT_TRUE(reparsed.has_keyword("keyword"));
+}
+
+TEST(AttributeList, SetOverwritesCaseInsensitively) {
+  AttributeList attrs;
+  attrs.set("Color", "red");
+  attrs.set("color", "blue");
+  EXPECT_EQ(attrs.get("COLOR").value(), "blue");
+  EXPECT_EQ(attrs.pairs().size(), 1u);
+}
+
+TEST(AttributeList, EmptyInput) {
+  auto attrs = AttributeList::parse("");
+  EXPECT_TRUE(attrs.empty());
+  EXPECT_EQ(attrs.serialize(), "");
+}
+
+struct PredicateCase {
+  const char* filter;
+  const char* attrs;
+  bool expected;
+};
+
+class PredicateMatch : public ::testing::TestWithParam<PredicateCase> {};
+
+TEST_P(PredicateMatch, Evaluates) {
+  const auto& c = GetParam();
+  auto predicate = Predicate::parse(c.filter);
+  ASSERT_TRUE(predicate.has_value()) << c.filter;
+  auto attrs = AttributeList::parse(c.attrs);
+  EXPECT_EQ(predicate->matches(attrs), c.expected)
+      << c.filter << " on " << c.attrs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PredicateMatch,
+    ::testing::Values(
+        PredicateCase{"", "(a=1)", true},  // empty predicate matches all
+        PredicateCase{"(a=1)", "(a=1)", true},
+        PredicateCase{"(a=1)", "(a=2)", false},
+        PredicateCase{"(a=1)", "(b=1)", false},
+        PredicateCase{"(A=1)", "(a=1)", true},  // case-insensitive keys
+        PredicateCase{"(a=Hello)", "(a=hello)", true},  // and values
+        PredicateCase{"(a=*)", "(a=anything)", true},   // presence
+        PredicateCase{"(a=*)", "(b=1)", false},
+        PredicateCase{"(name=Clock*)", "(name=Clock Device)", true},
+        PredicateCase{"(name=Clock*)", "(name=Radio)", false},
+        PredicateCase{"(&(a=1)(b=2))", "(a=1),(b=2)", true},
+        PredicateCase{"(&(a=1)(b=2))", "(a=1),(b=3)", false},
+        PredicateCase{"(|(a=1)(b=2))", "(a=0),(b=2)", true},
+        PredicateCase{"(|(a=1)(b=2))", "(a=0),(b=0)", false},
+        PredicateCase{"(!(a=1))", "(a=2)", true},
+        PredicateCase{"(!(a=1))", "(a=1)", false},
+        PredicateCase{"(&(a=1)(|(b=2)(c=3)))", "(a=1),(c=3)", true},
+        PredicateCase{"(keyword=*)", "(x=1),keyword", true}));
+
+TEST(Predicate, RejectsMalformedFilters) {
+  EXPECT_FALSE(Predicate::parse("(a=1").has_value());
+  EXPECT_FALSE(Predicate::parse("(&)").has_value());
+  EXPECT_FALSE(Predicate::parse("(!(a=1)(b=2))").has_value());  // NOT arity
+  EXPECT_FALSE(Predicate::parse("(=1)").has_value());
+  EXPECT_FALSE(Predicate::parse("trailing(a=1)").has_value());
+  EXPECT_FALSE(Predicate::parse("(a=1)junk").has_value());
+}
+
+}  // namespace
+}  // namespace indiss::slp

@@ -1,0 +1,156 @@
+// SLPv2 wire-format tests: encode/decode round trips for every message kind
+// (parameterized) plus malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "slp/wire.hpp"
+
+namespace indiss::slp {
+namespace {
+
+Message sample_message(FunctionId id) {
+  switch (id) {
+    case FunctionId::kSrvRqst: {
+      SrvRqst m;
+      m.header.xid = 7;
+      m.previous_responders = "10.0.0.1,10.0.0.2";
+      m.service_type = "service:clock";
+      m.scope_list = "DEFAULT";
+      m.predicate = "(friendlyName=Clock*)";
+      return m;
+    }
+    case FunctionId::kSrvRply: {
+      SrvRply m;
+      m.header.xid = 7;
+      m.url_entries = {UrlEntry{300, "service:clock:soap://10.0.0.2:4005/c"},
+                       UrlEntry{60, "service:clock:http://10.0.0.3/c"}};
+      return m;
+    }
+    case FunctionId::kSrvReg: {
+      SrvReg m;
+      m.header.xid = 9;
+      m.header.flags = kFlagFresh;
+      m.url_entry = UrlEntry{120, "service:printer:lpr://10.0.0.4"};
+      m.service_type = "service:printer";
+      m.attr_list = "(color=true),(ppm=12)";
+      return m;
+    }
+    case FunctionId::kSrvDeReg: {
+      SrvDeReg m;
+      m.url_entry = UrlEntry{0, "service:printer:lpr://10.0.0.4"};
+      return m;
+    }
+    case FunctionId::kSrvAck: {
+      SrvAck m;
+      m.header.xid = 9;
+      m.error = ErrorCode::kInvalidRegistration;
+      return m;
+    }
+    case FunctionId::kAttrRqst: {
+      AttrRqst m;
+      m.url = "service:clock:soap://10.0.0.2:4005/c";
+      m.tag_list = "friendlyName,model";
+      return m;
+    }
+    case FunctionId::kAttrRply: {
+      AttrRply m;
+      m.attr_list = "(friendlyName=Clock Device)";
+      return m;
+    }
+    case FunctionId::kDAAdvert: {
+      DAAdvert m;
+      m.boot_timestamp = 12345;
+      m.url = "service:directory-agent://10.0.0.9";
+      m.scope_list = "DEFAULT,HOME";
+      return m;
+    }
+    case FunctionId::kSrvTypeRqst: {
+      SrvTypeRqst m;
+      m.naming_authority = "*";
+      return m;
+    }
+    case FunctionId::kSrvTypeRply: {
+      SrvTypeRply m;
+      m.type_list = "service:clock,service:printer";
+      return m;
+    }
+  }
+  throw std::logic_error("unhandled function id");
+}
+
+class WireRoundTrip : public ::testing::TestWithParam<FunctionId> {};
+
+TEST_P(WireRoundTrip, EncodeDecodePreservesMessage) {
+  Message original = sample_message(GetParam());
+  Bytes wire = encode(original);
+  std::string error;
+  auto decoded = decode(wire, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(function_of(*decoded), GetParam());
+  EXPECT_EQ(header_of(*decoded).xid, header_of(original).xid);
+  // Re-encoding must be byte-identical (stable wire format).
+  EXPECT_EQ(encode(*decoded), wire);
+}
+
+TEST_P(WireRoundTrip, LengthFieldMatchesBufferSize) {
+  Bytes wire = encode(sample_message(GetParam()));
+  std::uint32_t length = (static_cast<std::uint32_t>(wire[2]) << 16) |
+                         (static_cast<std::uint32_t>(wire[3]) << 8) | wire[4];
+  EXPECT_EQ(length, wire.size());
+}
+
+TEST_P(WireRoundTrip, EveryTruncationIsRejectedNotCrashing) {
+  Bytes wire = encode(sample_message(GetParam()));
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    BytesView prefix(wire.data(), cut);
+    std::string error;
+    auto decoded = decode(prefix, &error);
+    EXPECT_FALSE(decoded.has_value()) << "cut at " << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFunctions, WireRoundTrip,
+    ::testing::Values(FunctionId::kSrvRqst, FunctionId::kSrvRply,
+                      FunctionId::kSrvReg, FunctionId::kSrvDeReg,
+                      FunctionId::kSrvAck, FunctionId::kAttrRqst,
+                      FunctionId::kAttrRply, FunctionId::kDAAdvert,
+                      FunctionId::kSrvTypeRqst, FunctionId::kSrvTypeRply));
+
+TEST(WireDecode, RejectsWrongVersion) {
+  Bytes wire = encode(sample_message(FunctionId::kSrvRqst));
+  wire[0] = 1;  // SLPv1
+  std::string error;
+  EXPECT_FALSE(decode(wire, &error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST(WireDecode, RejectsUnknownFunction) {
+  Bytes wire = encode(sample_message(FunctionId::kSrvRqst));
+  wire[1] = 99;
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(WireDecode, RejectsLengthMismatch) {
+  Bytes wire = encode(sample_message(FunctionId::kSrvRqst));
+  wire.push_back(0);  // trailing junk: length field no longer matches
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(WireDecode, FlagsSurviveRoundTrip) {
+  SrvRqst m;
+  m.header.flags = kFlagRequestMcast | kFlagOverflow;
+  auto decoded = decode(encode(Message(m)));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(header_of(*decoded).flags, kFlagRequestMcast | kFlagOverflow);
+}
+
+TEST(WireDecode, LanguageTagPreserved) {
+  SrvRqst m;
+  m.header.language = "fr";
+  auto decoded = decode(encode(Message(m)));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(header_of(*decoded).language, "fr");
+}
+
+}  // namespace
+}  // namespace indiss::slp

@@ -1,0 +1,123 @@
+// Unit tests for the common substrate: byte buffers, strings, URIs.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/strings.hpp"
+#include "common/uri.hpp"
+
+namespace indiss {
+namespace {
+
+TEST(ByteWriter, BigEndianIntegers) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u24(0x56789A);
+  w.u32(0xDEADBEEF);
+  const Bytes& b = w.bytes();
+  ASSERT_EQ(b.size(), 1u + 2 + 3 + 4);
+  EXPECT_EQ(b[0], 0xAB);
+  EXPECT_EQ(b[1], 0x12);
+  EXPECT_EQ(b[2], 0x34);
+  EXPECT_EQ(b[3], 0x56);
+  EXPECT_EQ(b[5], 0x9A);
+  EXPECT_EQ(b[6], 0xDE);
+  EXPECT_EQ(b[9], 0xEF);
+}
+
+TEST(ByteWriter, Str16RoundTrip) {
+  ByteWriter w;
+  w.str16("service:clock");
+  w.str16("");  // empty strings are legal everywhere in SLP
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str16(), "service:clock");
+  EXPECT_EQ(r.str16(), "");
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteWriter, PatchU24FixesLengthField) {
+  ByteWriter w;
+  w.u16(0);
+  w.u24(0);
+  w.raw(std::string_view("payload"));
+  w.patch_u24(2, static_cast<std::uint32_t>(w.size()));
+  ByteReader r(w.bytes());
+  (void)r.u16();
+  EXPECT_EQ(r.u24(), w.size());
+}
+
+TEST(ByteReader, TruncationThrowsDecodeError) {
+  ByteWriter w;
+  w.u16(0x1234);
+  ByteReader r(w.bytes());
+  (void)r.u8();
+  (void)r.u8();
+  EXPECT_THROW((void)r.u8(), DecodeError);
+}
+
+TEST(ByteReader, Str16TruncatedBodyThrows) {
+  ByteWriter w;
+  w.u16(10);  // claims 10 bytes follow
+  w.raw(std::string_view("abc"));
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)r.str16(), DecodeError);
+}
+
+TEST(ByteReader, U64RoundTrip) {
+  ByteWriter w;
+  w.u64(0x0123456789ABCDEFULL);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  auto parts = str::split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, SplitTrimmedDropsBlanks) {
+  auto parts = str::split_trimmed(" a , , b ,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(Strings, CaseInsensitiveComparisons) {
+  EXPECT_TRUE(str::iequals("Content-Length", "content-length"));
+  EXPECT_FALSE(str::iequals("a", "ab"));
+  EXPECT_TRUE(str::istarts_with("M-SEARCH * HTTP/1.1", "m-search"));
+}
+
+TEST(Strings, ParseLongFallsBackOnGarbage) {
+  EXPECT_EQ(str::parse_long("42", -1), 42);
+  EXPECT_EQ(str::parse_long(" 42 ", -1), 42);  // trimmed
+  EXPECT_EQ(str::parse_long("4x2", -1), -1);
+  EXPECT_EQ(str::parse_long("", -1), -1);
+}
+
+TEST(Uri, ParsesHostPortPath) {
+  auto uri = Uri::parse("http://128.93.8.112:4004/description.xml");
+  ASSERT_TRUE(uri.has_value());
+  EXPECT_EQ(uri->scheme, "http");
+  EXPECT_EQ(uri->host, "128.93.8.112");
+  EXPECT_EQ(uri->port, 4004);
+  EXPECT_EQ(uri->path, "/description.xml");
+  EXPECT_EQ(uri->to_string(), "http://128.93.8.112:4004/description.xml");
+}
+
+TEST(Uri, DefaultsPortAndPath) {
+  auto uri = Uri::parse("soap://10.0.0.1");
+  ASSERT_TRUE(uri.has_value());
+  EXPECT_EQ(uri->port, 0);
+  EXPECT_EQ(uri->path, "");
+}
+
+TEST(Uri, RejectsMalformed) {
+  EXPECT_FALSE(Uri::parse("no-scheme-here").has_value());
+  EXPECT_FALSE(Uri::parse("http://host:notaport/x").has_value());
+  EXPECT_FALSE(Uri::parse("http://").has_value());
+}
+
+}  // namespace
+}  // namespace indiss

@@ -1,0 +1,276 @@
+// Unit tests for the simulated network: UDP unicast/multicast/loopback, TCP
+// pipes, failure injection and traffic accounting.
+#include <gtest/gtest.h>
+
+#include "net/host.hpp"
+#include "net/network.hpp"
+#include "net/tcp.hpp"
+#include "net/udp.hpp"
+#include "sim/scheduler.hpp"
+
+namespace indiss::net {
+namespace {
+
+struct NetFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+  LinkProfile profile;
+  Network network{scheduler, LinkProfile{}, /*seed=*/1};
+  Host& alice = network.add_host("alice", IpAddress(10, 0, 0, 1));
+  Host& bob = network.add_host("bob", IpAddress(10, 0, 0, 2));
+};
+
+TEST_F(NetFixture, UnicastDelivery) {
+  auto rx = bob.udp_socket(5000);
+  Bytes received;
+  rx->set_receive_handler(
+      [&](const Datagram& d) { received = d.payload; });
+  auto tx = alice.udp_socket(0);
+  tx->send_to(Endpoint{bob.address(), 5000}, to_bytes("hello"));
+  scheduler.run_all();
+  EXPECT_EQ(to_string(received), "hello");
+  EXPECT_EQ(network.stats().udp_unicast_packets, 1u);
+}
+
+TEST_F(NetFixture, UnicastCarriesSourceEndpoint) {
+  auto rx = bob.udp_socket(5000);
+  Endpoint source;
+  rx->set_receive_handler([&](const Datagram& d) { source = d.source; });
+  auto tx = alice.udp_socket(1234);
+  tx->send_to(Endpoint{bob.address(), 5000}, to_bytes("x"));
+  scheduler.run_all();
+  EXPECT_EQ(source.address, alice.address());
+  EXPECT_EQ(source.port, 1234);
+}
+
+TEST_F(NetFixture, MulticastReachesAllGroupMembersButNotSender) {
+  IpAddress group(239, 255, 255, 253);
+  auto a = alice.udp_socket(427);
+  auto b = bob.udp_socket(427);
+  a->join_group(group);
+  b->join_group(group);
+  int a_got = 0, b_got = 0;
+  a->set_receive_handler([&](const Datagram&) { ++a_got; });
+  b->set_receive_handler([&](const Datagram&) { ++b_got; });
+  a->send_to(Endpoint{group, 427}, to_bytes("announce"));
+  scheduler.run_all();
+  EXPECT_EQ(a_got, 0);  // no self-delivery to the sending socket
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(network.stats().udp_multicast_packets, 1u);  // one wire frame
+}
+
+TEST_F(NetFixture, MulticastLoopbackToOtherSocketsOnSameHost) {
+  IpAddress group(239, 255, 255, 250);
+  auto monitor = alice.udp_socket(1900);
+  monitor->join_group(group);
+  int got = 0;
+  monitor->set_receive_handler([&](const Datagram& d) {
+    ++got;
+    EXPECT_TRUE(d.multicast);
+  });
+  auto client = alice.udp_socket(0);  // same host, different socket
+  client->send_to(Endpoint{group, 1900}, to_bytes("M-SEARCH"));
+  scheduler.run_all();
+  EXPECT_EQ(got, 1);
+  EXPECT_GE(network.stats().loopback_packets, 1u);
+}
+
+TEST_F(NetFixture, MulticastRequiresMatchingPort) {
+  IpAddress group(239, 0, 0, 1);
+  auto rx = bob.udp_socket(1111);
+  rx->join_group(group);
+  int got = 0;
+  rx->set_receive_handler([&](const Datagram&) { ++got; });
+  auto tx = alice.udp_socket(0);
+  tx->send_to(Endpoint{group, 2222}, to_bytes("wrong port"));
+  scheduler.run_all();
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(NetFixture, LeaveGroupStopsDelivery) {
+  IpAddress group(239, 0, 0, 2);
+  auto rx = bob.udp_socket(427);
+  rx->join_group(group);
+  int got = 0;
+  rx->set_receive_handler([&](const Datagram&) { ++got; });
+  auto tx = alice.udp_socket(0);
+  tx->send_to(Endpoint{group, 427}, to_bytes("one"));
+  scheduler.run_all();
+  rx->leave_group(group);
+  tx->send_to(Endpoint{group, 427}, to_bytes("two"));
+  scheduler.run_all();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetFixture, CrossHostLatencyIncludesSerialization) {
+  // 10 Mb/s: 1250 bytes take 1 ms on the wire, plus propagation.
+  auto rx = bob.udp_socket(9000);
+  sim::SimTime arrival{};
+  rx->set_receive_handler(
+      [&](const Datagram&) { arrival = scheduler.now(); });
+  auto tx = alice.udp_socket(0);
+  tx->send_to(Endpoint{bob.address(), 9000}, Bytes(1250, 0x55));
+  scheduler.run_all();
+  auto expected = network.profile().propagation + sim::millis(1);
+  EXPECT_EQ(arrival, expected);
+}
+
+TEST_F(NetFixture, LoopbackIsFast) {
+  auto rx = alice.udp_socket(9000);
+  sim::SimTime arrival{};
+  rx->set_receive_handler(
+      [&](const Datagram&) { arrival = scheduler.now(); });
+  auto tx = alice.udp_socket(0);
+  tx->send_to(Endpoint{alice.address(), 9000}, Bytes(1250, 0x55));
+  scheduler.run_all();
+  EXPECT_EQ(arrival, network.profile().loopback_latency);
+}
+
+TEST_F(NetFixture, HostDownDropsPackets) {
+  auto rx = bob.udp_socket(5000);
+  int got = 0;
+  rx->set_receive_handler([&](const Datagram&) { ++got; });
+  network.set_host_down(bob, true);
+  auto tx = alice.udp_socket(0);
+  tx->send_to(Endpoint{bob.address(), 5000}, to_bytes("lost"));
+  scheduler.run_all();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(network.stats().dropped_packets, 1u);
+  network.set_host_down(bob, false);
+  tx->send_to(Endpoint{bob.address(), 5000}, to_bytes("found"));
+  scheduler.run_all();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetFixture, LossInjectionDropsApproximatelyTheConfiguredFraction) {
+  network.profile().udp_loss_rate = 0.5;
+  auto rx = bob.udp_socket(5000);
+  int got = 0;
+  rx->set_receive_handler([&](const Datagram&) { ++got; });
+  auto tx = alice.udp_socket(0);
+  for (int i = 0; i < 1000; ++i) {
+    tx->send_to(Endpoint{bob.address(), 5000}, to_bytes("p"));
+  }
+  scheduler.run_all();
+  EXPECT_GT(got, 350);
+  EXPECT_LT(got, 650);
+}
+
+TEST_F(NetFixture, ClosedSocketReceivesNothingEvenWithInflightPackets) {
+  auto rx = bob.udp_socket(5000);
+  int got = 0;
+  rx->set_receive_handler([&](const Datagram&) { ++got; });
+  auto tx = alice.udp_socket(0);
+  tx->send_to(Endpoint{bob.address(), 5000}, to_bytes("in flight"));
+  rx->close();  // before delivery executes
+  scheduler.run_all();
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(NetFixture, DuplicateHostAddressThrows) {
+  EXPECT_THROW(network.add_host("clone", IpAddress(10, 0, 0, 1)),
+               std::invalid_argument);
+}
+
+// --- TCP -------------------------------------------------------------------
+
+TEST_F(NetFixture, TcpConnectAcceptAndExchange) {
+  auto listener = bob.tcp_listen(8080);
+  std::shared_ptr<TcpSocket> server;
+  std::string server_got;
+  listener->set_accept_handler([&](std::shared_ptr<TcpSocket> s) {
+    server = s;
+    server->set_data_handler([&](BytesView data) {
+      server_got += to_string(data);
+      server->send(to_bytes("pong"));
+    });
+  });
+  auto client = alice.tcp_connect(Endpoint{bob.address(), 8080});
+  ASSERT_NE(client, nullptr);
+  std::string client_got;
+  client->set_data_handler(
+      [&](BytesView data) { client_got += to_string(data); });
+  client->send(to_bytes("ping"));
+  scheduler.run_all();
+  EXPECT_EQ(server_got, "ping");
+  EXPECT_EQ(client_got, "pong");
+  EXPECT_GT(network.stats().tcp_segments, 0u);
+}
+
+TEST_F(NetFixture, TcpConnectionRefusedWithoutListener) {
+  EXPECT_EQ(alice.tcp_connect(Endpoint{bob.address(), 9999}), nullptr);
+}
+
+TEST_F(NetFixture, TcpSegmentsStayOrdered) {
+  auto listener = bob.tcp_listen(8080);
+  std::shared_ptr<TcpSocket> server;
+  std::string got;
+  listener->set_accept_handler([&](std::shared_ptr<TcpSocket> s) {
+    server = s;
+    server->set_data_handler([&](BytesView data) { got += to_string(data); });
+  });
+  auto client = alice.tcp_connect(Endpoint{bob.address(), 8080});
+  ASSERT_NE(client, nullptr);
+  // Different sizes would reorder if latency were purely size-based.
+  client->send(Bytes(2000, 'A'));
+  client->send(Bytes(10, 'B'));
+  client->send(Bytes(500, 'C'));
+  scheduler.run_all();
+  ASSERT_EQ(got.size(), 2510u);
+  EXPECT_EQ(got.substr(0, 2000), std::string(2000, 'A'));
+  EXPECT_EQ(got.substr(2000, 10), std::string(10, 'B'));
+  EXPECT_EQ(got.substr(2010), std::string(500, 'C'));
+}
+
+TEST_F(NetFixture, TcpCloseNotifiesPeer) {
+  auto listener = bob.tcp_listen(8080);
+  std::shared_ptr<TcpSocket> server;
+  bool closed = false;
+  listener->set_accept_handler([&](std::shared_ptr<TcpSocket> s) {
+    server = s;
+    server->set_close_handler([&]() { closed = true; });
+  });
+  auto client = alice.tcp_connect(Endpoint{bob.address(), 8080});
+  ASSERT_NE(client, nullptr);
+  scheduler.run_all();
+  client->close();
+  scheduler.run_all();
+  EXPECT_TRUE(closed);
+  EXPECT_FALSE(client->open());
+}
+
+TEST_F(NetFixture, TcpDataBeforeHandlerIsBuffered) {
+  auto listener = bob.tcp_listen(8080);
+  std::shared_ptr<TcpSocket> server;
+  listener->set_accept_handler(
+      [&](std::shared_ptr<TcpSocket> s) { server = s; });
+  auto client = alice.tcp_connect(Endpoint{bob.address(), 8080});
+  ASSERT_NE(client, nullptr);
+  client->send(to_bytes("early"));
+  scheduler.run_all();  // delivered before any server handler exists
+  ASSERT_NE(server, nullptr);
+  std::string got;
+  server->set_data_handler([&](BytesView data) { got += to_string(data); });
+  EXPECT_EQ(got, "early");  // flushed from the inbox on handler installation
+}
+
+TEST_F(NetFixture, TcpToDownHostRefused) {
+  auto listener = bob.tcp_listen(8080);
+  network.set_host_down(bob, true);
+  EXPECT_EQ(alice.tcp_connect(Endpoint{bob.address(), 8080}), nullptr);
+}
+
+TEST(Address, ParseAndClassify) {
+  auto a = IpAddress::parse("239.255.255.250");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(a->is_multicast());
+  EXPECT_EQ(a->to_string(), "239.255.255.250");
+  auto b = IpAddress::parse("10.0.0.1");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_FALSE(b->is_multicast());
+  EXPECT_FALSE(IpAddress::parse("10.0.0").has_value());
+  EXPECT_FALSE(IpAddress::parse("10.0.0.256").has_value());
+  EXPECT_FALSE(IpAddress::parse("hello").has_value());
+}
+
+}  // namespace
+}  // namespace indiss::net

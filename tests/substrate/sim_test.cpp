@@ -1,0 +1,127 @@
+// Unit tests for the discrete-event scheduler: the determinism foundation of
+// every experiment in the repository.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace indiss::sim {
+namespace {
+
+TEST(Scheduler, RunsTasksInDeadlineOrder) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  scheduler.schedule(millis(30), [&] { order.push_back(3); });
+  scheduler.schedule(millis(10), [&] { order.push_back(1); });
+  scheduler.schedule(millis(20), [&] { order.push_back(2); });
+  scheduler.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(scheduler.now(), millis(30));
+}
+
+TEST(Scheduler, EqualDeadlinesAreFifo) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    scheduler.schedule(millis(5), [&order, i] { order.push_back(i); });
+  }
+  scheduler.run_all();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler scheduler;
+  int runs = 0;
+  auto handle = scheduler.schedule(millis(5), [&] { ++runs; });
+  handle.cancel();
+  scheduler.run_all();
+  EXPECT_EQ(runs, 0);
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Scheduler scheduler;
+  int runs = 0;
+  scheduler.schedule(millis(10), [&] { ++runs; });
+  scheduler.schedule(millis(50), [&] { ++runs; });
+  scheduler.run_until(millis(20));
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(scheduler.now(), millis(20));
+  scheduler.run_until(millis(100));
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(Scheduler, PeriodicFiresUntilCancelled) {
+  Scheduler scheduler;
+  int runs = 0;
+  auto handle = scheduler.schedule_periodic(millis(10), [&] { ++runs; });
+  scheduler.run_until(millis(35));
+  EXPECT_EQ(runs, 3);
+  handle.cancel();
+  scheduler.run_until(millis(100));
+  EXPECT_EQ(runs, 3);
+}
+
+TEST(Scheduler, PeriodicCancelFromWithinTask) {
+  Scheduler scheduler;
+  int runs = 0;
+  TaskHandle handle;
+  handle = scheduler.schedule_periodic(millis(10), [&] {
+    if (++runs == 2) handle.cancel();
+  });
+  scheduler.run_until(millis(200));
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(Scheduler, TasksScheduledDuringRunExecute) {
+  Scheduler scheduler;
+  int depth = 0;
+  scheduler.schedule(millis(1), [&] {
+    scheduler.schedule(millis(1), [&] { depth = 2; });
+    depth = 1;
+  });
+  scheduler.run_all();
+  EXPECT_EQ(depth, 2);
+  EXPECT_EQ(scheduler.now(), millis(2));
+}
+
+TEST(Scheduler, RunAllThrowsOnRunawayPeriodicTask) {
+  Scheduler scheduler;
+  scheduler.schedule_periodic(millis(1), [] {});
+  EXPECT_THROW(scheduler.run_all(1000), std::runtime_error);
+}
+
+TEST(Scheduler, NegativeDelayClampsToNow) {
+  Scheduler scheduler;
+  bool ran = false;
+  scheduler.schedule(millis(-5), [&] { ran = true; });
+  scheduler.run_all();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(scheduler.now(), SimTime{0});
+}
+
+TEST(Random, SameSeedSameSequence) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST(Random, UniformDurationWithinBounds) {
+  Random rng(7);
+  for (int i = 0; i < 100; ++i) {
+    auto d = rng.uniform_duration(millis(10), millis(20));
+    EXPECT_GE(d, millis(10));
+    EXPECT_LE(d, millis(20));
+  }
+}
+
+TEST(Time, ConversionsAndFormatting) {
+  EXPECT_EQ(millis_f(0.7).count(), 700'000);
+  EXPECT_DOUBLE_EQ(to_millis(millis(40)), 40.0);
+  EXPECT_EQ(format_millis(millis_f(0.12)), "0.120 ms");
+}
+
+}  // namespace
+}  // namespace indiss::sim

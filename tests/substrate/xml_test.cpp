@@ -1,0 +1,125 @@
+// Unit tests for the SAX XML parser and DOM used by UPnP descriptions.
+#include <gtest/gtest.h>
+
+#include "xml/dom.hpp"
+#include "xml/sax.hpp"
+
+namespace indiss::xml {
+namespace {
+
+struct Recorder : SaxHandler {
+  std::vector<std::string> events;
+  void on_start_element(std::string_view name,
+                        const Attributes& attrs) override {
+    std::string e = "start:" + std::string(name);
+    for (const auto& [k, v] : attrs) e += " " + k + "=" + v;
+    events.push_back(e);
+  }
+  void on_text(std::string_view text) override {
+    events.push_back("text:" + std::string(text));
+  }
+  void on_end_element(std::string_view name) override {
+    events.push_back("end:" + std::string(name));
+  }
+};
+
+TEST(Sax, BasicDocumentEvents) {
+  Recorder r;
+  auto result = parse("<root><a>hi</a><b x=\"1\"/></root>", r);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(r.events,
+            (std::vector<std::string>{"start:root", "start:a", "text:hi",
+                                      "end:a", "start:b x=1", "end:b",
+                                      "end:root"}));
+}
+
+TEST(Sax, XmlDeclarationAndCommentsIgnored) {
+  Recorder r;
+  auto result =
+      parse("<?xml version=\"1.0\"?><!-- c --><root><!-- inner --></root>", r);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(r.events.front(), "start:root");
+}
+
+TEST(Sax, EntitiesDecoded) {
+  Recorder r;
+  auto result = parse("<a>&lt;tag&gt; &amp; &quot;q&quot; &#65;</a>", r);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(r.events[1], "text:<tag> & \"q\" A");
+}
+
+TEST(Sax, CdataPassedThrough) {
+  Recorder r;
+  auto result = parse("<a><![CDATA[<raw> & stuff]]></a>", r);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(r.events[1], "text:<raw> & stuff");
+}
+
+TEST(Sax, MismatchedTagsRejected) {
+  Recorder r;
+  EXPECT_FALSE(parse("<a><b></a></b>", r).ok);
+}
+
+TEST(Sax, UnclosedElementRejected) {
+  Recorder r;
+  EXPECT_FALSE(parse("<a><b>", r).ok);
+}
+
+TEST(Sax, DoctypeRejected) {
+  Recorder r;
+  EXPECT_FALSE(parse("<!DOCTYPE foo><a/>", r).ok);
+}
+
+TEST(Sax, MultipleRootsRejected) {
+  Recorder r;
+  EXPECT_FALSE(parse("<a/><b/>", r).ok);
+}
+
+TEST(Sax, BadEntityRejected) {
+  Recorder r;
+  EXPECT_FALSE(parse("<a>&bogus;</a>", r).ok);
+}
+
+TEST(Sax, EscapeProducesParseableText) {
+  Recorder r;
+  std::string nasty = "a<b&c>\"d'";
+  auto doc = "<x>" + escape(nasty) + "</x>";
+  ASSERT_TRUE(parse(doc, r).ok);
+  EXPECT_EQ(r.events[1], "text:" + nasty);
+}
+
+TEST(Dom, BuildFindAndText) {
+  auto result = parse_document(
+      "<root><device><friendlyName>Clock</friendlyName>"
+      "<serviceList><service><controlURL>/c1</controlURL></service>"
+      "<service><controlURL>/c2</controlURL></service></serviceList>"
+      "</device></root>");
+  ASSERT_NE(result.root, nullptr) << result.error;
+  EXPECT_EQ(result.root->text_at("device/friendlyName"), "Clock");
+  EXPECT_EQ(result.root->text_at("device/missing", "dflt"), "dflt");
+  const Element* list = result.root->find("device/serviceList");
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->children_named("service").size(), 2u);
+}
+
+TEST(Dom, SerializeParseRoundTrip) {
+  Element root("root");
+  root.set_attribute("xmlns", "urn:test");
+  auto& device = root.add_child("device");
+  device.add_child("UDN").set_text("uuid:X");
+  device.add_child("note").set_text("a<b&c");
+  auto text = root.serialize();
+  auto reparsed = parse_document(text);
+  ASSERT_NE(reparsed.root, nullptr) << reparsed.error;
+  EXPECT_EQ(reparsed.root->text_at("device/UDN"), "uuid:X");
+  EXPECT_EQ(reparsed.root->text_at("device/note"), "a<b&c");
+}
+
+TEST(Dom, ParseFailureReturnsError) {
+  auto result = parse_document("<broken");
+  EXPECT_EQ(result.root, nullptr);
+  EXPECT_FALSE(result.error.empty());
+}
+
+}  // namespace
+}  // namespace indiss::xml
