@@ -1,0 +1,31 @@
+# Provides GTest::gtest / GTest::gtest_main via FetchContent, pinned to
+# v1.12.1. Offline builds reuse a local googletest source tree when one is
+# present (the Debian/Ubuntu `googletest` package installs /usr/src/googletest)
+# instead of hitting the network.
+include(FetchContent)
+
+if(NOT DEFINED FETCHCONTENT_SOURCE_DIR_GOOGLETEST AND EXISTS /usr/src/googletest/CMakeLists.txt)
+  set(FETCHCONTENT_SOURCE_DIR_GOOGLETEST /usr/src/googletest
+      CACHE PATH "Local googletest checkout used instead of downloading")
+endif()
+
+FetchContent_Declare(
+  googletest
+  URL https://github.com/google/googletest/archive/refs/tags/release-1.12.1.tar.gz
+  URL_HASH SHA256=81964fe578e9bd7c94dfdb09c8e4d6e6759e19967e397dbea48d1c10e45d0df2
+  DOWNLOAD_EXTRACT_TIMESTAMP TRUE
+)
+
+set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+FetchContent_MakeAvailable(googletest)
+
+# Older googletest CMake (pre-1.13 in-tree builds) exports plain `gtest`
+# targets without the GTest:: namespace; alias so callers can be uniform.
+if(NOT TARGET GTest::gtest)
+  add_library(GTest::gtest ALIAS gtest)
+  add_library(GTest::gtest_main ALIAS gtest_main)
+endif()
+
+include(GoogleTest)

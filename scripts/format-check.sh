@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Single source of truth for the format check; called by both CI and
+# scripts/check.sh so the file set cannot drift between them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+find src tests bench examples \( -name '*.cpp' -o -name '*.hpp' \) -print0 \
+  | xargs -0 clang-format --dry-run --Werror

@@ -114,6 +114,7 @@ Bytes ByteReader::raw(std::size_t n) {
 Bytes to_bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
 
 std::string to_string(BytesView b) {
+  if (b.empty()) return {};  // data() may be null for an empty span
   return std::string(reinterpret_cast<const char*>(b.data()), b.size());
 }
 

@@ -51,7 +51,10 @@ void SlpEventParser::parse(BytesView raw, const MessageContext& ctx,
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, slp::SrvRqst>) {
-          sink.emit(Event(EventType::kServiceRequest));
+          // The previous-responder list doubles as the bridge stamp (SLP's
+          // native loop-prevention slot); see standard_fsm's bridge guard.
+          sink.emit(Event(EventType::kServiceRequest,
+                          {{"server", m.previous_responders}}));
           // SLP-specific events; foreign composers discard them (paper §2.4).
           sink.emit(Event(EventType::kSlpReqVersion, {{"version", "2"}}));
           sink.emit(Event(EventType::kSlpReqScope, {{"scopes", m.scope_list}}));
@@ -161,6 +164,9 @@ void SlpUnit::compose_native_request(Session& session) {
   request.service_type = slp_from_canonical(session.var("service_type", "*"));
   request.predicate = session.var("predicate", "");
   request.header.flags |= slp::kFlagRequestMcast;
+  // Stamp the PRList so a peer INDISS recognizes this as bridge traffic and
+  // does not translate it back (two-node deployments would loop forever).
+  request.previous_responders = "INDISS-bridge";
 
   auto socket = host().udp_socket(0);
   mark_own(*socket);

@@ -33,18 +33,23 @@ void build_standard_fsm(StateMachine& fsm, StandardFsmOptions options) {
                 {Unit::set("net", "multicast")});
   fsm.add_tuple("parsing", ET::kNetUnicast, any(), "parsing",
                 {Unit::set("net", "unicast")});
-  fsm.add_tuple("parsing", ET::kServiceRequest, any(), "parsing",
-                {Unit::set("kind", "request")});
-  fsm.add_tuple("parsing", ET::kServiceResponse, any(), "parsing",
-                {Unit::set("kind", "response")});
-  // Advertisements stamped by another INDISS bridge are not re-translated —
-  // that would echo adverts back and forth between INDISS nodes forever.
+  // Messages stamped by another INDISS bridge are not re-translated — that
+  // would echo adverts (and ping-pong requests) back and forth between INDISS
+  // nodes forever. Requests carry the stamp in the native protocol's own
+  // loop-prevention slot (SSDP USER-AGENT, SLP previous-responder list),
+  // surfaced by the parser as the head event's "server" attribute.
   auto from_bridge = [](const Event& e, const Session&) {
     return e.get("server").find("INDISS-bridge") != std::string::npos;
   };
   auto not_from_bridge = [from_bridge](const Event& e, const Session& s) {
     return !from_bridge(e, s);
   };
+  fsm.add_tuple("parsing", ET::kServiceRequest, not_from_bridge, "parsing",
+                {Unit::set("kind", "request")});
+  fsm.add_tuple("parsing", ET::kServiceRequest, from_bridge, "parsing",
+                {Unit::set("kind", "bridge_echo")});
+  fsm.add_tuple("parsing", ET::kServiceResponse, any(), "parsing",
+                {Unit::set("kind", "response")});
   fsm.add_tuple("parsing", ET::kServiceAlive, not_from_bridge, "parsing",
                 {Unit::set("kind", "alive")});
   fsm.add_tuple("parsing", ET::kServiceAlive, from_bridge, "parsing",

@@ -72,7 +72,10 @@ void SsdpEventParser::parse(BytesView raw, const MessageContext& ctx,
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, upnp::SearchRequest>) {
-          sink.emit(Event(EventType::kServiceRequest));
+          // USER-AGENT rides on the head event so the FSM's bridge-echo
+          // guard can drop searches composed by a peer INDISS node.
+          sink.emit(Event(EventType::kServiceRequest,
+                          {{"server", m.user_agent}}));
           sink.emit(Event(EventType::kUpnpSearchTarget, {{"st", m.st}}));
           sink.emit(Event(EventType::kServiceTypeIs,
                           {{"type", canonical_from_upnp(m.st)},

@@ -95,6 +95,15 @@ void TcpSocket::close() {
                                  : pipe->network->profile().propagation;
   sched.schedule(latency, [pipe, peer]() {
     if (pipe->close_handlers[peer]) pipe->close_handlers[peer]();
+    // Handlers routinely capture their own socket's shared_ptr while the
+    // socket owns this pipe; dropping them here (never synchronously inside
+    // close(), where the caller may *be* one of those handlers) breaks the
+    // Pipe -> handler -> TcpSocket -> Pipe ownership cycle.
+    for (int s = 0; s < 2; ++s) {
+      pipe->data_handlers[s] = nullptr;
+      pipe->close_handlers[s] = nullptr;
+      pipe->inbox[s].clear();
+    }
   });
 }
 

@@ -18,15 +18,22 @@ TaskHandle Scheduler::schedule_periodic(SimDuration period, Task task) {
   }
   auto alive = std::make_shared<bool>(true);
   // Self-rescheduling wrapper; checks the shared liveness flag on each run so
-  // cancel() stops the chain.
+  // cancel() stops the chain. The queued entries hold the strong reference to
+  // the wrapper while the wrapper itself captures only a weak one — a strong
+  // self-capture would be a shared_ptr cycle and leak every periodic task.
   auto loop = std::make_shared<std::function<void()>>();
-  *loop = [this, period, task = std::move(task), alive, loop]() {
+  *loop = [this, period, task = std::move(task), alive,
+           weak = std::weak_ptr<std::function<void()>>(loop)]() {
     if (!*alive) return;
     task();
     if (!*alive) return;
-    queue_.emplace(Key{now_ + period, seq_++}, Entry{*loop, alive});
+    if (auto self = weak.lock()) {
+      queue_.emplace(Key{now_ + period, seq_++},
+                     Entry{[self]() { (*self)(); }, alive});
+    }
   };
-  queue_.emplace(Key{now_ + period, seq_++}, Entry{*loop, alive});
+  queue_.emplace(Key{now_ + period, seq_++},
+                 Entry{[loop]() { (*loop)(); }, alive});
   return TaskHandle(std::move(alive));
 }
 

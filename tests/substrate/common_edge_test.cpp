@@ -1,0 +1,170 @@
+// Edge cases for the byte/string substrate beyond common_test.cpp's seeds:
+// empty inputs, truncation at every integer width, and non-ASCII bytes. These
+// are the paths malformed network input exercises first (monitor -> parser).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/strings.hpp"
+
+namespace indiss {
+namespace {
+
+TEST(ByteReaderEdge, EmptyBufferThrowsOnEveryWidth) {
+  Bytes empty;
+  ByteReader r(empty);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_THROW((void)ByteReader(empty).u8(), DecodeError);
+  EXPECT_THROW((void)ByteReader(empty).u16(), DecodeError);
+  EXPECT_THROW((void)ByteReader(empty).u24(), DecodeError);
+  EXPECT_THROW((void)ByteReader(empty).u32(), DecodeError);
+  EXPECT_THROW((void)ByteReader(empty).u64(), DecodeError);
+  EXPECT_THROW((void)ByteReader(empty).str16(), DecodeError);
+  EXPECT_THROW((void)ByteReader(empty).raw(1), DecodeError);
+}
+
+TEST(ByteReaderEdge, ZeroLengthReadsSucceedOnEmptyBuffer) {
+  Bytes empty;
+  ByteReader r(empty);
+  EXPECT_TRUE(r.raw(0).empty());
+  EXPECT_EQ(r.position(), 0u);
+}
+
+TEST(ByteReaderEdge, TruncatedOneShortOfEachWidth) {
+  for (std::size_t width : {2u, 3u, 4u, 8u}) {
+    Bytes buf(width - 1, 0xAB);
+    ByteReader r(buf);
+    switch (width) {
+      case 2: EXPECT_THROW((void)r.u16(), DecodeError); break;
+      case 3: EXPECT_THROW((void)r.u24(), DecodeError); break;
+      case 4: EXPECT_THROW((void)r.u32(), DecodeError); break;
+      case 8: EXPECT_THROW((void)r.u64(), DecodeError); break;
+    }
+  }
+}
+
+TEST(ByteReaderEdge, U64TruncatedInSecondHalfThrows) {
+  // The first u32 of a u64 parses, the second must still bounds-check.
+  Bytes buf(6, 0x11);
+  ByteReader r(buf);
+  EXPECT_THROW((void)r.u64(), DecodeError);
+}
+
+TEST(ByteReaderEdge, Str16LengthPrefixLargerThanBufferThrows) {
+  ByteWriter w;
+  w.u16(500);  // claims 500 bytes follow
+  w.raw(std::string_view("short"));
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)r.str16(), DecodeError);
+}
+
+TEST(ByteReaderEdge, EmptyStr16RoundTrips) {
+  ByteWriter w;
+  w.str16("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str16(), "");
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteReaderEdge, NonAsciiBytesRoundTripExactly) {
+  // UTF-8 text plus raw high/NUL bytes must pass through untouched: SLP
+  // attribute values and UPnP friendly names are not ASCII-only.
+  std::string utf8 = "caf\xC3\xA9 \xE2\x98\x83";
+  std::string raw_bytes("\x00\xFF\x80\x7F", 4);
+  ByteWriter w;
+  w.str16(utf8);
+  w.str16(raw_bytes);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str16(), utf8);
+  EXPECT_EQ(r.str16(), raw_bytes);
+}
+
+TEST(ByteWriterEdge, PatchU24PastEndThrows) {
+  ByteWriter w;
+  w.u16(0);
+  EXPECT_THROW(w.patch_u24(0, 1), std::out_of_range);
+  EXPECT_THROW(w.patch_u24(7, 1), std::out_of_range);
+}
+
+TEST(ByteWriterEdge, U24TruncatesToLowThreeBytes) {
+  ByteWriter w;
+  w.u24(0x01ABCDEF);  // top byte dropped by the 24-bit encoding
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u24(), 0xABCDEFu);
+}
+
+TEST(BytesConversionEdge, EmptyRoundTrip) {
+  EXPECT_EQ(to_string(Bytes{}), "");
+  EXPECT_TRUE(to_bytes("").empty());
+  EXPECT_EQ(to_string(BytesView{}), "");
+}
+
+TEST(BytesConversionEdge, EmbeddedNulSurvives) {
+  std::string s("a\0b", 3);
+  Bytes b = to_bytes(s);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(to_string(b), s);
+}
+
+TEST(StringsEdge, TrimEmptyAndAllWhitespace) {
+  EXPECT_EQ(str::trim(""), "");
+  EXPECT_EQ(str::trim(" \t\r\n "), "");
+  EXPECT_EQ(str::trim("\ta b\n"), "a b");
+}
+
+TEST(StringsEdge, TrimLeavesNonAsciiBytesAlone) {
+  // High bytes must not be mistaken for whitespace (isspace on a plain char
+  // would be UB/locale-dependent; the unsigned-char cast keeps them intact).
+  std::string s = "\xC3\xA9 caf\xC3\xA9 \xC3\xA9";
+  EXPECT_EQ(str::trim(s), s);
+}
+
+TEST(StringsEdge, SplitEmptyInput) {
+  auto parts = str::split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_TRUE(str::split_trimmed("", ',').empty());
+  EXPECT_TRUE(str::split_trimmed(" , ,, ", ',').empty());
+}
+
+TEST(StringsEdge, SplitSeparatorOnly) {
+  auto parts = str::split(",", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringsEdge, CaseMappingLeavesNonAsciiAlone) {
+  std::string s = "Caf\xC3\xA9";
+  EXPECT_EQ(str::to_lower(s), "caf\xC3\xA9");
+  EXPECT_EQ(str::to_upper(s), "CAF\xC3\xA9");
+  EXPECT_TRUE(str::iequals("caf\xC3\xA9", "CAF\xC3\xA9"));
+}
+
+TEST(StringsEdge, PrefixHelpersOnEmptyInputs) {
+  EXPECT_TRUE(str::starts_with("abc", ""));
+  EXPECT_TRUE(str::starts_with("", ""));
+  EXPECT_FALSE(str::starts_with("", "a"));
+  EXPECT_TRUE(str::istarts_with("abc", ""));
+  EXPECT_FALSE(str::istarts_with("ab", "abc"));
+  EXPECT_TRUE(str::contains("abc", ""));
+  EXPECT_FALSE(str::contains("", "a"));
+}
+
+TEST(StringsEdge, ParseLongRejectsPartialAndOverflow) {
+  EXPECT_EQ(str::parse_long("12x", -1), -1);
+  EXPECT_EQ(str::parse_long("", -1), -1);
+  EXPECT_EQ(str::parse_long("  42  ", -1), 42);
+  EXPECT_EQ(str::parse_long("999999999999999999999999", -1), -1);
+}
+
+TEST(StringsEdge, JoinEmptyAndSingle) {
+  EXPECT_EQ(str::join({}, ","), "");
+  EXPECT_EQ(str::join({"a"}, ","), "a");
+  EXPECT_EQ(str::join({"", ""}, ","), ",");
+}
+
+}  // namespace
+}  // namespace indiss
