@@ -8,11 +8,43 @@
 // the same parse+compose cost without the reuse.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <map>
+#include <new>
+#include <string>
+
+#include "common/strings.hpp"
 #include "core/units/slp_unit.hpp"
 #include "core/units/upnp_unit.hpp"
 #include "slp/wire.hpp"
 #include "upnp/description.hpp"
 #include "upnp/ssdp.hpp"
+
+// --- Allocation counting ----------------------------------------------------
+//
+// The whole point of the interned SmallRecord event representation is fewer
+// heap allocations per translated message, so this harness counts them:
+// every operator new bumps a counter, and the round-trip fixtures report
+// allocs/op alongside wall time in BENCH_translation.json.
+
+namespace {
+std::uint64_t g_heap_allocs = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs += 1;
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_heap_allocs += 1;
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -31,8 +63,10 @@ void BM_SlpParseToEvents(benchmark::State& state) {
   request.predicate = "(friendlyName=Clock*)";
   Bytes wire = slp::encode(slp::Message(request));
   core::SlpEventParser parser;
+  core::StreamPool pool;
+  core::CollectingSink sink(pool);
   for (auto _ : state) {
-    core::CollectingSink sink;
+    sink.reset();  // reuse the pooled buffer: cleared, not freed
     parser.parse(wire, ctx(), sink);
     benchmark::DoNotOptimize(sink.stream());
   }
@@ -45,8 +79,10 @@ void BM_SsdpParseToEvents(benchmark::State& state) {
   request.st = "urn:schemas-upnp-org:device:clock:1";
   Bytes wire = to_bytes(request.to_http().serialize());
   core::SsdpEventParser parser;
+  core::StreamPool pool;
+  core::CollectingSink sink(pool);
   for (auto _ : state) {
-    core::CollectingSink sink;
+    sink.reset();
     parser.parse(wire, ctx(), sink);
     benchmark::DoNotOptimize(sink.stream());
   }
@@ -60,8 +96,10 @@ void BM_DescriptionParseToEvents(benchmark::State& state) {
   core::UpnpDescriptionParser parser;
   core::MessageContext continuation;
   continuation.continuation = true;
+  core::StreamPool pool;
+  core::CollectingSink sink(pool);
   for (auto _ : state) {
-    core::CollectingSink sink;
+    sink.reset();
     parser.parse(wire, continuation, sink);
     benchmark::DoNotOptimize(sink.stream());
   }
@@ -69,6 +107,138 @@ void BM_DescriptionParseToEvents(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * xml.size()));
 }
 BENCHMARK(BM_DescriptionParseToEvents);
+
+// --- Parse -> compose round trip, allocations counted -----------------------
+//
+// One full translation leg: decode an SLP SrvRply off the wire into events,
+// then compose a fresh SrvRply from the event stream the way
+// SlpUnit::compose_native_reply does (URL entries rebuilt from
+// SDP_RES_SERV_URL, attributes folded into the URL) and re-encode it.
+
+Bytes reply_wire() {
+  slp::SrvRply reply;
+  reply.header.xid = 42;
+  reply.url_entries = {
+      slp::UrlEntry{300, "service:clock:soap://10.0.0.2:4005/control"}};
+  return slp::encode(slp::Message(reply));
+}
+
+slp::SrvRply compose_from_events(const core::EventStream& stream) {
+  slp::SrvRply out;
+  std::string type = "service";
+  std::string attr_suffix;
+  std::uint16_t lifetime = 300;
+  for (const auto& event : stream) {
+    if (event.type == core::EventType::kServiceTypeIs) {
+      type = event.get("type");
+    } else if (event.type == core::EventType::kServiceAttr) {
+      attr_suffix += ";";
+      attr_suffix += event.get("key");
+      attr_suffix += ":\"";
+      attr_suffix += event.get("value");
+      attr_suffix += "\"";
+    } else if (event.type == core::EventType::kResTtl) {
+      lifetime = static_cast<std::uint16_t>(
+          str::parse_long(event.get("seconds"), lifetime));
+    }
+  }
+  for (const auto& event : stream) {
+    if (event.type != core::EventType::kResServUrl) continue;
+    std::string url = "service:" + type + ":";
+    url += event.get("url");
+    url += attr_suffix;
+    out.url_entries.push_back(slp::UrlEntry{lifetime, std::move(url)});
+  }
+  return out;
+}
+
+void BM_SlpRoundTripAllocations(benchmark::State& state) {
+  Bytes wire = reply_wire();
+  core::SlpEventParser parser;
+  core::StreamPool pool;
+  core::CollectingSink sink(pool);
+  std::uint64_t allocs_before = g_heap_allocs;
+  for (auto _ : state) {
+    sink.reset();
+    parser.parse(wire, ctx(), sink);
+    Bytes rewire =
+        slp::encode(slp::Message(compose_from_events(sink.stream())));
+    benchmark::DoNotOptimize(rewire);
+  }
+  state.counters["heap_allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(g_heap_allocs - allocs_before) /
+      static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SlpRoundTripAllocations);
+
+// The std::map<std::string,std::string> baseline this PR replaced: the same
+// round trip, but every event's data lives in a per-event map the way the
+// old Event struct stored it (one node allocation per entry, temporary
+// std::string keys on every lookup).
+struct LegacyEvent {
+  core::EventType type;
+  std::map<std::string, std::string> data;
+
+  [[nodiscard]] std::string get(std::string_view key,
+                                std::string_view fallback = "") const {
+    auto it = data.find(std::string(key));
+    return it == data.end() ? std::string(fallback) : it->second;
+  }
+};
+
+void BM_SlpRoundTripAllocationsMapBaseline(benchmark::State& state) {
+  Bytes wire = reply_wire();
+  core::SlpEventParser parser;
+  core::StreamPool pool;
+  core::CollectingSink sink(pool);
+  std::uint64_t allocs_before = g_heap_allocs;
+  for (auto _ : state) {
+    sink.reset();
+    parser.parse(wire, ctx(), sink);
+    // Materialize the old representation: a fresh buffer per message (the
+    // old code constructed a new CollectingSink for every parse) holding
+    // map-backed events.
+    std::vector<LegacyEvent> legacy;
+    for (const auto& event : sink.stream()) {
+      LegacyEvent copy;
+      copy.type = event.type;
+      event.data.for_each([&](std::string_view k, std::string_view v) {
+        copy.data.emplace(std::string(k), std::string(v));
+      });
+      legacy.push_back(std::move(copy));
+    }
+    // Compose from it with the old allocating accessors.
+    slp::SrvRply out;
+    std::string type = "service";
+    std::string attr_suffix;
+    std::uint16_t lifetime = 300;
+    for (const auto& event : legacy) {
+      if (event.type == core::EventType::kServiceTypeIs) {
+        type = event.get("type");
+      } else if (event.type == core::EventType::kServiceAttr) {
+        attr_suffix += ";" + event.get("key") + ":\"" + event.get("value") +
+                       "\"";
+      } else if (event.type == core::EventType::kResTtl) {
+        lifetime = static_cast<std::uint16_t>(
+            str::parse_long(event.get("seconds"), lifetime));
+      }
+    }
+    for (const auto& event : legacy) {
+      if (event.type != core::EventType::kResServUrl) continue;
+      std::string url = "service:" + type + ":" + event.get("url") +
+                        attr_suffix;
+      out.url_entries.push_back(slp::UrlEntry{lifetime, std::move(url)});
+    }
+    Bytes rewire = slp::encode(slp::Message(out));
+    benchmark::DoNotOptimize(rewire);
+  }
+  state.counters["heap_allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(g_heap_allocs - allocs_before) /
+      static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SlpRoundTripAllocationsMapBaseline);
 
 void BM_SlpEncodeDecodeRoundTrip(benchmark::State& state) {
   slp::SrvRply reply;

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Runs the translation-path benchmark and records the result as JSON so the
+# perf trajectory of the event pipeline is tracked with data, not vibes.
+#
+#   scripts/bench.sh                                  # full run
+#   scripts/bench.sh --benchmark_min_time=0.01x      # CI smoke run
+#   BUILD_DIR=build-release OUT=out.json scripts/bench.sh
+#
+# Output: BENCH_translation.json (Google Benchmark JSON; the
+# BM_SlpRoundTripAllocations* entries carry a heap_allocs_per_op counter —
+# compare the SmallRecord path against the std::map baseline).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_translation.json}"
+
+if [ ! -f "${BUILD_DIR}/CMakeCache.txt" ]; then
+  echo "== configure (${BUILD_DIR} missing) =="
+  cmake -B "${BUILD_DIR}" -S .
+fi
+
+echo "== build bench_abl_translation =="
+if ! cmake --build "${BUILD_DIR}" --target bench_abl_translation -j; then
+  echo "error: bench_abl_translation did not build — is libbenchmark-dev" \
+       "installed? (the target is skipped when CMake cannot find it)" >&2
+  exit 1
+fi
+
+BIN="${BUILD_DIR}/bench/bench_abl_translation"
+
+# google-benchmark < 1.7 rejects the "0.01x" iteration-suffix form of
+# --benchmark_min_time; strip the suffix for old libraries so one CI
+# invocation works against whatever libbenchmark-dev the distro ships.
+ARGS=()
+for arg in "$@"; do
+  if [[ "${arg}" == --benchmark_min_time=*x ]] &&
+     ! "${BIN}" --benchmark_list_tests "${arg}" > /dev/null 2>&1; then
+    arg="${arg%x}"
+  fi
+  ARGS+=("${arg}")
+done
+
+echo "== run -> ${OUT} =="
+"${BIN}" --benchmark_out="${OUT}" --benchmark_out_format=json \
+  ${ARGS[@]+"${ARGS[@]}"}
+echo "== wrote ${OUT} =="

@@ -48,6 +48,9 @@ class ByteWriter {
   [[nodiscard]] Bytes take() { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
 
+  /// Pre-sizes the buffer so typical messages encode with one allocation.
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
   /// Overwrites previously written bytes (used to patch SLP's length field
   /// once the full message has been encoded).
   void patch_u24(std::size_t offset, std::uint32_t v);

@@ -1,0 +1,80 @@
+#include "common/interning.hpp"
+
+namespace indiss {
+
+SymbolTable& SymbolTable::global() {
+  static SymbolTable table;
+  return table;
+}
+
+Symbol SymbolTable::intern(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  names_.emplace_back(name);
+  // Symbols are 1-based so that 0 stays free as kNoSymbol.
+  Symbol symbol = static_cast<Symbol>(names_.size());
+  index_.emplace(std::string_view(names_.back()), symbol);
+  return symbol;
+}
+
+Symbol SymbolTable::find(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kNoSymbol : it->second;
+}
+
+std::string_view SymbolTable::name(Symbol symbol) const {
+  if (symbol == kNoSymbol || symbol > names_.size()) return {};
+  return names_[symbol - 1];
+}
+
+void SmallRecord::set(Symbol key, std::string_view value) {
+  if (key == kNoSymbol) return;
+  // Materialize first: `value` may alias this record's own storage (a view
+  // obtained from get()), and appending can relocate overflow entries.
+  std::string copy(value);
+  for (std::size_t i = 0; i < size_; ++i) {
+    Entry& entry = at(i);
+    if (entry.key == key) {
+      entry.value = std::move(copy);
+      return;
+    }
+  }
+  if (size_ < kInlineCapacity) {
+    Entry& entry = inline_[size_];
+    entry.key = key;
+    entry.value = std::move(copy);
+  } else {
+    if (overflow_ == nullptr) {
+      overflow_ = std::make_unique<std::vector<Entry>>();
+    }
+    overflow_->push_back(Entry{key, std::move(copy)});
+  }
+  size_ += 1;
+}
+
+const SmallRecord::Entry* SmallRecord::find_entry(Symbol key) const {
+  if (key == kNoSymbol) return nullptr;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Entry& entry = at(i);
+    if (entry.key == key) return &entry;
+  }
+  return nullptr;
+}
+
+void SmallRecord::clear() {
+  for (std::size_t i = 0; i < size_ && i < kInlineCapacity; ++i) {
+    inline_[i].key = kNoSymbol;
+    inline_[i].value.clear();  // keeps capacity for the next occupant
+  }
+  if (overflow_ != nullptr) overflow_->clear();
+  size_ = 0;
+}
+
+void SmallRecord::copy_from(const SmallRecord& other) {
+  for (std::size_t i = 0; i < other.size_; ++i) {
+    const Entry& entry = other.at(i);
+    set(entry.key, entry.value);
+  }
+}
+
+}  // namespace indiss

@@ -1,0 +1,157 @@
+// String interning and flat small-buffer records for the hot event path.
+//
+// INDISS events carry tiny string-keyed data records ("url", "type", "xid",
+// ...). The key universe is small and repetitive, so keys are interned once
+// into a process-wide SymbolTable and compared as integers afterwards; the
+// records themselves live in SmallRecord, a flat store with inline storage
+// for the common case (<= 4 entries) so that building and querying an event
+// performs no heap allocation at all when values fit the std::string SSO.
+//
+// Like the rest of the substrate, none of this is thread-safe: the simulator
+// and every unit run on one scheduler thread.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace indiss {
+
+/// An interned string handle. 0 is reserved for "not interned".
+using Symbol = std::uint32_t;
+inline constexpr Symbol kNoSymbol = 0;
+
+/// Append-only string interner. Names are stored once in a deque (stable
+/// addresses), so the string_views handed out and the index keys never move.
+class SymbolTable {
+ public:
+  /// The process-wide table used for event/record keys.
+  static SymbolTable& global();
+
+  /// Returns the symbol for `name`, interning it on first sight. The only
+  /// allocating path, and only for names never seen before.
+  Symbol intern(std::string_view name);
+
+  /// Allocation-free lookup: kNoSymbol when `name` was never interned —
+  /// which also means no record anywhere can hold it.
+  [[nodiscard]] Symbol find(std::string_view name) const;
+
+  /// The interned spelling; empty view for kNoSymbol / unknown ids.
+  [[nodiscard]] std::string_view name(Symbol symbol) const;
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+ private:
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, Symbol> index_;
+};
+
+/// A flat key-value store with interned keys and inline small-buffer storage.
+/// Lookups take string_view (no temporary std::string) and return
+/// string_view into the stored value. Insertion order is preserved.
+class SmallRecord {
+ public:
+  struct Entry {
+    Symbol key = kNoSymbol;
+    std::string value;
+  };
+
+  SmallRecord() = default;
+  SmallRecord(
+      std::initializer_list<std::pair<std::string_view, std::string_view>> kv) {
+    for (const auto& [k, v] : kv) set(k, v);
+  }
+
+  SmallRecord(const SmallRecord& other) { copy_from(other); }
+  SmallRecord& operator=(const SmallRecord& other) {
+    if (this != &other) {
+      clear();
+      copy_from(other);
+    }
+    return *this;
+  }
+  // Moves must leave the source empty: a defaulted move would null
+  // overflow_ while size_ still counts the spilled entries, making any
+  // later lookup on the moved-from record dereference a null pointer.
+  SmallRecord(SmallRecord&& other) noexcept
+      : inline_(std::move(other.inline_)),
+        size_(other.size_),
+        overflow_(std::move(other.overflow_)) {
+    other.size_ = 0;
+  }
+  SmallRecord& operator=(SmallRecord&& other) noexcept {
+    if (this != &other) {
+      inline_ = std::move(other.inline_);
+      size_ = other.size_;
+      overflow_ = std::move(other.overflow_);
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  /// Inserts or overwrites. The key is interned; the value is copied.
+  void set(std::string_view key, std::string_view value) {
+    set(SymbolTable::global().intern(key), value);
+  }
+  void set(Symbol key, std::string_view value);
+
+  /// Allocation-free heterogeneous lookup (string literal, string_view or
+  /// std::string key all take this overload without converting).
+  [[nodiscard]] std::string_view get(std::string_view key,
+                                     std::string_view fallback = {}) const {
+    return get(SymbolTable::global().find(key), fallback);
+  }
+  [[nodiscard]] std::string_view get(Symbol key,
+                                     std::string_view fallback = {}) const {
+    const Entry* entry = find_entry(key);
+    return entry == nullptr ? fallback : std::string_view(entry->value);
+  }
+
+  [[nodiscard]] bool has(std::string_view key) const {
+    return find_entry(SymbolTable::global().find(key)) != nullptr;
+  }
+  [[nodiscard]] bool has(Symbol key) const {
+    return find_entry(key) != nullptr;
+  }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Drops all entries. Inline value strings keep their capacity, so a
+  /// cleared record rebuilt with similar data does not re-allocate.
+  void clear();
+
+  /// Visits entries in insertion order as f(string_view key, value).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < size_; ++i) {
+      const Entry& entry = at(i);
+      f(SymbolTable::global().name(entry.key), std::string_view(entry.value));
+    }
+  }
+
+ private:
+  static constexpr std::size_t kInlineCapacity = 4;
+
+  [[nodiscard]] const Entry& at(std::size_t i) const {
+    return i < kInlineCapacity ? inline_[i] : (*overflow_)[i - kInlineCapacity];
+  }
+  [[nodiscard]] Entry& at(std::size_t i) {
+    return i < kInlineCapacity ? inline_[i] : (*overflow_)[i - kInlineCapacity];
+  }
+  [[nodiscard]] const Entry* find_entry(Symbol key) const;
+  void copy_from(const SmallRecord& other);
+
+  std::array<Entry, kInlineCapacity> inline_;
+  std::uint32_t size_ = 0;
+  std::unique_ptr<std::vector<Entry>> overflow_;
+};
+
+}  // namespace indiss

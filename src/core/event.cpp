@@ -104,11 +104,13 @@ std::string Event::to_string() const {
   if (!data.empty()) {
     out += "{";
     bool first = true;
-    for (const auto& [k, v] : data) {
+    data.for_each([&](std::string_view k, std::string_view v) {
       if (!first) out += ", ";
       first = false;
-      out += k + "=" + v;
-    }
+      out += k;
+      out += "=";
+      out += v;
+    });
     out += "}";
   }
   return out;

@@ -11,10 +11,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/interning.hpp"
 
 namespace indiss::core {
 
@@ -79,6 +81,12 @@ enum class EventType : std::uint16_t {
   kJiniProxy,        // SDP_JINI_PROXY:     data "proxy" (hex)
 };
 
+/// Number of EventType enumerators (the enum is contiguous from 0). New
+/// events must be added before this sentinel stays correct — the exhaustive
+/// alphabet test iterates [0, kEventTypeCount).
+inline constexpr std::uint16_t kEventTypeCount =
+    static_cast<std::uint16_t>(EventType::kJiniProxy) + 1;
+
 /// Which of the paper's event sets a type belongs to.
 enum class EventSet {
   kControl,
@@ -100,31 +108,39 @@ enum class EventSet {
 /// Wire name as used in the paper ("SDP_C_START", "SDP_RES_SERV_URL", ...).
 [[nodiscard]] std::string_view event_name(EventType type);
 
-/// An event: a type plus a small string-keyed data record. Events are the
-/// only currency between parsers, FSMs and composers.
+/// An event: a type plus a small string-keyed data record (interned keys,
+/// inline storage — see common/interning.hpp). Events are the only currency
+/// between parsers, FSMs and composers, so get/has are allocation-free.
 struct Event {
   EventType type;
-  std::map<std::string, std::string> data;
+  SmallRecord data;
 
   Event() : type(EventType::kControlStart) {}
   explicit Event(EventType t) : type(t) {}
-  Event(EventType t, std::initializer_list<std::pair<const std::string, std::string>> kv)
+  Event(EventType t,
+        std::initializer_list<std::pair<std::string_view, std::string_view>> kv)
       : type(t), data(kv) {}
 
-  [[nodiscard]] std::string get(std::string_view key,
-                                std::string_view fallback = "") const {
-    auto it = data.find(std::string(key));
-    return it == data.end() ? std::string(fallback) : it->second;
+  void set(std::string_view key, std::string_view value) {
+    data.set(key, value);
   }
-  [[nodiscard]] bool has(std::string_view key) const {
-    return data.contains(std::string(key));
+  /// The returned view aliases the event's storage; copy it if it must
+  /// outlive the event.
+  [[nodiscard]] std::string_view get(std::string_view key,
+                                     std::string_view fallback = "") const {
+    return data.get(key, fallback);
   }
+  [[nodiscard]] bool has(std::string_view key) const { return data.has(key); }
 
   [[nodiscard]] std::string to_string() const;
 };
 
 /// The events of one message, bracketed by SDP_C_START .. SDP_C_STOP.
 using EventStream = std::vector<Event>;
+
+/// A parsed stream shared between units without copying: the bus hands the
+/// same immutable buffer to every subscriber and every deferred delivery.
+using SharedStream = std::shared_ptr<const EventStream>;
 
 /// True when `stream` is well-framed: starts with SDP_C_START, ends with
 /// SDP_C_STOP, and contains no other control-start/stop in between.

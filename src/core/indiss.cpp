@@ -41,7 +41,7 @@ void Indiss::start() {
     jini_unit_ = std::make_unique<JiniUnit>(host_, unit_config);
     monitor_->forward_to(SdpId::kJini, jini_unit_.get());
   }
-  wire_peers();
+  subscribe_units();
 
   for (const auto& entry : iana_table()) {
     bool enabled = (entry.sdp == SdpId::kSlp && config_.enable_slp) ||
@@ -65,7 +65,7 @@ void Indiss::stop() {
   running_ = false;
   sample_task_.cancel();
   // Tear down routing before the units so in-flight datagrams cannot reach
-  // freed memory.
+  // freed memory. Each unit's destructor unsubscribes itself from the bus.
   for (SdpId sdp : {SdpId::kSlp, SdpId::kUpnp, SdpId::kJini}) {
     monitor_->forward_to(sdp, nullptr);
     monitor_->stop_scanning(sdp);
@@ -75,16 +75,10 @@ void Indiss::stop() {
   jini_unit_.reset();
 }
 
-void Indiss::wire_peers() {
-  std::vector<Unit*> units;
-  if (slp_unit_) units.push_back(slp_unit_.get());
-  if (upnp_unit_) units.push_back(upnp_unit_.get());
-  if (jini_unit_) units.push_back(jini_unit_.get());
-  for (Unit* a : units) {
-    for (Unit* b : units) {
-      if (a != b) a->add_peer(b);
-    }
-  }
+void Indiss::subscribe_units() {
+  if (slp_unit_) bus_.subscribe(*slp_unit_);
+  if (upnp_unit_) bus_.subscribe(*upnp_unit_);
+  if (jini_unit_) bus_.subscribe(*jini_unit_);
 }
 
 Unit* Indiss::unit(SdpId sdp) {
@@ -130,7 +124,29 @@ void Indiss::enable_unit(SdpId sdp) {
   for (const auto& entry : iana_table()) {
     if (entry.sdp == sdp) monitor_->scan(entry);
   }
-  wire_peers();
+  subscribe_units();
+}
+
+void Indiss::disable_unit(SdpId sdp) {
+  if (!running_ || unit(sdp) == nullptr) return;
+  // Routing first (monitor, then bus via the unit's destructor) so nothing
+  // can deliver into the freed unit afterwards.
+  monitor_->forward_to(sdp, nullptr);
+  monitor_->stop_scanning(sdp);
+  switch (sdp) {
+    case SdpId::kSlp:
+      config_.enable_slp = false;
+      slp_unit_.reset();
+      break;
+    case SdpId::kUpnp:
+      config_.enable_upnp = false;
+      upnp_unit_.reset();
+      break;
+    case SdpId::kJini:
+      config_.enable_jini = false;
+      jini_unit_.reset();
+      break;
+  }
 }
 
 std::size_t Indiss::unit_count() const {

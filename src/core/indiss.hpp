@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/event_bus.hpp"
 #include "core/monitor.hpp"
 #include "core/types.hpp"
 #include "core/unit.hpp"
@@ -62,23 +63,30 @@ class Indiss {
   Indiss(const Indiss&) = delete;
   Indiss& operator=(const Indiss&) = delete;
 
-  /// Instantiates the configured units, wires them as mutual event
-  /// listeners, points the monitor at the IANA table entries of the enabled
-  /// SDPs, and (when configured) starts the context manager.
+  /// Instantiates the configured units, subscribes them to the event bus,
+  /// points the monitor at the IANA table entries of the enabled SDPs, and
+  /// (when configured) starts the context manager.
   void start();
   void stop();
   [[nodiscard]] bool running() const { return running_; }
 
   [[nodiscard]] Monitor& monitor() { return *monitor_; }
+  /// The bus all inter-unit event delivery goes through.
+  [[nodiscard]] EventBus& bus() { return bus_; }
+  [[nodiscard]] const EventBus& bus() const { return bus_; }
   [[nodiscard]] SlpUnit* slp_unit() { return slp_unit_.get(); }
   [[nodiscard]] UpnpUnit* upnp_unit() { return upnp_unit_.get(); }
   [[nodiscard]] JiniUnit* jini_unit() { return jini_unit_.get(); }
   [[nodiscard]] Unit* unit(SdpId sdp);
   [[nodiscard]] net::Host& host() { return host_; }
 
-  /// Dynamic composition: adds a unit for an SDP that was not part of the
-  /// initial configuration (Fig 5's evolution of the INDISS configuration).
+  /// Dynamic composition (Fig 5's evolution of the INDISS configuration):
+  /// adds a unit for an SDP that was not part of the initial configuration.
+  /// The new unit is one bus subscription away from full participation.
   void enable_unit(SdpId sdp);
+  /// The inverse: detaches and destroys a running unit. The bus stops
+  /// delivering to it immediately; everything else keeps running.
+  void disable_unit(SdpId sdp);
 
   // --- Context manager ------------------------------------------------------
 
@@ -93,11 +101,12 @@ class Indiss {
 
  private:
   void sample_traffic();
-  void wire_peers();
+  void subscribe_units();
 
   net::Host& host_;
   IndissConfig config_;
   std::shared_ptr<OwnEndpoints> own_endpoints_;
+  EventBus bus_;
   std::unique_ptr<Monitor> monitor_;
   std::unique_ptr<SlpUnit> slp_unit_;
   std::unique_ptr<UpnpUnit> upnp_unit_;

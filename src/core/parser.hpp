@@ -8,6 +8,8 @@
 #pragma once
 
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "core/event.hpp"
@@ -46,14 +48,53 @@ class SdpParser {
                      EventSink& sink) = 0;
 };
 
-/// Collects events into an EventStream (the trivial sink).
+/// Recycles EventStream buffers across messages: release() keeps the
+/// vector's element storage, acquire() hands it back cleared. Parsing N
+/// messages through one pool settles into zero buffer (re)allocations once
+/// the high-water capacity is reached.
+class StreamPool {
+ public:
+  [[nodiscard]] EventStream acquire() {
+    if (free_.empty()) return EventStream{};
+    EventStream stream = std::move(free_.back());
+    free_.pop_back();
+    return stream;
+  }
+
+  void release(EventStream&& stream) {
+    stream.clear();  // destroys the events, keeps the element buffer
+    free_.push_back(std::move(stream));
+  }
+
+  [[nodiscard]] std::size_t pooled() const { return free_.size(); }
+
+ private:
+  std::vector<EventStream> free_;
+};
+
+/// Collects events into an EventStream (the trivial sink). Bind it to a
+/// StreamPool to reuse one buffer across many parses: reset() clears without
+/// freeing, and the destructor returns the buffer to the pool.
 class CollectingSink : public EventSink {
  public:
+  CollectingSink() = default;
+  explicit CollectingSink(StreamPool& pool)
+      : pool_(&pool), stream_(pool.acquire()) {}
+  ~CollectingSink() override {
+    if (pool_ != nullptr) pool_->release(std::move(stream_));
+  }
+  CollectingSink(const CollectingSink&) = delete;
+  CollectingSink& operator=(const CollectingSink&) = delete;
+
   void emit(Event event) override { stream_.push_back(std::move(event)); }
   [[nodiscard]] const EventStream& stream() const { return stream_; }
   [[nodiscard]] EventStream take() { return std::move(stream_); }
 
+  /// Ready the sink for the next message without releasing storage.
+  void reset() { stream_.clear(); }
+
  private:
+  StreamPool* pool_ = nullptr;
   EventStream stream_;
 };
 

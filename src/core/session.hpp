@@ -6,10 +6,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 
+#include "common/interning.hpp"
 #include "core/event.hpp"
 #include "core/types.hpp"
 #include "net/address.hpp"
@@ -33,8 +34,9 @@ struct Session {
   SdpId origin_sdp = SdpId::kSlp;
   std::uint64_t origin_session = 0;
 
-  /// Recorded state variables (FSM `record` actions write here).
-  std::map<std::string, std::string> vars;
+  /// Recorded state variables (FSM `record` actions write here). A flat
+  /// interned-key record: var() lookups allocate nothing.
+  SmallRecord vars;
 
   /// Events of the in-progress message (between START and STOP).
   EventStream collected;
@@ -48,16 +50,17 @@ struct Session {
   bool done = false;
   sim::SimTime created_at{0};
 
-  [[nodiscard]] std::string var(const std::string& key,
-                                const std::string& fallback = "") const {
-    auto it = vars.find(key);
-    return it == vars.end() ? fallback : it->second;
+  /// The returned view aliases the session's storage; copy it if it must
+  /// outlive the session (or survive a later set_var of the same key).
+  [[nodiscard]] std::string_view var(std::string_view key,
+                                     std::string_view fallback = "") const {
+    return vars.get(key, fallback);
   }
-  void set_var(const std::string& key, const std::string& value) {
-    vars[key] = value;
+  void set_var(std::string_view key, std::string_view value) {
+    vars.set(key, value);
   }
-  [[nodiscard]] bool has_var(const std::string& key) const {
-    return vars.contains(key);
+  [[nodiscard]] bool has_var(std::string_view key) const {
+    return vars.has(key);
   }
 };
 

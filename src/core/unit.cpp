@@ -10,19 +10,19 @@ namespace indiss::core {
 Unit::Unit(SdpId sdp, net::Host& host, Options options)
     : sdp_(sdp), host_(host), options_(options) {}
 
-Unit::~Unit() = default;
+Unit::~Unit() {
+  // A unit destroyed while still subscribed must not leave a dangling
+  // pointer in the bus registry.
+  if (bus_ != nullptr) bus_->unsubscribe(*this);
+}
 
 sim::Scheduler& Unit::scheduler() { return host_.network().scheduler(); }
 
-void Unit::add_peer(Unit* peer) {
-  if (peer == nullptr || peer == this) return;
-  peers_[peer->sdp()] = peer;
-}
-
-void Unit::remove_peer(Unit* peer) {
-  if (peer == nullptr) return;
-  auto it = peers_.find(peer->sdp());
-  if (it != peers_.end() && it->second == peer) peers_.erase(it);
+void Unit::schedule_guarded(sim::SimDuration delay, std::function<void()> fn) {
+  scheduler().schedule(
+      delay, [alive = std::weak_ptr<void>(alive_), fn = std::move(fn)]() {
+        if (!alive.expired()) fn();
+      });
 }
 
 void Unit::register_parser(std::unique_ptr<SdpParser> parser) {
@@ -44,20 +44,27 @@ Session& Unit::open_session(Session::Origin origin) {
   session.state = fsm_.start();
   session.active_parser = default_parser_;
   session.created_at = scheduler().now();
+  // The collected buffer is pooled: a unit translating a steady message flow
+  // stops allocating stream storage once the pool is warm.
+  session.collected = stream_pool_.acquire();
   stats_.sessions_opened += 1;
   auto [it, inserted] = sessions_.emplace(id, std::move(session));
 
   // Garbage-collect abandoned sessions (e.g. searches nobody answered).
-  scheduler().schedule(options_.session_timeout, [this, id]() {
-    auto sit = sessions_.find(id);
-    if (sit == sessions_.end()) return;
-    if (!sit->second.done) {
-      sit->second.done = true;
-      on_session_complete(sit->second);
-    }
-    sessions_.erase(sit);
-  });
+  schedule_guarded(options_.session_timeout,
+                   [this, id]() { close_session(id); });
   return it->second;
+}
+
+void Unit::close_session(std::uint64_t id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  if (!it->second.done) {
+    it->second.done = true;
+    on_session_complete(it->second);
+  }
+  stream_pool_.release(std::move(it->second.collected));
+  sessions_.erase(it);
 }
 
 void Unit::feed_event(Session& session, Event event) {
@@ -104,7 +111,7 @@ void Unit::parse_into_session(Session& session, BytesView raw,
 
 void Unit::on_native_message(const net::Datagram& datagram) {
   // INDISS's own processing cost for intercepting + parsing a message.
-  scheduler().schedule(options_.translate_delay, [this, datagram]() {
+  schedule_guarded(options_.translate_delay, [this, datagram]() {
     Session& session = open_session(Session::Origin::kNative);
     MessageContext ctx;
     ctx.source = datagram.source;
@@ -116,34 +123,38 @@ void Unit::on_native_message(const net::Datagram& datagram) {
 }
 
 void Unit::on_peer_stream(SdpId origin_sdp, std::uint64_t origin_session,
-                          const EventStream& stream) {
-  scheduler().schedule(options_.translate_delay, [this, origin_sdp,
-                                                  origin_session, stream]() {
-    Session& session = open_session(Session::Origin::kPeer);
-    session.origin_sdp = origin_sdp;
-    session.origin_session = origin_session;
-    feed_stream(session, stream);
-  });
+                          SharedStream stream) {
+  // The shared buffer rides into the deferred delivery by refcount — no
+  // per-subscriber copy of the events.
+  schedule_guarded(options_.translate_delay,
+                   [this, origin_sdp, origin_session,
+                    stream = std::move(stream)]() {
+                     Session& session = open_session(Session::Origin::kPeer);
+                     session.origin_sdp = origin_sdp;
+                     session.origin_session = origin_session;
+                     feed_stream(session, *stream);
+                   });
 }
 
-void Unit::on_reply_stream(std::uint64_t session_id,
-                           const EventStream& stream) {
-  scheduler().schedule(options_.translate_delay, [this, session_id, stream]() {
-    Session* session = find_session(session_id);
-    if (session == nullptr || session->done) return;
-    feed_stream(*session, stream);
-  });
+void Unit::on_reply_stream(std::uint64_t session_id, SharedStream stream) {
+  schedule_guarded(options_.translate_delay,
+                   [this, session_id, stream = std::move(stream)]() {
+                     Session* session = find_session(session_id);
+                     if (session == nullptr || session->done) return;
+                     feed_stream(*session, *stream);
+                   });
 }
 
 void Unit::probe(const std::string& canonical_type) {
   Session& session = open_session(Session::Origin::kLocal);
-  EventStream stream;
+  EventStream stream = stream_pool_.acquire();
   stream.push_back(Event(EventType::kControlStart));
   stream.push_back(Event(EventType::kServiceRequest));
   stream.push_back(
       Event(EventType::kServiceTypeIs, {{"type", canonical_type}}));
   stream.push_back(Event(EventType::kControlStop));
   feed_stream(session, stream);
+  stream_pool_.release(std::move(stream));
 }
 
 void Unit::on_native_response(std::uint64_t session_id, BytesView raw,
@@ -233,22 +244,22 @@ Action Unit::complete() {
 // ---------------------------------------------------------------------------
 
 void Unit::do_dispatch_to_peers(Session& session) {
-  if (peers_.empty()) return;
+  if (bus_ == nullptr || bus_->subscriber_count() < 2) return;
   stats_.streams_dispatched += 1;
-  for (auto& [peer_sdp, peer] : peers_) {
-    peer->on_peer_stream(sdp_, session.id, session.collected);
-  }
+  // One copy into a shared buffer, however many subscribers the bus fans
+  // out to (the hand-wired mesh copied the stream once per peer).
+  bus_->publish(*this, session.id,
+                std::make_shared<const EventStream>(session.collected));
 }
 
 void Unit::do_reply_to_origin(Session& session) {
-  auto it = peers_.find(session.origin_sdp);
-  if (it == peers_.end()) {
-    log::warn("unit", sdp_name(sdp_), ": reply for unknown origin unit ",
-              sdp_name(session.origin_sdp));
+  if (bus_ == nullptr) {
+    log::warn("unit", sdp_name(sdp_), ": reply with no bus attached");
     return;
   }
   stats_.streams_dispatched += 1;
-  it->second->on_reply_stream(session.origin_session, session.collected);
+  bus_->reply(session.origin_sdp, session.origin_session,
+              std::make_shared<const EventStream>(session.collected));
 }
 
 void Unit::do_complete(Session& session) {
@@ -259,8 +270,8 @@ void Unit::do_complete(Session& session) {
 }
 
 void Unit::do_switch(Session& session, const Event& event) {
-  std::string target = event.get("parser");
-  if (!parsers_.contains(target)) {
+  std::string_view target = event.get("parser");
+  if (parsers_.find(target) == parsers_.end()) {
     log::warn("unit", sdp_name(sdp_), ": parser switch to unknown parser '",
               target, "'");
     return;
@@ -268,7 +279,7 @@ void Unit::do_switch(Session& session, const Event& event) {
   session.active_parser = target;
   // Continue parsing the carried payload with the new parser; its events run
   // through the same session (no new SDP_C_START).
-  std::string payload = event.get("payload");
+  std::string_view payload = event.get("payload");
   if (payload.empty()) return;
   MessageContext ctx;
   ctx.continuation = true;

@@ -2,10 +2,12 @@
 //
 // A unit embeds a parser and a composer for one SDP plus the finite state
 // machine that coordinates them. Units are composed through events only:
-// a unit dispatches the streams its parser produces to its peer units, and
+// a unit publishes the streams its parser produces on the EventBus, and
 // receives translated reply streams back — "units are both event generator
 // and listener" (paper §3). Everything outside INDISS speaks native SDP
-// messages; everything inside speaks events.
+// messages; everything inside speaks events. Units never hold pointers to
+// each other: all inter-unit delivery goes through the bus, which is what
+// makes attaching and detaching units at run time a local operation.
 //
 // Coordination is session-based: each discovery transaction (or
 // advertisement) runs its own Session with its own FSM instance state, so a
@@ -22,6 +24,7 @@
 #include <vector>
 
 #include "core/event.hpp"
+#include "core/event_bus.hpp"
 #include "core/fsm.hpp"
 #include "core/parser.hpp"
 #include "core/session.hpp"
@@ -59,11 +62,11 @@ class Unit {
   [[nodiscard]] net::Host& host() { return host_; }
   [[nodiscard]] const Options& options() const { return options_; }
 
-  /// Registers a peer unit (event listener). Composition is dynamic: peers
-  /// may be added or removed at run time as the environment evolves.
-  void add_peer(Unit* peer);
-  void remove_peer(Unit* peer);
-  [[nodiscard]] const std::map<SdpId, Unit*>& peers() const { return peers_; }
+  /// The bus this unit is subscribed to, or nullptr while detached. Wiring
+  /// happens through EventBus::subscribe/unsubscribe — composition is
+  /// dynamic: units attach and detach at run time as the environment
+  /// evolves, and no unit keeps peer pointers of its own.
+  [[nodiscard]] EventBus* bus() const { return bus_; }
 
   // --- Entry points -------------------------------------------------------
 
@@ -71,14 +74,14 @@ class Unit {
   /// tests can stub the routing without a full parser stack.
   virtual void on_native_message(const net::Datagram& datagram);
 
-  /// Event stream dispatched by a peer unit (foreign request or
-  /// advertisement that this unit should translate into its native SDP).
+  /// Event stream delivered by the bus (foreign request or advertisement
+  /// that this unit should translate into its native SDP).
   void on_peer_stream(SdpId origin_sdp, std::uint64_t origin_session,
-                      const EventStream& stream);
+                      SharedStream stream);
 
   /// Translated reply stream routed back to the session that originated the
   /// foreign request.
-  void on_reply_stream(std::uint64_t session_id, const EventStream& stream);
+  void on_reply_stream(std::uint64_t session_id, SharedStream stream);
 
   /// Context-manager hook (Fig 6 active mode): runs a locally originated
   /// native discovery for `canonical_type`; whatever answers is converted to
@@ -92,7 +95,7 @@ class Unit {
   static Action record(std::string var, std::string data_key);
   /// Sets a session state variable to a constant.
   static Action set(std::string var, std::string value);
-  /// Forwards the session's collected stream to all peer units.
+  /// Publishes the session's collected stream on the bus.
   static Action dispatch_to_peers();
   /// Sends the session's collected stream back to the originating unit.
   static Action reply_to_origin();
@@ -162,6 +165,20 @@ class Unit {
   void feed_event(Session& session, Event event);
   void feed_stream(Session& session, const EventStream& stream);
 
+  /// Per-unit recycled stream buffers (session `collected` storage and any
+  /// composer-built streams draw from here).
+  [[nodiscard]] StreamPool& stream_pool() { return stream_pool_; }
+
+  /// Schedules `fn` to run after `delay` only while this unit is alive.
+  /// Scheduler callbacks otherwise outlive units destroyed mid-run by
+  /// dynamic detach (Indiss::disable_unit) or stop() — `fn` may capture
+  /// `this` safely.
+  void schedule_guarded(sim::SimDuration delay, std::function<void()> fn);
+
+  /// Lifetime token for guards in subclass-owned callbacks (HTTP fetches,
+  /// socket handlers): bail out when expired.
+  [[nodiscard]] std::weak_ptr<void> lifetime() const { return alive_; }
+
   /// Parses raw bytes with the session's active parser into the session.
   void parse_into_session(Session& session, BytesView raw,
                           const MessageContext& ctx);
@@ -175,17 +192,25 @@ class Unit {
   Stats stats_;
 
  private:
+  friend class EventBus;  // sets bus_ on (un)subscribe
+  void bind_bus(EventBus* bus) { bus_ = bus; }
+
   void do_dispatch_to_peers(Session& session);
   void do_reply_to_origin(Session& session);
   void do_complete(Session& session);
   void do_switch(Session& session, const Event& event);
+  void close_session(std::uint64_t id);
 
   SdpId sdp_;
   net::Host& host_;
   Options options_;
-  std::map<SdpId, Unit*> peers_;
+  EventBus* bus_ = nullptr;
+  std::shared_ptr<void> alive_ = std::make_shared<char>('\0');
+  StreamPool stream_pool_;
   std::map<std::uint64_t, Session> sessions_;
-  std::map<std::string, std::unique_ptr<SdpParser>> parsers_;
+  // std::less<> so parser names arriving as string_view (parser-switch
+  // events) are looked up without a temporary std::string.
+  std::map<std::string, std::unique_ptr<SdpParser>, std::less<>> parsers_;
   std::string default_parser_;
   std::uint64_t next_session_id_ = 1;
 };

@@ -109,7 +109,7 @@ void JiniUnit::registrar_op(Bytes request, std::function<void(Bytes)> handler) {
 // the other peers' answers (if any) win.
 void JiniUnit::compose_native_request(Session& session) {
   jini::ServiceTemplate tmpl;
-  std::string type = session.var("service_type", "*");
+  std::string type(session.var("service_type", "*"));
   if (type != "*") tmpl.service_type = type;
 
   ByteWriter w;

@@ -177,14 +177,13 @@ void SlpUnit::compose_native_request(Session& session) {
     ctx.destination = d.destination;
     ctx.multicast = d.multicast;
     ctx.from_local_host = d.source.address == host().address();
-    scheduler().schedule(options().translate_delay, [this, session_id, d,
-                                                     ctx]() {
+    schedule_guarded(options().translate_delay, [this, session_id, d, ctx]() {
       on_native_response(session_id, d.payload, ctx);
     });
   });
   client_sockets_[session.id] = socket;
   socket->send_to(net::Endpoint{slp::kSlpMulticastGroup, config_.slp_port},
-                  slp::encode(slp::Message(request)));
+                  slp::encode(slp::Message(std::move(request))));
 }
 
 // The composer answering a native SLP client from a translated reply stream:
@@ -195,13 +194,16 @@ void SlpUnit::compose_native_reply(Session& session) {
   reply.header.xid = static_cast<std::uint16_t>(
       str::parse_long(session.var("xid", "0"), 0));
 
-  std::string type = session.var("service_type", "service");
+  std::string type(session.var("service_type", "service"));
   std::string attr_suffix;
   if (config_.attrs_in_url) {
     for (const auto& event : session.collected) {
       if (event.type == EventType::kServiceAttr) {
-        attr_suffix += ";" + event.get("key") + ":\"" + event.get("value") +
-                       "\"";
+        attr_suffix += ";";
+        attr_suffix += event.get("key");
+        attr_suffix += ":\"";
+        attr_suffix += event.get("value");
+        attr_suffix += "\"";
       }
     }
   }
@@ -212,7 +214,7 @@ void SlpUnit::compose_native_reply(Session& session) {
   }
   for (const auto& event : session.collected) {
     if (event.type != EventType::kResServUrl) continue;
-    std::string access = event.get("url");
+    std::string access(event.get("url"));
     std::string url = "service:" + type + ":" + access + attr_suffix;
     reply.url_entries.push_back(slp::UrlEntry{lifetime, url});
   }
@@ -225,7 +227,8 @@ void SlpUnit::compose_native_reply(Session& session) {
   }
   auto port = static_cast<std::uint16_t>(
       str::parse_long(session.var("src_port", "0"), 0));
-  send_from_reply_socket(slp::Message(reply), net::Endpoint{*addr, port});
+  send_from_reply_socket(slp::Message(std::move(reply)),
+                         net::Endpoint{*addr, port});
 }
 
 void SlpUnit::on_advertisement(Session& session) {

@@ -2,7 +2,7 @@
 
 namespace indiss::core {
 
-bool meaningful_advert_type(const std::string& canonical) {
+bool meaningful_advert_type(std::string_view canonical) {
   return !canonical.empty() && canonical != "*" &&
          !canonical.starts_with("uuid:");
 }

@@ -95,7 +95,7 @@ namespace indiss::core {
 /// wildcards ("*", from upnp:rootdevice / ssdp:all) and device UUIDs do not.
 /// A UPnP alive burst repeats the same LOCATION under several NTs; only the
 /// device/service-type ones are worth translating.
-[[nodiscard]] bool meaningful_advert_type(const std::string& canonical);
+[[nodiscard]] bool meaningful_advert_type(std::string_view canonical);
 
 struct StandardFsmOptions {
   /// Emit the generic collect_native -> done (reply_to_origin) transition.

@@ -1,5 +1,7 @@
 #include "core/units/upnp_unit.hpp"
 
+#include <utility>
+
 #include "common/logging.hpp"
 #include "common/strings.hpp"
 #include "common/uri.hpp"
@@ -98,7 +100,7 @@ void SsdpEventParser::parse(BytesView raw, const MessageContext& ctx,
           Event head(m.kind == upnp::Notify::Kind::kAlive
                          ? EventType::kServiceAlive
                          : EventType::kServiceByeBye);
-          head.data["server"] = m.server;
+          head.set("server", m.server);
           sink.emit(head);
           sink.emit(Event(EventType::kUpnpUsn, {{"usn", m.usn}}));
           sink.emit(Event(EventType::kServiceTypeIs,
@@ -251,8 +253,7 @@ void UpnpUnit::compose_native_request(Session& session) {
     ctx.destination = d.destination;
     ctx.multicast = d.multicast;
     ctx.from_local_host = d.source.address == host().address();
-    scheduler().schedule(options().translate_delay, [this, session_id, d,
-                                                     ctx]() {
+    schedule_guarded(options().translate_delay, [this, session_id, d, ctx]() {
       on_native_response(session_id, d.payload, ctx);
     });
   });
@@ -271,13 +272,15 @@ void UpnpUnit::compose_follow_up(Session& session, const Event&) {
     return;
   }
   std::uint64_t session_id = session.id;
+  // The HTTP client outlives the unit: guard the callback against a unit
+  // detached while the description GET is in flight.
   upnp::http_get(host(), *uri,
-                 [this, session_id](std::optional<http::HttpMessage> response) {
+                 [this, session_id, alive = lifetime()](
+                     std::optional<http::HttpMessage> response) {
+                   if (alive.expired()) return;  // unit detached mid-fetch
                    if (!response.has_value()) return;  // session will time out
-                   MessageContext ctx;
-                   ctx.from_local_host = true;
                    Bytes raw = to_bytes(response->serialize());
-                   scheduler().schedule(
+                   schedule_guarded(
                        options().translate_delay,
                        [this, session_id, raw]() {
                          on_native_response(session_id, raw, MessageContext{});
@@ -294,19 +297,24 @@ Action UpnpUnit::finalize_reply() {
 // Rewrite the collected description events into a clean, self-contained
 // reply stream: absolute service URL, canonical type, TTL.
 void UpnpUnit::do_finalize_reply(Session& session) {
-  std::string url = session.var("url");
+  std::string url(session.var("url"));
   if (str::starts_with(url, "/")) {
     // Relative control URL: absolutize against the description document's
     // host and port; the paper hands SLP clients a soap:// endpoint.
     auto base = Uri::parse(session.var("desc_url"));
     if (base.has_value()) {
-      url = session.var("url_scheme", "soap") + "://" + base->host + ":" +
-            std::to_string(base->port) + url;
+      std::string absolute(session.var("url_scheme", "soap"));
+      absolute += "://";
+      absolute += base->host;
+      absolute += ":";
+      absolute += std::to_string(base->port);
+      absolute += url;
+      url = std::move(absolute);
       session.set_var("url", url);
     }
   }
 
-  EventStream clean;
+  EventStream clean = stream_pool().acquire();
   clean.push_back(Event(EventType::kControlStart));
   clean.push_back(Event(EventType::kNetType, {{"sdp", "upnp"}}));
   clean.push_back(Event(EventType::kServiceResponse));
@@ -323,7 +331,8 @@ void UpnpUnit::do_finalize_reply(Session& session) {
                         {{"seconds", session.var("ttl", "1800")}}));
   clean.push_back(Event(EventType::kResServUrl, {{"url", url}}));
   clean.push_back(Event(EventType::kControlStop));
-  session.collected = std::move(clean);
+  std::swap(session.collected, clean);
+  stream_pool().release(std::move(clean));  // recycle the old buffer
 }
 
 // Answering a native UPnP control point on behalf of a foreign service:
@@ -339,7 +348,7 @@ void UpnpUnit::compose_native_reply(Session& session) {
   ServedDescription& served = serve_description(session);
 
   upnp::SearchResponse response;
-  std::string st = session.var("st");
+  std::string st(session.var("st"));
   response.st = st.empty() || str::iequals(st, upnp::kSearchTargetAll)
                     ? served.description.device_type
                     : st;
@@ -374,7 +383,7 @@ UpnpUnit::ServedDescription& UpnpUnit::serve_description(
     const Session& session) {
   ensure_http_server();
 
-  std::string type = session.var("service_type", "service");
+  std::string type(session.var("service_type", "service"));
   std::string url;
   std::string friendly_name;
   for (const auto& event : session.collected) {

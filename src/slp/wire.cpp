@@ -74,6 +74,7 @@ Header& header_of(Message& message) {
 
 Bytes encode(const Message& message) {
   ByteWriter w;
+  w.reserve(128);  // covers every fixture message; one growth for big replies
   std::visit(
       [&w](const auto& m) {
         using T = std::decay_t<decltype(m)>;

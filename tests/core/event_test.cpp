@@ -1,9 +1,36 @@
 // Tests for the INDISS event model (Table 1): set membership, mandatory
-// alphabet, names and stream framing.
+// alphabet, names and stream framing — plus the interned SmallRecord storage
+// the events ride on.
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+#include <set>
+#include <string>
 
 #include "core/event.hpp"
 #include "core/typemap.hpp"
+
+// Allocation counter for the regression tests below: Event::get/has used to
+// build a temporary std::string key per call even for string_view arguments.
+namespace {
+std::uint64_t g_heap_allocs = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs += 1;
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_heap_allocs += 1;
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace indiss::core {
 namespace {
@@ -54,6 +81,141 @@ TEST(Event, DataAccessors) {
   EXPECT_EQ(e.get("url"), "soap://10.0.0.2:4005/c");
   EXPECT_EQ(e.get("missing", "dflt"), "dflt");
   EXPECT_NE(e.to_string().find("SDP_RES_SERV_URL"), std::string::npos);
+}
+
+TEST(Event, HeterogeneousLookupWithoutAllocation) {
+  // Regression: get/has took string_view but built a std::string per call.
+  // Every key spelling — literal, string_view, std::string — must hit the
+  // same overload and allocate nothing.
+  Event e(EventType::kNetSourceAddr, {{"addr", "10.0.0.7"}, {"port", "427"}});
+  std::string string_key = "addr";
+  std::string_view view_key = "port";
+
+  std::uint64_t before = g_heap_allocs;
+  bool ok = e.get("addr") == "10.0.0.7";           // literal
+  ok = ok && e.get(string_key) == "10.0.0.7";      // std::string
+  ok = ok && e.get(view_key) == "427";             // string_view
+  ok = ok && e.has("port") && !e.has("absent-key-never-interned");
+  ok = ok && e.get("absent-key-never-interned", "fb") == "fb";
+  std::uint64_t after = g_heap_allocs;
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(after - before, 0u) << "event lookups must not heap-allocate";
+}
+
+TEST(Event, SetOverwritesAndPreservesOrder) {
+  Event e(EventType::kServiceAttr, {{"key", "color"}, {"value", "blue"}});
+  e.set("value", "green");
+  EXPECT_EQ(e.get("value"), "green");
+  EXPECT_EQ(e.data.size(), 2u);
+  std::string order;
+  e.data.for_each([&](std::string_view k, std::string_view) {
+    order += k;
+    order += ",";
+  });
+  EXPECT_EQ(order, "key,value,");
+}
+
+TEST(Event, RecordSpillsPastInlineCapacity) {
+  // More entries than the inline buffer holds: the record must keep every
+  // pair, in order, with lookups still exact.
+  Event e(EventType::kServiceAttr);
+  for (int i = 0; i < 12; ++i) {
+    e.set("k" + std::to_string(i), "v" + std::to_string(i));
+  }
+  EXPECT_EQ(e.data.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(e.get("k" + std::to_string(i)), "v" + std::to_string(i));
+  }
+  Event copy = e;  // deep copy across inline + overflow storage
+  EXPECT_EQ(copy.get("k11"), "v11");
+  copy.set("k11", "changed");
+  EXPECT_EQ(e.get("k11"), "v11") << "copies must not share storage";
+
+  // A moved-from record must be empty and reusable, not left claiming
+  // spilled entries whose overflow storage has been taken.
+  Event moved = std::move(e);
+  EXPECT_EQ(moved.get("k11"), "v11");
+  EXPECT_TRUE(e.data.empty());
+  e.set("fresh", "1");
+  EXPECT_EQ(e.get("fresh"), "1");
+}
+
+// --- Exhaustive alphabet round trip --------------------------------------
+//
+// Iterates every enumerator so that adding an event type without updating
+// event_name/event_set/is_mandatory (or this table) fails loudly instead of
+// drifting.
+
+TEST(EventAlphabet, EveryTypeHasAUniqueName) {
+  std::set<std::string_view> names;
+  for (std::uint16_t i = 0; i < kEventTypeCount; ++i) {
+    auto type = static_cast<EventType>(i);
+    std::string_view name = event_name(type);
+    EXPECT_NE(name, "SDP_UNKNOWN") << "enumerator " << i << " has no name";
+    EXPECT_TRUE(name.starts_with("SDP_")) << name;
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate event name: " << name;
+  }
+  EXPECT_EQ(names.size(), kEventTypeCount);
+}
+
+TEST(EventAlphabet, EveryTypeHasTheExpectedSet) {
+  using ET = EventType;
+  const std::pair<ET, EventSet> expected[] = {
+      {ET::kControlStart, EventSet::kControl},
+      {ET::kControlStop, EventSet::kControl},
+      {ET::kControlParserSwitch, EventSet::kControl},
+      {ET::kControlSocketSwitch, EventSet::kControl},
+      {ET::kNetUnicast, EventSet::kNetwork},
+      {ET::kNetMulticast, EventSet::kNetwork},
+      {ET::kNetSourceAddr, EventSet::kNetwork},
+      {ET::kNetDestAddr, EventSet::kNetwork},
+      {ET::kNetType, EventSet::kNetwork},
+      {ET::kServiceRequest, EventSet::kService},
+      {ET::kServiceResponse, EventSet::kService},
+      {ET::kServiceAlive, EventSet::kService},
+      {ET::kServiceByeBye, EventSet::kService},
+      {ET::kServiceTypeIs, EventSet::kService},
+      {ET::kServiceAttr, EventSet::kService},
+      {ET::kReqLang, EventSet::kRequest},
+      {ET::kResOk, EventSet::kResponse},
+      {ET::kResErr, EventSet::kResponse},
+      {ET::kResTtl, EventSet::kResponse},
+      {ET::kResServUrl, EventSet::kResponse},
+      {ET::kRegRegister, EventSet::kRegistration},
+      {ET::kRegDeregister, EventSet::kRegistration},
+      {ET::kRegAck, EventSet::kRegistration},
+      {ET::kDiscRepositoryFound, EventSet::kDiscovery},
+      {ET::kDiscRepositoryQuery, EventSet::kDiscovery},
+      {ET::kAdvInterval, EventSet::kAdvertisement},
+      {ET::kSlpReqVersion, EventSet::kSdpSpecific},
+      {ET::kSlpReqScope, EventSet::kSdpSpecific},
+      {ET::kSlpReqPredicate, EventSet::kSdpSpecific},
+      {ET::kSlpReqId, EventSet::kSdpSpecific},
+      {ET::kUpnpDeviceUrlDesc, EventSet::kSdpSpecific},
+      {ET::kUpnpUsn, EventSet::kSdpSpecific},
+      {ET::kUpnpServerHeader, EventSet::kSdpSpecific},
+      {ET::kUpnpSearchTarget, EventSet::kSdpSpecific},
+      {ET::kJiniRegistrarId, EventSet::kSdpSpecific},
+      {ET::kJiniGroups, EventSet::kSdpSpecific},
+      {ET::kJiniProxy, EventSet::kSdpSpecific},
+  };
+  ASSERT_EQ(std::size(expected), kEventTypeCount)
+      << "new EventType enumerator missing from this table";
+  for (const auto& [type, set] : expected) {
+    EXPECT_EQ(event_set(type), set) << event_name(type);
+  }
+}
+
+TEST(EventAlphabet, MandatoryIffInTheFiveTable1Sets) {
+  for (std::uint16_t i = 0; i < kEventTypeCount; ++i) {
+    auto type = static_cast<EventType>(i);
+    EventSet set = event_set(type);
+    bool expected = set == EventSet::kControl || set == EventSet::kNetwork ||
+                    set == EventSet::kService || set == EventSet::kRequest ||
+                    set == EventSet::kResponse;
+    EXPECT_EQ(is_mandatory(type), expected) << event_name(type);
+  }
 }
 
 TEST(Framing, WellFramedStreams) {

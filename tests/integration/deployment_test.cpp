@@ -83,9 +83,71 @@ TEST_F(DeploymentFixture, DynamicUnitComposition) {
   indiss.enable_unit(SdpId::kJini);
   EXPECT_EQ(indiss.unit_count(), 3u);
   ASSERT_NE(indiss.jini_unit(), nullptr);
-  // The new unit is wired into the peer mesh.
-  EXPECT_EQ(indiss.slp_unit()->peers().size(), 2u);
-  EXPECT_EQ(indiss.jini_unit()->peers().size(), 2u);
+  // The new unit is subscribed to the bus alongside the existing two.
+  EXPECT_EQ(indiss.bus().subscriber_count(), 3u);
+  EXPECT_EQ(indiss.bus().subscriber(SdpId::kJini), indiss.jini_unit());
+  EXPECT_EQ(indiss.jini_unit()->bus(), &indiss.bus());
+}
+
+TEST_F(DeploymentFixture, DynamicAttachDetachRoutesThroughBus) {
+  // Fig 5 evolution, round trip: a Jini unit attached mid-run starts
+  // receiving bus deliveries; once detached, delivery stops.
+  upnp::RootDevice device(service_host, upnp::make_clock_device(), 4004);
+  device.start();
+  IndissConfig config;
+  config.enable_jini = false;
+  Indiss indiss(gateway_host, config);
+  indiss.start();
+  scheduler.run_for(sim::millis(10));
+
+  // Mid-run attach.
+  indiss.enable_unit(SdpId::kJini);
+  ASSERT_NE(indiss.jini_unit(), nullptr);
+  EXPECT_EQ(indiss.bus().subscriber_count(), 3u);
+
+  slp::UserAgent client(client_host);
+  client.find_services("service:clock", "", nullptr, nullptr);
+  scheduler.run_for(sim::seconds(2));
+
+  // The bus delivered the translated SLP request to the new unit: it opened
+  // a (peer-originated) session even though no Jini registrar exists.
+  EXPECT_GT(indiss.jini_unit()->stats().sessions_opened, 0u);
+  std::uint64_t deliveries_attached = indiss.bus().stats().deliveries;
+  std::uint64_t published_attached = indiss.bus().stats().streams_published;
+  EXPECT_GT(deliveries_attached, published_attached)
+      << "with three subscribers some publish must fan out to two peers";
+
+  // Detach: the unit is gone, the bus forgets it immediately.
+  indiss.disable_unit(SdpId::kJini);
+  EXPECT_EQ(indiss.jini_unit(), nullptr);
+  EXPECT_EQ(indiss.unit_count(), 2u);
+  EXPECT_EQ(indiss.bus().subscriber_count(), 2u);
+  EXPECT_EQ(indiss.bus().subscriber(SdpId::kJini), nullptr);
+
+  slp::UserAgent second_client(client_host);
+  std::vector<slp::SearchResult> results;
+  second_client.find_services("service:clock", "", nullptr,
+                              [&](const std::vector<slp::SearchResult>& r) {
+                                results = r;
+                              });
+  scheduler.run_for(sim::seconds(2));
+
+  // Translation still works through the remaining SLP<->UPnP pair, and every
+  // new publish reaches exactly one peer — nothing is delivered to the
+  // detached unit.
+  EXPECT_FALSE(results.empty());
+  std::uint64_t new_published =
+      indiss.bus().stats().streams_published - published_attached;
+  std::uint64_t new_deliveries =
+      indiss.bus().stats().deliveries - deliveries_attached;
+  EXPECT_GT(new_published, 0u);
+  EXPECT_EQ(new_deliveries, new_published);
+
+  // Run well past the session timeout: the destroyed Jini unit's pending
+  // session-GC callbacks must have been disarmed, not fire on freed memory
+  // (ASan would catch it here).
+  scheduler.run_for(sim::seconds(15));
+  EXPECT_EQ(indiss.bus().subscriber_count(), 2u);
 }
 
 TEST_F(DeploymentFixture, MonitorSeesOnlyEnabledSdps) {
