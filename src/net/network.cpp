@@ -45,27 +45,70 @@ bool Network::host_down(const Host& host) const {
 }
 
 void Network::udp_register(UdpSocket* socket) {
-  udp_bindings_[{&socket->host(), socket->port()}].push_back(socket);
+  udp_bindings_[endpoint_key(socket->host().address(), socket->port())]
+      .push_back(socket);
 }
 
 void Network::udp_unregister(UdpSocket* socket) {
-  auto key = std::make_pair<const Host*, std::uint16_t>(&socket->host(),
-                                                        socket->port());
-  auto it = udp_bindings_.find(key);
+  auto it = udp_bindings_.find(
+      endpoint_key(socket->host().address(), socket->port()));
   if (it == udp_bindings_.end()) return;
   std::erase(it->second, socket);
   if (it->second.empty()) udp_bindings_.erase(it);
 }
 
 void Network::udp_join_group(UdpSocket* socket, IpAddress group) {
-  multicast_groups_[group][socket->id()] = socket;
+  auto& members = multicast_groups_[endpoint_key(group, socket->port())];
+  GroupMember member{socket->id(), socket};
+  auto pos = std::lower_bound(
+      members.begin(), members.end(), member,
+      [](const GroupMember& a, const GroupMember& b) { return a.id < b.id; });
+  if (pos != members.end() && pos->id == member.id) return;
+  members.insert(pos, member);
 }
 
 void Network::udp_leave_group(UdpSocket* socket, IpAddress group) {
-  auto it = multicast_groups_.find(group);
+  auto it = multicast_groups_.find(endpoint_key(group, socket->port()));
   if (it == multicast_groups_.end()) return;
-  it->second.erase(socket->id());
+  std::erase_if(it->second,
+                [socket](const GroupMember& m) { return m.socket == socket; });
   if (it->second.empty()) multicast_groups_.erase(it);
+}
+
+std::shared_ptr<const Datagram> Network::publish_datagram(
+    const Endpoint& source, const Endpoint& destination, Bytes payload) {
+  std::shared_ptr<Datagram> frame;
+  for (auto& pooled : datagram_pool_) {
+    if (pooled.use_count() == 1) {  // fully delivered; free for reuse
+      frame = pooled;
+      break;
+    }
+  }
+  if (frame == nullptr) {
+    frame = std::make_shared<Datagram>();
+    if (datagram_pool_.size() < kDeliveryPoolCap) {
+      datagram_pool_.push_back(frame);
+    }
+  }
+  frame->source = source;
+  frame->destination = destination;
+  frame->payload = std::move(payload);
+  frame->multicast = destination.address.is_multicast();
+  return frame;
+}
+
+std::shared_ptr<Network::TargetList> Network::acquire_target_list() {
+  for (auto& pooled : target_list_pool_) {
+    if (pooled.use_count() == 1) {
+      pooled->clear();  // capacity retained
+      return pooled;
+    }
+  }
+  auto list = std::make_shared<TargetList>();
+  if (target_list_pool_.size() < kDeliveryPoolCap) {
+    target_list_pool_.push_back(list);
+  }
+  return list;
 }
 
 sim::SimDuration Network::udp_latency(const Host& a, const Host& b,
@@ -76,7 +119,7 @@ sim::SimDuration Network::udp_latency(const Host& a, const Host& b,
   return profile_.propagation + serialization;
 }
 
-void Network::deliver_udp(UdpSocket* socket, Datagram datagram) {
+void Network::deliver_udp(UdpSocket* socket, const Datagram& datagram) {
   socket->deliver(datagram);
 }
 
@@ -87,13 +130,21 @@ void Network::udp_send(const UdpSocket& from, const Endpoint& to,
     return;
   }
 
-  Datagram datagram;
-  datagram.source = from.local_endpoint();
-  datagram.destination = to;
-  datagram.payload = std::move(payload);
-  datagram.multicast = to.address.is_multicast();
+  // Published once, shared read-only by every delivery in the fan-out. The
+  // old path captured the Datagram by value in each per-member lambda — N
+  // payload copies per multicast frame; see TrafficStats::udp_payload_copies.
+  std::shared_ptr<const Datagram> frame =
+      publish_datagram(from.local_endpoint(), to, std::move(payload));
 
-  auto schedule_delivery = [&](UdpSocket* target) {
+  // Receivers fall into at most two arrival instants — loopback and
+  // cross-host (latency depends only on payload size) — so the whole fan-out
+  // dispatches as one scheduler task per latency class walking a pooled
+  // target list, not one task per member. Targets are gathered in member
+  // order, preserving the historic per-member delivery order and the loss
+  // injection RNG draw order.
+  std::shared_ptr<TargetList> loopback_targets;
+  std::shared_ptr<TargetList> remote_targets;
+  auto add_target = [&](UdpSocket* target) {
     const bool loopback = &target->host() == &from.host();
     if (!loopback) {
       if (host_down(target->host())) {
@@ -108,51 +159,67 @@ void Network::udp_send(const UdpSocket& from, const Endpoint& to,
     } else {
       stats_.loopback_packets += 1;
     }
-    auto latency =
-        udp_latency(from.host(), target->host(), datagram.payload.size());
-    scheduler_.schedule(
-        latency, [this, target, alive = target->liveness(), datagram]() {
-          if (!*alive) return;
-          deliver_udp(target, datagram);
-        });
+    stats_.udp_deliveries += 1;
+    auto& list = loopback ? loopback_targets : remote_targets;
+    if (list == nullptr) list = acquire_target_list();
+    list->push_back(DeliveryTarget{target, target->liveness()});
   };
 
-  if (datagram.multicast) {
+  if (frame->multicast) {
     // A multicast send is one frame on the shared medium regardless of who
     // subscribed (2005-era hubs flood multicast; no IGMP snooping).
     stats_.udp_multicast_packets += 1;
-    stats_.udp_multicast_bytes += datagram.payload.size();
-    auto it = multicast_groups_.find(to.address);
+    stats_.udp_multicast_bytes += frame->payload.size();
+    auto it = multicast_groups_.find(endpoint_key(to.address, to.port));
     if (it != multicast_groups_.end()) {
-      for (auto& [id, member] : it->second) {
-        if (member == &from) continue;  // no self-delivery to sending socket
-        if (member->port() != to.port) continue;
-        schedule_delivery(member);
+      for (const GroupMember& member : it->second) {
+        if (member.socket == &from) continue;  // no self-delivery to sender
+        add_target(member.socket);
       }
     }
-    return;
+  } else {
+    Host* target_host = host_by_address(to.address);
+    if (target_host == nullptr) {
+      stats_.dropped_packets += 1;
+      return;
+    }
+    if (target_host != &from.host()) {
+      stats_.udp_unicast_packets += 1;
+      stats_.udp_unicast_bytes += frame->payload.size();
+    }
+    auto it = udp_bindings_.find(endpoint_key(to.address, to.port));
+    if (it == udp_bindings_.end()) return;  // UDP: silently dropped
+    for (UdpSocket* target : it->second) {
+      if (target == &from) continue;
+      add_target(target);
+    }
   }
 
-  Host* target_host = host_by_address(to.address);
-  if (target_host == nullptr) {
-    stats_.dropped_packets += 1;
-    return;
+  auto dispatch = [&](std::shared_ptr<TargetList>& targets,
+                      sim::SimDuration latency) {
+    scheduler_.schedule(latency,
+                        [this, frame, batch = std::move(targets)]() {
+                          for (const DeliveryTarget& target : *batch) {
+                            if (*target.alive) {
+                              deliver_udp(target.socket, *frame);
+                            }
+                          }
+                        });
+  };
+  if (loopback_targets != nullptr) {
+    dispatch(loopback_targets, profile_.loopback_latency);
   }
-  if (target_host != &from.host()) {
-    stats_.udp_unicast_packets += 1;
-    stats_.udp_unicast_bytes += datagram.payload.size();
-  }
-  auto it = udp_bindings_.find({target_host, to.port});
-  if (it == udp_bindings_.end()) return;  // UDP: silently dropped
-  for (UdpSocket* target : it->second) {
-    if (target == &from) continue;
-    schedule_delivery(target);
+  if (remote_targets != nullptr) {
+    const Host& any_remote = remote_targets->front().socket->host();
+    sim::SimDuration latency =
+        udp_latency(from.host(), any_remote, frame->payload.size());
+    dispatch(remote_targets, latency);
   }
 }
 
 void Network::tcp_register_listener(TcpListener* listener) {
-  auto key = std::make_pair<const Host*, std::uint16_t>(&listener->host(),
-                                                        listener->port());
+  std::uint64_t key =
+      endpoint_key(listener->host().address(), listener->port());
   if (tcp_listeners_.contains(key)) {
     throw std::invalid_argument("TCP port already listening: " +
                                 std::to_string(listener->port()));
@@ -161,7 +228,8 @@ void Network::tcp_register_listener(TcpListener* listener) {
 }
 
 void Network::tcp_unregister_listener(TcpListener* listener) {
-  tcp_listeners_.erase({&listener->host(), listener->port()});
+  tcp_listeners_.erase(endpoint_key(listener->host().address(),
+                                    listener->port()));
 }
 
 std::shared_ptr<TcpSocket> Network::tcp_connect(Host& from,
@@ -170,7 +238,7 @@ std::shared_ptr<TcpSocket> Network::tcp_connect(Host& from,
   if (target_host == nullptr || host_down(*target_host) || host_down(from)) {
     return nullptr;
   }
-  auto it = tcp_listeners_.find({target_host, to.port});
+  auto it = tcp_listeners_.find(endpoint_key(to.address, to.port));
   if (it == tcp_listeners_.end()) return nullptr;  // connection refused
   TcpListener* listener = it->second;
 
@@ -193,13 +261,18 @@ std::shared_ptr<TcpSocket> Network::tcp_connect(Host& from,
 
   auto client = std::make_shared<TcpSocket>(pipe, 0);
   auto server = std::make_shared<TcpSocket>(pipe, 1);
-  scheduler_.schedule(handshake, [listener_host = &listener->host(),
-                                  port = listener->port(), this, server]() {
-    // Re-resolve the listener at accept time; it may have closed meanwhile.
-    auto lit = tcp_listeners_.find({listener_host, port});
-    if (lit == tcp_listeners_.end()) return;
-    if (lit->second->accept_handler()) lit->second->accept_handler()(server);
-  });
+  scheduler_.schedule(
+      handshake,
+      [key = endpoint_key(listener->host().address(), listener->port()), this,
+       server]() {
+        // Re-resolve the listener at accept time; it may have closed
+        // meanwhile.
+        auto lit = tcp_listeners_.find(key);
+        if (lit == tcp_listeners_.end()) return;
+        if (lit->second->accept_handler()) {
+          lit->second->accept_handler()(server);
+        }
+      });
   return client;
 }
 

@@ -13,10 +13,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/address.hpp"
@@ -97,7 +97,29 @@ class Network {
 
  private:
   friend class TcpSocket;
-  void deliver_udp(UdpSocket* socket, Datagram datagram);
+  void deliver_udp(UdpSocket* socket, const Datagram& datagram);
+
+  /// All socket lookups key on (address, port) packed into one integer, so
+  /// the hot udp_send path is a single unordered probe, not a tree walk.
+  [[nodiscard]] static constexpr std::uint64_t endpoint_key(
+      IpAddress address, std::uint16_t port) {
+    return (std::uint64_t{address.bits()} << 16) | port;
+  }
+
+  /// Wraps the payload in a pooled, shared, read-only Datagram: published
+  /// once per frame and shared by every delivery in the fan-out.
+  std::shared_ptr<const Datagram> publish_datagram(const Endpoint& source,
+                                                   const Endpoint& destination,
+                                                   Bytes payload);
+
+  /// One receiving socket of an in-flight frame, with the liveness flag that
+  /// lets a close() between send and arrival drop the delivery safely.
+  struct DeliveryTarget {
+    UdpSocket* socket;
+    std::shared_ptr<bool> alive;
+  };
+  using TargetList = std::vector<DeliveryTarget>;
+  std::shared_ptr<TargetList> acquire_target_list();
 
   sim::Scheduler& scheduler_;
   LinkProfile profile_;
@@ -105,18 +127,32 @@ class Network {
   TrafficStats stats_;
 
   std::vector<std::unique_ptr<Host>> hosts_;
-  std::map<IpAddress, Host*> hosts_by_address_;
-  std::set<const Host*> down_hosts_;
+  std::unordered_map<IpAddress, Host*> hosts_by_address_;
+  std::unordered_set<const Host*> down_hosts_;
 
-  // (host, port) -> bound sockets (multiple sockets may share a port when
-  // they joined a multicast group, mirroring SO_REUSEADDR semantics).
-  std::map<std::pair<const Host*, std::uint16_t>, std::vector<UdpSocket*>>
-      udp_bindings_;
-  // Group members keyed by socket creation id so that same-instant deliveries
-  // happen in a deterministic order (pointer order would vary with ASLR).
-  std::map<IpAddress, std::map<std::uint64_t, UdpSocket*>> multicast_groups_;
-  std::map<std::pair<const Host*, std::uint16_t>, TcpListener*> tcp_listeners_;
+  // (host address, port) -> bound sockets (multiple sockets may share a port
+  // when they joined a multicast group, mirroring SO_REUSEADDR semantics).
+  std::unordered_map<std::uint64_t, std::vector<UdpSocket*>> udp_bindings_;
+  // (group address, port) -> members ordered by socket creation id so that
+  // same-instant deliveries happen in a deterministic order (pointer order
+  // would vary with ASLR). Membership churn is rare; the sorted vector keeps
+  // the per-frame fan-out walk contiguous.
+  struct GroupMember {
+    std::uint64_t id;
+    UdpSocket* socket;
+  };
+  std::unordered_map<std::uint64_t, std::vector<GroupMember>>
+      multicast_groups_;
+  std::unordered_map<std::uint64_t, TcpListener*> tcp_listeners_;
   std::uint64_t next_socket_id_ = 1;
+
+  // Recycled Datagram frames and fan-out target lists: an entry whose
+  // use_count has dropped back to 1 has been fully delivered and can carry
+  // the next frame, so steady-state sends reuse buffers and control blocks
+  // instead of allocating.
+  std::vector<std::shared_ptr<Datagram>> datagram_pool_;
+  std::vector<std::shared_ptr<TargetList>> target_list_pool_;
+  static constexpr std::size_t kDeliveryPoolCap = 64;
 
  public:
   [[nodiscard]] std::uint64_t allocate_socket_id() { return next_socket_id_++; }

@@ -20,6 +20,18 @@ struct TrafficStats {
   std::uint64_t dropped_packets = 0;  // loss injection + partitions
   std::uint64_t loopback_packets = 0; // same-host traffic, not on the wire
 
+  // Fan-out accounting (not wire traffic): how many socket deliveries the
+  // network scheduled, and how many payload buffer copies it materialized to
+  // do so. A multicast frame with N receivers must cost N deliveries but 0
+  // payload copies — the datagram is published once and shared, so no
+  // current code path bumps udp_payload_copies. CONTRACT: any future
+  // delivery path that copies a payload must increment it; the enforcing
+  // regression guard is the allocated-bytes meter in net_test's
+  // MulticastFanOut.PayloadIsSharedNotCopiedPerMember, with this counter as
+  // the attributable stat a reviewer checks first.
+  std::uint64_t udp_deliveries = 0;
+  std::uint64_t udp_payload_copies = 0;
+
   [[nodiscard]] std::uint64_t wire_bytes() const {
     return udp_unicast_bytes + udp_multicast_bytes + tcp_bytes;
   }

@@ -3,34 +3,14 @@
 // the events ride on.
 #include <gtest/gtest.h>
 
-#include <cstdlib>
-#include <new>
 #include <set>
 #include <string>
 
 #include "core/event.hpp"
 #include "core/typemap.hpp"
-
-// Allocation counter for the regression tests below: Event::get/has used to
+// Counts allocations for the regression tests below: Event::get/has used to
 // build a temporary std::string key per call even for string_view arguments.
-namespace {
-std::uint64_t g_heap_allocs = 0;
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_heap_allocs += 1;
-  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) {
-  g_heap_allocs += 1;
-  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
-  throw std::bad_alloc();
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#include "tests/support/alloc_meter.hpp"
 
 namespace indiss::core {
 namespace {
@@ -91,13 +71,13 @@ TEST(Event, HeterogeneousLookupWithoutAllocation) {
   std::string string_key = "addr";
   std::string_view view_key = "port";
 
-  std::uint64_t before = g_heap_allocs;
+  std::uint64_t before = indiss::testing::g_heap_allocs;
   bool ok = e.get("addr") == "10.0.0.7";           // literal
   ok = ok && e.get(string_key) == "10.0.0.7";      // std::string
   ok = ok && e.get(view_key) == "427";             // string_view
   ok = ok && e.has("port") && !e.has("absent-key-never-interned");
   ok = ok && e.get("absent-key-never-interned", "fb") == "fb";
-  std::uint64_t after = g_heap_allocs;
+  std::uint64_t after = indiss::testing::g_heap_allocs;
   EXPECT_TRUE(ok);
   EXPECT_EQ(after - before, 0u) << "event lookups must not heap-allocate";
 }

@@ -7,6 +7,10 @@
 #include "net/tcp.hpp"
 #include "net/udp.hpp"
 #include "sim/scheduler.hpp"
+// Meters allocated bytes for the zero-copy fan-out regression tests: a test
+// can prove a multicast frame is shared across the fan-out, not copied per
+// member.
+#include "tests/support/alloc_meter.hpp"
 
 namespace indiss::net {
 namespace {
@@ -72,6 +76,56 @@ TEST_F(NetFixture, MulticastLoopbackToOtherSocketsOnSameHost) {
   scheduler.run_all();
   EXPECT_EQ(got, 1);
   EXPECT_GE(network.stats().loopback_packets, 1u);
+}
+
+// Regression guard for the N-payload-copy multicast bug: the network must
+// publish each frame once and share it across the fan-out, so the payload is
+// never copied per member. Two layers of defence: the TrafficStats counters
+// (deliveries scale with membership, payload copies stay zero) and a raw
+// allocated-bytes meter (growing the fan-out from 1 to 8 extra members must
+// not allocate anywhere near 7 more payloads).
+TEST(MulticastFanOut, PayloadIsSharedNotCopiedPerMember) {
+  constexpr std::size_t kPayload = 64 * 1024;
+  constexpr int kMembers = 8;
+  IpAddress group(239, 255, 255, 253);
+
+  auto run = [&](int members) {
+    sim::Scheduler scheduler;
+    Network network{scheduler, LinkProfile{}, /*seed=*/1};
+    Host& sender_host = network.add_host("sender", IpAddress(10, 0, 0, 100));
+    auto tx = sender_host.udp_socket(0);
+    std::vector<std::shared_ptr<UdpSocket>> receivers;
+    int delivered = 0;
+    for (int i = 0; i < members; ++i) {
+      Host& host = network.add_host(
+          "rx" + std::to_string(i),
+          IpAddress(10, 0, 0, static_cast<std::uint8_t>(i + 1)));
+      auto rx = host.udp_socket(427);
+      rx->join_group(group);
+      rx->set_receive_handler([&](const Datagram& d) {
+        ++delivered;
+        EXPECT_EQ(d.payload.size(), kPayload);
+      });
+      receivers.push_back(std::move(rx));
+    }
+    Bytes payload(kPayload, 0x55);
+    std::size_t bytes_before = indiss::testing::g_heap_bytes;
+    tx->send_to(Endpoint{group, 427}, std::move(payload));
+    scheduler.run_all();
+    std::size_t bytes_allocated = indiss::testing::g_heap_bytes - bytes_before;
+    EXPECT_EQ(delivered, members);
+    EXPECT_EQ(network.stats().udp_deliveries,
+              static_cast<std::uint64_t>(members));
+    EXPECT_EQ(network.stats().udp_payload_copies, 0u);
+    EXPECT_EQ(network.stats().udp_multicast_packets, 1u);
+    return bytes_allocated;
+  };
+
+  std::size_t one_member = run(1);
+  std::size_t many_members = run(kMembers);
+  // Seven additional members may cost per-delivery scheduling overhead, but
+  // never seven more payload buffers.
+  EXPECT_LT(many_members - one_member, kPayload);
 }
 
 TEST_F(NetFixture, MulticastRequiresMatchingPort) {

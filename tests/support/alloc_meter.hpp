@@ -1,0 +1,39 @@
+// Shared heap-allocation meter for tests and benchmarks.
+//
+// Replaces the global operator new/delete of the binary that includes it,
+// counting every allocation (and its size) into indiss::testing counters so
+// zero-allocation claims are pinned by tests instead of asserted in prose.
+//
+// Include from exactly ONE translation unit per binary: the replacement
+// operators are deliberately non-inline, so a second including TU fails to
+// link rather than silently double-counting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace indiss::testing {
+
+inline std::uint64_t g_heap_allocs = 0;    // operator new calls
+inline std::uint64_t g_heap_bytes = 0;     // bytes requested
+
+}  // namespace indiss::testing
+
+void* operator new(std::size_t size) {
+  indiss::testing::g_heap_allocs += 1;
+  indiss::testing::g_heap_bytes += size;
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  indiss::testing::g_heap_allocs += 1;
+  indiss::testing::g_heap_bytes += size;
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
