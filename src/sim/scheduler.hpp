@@ -2,37 +2,188 @@
 // whole testbed. Hosts, sockets, protocol stacks and INDISS itself all run as
 // callbacks scheduled here, which keeps every experiment single-threaded and
 // bit-for-bit reproducible.
+//
+// Built for throughput (see docs/simulation.md): the pending queue is a
+// vector-backed binary min-heap keyed on (deadline, seq) — seq makes equal
+// deadlines FIFO, modelling in-order delivery on a link — and task state
+// lives in a free-listed slot arena addressed by (slot index, generation).
+// Cancellation is a generation bump, so a handle can never touch a later
+// task that reuses its slot, and the common schedule/cancel/fire cycle
+// performs zero heap allocations once the arena and heap are warm.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <map>
+#include <functional>  // std::bad_function_call
 #include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "sim/time.hpp"
 
 namespace indiss::sim {
 
+class Scheduler;
+
+/// Move-only callable with small-buffer optimization: callables up to
+/// kInlineSize bytes (a delivery lambda capturing this + target + two
+/// shared_ptrs) are stored in place; larger ones fall back to the heap. This
+/// replaces std::function in the scheduler hot path so scheduling a typical
+/// task allocates nothing.
+class InlineTask {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  InlineTask() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineTask> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit like std::function
+  InlineTask(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      vtable_ = &kInlineVTable<Fn>;
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      vtable_ = &kHeapVTable<Fn>;
+    }
+  }
+
+  InlineTask(InlineTask&& other) noexcept { move_from(other); }
+  InlineTask& operator=(InlineTask&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineTask(const InlineTask&) = delete;
+  InlineTask& operator=(const InlineTask&) = delete;
+  ~InlineTask() { reset(); }
+
+  /// Invoking an empty task throws like std::function would.
+  void operator()() {
+    if (vtable_ == nullptr) throw std::bad_function_call();
+    vtable_->invoke(payload());
+  }
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  void reset() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(payload());
+      vtable_ = nullptr;
+      heap_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*destroy)(void*);
+    // Move-constructs dst's payload from src's and destroys src's; dst is
+    // raw (no live payload). Callers reset src's vtable afterwards.
+    void (*relocate)(InlineTask& dst, InlineTask& src);
+  };
+
+  [[nodiscard]] void* payload() {
+    return heap_ != nullptr ? heap_ : static_cast<void*>(storage_);
+  }
+
+  void move_from(InlineTask& other) noexcept {
+    if (other.vtable_ == nullptr) return;
+    other.vtable_->relocate(*this, other);
+    other.vtable_ = nullptr;
+    other.heap_ = nullptr;
+  }
+
+  template <typename Fn>
+  static void invoke_impl(void* p) {
+    (*static_cast<Fn*>(p))();
+  }
+  template <typename Fn>
+  static void destroy_inline(void* p) {
+    static_cast<Fn*>(p)->~Fn();
+  }
+  template <typename Fn>
+  static void destroy_heap(void* p) {
+    delete static_cast<Fn*>(p);
+  }
+  template <typename Fn>
+  static void relocate_inline(InlineTask& dst, InlineTask& src) {
+    Fn* from = std::launder(reinterpret_cast<Fn*>(src.storage_));
+    ::new (static_cast<void*>(dst.storage_)) Fn(std::move(*from));
+    from->~Fn();
+    dst.vtable_ = src.vtable_;
+    dst.heap_ = nullptr;
+  }
+  static void relocate_heap(InlineTask& dst, InlineTask& src) {
+    dst.heap_ = src.heap_;
+    dst.vtable_ = src.vtable_;
+  }
+
+  template <typename Fn>
+  static constexpr VTable kInlineVTable{&invoke_impl<Fn>, &destroy_inline<Fn>,
+                                        &relocate_inline<Fn>};
+  template <typename Fn>
+  static constexpr VTable kHeapVTable{&invoke_impl<Fn>, &destroy_heap<Fn>,
+                                      &relocate_heap};
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  void* heap_ = nullptr;
+  const VTable* vtable_ = nullptr;
+};
+
 /// Handle for a scheduled task; lets the owner cancel it (e.g. a periodic
 /// advertisement loop stopped when a device leaves the network).
+///
+/// A handle names its task as (slot index, generation): once the task fires
+/// (one-shot) or is cancelled, the slot's generation moves on and the handle
+/// goes inert — cancel() of a fired handle is a no-op, and a stale handle can
+/// never cancel a later task that reuses the same slot. Handles are cheap to
+/// copy and may outlive the Scheduler itself (they hold a liveness token and
+/// degrade to no-ops once it is gone).
 class TaskHandle {
  public:
   TaskHandle() = default;
 
-  void cancel() {
-    if (alive_) *alive_ = false;
-  }
-  [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+  void cancel();
+  /// True while the task is still queued (or, for periodic tasks, currently
+  /// executing): i.e. cancel() would still suppress a future run.
+  [[nodiscard]] bool pending() const;
 
  private:
   friend class Scheduler;
-  explicit TaskHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  TaskHandle(Scheduler* scheduler, std::weak_ptr<const void> live,
+             std::uint32_t slot, std::uint64_t generation)
+      : scheduler_(scheduler),
+        live_(std::move(live)),
+        slot_(slot),
+        generation_(generation) {}
+
+  Scheduler* scheduler_ = nullptr;
+  std::weak_ptr<const void> live_;
+  std::uint32_t slot_ = 0;
+  // 64-bit so a long-held stale handle can never collide with a reused
+  // slot's generation, even after billions of churn cycles (ABA safety).
+  std::uint64_t generation_ = 0;
 };
 
 class Scheduler {
  public:
-  using Task = std::function<void()>;
+  using Task = InlineTask;
+
+  Scheduler() = default;
+  // Handles and in-flight lambdas hold back-pointers; the scheduler must not
+  // move out from under them.
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
 
   [[nodiscard]] SimTime now() const { return now_; }
 
@@ -41,35 +192,95 @@ class Scheduler {
   TaskHandle schedule(SimDuration delay, Task task);
 
   /// Schedules `task` every `period`, first run after `period`. The returned
-  /// handle cancels all future occurrences.
+  /// handle cancels all future occurrences. Rearming reuses the same arena
+  /// slot, so a steady periodic task allocates nothing per tick.
   TaskHandle schedule_periodic(SimDuration period, Task task);
 
   /// Runs tasks until the queue is empty or `deadline` (absolute sim time) is
-  /// reached. Returns the number of tasks executed.
+  /// reached, then advances the clock to `deadline`.
+  ///
+  /// Executed-count semantics (pinned by substrate/scheduler_stress_test):
+  /// the return value counts task bodies actually invoked. Cancelled entries
+  /// are dropped silently — they are never counted, never advance the clock,
+  /// and never cause a live task past `deadline` to run early (the historic
+  /// std::map implementation executed one task beyond the deadline whenever
+  /// the queue head was cancelled).
   std::size_t run_until(SimTime deadline);
 
   /// Runs tasks until the queue drains completely (periodic tasks must be
-  /// cancelled first or this never returns; a safety cap guards against that).
+  /// cancelled first or this never returns; a safety cap guards against
+  /// that). Returns the number of task bodies invoked, like run_until().
   std::size_t run_all(std::size_t max_tasks = 10'000'000);
 
   /// Advances time by `d`, executing everything due in the window.
   std::size_t run_for(SimDuration d) { return run_until(now_ + d); }
 
-  [[nodiscard]] std::size_t pending_tasks() const { return queue_.size(); }
+  /// Number of live (not cancelled) queued tasks.
+  [[nodiscard]] std::size_t pending_tasks() const { return live_queued_; }
+
+  /// Total task bodies invoked over the scheduler's lifetime; the substrate
+  /// benchmark derives events/sec from this.
+  [[nodiscard]] std::uint64_t executed_tasks() const { return executed_total_; }
 
  private:
-  struct Entry {
-    Task task;
-    std::shared_ptr<bool> alive;
-  };
-  // Key: (deadline, seq). seq makes ordering FIFO among equal deadlines.
-  using Key = std::pair<SimTime, std::uint64_t>;
+  friend class TaskHandle;
 
-  bool run_next();
+  struct Slot {
+    InlineTask task;
+    SimDuration period{0};  // zero for one-shot tasks
+    std::uint64_t generation = 0;
+    enum class State : std::uint8_t { kFree, kQueued, kRunning };
+    State state = State::kFree;
+  };
+
+  struct HeapEntry {
+    SimTime at;
+    std::uint64_t seq;
+    std::uint64_t generation;
+    std::uint32_t slot;
+  };
+
+  /// Min-heap order on (deadline, seq).
+  struct EntryLater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      return a.at > b.at || (a.at == b.at && a.seq > b.seq);
+    }
+  };
+
+  TaskHandle schedule_at(SimTime at, SimDuration period, Task task);
+  void cancel_task(std::uint32_t slot, std::uint64_t generation);
+  [[nodiscard]] bool task_pending(std::uint32_t slot,
+                                  std::uint64_t generation) const;
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  void push_entry(SimTime at, std::uint32_t slot, std::uint64_t generation);
+  void pop_entry();
+  [[nodiscard]] bool entry_stale(const HeapEntry& entry) const;
+  void drop_stale_entries();
+  void fire(const HeapEntry& entry);
+  bool run_ready();
 
   SimTime now_{0};
   std::uint64_t seq_ = 0;
-  std::map<Key, Entry> queue_;
+  std::uint64_t executed_total_ = 0;
+  std::size_t live_queued_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  // One allocation per scheduler (not per task): handles watch this token so
+  // a handle outliving the scheduler degrades to a no-op instead of UB.
+  std::shared_ptr<const void> live_token_ = std::make_shared<int>(0);
 };
+
+inline void TaskHandle::cancel() {
+  if (scheduler_ == nullptr || live_.expired()) return;
+  scheduler_->cancel_task(slot_, generation_);
+}
+
+inline bool TaskHandle::pending() const {
+  if (scheduler_ == nullptr || live_.expired()) return false;
+  return scheduler_->task_pending(slot_, generation_);
+}
 
 }  // namespace indiss::sim
