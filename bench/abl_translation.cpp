@@ -8,9 +8,7 @@
 // the same parse+compose cost without the reuse.
 #include <benchmark/benchmark.h>
 
-#include <cstdlib>
 #include <map>
-#include <new>
 #include <string>
 
 #include "common/strings.hpp"
@@ -23,28 +21,11 @@
 // --- Allocation counting ----------------------------------------------------
 //
 // The whole point of the interned SmallRecord event representation is fewer
-// heap allocations per translated message, so this harness counts them:
-// every operator new bumps a counter, and the round-trip fixtures report
-// allocs/op alongside wall time in BENCH_translation.json.
+// heap allocations per translated message, so this harness counts them via
+// the shared meter, and the round-trip fixtures report allocs/op alongside
+// wall time in BENCH_translation.json.
 
-namespace {
-std::uint64_t g_heap_allocs = 0;
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_heap_allocs += 1;
-  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) {
-  g_heap_allocs += 1;
-  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
-  throw std::bad_alloc();
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#include "tests/support/alloc_meter.hpp"
 
 namespace {
 
@@ -157,7 +138,7 @@ void BM_SlpRoundTripAllocations(benchmark::State& state) {
   core::SlpEventParser parser;
   core::StreamPool pool;
   core::CollectingSink sink(pool);
-  std::uint64_t allocs_before = g_heap_allocs;
+  std::uint64_t allocs_before = indiss::testing::g_heap_allocs;
   for (auto _ : state) {
     sink.reset();
     parser.parse(wire, ctx(), sink);
@@ -166,7 +147,7 @@ void BM_SlpRoundTripAllocations(benchmark::State& state) {
     benchmark::DoNotOptimize(rewire);
   }
   state.counters["heap_allocs_per_op"] = benchmark::Counter(
-      static_cast<double>(g_heap_allocs - allocs_before) /
+      static_cast<double>(indiss::testing::g_heap_allocs - allocs_before) /
       static_cast<double>(state.iterations()));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -192,7 +173,7 @@ void BM_SlpRoundTripAllocationsMapBaseline(benchmark::State& state) {
   core::SlpEventParser parser;
   core::StreamPool pool;
   core::CollectingSink sink(pool);
-  std::uint64_t allocs_before = g_heap_allocs;
+  std::uint64_t allocs_before = indiss::testing::g_heap_allocs;
   for (auto _ : state) {
     sink.reset();
     parser.parse(wire, ctx(), sink);
@@ -234,7 +215,7 @@ void BM_SlpRoundTripAllocationsMapBaseline(benchmark::State& state) {
     benchmark::DoNotOptimize(rewire);
   }
   state.counters["heap_allocs_per_op"] = benchmark::Counter(
-      static_cast<double>(g_heap_allocs - allocs_before) /
+      static_cast<double>(indiss::testing::g_heap_allocs - allocs_before) /
       static_cast<double>(state.iterations()));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }

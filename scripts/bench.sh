@@ -1,48 +1,156 @@
 #!/usr/bin/env bash
-# Runs the translation-path benchmark and records the result as JSON so the
-# perf trajectory of the event pipeline is tracked with data, not vibes.
+# Runs the tracked benchmarks and records the results as JSON so the perf
+# trajectory of the event pipeline and the simulation substrate is tracked
+# with data, not vibes.
 #
-#   scripts/bench.sh                                  # full run
+#   scripts/bench.sh                         # all benches, full run
+#   scripts/bench.sh translation             # only bench_abl_translation
+#   scripts/bench.sh scaling                 # only bench_abl_substrate
 #   scripts/bench.sh --benchmark_min_time=0.01x      # CI smoke run
-#   BUILD_DIR=build-release OUT=out.json scripts/bench.sh
+#   scripts/bench.sh scaling --compare old.json      # exit 1 on >20%
+#                                                    # events/sec regression
+#   scripts/bench.sh --compare-only old.json         # compare an existing
+#                                                    # BENCH_scaling.json
+#                                                    # without re-running
+#   BUILD_DIR=build-rel scripts/bench.sh
 #
-# Output: BENCH_translation.json (Google Benchmark JSON; the
-# BM_SlpRoundTripAllocations* entries carry a heap_allocs_per_op counter —
-# compare the SmallRecord path against the std::map baseline).
+# Outputs:
+#   BENCH_translation.json — event-layer round trips (allocs/op counters)
+#   BENCH_scaling.json     — substrate throughput: slot-arena scheduler +
+#                            shared-datagram fan-out vs the std::map
+#                            baseline, plus the macro scaling topology
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
-OUT="${OUT:-BENCH_translation.json}"
+OUT_TRANSLATION="${OUT_TRANSLATION:-${OUT:-BENCH_translation.json}}"
+OUT_SCALING="${OUT_SCALING:-BENCH_scaling.json}"
 
-if [ ! -f "${BUILD_DIR}/CMakeCache.txt" ]; then
+FILTER="all"
+COMPARE=""
+COMPARE_ONLY=0
+ARGS=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    translation|scaling|all)
+      FILTER="$1"
+      ;;
+    --compare)
+      [ $# -ge 2 ] || { echo "error: --compare needs a baseline.json" >&2; exit 2; }
+      COMPARE="$2"
+      shift
+      ;;
+    --compare-only)
+      [ $# -ge 2 ] || { echo "error: --compare-only needs a baseline.json" >&2; exit 2; }
+      COMPARE="$2"
+      COMPARE_ONLY=1
+      shift
+      ;;
+    *)
+      ARGS+=("$1")
+      ;;
+  esac
+  shift
+done
+
+# --compare judges the scaling output produced by THIS invocation; refuse
+# combinations that would silently compare a stale or missing file.
+if [ -n "${COMPARE}" ] && [ "${COMPARE_ONLY}" = 0 ] && [ "${FILTER}" = "translation" ]; then
+  echo "error: --compare needs the scaling bench to run (use 'scaling' or 'all')" >&2
+  exit 2
+fi
+
+if [ "${COMPARE_ONLY}" = 0 ] && [ ! -f "${BUILD_DIR}/CMakeCache.txt" ]; then
   echo "== configure (${BUILD_DIR} missing) =="
   cmake -B "${BUILD_DIR}" -S .
 fi
 
-echo "== build bench_abl_translation =="
-if ! cmake --build "${BUILD_DIR}" --target bench_abl_translation -j; then
-  echo "error: bench_abl_translation did not build — is libbenchmark-dev" \
-       "installed? (the target is skipped when CMake cannot find it)" >&2
-  exit 1
+run_bench() {
+  local target="$1" out="$2"
+  echo "== build ${target} =="
+  if ! cmake --build "${BUILD_DIR}" --target "${target}" -j; then
+    echo "error: ${target} did not build — is libbenchmark-dev installed?" \
+         "(the target is skipped when CMake cannot find it)" >&2
+    exit 1
+  fi
+  local bin="${BUILD_DIR}/bench/${target}"
+
+  # google-benchmark < 1.7 rejects the "0.01x" iteration-suffix form of
+  # --benchmark_min_time; strip the suffix for old libraries so one CI
+  # invocation works against whatever libbenchmark-dev the distro ships.
+  local run_args=()
+  local arg
+  for arg in ${ARGS[@]+"${ARGS[@]}"}; do
+    if [[ "${arg}" == --benchmark_min_time=*x ]] &&
+       ! "${bin}" --benchmark_list_tests "${arg}" > /dev/null 2>&1; then
+      arg="${arg%x}"
+    fi
+    run_args+=("${arg}")
+  done
+
+  echo "== run ${target} -> ${out} =="
+  "${bin}" --benchmark_out="${out}" --benchmark_out_format=json \
+    ${run_args[@]+"${run_args[@]}"}
+  echo "== wrote ${out} =="
+}
+
+if [ "${COMPARE_ONLY}" = 0 ]; then
+  # Plain ifs rather than a ;;& fallthrough case: bash 3.2 (macOS) lacks ;;&.
+  if [ "${FILTER}" = "translation" ] || [ "${FILTER}" = "all" ]; then
+    run_bench bench_abl_translation "${OUT_TRANSLATION}"
+  fi
+  if [ "${FILTER}" = "scaling" ] || [ "${FILTER}" = "all" ]; then
+    run_bench bench_abl_substrate "${OUT_SCALING}"
+  fi
+elif [ ! -f "${OUT_SCALING}" ]; then
+  echo "error: --compare-only: ${OUT_SCALING} does not exist" >&2
+  exit 2
 fi
 
-BIN="${BUILD_DIR}/bench/bench_abl_translation"
-
-# google-benchmark < 1.7 rejects the "0.01x" iteration-suffix form of
-# --benchmark_min_time; strip the suffix for old libraries so one CI
-# invocation works against whatever libbenchmark-dev the distro ships.
-ARGS=()
-for arg in "$@"; do
-  if [[ "${arg}" == --benchmark_min_time=*x ]] &&
-     ! "${BIN}" --benchmark_list_tests "${arg}" > /dev/null 2>&1; then
-    arg="${arg%x}"
+if [ -n "${COMPARE}" ]; then
+  if [ ! -f "${COMPARE}" ]; then
+    echo "error: baseline ${COMPARE} does not exist" >&2
+    exit 2
   fi
-  ARGS+=("${arg}")
-done
+  echo "== compare ${OUT_SCALING} against baseline ${COMPARE} =="
+  python3 - "${COMPARE}" "${OUT_SCALING}" <<'EOF'
+import json
+import sys
 
-echo "== run -> ${OUT} =="
-"${BIN}" --benchmark_out="${OUT}" --benchmark_out_format=json \
-  ${ARGS[@]+"${ARGS[@]}"}
-echo "== wrote ${OUT} =="
+baseline_path, current_path = sys.argv[1], sys.argv[2]
+
+def events_rates(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rates = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        rate = bench.get("events_per_sec")
+        if rate is not None:
+            rates[bench["name"]] = rate
+    return rates
+
+base = events_rates(baseline_path)
+current = events_rates(current_path)
+shared = [name for name in base if name in current]
+if not shared:
+    print("no common events_per_sec benchmarks between the two files")
+    sys.exit(2)
+
+regressions = []
+print(f"{'benchmark':44s} {'baseline':>14s} {'current':>14s} {'ratio':>7s}")
+for name in shared:
+    ratio = current[name] / base[name] if base[name] else 0.0
+    flag = "  << REGRESSION" if ratio < 0.8 else ""
+    print(f"{name:44s} {base[name]:14.0f} {current[name]:14.0f} "
+          f"{ratio:7.2f}{flag}")
+    if ratio < 0.8:
+        regressions.append(name)
+if regressions:
+    print(f"FAIL: >20% events/sec regression: {', '.join(regressions)}")
+    sys.exit(1)
+print("OK: no events/sec regression >20%")
+EOF
+fi
