@@ -1,6 +1,7 @@
 // Ablation A4: scaling with the number of services. Response time of an SLP
-// client discovering UPnP devices through service-side INDISS, and the wire
-// traffic, as the device population grows.
+// client discovering a mixed UPnP + mDNS device population through
+// client-side INDISS, and the wire traffic, as the population grows (every
+// fourth device is a Bonjour responder; the rest are UPnP).
 #include "calibration.hpp"
 
 namespace indiss::bench {
@@ -20,13 +21,23 @@ Result run(int devices) {
 
   // One device per host so discovery traffic actually crosses the wire;
   // INDISS sits with the client, the deployment where population size shows.
+  // Every fourth device speaks mDNS/DNS-SD instead of UPnP, so the bridge
+  // translates a heterogeneous population.
   std::vector<std::unique_ptr<upnp::RootDevice>> fleet;
+  std::vector<std::unique_ptr<mdns::MdnsResponder>> bonjour_fleet;
   for (int i = 0; i < devices; ++i) {
     auto& host = i == 0 ? service_host
                         : network.add_host(
                               "dev" + std::to_string(i),
                               net::IpAddress(10, 0, 1,
                                              static_cast<std::uint8_t>(i)));
+    if (i % 4 == 3) {
+      auto responder = std::make_unique<mdns::MdnsResponder>(
+          host, calibrated_mdns_device(static_cast<std::uint64_t>(i)));
+      responder->publish(mdns_clock_instance(i));
+      bonjour_fleet.push_back(std::move(responder));
+      continue;
+    }
     auto description =
         upnp::make_clock_device("uuid:Clock" + std::to_string(i));
     auto device = std::make_unique<upnp::RootDevice>(
@@ -60,7 +71,7 @@ Result run(int devices) {
 
 int main() {
   using namespace indiss::bench;
-  std::printf("Ablation A4 — scaling with UPnP device count "
+  std::printf("Ablation A4 — scaling with device count, 3:1 UPnP:mDNS mix "
               "(SLP client, client-side INDISS)\n");
   std::printf("%8s %16s %12s %14s\n", "devices", "first hit (ms)", "found",
               "wire bytes");

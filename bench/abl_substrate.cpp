@@ -340,10 +340,12 @@ BENCHMARK(BM_SubstrateFanOutMapBaseline)->Arg(100)->Arg(500)->Arg(2000);
 
 // --- Macro benchmark: the abl_scaling topology at population ----------------
 //
-// The full stack the churn numbers stand in for: N UPnP devices on their own
-// hosts, client-side INDISS, an SLP user agent searching for all of them.
-// Every SSDP frame, description fetch, FSM step and INDISS translation runs
-// as scheduler tasks over the shared-datagram fan-out.
+// The full stack the churn numbers stand in for: N devices on their own
+// hosts (every fourth one an mDNS/DNS-SD responder, the rest UPnP),
+// client-side INDISS bridging all of them, an SLP user agent searching for
+// the lot. Every SSDP frame, mDNS answer, description fetch, FSM step and
+// INDISS translation runs as scheduler tasks over the shared-datagram
+// fan-out.
 
 void BM_ScalingTopology(benchmark::State& state) {
   const int devices = static_cast<int>(state.range(0));
@@ -355,12 +357,21 @@ void BM_ScalingTopology(benchmark::State& state) {
     auto& client_host =
         network.add_host("client", net::IpAddress(10, 0, 0, 1));
     std::vector<std::unique_ptr<upnp::RootDevice>> fleet;
+    std::vector<std::unique_ptr<mdns::MdnsResponder>> bonjour_fleet;
     fleet.reserve(static_cast<std::size_t>(devices));
     for (int i = 0; i < devices; ++i) {
       auto& host = network.add_host(
           "dev" + std::to_string(i),
           net::IpAddress(10, 0, static_cast<std::uint8_t>(1 + i / 250),
                          static_cast<std::uint8_t>(1 + i % 250)));
+      if (i % 4 == 3) {
+        auto responder = std::make_unique<mdns::MdnsResponder>(
+            host,
+            bench::calibrated_mdns_device(static_cast<std::uint64_t>(i)));
+        responder->publish(bench::mdns_clock_instance(i));
+        bonjour_fleet.push_back(std::move(responder));
+        continue;
+      }
       auto description =
           upnp::make_clock_device("uuid:Clock" + std::to_string(i));
       auto device = std::make_unique<upnp::RootDevice>(

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/indiss.hpp"
+#include "mdns/dnssd.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "slp/agents.hpp"
@@ -70,7 +71,30 @@ inline core::IndissConfig calibrated_indiss() {
   core::IndissConfig config;
   config.unit_options.translate_delay = sim::micros(2);
   config.upnp.search_response_pacing = sim::millis_f(39.0);
+  // The scaling workload mixes mDNS devices into the population (PR 4);
+  // the gateway bridges all of them.
+  config.enable_mdns = true;
   return config;
+}
+
+/// mDNS responder stack for one scaling-workload device: seeded per device
+/// so paced multicast answers interleave deterministically.
+inline mdns::MdnsConfig calibrated_mdns_device(std::uint64_t seed) {
+  mdns::MdnsConfig config;
+  config.seed = seed + 1;
+  return config;
+}
+
+/// The DNS-SD instance advertised by scaling-workload device `index`.
+inline mdns::ServiceInstance mdns_clock_instance(int index) {
+  mdns::ServiceInstance instance;
+  instance.instance = "clock" + std::to_string(index);
+  instance.service_type = "_clock._tcp";
+  instance.port = 4006;
+  instance.txt = {{"url", "soap://10.0.2." +
+                              std::to_string(1 + index % 250) + ":4006/mdns" +
+                              std::to_string(index)}};
+  return instance;
 }
 
 inline upnp::ControlPointConfig calibrated_control_point() {

@@ -50,6 +50,14 @@ void ByteWriter::patch_u24(std::size_t offset, std::uint32_t v) {
   buf_[offset + 2] = static_cast<std::uint8_t>(v);
 }
 
+void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  if (offset + 2 > buf_.size()) {
+    throw std::out_of_range("patch_u16: offset past end of buffer");
+  }
+  buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+  buf_[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
 void ByteReader::require(std::size_t n) const {
   if (pos_ + n > view_.size()) {
     throw DecodeError("truncated message: needed " + std::to_string(n) +

@@ -55,6 +55,13 @@ class ByteWriter {
   /// once the full message has been encoded).
   void patch_u24(std::size_t offset, std::uint32_t v);
 
+  /// Same, for 16-bit fields (DNS RDLENGTH patching).
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+  /// Drops the contents but keeps the buffer's capacity, so a writer reused
+  /// across messages settles into zero allocations.
+  void clear() { buf_.clear(); }
+
  private:
   Bytes buf_;
 };

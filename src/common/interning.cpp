@@ -1,5 +1,7 @@
 #include "common/interning.hpp"
 
+#include <functional>
+
 namespace indiss {
 
 SymbolTable& SymbolTable::global() {
@@ -27,23 +29,48 @@ std::string_view SymbolTable::name(Symbol symbol) const {
   return names_[symbol - 1];
 }
 
+namespace {
+
+// True when `value` points into `storage`'s buffer. std::less gives the
+// pointer comparison a defined total order for unrelated allocations.
+bool aliases(const std::string& storage, std::string_view value) {
+  if (storage.empty() || value.empty()) return false;
+  const char* begin = storage.data();
+  const char* end = begin + storage.size();
+  std::less<const char*> lt;
+  return !lt(value.data(), begin) && lt(value.data(), end);
+}
+
+}  // namespace
+
 void SmallRecord::set(Symbol key, std::string_view value) {
   if (key == kNoSymbol) return;
-  // Materialize first: `value` may alias this record's own storage (a view
-  // obtained from get()), and appending can relocate overflow entries.
-  std::string copy(value);
   for (std::size_t i = 0; i < size_; ++i) {
     Entry& entry = at(i);
     if (entry.key == key) {
-      entry.value = std::move(copy);
+      // assign() reuses the entry's existing capacity — the hot steady-state
+      // path of a recycled event re-filled with same-shaped data allocates
+      // nothing. A view aliasing this very entry (obtained from get()) must
+      // be materialized first, since assign would clobber its source.
+      if (aliases(entry.value, value)) {
+        std::string copy(value);
+        entry.value = std::move(copy);
+      } else {
+        entry.value.assign(value.data(), value.size());
+      }
       return;
     }
   }
   if (size_ < kInlineCapacity) {
+    // Filling an inline slot relocates nothing, so assigning straight into
+    // it is safe even when `value` aliases another entry of this record.
     Entry& entry = inline_[size_];
     entry.key = key;
-    entry.value = std::move(copy);
+    entry.value.assign(value.data(), value.size());
   } else {
+    // Appending may relocate the overflow vector (and with it the storage a
+    // view from get() points into): materialize first.
+    std::string copy(value);
     if (overflow_ == nullptr) {
       overflow_ = std::make_unique<std::vector<Entry>>();
     }

@@ -95,6 +95,9 @@ std::string_view event_name(EventType type) {
     case EventType::kJiniRegistrarId: return "SDP_JINI_REGISTRAR";
     case EventType::kJiniGroups: return "SDP_JINI_GROUPS";
     case EventType::kJiniProxy: return "SDP_JINI_PROXY";
+    case EventType::kMdnsQuestion: return "SDP_MDNS_QUESTION";
+    case EventType::kMdnsInstance: return "SDP_MDNS_INSTANCE";
+    case EventType::kMdnsSrv: return "SDP_MDNS_SRV";
   }
   return "SDP_UNKNOWN";
 }

@@ -79,13 +79,19 @@ enum class EventType : std::uint16_t {
   kJiniRegistrarId,  // SDP_JINI_REGISTRAR: data "id"
   kJiniGroups,       // SDP_JINI_GROUPS:    data "groups"
   kJiniProxy,        // SDP_JINI_PROXY:     data "proxy" (hex)
+
+  // --- mDNS/DNS-SD-specific --------------------------------------------------
+  kMdnsQuestion,  // SDP_MDNS_QUESTION: data "name" (qname), "qtype"
+  kMdnsInstance,  // SDP_MDNS_INSTANCE: data "instance" (first label), "name"
+  kMdnsSrv,       // SDP_MDNS_SRV:      data "target", "port", "priority",
+                  //                    "weight"
 };
 
 /// Number of EventType enumerators (the enum is contiguous from 0). New
 /// events must be added before this sentinel stays correct — the exhaustive
 /// alphabet test iterates [0, kEventTypeCount).
 inline constexpr std::uint16_t kEventTypeCount =
-    static_cast<std::uint16_t>(EventType::kJiniProxy) + 1;
+    static_cast<std::uint16_t>(EventType::kMdnsSrv) + 1;
 
 /// Which of the paper's event sets a type belongs to.
 enum class EventSet {

@@ -41,12 +41,19 @@ void Indiss::start() {
     jini_unit_ = std::make_unique<JiniUnit>(host_, unit_config);
     monitor_->forward_to(SdpId::kJini, jini_unit_.get());
   }
+  if (config_.enable_mdns) {
+    auto unit_config = config_.mdns;
+    unit_config.unit = with_registry(config_.unit_options);
+    mdns_unit_ = std::make_unique<MdnsUnit>(host_, unit_config);
+    monitor_->forward_to(SdpId::kMdns, mdns_unit_.get());
+  }
   subscribe_units();
 
   for (const auto& entry : iana_table()) {
     bool enabled = (entry.sdp == SdpId::kSlp && config_.enable_slp) ||
                    (entry.sdp == SdpId::kUpnp && config_.enable_upnp) ||
-                   (entry.sdp == SdpId::kJini && config_.enable_jini);
+                   (entry.sdp == SdpId::kJini && config_.enable_jini) ||
+                   (entry.sdp == SdpId::kMdns && config_.enable_mdns);
     if (enabled) monitor_->scan(entry);
   }
 
@@ -57,7 +64,7 @@ void Indiss::start() {
   }
   log::info("indiss", "started on ", host_.name(), " (slp=",
             config_.enable_slp, " upnp=", config_.enable_upnp, " jini=",
-            config_.enable_jini, ")");
+            config_.enable_jini, " mdns=", config_.enable_mdns, ")");
 }
 
 void Indiss::stop() {
@@ -66,19 +73,21 @@ void Indiss::stop() {
   sample_task_.cancel();
   // Tear down routing before the units so in-flight datagrams cannot reach
   // freed memory. Each unit's destructor unsubscribes itself from the bus.
-  for (SdpId sdp : {SdpId::kSlp, SdpId::kUpnp, SdpId::kJini}) {
+  for (SdpId sdp : {SdpId::kSlp, SdpId::kUpnp, SdpId::kJini, SdpId::kMdns}) {
     monitor_->forward_to(sdp, nullptr);
     monitor_->stop_scanning(sdp);
   }
   slp_unit_.reset();
   upnp_unit_.reset();
   jini_unit_.reset();
+  mdns_unit_.reset();
 }
 
 void Indiss::subscribe_units() {
   if (slp_unit_) bus_.subscribe(*slp_unit_);
   if (upnp_unit_) bus_.subscribe(*upnp_unit_);
   if (jini_unit_) bus_.subscribe(*jini_unit_);
+  if (mdns_unit_) bus_.subscribe(*mdns_unit_);
 }
 
 Unit* Indiss::unit(SdpId sdp) {
@@ -86,6 +95,7 @@ Unit* Indiss::unit(SdpId sdp) {
     case SdpId::kSlp: return slp_unit_.get();
     case SdpId::kUpnp: return upnp_unit_.get();
     case SdpId::kJini: return jini_unit_.get();
+    case SdpId::kMdns: return mdns_unit_.get();
   }
   return nullptr;
 }
@@ -120,6 +130,15 @@ void Indiss::enable_unit(SdpId sdp) {
       monitor_->forward_to(SdpId::kJini, jini_unit_.get());
       break;
     }
+    case SdpId::kMdns: {
+      config_.enable_mdns = true;
+      auto unit_config = config_.mdns;
+      unit_config.unit = config_.unit_options;
+      unit_config.unit.own_endpoints = own_endpoints_;
+      mdns_unit_ = std::make_unique<MdnsUnit>(host_, unit_config);
+      monitor_->forward_to(SdpId::kMdns, mdns_unit_.get());
+      break;
+    }
   }
   for (const auto& entry : iana_table()) {
     if (entry.sdp == sdp) monitor_->scan(entry);
@@ -146,6 +165,10 @@ void Indiss::disable_unit(SdpId sdp) {
       config_.enable_jini = false;
       jini_unit_.reset();
       break;
+    case SdpId::kMdns:
+      config_.enable_mdns = false;
+      mdns_unit_.reset();
+      break;
   }
 }
 
@@ -154,6 +177,7 @@ std::size_t Indiss::unit_count() const {
   if (slp_unit_) ++count;
   if (upnp_unit_) ++count;
   if (jini_unit_) ++count;
+  if (mdns_unit_) ++count;
   return count;
 }
 
@@ -181,6 +205,7 @@ void Indiss::trigger_active_probe() {
     if (slp_unit_) slp_unit_->probe(type);
     if (upnp_unit_) upnp_unit_->probe(type);
     if (jini_unit_) jini_unit_->probe(type);
+    if (mdns_unit_) mdns_unit_->probe(type);
   }
 }
 

@@ -26,6 +26,7 @@
 #include "core/types.hpp"
 #include "core/unit.hpp"
 #include "core/units/jini_unit.hpp"
+#include "core/units/mdns_unit.hpp"
 #include "core/units/slp_unit.hpp"
 #include "core/units/upnp_unit.hpp"
 #include "net/host.hpp"
@@ -48,10 +49,12 @@ struct IndissConfig {
   bool enable_slp = true;
   bool enable_upnp = true;
   bool enable_jini = false;  // the paper's prototype shipped SLP + UPnP
+  bool enable_mdns = false;
   Unit::Options unit_options;
   SlpUnit::Config slp;
   UpnpUnit::Config upnp;
   JiniUnit::Config jini;
+  MdnsUnit::Config mdns;
   ContextPolicy context;
 };
 
@@ -77,6 +80,7 @@ class Indiss {
   [[nodiscard]] SlpUnit* slp_unit() { return slp_unit_.get(); }
   [[nodiscard]] UpnpUnit* upnp_unit() { return upnp_unit_.get(); }
   [[nodiscard]] JiniUnit* jini_unit() { return jini_unit_.get(); }
+  [[nodiscard]] MdnsUnit* mdns_unit() { return mdns_unit_.get(); }
   [[nodiscard]] Unit* unit(SdpId sdp);
   [[nodiscard]] net::Host& host() { return host_; }
 
@@ -111,6 +115,7 @@ class Indiss {
   std::unique_ptr<SlpUnit> slp_unit_;
   std::unique_ptr<UpnpUnit> upnp_unit_;
   std::unique_ptr<JiniUnit> jini_unit_;
+  std::unique_ptr<MdnsUnit> mdns_unit_;
   bool running_ = false;
   bool active_mode_ = false;
   std::uint64_t last_sample_bytes_ = 0;

@@ -3,6 +3,7 @@
 #include "common/logging.hpp"
 #include "core/unit.hpp"
 #include "jini/discovery.hpp"
+#include "mdns/dns.hpp"
 #include "net/network.hpp"
 #include "slp/agents.hpp"
 #include "upnp/ssdp.hpp"
@@ -15,6 +16,7 @@ const std::vector<IanaEntry>& iana_table() {
       {SdpId::kUpnp, upnp::kSsdpMulticastGroup, upnp::kSsdpPort},
       {SdpId::kJini, jini::kRequestGroup, jini::kJiniPort},
       {SdpId::kJini, jini::kAnnouncementGroup, jini::kJiniPort},
+      {SdpId::kMdns, mdns::kMdnsGroup, mdns::kMdnsPort},
   };
   return kTable;
 }

@@ -34,6 +34,12 @@ class EventSink {
  public:
   virtual ~EventSink() = default;
   virtual void emit(Event event) = 0;
+
+  /// Hands out an event to fill and emit. Pooling sinks override this to
+  /// return a recycled event whose SmallRecord value strings keep their
+  /// capacity, so a parser that fills it with set() and emits it performs no
+  /// heap allocation in steady state (the mDNS hot path is pinned on this).
+  [[nodiscard]] virtual Event scratch(EventType type) { return Event(type); }
 };
 
 class SdpParser {
@@ -90,12 +96,29 @@ class CollectingSink : public EventSink {
   [[nodiscard]] const EventStream& stream() const { return stream_; }
   [[nodiscard]] EventStream take() { return std::move(stream_); }
 
-  /// Ready the sink for the next message without releasing storage.
-  void reset() { stream_.clear(); }
+  /// Recycles the events retired by reset(): the returned event is cleared
+  /// but its record's value-string capacity survives, so re-filling it with
+  /// same-shaped data allocates nothing.
+  [[nodiscard]] Event scratch(EventType type) override {
+    if (recycled_.empty()) return Event(type);
+    Event event = std::move(recycled_.back());
+    recycled_.pop_back();
+    event.type = type;
+    event.data.clear();
+    return event;
+  }
+
+  /// Ready the sink for the next message without releasing storage; the
+  /// retired events feed scratch().
+  void reset() {
+    for (auto& event : stream_) recycled_.push_back(std::move(event));
+    stream_.clear();
+  }
 
  private:
   StreamPool* pool_ = nullptr;
   EventStream stream_;
+  std::vector<Event> recycled_;
 };
 
 }  // namespace indiss::core

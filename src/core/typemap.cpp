@@ -50,4 +50,27 @@ std::string upnp_device_from_canonical(std::string_view canonical) {
   return "urn:schemas-upnp-org:device:" + std::string(canonical) + ":1";
 }
 
+std::string canonical_from_dnssd(std::string_view name) {
+  auto lower = str::to_lower(str::trim(name));
+  std::string_view rest = lower;
+  if (str::starts_with(rest, "_services._dns-sd.")) return "*";
+  // Skip instance labels until the first service label ("_clock._tcp...").
+  while (!rest.empty() && !rest.starts_with("_")) {
+    auto dot = rest.find('.');
+    if (dot == std::string_view::npos) return std::string(rest);
+    rest.remove_prefix(dot + 1);
+  }
+  if (rest.starts_with("_")) rest.remove_prefix(1);
+  auto dot = rest.find('.');
+  if (dot != std::string_view::npos) rest = rest.substr(0, dot);
+  return std::string(rest);
+}
+
+std::string dnssd_from_canonical(std::string_view canonical) {
+  if (canonical == "*" || canonical.empty()) {
+    return "_services._dns-sd._udp.local";
+  }
+  return "_" + std::string(canonical) + "._tcp.local";
+}
+
 }  // namespace indiss::core

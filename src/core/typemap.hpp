@@ -26,4 +26,12 @@ namespace indiss::core {
 [[nodiscard]] std::string upnp_device_from_canonical(
     std::string_view canonical);
 
+/// "_clock._tcp.local" (or "_clock._udp", or an instance name like
+/// "clock1._clock._tcp.local") -> "clock". The DNS-SD enumeration name
+/// "_services._dns-sd._udp.local" maps to "*".
+[[nodiscard]] std::string canonical_from_dnssd(std::string_view name);
+
+/// "clock" -> "_clock._tcp.local" ("*" -> the enumeration name).
+[[nodiscard]] std::string dnssd_from_canonical(std::string_view canonical);
+
 }  // namespace indiss::core

@@ -17,13 +17,14 @@ namespace indiss::core {
 /// filters against it so the system never re-ingests its own traffic.
 using OwnEndpoints = std::set<net::Endpoint>;
 
-enum class SdpId : std::uint8_t { kSlp, kUpnp, kJini };
+enum class SdpId : std::uint8_t { kSlp, kUpnp, kJini, kMdns };
 
 [[nodiscard]] constexpr std::string_view sdp_name(SdpId sdp) {
   switch (sdp) {
     case SdpId::kSlp: return "slp";
     case SdpId::kUpnp: return "upnp";
     case SdpId::kJini: return "jini";
+    case SdpId::kMdns: return "mdns";
   }
   return "?";
 }

@@ -73,7 +73,7 @@ void Unit::feed_event(Session& session, Event event) {
   if (event.type == EventType::kControlStart) {
     session.collected.clear();
   }
-  session.collected.push_back(event);
+  session.collected.push_back(std::move(event));
   if (!fsm_step(fsm_, *this, session, session.collected.back())) {
     stats_.events_ignored += 1;
   }

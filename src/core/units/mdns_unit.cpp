@@ -1,0 +1,517 @@
+#include "core/units/mdns_unit.hpp"
+
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "core/typemap.hpp"
+#include "net/network.hpp"
+
+namespace indiss::core {
+
+namespace {
+
+// Composed messages are stamped with a marker record (mDNS has no
+// user-agent slot); the parser surfaces it as the head event's "server"
+// attribute for the standard FSM's bridge-echo guard.
+constexpr std::string_view kBridgeMarkerName = "_indiss-bridge._udp.local";
+constexpr std::string_view kBridgeStamp = "INDISS-bridge";
+
+/// Grows a vector one slot at a time without ever shrinking capacity, so the
+/// i-th slot keeps the strings its previous occupant grew (the compose-side
+/// twin of the codec's decode_into reuse).
+template <typename T>
+T& slot(std::vector<T>& v, std::size_t i) {
+  if (i < v.size()) return v[i];
+  v.emplace_back();
+  return v.back();
+}
+
+/// Resets a recycled record slot to defaults while keeping string/vector
+/// capacity. Deliberately leaves `txt` alone: resize(0) would destroy the
+/// pair strings (and their capacity) that a TXT slot reuses each compose;
+/// fillers of TXT slots set the final entry count themselves, and the
+/// encoder never reads `txt` for non-TXT types.
+void reset_record(mdns::DnsRecord& r) {
+  r.name.clear();
+  r.type = mdns::kTypePtr;
+  r.cache_flush = false;
+  r.ttl = 0;
+  r.target.clear();
+  r.priority = 0;
+  r.weight = 0;
+  r.port = 0;
+  r.address = net::IpAddress();
+  r.raw.clear();
+}
+
+/// Allocation-free canonical type: "clock1._clock._tcp.local" -> "clock".
+/// (typemap's canonical_from_dnssd lowercases into a fresh string; wire
+/// names in the simulator are lowercase already, so the parser can use
+/// views.)
+std::string_view canonical_view(std::string_view name) {
+  if (name.starts_with("_services._dns-sd.")) return "*";
+  while (!name.empty() && !name.starts_with("_")) {
+    auto dot = name.find('.');
+    if (dot == std::string_view::npos) return name;
+    name.remove_prefix(dot + 1);
+  }
+  if (name.starts_with("_")) name.remove_prefix(1);
+  auto dot = name.find('.');
+  if (dot != std::string_view::npos) name = name.substr(0, dot);
+  return name;
+}
+
+/// Host/port of a (possibly service:-nested) access URL, as views.
+struct UrlEndpoint {
+  std::string_view host;
+  std::uint16_t port = 0;
+};
+
+UrlEndpoint url_endpoint(std::string_view url) {
+  UrlEndpoint out;
+  auto scheme = url.find("://");
+  std::string_view rest =
+      scheme == std::string_view::npos ? url : url.substr(scheme + 3);
+  auto sl = rest.find('/');
+  if (sl != std::string_view::npos) rest = rest.substr(0, sl);
+  auto colon = rest.rfind(':');
+  if (colon != std::string_view::npos) {
+    out.port = static_cast<std::uint16_t>(
+        str::parse_long(rest.substr(colon + 1), 0));
+    out.host = rest.substr(0, colon);
+  } else {
+    out.host = rest;
+  }
+  return out;
+}
+
+std::uint32_t fnv1a(std::string_view s) {
+  std::uint32_t hash = 2166136261u;
+  for (char c : s) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+bool has_bridge_marker(const mdns::DnsMessage& message) {
+  for (const auto& record : message.additionals) {
+    if (record.name == kBridgeMarkerName) return true;
+  }
+  return false;
+}
+
+void append_marker(mdns::DnsMessage& out, std::size_t* additional_count) {
+  mdns::DnsRecord& marker = slot(out.additionals, (*additional_count)++);
+  reset_record(marker);
+  marker.name.assign(kBridgeMarkerName);
+  marker.type = mdns::kTypeTxt;
+  marker.ttl = 1;
+  auto& kv = slot(marker.txt, 0);
+  kv.first.assign("bridged-by");
+  kv.second.assign(kBridgeStamp);
+  marker.txt.resize(1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MdnsEventParser
+// ---------------------------------------------------------------------------
+
+void MdnsEventParser::parse(BytesView raw, const MessageContext& ctx,
+                            EventSink& sink) {
+  if (!ctx.continuation) sink.emit(sink.scratch(EventType::kControlStart));
+
+  std::string error;
+  if (!mdns::decode_into(raw, scratch_, &error)) {
+    Event err = sink.scratch(EventType::kResErr);
+    err.set("code", "parse");
+    err.set("detail", error);
+    sink.emit(std::move(err));
+    sink.emit(sink.scratch(EventType::kControlStop));
+    return;
+  }
+  const mdns::DnsMessage& message = scratch_;
+
+  {
+    Event net = sink.scratch(EventType::kNetType);
+    net.set("sdp", "mdns");
+    sink.emit(std::move(net));
+  }
+  sink.emit(sink.scratch(ctx.multicast ? EventType::kNetMulticast
+                                       : EventType::kNetUnicast));
+  {
+    Event src = sink.scratch(EventType::kNetSourceAddr);
+    src.set("addr", ctx.source.address.to_string());
+    src.set("port", std::to_string(ctx.source.port));
+    src.set("local", ctx.from_local_host ? "1" : "0");
+    sink.emit(std::move(src));
+  }
+
+  std::string_view stamp = has_bridge_marker(message) ? kBridgeStamp : "";
+
+  if (!message.is_response()) {
+    Event head = sink.scratch(EventType::kServiceRequest);
+    head.set("server", stamp);
+    sink.emit(std::move(head));
+    for (const auto& question : message.questions) {
+      if (question.qtype != mdns::kTypePtr &&
+          question.qtype != mdns::kTypeAny) {
+        continue;
+      }
+      Event q = sink.scratch(EventType::kMdnsQuestion);
+      q.set("name", question.name);
+      q.set("qtype", "ptr");
+      q.set("id", std::to_string(message.id));
+      sink.emit(std::move(q));
+      Event type = sink.scratch(EventType::kServiceTypeIs);
+      type.set("type", canonical_view(question.name));
+      type.set("native", question.name);
+      sink.emit(std::move(type));
+      break;  // DNS-SD browses carry one question; extras are repeats
+    }
+    sink.emit(sink.scratch(EventType::kControlStop));
+    return;
+  }
+
+  // Response: a goodbye when every answer's TTL is 0, an advertisement when
+  // it arrived on the multicast group, a query response when unicast back.
+  bool goodbye = !message.answers.empty();
+  for (const auto& answer : message.answers) {
+    if (answer.ttl != 0) goodbye = false;
+  }
+  EventType head_type = goodbye ? EventType::kServiceByeBye
+                        : ctx.multicast ? EventType::kServiceAlive
+                                        : EventType::kServiceResponse;
+  {
+    Event head = sink.scratch(head_type);
+    head.set("server", stamp);
+    sink.emit(std::move(head));
+  }
+  if (head_type == EventType::kServiceResponse) {
+    sink.emit(sink.scratch(EventType::kResOk));
+  }
+
+  bool url_seen = false;
+  bool srv_seen = false;
+  std::string_view srv_target;
+  std::uint16_t srv_port = 0;
+  net::IpAddress host_addr;
+  for (const auto* section : {&message.answers, &message.additionals}) {
+    for (const auto& record : *section) {
+      if (record.name == kBridgeMarkerName) continue;
+      if (record.type == mdns::kTypePtr) {
+        Event instance = sink.scratch(EventType::kMdnsInstance);
+        instance.set("instance", mdns::instance_label(record.target));
+        instance.set("name", record.target);
+        sink.emit(std::move(instance));
+        Event type = sink.scratch(EventType::kServiceTypeIs);
+        type.set("type", canonical_view(record.name));
+        type.set("native", record.name);
+        sink.emit(std::move(type));
+        Event ttl = sink.scratch(EventType::kResTtl);
+        ttl.set("seconds", std::to_string(record.ttl));
+        sink.emit(std::move(ttl));
+      } else if (record.type == mdns::kTypeSrv) {
+        Event srv = sink.scratch(EventType::kMdnsSrv);
+        srv.set("target", record.target);
+        srv.set("port", std::to_string(record.port));
+        srv.set("priority", std::to_string(record.priority));
+        srv.set("weight", std::to_string(record.weight));
+        sink.emit(std::move(srv));
+        srv_seen = true;
+        srv_target = record.target;
+        srv_port = record.port;
+      } else if (record.type == mdns::kTypeTxt) {
+        for (const auto& [key, value] : record.txt) {
+          if (key == "url" && !value.empty()) {
+            Event url = sink.scratch(EventType::kResServUrl);
+            url.set("url", value);
+            sink.emit(std::move(url));
+            url_seen = true;
+          } else {
+            Event attr = sink.scratch(EventType::kServiceAttr);
+            attr.set("key", key);
+            attr.set("value", value);
+            sink.emit(std::move(attr));
+          }
+        }
+      } else if (record.type == mdns::kTypeA) {
+        host_addr = record.address;
+      }
+    }
+  }
+  if (!url_seen && srv_seen) {
+    // No TXT url: synthesize an access URL from the SRV/A data so foreign
+    // composers still get their pivotal SDP_RES_SERV_URL.
+    char buf[80];
+    if (!host_addr.is_unspecified()) {
+      std::snprintf(buf, sizeof(buf), "mdns://%s:%u",
+                    host_addr.to_string().c_str(),
+                    static_cast<unsigned>(srv_port));
+    } else {
+      std::snprintf(buf, sizeof(buf), "mdns://%.*s:%u",
+                    static_cast<int>(srv_target.size()), srv_target.data(),
+                    static_cast<unsigned>(srv_port));
+    }
+    Event url = sink.scratch(EventType::kResServUrl);
+    url.set("url", buf);
+    sink.emit(std::move(url));
+  }
+  sink.emit(sink.scratch(EventType::kControlStop));
+}
+
+// ---------------------------------------------------------------------------
+// compose_dnssd_answers
+// ---------------------------------------------------------------------------
+
+std::size_t compose_dnssd_answers(const EventStream& stream,
+                                  std::string_view qname, std::uint32_t ttl,
+                                  mdns::DnsMessage& out) {
+  out.flags = mdns::kFlagResponse | mdns::kFlagAuthoritative;
+  out.questions.resize(0);
+  out.authorities.resize(0);
+
+  std::size_t groups = 0;
+  std::size_t answers = 0;
+  std::size_t additionals = 0;
+  std::size_t url_count = 0;
+  for (const auto& event : stream) {
+    if (event.type == EventType::kResServUrl && !event.get("url").empty()) {
+      url_count += 1;
+    }
+  }
+  const bool single_url = url_count == 1;
+  char digits[24];
+  for (const auto& event : stream) {
+    if (event.type != EventType::kResServUrl) continue;
+    std::string_view url = event.get("url");
+    if (url.empty()) continue;
+    UrlEndpoint endpoint = url_endpoint(url);
+    groups += 1;
+
+    // PTR: <qname> -> indiss-<hash>.<qname>. The hash keys the instance to
+    // the bridged URL so repeated answers resolve to one instance.
+    //
+    // NOTE: a slot() reference dies at the next slot() call on the same
+    // vector (emplace_back may reallocate) — every record is filled right
+    // after its slot is taken, and cross-record values come from `stream`
+    // or `endpoint` views, never from earlier slots of the same vector.
+    std::snprintf(digits, sizeof(digits), "indiss-%08x", fnv1a(url));
+    mdns::DnsRecord& ptr = slot(out.answers, answers++);
+    reset_record(ptr);
+    ptr.name.assign(qname);
+    ptr.type = mdns::kTypePtr;
+    ptr.ttl = ttl;
+    ptr.target.assign(digits);
+    ptr.target.push_back('.');
+    ptr.target.append(qname);
+
+    mdns::DnsRecord& srv = slot(out.additionals, additionals++);
+    reset_record(srv);
+    srv.name.assign(ptr.target);
+    srv.type = mdns::kTypeSrv;
+    srv.cache_flush = true;
+    srv.ttl = ttl;
+    srv.port = endpoint.port;
+    srv.target.assign(endpoint.host);
+
+    mdns::DnsRecord& txt = slot(out.additionals, additionals++);
+    reset_record(txt);
+    txt.name.assign(ptr.target);
+    txt.type = mdns::kTypeTxt;
+    txt.cache_flush = true;
+    txt.ttl = ttl;
+    std::size_t entries = 0;
+    auto& url_kv = slot(txt.txt, entries++);
+    url_kv.first.assign("url");
+    url_kv.second.assign(url);
+    if (single_url) {
+      // SDP_SERVICE_ATTR events are stream-global, not per-URL; attaching
+      // them is only unambiguous when the stream describes one service.
+      for (const auto& attr : stream) {
+        if (attr.type != EventType::kServiceAttr) continue;
+        if (entries >= 8) break;  // keep bridged TXT bundles bounded
+        auto& kv = slot(txt.txt, entries++);
+        kv.first.assign(attr.get("key"));
+        kv.second.assign(attr.get("value"));
+      }
+    }
+    auto& stamp_kv = slot(txt.txt, entries++);
+    stamp_kv.first.assign("bridged-by");
+    stamp_kv.second.assign(kBridgeStamp);
+    txt.txt.resize(entries);
+
+    auto address = net::IpAddress::parse(endpoint.host);
+    if (address.has_value()) {
+      mdns::DnsRecord& a = slot(out.additionals, additionals++);
+      reset_record(a);
+      a.name.assign(endpoint.host);  // == the SRV record's target
+      a.type = mdns::kTypeA;
+      a.cache_flush = true;
+      a.ttl = ttl;
+      a.address = *address;
+    }
+  }
+  append_marker(out, &additionals);
+  out.answers.resize(answers);
+  out.additionals.resize(additionals);
+  return groups;
+}
+
+// ---------------------------------------------------------------------------
+// MdnsUnit
+// ---------------------------------------------------------------------------
+
+MdnsUnit::MdnsUnit(net::Host& host, Config config)
+    : Unit(SdpId::kMdns, host, config.unit), config_(config) {
+  register_parser(std::make_unique<MdnsEventParser>());
+  set_default_parser("mdns");
+  build_standard_fsm(fsm_);
+  // Remember the browse question so the composed reply echoes the qname and
+  // the legacy querier's DNS id (RFC 6762 §6.7).
+  fsm_.add_tuple("parsing", EventType::kMdnsQuestion, any(), "parsing",
+                 {Unit::record("qname", "name"), Unit::record("qid", "id")});
+
+  reply_socket_ = host.udp_socket(0);
+  mark_own(*reply_socket_);
+}
+
+MdnsUnit::~MdnsUnit() {
+  if (reply_socket_) reply_socket_->close();
+  for (auto& [id, socket] : client_sockets_) socket->close();
+}
+
+void MdnsUnit::send_message(const net::Endpoint& to) {
+  BytesView wire = encoder_.encode(compose_scratch_);
+  reply_socket_->send_to(to, Bytes(wire.begin(), wire.end()));
+}
+
+// Acting as a one-shot mDNS browser for a foreign request: multicast a PTR
+// query from a per-session ephemeral socket; responders answer it unicast.
+void MdnsUnit::compose_native_request(Session& session) {
+  compose_scratch_.clear();
+  compose_scratch_.id = static_cast<std::uint16_t>(session.id & 0xFFFF);
+  mdns::DnsQuestion question;
+  question.name = dnssd_from_canonical(session.var("service_type", "*"));
+  question.qtype = mdns::kTypePtr;
+  question.unicast_response = true;
+  compose_scratch_.questions.push_back(std::move(question));
+  std::size_t additionals = 0;
+  append_marker(compose_scratch_, &additionals);
+  compose_scratch_.additionals.resize(additionals);
+
+  auto socket = host().udp_socket(0);
+  mark_own(*socket);
+  std::uint64_t session_id = session.id;
+  socket->set_receive_handler([this, session_id](const net::Datagram& d) {
+    MessageContext ctx;
+    ctx.source = d.source;
+    ctx.destination = d.destination;
+    ctx.multicast = d.multicast;
+    ctx.from_local_host = d.source.address == host().address();
+    schedule_guarded(options().translate_delay, [this, session_id, d, ctx]() {
+      on_native_response(session_id, d.payload, ctx);
+    });
+  });
+  client_sockets_[session.id] = socket;
+  BytesView wire = encoder_.encode(compose_scratch_);
+  socket->send_to(net::Endpoint{mdns::kMdnsGroup, config_.mdns_port},
+                  Bytes(wire.begin(), wire.end()));
+}
+
+// Answering a native mDNS browser on behalf of foreign services: compose the
+// PTR+SRV+TXT+A bundle and unicast it back to the querier.
+void MdnsUnit::compose_native_reply(Session& session) {
+  std::string qname(session.var("qname"));
+  if (qname.empty()) {
+    qname = dnssd_from_canonical(session.var("service_type", "*"));
+  }
+  std::uint32_t ttl = config_.record_ttl;
+  if (session.has_var("ttl")) {
+    ttl = static_cast<std::uint32_t>(str::parse_long(session.var("ttl"), ttl));
+  }
+  if (compose_dnssd_answers(session.collected, qname, ttl,
+                            compose_scratch_) == 0) {
+    return;  // nothing found: mDNS answers with silence
+  }
+  compose_scratch_.id = static_cast<std::uint16_t>(
+      str::parse_long(session.var("qid", "0"), 0));
+
+  auto addr = net::IpAddress::parse(session.var("src_addr"));
+  if (!addr.has_value()) {
+    log::warn("mdns-unit", "reply without recorded source address");
+    return;
+  }
+  net::Endpoint to{*addr, static_cast<std::uint16_t>(str::parse_long(
+                              session.var("src_port", "0"), 0))};
+
+  // RFC 6762 §6 etiquette: pace answers to queries that crossed the shared
+  // medium; loopback interception answers immediately.
+  bool from_network = session.var("src_local") != "1" &&
+                      session.var("net") == "multicast";
+  sim::SimDuration pacing =
+      from_network ? config_.response_pacing : sim::SimDuration::zero();
+  BytesView wire = encoder_.encode(compose_scratch_);
+  Bytes payload(wire.begin(), wire.end());
+  scheduler().schedule(pacing, [socket = reply_socket_, to,
+                                payload = std::move(payload)]() {
+    if (!socket->closed()) socket->send_to(to, payload);
+  });
+}
+
+// A peer advertised (or withdrew) a foreign service: re-announce it in the
+// Bonjour world as an unsolicited multicast response (TTL 0 for goodbyes).
+void MdnsUnit::on_advertisement(Session& session) {
+  MdnsForeignService service;
+  service.canonical_type = session.var("service_type");
+  std::string desc_url;
+  for (const auto& event : session.collected) {
+    if (event.type == EventType::kResServUrl && service.url.empty()) {
+      service.url = event.get("url");
+    } else if (event.type == EventType::kUpnpDeviceUrlDesc) {
+      desc_url = event.get("url");
+    } else if (event.type == EventType::kServiceAttr) {
+      service.attributes.emplace_back(event.get("key"), event.get("value"));
+    }
+  }
+  if (service.url.empty()) service.url = desc_url;
+  if (service.url.empty()) return;
+  if (!meaningful_advert_type(service.canonical_type)) return;
+
+  std::string qname = dnssd_from_canonical(service.canonical_type);
+  bool byebye = session.var("kind") == "byebye";
+  if (byebye) {
+    if (announced_urls_.erase(service.url) == 0) return;
+    std::erase_if(foreign_services_, [&](const MdnsForeignService& s) {
+      return s.url == service.url;
+    });
+  } else {
+    for (auto& existing : foreign_services_) {
+      if (existing.url == service.url) existing = service;
+    }
+    if (!announced_urls_.insert(service.url).second) return;  // already out
+    foreign_services_.push_back(service);
+  }
+
+  if (compose_dnssd_answers(session.collected, qname,
+                            byebye ? 0 : config_.record_ttl,
+                            compose_scratch_) == 0) {
+    return;
+  }
+  compose_scratch_.id = 0;
+  send_message(net::Endpoint{mdns::kMdnsGroup, config_.mdns_port});
+  announcements_sent_ += 1;
+}
+
+void MdnsUnit::on_session_complete(Session& session) {
+  auto it = client_sockets_.find(session.id);
+  if (it != client_sockets_.end()) {
+    it->second->close();
+    client_sockets_.erase(it);
+  }
+}
+
+}  // namespace indiss::core

@@ -1,0 +1,112 @@
+// The mDNS/DNS-SD unit: the fourth SDP plugged into INDISS's fixed event
+// alphabet (after the paper's SLP + UPnP and PR 1-3's Jini), exercising the
+// extensibility claim one more time: a new discovery protocol costs one
+// parser/composer pair against the mandatory events plus a handful of FSM
+// tuples.
+//
+// Roles:
+//  - Parses mDNS datagrams (DNS-SD browse queries, query responses,
+//    announcements, TTL-0 goodbyes) into event streams.
+//  - Translates foreign request streams into multicast PTR queries issued as
+//    a legacy one-shot querier (responders answer it unicast).
+//  - Answers native mDNS browsers on behalf of foreign services with
+//    composed PTR+SRV+TXT+A bundles.
+//  - Re-announces foreign advertisements as unsolicited mDNS responses (and
+//    goodbyes), so the Bonjour world hears SLP/UPnP/Jini departures too.
+//
+// Loop prevention: mDNS has no user-agent slot, so composed messages carry a
+// marker TXT record ("_indiss-bridge._udp.local") in the additional section;
+// the parser surfaces it as the head event's "server" attribute, which the
+// standard FSM's bridge-echo guard already understands.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/unit.hpp"
+#include "core/units/standard_fsm.hpp"
+#include "mdns/dns.hpp"
+#include "net/udp.hpp"
+
+namespace indiss::core {
+
+/// Translates mDNS wire messages into semantic event streams. Emits the
+/// mandatory events plus SDP_MDNS_QUESTION / SDP_MDNS_INSTANCE /
+/// SDP_MDNS_SRV. Uses the sink's scratch-event recycling, so a warm
+/// parse allocates nothing (pinned by tests/sdp/mdns_test.cpp).
+class MdnsEventParser : public SdpParser {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "mdns"; }
+  void parse(BytesView raw, const MessageContext& ctx,
+             EventSink& sink) override;
+
+ private:
+  mdns::DnsMessage scratch_;  // decode_into target, storage reused
+};
+
+struct MdnsUnitConfig {
+  UnitOptions unit;
+  std::uint16_t mdns_port = mdns::kMdnsPort;
+  /// TTL advertised on composed records.
+  std::uint32_t record_ttl = 120;
+  /// Answers to multicast queries that crossed the shared medium are paced
+  /// (RFC 6762 §6 etiquette); loopback queries are answered immediately.
+  sim::SimDuration response_pacing = sim::millis(20);
+};
+
+/// A foreign service the unit bridges into the Bonjour world.
+struct MdnsForeignService {
+  std::string canonical_type;
+  std::string url;
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+class MdnsUnit : public Unit {
+ public:
+  using Config = MdnsUnitConfig;
+
+  MdnsUnit(net::Host& host, Config config = {});
+  ~MdnsUnit() override;
+
+  [[nodiscard]] const std::vector<MdnsForeignService>& foreign_services()
+      const {
+    return foreign_services_;
+  }
+  [[nodiscard]] std::uint64_t announcements_sent() const {
+    return announcements_sent_;
+  }
+
+ protected:
+  void compose_native_request(Session& session) override;
+  void compose_native_reply(Session& session) override;
+  void on_advertisement(Session& session) override;
+  void on_session_complete(Session& session) override;
+
+ private:
+  void send_message(const net::Endpoint& to);
+
+  Config config_;
+  std::shared_ptr<net::UdpSocket> reply_socket_;
+  std::map<std::uint64_t, std::shared_ptr<net::UdpSocket>> client_sockets_;
+  std::vector<MdnsForeignService> foreign_services_;
+  std::set<std::string> announced_urls_;
+  mdns::DnsMessage compose_scratch_;
+  mdns::DnsEncoder encoder_;
+  std::uint64_t announcements_sent_ = 0;
+};
+
+/// Composes the DNS-SD answer bundle for a translated reply stream into
+/// `out` (reusing its storage): one PTR+SRV+TXT+A group per SDP_RES_SERV_URL
+/// event, named under `qname`, plus the bridge-marker record. Instances are
+/// keyed to the bridged URL by hash, so repeated answers stay stable.
+/// Returns the number of bridged groups (0 = nothing to answer). Shared by
+/// MdnsUnit::compose_native_reply / on_advertisement and the
+/// zero-allocation round-trip pin in tests/sdp/mdns_test.cpp.
+std::size_t compose_dnssd_answers(const EventStream& stream,
+                                  std::string_view qname, std::uint32_t ttl,
+                                  mdns::DnsMessage& out);
+
+}  // namespace indiss::core

@@ -5,13 +5,19 @@
 namespace indiss::net {
 
 std::optional<IpAddress> IpAddress::parse(std::string_view dotted) {
-  auto parts = str::split(dotted, '.');
-  if (parts.size() != 4) return std::nullopt;
+  // View-based walk (no split vector): parse() sits on composer hot paths.
   std::uint32_t bits = 0;
-  for (const auto& part : parts) {
+  std::size_t pos = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    auto dot = dotted.find('.', pos);
+    bool last = octet == 3;
+    if (last != (dot == std::string_view::npos)) return std::nullopt;
+    std::string_view part =
+        dotted.substr(pos, (last ? dotted.size() : dot) - pos);
     long v = str::parse_long(part, -1);
     if (v < 0 || v > 255) return std::nullopt;
     bits = (bits << 8) | static_cast<std::uint32_t>(v);
+    pos = last ? dotted.size() : dot + 1;
   }
   return IpAddress(bits);
 }

@@ -82,6 +82,29 @@ TEST(Event, HeterogeneousLookupWithoutAllocation) {
   EXPECT_EQ(after - before, 0u) << "event lookups must not heap-allocate";
 }
 
+TEST(Event, OverwriteReusesValueCapacityAndSurvivesAliasing) {
+  // set() on an existing key assigns into the entry's string: a recycled
+  // event re-filled with same-shaped data allocates nothing (the mDNS
+  // zero-alloc round trip rides on this).
+  Event e(EventType::kResServUrl,
+          {{"url", "soap://10.0.0.2:4006/steady-state-url"}});
+  std::uint64_t before = indiss::testing::g_heap_allocs;
+  e.set("url", "soap://10.0.0.9:4004/steady-state-url");
+  EXPECT_EQ(indiss::testing::g_heap_allocs - before, 0u)
+      << "overwriting with same-length value must reuse capacity";
+  EXPECT_EQ(e.get("url"), "soap://10.0.0.9:4004/steady-state-url");
+
+  // A view obtained from get() aliases the entry being overwritten; set()
+  // must materialize it before clobbering the storage it points into.
+  std::string_view alias = e.get("url");
+  e.set("url", alias.substr(7));
+  EXPECT_EQ(e.get("url"), "10.0.0.9:4004/steady-state-url");
+
+  // Aliasing a *different* entry of the same record is also safe.
+  e.set("native", e.get("url"));
+  EXPECT_EQ(e.get("native"), "10.0.0.9:4004/steady-state-url");
+}
+
 TEST(Event, SetOverwritesAndPreservesOrder) {
   Event e(EventType::kServiceAttr, {{"key", "color"}, {"value", "blue"}});
   e.set("value", "green");
@@ -179,6 +202,9 @@ TEST(EventAlphabet, EveryTypeHasTheExpectedSet) {
       {ET::kJiniRegistrarId, EventSet::kSdpSpecific},
       {ET::kJiniGroups, EventSet::kSdpSpecific},
       {ET::kJiniProxy, EventSet::kSdpSpecific},
+      {ET::kMdnsQuestion, EventSet::kSdpSpecific},
+      {ET::kMdnsInstance, EventSet::kSdpSpecific},
+      {ET::kMdnsSrv, EventSet::kSdpSpecific},
   };
   ASSERT_EQ(std::size(expected), kEventTypeCount)
       << "new EventType enumerator missing from this table";
@@ -241,6 +267,16 @@ TEST(TypeMap, UpnpCanonicalization) {
             "timer");
   EXPECT_EQ(canonical_from_upnp("ssdp:all"), "*");
   EXPECT_EQ(canonical_from_upnp("upnp:rootdevice"), "*");
+}
+
+TEST(TypeMap, DnssdCanonicalization) {
+  EXPECT_EQ(canonical_from_dnssd("_clock._tcp.local"), "clock");
+  EXPECT_EQ(canonical_from_dnssd("_clock._udp.local"), "clock");
+  EXPECT_EQ(canonical_from_dnssd("clock1._clock._tcp.local"), "clock");
+  EXPECT_EQ(canonical_from_dnssd("_services._dns-sd._udp.local"), "*");
+  EXPECT_EQ(dnssd_from_canonical("clock"), "_clock._tcp.local");
+  EXPECT_EQ(dnssd_from_canonical("*"), "_services._dns-sd._udp.local");
+  EXPECT_EQ(canonical_from_dnssd(dnssd_from_canonical("clock")), "clock");
 }
 
 TEST(TypeMap, RoundTrips) {

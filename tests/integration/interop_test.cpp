@@ -1,6 +1,11 @@
 // End-to-end interoperability tests: the paper's §2.4 scenario (an SLP
 // client discovering a UPnP clock service through INDISS) and its mirror,
 // in both deployment locations of §4.3.
+//
+// Pair *coverage* lives in interop_matrix_test.cpp, which sweeps all 12
+// directed requester/announcer pairs systematically; this file keeps the
+// deployment-location variants and the exact URL/attribute shapes of the
+// paper's figures.
 #include <gtest/gtest.h>
 
 #include "core/indiss.hpp"

@@ -1,0 +1,573 @@
+// mDNS/DNS-SD protocol tests: wire-codec round trips for every record type,
+// name-compression pointer edge cases (self-referencing, forward, looping
+// and truncated pointers must fail cleanly), golden-packet parse/compose
+// through the MdnsUnit parser, the RFC 6762 suppression rules on the
+// simulated network, and the zero-steady-state-allocation pins for the
+// parse -> events -> compose round trip (the PR-2 guarantee extended to the
+// fourth SDP).
+#include <gtest/gtest.h>
+
+#include "core/units/mdns_unit.hpp"
+#include "mdns/dns.hpp"
+#include "mdns/dnssd.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+#include "tests/support/alloc_meter.hpp"
+
+namespace indiss::mdns {
+namespace {
+
+using core::Event;
+using core::EventStream;
+using core::EventType;
+
+// --- Codec round trips ------------------------------------------------------
+
+DnsMessage announce_message() {
+  DnsMessage message;
+  message.flags = kFlagResponse | kFlagAuthoritative;
+
+  DnsRecord ptr;
+  ptr.name = "_clock._tcp.local";
+  ptr.type = kTypePtr;
+  ptr.ttl = 120;
+  ptr.target = "clock1._clock._tcp.local";
+  message.answers.push_back(ptr);
+
+  DnsRecord srv;
+  srv.name = "clock1._clock._tcp.local";
+  srv.type = kTypeSrv;
+  srv.cache_flush = true;
+  srv.ttl = 120;
+  srv.priority = 1;
+  srv.weight = 7;
+  srv.port = 4006;
+  srv.target = "service.local";
+  message.answers.push_back(srv);
+
+  DnsRecord txt;
+  txt.name = "clock1._clock._tcp.local";
+  txt.type = kTypeTxt;
+  txt.cache_flush = true;
+  txt.ttl = 120;
+  txt.txt = {{"url", "soap://10.0.0.2:4006/mdns-clock"},
+             {"friendlyName", "Bonjour Clock"},
+             {"ready", ""}};
+  message.answers.push_back(txt);
+
+  DnsRecord a;
+  a.name = "service.local";
+  a.type = kTypeA;
+  a.cache_flush = true;
+  a.ttl = 120;
+  a.address = net::IpAddress(10, 0, 0, 2);
+  message.answers.push_back(a);
+  return message;
+}
+
+TEST(DnsCodec, RoundTripsEveryRecordType) {
+  DnsMessage message = announce_message();
+  message.id = 0x1234;
+  DnsQuestion question;
+  question.name = "_clock._tcp.local";
+  question.qtype = kTypePtr;
+  question.unicast_response = true;
+  message.questions.push_back(question);
+  DnsRecord unknown;
+  unknown.name = "odd.local";
+  unknown.type = 47;  // NSEC: carried verbatim
+  unknown.ttl = 9;
+  unknown.raw = {0xDE, 0xAD, 0xBE, 0xEF};
+  message.additionals.push_back(unknown);
+
+  Bytes wire = encode(message);
+  std::string error;
+  auto decoded = decode(wire, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->id, 0x1234);
+  EXPECT_TRUE(decoded->is_response());
+  ASSERT_EQ(decoded->questions.size(), 1u);
+  EXPECT_EQ(decoded->questions[0].name, "_clock._tcp.local");
+  EXPECT_TRUE(decoded->questions[0].unicast_response);
+  ASSERT_EQ(decoded->answers.size(), 4u);
+
+  const DnsRecord& ptr = decoded->answers[0];
+  EXPECT_EQ(ptr.type, kTypePtr);
+  EXPECT_EQ(ptr.name, "_clock._tcp.local");
+  EXPECT_EQ(ptr.target, "clock1._clock._tcp.local");
+  EXPECT_EQ(ptr.ttl, 120u);
+  EXPECT_FALSE(ptr.cache_flush);
+
+  const DnsRecord& srv = decoded->answers[1];
+  EXPECT_EQ(srv.type, kTypeSrv);
+  EXPECT_TRUE(srv.cache_flush);
+  EXPECT_EQ(srv.priority, 1);
+  EXPECT_EQ(srv.weight, 7);
+  EXPECT_EQ(srv.port, 4006);
+  EXPECT_EQ(srv.target, "service.local");
+
+  const DnsRecord& txt = decoded->answers[2];
+  EXPECT_EQ(txt.type, kTypeTxt);
+  ASSERT_EQ(txt.txt.size(), 3u);
+  EXPECT_EQ(txt.txt[0].first, "url");
+  EXPECT_EQ(txt.txt[0].second, "soap://10.0.0.2:4006/mdns-clock");
+  EXPECT_EQ(txt.txt[2].first, "ready");
+  EXPECT_EQ(txt.txt[2].second, "");
+
+  const DnsRecord& a = decoded->answers[3];
+  EXPECT_EQ(a.type, kTypeA);
+  EXPECT_EQ(a.address, net::IpAddress(10, 0, 0, 2));
+
+  ASSERT_EQ(decoded->additionals.size(), 1u);
+  EXPECT_EQ(decoded->additionals[0].type, 47);
+  EXPECT_EQ(decoded->additionals[0].raw, (Bytes{0xDE, 0xAD, 0xBE, 0xEF}));
+}
+
+TEST(DnsCodec, CompressionShrinksTheWireAndRoundTrips) {
+  DnsMessage message = announce_message();
+  Bytes wire = encode(message);
+
+  // The shared "_clock._tcp.local" / "service.local" suffixes must have
+  // collapsed into pointers (0xC0 top bits).
+  std::size_t pointers = 0;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    if ((wire[i] & 0xC0) == 0xC0) ++pointers;
+  }
+  EXPECT_GE(pointers, 3u) << "expected compression pointers on the wire";
+
+  // An uncompressed lower bound: the sum of all name spellings.
+  std::size_t spelled = 0;
+  for (const auto& r : message.answers) spelled += r.name.size() + 2;
+  EXPECT_LT(wire.size(), spelled + 120)
+      << "compressed message should be far smaller than spelled-out names";
+
+  auto decoded = decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->answers[1].name, "clock1._clock._tcp.local");
+  EXPECT_EQ(decoded->answers[3].name, "service.local");
+}
+
+// --- Compression pointer edge cases ----------------------------------------
+
+// A minimal header claiming one question, followed by `name` bytes.
+Bytes wire_with_question_name(const Bytes& name) {
+  Bytes wire = {0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0};
+  wire.insert(wire.end(), name.begin(), name.end());
+  wire.push_back(0);  // qtype
+  wire.push_back(12);
+  wire.push_back(0);  // qclass
+  wire.push_back(1);
+  return wire;
+}
+
+TEST(DnsCodec, SelfReferencingPointerFailsCleanly) {
+  // Name at offset 12 is a pointer to offset 12: itself.
+  std::string error;
+  auto decoded = decode(wire_with_question_name({0xC0, 12}), &error);
+  EXPECT_FALSE(decoded.has_value());
+  EXPECT_NE(error.find("backwards"), std::string::npos) << error;
+}
+
+TEST(DnsCodec, ForwardPointerFailsCleanly) {
+  auto decoded = decode(wire_with_question_name({0xC0, 14}));
+  EXPECT_FALSE(decoded.has_value());
+}
+
+TEST(DnsCodec, OutOfBoundsPointerFailsCleanly) {
+  // 0x3FFF is far past the end of this message; also a forward reference.
+  auto decoded = decode(wire_with_question_name({0xFF, 0xFF}));
+  EXPECT_FALSE(decoded.has_value());
+}
+
+TEST(DnsCodec, PointerLoopFailsCleanly) {
+  // Offset 12: label "a", then a pointer back to offset 12 — every hop
+  // passes a naive "points backwards" check but the chain never terminates.
+  std::string error;
+  auto decoded =
+      decode(wire_with_question_name({1, 'a', 0xC0, 12}), &error);
+  EXPECT_FALSE(decoded.has_value());
+  EXPECT_NE(error.find("backwards"), std::string::npos) << error;
+}
+
+TEST(DnsCodec, TruncatedPointerFailsCleanly) {
+  Bytes wire = {0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0};
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(DnsCodec, ReservedLabelTypeFailsCleanly) {
+  EXPECT_FALSE(decode(wire_with_question_name({0x40, 'x'})).has_value());
+}
+
+TEST(DnsCodec, LabelRunningPastEndFailsCleanly) {
+  Bytes wire = {0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 63, 'a', 'b'};
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(DnsCodec, TruncatedHeaderAndSectionsFailCleanly) {
+  EXPECT_FALSE(decode(Bytes{}).has_value());
+  EXPECT_FALSE(decode(Bytes{0, 1, 2}).has_value());
+  // Header claims 3 questions, provides none.
+  Bytes lying = {0, 0, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(decode(lying).has_value());
+}
+
+TEST(DnsCodec, RdlengthMismatchFailsCleanly) {
+  DnsMessage message;
+  message.flags = kFlagResponse;
+  DnsRecord a;
+  a.name = "h.local";
+  a.type = kTypeA;
+  a.address = net::IpAddress(1, 2, 3, 4);
+  message.answers.push_back(a);
+  Bytes wire = encode(message);
+  // Find the A record's RDLENGTH (last 6 bytes are rdlen + 4 rdata bytes)
+  // and lie about it.
+  wire[wire.size() - 5] = 7;
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+// --- Golden-packet parse through the unit parser ----------------------------
+
+core::MessageContext multicast_ctx() {
+  core::MessageContext ctx;
+  ctx.source = net::Endpoint{net::IpAddress(10, 0, 0, 2), 5353};
+  ctx.destination = net::Endpoint{kMdnsGroup, kMdnsPort};
+  ctx.multicast = true;
+  return ctx;
+}
+
+TEST(MdnsEventParser, AnnouncementBecomesAliveAdvertisement) {
+  Bytes wire = encode(announce_message());
+  core::MdnsEventParser parser;
+  core::StreamPool pool;
+  core::CollectingSink sink(pool);
+  parser.parse(wire, multicast_ctx(), sink);
+
+  const EventStream& stream = sink.stream();
+  ASSERT_TRUE(core::well_framed(stream));
+  ASSERT_NE(core::find_event(stream, EventType::kServiceAlive), nullptr);
+  auto* type = core::find_event(stream, EventType::kServiceTypeIs);
+  ASSERT_NE(type, nullptr);
+  EXPECT_EQ(type->get("type"), "clock");
+  EXPECT_EQ(type->get("native"), "_clock._tcp.local");
+  auto* instance = core::find_event(stream, EventType::kMdnsInstance);
+  ASSERT_NE(instance, nullptr);
+  EXPECT_EQ(instance->get("instance"), "clock1");
+  auto* srv = core::find_event(stream, EventType::kMdnsSrv);
+  ASSERT_NE(srv, nullptr);
+  EXPECT_EQ(srv->get("port"), "4006");
+  EXPECT_EQ(srv->get("target"), "service.local");
+  auto* url = core::find_event(stream, EventType::kResServUrl);
+  ASSERT_NE(url, nullptr);
+  EXPECT_EQ(url->get("url"), "soap://10.0.0.2:4006/mdns-clock");
+  auto* attr = core::find_event(stream, EventType::kServiceAttr);
+  ASSERT_NE(attr, nullptr);
+  EXPECT_EQ(attr->get("key"), "friendlyName");
+}
+
+TEST(MdnsEventParser, GoodbyeBecomesByeBye) {
+  DnsMessage message = announce_message();
+  for (auto& record : message.answers) record.ttl = 0;
+  Bytes wire = encode(message);
+  core::MdnsEventParser parser;
+  core::StreamPool pool;
+  core::CollectingSink sink(pool);
+  parser.parse(wire, multicast_ctx(), sink);
+  EXPECT_NE(core::find_event(sink.stream(), EventType::kServiceByeBye),
+            nullptr);
+  EXPECT_EQ(core::find_event(sink.stream(), EventType::kServiceAlive),
+            nullptr);
+}
+
+TEST(MdnsEventParser, BrowseQueryBecomesServiceRequest) {
+  DnsMessage query;
+  query.id = 77;
+  DnsQuestion question;
+  question.name = "_clock._tcp.local";
+  query.questions.push_back(question);
+  Bytes wire = encode(query);
+
+  core::MdnsEventParser parser;
+  core::StreamPool pool;
+  core::CollectingSink sink(pool);
+  parser.parse(wire, multicast_ctx(), sink);
+  const EventStream& stream = sink.stream();
+  auto* request = core::find_event(stream, EventType::kServiceRequest);
+  ASSERT_NE(request, nullptr);
+  EXPECT_EQ(request->get("server"), "");
+  auto* q = core::find_event(stream, EventType::kMdnsQuestion);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->get("name"), "_clock._tcp.local");
+  EXPECT_EQ(q->get("id"), "77");
+  auto* type = core::find_event(stream, EventType::kServiceTypeIs);
+  ASSERT_NE(type, nullptr);
+  EXPECT_EQ(type->get("type"), "clock");
+}
+
+TEST(MdnsEventParser, UnicastResponseBecomesServiceResponse) {
+  Bytes wire = encode(announce_message());
+  core::MdnsEventParser parser;
+  core::StreamPool pool;
+  core::CollectingSink sink(pool);
+  core::MessageContext ctx;
+  ctx.source = net::Endpoint{net::IpAddress(10, 0, 0, 2), 5353};
+  ctx.multicast = false;
+  parser.parse(wire, ctx, sink);
+  EXPECT_NE(core::find_event(sink.stream(), EventType::kServiceResponse),
+            nullptr);
+  EXPECT_NE(core::find_event(sink.stream(), EventType::kResOk), nullptr);
+}
+
+TEST(MdnsEventParser, MalformedPacketYieldsErrorNotCrash) {
+  Bytes wire = {0xFF, 0x00, 0x01};
+  core::MdnsEventParser parser;
+  core::StreamPool pool;
+  core::CollectingSink sink(pool);
+  parser.parse(wire, multicast_ctx(), sink);
+  ASSERT_TRUE(core::well_framed(sink.stream()));
+  EXPECT_NE(core::find_event(sink.stream(), EventType::kResErr), nullptr);
+}
+
+TEST(MdnsEventParser, SynthesizesUrlFromSrvWhenTxtHasNone) {
+  DnsMessage message = announce_message();
+  message.answers[2].txt = {{"friendlyName", "Bonjour Clock"}};
+  Bytes wire = encode(message);
+  core::MdnsEventParser parser;
+  core::StreamPool pool;
+  core::CollectingSink sink(pool);
+  parser.parse(wire, multicast_ctx(), sink);
+  auto* url = core::find_event(sink.stream(), EventType::kResServUrl);
+  ASSERT_NE(url, nullptr);
+  EXPECT_EQ(url->get("url"), "mdns://10.0.0.2:4006");
+}
+
+// --- Compose: translated reply stream -> DNS-SD answer bundle ---------------
+
+EventStream reply_stream() {
+  EventStream stream;
+  stream.push_back(Event(EventType::kControlStart));
+  stream.push_back(Event(EventType::kNetType, {{"sdp", "upnp"}}));
+  stream.push_back(Event(EventType::kServiceResponse));
+  stream.push_back(Event(EventType::kServiceTypeIs, {{"type", "clock"}}));
+  stream.push_back(Event(EventType::kServiceAttr,
+                         {{"key", "friendlyName"}, {"value", "Foreign"}}));
+  stream.push_back(Event(EventType::kResServUrl,
+                         {{"url", "soap://10.0.0.9:4004/control"}}));
+  stream.push_back(Event(EventType::kControlStop));
+  return stream;
+}
+
+TEST(MdnsCompose, BuildsPtrSrvTxtABundleWithBridgeMarker) {
+  DnsMessage out;
+  std::size_t groups = core::compose_dnssd_answers(
+      reply_stream(), "_clock._tcp.local", 120, out);
+  ASSERT_EQ(groups, 1u);
+  ASSERT_EQ(out.answers.size(), 1u);
+  EXPECT_EQ(out.answers[0].type, kTypePtr);
+  EXPECT_EQ(out.answers[0].name, "_clock._tcp.local");
+  EXPECT_TRUE(out.answers[0].target.ends_with("._clock._tcp.local"));
+
+  // SRV + TXT + A + bridge marker in additionals.
+  ASSERT_EQ(out.additionals.size(), 4u);
+  const DnsRecord& srv = out.additionals[0];
+  EXPECT_EQ(srv.type, kTypeSrv);
+  EXPECT_EQ(srv.port, 4004);
+  EXPECT_EQ(srv.target, "10.0.0.9");
+  const DnsRecord& txt = out.additionals[1];
+  ASSERT_GE(txt.txt.size(), 2u);
+  EXPECT_EQ(txt.txt[0].first, "url");
+  EXPECT_EQ(txt.txt[0].second, "soap://10.0.0.9:4004/control");
+  const DnsRecord& a = out.additionals[2];
+  EXPECT_EQ(a.type, kTypeA);
+  EXPECT_EQ(a.address, net::IpAddress(10, 0, 0, 9));
+  EXPECT_EQ(out.additionals[3].name, "_indiss-bridge._udp.local");
+
+  // The composed bundle survives a wire round trip.
+  auto decoded = decode(encode(out));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->answers[0].target, out.answers[0].target);
+}
+
+TEST(MdnsCompose, BridgeMarkerIsSurfacedAsServerStamp) {
+  DnsMessage out;
+  ASSERT_EQ(core::compose_dnssd_answers(reply_stream(), "_clock._tcp.local",
+                                        120, out),
+            1u);
+  Bytes wire = encode(out);
+  core::MdnsEventParser parser;
+  core::StreamPool pool;
+  core::CollectingSink sink(pool);
+  parser.parse(wire, multicast_ctx(), sink);
+  auto* head = core::find_event(sink.stream(), EventType::kServiceAlive);
+  ASSERT_NE(head, nullptr);
+  EXPECT_NE(head->get("server").find("INDISS-bridge"), std::string::npos);
+}
+
+// --- Native actors on the simulated network ---------------------------------
+
+struct DnssdFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, 3};
+  net::Host& service_host =
+      network.add_host("service", net::IpAddress(10, 0, 0, 2));
+  net::Host& client_host =
+      network.add_host("client", net::IpAddress(10, 0, 0, 1));
+
+  static ServiceInstance clock_instance(const std::string& name) {
+    ServiceInstance service;
+    service.instance = name;
+    service.service_type = "_clock._tcp";
+    service.port = 4006;
+    service.txt = {{"url", "soap://10.0.0.2:4006/mdns-clock"}};
+    return service;
+  }
+};
+
+TEST_F(DnssdFixture, BrowserResolvesPublishedInstance) {
+  MdnsResponder responder(service_host);
+  responder.publish(clock_instance("clock1"));
+  scheduler.run_for(sim::millis(10));
+
+  MdnsBrowser browser(client_host);
+  std::vector<BrowseResult> results;
+  browser.browse("_clock._tcp",
+                 [&](const std::vector<BrowseResult>& r) { results = r; });
+  scheduler.run_for(sim::seconds(1));
+
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].instance, "clock1");
+  EXPECT_EQ(results[0].port, 4006);
+  EXPECT_EQ(results[0].address, net::IpAddress(10, 0, 0, 2));
+  EXPECT_EQ(results[0].url(), "soap://10.0.0.2:4006/mdns-clock");
+  EXPECT_GE(responder.queries_seen(), 1u);
+  EXPECT_GE(responder.responses_sent(), 1u);
+}
+
+TEST_F(DnssdFixture, KnownAnswerSuppressionKeepsResponderSilent) {
+  MdnsResponder responder(service_host);
+  responder.publish(clock_instance("clock1"));
+  scheduler.run_for(sim::seconds(3));  // past the whole announce burst
+  std::uint64_t announced = responder.responses_sent();
+
+  MdnsConfig no_retry;
+  no_retry.browse_retransmits = 0;
+  MdnsBrowser quiet(client_host, no_retry);
+  std::vector<BrowseResult> results;
+  quiet.browse("_clock._tcp",
+               [&](const std::vector<BrowseResult>& r) { results = r; },
+               /*known_answers=*/{"clock1"});
+  scheduler.run_for(sim::seconds(1));
+
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(responder.responses_sent(), announced);
+  EXPECT_GE(responder.known_answer_suppressed(), 1u);
+}
+
+TEST_F(DnssdFixture, DuplicateAnswerSuppressionCancelsThePacedTimer) {
+  // Two responders advertise the same shared PTR record; a full mDNS
+  // querier (source port 5353) makes both schedule paced multicast answers.
+  // The slower one must cancel when it hears the faster one's answer.
+  MdnsConfig fast;
+  fast.seed = 11;
+  MdnsConfig slow;
+  slow.seed = 12;
+  MdnsResponder first(service_host, fast);
+  MdnsResponder second(client_host, slow);
+  first.publish(clock_instance("shared"));
+  second.publish(clock_instance("shared"));
+  scheduler.run_for(sim::seconds(3));  // past both announce bursts
+  std::uint64_t sent_before = first.responses_sent() + second.responses_sent();
+
+  net::Host& querier_host =
+      network.add_host("querier", net::IpAddress(10, 0, 0, 7));
+  auto socket = querier_host.udp_socket(kMdnsPort);
+  DnsMessage query;
+  DnsQuestion question;
+  question.name = "_clock._tcp.local";
+  query.questions.push_back(question);
+  socket->send_to(net::Endpoint{kMdnsGroup, kMdnsPort}, encode(query));
+  scheduler.run_for(sim::seconds(1));
+
+  std::uint64_t answers =
+      first.responses_sent() + second.responses_sent() - sent_before;
+  EXPECT_EQ(answers, 1u) << "exactly one multicast answer must go out";
+  EXPECT_EQ(first.duplicates_cancelled() + second.duplicates_cancelled(), 1u);
+}
+
+TEST_F(DnssdFixture, GoodbyeWithdrawsTheInstance) {
+  MdnsResponder responder(service_host);
+  responder.publish(clock_instance("clock1"));
+  scheduler.run_for(sim::millis(10));
+  responder.goodbye();
+  scheduler.run_for(sim::millis(10));
+
+  MdnsBrowser browser(client_host);
+  std::vector<BrowseResult> results;
+  bool complete = false;
+  browser.browse("_clock._tcp", [&](const std::vector<BrowseResult>& r) {
+    results = r;
+    complete = true;
+  });
+  scheduler.run_for(sim::seconds(1));
+  EXPECT_TRUE(complete);
+  EXPECT_TRUE(results.empty());
+}
+
+// --- Allocation pins --------------------------------------------------------
+
+TEST(MdnsAllocs, CodecDecodeEncodeRoundTripIsZeroAllocSteadyState) {
+  Bytes wire = encode(announce_message());
+  DnsMessage scratch;
+  DnsEncoder encoder;
+  // Warm-up: grow every buffer to its high-water mark.
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(decode_into(wire, scratch));
+    encoder.encode(scratch);
+  }
+  std::uint64_t before = indiss::testing::g_heap_allocs;
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_TRUE(decode_into(wire, scratch));
+    BytesView out = encoder.encode(scratch);
+    ASSERT_FALSE(out.empty());
+  }
+  EXPECT_EQ(indiss::testing::g_heap_allocs - before, 0u)
+      << "warm decode_into/encode must not allocate";
+}
+
+TEST(MdnsAllocs, ParseEventComposeRoundTripIsZeroAllocSteadyState) {
+  // The full translation leg for the fourth SDP: golden announcement off
+  // the wire -> event stream (pooled sink, recycled events) -> DNS-SD
+  // answer bundle (slot-reused message) -> wire (warm encoder). Steady
+  // state must be allocation-free, mirroring the PR-2 pipeline guarantees.
+  Bytes wire = encode(announce_message());
+  core::MdnsEventParser parser;
+  core::StreamPool pool;
+  core::CollectingSink sink(pool);
+  core::MessageContext ctx = multicast_ctx();
+  DnsMessage composed;
+  DnsEncoder encoder;
+
+  for (int i = 0; i < 16; ++i) {
+    sink.reset();
+    parser.parse(wire, ctx, sink);
+    core::compose_dnssd_answers(sink.stream(), "_clock._tcp.local", 120,
+                                composed);
+    encoder.encode(composed);
+  }
+  std::uint64_t before = indiss::testing::g_heap_allocs;
+  for (int i = 0; i < 256; ++i) {
+    sink.reset();
+    parser.parse(wire, ctx, sink);
+    std::size_t groups = core::compose_dnssd_answers(
+        sink.stream(), "_clock._tcp.local", 120, composed);
+    ASSERT_EQ(groups, 1u);
+    BytesView out = encoder.encode(composed);
+    ASSERT_FALSE(out.empty());
+  }
+  EXPECT_EQ(indiss::testing::g_heap_allocs - before, 0u)
+      << "warm parse -> events -> compose must not allocate";
+}
+
+}  // namespace
+}  // namespace indiss::mdns
