@@ -12,8 +12,12 @@
 #include <string>
 
 #include "common/strings.hpp"
+#include "core/units/jini_unit.hpp"
+#include "core/units/mdns_unit.hpp"
 #include "core/units/slp_unit.hpp"
 #include "core/units/upnp_unit.hpp"
+#include "jini/discovery.hpp"
+#include "mdns/dns.hpp"
 #include "slp/wire.hpp"
 #include "upnp/description.hpp"
 #include "upnp/ssdp.hpp"
@@ -36,6 +40,21 @@ core::MessageContext ctx() {
   c.source = net::Endpoint{net::IpAddress(10, 0, 0, 1), 41000};
   c.multicast = true;
   return c;
+}
+
+/// Reports allocs/op and (when `events_per_op` > 0) the event throughput the
+/// scaling compare gate reads.
+void report(benchmark::State& state, std::uint64_t allocs_before,
+            std::size_t events_per_op) {
+  state.counters["heap_allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(indiss::testing::g_heap_allocs - allocs_before) /
+      static_cast<double>(state.iterations()));
+  if (events_per_op > 0) {
+    state.counters["events_per_sec"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * events_per_op),
+        benchmark::Counter::kIsRate);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
 void BM_SlpParseToEvents(benchmark::State& state) {
@@ -89,12 +108,14 @@ void BM_DescriptionParseToEvents(benchmark::State& state) {
 }
 BENCHMARK(BM_DescriptionParseToEvents);
 
-// --- Parse -> compose round trip, allocations counted -----------------------
+// --- Parse -> compose round trips, allocations counted ----------------------
 //
-// One full translation leg: decode an SLP SrvRply off the wire into events,
-// then compose a fresh SrvRply from the event stream the way
-// SlpUnit::compose_native_reply does (URL entries rebuilt from
-// SDP_RES_SERV_URL, attributes folded into the URL) and re-encode it.
+// One full translation leg per SDP: decode the characteristic periodic
+// message off the wire into events, then compose the outbound native form
+// the unit's composer would send and re-encode it — all through the scratch
+// recipe, so every round trip below is pinned at 0 steady-state allocs/op
+// (the tests in tests/sdp/ hold the same property as hard assertions; these
+// fixtures record it alongside wall time in BENCH_translation.json).
 
 Bytes reply_wire() {
   slp::SrvRply reply;
@@ -103,6 +124,166 @@ Bytes reply_wire() {
       slp::UrlEntry{300, "service:clock:soap://10.0.0.2:4005/control"}};
   return slp::encode(slp::Message(reply));
 }
+
+void BM_SlpRoundTripAllocations(benchmark::State& state) {
+  Bytes wire = reply_wire();
+  core::SlpEventParser parser;
+  core::StreamPool pool;
+  core::CollectingSink sink(pool);
+  slp::Message composed = slp::SrvRply{};
+  std::string attr_scratch;
+  ByteWriter writer;
+  std::size_t events_per_op = 0;
+  // Warm-up: grow every scratch buffer to its high-water mark.
+  for (int i = 0; i < 16; ++i) {
+    sink.reset();
+    parser.parse(wire, ctx(), sink);
+    core::compose_slp_reply(sink.stream(), "clock", 42, 300, true,
+                            std::get<slp::SrvRply>(composed), attr_scratch);
+    slp::encode_into(composed, writer);
+  }
+  std::uint64_t allocs_before = indiss::testing::g_heap_allocs;
+  for (auto _ : state) {
+    sink.reset();
+    parser.parse(wire, ctx(), sink);
+    events_per_op = sink.stream().size();
+    core::compose_slp_reply(sink.stream(), "clock", 42, 300, true,
+                            std::get<slp::SrvRply>(composed), attr_scratch);
+    BytesView rewire = slp::encode_into(composed, writer);
+    benchmark::DoNotOptimize(rewire);
+  }
+  report(state, allocs_before, events_per_op);
+}
+BENCHMARK(BM_SlpRoundTripAllocations);
+
+void BM_SsdpRoundTripAllocations(benchmark::State& state) {
+  upnp::Notify notify;
+  notify.nt = "urn:schemas-upnp-org:device:clock:1";
+  notify.usn = "uuid:ClockDevice::urn:schemas-upnp-org:device:clock:1";
+  notify.location = "http://10.0.0.2:4004/description.xml";
+  Bytes wire = to_bytes(notify.to_http().serialize());
+  core::SsdpEventParser parser;
+  core::StreamPool pool;
+  core::CollectingSink sink(pool);
+  upnp::Notify composed;
+  std::string out;
+  std::size_t events_per_op = 0;
+  // Warm-up: grow every scratch buffer to its high-water mark.
+  for (int i = 0; i < 16; ++i) {
+    sink.reset();
+    parser.parse(wire, ctx(), sink);
+    for (const auto& event : sink.stream()) {
+      if (event.type == core::EventType::kServiceTypeIs) {
+        composed.nt.assign(event.get("native"));
+      } else if (event.type == core::EventType::kUpnpUsn) {
+        composed.usn.assign(event.get("usn"));
+      } else if (event.type == core::EventType::kUpnpDeviceUrlDesc) {
+        composed.location.assign(event.get("url"));
+      }
+    }
+    composed.serialize_into(out);
+  }
+  std::uint64_t allocs_before = indiss::testing::g_heap_allocs;
+  for (auto _ : state) {
+    sink.reset();
+    parser.parse(wire, ctx(), sink);
+    events_per_op = sink.stream().size();
+    composed.kind = upnp::Notify::Kind::kAlive;
+    for (const auto& event : sink.stream()) {
+      if (event.type == core::EventType::kServiceTypeIs) {
+        composed.nt.assign(event.get("native"));
+      } else if (event.type == core::EventType::kUpnpUsn) {
+        composed.usn.assign(event.get("usn"));
+      } else if (event.type == core::EventType::kUpnpDeviceUrlDesc) {
+        composed.location.assign(event.get("url"));
+      }
+    }
+    composed.serialize_into(out);
+    benchmark::DoNotOptimize(out);
+  }
+  report(state, allocs_before, events_per_op);
+}
+BENCHMARK(BM_SsdpRoundTripAllocations);
+
+void BM_JiniRoundTripAllocations(benchmark::State& state) {
+  jini::MulticastAnnouncement announcement;
+  announcement.registrar_host = "10.0.0.9";
+  announcement.registrar_port = 4160;
+  announcement.registrar_id = 0x1D155C0FFEEULL;
+  announcement.groups = {"lab"};
+  Bytes wire = announcement.encode();
+  core::JiniEventParser parser;
+  core::StreamPool pool;
+  core::CollectingSink sink(pool);
+  jini::MulticastAnnouncement composed;
+  ByteWriter writer;
+  std::size_t events_per_op = 0;
+  // Warm-up: grow every scratch buffer to its high-water mark.
+  for (int i = 0; i < 16; ++i) {
+    sink.reset();
+    parser.parse(wire, ctx(), sink);
+    core::compose_jini_announcement(sink.stream(), composed);
+    composed.encode_into(writer);
+  }
+  std::uint64_t allocs_before = indiss::testing::g_heap_allocs;
+  for (auto _ : state) {
+    sink.reset();
+    parser.parse(wire, ctx(), sink);
+    events_per_op = sink.stream().size();
+    core::compose_jini_announcement(sink.stream(), composed);
+    BytesView rewire = composed.encode_into(writer);
+    benchmark::DoNotOptimize(rewire);
+  }
+  report(state, allocs_before, events_per_op);
+}
+BENCHMARK(BM_JiniRoundTripAllocations);
+
+void BM_MdnsRoundTripAllocations(benchmark::State& state) {
+  mdns::DnsMessage announce;
+  announce.flags = mdns::kFlagResponse | mdns::kFlagAuthoritative;
+  mdns::DnsRecord ptr;
+  ptr.name = "_clock._tcp.local";
+  ptr.type = mdns::kTypePtr;
+  ptr.ttl = 120;
+  ptr.target = "clock1._clock._tcp.local";
+  announce.answers.push_back(ptr);
+  mdns::DnsRecord txt;
+  txt.name = "clock1._clock._tcp.local";
+  txt.type = mdns::kTypeTxt;
+  txt.ttl = 120;
+  txt.txt = {{"url", "soap://10.0.0.2:4006/mdns-clock"}};
+  announce.answers.push_back(txt);
+  Bytes wire = mdns::encode(announce);
+  core::MdnsEventParser parser;
+  core::StreamPool pool;
+  core::CollectingSink sink(pool);
+  mdns::DnsMessage composed;
+  mdns::DnsEncoder encoder;
+  std::size_t events_per_op = 0;
+  // Warm-up: grow every scratch buffer to its high-water mark.
+  for (int i = 0; i < 16; ++i) {
+    sink.reset();
+    parser.parse(wire, ctx(), sink);
+    core::compose_dnssd_answers(sink.stream(), "_clock._tcp.local", 120,
+                                composed);
+    encoder.encode(composed);
+  }
+  std::uint64_t allocs_before = indiss::testing::g_heap_allocs;
+  for (auto _ : state) {
+    sink.reset();
+    parser.parse(wire, ctx(), sink);
+    events_per_op = sink.stream().size();
+    core::compose_dnssd_answers(sink.stream(), "_clock._tcp.local", 120,
+                                composed);
+    BytesView rewire = encoder.encode(composed);
+    benchmark::DoNotOptimize(rewire);
+  }
+  report(state, allocs_before, events_per_op);
+}
+BENCHMARK(BM_MdnsRoundTripAllocations);
+
+// The std::map<std::string,std::string> + fresh-buffers baseline the PR-2/5
+// pipeline replaced, kept for the recorded ratio.
 
 slp::SrvRply compose_from_events(const core::EventStream& stream) {
   slp::SrvRply out;
@@ -132,26 +313,6 @@ slp::SrvRply compose_from_events(const core::EventStream& stream) {
   }
   return out;
 }
-
-void BM_SlpRoundTripAllocations(benchmark::State& state) {
-  Bytes wire = reply_wire();
-  core::SlpEventParser parser;
-  core::StreamPool pool;
-  core::CollectingSink sink(pool);
-  std::uint64_t allocs_before = indiss::testing::g_heap_allocs;
-  for (auto _ : state) {
-    sink.reset();
-    parser.parse(wire, ctx(), sink);
-    Bytes rewire =
-        slp::encode(slp::Message(compose_from_events(sink.stream())));
-    benchmark::DoNotOptimize(rewire);
-  }
-  state.counters["heap_allocs_per_op"] = benchmark::Counter(
-      static_cast<double>(indiss::testing::g_heap_allocs - allocs_before) /
-      static_cast<double>(state.iterations()));
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
-}
-BENCHMARK(BM_SlpRoundTripAllocations);
 
 // The std::map<std::string,std::string> baseline this PR replaced: the same
 // round trip, but every event's data lives in a per-event map the way the

@@ -4,18 +4,27 @@
 # with data, not vibes.
 #
 #   scripts/bench.sh                         # all benches, full run
-#   scripts/bench.sh translation             # only bench_abl_translation
+#   scripts/bench.sh translation             # bench_abl_translation + _storm
 #   scripts/bench.sh scaling                 # only bench_abl_substrate
 #   scripts/bench.sh --benchmark_min_time=0.01x      # CI smoke run
 #   scripts/bench.sh scaling --compare old.json      # exit 1 on >20%
 #                                                    # events/sec regression
+#   scripts/bench.sh all --compare-translation t.json  # same gate on the
+#                                                      # translation record
 #   scripts/bench.sh --compare-only old.json         # compare an existing
 #                                                    # BENCH_scaling.json
 #                                                    # without re-running
 #   BUILD_DIR=build-rel scripts/bench.sh
 #
+# Bench binaries are always built from a Release (+LTO) tree: BUILD_DIR when
+# it is already Release (the CI configuration), else a dedicated build-bench
+# tree configured on first use (override with BENCH_BUILD_DIR).
+#
 # Outputs:
-#   BENCH_translation.json — event-layer round trips (allocs/op counters)
+#   BENCH_translation.json — event-layer round trips (allocs/op +
+#                            events_per_sec counters) merged with the
+#                            abl_storm announcement-storm record (cache
+#                            hit rate, enabled-vs-disabled throughput)
 #   BENCH_scaling.json     — substrate throughput: slot-arena scheduler +
 #                            shared-datagram fan-out vs the std::map
 #                            baseline, plus the macro scaling topology
@@ -29,6 +38,7 @@ OUT_SCALING="${OUT_SCALING:-BENCH_scaling.json}"
 
 FILTER="all"
 COMPARE=""
+COMPARE_TRANSLATION=""
 COMPARE_ONLY=0
 ARGS=()
 while [ $# -gt 0 ]; do
@@ -39,6 +49,11 @@ while [ $# -gt 0 ]; do
     --compare)
       [ $# -ge 2 ] || { echo "error: --compare needs a baseline.json" >&2; exit 2; }
       COMPARE="$2"
+      shift
+      ;;
+    --compare-translation)
+      [ $# -ge 2 ] || { echo "error: --compare-translation needs a baseline.json" >&2; exit 2; }
+      COMPARE_TRANSLATION="$2"
       shift
       ;;
     --compare-only)
@@ -54,27 +69,46 @@ while [ $# -gt 0 ]; do
   shift
 done
 
-# --compare judges the scaling output produced by THIS invocation; refuse
+# --compare judges the output produced by THIS invocation; refuse
 # combinations that would silently compare a stale or missing file.
 if [ -n "${COMPARE}" ] && [ "${COMPARE_ONLY}" = 0 ] && [ "${FILTER}" = "translation" ]; then
   echo "error: --compare needs the scaling bench to run (use 'scaling' or 'all')" >&2
   exit 2
 fi
+if [ -n "${COMPARE_TRANSLATION}" ] && [ "${COMPARE_ONLY}" = 0 ] && [ "${FILTER}" = "scaling" ]; then
+  echo "error: --compare-translation needs the translation bench to run (use 'translation' or 'all')" >&2
+  exit 2
+fi
 
-if [ "${COMPARE_ONLY}" = 0 ] && [ ! -f "${BUILD_DIR}/CMakeCache.txt" ]; then
-  echo "== configure (${BUILD_DIR} missing) =="
-  cmake -B "${BUILD_DIR}" -S .
+# Bench numbers must come from an optimized build: the checked-in baselines
+# were once recorded from a Debug tree, which both slows every benchmark and
+# leaves assert() live. If BUILD_DIR is already a Release tree (the CI
+# configuration) it is used as-is; otherwise a dedicated Release+LTO tree is
+# configured at build-bench (override with BENCH_BUILD_DIR).
+BENCH_DIR="${BUILD_DIR}"
+if [ "${COMPARE_ONLY}" = 0 ]; then
+  if [ -f "${BUILD_DIR}/CMakeCache.txt" ] &&
+     grep -q "^CMAKE_BUILD_TYPE:[^=]*=Release" "${BUILD_DIR}/CMakeCache.txt"; then
+    BENCH_DIR="${BUILD_DIR}"
+  else
+    BENCH_DIR="${BENCH_BUILD_DIR:-build-bench}"
+    if [ ! -f "${BENCH_DIR}/CMakeCache.txt" ]; then
+      echo "== configure ${BENCH_DIR} (Release + LTO for benches) =="
+      cmake -B "${BENCH_DIR}" -S . -DCMAKE_BUILD_TYPE=Release -DINDISS_LTO=ON \
+        -DINDISS_BUILD_TESTS=OFF -DINDISS_BUILD_EXAMPLES=OFF
+    fi
+  fi
 fi
 
 run_bench() {
   local target="$1" out="$2"
   echo "== build ${target} =="
-  if ! cmake --build "${BUILD_DIR}" --target "${target}" -j; then
+  if ! cmake --build "${BENCH_DIR}" --target "${target}" -j; then
     echo "error: ${target} did not build — is libbenchmark-dev installed?" \
          "(the target is skipped when CMake cannot find it)" >&2
     exit 1
   fi
-  local bin="${BUILD_DIR}/bench/${target}"
+  local bin="${BENCH_DIR}/bench/${target}"
 
   # google-benchmark < 1.7 rejects the "0.01x" iteration-suffix form of
   # --benchmark_min_time; strip the suffix for old libraries so one CI
@@ -92,29 +126,74 @@ run_bench() {
   echo "== run ${target} -> ${out} =="
   "${bin}" --benchmark_out="${out}" --benchmark_out_format=json \
     ${run_args[@]+"${run_args[@]}"}
+
+  # google-benchmark's "library_build_type" reports how the *system
+  # libbenchmark* was compiled (Debian ships it without NDEBUG, so it always
+  # says "debug"); record the build type of OUR bench binary explicitly so a
+  # Debug-built recording is visible in review.
+  python3 - "${out}" "${BENCH_DIR}/CMakeCache.txt" <<'EOF'
+import json
+import sys
+
+out_path, cache_path = sys.argv[1], sys.argv[2]
+build_type = "unknown"
+with open(cache_path) as f:
+    for line in f:
+        if line.startswith("CMAKE_BUILD_TYPE:"):
+            build_type = line.split("=", 1)[1].strip().lower() or "unknown"
+with open(out_path) as f:
+    doc = json.load(f)
+doc.setdefault("context", {})["bench_binary_build_type"] = build_type
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+EOF
   echo "== wrote ${out} =="
 }
 
 if [ "${COMPARE_ONLY}" = 0 ]; then
   # Plain ifs rather than a ;;& fallthrough case: bash 3.2 (macOS) lacks ;;&.
   if [ "${FILTER}" = "translation" ] || [ "${FILTER}" = "all" ]; then
-    run_bench bench_abl_translation "${OUT_TRANSLATION}"
+    # The translation record is two binaries: the per-message round trips
+    # (bench_abl_translation) and the announcement-storm macro bench
+    # (bench_abl_storm); their benchmark arrays merge into one JSON.
+    run_bench bench_abl_translation "${OUT_TRANSLATION}.roundtrip.tmp"
+    run_bench bench_abl_storm "${OUT_TRANSLATION}.storm.tmp"
+    python3 - "${OUT_TRANSLATION}.roundtrip.tmp" "${OUT_TRANSLATION}.storm.tmp" \
+        "${OUT_TRANSLATION}" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    merged = json.load(f)
+with open(sys.argv[2]) as f:
+    storm = json.load(f)
+merged["benchmarks"].extend(storm.get("benchmarks", []))
+with open(sys.argv[3], "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+EOF
+    rm -f "${OUT_TRANSLATION}.roundtrip.tmp" "${OUT_TRANSLATION}.storm.tmp"
+    echo "== merged storm results into ${OUT_TRANSLATION} =="
   fi
   if [ "${FILTER}" = "scaling" ] || [ "${FILTER}" = "all" ]; then
     run_bench bench_abl_substrate "${OUT_SCALING}"
   fi
-elif [ ! -f "${OUT_SCALING}" ]; then
+elif [ ! -f "${OUT_SCALING}" ] && [ -n "${COMPARE}" ]; then
   echo "error: --compare-only: ${OUT_SCALING} does not exist" >&2
   exit 2
 fi
 
-if [ -n "${COMPARE}" ]; then
-  if [ ! -f "${COMPARE}" ]; then
-    echo "error: baseline ${COMPARE} does not exist" >&2
+# Median-normalized events/sec regression gate, shared by the scaling and
+# translation baselines (see the long comment inside for the rationale).
+compare_events_rates() {
+  local baseline="$1" current="$2"
+  if [ ! -f "${baseline}" ]; then
+    echo "error: baseline ${baseline} does not exist" >&2
     exit 2
   fi
-  echo "== compare ${OUT_SCALING} against baseline ${COMPARE} =="
-  python3 - "${COMPARE}" "${OUT_SCALING}" <<'EOF'
+  echo "== compare ${current} against baseline ${baseline} =="
+  python3 - "${baseline}" "${current}" <<'EOF'
 import json
 import sys
 
@@ -172,4 +251,15 @@ if regressions:
     sys.exit(1)
 print("OK: no events/sec regression >20% (median-normalized)")
 EOF
+}
+
+if [ -n "${COMPARE}" ]; then
+  compare_events_rates "${COMPARE}" "${OUT_SCALING}"
+fi
+if [ -n "${COMPARE_TRANSLATION}" ]; then
+  if [ ! -f "${OUT_TRANSLATION}" ]; then
+    echo "error: ${OUT_TRANSLATION} does not exist" >&2
+    exit 2
+  fi
+  compare_events_rates "${COMPARE_TRANSLATION}" "${OUT_TRANSLATION}"
 fi

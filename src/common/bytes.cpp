@@ -111,6 +111,15 @@ std::string ByteReader::str16() {
   return s;
 }
 
+void ByteReader::str16_into(std::string& out) {
+  std::size_t n = u16();
+  require(n);
+  out.clear();
+  if (n == 0) return;  // data() may be null for an empty span
+  out.assign(reinterpret_cast<const char*>(view_.data() + pos_), n);
+  pos_ += n;
+}
+
 Bytes ByteReader::raw(std::size_t n) {
   require(n);
   Bytes out(view_.begin() + static_cast<std::ptrdiff_t>(pos_),

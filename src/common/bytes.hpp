@@ -80,6 +80,10 @@ class ByteReader {
   /// Reads a 16-bit length prefix then that many bytes as a string.
   [[nodiscard]] std::string str16();
 
+  /// Same wire format, but assigns into `out` so its capacity is reused —
+  /// the decode half of the zero-steady-state-allocation scratch recipe.
+  void str16_into(std::string& out);
+
   [[nodiscard]] Bytes raw(std::size_t n);
 
   [[nodiscard]] std::size_t remaining() const { return view_.size() - pos_; }

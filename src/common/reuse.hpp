@@ -1,0 +1,48 @@
+// Storage-reuse helpers for the zero-steady-state-allocation hot paths.
+//
+// The scratch recipe (docs/events.md): decoders write into caller-owned
+// scratch structures, composers fill slot-reused vectors, and string fields
+// are assigned into (not reconstructed) so their capacity survives from one
+// message to the next. These helpers are the shared mechanics; the mDNS
+// codec pioneered them and the SLP/SSDP/Jini paths reuse them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+namespace indiss {
+
+/// Grows `v` one slot at a time without ever shrinking capacity, so the i-th
+/// slot keeps the strings (and nested vectors) its previous occupant grew.
+/// Fillers resize(count) down afterwards: slots above `count` are destroyed
+/// (their capacity is lost) but the vector's own buffer survives; a steady
+/// flow of same-shaped messages therefore settles into zero (re)allocations.
+///
+/// NOTE: the returned reference dies at the next slot() call on the same
+/// vector (push_back may reallocate) — fill each slot completely before
+/// taking the next.
+template <typename T>
+T& slot(std::vector<T>& v, std::size_t i) {
+  if (i < v.size()) return v[i];
+  v.emplace_back();
+  return v.back();
+}
+
+/// An integer rendered into a stack buffer: the allocation-free alternative
+/// to std::to_string when the value may exceed the SSO digit budget (u64
+/// ids) or when appending into a reused string. The view aliases the object.
+struct IntDigits {
+  char buf[24];
+  explicit IntDigits(long long v) {
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+  }
+  explicit IntDigits(unsigned long long v) {
+    std::snprintf(buf, sizeof(buf), "%llu", v);
+  }
+  [[nodiscard]] std::string_view view() const { return buf; }
+};
+
+}  // namespace indiss

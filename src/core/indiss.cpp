@@ -9,7 +9,12 @@ Indiss::Indiss(net::Host& host, IndissConfig config)
     : host_(host),
       config_(std::move(config)),
       own_endpoints_(std::make_shared<OwnEndpoints>()) {
+  if (config_.enable_translation_cache) {
+    translation_cache_ =
+        std::make_shared<TranslationCache>(config_.translation_cache);
+  }
   monitor_ = std::make_unique<Monitor>(host_, own_endpoints_);
+  monitor_->set_translation_cache(translation_cache_);
 }
 
 Indiss::~Indiss() { stop(); }
@@ -20,6 +25,7 @@ void Indiss::start() {
 
   auto with_registry = [this](Unit::Options options) {
     options.own_endpoints = own_endpoints_;
+    options.translation_cache = translation_cache_;
     return options;
   };
 
@@ -88,6 +94,9 @@ void Indiss::subscribe_units() {
   if (upnp_unit_) bus_.subscribe(*upnp_unit_);
   if (jini_unit_) bus_.subscribe(*jini_unit_);
   if (mdns_unit_) bus_.subscribe(*mdns_unit_);
+  // The subscriber set defines what a cached translation fans out to;
+  // (re)wiring invalidates everything composed under the old set.
+  if (translation_cache_) translation_cache_->bump_generation();
 }
 
 Unit* Indiss::unit(SdpId sdp) {
@@ -102,12 +111,17 @@ Unit* Indiss::unit(SdpId sdp) {
 
 void Indiss::enable_unit(SdpId sdp) {
   if (!running_ || unit(sdp) != nullptr) return;
+  auto base_options = [this]() {
+    Unit::Options options = config_.unit_options;
+    options.own_endpoints = own_endpoints_;
+    options.translation_cache = translation_cache_;
+    return options;
+  };
   switch (sdp) {
     case SdpId::kSlp: {
       config_.enable_slp = true;
       auto unit_config = config_.slp;
-      unit_config.unit = config_.unit_options;
-      unit_config.unit.own_endpoints = own_endpoints_;
+      unit_config.unit = base_options();
       slp_unit_ = std::make_unique<SlpUnit>(host_, unit_config);
       monitor_->forward_to(SdpId::kSlp, slp_unit_.get());
       break;
@@ -115,8 +129,7 @@ void Indiss::enable_unit(SdpId sdp) {
     case SdpId::kUpnp: {
       config_.enable_upnp = true;
       auto unit_config = config_.upnp;
-      unit_config.unit = config_.unit_options;
-      unit_config.unit.own_endpoints = own_endpoints_;
+      unit_config.unit = base_options();
       upnp_unit_ = std::make_unique<UpnpUnit>(host_, unit_config);
       monitor_->forward_to(SdpId::kUpnp, upnp_unit_.get());
       break;
@@ -124,8 +137,7 @@ void Indiss::enable_unit(SdpId sdp) {
     case SdpId::kJini: {
       config_.enable_jini = true;
       auto unit_config = config_.jini;
-      unit_config.unit = config_.unit_options;
-      unit_config.unit.own_endpoints = own_endpoints_;
+      unit_config.unit = base_options();
       jini_unit_ = std::make_unique<JiniUnit>(host_, unit_config);
       monitor_->forward_to(SdpId::kJini, jini_unit_.get());
       break;
@@ -133,8 +145,7 @@ void Indiss::enable_unit(SdpId sdp) {
     case SdpId::kMdns: {
       config_.enable_mdns = true;
       auto unit_config = config_.mdns;
-      unit_config.unit = config_.unit_options;
-      unit_config.unit.own_endpoints = own_endpoints_;
+      unit_config.unit = base_options();
       mdns_unit_ = std::make_unique<MdnsUnit>(host_, unit_config);
       monitor_->forward_to(SdpId::kMdns, mdns_unit_.get());
       break;
@@ -170,6 +181,9 @@ void Indiss::disable_unit(SdpId sdp) {
       mdns_unit_.reset();
       break;
   }
+  // Cached frames hold the detached unit's sockets (now closed, so replays
+  // are inert) — invalidate so the remaining units re-translate fresh.
+  if (translation_cache_) translation_cache_->bump_generation();
 }
 
 std::size_t Indiss::unit_count() const {

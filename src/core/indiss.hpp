@@ -56,6 +56,11 @@ struct IndissConfig {
   JiniUnit::Config jini;
   MdnsUnit::Config mdns;
   ContextPolicy context;
+  /// Bridged-translation cache: byte-identical repeated advertisements
+  /// short-circuit to their previously composed outbound frames instead of
+  /// re-running the translation pipeline (docs/events.md).
+  bool enable_translation_cache = true;
+  TranslationCache::Config translation_cache;
 };
 
 class Indiss {
@@ -74,6 +79,10 @@ class Indiss {
   [[nodiscard]] bool running() const { return running_; }
 
   [[nodiscard]] Monitor& monitor() { return *monitor_; }
+  /// The node's bridged-translation cache, or nullptr when disabled.
+  [[nodiscard]] TranslationCache* translation_cache() {
+    return translation_cache_.get();
+  }
   /// The bus all inter-unit event delivery goes through.
   [[nodiscard]] EventBus& bus() { return bus_; }
   [[nodiscard]] const EventBus& bus() const { return bus_; }
@@ -110,6 +119,7 @@ class Indiss {
   net::Host& host_;
   IndissConfig config_;
   std::shared_ptr<OwnEndpoints> own_endpoints_;
+  std::shared_ptr<TranslationCache> translation_cache_;
   EventBus bus_;
   std::unique_ptr<Monitor> monitor_;
   std::unique_ptr<SlpUnit> slp_unit_;

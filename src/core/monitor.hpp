@@ -21,6 +21,7 @@
 #include <set>
 #include <vector>
 
+#include "core/translation_cache.hpp"
 #include "core/types.hpp"
 #include "net/host.hpp"
 #include "net/udp.hpp"
@@ -70,11 +71,31 @@ class Monitor {
     return sockets_.size();
   }
 
+  // --- Translation-cache introspection --------------------------------------
+  //
+  // The monitor is the component operators watch (it already reports
+  // detections and filter counts), so the per-SDP translation-cache
+  // hit/miss counters are surfaced here too.
+
+  void set_translation_cache(std::shared_ptr<const TranslationCache> cache) {
+    translation_cache_ = std::move(cache);
+  }
+  /// Null when no cache is attached (caching disabled).
+  [[nodiscard]] const TranslationCache* translation_cache() const {
+    return translation_cache_.get();
+  }
+  /// Zeroed stats when no cache is attached.
+  [[nodiscard]] TranslationCache::SdpStats translation_stats(SdpId sdp) const {
+    return translation_cache_ == nullptr ? TranslationCache::SdpStats{}
+                                         : translation_cache_->stats(sdp);
+  }
+
  private:
   void on_datagram(SdpId sdp, const net::Datagram& datagram);
 
   net::Host& host_;
   std::shared_ptr<OwnEndpoints> own_endpoints_;
+  std::shared_ptr<const TranslationCache> translation_cache_;
   std::vector<std::pair<SdpId, std::shared_ptr<net::UdpSocket>>> sockets_;
   std::map<SdpId, Unit*> forwards_;
   std::map<SdpId, sim::SimTime> detected_;

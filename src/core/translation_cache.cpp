@@ -1,0 +1,118 @@
+#include "core/translation_cache.hpp"
+
+#include <algorithm>
+
+namespace indiss::core {
+
+std::uint64_t wire_hash(BytesView bytes) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (std::uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+const TranslationCache::Bundle* TranslationCache::lookup(SdpId source,
+                                                         BytesView bytes,
+                                                         sim::SimTime now) {
+  auto& stats = stats_[static_cast<std::size_t>(source)];
+  Key key{source, wire_hash(bytes),
+          static_cast<std::uint32_t>(bytes.size())};
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.generation != generation_ ||
+      now - it->second.created_at < config_.settle ||
+      !std::equal(bytes.begin(), bytes.end(), it->second.wire.begin(),
+                  it->second.wire.end())) {
+    stats.misses += 1;
+    return nullptr;
+  }
+  it->second.last_used = ++tick_;
+  stats.hits += 1;
+  return &it->second;
+}
+
+void TranslationCache::replay(SdpId source, const Bundle& bundle) {
+  auto& stats = stats_[static_cast<std::size_t>(source)];
+  for (const Frame& frame : bundle.frames) {
+    frame.send();
+    stats.frames_replayed += 1;
+  }
+}
+
+void TranslationCache::open_bundle(SdpId source, BytesView bytes,
+                                   std::uint64_t origin_session,
+                                   sim::SimTime now) {
+  if (config_.max_entries == 0) return;  // bound of 0 = store nothing
+  Key key{source, wire_hash(bytes),
+          static_cast<std::uint32_t>(bytes.size())};
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.generation == generation_) return;  // keep first pass
+    // Stale generation: recycle the slot for the fresh translation.
+    it->second.frames.clear();
+    it->second.generation = generation_;
+    it->second.created_at = now;
+    it->second.last_used = ++tick_;
+    it->second.wire.assign(bytes.begin(), bytes.end());
+  } else {
+    evict_if_needed();
+    Bundle bundle;
+    bundle.generation = generation_;
+    bundle.created_at = now;
+    bundle.last_used = ++tick_;
+    bundle.wire.assign(bytes.begin(), bytes.end());
+    entries_.emplace(key, std::move(bundle));
+  }
+  // Remember which origin session feeds this bundle; target units report
+  // their composed frames under that session id. The ring is bounded: an
+  // advertisement's composes land within translate_delay, long before 64
+  // further advertisements have been dispatched. When a burst does overflow
+  // it (65+ distinct advertisements in one scheduler instant), the evicted
+  // session's half-built bundle is erased with it — leaving it behind would
+  // cache an empty *negative* entry that silently swallowed every future
+  // repeat; erasing degrades to a plain miss that re-translates.
+  open_sessions_.push_back(OpenSession{source, origin_session, key});
+  if (open_sessions_.size() > 64) {
+    entries_.erase(open_sessions_.front().key);
+    open_sessions_.erase(open_sessions_.begin());
+  }
+}
+
+void TranslationCache::add_frame(SdpId origin_sdp,
+                                 std::uint64_t origin_session, Frame frame) {
+  auto open = std::find_if(
+      open_sessions_.rbegin(), open_sessions_.rend(),
+      [&](const OpenSession& s) {
+        return s.origin_sdp == origin_sdp &&
+               s.origin_session == origin_session;
+      });
+  if (open == open_sessions_.rend()) return;
+  auto it = entries_.find(open->key);
+  if (it == entries_.end() || it->second.generation != generation_) return;
+  it->second.frames.push_back(std::move(frame));
+}
+
+void TranslationCache::evict_if_needed() {
+  if (entries_.empty() || entries_.size() < config_.max_entries) return;
+  auto victim = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    // Stale-generation entries go first; otherwise least recently used.
+    bool it_stale = it->second.generation != generation_;
+    bool victim_stale = victim->second.generation != generation_;
+    if (it_stale != victim_stale ? it_stale
+                                 : it->second.last_used <
+                                       victim->second.last_used) {
+      victim = it;
+    }
+  }
+  // Drop the open-session pointers into the evicted bundle so late frames
+  // cannot land in a recycled slot.
+  std::erase_if(open_sessions_, [&](const OpenSession& s) {
+    return KeyEq{}(s.key, victim->first);
+  });
+  entries_.erase(victim);
+  evictions_ += 1;
+}
+
+}  // namespace indiss::core

@@ -1,0 +1,180 @@
+// The bridged-translation cache: stop re-translating byte-identical
+// messages.
+//
+// Periodic re-announcements (SSDP `alive` every ~30 s, SLP re-adverts, mDNS
+// refresh bursts) dominate steady-state gateway traffic and are
+// byte-identical between periods, yet the pipeline would re-run the same
+// parse -> events -> bus fan-out -> compose work for every repeat. This
+// cache keys a completed advertisement translation by
+//
+//     (source SdpId, wire-bytes hash + length, target SdpId)
+//
+// and stores the composed outbound frame each target unit produced. On a
+// hit the unit pipeline short-circuits: the source unit replays the stored
+// frames straight onto the target units' sockets — no session, no parser,
+// no bus traffic. One conceptual entry per (source, wire, target) triple is
+// grouped into a per-wire "bundle" so a single lookup replays every
+// target's frame.
+//
+// Only advertisement streams (alive / register / repo-announcement kinds)
+// are cached: their composed output is destination-independent (multicast
+// or a fixed registrar), unlike request/reply translations whose output
+// embeds the requester's address and XID. Byebyes are never cached — their
+// per-unit state changes (lease cancels, impersonation drops) must run on
+// every arrival, so each one re-parses and bumps the generation instead.
+// An empty settled bundle is a *negative* entry: the advertisement
+// translated to silence everywhere (e.g. every target deduplicated it), so
+// replay correctly does nothing.
+//
+// Consistency:
+//  - Entries are validated by full byte comparison (the stored wire copy),
+//    not just the 64-bit hash, so collisions cannot replay a wrong frame.
+//  - A bundle only becomes replayable `settle` after creation, giving every
+//    target unit's deferred compose (translate_delay) time to land; until
+//    then repeats parse normally (counted as misses) without disturbing the
+//    bundle.
+//  - Generation-based invalidation: bump_generation() logically empties the
+//    cache in O(1). The owner bumps whenever the translated output could
+//    change for the same input bytes — unit attach/detach (the target set
+//    changed), a processed byebye (per-unit advertisement state changed),
+//    a newly learned Jini registrar, or a config/session-var change.
+//  - An LRU bound (max_entries) caps memory; eviction is a linear scan,
+//    fine for the bounded sizes involved.
+//
+// Like the rest of the substrate, not thread-safe: one scheduler thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "core/types.hpp"
+#include "net/address.hpp"
+#include "net/udp.hpp"
+#include "sim/time.hpp"
+
+namespace indiss::core {
+
+/// FNV-1a 64 over the wire bytes (the cache's key hash).
+[[nodiscard]] std::uint64_t wire_hash(BytesView bytes);
+
+class TranslationCache {
+ public:
+  struct Config {
+    /// LRU bound on cached wire bundles.
+    std::size_t max_entries = 256;
+    /// A bundle replays only this long after creation, so every target
+    /// unit's deferred compose has landed. Keep well above the units'
+    /// translate_delay and well below the shortest re-announcement period.
+    sim::SimDuration settle = sim::millis(200);
+  };
+
+  /// A composed outbound frame one target unit produced for the cached
+  /// advertisement: replaying it is byte-identical to re-translating.
+  struct Frame {
+    SdpId target = SdpId::kSlp;
+    std::shared_ptr<net::UdpSocket> socket;
+    net::Endpoint to;
+    std::shared_ptr<const Bytes> payload;
+
+    /// Re-sends the frame; inert when the target unit's socket has closed.
+    void send() const {
+      if (socket != nullptr && !socket->closed()) socket->send_to(to, *payload);
+    }
+  };
+
+  struct Key {
+    SdpId source = SdpId::kSlp;
+    std::uint64_t hash = 0;
+    std::uint32_t length = 0;
+  };
+
+  struct Bundle {
+    std::vector<Frame> frames;
+    Bytes wire;  // full key bytes: hits are byte-verified, not hash-trusted
+    std::uint64_t generation = 0;
+    std::uint64_t last_used = 0;
+    sim::SimTime created_at{0};
+  };
+
+  struct SdpStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t frames_replayed = 0;
+  };
+
+  // Defined below the class: a `= {}` default argument here would need
+  // Config's member initializers before the enclosing class is complete.
+  TranslationCache();
+  explicit TranslationCache(Config config);
+
+  /// Hit path: returns the settled, byte-verified bundle for `bytes`
+  /// arriving at the `source` unit, or nullptr (counting a miss). The
+  /// returned pointer is valid until the next non-const cache call.
+  [[nodiscard]] const Bundle* lookup(SdpId source, BytesView bytes,
+                                     sim::SimTime now);
+
+  /// Replays every frame of a bundle returned by lookup() and counts them.
+  void replay(SdpId source, const Bundle& bundle);
+
+  /// Miss path: registers a bundle for the wire bytes the session with
+  /// (origin_sdp, origin_session) is translating. No-op when a
+  /// current-generation bundle already exists (a repeat arriving inside the
+  /// settle window must not wipe the frames the first pass collected).
+  void open_bundle(SdpId source, BytesView bytes, std::uint64_t origin_session,
+                   sim::SimTime now);
+
+  /// Called by a *target* unit when it composes an outbound advertisement
+  /// frame for a peer session: appends the frame to the bundle its origin
+  /// session opened. No-op when no open bundle matches (request sessions,
+  /// evicted bundles, stale generations).
+  void add_frame(SdpId origin_sdp, std::uint64_t origin_session, Frame frame);
+
+  /// O(1) logical invalidation of every entry.
+  void bump_generation() { generation_ += 1; }
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  [[nodiscard]] const SdpStats& stats(SdpId source) const {
+    return stats_[static_cast<std::size_t>(source)];
+  }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(
+          k.hash ^ (static_cast<std::uint64_t>(k.source) << 56) ^ k.length);
+    }
+  };
+  struct KeyEq {
+    bool operator()(const Key& a, const Key& b) const {
+      return a.source == b.source && a.hash == b.hash && a.length == b.length;
+    }
+  };
+
+  /// Origin sessions with a bundle still collecting frames, newest last.
+  struct OpenSession {
+    SdpId origin_sdp;
+    std::uint64_t origin_session;
+    Key key;
+  };
+
+  void evict_if_needed();
+
+  Config config_;
+  std::unordered_map<Key, Bundle, KeyHash, KeyEq> entries_;
+  std::vector<OpenSession> open_sessions_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t evictions_ = 0;
+  SdpStats stats_[4];
+};
+
+inline TranslationCache::TranslationCache() : TranslationCache(Config{}) {}
+inline TranslationCache::TranslationCache(Config config) : config_(config) {}
+
+}  // namespace indiss::core

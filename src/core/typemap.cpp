@@ -73,4 +73,34 @@ std::string dnssd_from_canonical(std::string_view canonical) {
   return "_" + std::string(canonical) + "._tcp.local";
 }
 
+std::string_view canonical_from_slp_view(std::string_view type) {
+  std::string_view rest = str::trim(type);
+  if (str::starts_with(rest, "service:")) rest.remove_prefix(8);
+  auto colon = rest.find(':');
+  if (colon != std::string_view::npos) rest = rest.substr(0, colon);
+  return rest;
+}
+
+std::string_view canonical_from_upnp_view(std::string_view search_target) {
+  std::string_view rest = str::trim(search_target);
+  if (rest == "ssdp:all" || rest == "upnp:rootdevice") return "*";
+  if (str::starts_with(rest, "urn:")) {
+    auto device_pos = rest.find(":device:");
+    auto service_pos = rest.find(":service:");
+    std::size_t start;
+    if (device_pos != std::string_view::npos) {
+      start = device_pos + 8;
+    } else if (service_pos != std::string_view::npos) {
+      start = service_pos + 9;
+    } else {
+      return rest;
+    }
+    rest = rest.substr(start);
+    auto colon = rest.find(':');
+    if (colon != std::string_view::npos) rest = rest.substr(0, colon);
+    return rest;
+  }
+  return rest;
+}
+
 }  // namespace indiss::core

@@ -34,4 +34,19 @@ namespace indiss::core {
 /// "clock" -> "_clock._tcp.local" ("*" -> the enumeration name).
 [[nodiscard]] std::string dnssd_from_canonical(std::string_view canonical);
 
+// --- Allocation-free view variants (hot-path parsers) -----------------------
+//
+// Same extraction as the std::string versions, but the result aliases the
+// input and no case folding is applied: wire names in the simulator are
+// lowercase already (the same caveat the mDNS parser documents). Copy the
+// view before the backing message scratch is reused.
+
+/// "service:clock:soap" -> "clock" (view into the input).
+[[nodiscard]] std::string_view canonical_from_slp_view(std::string_view type);
+
+/// "urn:schemas-upnp-org:device:clock:1" -> "clock"; "ssdp:all" and
+/// "upnp:rootdevice" -> "*" (view into the input or a static literal).
+[[nodiscard]] std::string_view canonical_from_upnp_view(
+    std::string_view search_target);
+
 }  // namespace indiss::core

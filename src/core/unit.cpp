@@ -112,13 +112,45 @@ void Unit::parse_into_session(Session& session, BytesView raw,
 void Unit::on_native_message(const net::Datagram& datagram) {
   // INDISS's own processing cost for intercepting + parsing a message.
   schedule_guarded(options_.translate_delay, [this, datagram]() {
+    // Short-circuit: a byte-identical advertisement translated before
+    // replays its composed outbound frames without a session or a parse.
+    TranslationCache* cache = options_.translation_cache.get();
+    if (cache != nullptr) {
+      if (const auto* bundle =
+              cache->lookup(sdp_, datagram.payload, scheduler().now())) {
+        cache->replay(sdp_, *bundle);
+        stats_.cache_short_circuits += 1;
+        return;
+      }
+    }
+
     Session& session = open_session(Session::Origin::kNative);
+    std::uint64_t session_id = session.id;
     MessageContext ctx;
     ctx.source = datagram.source;
     ctx.destination = datagram.destination;
     ctx.multicast = datagram.multicast;
     ctx.from_local_host = datagram.source.address == host_.address();
     parse_into_session(session, datagram.payload, ctx);
+
+    // The FSM ran to SDP_C_STOP inside the parse; advertisement kinds were
+    // dispatched to the peers, whose composed frames will land in the
+    // bundle opened here (their deferred deliveries fire strictly after
+    // this callback). Byebyes are deliberately NEVER cached: their per-unit
+    // state changes (lease cancels, impersonation drops, goodbye-side
+    // bookkeeping) must run on every arrival, so each one re-parses and
+    // invalidates everything cached under the pre-withdrawal world.
+    Session* parsed = find_session(session_id);
+    if (cache != nullptr && parsed != nullptr) {
+      auto kind = parsed->var("kind");
+      if (kind == "byebye") {
+        cache->bump_generation();
+      } else if (kind == "alive" || kind == "register" ||
+                 kind == "repo_announce") {
+        cache->open_bundle(sdp_, datagram.payload, session_id,
+                           scheduler().now());
+      }
+    }
   });
 }
 
@@ -186,6 +218,21 @@ void Unit::mark_own(const net::UdpSocket& socket) {
   if (options_.own_endpoints != nullptr) {
     options_.own_endpoints->insert(socket.local_endpoint());
   }
+}
+
+void Unit::cache_outbound_frame(const Session& session,
+                                std::shared_ptr<net::UdpSocket> socket,
+                                const net::Endpoint& to, BytesView payload) {
+  TranslationCache* cache = options_.translation_cache.get();
+  if (cache == nullptr || session.origin != Session::Origin::kPeer) return;
+  TranslationCache::Frame frame;
+  frame.target = sdp_;
+  frame.socket = std::move(socket);
+  frame.to = to;
+  frame.payload =
+      std::make_shared<const Bytes>(payload.begin(), payload.end());
+  cache->add_frame(session.origin_sdp, session.origin_session,
+                   std::move(frame));
 }
 
 Action Unit::dispatch_to_peers() {

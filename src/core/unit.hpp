@@ -28,6 +28,7 @@
 #include "core/fsm.hpp"
 #include "core/parser.hpp"
 #include "core/session.hpp"
+#include "core/translation_cache.hpp"
 #include "core/types.hpp"
 #include "net/host.hpp"
 #include "net/packet.hpp"
@@ -46,6 +47,10 @@ struct UnitOptions {
   /// Own-endpoint registry shared with the monitor (loop prevention). May
   /// be null for standalone unit tests.
   std::shared_ptr<OwnEndpoints> own_endpoints;
+  /// Bridged-translation cache shared across the node's units (null =
+  /// disabled): byte-identical repeated advertisements short-circuit to
+  /// their previously composed outbound frames (docs/events.md).
+  std::shared_ptr<TranslationCache> translation_cache;
 };
 
 class Unit {
@@ -126,6 +131,9 @@ class Unit {
     std::uint64_t sessions_completed = 0;
     std::uint64_t streams_dispatched = 0;
     std::uint64_t events_ignored = 0;  // no FSM transition consumed them
+    /// Native datagrams short-circuited by the translation cache (no
+    /// session, no parse: the stored outbound frames were replayed).
+    std::uint64_t cache_short_circuits = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -185,6 +193,18 @@ class Unit {
 
   /// Registers a socket's endpoint in the shared own-endpoint set.
   void mark_own(const net::UdpSocket& socket);
+
+  /// Target-side cache hook: a composer produced an outbound advertisement
+  /// frame for a peer session; stores it so the source unit can replay it
+  /// when the same wire bytes arrive again. No-op without a cache, for
+  /// non-peer sessions, or when the origin session opened no bundle.
+  void cache_outbound_frame(const Session& session,
+                            std::shared_ptr<net::UdpSocket> socket,
+                            const net::Endpoint& to, BytesView payload);
+
+  [[nodiscard]] TranslationCache* translation_cache() {
+    return options_.translation_cache.get();
+  }
 
   [[nodiscard]] sim::Scheduler& scheduler();
 

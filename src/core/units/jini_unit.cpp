@@ -1,6 +1,9 @@
 #include "core/units/jini_unit.hpp"
 
+#include <cstdio>
+
 #include "common/logging.hpp"
+#include "common/reuse.hpp"
 #include "common/strings.hpp"
 #include "core/typemap.hpp"
 #include "jini/discovery.hpp"
@@ -9,47 +12,102 @@
 
 namespace indiss::core {
 
+namespace {
+
+void join_into(const std::vector<std::string>& parts, std::string& out) {
+  out.clear();
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ",";
+    out += parts[i];
+  }
+}
+
+}  // namespace
+
 void JiniEventParser::parse(BytesView raw, const MessageContext& ctx,
                             EventSink& sink) {
-  if (!ctx.continuation) sink.emit(Event(EventType::kControlStart));
-  sink.emit(Event(EventType::kNetType, {{"sdp", "jini"}}));
-  sink.emit(Event(ctx.multicast ? EventType::kNetMulticast
-                                : EventType::kNetUnicast));
-  sink.emit(Event(EventType::kNetSourceAddr,
-                  {{"addr", ctx.source.address.to_string()},
-                   {"port", std::to_string(ctx.source.port)},
-                   {"local", ctx.from_local_host ? "1" : "0"}}));
+  if (!ctx.continuation) sink.emit(sink.scratch(EventType::kControlStart));
+  {
+    Event net = sink.scratch(EventType::kNetType);
+    net.set("sdp", "jini");
+    sink.emit(std::move(net));
+  }
+  sink.emit(sink.scratch(ctx.multicast ? EventType::kNetMulticast
+                                       : EventType::kNetUnicast));
+  {
+    Event src = sink.scratch(EventType::kNetSourceAddr);
+    src.set("addr", ctx.source.address.to_string());
+    src.set("port", std::to_string(ctx.source.port));
+    src.set("local", ctx.from_local_host ? "1" : "0");
+    sink.emit(std::move(src));
+  }
 
   auto kind = jini::packet_kind(raw);
   if (!kind.has_value()) {
-    sink.emit(Event(EventType::kResErr, {{"code", "parse"}}));
-    sink.emit(Event(EventType::kControlStop));
+    Event err = sink.scratch(EventType::kResErr);
+    err.set("code", "parse");
+    sink.emit(std::move(err));
+    sink.emit(sink.scratch(EventType::kControlStop));
     return;
   }
   if (*kind == jini::kPacketMulticastRequest) {
-    auto request = jini::MulticastRequest::decode(raw);
-    if (request.has_value()) {
+    if (jini::MulticastRequest::decode_into(raw, request_scratch_)) {
       // A registrar-discovery probe, not a service request: surfaced as a
       // Discovery (extension-set) event.
-      sink.emit(Event(EventType::kDiscRepositoryQuery,
-                      {{"response_port", std::to_string(request->response_port)},
-                       {"groups", str::join(request->groups, ",")}}));
-      sink.emit(Event(EventType::kJiniGroups,
-                      {{"groups", str::join(request->groups, ",")}}));
+      join_into(request_scratch_.groups, groups_csv_);
+      Event query = sink.scratch(EventType::kDiscRepositoryQuery);
+      query.set("response_port",
+                std::to_string(request_scratch_.response_port));
+      query.set("groups", groups_csv_);
+      sink.emit(std::move(query));
+      Event groups = sink.scratch(EventType::kJiniGroups);
+      groups.set("groups", groups_csv_);
+      sink.emit(std::move(groups));
     }
   } else {
-    auto announcement = jini::MulticastAnnouncement::decode(raw);
-    if (announcement.has_value()) {
-      sink.emit(Event(
-          EventType::kDiscRepositoryFound,
-          {{"host", announcement->registrar_host},
-           {"port", std::to_string(announcement->registrar_port)},
-           {"id", std::to_string(announcement->registrar_id)}}));
-      sink.emit(Event(EventType::kJiniRegistrarId,
-                      {{"id", std::to_string(announcement->registrar_id)}}));
+    if (jini::MulticastAnnouncement::decode_into(raw, announcement_scratch_)) {
+      IntDigits id(static_cast<unsigned long long>(
+          announcement_scratch_.registrar_id));
+      Event found = sink.scratch(EventType::kDiscRepositoryFound);
+      found.set("host", announcement_scratch_.registrar_host);
+      found.set("port", std::to_string(announcement_scratch_.registrar_port));
+      found.set("id", id.view());
+      sink.emit(std::move(found));
+      Event registrar = sink.scratch(EventType::kJiniRegistrarId);
+      registrar.set("id", id.view());
+      sink.emit(std::move(registrar));
     }
   }
-  sink.emit(Event(EventType::kControlStop));
+  sink.emit(sink.scratch(EventType::kControlStop));
+}
+
+// ---------------------------------------------------------------------------
+// compose_jini_announcement
+// ---------------------------------------------------------------------------
+
+bool compose_jini_announcement(const EventStream& stream,
+                               jini::MulticastAnnouncement& out) {
+  const Event* found = find_event(stream, EventType::kDiscRepositoryFound);
+  if (found == nullptr) return false;
+  out.registrar_host.assign(found->get("host"));
+  out.registrar_port = static_cast<std::uint16_t>(
+      str::parse_long(found->get("port"), jini::kJiniPort));
+  out.registrar_id = static_cast<std::uint64_t>(
+      str::parse_long(found->get("id"), 0));
+  std::size_t group_count = 0;
+  if (const Event* groups = find_event(stream, EventType::kJiniGroups)) {
+    std::string_view csv = groups->get("groups");
+    while (!csv.empty()) {
+      auto comma = csv.find(',');
+      std::string_view piece =
+          comma == std::string_view::npos ? csv : csv.substr(0, comma);
+      if (!piece.empty()) slot(out.groups, group_count++).assign(piece);
+      csv = comma == std::string_view::npos ? std::string_view{}
+                                            : csv.substr(comma + 1);
+    }
+  }
+  out.groups.resize(group_count);
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -59,9 +117,13 @@ JiniUnit::JiniUnit(net::Host& host, Config config)
   register_parser(std::make_unique<JiniEventParser>());
   set_default_parser("jini");
   build_standard_fsm(fsm_);
-  // Learn registrar locations from announcements.
+  // Learn registrar locations from announcements. The kind tag makes the
+  // periodic (byte-identical) registrar heartbeat cacheable: a repeat skips
+  // the parse, and the no-op replay is correct because the registrar was
+  // already noted (a *changed* registrar changes the bytes — and noting one
+  // bumps the cache generation).
   fsm_.add_tuple("parsing", EventType::kDiscRepositoryFound, any(), "parsing",
-                 {note_registrar()});
+                 {note_registrar(), Unit::set("kind", "repo_announce")});
   fsm_.add_tuple("parsing", EventType::kDiscRepositoryQuery, any(), "parsing",
                  {Unit::set("kind", "repo_query")});
 }
@@ -77,9 +139,16 @@ Action JiniUnit::note_registrar() {
 void JiniUnit::do_note_registrar(const Event& event) {
   auto addr = net::IpAddress::parse(event.get("host"));
   if (!addr.has_value()) return;
-  registrar_ = net::Endpoint{
+  net::Endpoint endpoint{
       *addr, static_cast<std::uint16_t>(
                  str::parse_long(event.get("port"), config_.jini_port))};
+  bool changed = !registrar_.has_value() || *registrar_ != endpoint;
+  registrar_ = endpoint;
+  // A newly learned registrar changes what foreign advertisements translate
+  // into (they can now be registered), so cached translations are stale.
+  if (changed && translation_cache() != nullptr) {
+    translation_cache()->bump_generation();
+  }
 }
 
 void JiniUnit::registrar_op(Bytes request, std::function<void(Bytes)> handler) {
@@ -165,26 +234,37 @@ void JiniUnit::compose_native_request(Session& session) {
 void JiniUnit::compose_native_reply(Session&) {}
 
 // Translate a foreign advertisement into a registrar registration so native
-// Jini clients can look the service up.
+// Jini clients can look the service up; a byebye cancels the lease so they
+// stop finding it.
 void JiniUnit::on_advertisement(Session& session) {
   std::string url;
   std::string desc_url;
+  std::string usn;
   jini::EntryAttributes attributes;
   for (const auto& event : session.collected) {
     if (event.type == EventType::kResServUrl && url.empty()) {
       url = event.get("url");
     } else if (event.type == EventType::kUpnpDeviceUrlDesc) {
       desc_url = event.get("url");
+    } else if (event.type == EventType::kUpnpUsn) {
+      usn = event.get("usn");
     } else if (event.type == EventType::kServiceAttr) {
       attributes.emplace_back(event.get("key"), event.get("value"));
     }
   }
   if (url.empty()) url = desc_url;
+
+  if (session.var("kind") == "byebye") {
+    withdraw_foreign_service(url, usn);
+    return;
+  }
+
   if (url.empty() || !registrar_.has_value()) return;
   if (!meaningful_advert_type(session.var("service_type"))) return;
   // One registration per foreign endpoint; alive bursts repeat the URL
   // under several notification types.
   if (!registered_urls_.insert(url).second) return;
+  if (!usn.empty()) url_by_usn_[usn] = url;
 
   jini::ServiceItem item;
   item.id = jini::ServiceId{0x1D15500000000000ULL, next_service_id_++};
@@ -197,9 +277,51 @@ void JiniUnit::on_advertisement(Session& session) {
   w.u8(jini::kOpRegister);
   item.encode(w);
   w.u32(config_.lease_seconds);
+  registrar_op(w.take(), [this, url](Bytes reply) {
+    try {
+      ByteReader r(reply);
+      if (reply.empty() || r.u8() != jini::kStatusOk) return;
+      std::uint64_t lease = r.u64();
+      if (registered_urls_.count(url) == 0) {
+        // Withdrawn while the registration was in flight: cancel the lease
+        // we were just granted instead of stranding it at the registrar.
+        ByteWriter cancel;
+        cancel.u8(jini::kOpCancel);
+        cancel.u64(lease);
+        registrar_op(cancel.take(), [](Bytes) {});
+        return;
+      }
+      foreign_registrations_ += 1;
+      // Remember the granted lease: a later byebye cancels it.
+      leases_by_url_[url] = lease;
+    } catch (const DecodeError&) {
+    }
+  });
+}
+
+// Withdrawal: cancel the lease the registration was granted (matching by
+// URL, or by USN for UPnP byebyes that name no URL) so native Jini lookups
+// stop returning the departed service.
+void JiniUnit::withdraw_foreign_service(const std::string& url,
+                                        const std::string& usn) {
+  std::string key = url;
+  if (key.empty() && !usn.empty()) {
+    auto aliased = url_by_usn_.find(usn);
+    if (aliased != url_by_usn_.end()) key = aliased->second;
+  }
+  if (key.empty()) return;
+  if (registered_urls_.erase(key) == 0) return;
+  if (!usn.empty()) url_by_usn_.erase(usn);
+
+  auto lease = leases_by_url_.find(key);
+  if (lease == leases_by_url_.end() || !registrar_.has_value()) return;
+  ByteWriter w;
+  w.u8(jini::kOpCancel);
+  w.u64(lease->second);
+  leases_by_url_.erase(lease);
   registrar_op(w.take(), [this](Bytes reply) {
     if (!reply.empty() && reply[0] == jini::kStatusOk) {
-      foreign_registrations_ += 1;
+      foreign_deregistrations_ += 1;
     }
   });
 }

@@ -24,12 +24,27 @@
 
 namespace indiss::core {
 
+/// Translates Jini discovery datagrams into events. Follows the scratch
+/// recipe (docs/events.md): decode_into member scratch + sink.scratch()
+/// events, so a warm parser performs zero heap allocations per message.
 class JiniEventParser : public SdpParser {
  public:
   [[nodiscard]] std::string_view name() const override { return "jini"; }
   void parse(BytesView raw, const MessageContext& ctx,
              EventSink& sink) override;
+
+ private:
+  jini::MulticastRequest request_scratch_;
+  jini::MulticastAnnouncement announcement_scratch_;
+  std::string groups_csv_;
 };
+
+/// Rebuilds the registrar announcement a SDP_DISC_REPOSITORY event stream
+/// describes, reusing caller storage (the compose half of the Jini round
+/// trip; groups split into slot-reused strings). Returns false when the
+/// stream carries no repository event.
+bool compose_jini_announcement(const EventStream& stream,
+                               jini::MulticastAnnouncement& out);
 
 struct JiniUnitConfig {
   UnitOptions unit;
@@ -50,6 +65,9 @@ class JiniUnit : public Unit {
   [[nodiscard]] std::uint64_t foreign_registrations() const {
     return foreign_registrations_;
   }
+  [[nodiscard]] std::uint64_t foreign_deregistrations() const {
+    return foreign_deregistrations_;
+  }
 
  protected:
   void compose_native_request(Session& session) override;
@@ -59,13 +77,20 @@ class JiniUnit : public Unit {
  private:
   static Action note_registrar();
   void do_note_registrar(const Event& event);
+  void withdraw_foreign_service(const std::string& url,
+                                const std::string& usn);
   /// One-shot unicast registrar op; hands raw reply bytes to the handler.
   void registrar_op(Bytes request, std::function<void(Bytes)> handler);
 
   Config config_;
   std::optional<net::Endpoint> registrar_;
   std::set<std::string> registered_urls_;
+  /// Lease granted per registered foreign URL — the handle a byebye cancels.
+  std::map<std::string, std::uint64_t> leases_by_url_;
+  /// UPnP byebyes identify the device by USN, not URL.
+  std::map<std::string, std::string> url_by_usn_;
   std::uint64_t foreign_registrations_ = 0;
+  std::uint64_t foreign_deregistrations_ = 0;
   std::uint64_t next_service_id_ = 0x1D155;
 };
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/logging.hpp"
+#include "common/reuse.hpp"
 #include "common/strings.hpp"
 #include "core/typemap.hpp"
 #include "net/network.hpp"
@@ -16,16 +17,6 @@ namespace {
 // attribute for the standard FSM's bridge-echo guard.
 constexpr std::string_view kBridgeMarkerName = "_indiss-bridge._udp.local";
 constexpr std::string_view kBridgeStamp = "INDISS-bridge";
-
-/// Grows a vector one slot at a time without ever shrinking capacity, so the
-/// i-th slot keeps the strings its previous occupant grew (the compose-side
-/// twin of the codec's decode_into reuse).
-template <typename T>
-T& slot(std::vector<T>& v, std::size_t i) {
-  if (i < v.size()) return v[i];
-  v.emplace_back();
-  return v.back();
-}
 
 /// Resets a recycled record slot to defaults while keeping string/vector
 /// capacity. Deliberately leaves `txt` alone: resize(0) would destroy the
@@ -384,11 +375,6 @@ MdnsUnit::~MdnsUnit() {
   for (auto& [id, socket] : client_sockets_) socket->close();
 }
 
-void MdnsUnit::send_message(const net::Endpoint& to) {
-  BytesView wire = encoder_.encode(compose_scratch_);
-  reply_socket_->send_to(to, Bytes(wire.begin(), wire.end()));
-}
-
 // Acting as a one-shot mDNS browser for a foreign request: multicast a PTR
 // query from a per-session ephemeral socket; responders answer it unicast.
 void MdnsUnit::compose_native_request(Session& session) {
@@ -473,36 +459,108 @@ void MdnsUnit::on_advertisement(Session& session) {
       service.url = event.get("url");
     } else if (event.type == EventType::kUpnpDeviceUrlDesc) {
       desc_url = event.get("url");
+    } else if (event.type == EventType::kUpnpUsn) {
+      service.usn = event.get("usn");
     } else if (event.type == EventType::kServiceAttr) {
       service.attributes.emplace_back(event.get("key"), event.get("value"));
     }
   }
   if (service.url.empty()) service.url = desc_url;
+
+  if (session.var("kind") == "byebye") {
+    withdraw_foreign_service(session, service);
+    return;
+  }
+
   if (service.url.empty()) return;
   if (!meaningful_advert_type(service.canonical_type)) return;
 
-  std::string qname = dnssd_from_canonical(service.canonical_type);
-  bool byebye = session.var("kind") == "byebye";
-  if (byebye) {
-    if (announced_urls_.erase(service.url) == 0) return;
-    std::erase_if(foreign_services_, [&](const MdnsForeignService& s) {
-      return s.url == service.url;
-    });
-  } else {
-    for (auto& existing : foreign_services_) {
-      if (existing.url == service.url) existing = service;
+  // Refresh only the same-typed entry: a UPnP alive burst repeats one URL
+  // under several notification types, and the announced instance's identity
+  // (qname, USN) must stay the one actually put on the wire.
+  for (auto& existing : foreign_services_) {
+    if (existing.url == service.url &&
+        existing.canonical_type == service.canonical_type) {
+      existing = service;
     }
-    if (!announced_urls_.insert(service.url).second) return;  // already out
-    foreign_services_.push_back(service);
+  }
+  bool first_announcement = announced_urls_.insert(service.url).second;
+  if (first_announcement) foreign_services_.push_back(service);
+
+  std::string qname = dnssd_from_canonical(service.canonical_type);
+  std::size_t groups = compose_dnssd_answers(
+      session.collected, qname, config_.record_ttl, compose_scratch_);
+  if (groups == 0) {
+    // The advertisement named no service URL directly (a UPnP alive only
+    // carries the description LOCATION): announce the resolved URL instead,
+    // the same way the SLP and Jini units remember it — it still identifies
+    // the service.
+    EventStream minimal = stream_pool().acquire();
+    minimal.push_back(Event(EventType::kControlStart));
+    minimal.push_back(Event(EventType::kResServUrl, {{"url", service.url}}));
+    minimal.push_back(Event(EventType::kControlStop));
+    groups = compose_dnssd_answers(minimal, qname, config_.record_ttl,
+                                   compose_scratch_);
+    stream_pool().release(std::move(minimal));
+  }
+  if (groups == 0) return;
+  compose_scratch_.id = 0;
+  net::Endpoint to{mdns::kMdnsGroup, config_.mdns_port};
+  BytesView wire = encoder_.encode(compose_scratch_);
+  // Already-bridged repeats stay silent on the parse path (alive bursts
+  // repeat one URL under several notification types), but the composed
+  // re-announcement is still handed to the translation cache: replaying it
+  // is how byte-identical periodic repeats keep refreshing the Bonjour
+  // world — including after a generation bump forced a re-parse.
+  if (first_announcement) {
+    reply_socket_->send_to(to, Bytes(wire.begin(), wire.end()));
+    announcements_sent_ += 1;
+  }
+  cache_outbound_frame(session, reply_socket_, to, wire);
+}
+
+// Goodbye propagation: resolve which bridged instance the byebye names (by
+// URL when it carries one — SLP SrvDeReg, mDNS goodbye — or by USN for UPnP
+// byebyes, which only identify the device), multicast the RFC 6762 TTL-0
+// goodbye for it, and forget it.
+void MdnsUnit::withdraw_foreign_service(Session& session,
+                                        const MdnsForeignService& hint) {
+  std::string url = hint.url;
+  std::string qname;
+  for (const auto& known : foreign_services_) {
+    bool match = (!url.empty() && known.url == url) ||
+                 (url.empty() && !hint.usn.empty() && known.usn == hint.usn);
+    if (match) {
+      url = known.url;
+      qname = dnssd_from_canonical(known.canonical_type);
+      break;
+    }
+  }
+  if (url.empty()) return;
+  if (announced_urls_.erase(url) == 0) return;
+  std::erase_if(foreign_services_,
+                [&](const MdnsForeignService& s) { return s.url == url; });
+  if (qname.empty()) {
+    qname = dnssd_from_canonical(session.var("service_type"));
   }
 
-  if (compose_dnssd_answers(session.collected, qname,
-                            byebye ? 0 : config_.record_ttl,
-                            compose_scratch_) == 0) {
-    return;
-  }
+  // The goodbye must name the same hash-stable instance the announcement
+  // created, so compose from a minimal stream carrying the resolved URL
+  // (the byebye stream itself may have named only the USN).
+  EventStream goodbye = stream_pool().acquire();
+  goodbye.push_back(Event(EventType::kControlStart));
+  goodbye.push_back(Event(EventType::kResServUrl, {{"url", url}}));
+  goodbye.push_back(Event(EventType::kControlStop));
+  std::size_t groups =
+      compose_dnssd_answers(goodbye, qname, /*ttl=*/0, compose_scratch_);
+  stream_pool().release(std::move(goodbye));
+  if (groups == 0) return;
   compose_scratch_.id = 0;
-  send_message(net::Endpoint{mdns::kMdnsGroup, config_.mdns_port});
+  net::Endpoint to{mdns::kMdnsGroup, config_.mdns_port};
+  BytesView wire = encoder_.encode(compose_scratch_);
+  reply_socket_->send_to(to, Bytes(wire.begin(), wire.end()));
+  // No cache_outbound_frame here: byebyes are never cached (Unit keeps
+  // their state changes on the parse path).
   announcements_sent_ += 1;
 }
 

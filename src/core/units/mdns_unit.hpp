@@ -61,6 +61,9 @@ struct MdnsUnitConfig {
 struct MdnsForeignService {
   std::string canonical_type;
   std::string url;
+  /// Origin identity when the advertisement carried one (UPnP USN) — the
+  /// withdrawal key for byebyes that name no URL.
+  std::string usn;
   std::vector<std::pair<std::string, std::string>> attributes;
 };
 
@@ -86,7 +89,8 @@ class MdnsUnit : public Unit {
   void on_session_complete(Session& session) override;
 
  private:
-  void send_message(const net::Endpoint& to);
+  void withdraw_foreign_service(Session& session,
+                                const MdnsForeignService& hint);
 
   Config config_;
   std::shared_ptr<net::UdpSocket> reply_socket_;

@@ -1,6 +1,7 @@
 #include "core/units/slp_unit.hpp"
 
 #include "common/logging.hpp"
+#include "common/reuse.hpp"
 #include "common/strings.hpp"
 #include "core/typemap.hpp"
 #include "net/network.hpp"
@@ -10,22 +11,45 @@ namespace indiss::core {
 
 namespace {
 
-void emit_net_events(EventSink& sink, const MessageContext& ctx) {
-  sink.emit(Event(EventType::kNetType, {{"sdp", "slp"}}));
-  sink.emit(Event(ctx.multicast ? EventType::kNetMulticast
-                                : EventType::kNetUnicast));
-  sink.emit(Event(EventType::kNetSourceAddr,
-                  {{"addr", ctx.source.address.to_string()},
-                   {"port", std::to_string(ctx.source.port)},
-                   {"local", ctx.from_local_host ? "1" : "0"}}));
+void emit_net_events(EventSink& sink, const MessageContext& ctx,
+                     std::string_view sdp) {
+  Event net = sink.scratch(EventType::kNetType);
+  net.set("sdp", sdp);
+  sink.emit(std::move(net));
+  sink.emit(sink.scratch(ctx.multicast ? EventType::kNetMulticast
+                                       : EventType::kNetUnicast));
+  Event src = sink.scratch(EventType::kNetSourceAddr);
+  src.set("addr", ctx.source.address.to_string());
+  src.set("port", std::to_string(ctx.source.port));
+  src.set("local", ctx.from_local_host ? "1" : "0");
+  sink.emit(std::move(src));
 }
 
-void emit_attrs(EventSink& sink, const slp::AttributeList& attrs) {
-  for (const auto& [k, v] : attrs.pairs()) {
-    sink.emit(Event(EventType::kServiceAttr, {{"key", k}, {"value", v}}));
-  }
-  for (const auto& k : attrs.keywords()) {
-    sink.emit(Event(EventType::kServiceAttr, {{"key", k}, {"value", ""}}));
+void emit_attrs(EventSink& sink, std::string_view attr_list) {
+  slp::for_each_attribute(attr_list,
+                          [&](std::string_view k, std::string_view v) {
+                            Event attr = sink.scratch(EventType::kServiceAttr);
+                            attr.set("key", k);
+                            attr.set("value", v);
+                            sink.emit(std::move(attr));
+                          });
+}
+
+void emit_url_entry(EventSink& sink, const slp::UrlEntry& entry,
+                    bool with_type) {
+  auto parsed = slp::parse_service_url_view(entry.url);
+  Event url = sink.scratch(EventType::kResServUrl);
+  url.set("url", parsed ? parsed->access : std::string_view(entry.url));
+  url.set("native", entry.url);
+  sink.emit(std::move(url));
+  Event ttl = sink.scratch(EventType::kResTtl);
+  ttl.set("seconds", std::to_string(entry.lifetime_seconds));
+  sink.emit(std::move(ttl));
+  if (with_type && parsed) {
+    Event type = sink.scratch(EventType::kServiceTypeIs);
+    type.set("type", canonical_from_slp_view(parsed->type_full));
+    type.set("native", parsed->type_full);
+    sink.emit(std::move(type));
   }
 }
 
@@ -33,19 +57,25 @@ void emit_attrs(EventSink& sink, const slp::AttributeList& attrs) {
 
 void SlpEventParser::parse(BytesView raw, const MessageContext& ctx,
                            EventSink& sink) {
-  if (!ctx.continuation) sink.emit(Event(EventType::kControlStart));
+  if (!ctx.continuation) sink.emit(sink.scratch(EventType::kControlStart));
 
-  std::string error;
-  auto message = slp::decode(raw, &error);
-  if (!message.has_value()) {
-    sink.emit(Event(EventType::kResErr, {{"code", "parse"}, {"detail", error}}));
-    sink.emit(Event(EventType::kControlStop));
+  if (!slp::decode_into(raw, scratch_, &error_)) {
+    Event err = sink.scratch(EventType::kResErr);
+    err.set("code", "parse");
+    err.set("detail", error_);
+    sink.emit(std::move(err));
+    sink.emit(sink.scratch(EventType::kControlStop));
     return;
   }
+  const slp::Message& message = scratch_;
 
-  emit_net_events(sink, ctx);
-  const auto& header = slp::header_of(*message);
-  sink.emit(Event(EventType::kReqLang, {{"lang", header.language}}));
+  emit_net_events(sink, ctx, "slp");
+  const auto& header = slp::header_of(message);
+  {
+    Event lang = sink.scratch(EventType::kReqLang);
+    lang.set("lang", header.language);
+    sink.emit(std::move(lang));
+  }
 
   std::visit(
       [&](const auto& m) {
@@ -53,76 +83,123 @@ void SlpEventParser::parse(BytesView raw, const MessageContext& ctx,
         if constexpr (std::is_same_v<T, slp::SrvRqst>) {
           // The previous-responder list doubles as the bridge stamp (SLP's
           // native loop-prevention slot); see standard_fsm's bridge guard.
-          sink.emit(Event(EventType::kServiceRequest,
-                          {{"server", m.previous_responders}}));
+          Event head = sink.scratch(EventType::kServiceRequest);
+          head.set("server", m.previous_responders);
+          sink.emit(std::move(head));
           // SLP-specific events; foreign composers discard them (paper §2.4).
-          sink.emit(Event(EventType::kSlpReqVersion, {{"version", "2"}}));
-          sink.emit(Event(EventType::kSlpReqScope, {{"scopes", m.scope_list}}));
-          sink.emit(
-              Event(EventType::kSlpReqPredicate, {{"predicate", m.predicate}}));
-          sink.emit(Event(EventType::kSlpReqId,
-                          {{"xid", std::to_string(m.header.xid)}}));
-          sink.emit(Event(EventType::kServiceTypeIs,
-                          {{"type", canonical_from_slp(m.service_type)},
-                           {"native", m.service_type}}));
+          Event version = sink.scratch(EventType::kSlpReqVersion);
+          version.set("version", "2");
+          sink.emit(std::move(version));
+          Event scope = sink.scratch(EventType::kSlpReqScope);
+          scope.set("scopes", m.scope_list);
+          sink.emit(std::move(scope));
+          Event predicate = sink.scratch(EventType::kSlpReqPredicate);
+          predicate.set("predicate", m.predicate);
+          sink.emit(std::move(predicate));
+          Event xid = sink.scratch(EventType::kSlpReqId);
+          xid.set("xid", std::to_string(m.header.xid));
+          sink.emit(std::move(xid));
+          Event type = sink.scratch(EventType::kServiceTypeIs);
+          type.set("type", canonical_from_slp_view(m.service_type));
+          type.set("native", m.service_type);
+          sink.emit(std::move(type));
         } else if constexpr (std::is_same_v<T, slp::SrvRply>) {
-          sink.emit(Event(EventType::kServiceResponse));
-          sink.emit(Event(EventType::kSlpReqId,
-                          {{"xid", std::to_string(m.header.xid)}}));
+          sink.emit(sink.scratch(EventType::kServiceResponse));
+          Event xid = sink.scratch(EventType::kSlpReqId);
+          xid.set("xid", std::to_string(m.header.xid));
+          sink.emit(std::move(xid));
           if (m.error == slp::ErrorCode::kOk) {
-            sink.emit(Event(EventType::kResOk));
+            sink.emit(sink.scratch(EventType::kResOk));
           } else {
-            sink.emit(Event(
-                EventType::kResErr,
-                {{"code", std::to_string(static_cast<int>(m.error))}}));
+            Event err = sink.scratch(EventType::kResErr);
+            err.set("code", std::to_string(static_cast<int>(m.error)));
+            sink.emit(std::move(err));
           }
           for (const auto& entry : m.url_entries) {
-            auto parsed = slp::ServiceUrl::parse(entry.url);
-            sink.emit(Event(EventType::kResServUrl,
-                            {{"url", parsed ? parsed->access : entry.url},
-                             {"native", entry.url}}));
-            sink.emit(Event(EventType::kResTtl,
-                            {{"seconds",
-                              std::to_string(entry.lifetime_seconds)}}));
-            if (parsed) {
-              sink.emit(
-                  Event(EventType::kServiceTypeIs,
-                        {{"type", canonical_from_slp(parsed->type.full())},
-                         {"native", parsed->type.full()}}));
-            }
+            emit_url_entry(sink, entry, /*with_type=*/true);
           }
         } else if constexpr (std::is_same_v<T, slp::SrvReg>) {
-          sink.emit(Event(EventType::kRegRegister));
-          sink.emit(Event(EventType::kServiceTypeIs,
-                          {{"type", canonical_from_slp(m.service_type)},
-                           {"native", m.service_type}}));
-          auto parsed = slp::ServiceUrl::parse(m.url_entry.url);
-          sink.emit(Event(EventType::kResServUrl,
-                          {{"url", parsed ? parsed->access : m.url_entry.url},
-                           {"native", m.url_entry.url}}));
-          sink.emit(Event(
-              EventType::kResTtl,
-              {{"seconds", std::to_string(m.url_entry.lifetime_seconds)}}));
-          emit_attrs(sink, slp::AttributeList::parse(m.attr_list));
+          sink.emit(sink.scratch(EventType::kRegRegister));
+          Event type = sink.scratch(EventType::kServiceTypeIs);
+          type.set("type", canonical_from_slp_view(m.service_type));
+          type.set("native", m.service_type);
+          sink.emit(std::move(type));
+          emit_url_entry(sink, m.url_entry, /*with_type=*/false);
+          emit_attrs(sink, m.attr_list);
         } else if constexpr (std::is_same_v<T, slp::SrvDeReg>) {
-          sink.emit(Event(EventType::kRegDeregister));
-          sink.emit(Event(EventType::kResServUrl, {{"url", m.url_entry.url}}));
+          sink.emit(sink.scratch(EventType::kRegDeregister));
+          // Withdrawal must match what the alive/registration stream carried:
+          // the parsed access URL, plus the type so peers can key their
+          // bookkeeping (standard_fsm treats a deregistration as a byebye).
+          auto parsed = slp::parse_service_url_view(m.url_entry.url);
+          Event url = sink.scratch(EventType::kResServUrl);
+          url.set("url",
+                  parsed ? parsed->access : std::string_view(m.url_entry.url));
+          url.set("native", m.url_entry.url);
+          sink.emit(std::move(url));
+          if (parsed) {
+            Event type = sink.scratch(EventType::kServiceTypeIs);
+            type.set("type", canonical_from_slp_view(parsed->type_full));
+            type.set("native", parsed->type_full);
+            sink.emit(std::move(type));
+          }
         } else if constexpr (std::is_same_v<T, slp::DAAdvert>) {
-          sink.emit(Event(EventType::kDiscRepositoryFound,
-                          {{"url", m.url},
-                           {"boot", std::to_string(m.boot_timestamp)}}));
+          Event repo = sink.scratch(EventType::kDiscRepositoryFound);
+          repo.set("url", m.url);
+          repo.set("boot", std::to_string(m.boot_timestamp));
+          sink.emit(std::move(repo));
         } else if constexpr (std::is_same_v<T, slp::AttrRply>) {
-          sink.emit(Event(EventType::kServiceResponse));
-          emit_attrs(sink, slp::AttributeList::parse(m.attr_list));
+          sink.emit(sink.scratch(EventType::kServiceResponse));
+          emit_attrs(sink, m.attr_list);
         } else {
           // SrvAck, AttrRqst, SrvTypeRqst/Rply: surfaced as plain events so
           // listeners can trace them; no dedicated translation.
-          sink.emit(Event(EventType::kResOk));
+          sink.emit(sink.scratch(EventType::kResOk));
         }
       },
-      *message);
+      message);
 
-  sink.emit(Event(EventType::kControlStop));
+  sink.emit(sink.scratch(EventType::kControlStop));
+}
+
+// ---------------------------------------------------------------------------
+// compose_slp_reply
+// ---------------------------------------------------------------------------
+
+std::size_t compose_slp_reply(const EventStream& stream, std::string_view type,
+                              std::uint16_t xid, std::uint16_t lifetime,
+                              bool attrs_in_url, slp::SrvRply& out,
+                              std::string& attr_scratch) {
+  out.header = slp::Header{slp::FunctionId::kSrvRply};
+  out.header.xid = xid;
+  out.error = slp::ErrorCode::kOk;
+
+  attr_scratch.clear();
+  if (attrs_in_url) {
+    for (const auto& event : stream) {
+      if (event.type != EventType::kServiceAttr) continue;
+      attr_scratch += ";";
+      attr_scratch += event.get("key");
+      attr_scratch += ":\"";
+      attr_scratch += event.get("value");
+      attr_scratch += "\"";
+    }
+  }
+
+  std::size_t count = 0;
+  for (const auto& event : stream) {
+    if (event.type != EventType::kResServUrl) continue;
+    slp::UrlEntry& entry = slot(out.url_entries, count++);
+    entry.lifetime_seconds = lifetime;
+    entry.url.clear();
+    entry.url += "service:";
+    entry.url += type;
+    entry.url += ":";
+    entry.url += event.get("url");
+    entry.url += attr_scratch;
+  }
+  out.url_entries.resize(count);
+  return count;
 }
 
 // ---------------------------------------------------------------------------
@@ -148,11 +225,6 @@ SlpUnit::SlpUnit(net::Host& host, Config config)
 SlpUnit::~SlpUnit() {
   if (reply_socket_) reply_socket_->close();
   for (auto& [id, socket] : client_sockets_) socket->close();
-}
-
-void SlpUnit::send_from_reply_socket(const slp::Message& message,
-                                     const net::Endpoint& to) {
-  reply_socket_->send_to(to, slp::encode(message));
 }
 
 // The composer acting as an SLP client on behalf of a foreign request: send
@@ -188,37 +260,22 @@ void SlpUnit::compose_native_request(Session& session) {
 
 // The composer answering a native SLP client from a translated reply stream:
 // assemble the SrvRply the paper's Fig 4 shows, attributes folded into the
-// URL.
+// URL. The reply is built into slot-reused scratch and encoded into a reused
+// writer, so a warm composer performs no heap allocation before the send.
 void SlpUnit::compose_native_reply(Session& session) {
-  slp::SrvRply reply;
-  reply.header.xid = static_cast<std::uint16_t>(
+  auto xid = static_cast<std::uint16_t>(
       str::parse_long(session.var("xid", "0"), 0));
-
-  std::string type(session.var("service_type", "service"));
-  std::string attr_suffix;
-  if (config_.attrs_in_url) {
-    for (const auto& event : session.collected) {
-      if (event.type == EventType::kServiceAttr) {
-        attr_suffix += ";";
-        attr_suffix += event.get("key");
-        attr_suffix += ":\"";
-        attr_suffix += event.get("value");
-        attr_suffix += "\"";
-      }
-    }
-  }
   std::uint16_t lifetime = config_.reply_lifetime_seconds;
   if (session.has_var("ttl")) {
     lifetime = static_cast<std::uint16_t>(
         str::parse_long(session.var("ttl"), lifetime));
   }
-  for (const auto& event : session.collected) {
-    if (event.type != EventType::kResServUrl) continue;
-    std::string access(event.get("url"));
-    std::string url = "service:" + type + ":" + access + attr_suffix;
-    reply.url_entries.push_back(slp::UrlEntry{lifetime, url});
+  auto& reply = std::get<slp::SrvRply>(compose_scratch_);
+  if (compose_slp_reply(session.collected,
+                        session.var("service_type", "service"), xid, lifetime,
+                        config_.attrs_in_url, reply, attr_scratch_) == 0) {
+    return;  // nothing found: stay silent
   }
-  if (reply.url_entries.empty()) return;  // nothing found: stay silent
 
   auto addr = net::IpAddress::parse(session.var("src_addr"));
   if (!addr.has_value()) {
@@ -227,8 +284,9 @@ void SlpUnit::compose_native_reply(Session& session) {
   }
   auto port = static_cast<std::uint16_t>(
       str::parse_long(session.var("src_port", "0"), 0));
-  send_from_reply_socket(slp::Message(std::move(reply)),
-                         net::Endpoint{*addr, port});
+  BytesView wire = slp::encode_into(compose_scratch_, writer_);
+  reply_socket_->send_to(net::Endpoint{*addr, port},
+                         Bytes(wire.begin(), wire.end()));
 }
 
 void SlpUnit::on_advertisement(Session& session) {
@@ -242,6 +300,8 @@ void SlpUnit::on_advertisement(Session& session) {
       service.url = event.get("url");
     } else if (event.type == EventType::kUpnpDeviceUrlDesc) {
       desc_url = event.get("url");
+    } else if (event.type == EventType::kUpnpUsn) {
+      service.usn = event.get("usn");
     } else if (event.type == EventType::kServiceAttr) {
       service.attributes.emplace_back(event.get("key"), event.get("value"));
     }
@@ -249,6 +309,17 @@ void SlpUnit::on_advertisement(Session& session) {
   // UPnP NOTIFYs only carry the description LOCATION; it still identifies
   // the service well enough to remember.
   if (service.url.empty()) service.url = desc_url;
+
+  if (session.var("kind") == "byebye") {
+    // Withdrawal: forget the service, matching by URL when the byebye names
+    // one (SLP SrvDeReg, mDNS goodbye) or by USN (UPnP byebye).
+    std::erase_if(foreign_services_, [&](const ForeignService& s) {
+      return (!service.url.empty() && s.url == service.url) ||
+             (!service.usn.empty() && s.usn == service.usn);
+    });
+    return;
+  }
+
   if (service.url.empty()) return;
   if (!meaningful_advert_type(service.canonical_type)) return;
   for (auto& existing : foreign_services_) {

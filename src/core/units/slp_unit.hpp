@@ -19,17 +19,39 @@ namespace indiss::core {
 /// Translates SLP wire messages into semantic event streams. Emits the
 /// mandatory events plus the SLP-specific SDP_REQ_VERSION / SDP_REQ_SCOPE /
 /// SDP_REQ_PREDICATE / SDP_REQ_ID from the paper's Fig 4.
+///
+/// Follows the scratch recipe (docs/events.md): the wire message decodes
+/// into a reused member scratch and every event comes from sink.scratch(),
+/// so a warm parser performs zero heap allocations per message.
 class SlpEventParser : public SdpParser {
  public:
   [[nodiscard]] std::string_view name() const override { return "slp"; }
   void parse(BytesView raw, const MessageContext& ctx,
              EventSink& sink) override;
+
+ private:
+  slp::Message scratch_;
+  std::string error_;
 };
+
+/// Builds the Fig-4 SrvRply from a translated reply stream the way
+/// SlpUnit::compose_native_reply sends it: one URL entry per
+/// SDP_RES_SERV_URL, attributes folded into the URL after ';' when
+/// `attrs_in_url`. Reuses the caller's storage (slot-reused URL entries,
+/// scratch attribute-suffix string) so a warm composer allocates nothing.
+/// Returns the number of URL entries composed (0 = stay silent).
+std::size_t compose_slp_reply(const EventStream& stream, std::string_view type,
+                              std::uint16_t xid, std::uint16_t lifetime,
+                              bool attrs_in_url, slp::SrvRply& out,
+                              std::string& attr_scratch);
 
 /// A foreign service the unit learned about from peer advertisements.
 struct ForeignService {
   std::string canonical_type;
   std::string url;
+  /// Origin identity when the advertisement carried one (UPnP USN) — the
+  /// withdrawal key for byebyes that name no URL.
+  std::string usn;
   std::vector<std::pair<std::string, std::string>> attributes;
 };
 
@@ -61,14 +83,15 @@ class SlpUnit : public Unit {
   void on_session_complete(Session& session) override;
 
  private:
-  void send_from_reply_socket(const slp::Message& message,
-                              const net::Endpoint& to);
-
   Config config_;
   std::shared_ptr<net::UdpSocket> reply_socket_;
   std::map<std::uint64_t, std::shared_ptr<net::UdpSocket>> client_sockets_;
   std::vector<ForeignService> foreign_services_;
   std::uint16_t next_xid_ = 0x4000;  // distinct from native agents' ranges
+  // Compose-side scratch (slot-reused across replies; docs/events.md).
+  slp::Message compose_scratch_ = slp::SrvRply{};
+  std::string attr_scratch_;
+  ByteWriter writer_;
 };
 
 }  // namespace indiss::core

@@ -60,6 +60,10 @@ void build_standard_fsm(StateMachine& fsm, StandardFsmOptions options) {
                 {Unit::set("kind", "bridge_echo")});
   fsm.add_tuple("parsing", ET::kRegRegister, any(), "parsing",
                 {Unit::set("kind", "register")});
+  // A deregistration is the repository-SDP spelling of a byebye (SLP
+  // SrvDeReg): it rides the same withdrawal-propagation path.
+  fsm.add_tuple("parsing", ET::kRegDeregister, any(), "parsing",
+                {Unit::set("kind", "byebye")});
   fsm.add_tuple("parsing", ET::kServiceTypeIs, any(), "parsing",
                 {Unit::record("service_type", "type")});
 
@@ -98,6 +102,8 @@ void build_standard_fsm(StateMachine& fsm, StandardFsmOptions options) {
                 {Unit::set("kind", "byebye")});
   fsm.add_tuple("composing", ET::kRegRegister, any(), "composing",
                 {Unit::set("kind", "register")});
+  fsm.add_tuple("composing", ET::kRegDeregister, any(), "composing",
+                {Unit::set("kind", "byebye")});
   fsm.add_tuple("composing", ET::kServiceTypeIs, any(), "composing",
                 {Unit::record("service_type", "type")});
   fsm.add_tuple("composing", ET::kControlStop, kind_is("request"),

@@ -17,13 +17,23 @@ namespace {
 constexpr std::string_view kBridgeServer = "INDISS-bridge/1.0 UPnP/1.0";
 
 void emit_net_events(EventSink& sink, const MessageContext& ctx) {
-  sink.emit(Event(EventType::kNetType, {{"sdp", "upnp"}}));
-  sink.emit(Event(ctx.multicast ? EventType::kNetMulticast
-                                : EventType::kNetUnicast));
-  sink.emit(Event(EventType::kNetSourceAddr,
-                  {{"addr", ctx.source.address.to_string()},
-                   {"port", std::to_string(ctx.source.port)},
-                   {"local", ctx.from_local_host ? "1" : "0"}}));
+  Event net = sink.scratch(EventType::kNetType);
+  net.set("sdp", "upnp");
+  sink.emit(std::move(net));
+  sink.emit(sink.scratch(ctx.multicast ? EventType::kNetMulticast
+                                       : EventType::kNetUnicast));
+  Event src = sink.scratch(EventType::kNetSourceAddr);
+  src.set("addr", ctx.source.address.to_string());
+  src.set("port", std::to_string(ctx.source.port));
+  src.set("local", ctx.from_local_host ? "1" : "0");
+  sink.emit(std::move(src));
+}
+
+void emit_error(EventSink& sink, std::string_view code) {
+  Event err = sink.scratch(EventType::kResErr);
+  err.set("code", code);
+  sink.emit(std::move(err));
+  sink.emit(sink.scratch(EventType::kControlStop));
 }
 
 }  // namespace
@@ -32,91 +42,168 @@ void emit_net_events(EventSink& sink, const MessageContext& ctx) {
 // SsdpEventParser
 // ---------------------------------------------------------------------------
 
+void SsdpEventParser::on_request_line(std::string_view method, std::string_view,
+                                      std::string_view) {
+  method_.assign(method);
+  is_response_ = false;
+}
+
+void SsdpEventParser::on_status_line(int status, std::string_view,
+                                     std::string_view) {
+  status_ = status;
+  is_response_ = true;
+}
+
+void SsdpEventParser::on_header(std::string_view name, std::string_view value) {
+  if (str::iequals(name, "ST")) {
+    st_.assign(value);
+    has_st_ = true;
+  } else if (str::iequals(name, "NT")) {
+    nt_.assign(value);
+    has_nt_ = true;
+  } else if (str::iequals(name, "NTS")) {
+    nts_.assign(value);
+    has_nts_ = true;
+  } else if (str::iequals(name, "USN")) {
+    usn_.assign(value);
+    has_usn_ = true;
+  } else if (str::iequals(name, "LOCATION")) {
+    location_.assign(value);
+  } else if (str::iequals(name, "SERVER")) {
+    server_.assign(value);
+  } else if (str::iequals(name, "USER-AGENT")) {
+    user_agent_.assign(value);
+  } else if (str::iequals(name, "CACHE-CONTROL")) {
+    auto eq = value.find('=');
+    if (eq != std::string_view::npos) {
+      max_age_ =
+          static_cast<int>(str::parse_long(value.substr(eq + 1), 1800));
+    }
+  }
+}
+
+void SsdpEventParser::on_body(std::string_view chunk) { body_.append(chunk); }
+
+void SsdpEventParser::on_message_complete() { complete_ = true; }
+
+void SsdpEventParser::on_parse_error(std::string_view) {}
+
+void SsdpEventParser::reset_fields() {
+  method_.clear();
+  st_.clear();
+  nt_.clear();
+  nts_.clear();
+  usn_.clear();
+  location_.clear();
+  server_.clear();
+  user_agent_.clear();
+  body_.clear();
+  status_ = 0;
+  max_age_ = 1800;
+  is_response_ = false;
+  has_st_ = has_nt_ = has_nts_ = has_usn_ = false;
+  complete_ = false;
+}
+
 void SsdpEventParser::parse(BytesView raw, const MessageContext& ctx,
                             EventSink& sink) {
-  if (!ctx.continuation) sink.emit(Event(EventType::kControlStart));
+  if (!ctx.continuation) sink.emit(sink.scratch(EventType::kControlStart));
 
-  auto text = to_string(raw);
-  auto http = http::HttpMessage::parse(text);
-  if (!http.has_value()) {
-    sink.emit(Event(EventType::kResErr, {{"code", "parse"}}));
-    sink.emit(Event(EventType::kControlStop));
+  // One HTTPU datagram carries one message: run it through the incremental
+  // parser and classify from the collected fields.
+  reset_fields();
+  http_.reset();
+  http_.feed(raw);
+  http_.finish();
+  if (http_.failed() || !complete_) {
+    emit_error(sink, "parse");
     return;
   }
 
   // HTTP description responses (from the unit's own GET): hand the XML body
   // to the description parser — the paper's SDP_C_PARSER_SWITCH moment.
-  if (!http->is_request() && !http->headers.contains("ST") &&
-      !http->headers.contains("NT")) {
+  if (is_response_ && !has_st_ && !has_nt_) {
     emit_net_events(sink, ctx);
-    if (http->status == 200) {
-      sink.emit(Event(EventType::kResOk));
-      sink.emit(Event(EventType::kControlParserSwitch,
-                      {{"parser", "upnp-xml"}, {"payload", http->body}}));
+    if (status_ == 200) {
+      sink.emit(sink.scratch(EventType::kResOk));
+      Event sw = sink.scratch(EventType::kControlParserSwitch);
+      sw.set("parser", "upnp-xml");
+      sw.set("payload", body_);
+      sink.emit(std::move(sw));
       // The description parser continues the stream and emits SDP_C_STOP.
       return;
     }
-    sink.emit(
-        Event(EventType::kResErr, {{"code", std::to_string(http->status)}}));
-    sink.emit(Event(EventType::kControlStop));
+    emit_error(sink, std::to_string(status_));
     return;
   }
 
-  auto message = upnp::parse_ssdp(raw);
-  if (!message.has_value()) {
-    sink.emit(Event(EventType::kResErr, {{"code", "ssdp-parse"}}));
-    sink.emit(Event(EventType::kControlStop));
+  if (!is_response_ && str::iequals(method_, "M-SEARCH") && has_st_) {
+    emit_net_events(sink, ctx);
+    // USER-AGENT rides on the head event so the FSM's bridge-echo guard can
+    // drop searches composed by a peer INDISS node.
+    Event head = sink.scratch(EventType::kServiceRequest);
+    head.set("server", user_agent_);
+    sink.emit(std::move(head));
+    Event target = sink.scratch(EventType::kUpnpSearchTarget);
+    target.set("st", st_);
+    sink.emit(std::move(target));
+    Event type = sink.scratch(EventType::kServiceTypeIs);
+    type.set("type", canonical_from_upnp_view(st_));
+    type.set("native", st_);
+    sink.emit(std::move(type));
+  } else if (is_response_ && status_ == 200 && has_st_ && has_usn_) {
+    emit_net_events(sink, ctx);
+    sink.emit(sink.scratch(EventType::kServiceResponse));
+    sink.emit(sink.scratch(EventType::kResOk));
+    Event usn = sink.scratch(EventType::kUpnpUsn);
+    usn.set("usn", usn_);
+    sink.emit(std::move(usn));
+    Event server = sink.scratch(EventType::kUpnpServerHeader);
+    server.set("server", server_);
+    sink.emit(std::move(server));
+    Event type = sink.scratch(EventType::kServiceTypeIs);
+    type.set("type", canonical_from_upnp_view(st_));
+    type.set("native", st_);
+    sink.emit(std::move(type));
+    Event ttl = sink.scratch(EventType::kResTtl);
+    ttl.set("seconds", std::to_string(max_age_));
+    sink.emit(std::move(ttl));
+    // Note: no SDP_RES_SERV_URL — a UPnP search response only carries the
+    // description LOCATION; the FSM must chase it (paper §2.4).
+    Event desc = sink.scratch(EventType::kUpnpDeviceUrlDesc);
+    desc.set("url", location_);
+    sink.emit(std::move(desc));
+  } else if (!is_response_ && str::iequals(method_, "NOTIFY") && has_nt_ &&
+             has_nts_ && has_usn_ &&
+             (str::iequals(nts_, "ssdp:alive") ||
+              str::iequals(nts_, "ssdp:byebye"))) {
+    emit_net_events(sink, ctx);
+    bool alive = str::iequals(nts_, "ssdp:alive");
+    Event head = sink.scratch(alive ? EventType::kServiceAlive
+                                    : EventType::kServiceByeBye);
+    head.set("server", server_);
+    sink.emit(std::move(head));
+    Event usn = sink.scratch(EventType::kUpnpUsn);
+    usn.set("usn", usn_);
+    sink.emit(std::move(usn));
+    Event type = sink.scratch(EventType::kServiceTypeIs);
+    type.set("type", canonical_from_upnp_view(nt_));
+    type.set("native", nt_);
+    sink.emit(std::move(type));
+    if (!location_.empty()) {
+      Event desc = sink.scratch(EventType::kUpnpDeviceUrlDesc);
+      desc.set("url", location_);
+      sink.emit(std::move(desc));
+    }
+    Event ttl = sink.scratch(EventType::kResTtl);
+    ttl.set("seconds", std::to_string(max_age_));
+    sink.emit(std::move(ttl));
+  } else {
+    emit_error(sink, "ssdp-parse");
     return;
   }
-  emit_net_events(sink, ctx);
 
-  std::visit(
-      [&](const auto& m) {
-        using T = std::decay_t<decltype(m)>;
-        if constexpr (std::is_same_v<T, upnp::SearchRequest>) {
-          // USER-AGENT rides on the head event so the FSM's bridge-echo
-          // guard can drop searches composed by a peer INDISS node.
-          sink.emit(Event(EventType::kServiceRequest,
-                          {{"server", m.user_agent}}));
-          sink.emit(Event(EventType::kUpnpSearchTarget, {{"st", m.st}}));
-          sink.emit(Event(EventType::kServiceTypeIs,
-                          {{"type", canonical_from_upnp(m.st)},
-                           {"native", m.st}}));
-        } else if constexpr (std::is_same_v<T, upnp::SearchResponse>) {
-          sink.emit(Event(EventType::kServiceResponse));
-          sink.emit(Event(EventType::kResOk));
-          sink.emit(Event(EventType::kUpnpUsn, {{"usn", m.usn}}));
-          sink.emit(Event(EventType::kUpnpServerHeader, {{"server", m.server}}));
-          sink.emit(Event(EventType::kServiceTypeIs,
-                          {{"type", canonical_from_upnp(m.st)},
-                           {"native", m.st}}));
-          sink.emit(Event(EventType::kResTtl,
-                          {{"seconds", std::to_string(m.max_age_seconds)}}));
-          // Note: no SDP_RES_SERV_URL — a UPnP search response only carries
-          // the description LOCATION; the FSM must chase it (paper §2.4).
-          sink.emit(
-              Event(EventType::kUpnpDeviceUrlDesc, {{"url", m.location}}));
-        } else if constexpr (std::is_same_v<T, upnp::Notify>) {
-          Event head(m.kind == upnp::Notify::Kind::kAlive
-                         ? EventType::kServiceAlive
-                         : EventType::kServiceByeBye);
-          head.set("server", m.server);
-          sink.emit(head);
-          sink.emit(Event(EventType::kUpnpUsn, {{"usn", m.usn}}));
-          sink.emit(Event(EventType::kServiceTypeIs,
-                          {{"type", canonical_from_upnp(m.nt)},
-                           {"native", m.nt}}));
-          if (!m.location.empty()) {
-            sink.emit(
-                Event(EventType::kUpnpDeviceUrlDesc, {{"url", m.location}}));
-          }
-          sink.emit(Event(EventType::kResTtl,
-                          {{"seconds", std::to_string(m.max_age_seconds)}}));
-        }
-      },
-      *message);
-
-  sink.emit(Event(EventType::kControlStop));
+  sink.emit(sink.scratch(EventType::kControlStop));
 }
 
 // ---------------------------------------------------------------------------
@@ -258,8 +345,9 @@ void UpnpUnit::compose_native_request(Session& session) {
     });
   });
   client_sockets_[session.id] = socket;
+  request.serialize_into(ssdp_scratch_);
   socket->send_to(net::Endpoint{upnp::kSsdpMulticastGroup, config_.ssdp_port},
-                  to_bytes(request.to_http().serialize()));
+                  to_bytes(ssdp_scratch_));
 }
 
 // The recursive request of §2.4: GET the description document named by
@@ -374,8 +462,10 @@ void UpnpUnit::compose_native_reply(Session& session) {
       pacing = config_.search_response_pacing - elapsed;
     }
   }
-  scheduler().schedule(pacing, [this, response, to]() {
-    reply_socket_->send_to(to, to_bytes(response.to_http().serialize()));
+  response.serialize_into(ssdp_scratch_);
+  scheduler().schedule(pacing, [socket = reply_socket_, to,
+                                payload = to_bytes(ssdp_scratch_)]() {
+    if (!socket->closed()) socket->send_to(to, payload);
   });
 }
 
@@ -436,8 +526,13 @@ UpnpUnit::ServedDescription& UpnpUnit::serve_description(
 }
 
 // A peer advertised a foreign service: impersonate it so native UPnP control
-// points can find it, and (in active mode) announce it immediately.
+// points can find it, and (in active mode) announce it immediately. A peer
+// byebye retracts the impersonation with an ssdp:byebye NOTIFY.
 void UpnpUnit::on_advertisement(Session& session) {
+  if (session.var("kind") == "byebye") {
+    withdraw_foreign_service(session);
+    return;
+  }
   bool have_url = false;
   for (const auto& event : session.collected) {
     if (event.type == EventType::kResServUrl) have_url = true;
@@ -454,10 +549,41 @@ void UpnpUnit::on_advertisement(Session& session) {
                       std::to_string(http_server_->port()) + served.path;
     notify.server = std::string(kBridgeServer);
     notify.max_age_seconds = config_.notify_max_age;
-    reply_socket_->send_to(
-        net::Endpoint{upnp::kSsdpMulticastGroup, config_.ssdp_port},
-        to_bytes(notify.to_http().serialize()));
+    notify.serialize_into(ssdp_scratch_);
+    net::Endpoint to{upnp::kSsdpMulticastGroup, config_.ssdp_port};
+    reply_socket_->send_to(to, to_bytes(ssdp_scratch_));
+    cache_outbound_frame(
+        session, reply_socket_, to,
+        BytesView(reinterpret_cast<const std::uint8_t*>(ssdp_scratch_.data()),
+                  ssdp_scratch_.size()));
   }
+}
+
+// A peer withdrew a service this unit impersonates: multicast the
+// ssdp:byebye for the served device and stop serving it. (The HTTP route
+// stays registered — harmless, nothing advertises its LOCATION any more.)
+void UpnpUnit::withdraw_foreign_service(Session& session) {
+  std::string url;
+  for (const auto& event : session.collected) {
+    if (event.type == EventType::kResServUrl && url.empty()) {
+      url = event.get("url");
+    }
+  }
+  if (url.empty()) return;
+  std::string usn_key(session.var("service_type", "service"));
+  usn_key += "|";
+  usn_key += url;
+  auto it = served_descriptions_.find(usn_key);
+  if (it == served_descriptions_.end()) return;
+
+  upnp::Notify notify;
+  notify.kind = upnp::Notify::Kind::kByeBye;
+  notify.nt = it->second.description.device_type;
+  notify.usn = it->second.usn;
+  notify.serialize_into(ssdp_scratch_);
+  net::Endpoint to{upnp::kSsdpMulticastGroup, config_.ssdp_port};
+  reply_socket_->send_to(to, to_bytes(ssdp_scratch_));
+  served_descriptions_.erase(it);
 }
 
 void UpnpUnit::announce_foreign_services() {
@@ -471,9 +597,10 @@ void UpnpUnit::announce_foreign_services() {
                       std::to_string(http_server_->port()) + served.path;
     notify.server = std::string(kBridgeServer);
     notify.max_age_seconds = config_.notify_max_age;
+    notify.serialize_into(ssdp_scratch_);
     reply_socket_->send_to(
         net::Endpoint{upnp::kSsdpMulticastGroup, config_.ssdp_port},
-        to_bytes(notify.to_http().serialize()));
+        to_bytes(ssdp_scratch_));
   }
 }
 

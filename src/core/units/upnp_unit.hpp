@@ -14,6 +14,7 @@
 
 #include "core/unit.hpp"
 #include "core/units/standard_fsm.hpp"
+#include "http/parser.hpp"
 #include "net/udp.hpp"
 #include "upnp/description.hpp"
 #include "upnp/http_server.hpp"
@@ -24,11 +25,41 @@ namespace indiss::core {
 /// SSDP + HTTP parser. SSDP datagrams produce full event streams; HTTP
 /// description responses produce RES_OK followed by SDP_C_PARSER_SWITCH
 /// carrying the XML body for the description parser.
-class SsdpEventParser : public SdpParser {
+///
+/// Layered directly on the incremental HttpParser (the paper's event-based
+/// parsing reuse): syntactic header events land in reused member strings and
+/// the semantic SDP events come from sink.scratch(), so a warm parser
+/// performs zero heap allocations per SSDP datagram (the scratch recipe,
+/// docs/events.md).
+class SsdpEventParser : public SdpParser, private http::HttpEventHandler {
  public:
+  SsdpEventParser() : http_(*this) {}
   [[nodiscard]] std::string_view name() const override { return "ssdp"; }
   void parse(BytesView raw, const MessageContext& ctx,
              EventSink& sink) override;
+
+ private:
+  // HttpEventHandler: collect the fields SSDP classification needs into
+  // reused storage (views die with the callback).
+  void on_request_line(std::string_view method, std::string_view target,
+                       std::string_view version) override;
+  void on_status_line(int status, std::string_view reason,
+                      std::string_view version) override;
+  void on_header(std::string_view name, std::string_view value) override;
+  void on_body(std::string_view chunk) override;
+  void on_message_complete() override;
+  void on_parse_error(std::string_view reason) override;
+
+  void reset_fields();
+
+  http::HttpParser http_;
+  std::string method_;
+  std::string st_, nt_, nts_, usn_, location_, server_, user_agent_, body_;
+  int status_ = 0;
+  int max_age_ = 1800;
+  bool is_response_ = false;
+  bool has_st_ = false, has_nt_ = false, has_nts_ = false, has_usn_ = false;
+  bool complete_ = false;
 };
 
 /// UPnP description-document parser (the parser-switch target): walks the
@@ -93,6 +124,8 @@ class UpnpUnit : public Unit {
   /// Builds (or reuses) a served description for a translated reply stream /
   /// advertisement and returns its LOCATION URL + USN.
   ServedDescription& serve_description(const Session& session);
+  /// Peer byebye: multicast ssdp:byebye for the served device and drop it.
+  void withdraw_foreign_service(Session& session);
   void ensure_http_server();
   /// Rewrites session.collected into a clean, absolute reply stream before
   /// it is sent back to the origin unit (the finalize step of §2.4).
@@ -105,6 +138,9 @@ class UpnpUnit : public Unit {
   std::unique_ptr<upnp::HttpServer> http_server_;
   std::map<std::string, ServedDescription> served_descriptions_;  // by USN key
   std::uint64_t next_device_index_ = 1;
+  // Compose-side scratch: SSDP messages serialize into this reused buffer
+  // (docs/events.md scratch recipe) before the one unavoidable payload copy.
+  std::string ssdp_scratch_;
 };
 
 }  // namespace indiss::core

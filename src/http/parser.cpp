@@ -43,13 +43,16 @@ void HttpParser::feed(std::string_view bytes) {
       continue;
     }
 
-    // Line-oriented states. Tolerate bare LF as a line terminator.
+    // Line-oriented states. Tolerate bare LF as a line terminator. The line
+    // is processed as a view into buffer_ (no per-line string copy) and the
+    // consumed prefix erased afterwards; handler callbacks receive views that
+    // die with the call, which is the documented EventHandler contract.
     auto eol = buffer_.find('\n');
     if (eol == std::string::npos) return;  // need more data
-    std::string line = buffer_.substr(0, eol);
-    buffer_.erase(0, eol + 1);
-    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string_view line(buffer_.data(), eol);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     process_line(line);
+    buffer_.erase(0, eol + 1);
   }
 }
 

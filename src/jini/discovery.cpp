@@ -1,5 +1,7 @@
 #include "jini/discovery.hpp"
 
+#include "common/reuse.hpp"
+
 namespace indiss::jini {
 
 namespace {
@@ -9,62 +11,83 @@ void encode_string_list(ByteWriter& w, const std::vector<std::string>& list) {
   for (const auto& s : list) w.str16(s);
 }
 
-std::vector<std::string> decode_string_list(ByteReader& r) {
+void decode_string_list_into(ByteReader& r, std::vector<std::string>& out) {
   std::uint16_t count = r.u16();
-  std::vector<std::string> out;
-  out.reserve(count);
-  for (std::uint16_t i = 0; i < count; ++i) out.push_back(r.str16());
-  return out;
+  for (std::uint16_t i = 0; i < count; ++i) r.str16_into(slot(out, i));
+  out.resize(count);
 }
 
 }  // namespace
 
 Bytes MulticastRequest::encode() const {
   ByteWriter w;
+  encode_into(w);
+  return w.take();
+}
+
+BytesView MulticastRequest::encode_into(ByteWriter& w) const {
+  w.clear();
   w.u8(kPacketMulticastRequest);
   w.u16(response_port);
   encode_string_list(w, groups);
   encode_string_list(w, heard);
-  return w.take();
+  return w.bytes();
 }
 
 std::optional<MulticastRequest> MulticastRequest::decode(BytesView bytes) {
+  MulticastRequest out;
+  if (!decode_into(bytes, out)) return std::nullopt;
+  return out;
+}
+
+bool MulticastRequest::decode_into(BytesView bytes, MulticastRequest& scratch) {
   try {
     ByteReader r(bytes);
-    if (r.u8() != kPacketMulticastRequest) return std::nullopt;
-    MulticastRequest out;
-    out.response_port = r.u16();
-    out.groups = decode_string_list(r);
-    out.heard = decode_string_list(r);
-    return out;
+    if (r.u8() != kPacketMulticastRequest) return false;
+    scratch.response_port = r.u16();
+    decode_string_list_into(r, scratch.groups);
+    decode_string_list_into(r, scratch.heard);
+    return true;
   } catch (const DecodeError&) {
-    return std::nullopt;
+    return false;
   }
 }
 
 Bytes MulticastAnnouncement::encode() const {
   ByteWriter w;
+  encode_into(w);
+  return w.take();
+}
+
+BytesView MulticastAnnouncement::encode_into(ByteWriter& w) const {
+  w.clear();
   w.u8(kPacketMulticastAnnouncement);
   w.str16(registrar_host);
   w.u16(registrar_port);
   w.u64(registrar_id);
   encode_string_list(w, groups);
-  return w.take();
+  return w.bytes();
 }
 
 std::optional<MulticastAnnouncement> MulticastAnnouncement::decode(
     BytesView bytes) {
+  MulticastAnnouncement out;
+  if (!decode_into(bytes, out)) return std::nullopt;
+  return out;
+}
+
+bool MulticastAnnouncement::decode_into(BytesView bytes,
+                                        MulticastAnnouncement& scratch) {
   try {
     ByteReader r(bytes);
-    if (r.u8() != kPacketMulticastAnnouncement) return std::nullopt;
-    MulticastAnnouncement out;
-    out.registrar_host = r.str16();
-    out.registrar_port = r.u16();
-    out.registrar_id = r.u64();
-    out.groups = decode_string_list(r);
-    return out;
+    if (r.u8() != kPacketMulticastAnnouncement) return false;
+    r.str16_into(scratch.registrar_host);
+    scratch.registrar_port = r.u16();
+    scratch.registrar_id = r.u64();
+    decode_string_list_into(r, scratch.groups);
+    return true;
   } catch (const DecodeError&) {
-    return std::nullopt;
+    return false;
   }
 }
 

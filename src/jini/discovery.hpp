@@ -35,7 +35,13 @@ struct MulticastRequest {
   std::vector<std::string> heard;   // registrar hosts already heard from
 
   [[nodiscard]] Bytes encode() const;
+  /// Encodes into a caller-owned writer (cleared first, capacity kept).
+  /// Returns a view of the writer's buffer, valid until its next use.
+  BytesView encode_into(ByteWriter& writer) const;
   static std::optional<MulticastRequest> decode(BytesView bytes);
+  /// Decodes into caller-owned scratch, reusing string/vector storage — the
+  /// zero-steady-state-allocation recipe. False on malformed input.
+  static bool decode_into(BytesView bytes, MulticastRequest& scratch);
 };
 
 /// A registrar advertising itself (periodically, or in response to a
@@ -47,7 +53,11 @@ struct MulticastAnnouncement {
   std::vector<std::string> groups;
 
   [[nodiscard]] Bytes encode() const;
+  /// Encodes into a caller-owned writer (cleared first, capacity kept).
+  BytesView encode_into(ByteWriter& writer) const;
   static std::optional<MulticastAnnouncement> decode(BytesView bytes);
+  /// Decodes into caller-owned scratch, reusing string/vector storage.
+  static bool decode_into(BytesView bytes, MulticastAnnouncement& scratch);
 };
 
 /// First byte of a discovery datagram, or nullopt when empty/unknown.

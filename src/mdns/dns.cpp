@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.hpp"
+#include "common/reuse.hpp"
 
 namespace indiss::mdns {
 
@@ -15,15 +16,6 @@ constexpr std::size_t kMaxNameBytes = 255;
 bool fail(std::string* error, const char* what) {
   if (error != nullptr) *error = what;
   return false;
-}
-
-/// Grows `v` one slot at a time but never shrinks its capacity, so the i-th
-/// slot of a recycled message keeps the strings the previous occupant grew.
-template <typename T>
-T& slot(std::vector<T>& v, std::size_t i) {
-  if (i < v.size()) return v[i];
-  v.emplace_back();
-  return v.back();
 }
 
 std::uint16_t read_u16(BytesView w, std::size_t pos) {

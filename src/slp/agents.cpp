@@ -67,11 +67,19 @@ bool ServiceAgent::deregister_service(const std::string& url) {
   std::erase_if(registrations_,
                 [&](const ServiceRegistration& r) { return r.url == url; });
   bool removed = registrations_.size() != before;
-  if (removed && directory_agent_.has_value()) {
+  if (removed) {
     SrvDeReg dereg;
     dereg.header.xid = next_xid_++;
     dereg.url_entry = UrlEntry{0, url};
-    send(Message(dereg), *directory_agent_);
+    if (directory_agent_.has_value()) {
+      send(Message(dereg), *directory_agent_);
+    } else {
+      // DA-less deployments announce the withdrawal on the multicast group
+      // so interested listeners (notably an INDISS bridge) can retract the
+      // service — the SLP spelling of a byebye.
+      send(Message(dereg),
+           net::Endpoint{config_.multicast_group, config_.port});
+    }
   }
   return removed;
 }

@@ -56,6 +56,30 @@ std::optional<ServiceUrl> ServiceUrl::parse(std::string_view url) {
   return out;
 }
 
+std::optional<ServiceUrlView> parse_service_url_view(std::string_view url) {
+  auto trimmed = str::trim(url);
+  if (trimmed.empty()) return std::nullopt;
+  auto scheme_end = trimmed.find("://");
+  if (scheme_end == std::string_view::npos) return std::nullopt;
+  ServiceUrlView out;
+  out.type_full = trimmed.substr(0, scheme_end);
+  if (str::istarts_with(trimmed, "service:")) {
+    // service:<abstract>[:<concrete>]://<access>. With a concrete scheme the
+    // access URL starts at the scheme itself ("soap://..."), which is a
+    // contiguous suffix of the original text.
+    auto concrete_colon = out.type_full.rfind(':');
+    if (concrete_colon != std::string_view::npos && concrete_colon > 7) {
+      out.access = trimmed.substr(concrete_colon + 1);
+    } else {
+      out.access = trimmed.substr(scheme_end + 3);
+    }
+  } else {
+    // Plain URL such as http://host/: the whole text is the access URL.
+    out.access = trimmed;
+  }
+  return out;
+}
+
 AttributeList AttributeList::parse(std::string_view text) {
   AttributeList out;
   // Parenthesised pairs and bare keywords, comma separated:

@@ -10,6 +10,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/strings.hpp"
+
 namespace indiss::slp {
 
 /// A service type: abstract ("service:clock") possibly refined by a concrete
@@ -44,6 +46,52 @@ struct ServiceUrl {
 
   static std::optional<ServiceUrl> parse(std::string_view url);
 };
+
+/// Allocation-free split of a service URL: both views alias `url`, no case
+/// normalization (the hot-path parsers' variant of ServiceUrl::parse; wire
+/// URLs in the simulator are lowercase already).
+struct ServiceUrlView {
+  std::string_view type_full;  // "service:clock:soap" (or the plain scheme)
+  std::string_view access;     // "soap://128.93.8.112:4005/..."
+};
+[[nodiscard]] std::optional<ServiceUrlView> parse_service_url_view(
+    std::string_view url);
+
+/// Walks an attribute list "(a=1),(b=2 with spaces),keyword" as views into
+/// `text` — the zero-allocation twin of AttributeList::parse (without its
+/// duplicate-key folding). Keywords are reported with an empty value.
+template <typename F>
+void for_each_attribute(std::string_view text, F&& f) {
+  std::size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == ',') {
+      ++i;
+      continue;
+    }
+    if (c == '(') {
+      auto close = text.find(')', i);
+      if (close == std::string_view::npos) break;  // malformed tail: stop
+      std::string_view inner = text.substr(i + 1, close - i - 1);
+      auto eq = inner.find('=');
+      if (eq == std::string_view::npos) {
+        f(str::trim(inner), std::string_view{});
+      } else {
+        f(str::trim(inner.substr(0, eq)), str::trim(inner.substr(eq + 1)));
+      }
+      i = close + 1;
+    } else {
+      auto comma = text.find(',', i);
+      std::string_view word = comma == std::string_view::npos
+                                  ? text.substr(i)
+                                  : text.substr(i, comma - i);
+      if (auto keyword = str::trim(word); !keyword.empty()) {
+        f(keyword, std::string_view{});
+      }
+      i = comma == std::string_view::npos ? text.size() : comma + 1;
+    }
+  }
+}
 
 /// Attribute list: "(a=1),(b=2),keyword". Order-preserving.
 class AttributeList {

@@ -2,12 +2,22 @@
 
 #include <stdexcept>
 
+#include "common/reuse.hpp"
+
 namespace indiss::slp {
 
 namespace {
 
 constexpr std::uint8_t kVersion = 2;
 constexpr std::size_t kLengthOffset = 2;  // version(1) + function(1)
+
+/// Reuses the scratch message's current alternative when it matches (string
+/// capacity survives); switches the variant otherwise.
+template <typename T>
+T& as_alternative(Message& message) {
+  if (auto* held = std::get_if<T>(&message)) return *held;
+  return message.emplace<T>();
+}
 
 void encode_header(ByteWriter& w, const Header& h, FunctionId function) {
   w.u8(kVersion);
@@ -19,8 +29,8 @@ void encode_header(ByteWriter& w, const Header& h, FunctionId function) {
   w.str16(h.language);
 }
 
-Header decode_header(ByteReader& r, FunctionId* function,
-                     std::uint32_t* length) {
+void decode_header_into(ByteReader& r, Header& h, FunctionId* function,
+                        std::uint32_t* length) {
   std::uint8_t version = r.u8();
   if (version != kVersion) {
     throw DecodeError("unsupported SLP version " + std::to_string(version));
@@ -31,13 +41,11 @@ Header decode_header(ByteReader& r, FunctionId* function,
   }
   *function = static_cast<FunctionId>(fn);
   *length = r.u24();
-  Header h;
   h.function = *function;
   h.flags = r.u16();
   (void)r.u24();  // next extension offset, ignored
   h.xid = r.u16();
-  h.language = r.str16();
-  return h;
+  r.str16_into(h.language);
 }
 
 void encode_url_entry(ByteWriter& w, const UrlEntry& entry) {
@@ -47,14 +55,12 @@ void encode_url_entry(ByteWriter& w, const UrlEntry& entry) {
   w.u8(0);  // number of auth blocks
 }
 
-UrlEntry decode_url_entry(ByteReader& r) {
+void decode_url_entry_into(ByteReader& r, UrlEntry& e) {
   (void)r.u8();  // reserved
-  UrlEntry e;
   e.lifetime_seconds = r.u16();
-  e.url = r.str16();
+  r.str16_into(e.url);
   std::uint8_t auths = r.u8();
   if (auths != 0) throw DecodeError("auth blocks not supported");
-  return e;
 }
 
 }  // namespace
@@ -74,6 +80,12 @@ Header& header_of(Message& message) {
 
 Bytes encode(const Message& message) {
   ByteWriter w;
+  encode_into(message, w);
+  return w.take();
+}
+
+BytesView encode_into(const Message& message, ByteWriter& w) {
+  w.clear();
   w.reserve(128);  // covers every fixture message; one growth for big replies
   std::visit(
       [&w](const auto& m) {
@@ -139,116 +151,127 @@ Bytes encode(const Message& message) {
       },
       message);
   w.patch_u24(kLengthOffset, static_cast<std::uint32_t>(w.size()));
-  return w.take();
+  return w.bytes();
 }
 
 std::optional<Message> decode(BytesView bytes, std::string* error) {
+  Message message;
+  if (!decode_into(bytes, message, error)) return std::nullopt;
+  return message;
+}
+
+bool decode_into(BytesView bytes, Message& scratch, std::string* error) {
   try {
     ByteReader r(bytes);
     FunctionId function;
     std::uint32_t length = 0;
-    Header h = decode_header(r, &function, &length);
+    Header h;
+    decode_header_into(r, h, &function, &length);
     if (length != bytes.size()) {
       throw DecodeError("length field " + std::to_string(length) +
                         " does not match datagram size " +
                         std::to_string(bytes.size()));
     }
+    // Every branch assigns all fields of its alternative, so whatever a
+    // recycled scratch slot held before is fully overwritten. The header
+    // language string moves into place (h is a fresh local, so its capacity
+    // was grown this parse; acceptable because the header is tiny).
     switch (function) {
       case FunctionId::kSrvRqst: {
-        SrvRqst m;
-        m.header = h;
-        m.previous_responders = r.str16();
-        m.service_type = r.str16();
-        m.scope_list = r.str16();
-        m.predicate = r.str16();
-        m.spi = r.str16();
-        return Message(std::move(m));
+        auto& m = as_alternative<SrvRqst>(scratch);
+        m.header = std::move(h);
+        r.str16_into(m.previous_responders);
+        r.str16_into(m.service_type);
+        r.str16_into(m.scope_list);
+        r.str16_into(m.predicate);
+        r.str16_into(m.spi);
+        return true;
       }
       case FunctionId::kSrvRply: {
-        SrvRply m;
-        m.header = h;
+        auto& m = as_alternative<SrvRply>(scratch);
+        m.header = std::move(h);
         m.error = static_cast<ErrorCode>(r.u16());
         std::uint16_t count = r.u16();
-        m.url_entries.reserve(count);
         for (std::uint16_t i = 0; i < count; ++i) {
-          m.url_entries.push_back(decode_url_entry(r));
+          decode_url_entry_into(r, slot(m.url_entries, i));
         }
-        return Message(std::move(m));
+        m.url_entries.resize(count);
+        return true;
       }
       case FunctionId::kSrvReg: {
-        SrvReg m;
-        m.header = h;
-        m.url_entry = decode_url_entry(r);
-        m.service_type = r.str16();
-        m.scope_list = r.str16();
-        m.attr_list = r.str16();
+        auto& m = as_alternative<SrvReg>(scratch);
+        m.header = std::move(h);
+        decode_url_entry_into(r, m.url_entry);
+        r.str16_into(m.service_type);
+        r.str16_into(m.scope_list);
+        r.str16_into(m.attr_list);
         if (r.u8() != 0) throw DecodeError("attr auth blocks not supported");
-        return Message(std::move(m));
+        return true;
       }
       case FunctionId::kSrvDeReg: {
-        SrvDeReg m;
-        m.header = h;
-        m.scope_list = r.str16();
-        m.url_entry = decode_url_entry(r);
-        m.tag_list = r.str16();
-        return Message(std::move(m));
+        auto& m = as_alternative<SrvDeReg>(scratch);
+        m.header = std::move(h);
+        r.str16_into(m.scope_list);
+        decode_url_entry_into(r, m.url_entry);
+        r.str16_into(m.tag_list);
+        return true;
       }
       case FunctionId::kSrvAck: {
-        SrvAck m;
-        m.header = h;
+        auto& m = as_alternative<SrvAck>(scratch);
+        m.header = std::move(h);
         m.error = static_cast<ErrorCode>(r.u16());
-        return Message(std::move(m));
+        return true;
       }
       case FunctionId::kAttrRqst: {
-        AttrRqst m;
-        m.header = h;
-        m.previous_responders = r.str16();
-        m.url = r.str16();
-        m.scope_list = r.str16();
-        m.tag_list = r.str16();
-        m.spi = r.str16();
-        return Message(std::move(m));
+        auto& m = as_alternative<AttrRqst>(scratch);
+        m.header = std::move(h);
+        r.str16_into(m.previous_responders);
+        r.str16_into(m.url);
+        r.str16_into(m.scope_list);
+        r.str16_into(m.tag_list);
+        r.str16_into(m.spi);
+        return true;
       }
       case FunctionId::kAttrRply: {
-        AttrRply m;
-        m.header = h;
+        auto& m = as_alternative<AttrRply>(scratch);
+        m.header = std::move(h);
         m.error = static_cast<ErrorCode>(r.u16());
-        m.attr_list = r.str16();
+        r.str16_into(m.attr_list);
         if (r.u8() != 0) throw DecodeError("auth blocks not supported");
-        return Message(std::move(m));
+        return true;
       }
       case FunctionId::kDAAdvert: {
-        DAAdvert m;
-        m.header = h;
+        auto& m = as_alternative<DAAdvert>(scratch);
+        m.header = std::move(h);
         m.error = static_cast<ErrorCode>(r.u16());
         m.boot_timestamp = r.u32();
-        m.url = r.str16();
-        m.scope_list = r.str16();
-        m.attr_list = r.str16();
-        m.spi = r.str16();
+        r.str16_into(m.url);
+        r.str16_into(m.scope_list);
+        r.str16_into(m.attr_list);
+        r.str16_into(m.spi);
         if (r.u8() != 0) throw DecodeError("auth blocks not supported");
-        return Message(std::move(m));
+        return true;
       }
       case FunctionId::kSrvTypeRqst: {
-        SrvTypeRqst m;
-        m.header = h;
-        m.previous_responders = r.str16();
-        m.naming_authority = r.str16();
-        m.scope_list = r.str16();
-        return Message(std::move(m));
+        auto& m = as_alternative<SrvTypeRqst>(scratch);
+        m.header = std::move(h);
+        r.str16_into(m.previous_responders);
+        r.str16_into(m.naming_authority);
+        r.str16_into(m.scope_list);
+        return true;
       }
       case FunctionId::kSrvTypeRply: {
-        SrvTypeRply m;
-        m.header = h;
+        auto& m = as_alternative<SrvTypeRply>(scratch);
+        m.header = std::move(h);
         m.error = static_cast<ErrorCode>(r.u16());
-        m.type_list = r.str16();
-        return Message(std::move(m));
+        r.str16_into(m.type_list);
+        return true;
       }
     }
     throw DecodeError("unreachable function id");
   } catch (const DecodeError& e) {
     if (error != nullptr) *error = e.what();
-    return std::nullopt;
+    return false;
   }
 }
 

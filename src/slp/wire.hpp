@@ -148,9 +148,22 @@ using Message = std::variant<SrvRqst, SrvRply, SrvReg, SrvDeReg, SrvAck,
 /// Encodes a message, patching the header length field.
 [[nodiscard]] Bytes encode(const Message& message);
 
+/// Encodes into a caller-owned writer (cleared first, capacity kept): a
+/// writer reused across messages settles into zero allocations. Returns a
+/// view of the writer's buffer, valid until its next use.
+BytesView encode_into(const Message& message, ByteWriter& writer);
+
 /// Decodes one message. Returns nullopt and fills *error on malformed input
 /// (truncation, bad version, unknown function id).
 [[nodiscard]] std::optional<Message> decode(BytesView bytes,
                                             std::string* error = nullptr);
+
+/// Decodes into a caller-owned scratch message, reusing its string and
+/// vector storage when `scratch` already holds the same alternative (the
+/// steady-state case: periodic re-announcements repeat one message shape).
+/// Returns false and fills *error on malformed input; `scratch` contents are
+/// unspecified then.
+bool decode_into(BytesView bytes, Message& scratch,
+                 std::string* error = nullptr);
 
 }  // namespace indiss::slp

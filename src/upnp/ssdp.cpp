@@ -1,8 +1,26 @@
 #include "upnp/ssdp.hpp"
 
+#include "common/reuse.hpp"
 #include "common/strings.hpp"
 
 namespace indiss::upnp {
+
+namespace {
+
+// "239.255.255.250:1900" — the HOST header every SSDP message carries.
+constexpr std::string_view kSsdpHostHeader = "239.255.255.250:1900";
+
+void append_int(std::string& out, long long v) { out += IntDigits(v).view(); }
+
+void append_header(std::string& out, std::string_view name,
+                   std::string_view value) {
+  out += name;
+  out += ": ";
+  out += value;
+  out += "\r\n";
+}
+
+}  // namespace
 
 http::HttpMessage SearchRequest::to_http() const {
   auto m = http::HttpMessage::request("M-SEARCH", "*");
@@ -13,6 +31,19 @@ http::HttpMessage SearchRequest::to_http() const {
   m.headers.set("ST", st);
   if (!user_agent.empty()) m.headers.set("USER-AGENT", user_agent);
   return m;
+}
+
+void SearchRequest::serialize_into(std::string& out) const {
+  out.clear();
+  out += "M-SEARCH * HTTP/1.1\r\n";
+  append_header(out, "HOST", kSsdpHostHeader);
+  append_header(out, "MAN", man);
+  out += "MX: ";
+  append_int(out, mx);
+  out += "\r\n";
+  append_header(out, "ST", st);
+  if (!user_agent.empty()) append_header(out, "USER-AGENT", user_agent);
+  out += "\r\n";
 }
 
 std::optional<SearchRequest> SearchRequest::from_http(
@@ -40,6 +71,20 @@ http::HttpMessage SearchResponse::to_http() const {
   m.headers.set("USN", usn);
   m.headers.set("Content-Length", "0");
   return m;
+}
+
+void SearchResponse::serialize_into(std::string& out) const {
+  out.clear();
+  out += "HTTP/1.1 200 OK\r\n";
+  out += "CACHE-CONTROL: max-age=";
+  append_int(out, max_age_seconds);
+  out += "\r\n";
+  append_header(out, "EXT", "");
+  append_header(out, "LOCATION", location);
+  append_header(out, "SERVER", server);
+  append_header(out, "ST", st);
+  append_header(out, "USN", usn);
+  out += "Content-Length: 0\r\n\r\n";
 }
 
 std::optional<SearchResponse> SearchResponse::from_http(
@@ -78,6 +123,24 @@ http::HttpMessage Notify::to_http() const {
     m.headers.set("SERVER", server);
   }
   return m;
+}
+
+void Notify::serialize_into(std::string& out) const {
+  out.clear();
+  out += "NOTIFY * HTTP/1.1\r\n";
+  append_header(out, "HOST", kSsdpHostHeader);
+  append_header(out, "NT", nt);
+  append_header(out, "NTS",
+                kind == Kind::kAlive ? "ssdp:alive" : "ssdp:byebye");
+  append_header(out, "USN", usn);
+  if (kind == Kind::kAlive) {
+    out += "CACHE-CONTROL: max-age=";
+    append_int(out, max_age_seconds);
+    out += "\r\n";
+    append_header(out, "LOCATION", location);
+    append_header(out, "SERVER", server);
+  }
+  out += "\r\n";
 }
 
 std::optional<Notify> Notify::from_http(const http::HttpMessage& m) {

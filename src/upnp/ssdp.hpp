@@ -33,6 +33,10 @@ struct SearchRequest {
   std::string user_agent;
 
   [[nodiscard]] http::HttpMessage to_http() const;
+  /// Serializes into `out` (cleared first, capacity kept) without building an
+  /// HttpMessage — byte-identical to to_http().serialize(), allocation-free
+  /// once `out` is warm.
+  void serialize_into(std::string& out) const;
   static std::optional<SearchRequest> from_http(const http::HttpMessage& m);
 };
 
@@ -44,6 +48,8 @@ struct SearchResponse {
   int max_age_seconds = 1800;
 
   [[nodiscard]] http::HttpMessage to_http() const;
+  /// See SearchRequest::serialize_into.
+  void serialize_into(std::string& out) const;
   static std::optional<SearchResponse> from_http(const http::HttpMessage& m);
 };
 
@@ -57,6 +63,8 @@ struct Notify {
   int max_age_seconds = 1800;
 
   [[nodiscard]] http::HttpMessage to_http() const;
+  /// See SearchRequest::serialize_into.
+  void serialize_into(std::string& out) const;
   static std::optional<Notify> from_http(const http::HttpMessage& m);
 };
 

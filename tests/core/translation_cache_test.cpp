@@ -1,0 +1,341 @@
+// TranslationCache tests: hit/miss and the settle window, byte verification,
+// negative entries, first-pass protection, LRU eviction, generation-based
+// invalidation, and the end-to-end short-circuit — a storm of byte-identical
+// SSDP alives through a gateway Indiss replays the bridged mDNS announcement
+// without re-running the translation pipeline.
+#include <gtest/gtest.h>
+
+#include "core/indiss.hpp"
+#include "core/translation_cache.hpp"
+#include "mdns/dns.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "slp/agents.hpp"
+#include "slp/wire.hpp"
+#include "upnp/ssdp.hpp"
+
+namespace indiss::core {
+namespace {
+
+Bytes wire_bytes(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+sim::SimTime at_ms(std::int64_t ms) { return sim::SimTime(sim::millis(ms)); }
+
+struct CacheFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, 3};
+  net::Host& host = network.add_host("gw", net::IpAddress(10, 0, 0, 5));
+
+  TranslationCache::Frame frame_to(std::shared_ptr<net::UdpSocket> socket,
+                                   const net::Endpoint& to,
+                                   std::string_view payload) {
+    TranslationCache::Frame frame;
+    frame.target = SdpId::kMdns;
+    frame.socket = std::move(socket);
+    frame.to = to;
+    frame.payload = std::make_shared<const Bytes>(wire_bytes(payload));
+    return frame;
+  }
+};
+
+TEST_F(CacheFixture, MissThenHitAfterSettle) {
+  TranslationCache cache({.max_entries = 8, .settle = sim::millis(200)});
+  Bytes wire = wire_bytes("NOTIFY alive #1");
+
+  EXPECT_EQ(cache.lookup(SdpId::kUpnp, wire, at_ms(0)), nullptr);
+  EXPECT_EQ(cache.stats(SdpId::kUpnp).misses, 1u);
+
+  cache.open_bundle(SdpId::kUpnp, wire, /*origin_session=*/7, at_ms(0));
+  auto socket = host.udp_socket(0);
+  cache.add_frame(SdpId::kUpnp, 7,
+                  frame_to(socket, net::Endpoint{net::IpAddress(224, 0, 0, 251),
+                                                 5353},
+                           "composed mdns announce"));
+
+  // Inside the settle window the bundle is not replayable yet.
+  EXPECT_EQ(cache.lookup(SdpId::kUpnp, wire, at_ms(100)), nullptr);
+  EXPECT_EQ(cache.stats(SdpId::kUpnp).misses, 2u);
+
+  const auto* bundle = cache.lookup(SdpId::kUpnp, wire, at_ms(300));
+  ASSERT_NE(bundle, nullptr);
+  EXPECT_EQ(bundle->frames.size(), 1u);
+  EXPECT_EQ(cache.stats(SdpId::kUpnp).hits, 1u);
+
+  cache.replay(SdpId::kUpnp, *bundle);
+  EXPECT_EQ(cache.stats(SdpId::kUpnp).frames_replayed, 1u);
+}
+
+TEST_F(CacheFixture, DifferentBytesOfSameSourceMiss) {
+  TranslationCache cache({.max_entries = 8, .settle = sim::millis(0)});
+  Bytes alive = wire_bytes("NOTIFY alive");
+  cache.open_bundle(SdpId::kUpnp, alive, 1, at_ms(0));
+  ASSERT_NE(cache.lookup(SdpId::kUpnp, alive, at_ms(1)), nullptr);
+  // Same length, different bytes: must not collide.
+  EXPECT_EQ(cache.lookup(SdpId::kUpnp, wire_bytes("NOTIFY ALIVE"), at_ms(1)),
+            nullptr);
+  // Same bytes, different source SDP: a distinct key.
+  EXPECT_EQ(cache.lookup(SdpId::kSlp, alive, at_ms(1)), nullptr);
+}
+
+TEST_F(CacheFixture, EmptyBundleIsANegativeHit) {
+  TranslationCache cache({.max_entries = 8, .settle = sim::millis(0)});
+  Bytes wire = wire_bytes("advert nobody translated");
+  cache.open_bundle(SdpId::kSlp, wire, 1, at_ms(0));
+  const auto* bundle = cache.lookup(SdpId::kSlp, wire, at_ms(1));
+  ASSERT_NE(bundle, nullptr);
+  EXPECT_TRUE(bundle->frames.empty());
+  cache.replay(SdpId::kSlp, *bundle);  // replaying silence is a no-op
+  EXPECT_EQ(cache.stats(SdpId::kSlp).frames_replayed, 0u);
+}
+
+TEST_F(CacheFixture, ReopeningInsideGenerationKeepsFirstPassFrames) {
+  TranslationCache cache({.max_entries = 8, .settle = sim::millis(0)});
+  Bytes wire = wire_bytes("NOTIFY alive");
+  auto socket = host.udp_socket(0);
+  net::Endpoint to{net::IpAddress(224, 0, 0, 251), 5353};
+
+  cache.open_bundle(SdpId::kUpnp, wire, 1, at_ms(0));
+  cache.add_frame(SdpId::kUpnp, 1, frame_to(socket, to, "first"));
+
+  // A repeat parsed before the settle deadline re-opens the same bundle; the
+  // collected frame must survive and the second session must not duplicate.
+  cache.open_bundle(SdpId::kUpnp, wire, 2, at_ms(1));
+  cache.add_frame(SdpId::kUpnp, 2, frame_to(socket, to, "second"));
+
+  const auto* bundle = cache.lookup(SdpId::kUpnp, wire, at_ms(10));
+  ASSERT_NE(bundle, nullptr);
+  ASSERT_EQ(bundle->frames.size(), 1u);
+  EXPECT_EQ(to_string(*bundle->frames[0].payload), "first");
+}
+
+TEST_F(CacheFixture, GenerationBumpInvalidatesAndRecyclesSlots) {
+  TranslationCache cache({.max_entries = 8, .settle = sim::millis(0)});
+  Bytes wire = wire_bytes("NOTIFY alive");
+  auto socket = host.udp_socket(0);
+  net::Endpoint to{net::IpAddress(224, 0, 0, 251), 5353};
+
+  cache.open_bundle(SdpId::kUpnp, wire, 1, at_ms(0));
+  cache.add_frame(SdpId::kUpnp, 1, frame_to(socket, to, "old world"));
+  ASSERT_NE(cache.lookup(SdpId::kUpnp, wire, at_ms(1)), nullptr);
+
+  cache.bump_generation();  // e.g. a byebye or unit attach/detach
+  EXPECT_EQ(cache.lookup(SdpId::kUpnp, wire, at_ms(2)), nullptr);
+  // Late frames tagged for the stale bundle must not land.
+  cache.add_frame(SdpId::kUpnp, 1, frame_to(socket, to, "stale straggler"));
+
+  // Re-translation under the new generation starts a fresh bundle in place.
+  cache.open_bundle(SdpId::kUpnp, wire, 9, at_ms(3));
+  cache.add_frame(SdpId::kUpnp, 9, frame_to(socket, to, "new world"));
+  const auto* bundle = cache.lookup(SdpId::kUpnp, wire, at_ms(4));
+  ASSERT_NE(bundle, nullptr);
+  ASSERT_EQ(bundle->frames.size(), 1u);
+  EXPECT_EQ(to_string(*bundle->frames[0].payload), "new world");
+}
+
+TEST_F(CacheFixture, LruEvictionDropsTheColdestBundle) {
+  TranslationCache cache({.max_entries = 2, .settle = sim::millis(0)});
+  Bytes a = wire_bytes("advert A");
+  Bytes b = wire_bytes("advert B");
+  Bytes c = wire_bytes("advert C");
+
+  cache.open_bundle(SdpId::kUpnp, a, 1, at_ms(0));
+  cache.open_bundle(SdpId::kUpnp, b, 2, at_ms(0));
+  ASSERT_EQ(cache.size(), 2u);
+
+  // Touch A so B becomes the LRU victim.
+  ASSERT_NE(cache.lookup(SdpId::kUpnp, a, at_ms(1)), nullptr);
+  cache.open_bundle(SdpId::kUpnp, c, 3, at_ms(2));
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.lookup(SdpId::kUpnp, a, at_ms(3)), nullptr);
+  EXPECT_NE(cache.lookup(SdpId::kUpnp, c, at_ms(3)), nullptr);
+  EXPECT_EQ(cache.lookup(SdpId::kUpnp, b, at_ms(3)), nullptr);
+}
+
+TEST_F(CacheFixture, OverflowingTheOpenRingDropsTheBundleNotJustTheSession) {
+  TranslationCache cache({.max_entries = 256, .settle = sim::millis(0)});
+  Bytes first = wire_bytes("advert 0");
+  cache.open_bundle(SdpId::kUpnp, first, 0, at_ms(0));
+  // 64 more bundles in the same instant overflow the open-session ring and
+  // evict session 0 before its frame could land.
+  for (int i = 1; i <= 64; ++i) {
+    cache.open_bundle(SdpId::kUpnp, wire_bytes("advert " + std::to_string(i)),
+                      static_cast<std::uint64_t>(i), at_ms(0));
+  }
+  auto socket = host.udp_socket(0);
+  cache.add_frame(SdpId::kUpnp, 0,
+                  frame_to(socket, net::Endpoint{net::IpAddress(224, 0, 0, 251),
+                                                 5353},
+                           "late frame"));
+  // The half-built bundle must be gone (a plain miss that re-translates),
+  // not left behind as an empty negative entry that would silently swallow
+  // every future repeat of advert 0.
+  EXPECT_EQ(cache.lookup(SdpId::kUpnp, first, at_ms(1)), nullptr);
+}
+
+TEST_F(CacheFixture, AddFrameWithoutOpenBundleIsANoOp) {
+  TranslationCache cache;
+  auto socket = host.udp_socket(0);
+  cache.add_frame(SdpId::kUpnp, 42,
+                  frame_to(socket, net::Endpoint{net::IpAddress(224, 0, 0, 1),
+                                                 1},
+                           "orphan"));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// --- End-to-end: the announcement-storm short-circuit -----------------------
+
+TEST(TranslationCacheEndToEnd, RepeatedRegistrationShortCircuitsAndReplays) {
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, 11};
+  net::Host& gateway = network.add_host("gw", net::IpAddress(10, 0, 0, 3));
+  net::Host& service = network.add_host("svc", net::IpAddress(10, 0, 0, 2));
+  net::Host& observer = network.add_host("obs", net::IpAddress(10, 0, 0, 8));
+
+  IndissConfig config;
+  config.enable_mdns = true;
+  Indiss indiss(gateway, config);
+  indiss.start();
+  scheduler.run_for(sim::millis(10));
+
+  // A native Bonjour listener counts the bridged announcements.
+  auto mdns_listener = observer.udp_socket(5353);
+  mdns_listener->join_group(net::IpAddress(224, 0, 0, 251));
+  std::size_t bridged_announcements = 0;
+  mdns_listener->set_receive_handler([&](const net::Datagram& d) {
+    std::string error;
+    auto message = mdns::decode(d.payload, &error);
+    if (message.has_value() && message->is_response()) {
+      bridged_announcements += 1;
+    }
+  });
+
+  // The same SLP service re-registers with byte-identical SrvRegs (the SLP
+  // re-advert class of periodic traffic).
+  slp::SrvReg reg;
+  reg.url_entry = {300, "service:clock:soap://10.0.0.2:4005/slp-clock"};
+  reg.service_type = "service:clock";
+  reg.attr_list = "(friendlyName=Storm Clock)";
+  Bytes wire = slp::encode(slp::Message(reg));
+
+  auto announcer = service.udp_socket(0);
+  const int kPeriods = 6;
+  for (int i = 0; i < kPeriods; ++i) {
+    announcer->send_to(net::Endpoint{slp::kSlpMulticastGroup, slp::kSlpPort},
+                       wire);
+    scheduler.run_for(sim::seconds(30));
+  }
+
+  const auto stats = indiss.monitor().translation_stats(SdpId::kSlp);
+  EXPECT_GE(stats.hits, static_cast<std::uint64_t>(kPeriods - 2))
+      << "every settled repeat must short-circuit";
+  EXPECT_GE(stats.frames_replayed, stats.hits)
+      << "each hit replays the bridged mDNS announcement";
+  EXPECT_GE(bridged_announcements, static_cast<std::size_t>(kPeriods - 1))
+      << "the bridge must keep re-announcing on replay, not just on first "
+         "translation";
+  EXPECT_EQ(indiss.mdns_unit()->stats().cache_short_circuits, 0u);
+  EXPECT_GE(indiss.unit(SdpId::kSlp)->stats().cache_short_circuits,
+            static_cast<std::uint64_t>(kPeriods - 2));
+  // The mDNS unit translated the registration exactly once; replays bypassed
+  // it entirely.
+  EXPECT_EQ(indiss.mdns_unit()->stats().messages_composed, 0u);
+  EXPECT_EQ(indiss.mdns_unit()->announcements_sent(), 1u);
+}
+
+// Byebyes must never be served from the cache: a second, byte-identical
+// withdrawal (after a re-announcement) still has to run every per-unit
+// state change, not just replay old goodbye frames.
+TEST(TranslationCacheEndToEnd, RepeatedWithdrawalAlwaysRunsStateChanges) {
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, 13};
+  net::Host& gateway = network.add_host("gw", net::IpAddress(10, 0, 0, 3));
+  net::Host& service = network.add_host("svc", net::IpAddress(10, 0, 0, 2));
+
+  IndissConfig config;
+  config.enable_mdns = true;
+  Indiss indiss(gateway, config);
+  indiss.start();
+  scheduler.run_for(sim::millis(10));
+
+  slp::SrvReg reg;
+  reg.url_entry = {300, "service:clock:soap://10.0.0.2:4005/flap-clock"};
+  reg.service_type = "service:clock";
+  Bytes reg_wire = slp::encode(slp::Message(reg));
+  slp::SrvDeReg dereg;
+  dereg.url_entry = {0, "service:clock:soap://10.0.0.2:4005/flap-clock"};
+  Bytes dereg_wire = slp::encode(slp::Message(dereg));
+
+  auto announcer = service.udp_socket(0);
+  net::Endpoint group{slp::kSlpMulticastGroup, slp::kSlpPort};
+  for (int flap = 0; flap < 2; ++flap) {
+    announcer->send_to(group, reg_wire);
+    scheduler.run_for(sim::seconds(30));
+    EXPECT_EQ(indiss.mdns_unit()->foreign_services().size(), 1u)
+        << "flap " << flap << ": announcement must register";
+    announcer->send_to(group, dereg_wire);
+    scheduler.run_for(sim::seconds(30));
+    EXPECT_TRUE(indiss.mdns_unit()->foreign_services().empty())
+        << "flap " << flap
+        << ": a (repeated) byebye must always run the withdrawal";
+  }
+  // Two announcements + two goodbyes crossed the mDNS wire.
+  EXPECT_EQ(indiss.mdns_unit()->announcements_sent(), 4u);
+}
+
+// After a generation bump forces a re-parse of an already-bridged alive,
+// the deduplicated pass must still hand its composed frame to the fresh
+// bundle, so later replays keep re-announcing (refresh keeps Bonjour
+// caches alive) instead of settling into permanent silence.
+TEST(TranslationCacheEndToEnd, RefreshSurvivesGenerationBump) {
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, 13};
+  net::Host& gateway = network.add_host("gw", net::IpAddress(10, 0, 0, 3));
+  net::Host& service = network.add_host("svc", net::IpAddress(10, 0, 0, 2));
+  net::Host& observer = network.add_host("obs", net::IpAddress(10, 0, 0, 8));
+
+  IndissConfig config;
+  config.enable_mdns = true;
+  Indiss indiss(gateway, config);
+  indiss.start();
+  scheduler.run_for(sim::millis(10));
+
+  auto mdns_listener = observer.udp_socket(5353);
+  mdns_listener->join_group(net::IpAddress(224, 0, 0, 251));
+  std::size_t bridged = 0;
+  mdns_listener->set_receive_handler([&](const net::Datagram& d) {
+    auto message = mdns::decode(d.payload);
+    if (message.has_value() && message->is_response()) bridged += 1;
+  });
+
+  slp::SrvReg reg;
+  reg.url_entry = {300, "service:clock:soap://10.0.0.2:4005/steady-clock"};
+  reg.service_type = "service:clock";
+  Bytes wire = slp::encode(slp::Message(reg));
+  auto announcer = service.udp_socket(0);
+  net::Endpoint group{slp::kSlpMulticastGroup, slp::kSlpPort};
+
+  for (int i = 0; i < 3; ++i) {
+    announcer->send_to(group, wire);
+    scheduler.run_for(sim::seconds(30));
+  }
+  EXPECT_EQ(bridged, 3u);  // first translation + two replays
+
+  // Any invalidation (a byebye elsewhere, attach/detach, ...).
+  ASSERT_NE(indiss.translation_cache(), nullptr);
+  indiss.translation_cache()->bump_generation();
+
+  for (int i = 0; i < 3; ++i) {
+    announcer->send_to(group, wire);
+    scheduler.run_for(sim::seconds(30));
+  }
+  // The post-bump re-parse deduplicates (no wire send) but refills the
+  // bundle; the two repeats after it replay again.
+  EXPECT_EQ(bridged, 5u);
+}
+
+}  // namespace
+}  // namespace indiss::core

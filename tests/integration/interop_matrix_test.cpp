@@ -29,6 +29,7 @@
 #include "core/indiss.hpp"
 #include "jini/client.hpp"
 #include "jini/lookup.hpp"
+#include "mdns/dns.hpp"
 #include "mdns/dnssd.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
@@ -148,6 +149,27 @@ class InteropMatrix : public ::testing::TestWithParam<Pair> {
     }
   }
 
+  /// Natively withdraws the advertisement `start_announcer` made: SLP
+  /// deregistration (multicast SrvDeReg in DA-less mode), UPnP ssdp:byebye
+  /// burst, Jini lease cancellation, mDNS TTL-0 goodbye.
+  void withdraw_announcer(Proto announcer) {
+    switch (announcer) {
+      case Proto::kSlp:
+        ASSERT_TRUE(slp_sa->deregister_service(
+            "service:clock:soap://10.0.0.2:4005/slp-clock"));
+        break;
+      case Proto::kUpnp:
+        upnp_device->stop();
+        break;
+      case Proto::kJini:
+        jini_provider->leave();
+        break;
+      case Proto::kMdns:
+        mdns_responder->goodbye();
+        break;
+    }
+  }
+
   /// Runs the native discovery of `requester` and returns every access URL
   /// it produced.
   std::vector<std::string> run_requester(Proto requester) {
@@ -258,6 +280,95 @@ TEST_P(InteropMatrix, RequestOnADiscoversServiceAnnouncedOnB) {
   EXPECT_TRUE(found) << proto_name(pair.requester) << " client found "
                      << urls.size() << " URL(s), none containing '" << marker
                      << "' announced via " << proto_name(pair.announcer);
+}
+
+// The withdrawal half of the matrix (ROADMAP open item): after the announcer
+// natively retracts its advertisement (byebye / TTL-0 goodbye / SrvDeReg /
+// lease cancel), a fresh discovery on every other SDP must come up empty —
+// which requires the gateway to propagate the withdrawal (cancel bridged
+// registrar leases, retract impersonations) rather than serve stale state.
+TEST_P(InteropMatrix, WithdrawalOnBPropagatesToRequesterOnA) {
+  const Pair pair = GetParam();
+
+  const bool jini_involved =
+      pair.requester == Proto::kJini || pair.announcer == Proto::kJini;
+  if (jini_involved) {
+    start_registrar();
+    scheduler.run_for(sim::millis(10));
+  }
+
+  IndissConfig config;
+  config.enable_slp = true;
+  config.enable_upnp = true;
+  config.enable_jini = jini_involved;
+  config.enable_mdns = true;
+  Indiss indiss(gateway_host, config);
+  indiss.start();
+  scheduler.run_for(sim::millis(500));
+
+  start_announcer(pair.announcer);
+  scheduler.run_for(sim::seconds(2));
+  if (pair.requester == Proto::kJini && pair.announcer == Proto::kSlp) {
+    indiss.trigger_active_probe();
+    scheduler.run_for(sim::seconds(2));
+  }
+
+  // Precondition: the service is discoverable before the withdrawal (same
+  // assertion as the discovery half, so a withdrawal pass can't pass
+  // vacuously).
+  const std::string marker = marker_for(pair.announcer);
+  bool found_before = false;
+  for (const auto& url : run_requester(pair.requester)) {
+    if (url.find(marker) != std::string::npos) found_before = true;
+  }
+  ASSERT_TRUE(found_before)
+      << "withdrawal test needs the service discoverable first";
+
+  withdraw_announcer(pair.announcer);
+  scheduler.run_for(sim::seconds(2));  // let the byebye propagate
+
+  std::vector<std::string> urls = run_requester(pair.requester);
+  for (const auto& url : urls) {
+    EXPECT_EQ(url.find(marker), std::string::npos)
+        << proto_name(pair.requester) << " client still finds '" << url
+        << "' after the " << proto_name(pair.announcer) << " withdrawal";
+  }
+}
+
+// Focused wire-level check of goodbye propagation: a UPnP byebye must come
+// out of the gateway as an mDNS TTL-0 goodbye naming the same bridged
+// instance the alive announced (matching by USN — the byebye carries no
+// LOCATION).
+TEST_F(InteropMatrix, UpnpByebyeEmergesAsMdnsGoodbye) {
+  IndissConfig config;
+  config.enable_mdns = true;
+  Indiss indiss(gateway_host, config);
+  indiss.start();
+  scheduler.run_for(sim::millis(100));
+
+  auto listener = client_host.udp_socket(5353);
+  listener->join_group(net::IpAddress(224, 0, 0, 251));
+  std::vector<std::string> announced;
+  std::vector<std::string> withdrawn;
+  listener->set_receive_handler([&](const net::Datagram& d) {
+    auto message = mdns::decode(d.payload);
+    if (!message.has_value() || !message->is_response()) return;
+    for (const auto& record : message->answers) {
+      if (record.type != mdns::kTypePtr) continue;
+      (record.ttl == 0 ? withdrawn : announced).push_back(record.target);
+    }
+  });
+
+  start_announcer(Proto::kUpnp);
+  scheduler.run_for(sim::seconds(2));
+  ASSERT_FALSE(announced.empty()) << "alive must bridge into an announcement";
+
+  withdraw_announcer(Proto::kUpnp);
+  scheduler.run_for(sim::seconds(2));
+  ASSERT_FALSE(withdrawn.empty()) << "byebye must bridge into a goodbye";
+  EXPECT_EQ(withdrawn.front(), announced.front())
+      << "the goodbye must name the instance the announcement created";
+  EXPECT_TRUE(indiss.mdns_unit()->foreign_services().empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,209 @@
+// Steady-state allocation pins for the SLP, SSDP and Jini translation round
+// trips — the PR-2/PR-4 zero-alloc guarantee (pinned for mDNS in
+// tests/sdp/mdns_test.cpp) extended to all four SDPs: parse -> events ->
+// compose -> wire must perform no heap allocation once every scratch buffer
+// has reached its high-water capacity.
+#include <gtest/gtest.h>
+
+#include "core/units/jini_unit.hpp"
+#include "core/units/slp_unit.hpp"
+#include "core/units/upnp_unit.hpp"
+#include "jini/discovery.hpp"
+#include "slp/wire.hpp"
+#include "upnp/ssdp.hpp"
+
+#include "tests/support/alloc_meter.hpp"
+
+namespace indiss::core {
+namespace {
+
+MessageContext multicast_ctx() {
+  MessageContext ctx;
+  ctx.source = net::Endpoint{net::IpAddress(10, 0, 0, 7), 41000};
+  ctx.multicast = true;
+  return ctx;
+}
+
+// --- SLP --------------------------------------------------------------------
+
+TEST(SlpAllocs, ReplyParseComposeRoundTripIsZeroAllocSteadyState) {
+  slp::SrvRply reply;
+  reply.header.xid = 42;
+  reply.url_entries = {
+      slp::UrlEntry{300, "service:clock:soap://10.0.0.2:4005/control"},
+      slp::UrlEntry{300, "service:clock:soap://10.0.0.3:4005/control"}};
+  Bytes wire = slp::encode(slp::Message(reply));
+
+  SlpEventParser parser;
+  StreamPool pool;
+  CollectingSink sink(pool);
+  MessageContext ctx = multicast_ctx();
+  slp::Message composed = slp::SrvRply{};
+  std::string attr_scratch;
+  ByteWriter writer;
+
+  for (int i = 0; i < 16; ++i) {
+    sink.reset();
+    parser.parse(wire, ctx, sink);
+    compose_slp_reply(sink.stream(), "clock", 42, 300, true,
+                      std::get<slp::SrvRply>(composed), attr_scratch);
+    slp::encode_into(composed, writer);
+  }
+  std::uint64_t before = indiss::testing::g_heap_allocs;
+  for (int i = 0; i < 256; ++i) {
+    sink.reset();
+    parser.parse(wire, ctx, sink);
+    std::size_t urls =
+        compose_slp_reply(sink.stream(), "clock", 42, 300, true,
+                          std::get<slp::SrvRply>(composed), attr_scratch);
+    ASSERT_EQ(urls, 2u);
+    BytesView out = slp::encode_into(composed, writer);
+    ASSERT_FALSE(out.empty());
+  }
+  EXPECT_EQ(indiss::testing::g_heap_allocs - before, 0u)
+      << "warm SLP parse -> events -> compose must not allocate";
+}
+
+TEST(SlpAllocs, RegistrationParseWithAttributesIsZeroAllocSteadyState) {
+  slp::SrvReg reg;
+  reg.url_entry = {120, "service:clock:soap://10.0.0.2:4005/slp-clock"};
+  reg.service_type = "service:clock";
+  reg.attr_list = "(friendlyName=SLP Clock),(room=hall),ready";
+  Bytes wire = slp::encode(slp::Message(reg));
+
+  SlpEventParser parser;
+  StreamPool pool;
+  CollectingSink sink(pool);
+  MessageContext ctx = multicast_ctx();
+
+  for (int i = 0; i < 16; ++i) {
+    sink.reset();
+    parser.parse(wire, ctx, sink);
+  }
+  std::uint64_t before = indiss::testing::g_heap_allocs;
+  for (int i = 0; i < 256; ++i) {
+    sink.reset();
+    parser.parse(wire, ctx, sink);
+    ASSERT_TRUE(well_framed(sink.stream()));
+  }
+  EXPECT_EQ(indiss::testing::g_heap_allocs - before, 0u)
+      << "warm SLP registration parse must not allocate";
+}
+
+// --- SSDP -------------------------------------------------------------------
+
+// Fills the scratch notify from a parsed alive stream the way the UPnP
+// composer re-announces it, reusing the struct's string capacity.
+void fill_notify_from(const EventStream& stream, upnp::Notify& notify) {
+  notify.kind = upnp::Notify::Kind::kAlive;
+  for (const auto& event : stream) {
+    if (event.type == EventType::kServiceByeBye) {
+      notify.kind = upnp::Notify::Kind::kByeBye;
+    } else if (event.type == EventType::kServiceTypeIs) {
+      notify.nt.assign(event.get("native"));
+    } else if (event.type == EventType::kUpnpUsn) {
+      notify.usn.assign(event.get("usn"));
+    } else if (event.type == EventType::kUpnpDeviceUrlDesc) {
+      notify.location.assign(event.get("url"));
+    }
+  }
+}
+
+TEST(SsdpAllocs, NotifyParseComposeRoundTripIsZeroAllocSteadyState) {
+  upnp::Notify notify;
+  notify.nt = "urn:schemas-upnp-org:device:clock:1";
+  notify.usn = "uuid:ClockDevice::urn:schemas-upnp-org:device:clock:1";
+  notify.location = "http://10.0.0.2:4004/description.xml";
+  Bytes wire = to_bytes(notify.to_http().serialize());
+
+  SsdpEventParser parser;
+  StreamPool pool;
+  CollectingSink sink(pool);
+  MessageContext ctx = multicast_ctx();
+  upnp::Notify composed;
+  std::string out;
+
+  for (int i = 0; i < 16; ++i) {
+    sink.reset();
+    parser.parse(wire, ctx, sink);
+    fill_notify_from(sink.stream(), composed);
+    composed.serialize_into(out);
+  }
+  std::uint64_t before = indiss::testing::g_heap_allocs;
+  for (int i = 0; i < 256; ++i) {
+    sink.reset();
+    parser.parse(wire, ctx, sink);
+    ASSERT_TRUE(well_framed(sink.stream()));
+    ASSERT_NE(find_event(sink.stream(), EventType::kServiceAlive), nullptr);
+    fill_notify_from(sink.stream(), composed);
+    composed.serialize_into(out);
+    ASSERT_FALSE(out.empty());
+  }
+  EXPECT_EQ(indiss::testing::g_heap_allocs - before, 0u)
+      << "warm SSDP parse -> events -> compose must not allocate";
+}
+
+TEST(SsdpAllocs, SearchRequestParseIsZeroAllocSteadyState) {
+  upnp::SearchRequest request;
+  request.st = "urn:schemas-upnp-org:device:clock:1";
+  Bytes wire = to_bytes(request.to_http().serialize());
+
+  SsdpEventParser parser;
+  StreamPool pool;
+  CollectingSink sink(pool);
+  MessageContext ctx = multicast_ctx();
+
+  for (int i = 0; i < 16; ++i) {
+    sink.reset();
+    parser.parse(wire, ctx, sink);
+  }
+  std::uint64_t before = indiss::testing::g_heap_allocs;
+  for (int i = 0; i < 256; ++i) {
+    sink.reset();
+    parser.parse(wire, ctx, sink);
+    ASSERT_NE(find_event(sink.stream(), EventType::kUpnpSearchTarget),
+              nullptr);
+  }
+  EXPECT_EQ(indiss::testing::g_heap_allocs - before, 0u)
+      << "warm M-SEARCH parse must not allocate";
+}
+
+// --- Jini -------------------------------------------------------------------
+
+TEST(JiniAllocs, AnnouncementParseComposeRoundTripIsZeroAllocSteadyState) {
+  jini::MulticastAnnouncement announcement;
+  announcement.registrar_host = "10.0.0.9";
+  announcement.registrar_port = 4160;
+  announcement.registrar_id = 0x1D155C0FFEEULL;  // > SSO digit budget
+  announcement.groups = {"lab"};
+  Bytes wire = announcement.encode();
+
+  JiniEventParser parser;
+  StreamPool pool;
+  CollectingSink sink(pool);
+  MessageContext ctx = multicast_ctx();
+  jini::MulticastAnnouncement composed;
+  ByteWriter writer;
+
+  for (int i = 0; i < 16; ++i) {
+    sink.reset();
+    parser.parse(wire, ctx, sink);
+    ASSERT_TRUE(compose_jini_announcement(sink.stream(), composed));
+    composed.encode_into(writer);
+  }
+  std::uint64_t before = indiss::testing::g_heap_allocs;
+  for (int i = 0; i < 256; ++i) {
+    sink.reset();
+    parser.parse(wire, ctx, sink);
+    ASSERT_TRUE(compose_jini_announcement(sink.stream(), composed));
+    BytesView out = composed.encode_into(writer);
+    ASSERT_FALSE(out.empty());
+  }
+  EXPECT_EQ(indiss::testing::g_heap_allocs - before, 0u)
+      << "warm Jini parse -> events -> compose must not allocate";
+  EXPECT_EQ(composed.registrar_id, announcement.registrar_id);
+  EXPECT_EQ(composed.registrar_host, announcement.registrar_host);
+}
+
+}  // namespace
+}  // namespace indiss::core
