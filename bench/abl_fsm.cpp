@@ -6,6 +6,8 @@
 #include "core/monitor.hpp"
 #include "core/units/slp_unit.hpp"
 #include "core/units/standard_fsm.hpp"
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "slp/wire.hpp"

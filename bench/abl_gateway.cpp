@@ -2,6 +2,8 @@
 // translation measured with INDISS on the service host, on the client host,
 // and on a dedicated gateway node (§4.2 "INDISS may be deployed on a
 // dedicated networked node").
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "calibration.hpp"
 
 namespace indiss::bench {

@@ -2,6 +2,8 @@
 // client discovering a mixed UPnP + mDNS device population through
 // client-side INDISS, and the wire traffic, as the population grows (every
 // fourth device is a Bonjour responder; the rest are UPnP).
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "calibration.hpp"
 
 namespace indiss::bench {

@@ -21,6 +21,8 @@
 #include "jini/discovery.hpp"
 #include "jini/lookup.hpp"
 #include "mdns/dns.hpp"
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "slp/wire.hpp"
@@ -109,10 +111,10 @@ struct StormRig {
 
   StormRig(int devices, bool cache_enabled) {
     core::IndissConfig config;
-    config.enable_slp = true;
-    config.enable_upnp = true;
-    config.enable_jini = true;
-    config.enable_mdns = true;
+    config.enabled_sdps.insert(core::SdpId::kSlp);
+    config.enabled_sdps.insert(core::SdpId::kUpnp);
+    config.enabled_sdps.insert(core::SdpId::kJini);
+    config.enabled_sdps.insert(core::SdpId::kMdns);
     config.enable_translation_cache = cache_enabled;
     indiss = std::make_unique<core::Indiss>(gateway, config);
     indiss->start();

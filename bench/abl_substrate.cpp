@@ -15,6 +15,8 @@
 #include <memory>
 #include <vector>
 
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "calibration.hpp"
 #include "net/packet.hpp"
 #include "sim/random.hpp"

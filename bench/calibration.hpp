@@ -73,7 +73,7 @@ inline core::IndissConfig calibrated_indiss() {
   config.upnp.search_response_pacing = sim::millis_f(39.0);
   // The scaling workload mixes mDNS devices into the population (PR 4);
   // the gateway bridges all of them.
-  config.enable_mdns = true;
+  config.enabled_sdps.insert(core::SdpId::kMdns);
   return config;
 }
 

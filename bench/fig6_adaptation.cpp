@@ -7,6 +7,8 @@
 // INDISS notices the idle wire, switches to the active model, probes its
 // local services and multicasts translated NOTIFY alive messages — at a
 // bandwidth cost this bench quantifies across thresholds.
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "calibration.hpp"
 
 namespace indiss::bench {

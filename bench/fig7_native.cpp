@@ -5,6 +5,8 @@
 // These are the reference values the INDISS overhead (Figs 8/9) is judged
 // against. SLP is a single small UDP round trip; UPnP's search response is
 // dominated by the device stack's MX-derived response scheduling.
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "calibration.hpp"
 
 namespace indiss::bench {

@@ -7,6 +7,8 @@
 // (paper §2.4); UPnP->SLP costs exactly one native-looking UPnP search
 // because INDISS's SSDP composer paces its response like a native responder
 // while the SLP exchange happens locally underneath.
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "calibration.hpp"
 
 namespace indiss::bench {

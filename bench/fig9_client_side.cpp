@@ -7,6 +7,8 @@
 // description GET). The UPnP->SLP case is the paper's best case: the only
 // wire traffic is two tiny SLP datagrams, and INDISS's composer is far
 // lighter than a native client library.
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "calibration.hpp"
 
 namespace indiss::bench {

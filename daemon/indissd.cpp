@@ -1,0 +1,222 @@
+// indissd: the INDISS gateway as a deployable daemon.
+//
+// One live::LiveTransport + one core::Indiss on an epoll event loop: the
+// unchanged unit pipeline (the same objects the simulated experiments run)
+// bridging real SDP traffic on real multicast groups. `--loopback` confines
+// everything to 127.0.0.1/lo — the configuration the CI smoke test uses to
+// bridge a scripted SSDP alive into an mDNS announcement; on a LAN, pass the
+// interface's name and address instead.
+//
+// Usage:
+//   indissd --loopback [--name gw] [--duration 2s] [--sdps slp,upnp,mdns]
+//           [--seed 7]
+//   indissd --iface eth0 --addr 192.168.1.10 [--sdps upnp,mdns]
+//
+// Without --duration the daemon runs until SIGINT/SIGTERM. On exit it prints
+// a machine-greppable summary (one `key=value` line per subsystem) that the
+// smoke script asserts against.
+#include <atomic>
+#include <cctype>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "core/indiss.hpp"
+#include "core/units/mdns_unit.hpp"
+#include "live/event_loop.hpp"
+#include "live/transport.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+using indiss::core::SdpId;
+
+std::optional<SdpId> sdp_from_name(std::string_view name) {
+  for (SdpId sdp : {SdpId::kSlp, SdpId::kUpnp, SdpId::kJini, SdpId::kMdns}) {
+    if (name == indiss::core::sdp_name(sdp)) return sdp;
+  }
+  return std::nullopt;
+}
+
+/// "2s" / "1500ms" / "inf" -> duration; nullopt on a malformed value.
+std::optional<indiss::transport::Duration> parse_duration(
+    std::string_view text) {
+  if (text == "inf") return indiss::transport::Duration::max();
+  std::size_t digits = 0;
+  while (digits < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[digits])) != 0)) {
+    ++digits;
+  }
+  if (digits == 0) return std::nullopt;
+  long long value = std::strtoll(std::string(text.substr(0, digits)).c_str(),
+                                 nullptr, 10);
+  std::string_view suffix = text.substr(digits);
+  if (suffix == "ms") return indiss::transport::millis(value);
+  if (suffix == "s" || suffix.empty()) {
+    return indiss::transport::seconds(value);
+  }
+  return std::nullopt;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--loopback | --iface NAME --addr A.B.C.D)\n"
+               "          [--name NAME] [--duration 2s|500ms|inf]\n"
+               "          [--sdps slp,upnp,mdns,jini] [--seed N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace indiss;
+
+  live::LiveConfig live_config;
+  live_config.name = "indissd";
+  bool loopback = false;
+  bool have_iface = false;
+  bool have_addr = false;
+  transport::Duration duration = transport::Duration::max();
+  std::set<core::SdpId> sdps = {core::SdpId::kSlp, core::SdpId::kUpnp,
+                                core::SdpId::kMdns};
+
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--loopback") {
+      loopback = true;
+    } else if (arg == "--name") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      live_config.name = v;
+    } else if (arg == "--iface") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      live_config.interface = v;
+      have_iface = true;
+    } else if (arg == "--addr") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      auto parsed = net::IpAddress::parse(v);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "indissd: bad --addr '%s'\n", v);
+        return 2;
+      }
+      live_config.address = *parsed;
+      have_addr = true;
+    } else if (arg == "--duration") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      auto parsed = parse_duration(v);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "indissd: bad --duration '%s'\n", v);
+        return 2;
+      }
+      duration = *parsed;
+    } else if (arg == "--sdps") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      sdps.clear();
+      for (auto part : str::split(v, ',')) {
+        auto sdp = sdp_from_name(str::trim(part));
+        if (!sdp.has_value()) {
+          std::fprintf(stderr, "indissd: unknown SDP '%.*s'\n",
+                       static_cast<int>(part.size()), part.data());
+          return 2;
+        }
+        sdps.insert(*sdp);
+      }
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      live_config.seed = std::strtoull(v, nullptr, 10);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (!loopback && !(have_iface && have_addr)) return usage(argv[0]);
+  if (loopback) {
+    live_config.interface = "lo";
+    live_config.address = net::IpAddress(127, 0, 0, 1);
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  live::EventLoop loop;
+  live::LiveTransport transport(loop, live_config);
+
+  core::IndissConfig config;
+  config.enabled_sdps = sdps;
+  core::Indiss indiss(transport, config);
+  indiss.start();
+  std::fprintf(stderr, "indissd: %s up on %s (%s), bridging",
+               live_config.name.c_str(),
+               live_config.address.to_string().c_str(),
+               live_config.interface.c_str());
+  for (core::SdpId sdp : sdps) {
+    std::fprintf(stderr, " %s", std::string(core::sdp_name(sdp)).c_str());
+  }
+  std::fprintf(stderr, "\n");
+
+  // Signals only interrupt epoll_wait; a periodic check turns the flag into
+  // a loop stop from inside the loop's own thread.
+  transport.schedule_periodic(transport::millis(50), [&loop]() {
+    if (g_stop.load()) loop.stop();
+  });
+
+  if (duration == transport::Duration::max()) {
+    loop.run();
+  } else {
+    loop.run_for(duration);
+  }
+  // --- Exit summary (greppable; the smoke test's assertion surface).
+  // Printed before stop(): stop() tears the unit registry down. -----------
+  std::printf("indissd name=%s up_ms=%.0f\n", live_config.name.c_str(),
+              transport::to_millis(loop.now()));
+  std::printf("monitor datagrams_seen=%llu\n",
+              static_cast<unsigned long long>(
+                  indiss.monitor().datagrams_seen()));
+  for (const auto& [sdp, when] : indiss.monitor().detected()) {
+    std::printf("detected sdp=%s at_ms=%.0f\n",
+                std::string(core::sdp_name(sdp)).c_str(),
+                transport::to_millis(when));
+  }
+  for (core::SdpId sdp : sdps) {
+    core::Unit* unit = indiss.unit(sdp);
+    if (unit == nullptr) continue;
+    const auto& s = unit->stats();
+    std::printf(
+        "unit sdp=%s parsed=%llu composed=%llu sessions=%llu dispatched=%llu "
+        "cache_hits=%llu\n",
+        std::string(core::sdp_name(sdp)).c_str(),
+        static_cast<unsigned long long>(s.messages_parsed),
+        static_cast<unsigned long long>(s.messages_composed),
+        static_cast<unsigned long long>(s.sessions_opened),
+        static_cast<unsigned long long>(s.streams_dispatched),
+        static_cast<unsigned long long>(s.cache_short_circuits));
+  }
+  if (auto* mdns = indiss.unit_as<core::MdnsUnit>(core::SdpId::kMdns)) {
+    std::printf("mdns announcements_sent=%llu cached_services=%zu\n",
+                static_cast<unsigned long long>(mdns->announcements_sent()),
+                mdns->foreign_services().size());
+  }
+  const auto& ts = transport.stats();
+  std::printf("traffic wire_bytes=%llu wire_packets=%llu\n",
+              static_cast<unsigned long long>(ts.wire_bytes()),
+              static_cast<unsigned long long>(ts.wire_packets()));
+  indiss.stop();
+  return 0;
+}

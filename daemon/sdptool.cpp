@@ -1,0 +1,167 @@
+// sdptool: scripted SDP traffic for exercising a live indissd from outside.
+//
+// Two subcommands, built on the same live transport the daemon uses:
+//
+//   sdptool ssdp-alive [--nt urn:...] [--usn uuid:...] [--location URL]
+//                      [--group 239.255.255.250] [--port 1900] [--repeat N]
+//     Multicasts a well-formed SSDP NOTIFY ssdp:alive and exits — the
+//     scripted device a smoke test stands in front of a gateway.
+//
+//   sdptool expect [--group 224.0.0.251] [--port 5353] [--timeout 3s]
+//                  [--contains TEXT]
+//     Joins the group and waits for one datagram (optionally containing
+//     TEXT as a byte substring). Exit 0 and a `match ...` line on success,
+//     exit 1 on timeout — the assertion half of the smoke test.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "live/event_loop.hpp"
+#include "live/transport.hpp"
+#include "upnp/ssdp.hpp"
+
+namespace {
+
+std::optional<indiss::transport::Duration> parse_duration(
+    std::string_view text) {
+  std::size_t digits = 0;
+  while (digits < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[digits])) != 0)) {
+    ++digits;
+  }
+  if (digits == 0) return std::nullopt;
+  long long value = std::strtoll(std::string(text.substr(0, digits)).c_str(),
+                                 nullptr, 10);
+  std::string_view suffix = text.substr(digits);
+  if (suffix == "ms") return indiss::transport::millis(value);
+  if (suffix == "s" || suffix.empty()) {
+    return indiss::transport::seconds(value);
+  }
+  return std::nullopt;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s ssdp-alive [--nt URN] [--usn USN] [--location URL]\n"
+               "                     [--group A.B.C.D] [--port N] [--repeat N]\n"
+               "       %s expect [--group A.B.C.D] [--port N] [--timeout 3s]\n"
+               "                 [--contains TEXT]\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace indiss;
+
+  if (argc < 2) return usage(argv[0]);
+  std::string_view command = argv[1];
+
+  net::IpAddress group;
+  std::uint16_t port = 0;
+  transport::Duration timeout = transport::seconds(3);
+  std::string nt = "urn:schemas-upnp-org:device:clock:1";
+  std::string usn = "uuid:sdptool-0001";
+  std::string location = "http://127.0.0.1:49152/description.xml";
+  std::string contains;
+  int repeat = 1;
+  if (command == "ssdp-alive") {
+    group = upnp::kSsdpMulticastGroup;
+    port = upnp::kSsdpPort;
+  } else if (command == "expect") {
+    group = net::IpAddress(224, 0, 0, 251);
+    port = 5353;
+  } else {
+    return usage(argv[0]);
+  }
+
+  for (int i = 2; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--group" && (v = next()) != nullptr) {
+      auto parsed = net::IpAddress::parse(v);
+      if (!parsed.has_value()) return usage(argv[0]);
+      group = *parsed;
+    } else if (arg == "--port" && (v = next()) != nullptr) {
+      port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--timeout" && (v = next()) != nullptr) {
+      auto parsed = parse_duration(v);
+      if (!parsed.has_value()) return usage(argv[0]);
+      timeout = *parsed;
+    } else if (arg == "--nt" && (v = next()) != nullptr) {
+      nt = v;
+    } else if (arg == "--usn" && (v = next()) != nullptr) {
+      usn = v;
+    } else if (arg == "--location" && (v = next()) != nullptr) {
+      location = v;
+    } else if (arg == "--contains" && (v = next()) != nullptr) {
+      contains = v;
+    } else if (arg == "--repeat" && (v = next()) != nullptr) {
+      repeat = std::atoi(v);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  live::EventLoop loop;
+  live::LiveConfig config;
+  config.name = "sdptool";
+  live::LiveTransport transport(loop, config);
+
+  if (command == "ssdp-alive") {
+    upnp::Notify notify;
+    notify.kind = upnp::Notify::Kind::kAlive;
+    notify.nt = nt;
+    notify.usn = usn;
+    notify.location = location;
+    std::string wire;
+    notify.serialize_into(wire);
+
+    auto socket = transport.open_udp(0);
+    net::Endpoint to{group, port};
+    for (int n = 0; n < repeat; ++n) {
+      socket->send_to(to, Bytes(wire.begin(), wire.end()));
+    }
+    // Let the kernel flush before the fd closes.
+    loop.run_for(transport::millis(20));
+    std::printf("sent ssdp-alive nt=%s to %s x%d\n", nt.c_str(),
+                to.to_string().c_str(), repeat);
+    return 0;
+  }
+
+  // expect
+  auto socket = transport.open_udp(port);
+  socket->join_group(group);
+  bool matched = false;
+  net::Datagram seen;
+  socket->set_receive_handler([&](const net::Datagram& datagram) {
+    if (!contains.empty()) {
+      auto it = std::search(datagram.payload.begin(), datagram.payload.end(),
+                            contains.begin(), contains.end());
+      if (it == datagram.payload.end()) return;
+    }
+    matched = true;
+    seen = datagram;
+    loop.stop();
+  });
+  loop.run_for(timeout);
+  if (!matched) {
+    std::fprintf(stderr, "expect: timeout after %.0f ms on %s:%u%s%s\n",
+                 transport::to_millis(timeout), group.to_string().c_str(),
+                 unsigned{port}, contains.empty() ? "" : " containing ",
+                 contains.c_str());
+    return 1;
+  }
+  std::printf("match from=%s bytes=%zu group=%s\n",
+              seen.source.to_string().c_str(), seen.payload.size(),
+              seen.destination.to_string().c_str());
+  return 0;
+}

@@ -6,6 +6,8 @@
 #include <cstdio>
 
 #include "core/indiss.hpp"
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "slp/agents.hpp"

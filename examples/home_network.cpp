@@ -8,6 +8,8 @@
 #include "core/indiss.hpp"
 #include "jini/client.hpp"
 #include "jini/lookup.hpp"
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "slp/agents.hpp"
@@ -26,7 +28,7 @@ int main() {
 
   // The home gateway runs INDISS with all three units.
   core::IndissConfig config;
-  config.enable_jini = true;
+  config.enabled_sdps.insert(core::SdpId::kJini);
   core::Indiss indiss(gateway, config);
   indiss.start();
 
@@ -99,8 +101,8 @@ int main() {
                 sim::format_millis(when).c_str());
   }
   std::printf("\nforeign services remembered by the SLP unit: %zu\n",
-              indiss.slp_unit()->foreign_services().size());
+              indiss.unit_as<core::SlpUnit>(core::SdpId::kSlp)->foreign_services().size());
   std::printf("devices impersonated by the UPnP unit: %zu\n",
-              indiss.upnp_unit()->impersonated_devices());
+              indiss.unit_as<core::UpnpUnit>(core::SdpId::kUpnp)->impersonated_devices());
   return 0;
 }

@@ -9,6 +9,8 @@
 
 #include "common/logging.hpp"
 #include "core/indiss.hpp"
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "slp/agents.hpp"
@@ -56,6 +58,6 @@ int main() {
   }
   std::printf("\nUPnP unit sessions completed: %llu\n",
               static_cast<unsigned long long>(
-                  indiss.upnp_unit()->stats().sessions_completed));
+                  indiss.unit_as<core::UpnpUnit>(core::SdpId::kUpnp)->stats().sessions_completed));
   return 0;
 }

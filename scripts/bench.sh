@@ -100,6 +100,24 @@ if [ "${COMPARE_ONLY}" = 0 ]; then
   fi
 fi
 
+# Shared tolerant loader for every place this script parses bench JSON.
+# On some hosts a conda-wrapped toolchain prepends its auto_activate_base
+# warning (or similar shell-hook chatter) to files produced under it; parse
+# from the first brace so noise never survives into the stamped documents
+# and stale noise in an old baseline cannot break a compare.
+LOAD_BENCH_JSON=$(cat <<'PYEOF'
+import json
+
+def load_bench_json(path):
+    with open(path) as f:
+        text = f.read()
+    start = text.find("{")
+    if start < 0:
+        raise SystemExit(f"error: {path} contains no JSON object")
+    return json.loads(text[start:])
+PYEOF
+)
+
 run_bench() {
   local target="$1" out="$2"
   echo "== build ${target} =="
@@ -130,9 +148,12 @@ run_bench() {
   # google-benchmark's "library_build_type" reports how the *system
   # libbenchmark* was compiled (Debian ships it without NDEBUG, so it always
   # says "debug"); record the build type of OUR bench binary explicitly so a
-  # Debug-built recording is visible in review.
-  python3 - "${out}" "${BENCH_DIR}/CMakeCache.txt" <<'EOF'
-import json
+  # Debug-built recording is visible in review. Stamping also round-trips the
+  # file through load_bench_json, so any shell-hook chatter a wrapped
+  # toolchain prepended (conda's auto_activate_base warning is the usual
+  # offender) is stripped instead of shipped inside the tracked JSON.
+  python3 - "${out}" "${BENCH_DIR}/CMakeCache.txt" <<EOF
+${LOAD_BENCH_JSON}
 import sys
 
 out_path, cache_path = sys.argv[1], sys.argv[2]
@@ -141,8 +162,7 @@ with open(cache_path) as f:
     for line in f:
         if line.startswith("CMAKE_BUILD_TYPE:"):
             build_type = line.split("=", 1)[1].strip().lower() or "unknown"
-with open(out_path) as f:
-    doc = json.load(f)
+doc = load_bench_json(out_path)
 doc.setdefault("context", {})["bench_binary_build_type"] = build_type
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)
@@ -160,14 +180,12 @@ if [ "${COMPARE_ONLY}" = 0 ]; then
     run_bench bench_abl_translation "${OUT_TRANSLATION}.roundtrip.tmp"
     run_bench bench_abl_storm "${OUT_TRANSLATION}.storm.tmp"
     python3 - "${OUT_TRANSLATION}.roundtrip.tmp" "${OUT_TRANSLATION}.storm.tmp" \
-        "${OUT_TRANSLATION}" <<'EOF'
-import json
+        "${OUT_TRANSLATION}" <<EOF
+${LOAD_BENCH_JSON}
 import sys
 
-with open(sys.argv[1]) as f:
-    merged = json.load(f)
-with open(sys.argv[2]) as f:
-    storm = json.load(f)
+merged = load_bench_json(sys.argv[1])
+storm = load_bench_json(sys.argv[2])
 merged["benchmarks"].extend(storm.get("benchmarks", []))
 with open(sys.argv[3], "w") as f:
     json.dump(merged, f, indent=2)
@@ -193,15 +211,14 @@ compare_events_rates() {
     exit 2
   fi
   echo "== compare ${current} against baseline ${baseline} =="
-  python3 - "${baseline}" "${current}" <<'EOF'
-import json
+  python3 - "${baseline}" "${current}" <<EOF
+${LOAD_BENCH_JSON}
 import sys
 
 baseline_path, current_path = sys.argv[1], sys.argv[2]
 
 def events_rates(path):
-    with open(path) as f:
-        doc = json.load(f)
+    doc = load_bench_json(path)
     rates = {}
     for bench in doc.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":

@@ -4,5 +4,5 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-find src tests bench examples \( -name '*.cpp' -o -name '*.hpp' \) -print0 \
+find src tests bench examples daemon \( -name '*.cpp' -o -name '*.hpp' \) -print0 \
   | xargs -0 clang-format --dry-run --Werror

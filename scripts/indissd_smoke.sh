@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Loopback smoke test for the live backend: two indissd gateways on
+# 127.0.0.1 bridge a scripted SSDP NOTIFY alive into the Bonjour world.
+#
+#   gwA bridges upnp+mdns: the scripted alive on 239.255.255.250:1900 comes
+#       out as a DNS-SD announcement on 224.0.0.251:5353.
+#   gwB bridges mdns+slp: it ingests gwA's announcement (counted in its exit
+#       summary) and, because the announcement carries the INDISS-bridge
+#       marker, does NOT re-translate it — the two-gateway loop stays closed.
+#   sdptool expect asserts the mDNS announcement really crossed the wire.
+#
+# Usage: scripts/indissd_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+INDISSD="$BUILD_DIR/daemon/indissd"
+SDPTOOL="$BUILD_DIR/daemon/sdptool"
+DURATION="${INDISSD_SMOKE_DURATION:-2s}"
+
+for bin in "$INDISSD" "$SDPTOOL"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "indissd_smoke: missing binary $bin (build the daemon/ targets first)" >&2
+    exit 2
+  fi
+done
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+"$INDISSD" --loopback --name gwA --duration "$DURATION" --sdps upnp,mdns \
+  > "$workdir/gwA.log" 2> "$workdir/gwA.err" &
+GWA=$!
+"$INDISSD" --loopback --name gwB --duration "$DURATION" --sdps mdns,slp \
+  > "$workdir/gwB.log" 2> "$workdir/gwB.err" &
+GWB=$!
+
+# Let both daemons join their groups before any traffic flows.
+sleep 0.4
+
+"$SDPTOOL" expect --timeout "$DURATION" --contains _clock \
+  > "$workdir/expect.log" 2>&1 &
+EXPECT=$!
+sleep 0.2
+
+"$SDPTOOL" ssdp-alive --nt urn:schemas-upnp-org:device:clock:1 \
+  > "$workdir/alive.log"
+
+fail() {
+  echo "indissd_smoke: FAIL: $1" >&2
+  for f in gwA.log gwA.err gwB.log gwB.err expect.log alive.log; do
+    echo "--- $f"; cat "$workdir/$f" || true
+  done >&2
+  exit 1
+}
+
+wait "$EXPECT" || fail "no mDNS announcement containing '_clock' seen on 224.0.0.251:5353"
+wait "$GWA" || fail "gwA exited non-zero"
+wait "$GWB" || fail "gwB exited non-zero"
+
+# gwA did the bridging: its upnp unit parsed the alive and dispatched it.
+grep -Eq 'unit sdp=upnp parsed=[1-9]' "$workdir/gwA.log" \
+  || fail "gwA upnp unit parsed nothing"
+grep -Eq 'mdns announcements_sent=[1-9]' "$workdir/gwA.log" \
+  || fail "gwA mdns unit announced nothing"
+
+# gwB heard the announcement (monitor + mdns unit), proving a second INDISS
+# node on the same wire sees bridged traffic...
+grep -Eq 'detected sdp=mdns' "$workdir/gwB.log" \
+  || fail "gwB monitor never detected mdns traffic"
+grep -Eq 'unit sdp=mdns parsed=[1-9]' "$workdir/gwB.log" \
+  || fail "gwB mdns unit parsed nothing"
+# ...but did not re-announce it: the INDISS-bridge marker keeps two-gateway
+# deployments loop-free (no goodbye, no re-translation — the entry just sits
+# in gwB's caches until its TTL lapses).
+grep -Eq 'mdns announcements_sent=0' "$workdir/gwB.log" \
+  || fail "gwB re-announced bridged traffic (gateway loop!)"
+
+echo "indissd_smoke: PASS"
+echo "--- gwA summary"; cat "$workdir/gwA.log"
+echo "--- gwB summary"; cat "$workdir/gwB.log"
+echo "--- expect"; cat "$workdir/expect.log"

@@ -1,13 +1,13 @@
 #include "core/indiss.hpp"
 
 #include "common/logging.hpp"
-#include "net/network.hpp"
 
 namespace indiss::core {
 
-Indiss::Indiss(net::Host& host, IndissConfig config)
-    : host_(host),
+Indiss::Indiss(transport::Transport& transport, IndissConfig config)
+    : host_(transport),
       config_(std::move(config)),
+      enabled_sdps_(config_.enabled_sdps),
       own_endpoints_(std::make_shared<OwnEndpoints>()) {
   if (config_.enable_translation_cache) {
     translation_cache_ =
@@ -19,58 +19,63 @@ Indiss::Indiss(net::Host& host, IndissConfig config)
 
 Indiss::~Indiss() { stop(); }
 
+std::unique_ptr<Unit> Indiss::make_unit(SdpId sdp) {
+  Unit::Options options = config_.unit_options;
+  options.own_endpoints = own_endpoints_;
+  options.translation_cache = translation_cache_;
+  switch (sdp) {
+    case SdpId::kSlp: {
+      auto unit_config = config_.slp;
+      unit_config.unit = options;
+      return std::make_unique<SlpUnit>(host_, unit_config);
+    }
+    case SdpId::kUpnp: {
+      auto unit_config = config_.upnp;
+      unit_config.unit = options;
+      return std::make_unique<UpnpUnit>(host_, unit_config);
+    }
+    case SdpId::kJini: {
+      auto unit_config = config_.jini;
+      unit_config.unit = options;
+      return std::make_unique<JiniUnit>(host_, unit_config);
+    }
+    case SdpId::kMdns: {
+      auto unit_config = config_.mdns;
+      unit_config.unit = options;
+      return std::make_unique<MdnsUnit>(host_, unit_config);
+    }
+  }
+  return nullptr;
+}
+
+void Indiss::attach_unit(SdpId sdp) {
+  auto [it, inserted] = units_.emplace(sdp, make_unit(sdp));
+  monitor_->forward_to(sdp, it->second.get());
+}
+
 void Indiss::start() {
   if (running_) return;
   running_ = true;
 
-  auto with_registry = [this](Unit::Options options) {
-    options.own_endpoints = own_endpoints_;
-    options.translation_cache = translation_cache_;
-    return options;
-  };
-
-  if (config_.enable_slp) {
-    auto unit_config = config_.slp;
-    unit_config.unit = with_registry(config_.unit_options);
-    slp_unit_ = std::make_unique<SlpUnit>(host_, unit_config);
-    monitor_->forward_to(SdpId::kSlp, slp_unit_.get());
-  }
-  if (config_.enable_upnp) {
-    auto unit_config = config_.upnp;
-    unit_config.unit = with_registry(config_.unit_options);
-    upnp_unit_ = std::make_unique<UpnpUnit>(host_, unit_config);
-    monitor_->forward_to(SdpId::kUpnp, upnp_unit_.get());
-  }
-  if (config_.enable_jini) {
-    auto unit_config = config_.jini;
-    unit_config.unit = with_registry(config_.unit_options);
-    jini_unit_ = std::make_unique<JiniUnit>(host_, unit_config);
-    monitor_->forward_to(SdpId::kJini, jini_unit_.get());
-  }
-  if (config_.enable_mdns) {
-    auto unit_config = config_.mdns;
-    unit_config.unit = with_registry(config_.unit_options);
-    mdns_unit_ = std::make_unique<MdnsUnit>(host_, unit_config);
-    monitor_->forward_to(SdpId::kMdns, mdns_unit_.get());
-  }
+  // Map order = SdpId order: slp, upnp, jini, mdns. Subscription (and so
+  // bus fan-out) order follows it.
+  for (SdpId sdp : enabled_sdps_) attach_unit(sdp);
   subscribe_units();
 
   for (const auto& entry : iana_table()) {
-    bool enabled = (entry.sdp == SdpId::kSlp && config_.enable_slp) ||
-                   (entry.sdp == SdpId::kUpnp && config_.enable_upnp) ||
-                   (entry.sdp == SdpId::kJini && config_.enable_jini) ||
-                   (entry.sdp == SdpId::kMdns && config_.enable_mdns);
-    if (enabled) monitor_->scan(entry);
+    if (enabled_sdps_.contains(entry.sdp)) monitor_->scan(entry);
   }
 
   if (config_.context.enabled) {
-    last_sample_bytes_ = host_.network().stats().wire_bytes();
-    sample_task_ = host_.network().scheduler().schedule_periodic(
+    last_sample_bytes_ = host_.stats().wire_bytes();
+    sample_task_ = host_.schedule_periodic(
         config_.context.sample_interval, [this]() { sample_traffic(); });
   }
   log::info("indiss", "started on ", host_.name(), " (slp=",
-            config_.enable_slp, " upnp=", config_.enable_upnp, " jini=",
-            config_.enable_jini, " mdns=", config_.enable_mdns, ")");
+            enabled_sdps_.contains(SdpId::kSlp), " upnp=",
+            enabled_sdps_.contains(SdpId::kUpnp), " jini=",
+            enabled_sdps_.contains(SdpId::kJini), " mdns=",
+            enabled_sdps_.contains(SdpId::kMdns), ")");
 }
 
 void Indiss::stop() {
@@ -83,74 +88,27 @@ void Indiss::stop() {
     monitor_->forward_to(sdp, nullptr);
     monitor_->stop_scanning(sdp);
   }
-  slp_unit_.reset();
-  upnp_unit_.reset();
-  jini_unit_.reset();
-  mdns_unit_.reset();
+  units_.clear();
 }
 
 void Indiss::subscribe_units() {
-  if (slp_unit_) bus_.subscribe(*slp_unit_);
-  if (upnp_unit_) bus_.subscribe(*upnp_unit_);
-  if (jini_unit_) bus_.subscribe(*jini_unit_);
-  if (mdns_unit_) bus_.subscribe(*mdns_unit_);
+  for (auto& [sdp, unit] : units_) {
+    if (unit->bus() == nullptr) bus_.subscribe(*unit);
+  }
   // The subscriber set defines what a cached translation fans out to;
   // (re)wiring invalidates everything composed under the old set.
   if (translation_cache_) translation_cache_->bump_generation();
 }
 
 Unit* Indiss::unit(SdpId sdp) {
-  switch (sdp) {
-    case SdpId::kSlp: return slp_unit_.get();
-    case SdpId::kUpnp: return upnp_unit_.get();
-    case SdpId::kJini: return jini_unit_.get();
-    case SdpId::kMdns: return mdns_unit_.get();
-  }
-  return nullptr;
+  auto it = units_.find(sdp);
+  return it == units_.end() ? nullptr : it->second.get();
 }
 
 void Indiss::enable_unit(SdpId sdp) {
   if (!running_ || unit(sdp) != nullptr) return;
-  auto base_options = [this]() {
-    Unit::Options options = config_.unit_options;
-    options.own_endpoints = own_endpoints_;
-    options.translation_cache = translation_cache_;
-    return options;
-  };
-  switch (sdp) {
-    case SdpId::kSlp: {
-      config_.enable_slp = true;
-      auto unit_config = config_.slp;
-      unit_config.unit = base_options();
-      slp_unit_ = std::make_unique<SlpUnit>(host_, unit_config);
-      monitor_->forward_to(SdpId::kSlp, slp_unit_.get());
-      break;
-    }
-    case SdpId::kUpnp: {
-      config_.enable_upnp = true;
-      auto unit_config = config_.upnp;
-      unit_config.unit = base_options();
-      upnp_unit_ = std::make_unique<UpnpUnit>(host_, unit_config);
-      monitor_->forward_to(SdpId::kUpnp, upnp_unit_.get());
-      break;
-    }
-    case SdpId::kJini: {
-      config_.enable_jini = true;
-      auto unit_config = config_.jini;
-      unit_config.unit = base_options();
-      jini_unit_ = std::make_unique<JiniUnit>(host_, unit_config);
-      monitor_->forward_to(SdpId::kJini, jini_unit_.get());
-      break;
-    }
-    case SdpId::kMdns: {
-      config_.enable_mdns = true;
-      auto unit_config = config_.mdns;
-      unit_config.unit = base_options();
-      mdns_unit_ = std::make_unique<MdnsUnit>(host_, unit_config);
-      monitor_->forward_to(SdpId::kMdns, mdns_unit_.get());
-      break;
-    }
-  }
+  enabled_sdps_.insert(sdp);
+  attach_unit(sdp);
   for (const auto& entry : iana_table()) {
     if (entry.sdp == sdp) monitor_->scan(entry);
   }
@@ -163,40 +121,15 @@ void Indiss::disable_unit(SdpId sdp) {
   // can deliver into the freed unit afterwards.
   monitor_->forward_to(sdp, nullptr);
   monitor_->stop_scanning(sdp);
-  switch (sdp) {
-    case SdpId::kSlp:
-      config_.enable_slp = false;
-      slp_unit_.reset();
-      break;
-    case SdpId::kUpnp:
-      config_.enable_upnp = false;
-      upnp_unit_.reset();
-      break;
-    case SdpId::kJini:
-      config_.enable_jini = false;
-      jini_unit_.reset();
-      break;
-    case SdpId::kMdns:
-      config_.enable_mdns = false;
-      mdns_unit_.reset();
-      break;
-  }
+  enabled_sdps_.erase(sdp);
+  units_.erase(sdp);
   // Cached frames hold the detached unit's sockets (now closed, so replays
   // are inert) — invalidate so the remaining units re-translate fresh.
   if (translation_cache_) translation_cache_->bump_generation();
 }
 
-std::size_t Indiss::unit_count() const {
-  std::size_t count = 0;
-  if (slp_unit_) ++count;
-  if (upnp_unit_) ++count;
-  if (jini_unit_) ++count;
-  if (mdns_unit_) ++count;
-  return count;
-}
-
 void Indiss::sample_traffic() {
-  std::uint64_t bytes = host_.network().stats().wire_bytes();
+  std::uint64_t bytes = host_.stats().wire_bytes();
   double interval_sec =
       static_cast<double>(config_.context.sample_interval.count()) / 1e9;
   double rate = static_cast<double>(bytes - last_sample_bytes_) / interval_sec;
@@ -210,16 +143,15 @@ void Indiss::sample_traffic() {
     log::info("indiss", "traffic ", rate, " B/s below threshold: going active");
   }
   active_mode_ = should_be_active;
-  if (upnp_unit_) upnp_unit_->set_active_advertising(active_mode_);
+  if (auto* upnp = unit_as<UpnpUnit>(SdpId::kUpnp)) {
+    upnp->set_active_advertising(active_mode_);
+  }
   if (active_mode_) trigger_active_probe();
 }
 
 void Indiss::trigger_active_probe() {
   for (const auto& type : config_.context.probe_types) {
-    if (slp_unit_) slp_unit_->probe(type);
-    if (upnp_unit_) upnp_unit_->probe(type);
-    if (jini_unit_) jini_unit_->probe(type);
-    if (mdns_unit_) mdns_unit_->probe(type);
+    for (auto& [sdp, unit] : units_) unit->probe(type);
   }
 }
 

@@ -14,10 +14,16 @@
 // all-to-all as event listeners, and the ContextManager reshapes behaviour
 // (passive interception vs active re-advertisement) as traffic conditions
 // evolve (Fig 6).
+//
+// Indiss runs against transport::Transport, so the same object bridges the
+// simulated testbed (net::Host) and real multicast networks
+// (live::LiveTransport inside indissd) without a line of difference.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -29,8 +35,7 @@
 #include "core/units/mdns_unit.hpp"
 #include "core/units/slp_unit.hpp"
 #include "core/units/upnp_unit.hpp"
-#include "net/host.hpp"
-#include "sim/scheduler.hpp"
+#include "transport/transport.hpp"
 
 namespace indiss::core {
 
@@ -40,16 +45,16 @@ namespace indiss::core {
 struct ContextPolicy {
   bool enabled = false;
   double traffic_threshold_bytes_per_sec = 500.0;
-  sim::SimDuration sample_interval = sim::seconds(5);
+  transport::Duration sample_interval = transport::seconds(5);
   /// Canonical service types probed in active mode.
   std::vector<std::string> probe_types = {"clock"};
 };
 
 struct IndissConfig {
-  bool enable_slp = true;
-  bool enable_upnp = true;
-  bool enable_jini = false;  // the paper's prototype shipped SLP + UPnP
-  bool enable_mdns = false;
+  /// SDPs bridged from start(). Units exist exactly for this set; the
+  /// paper's prototype shipped SLP + UPnP. Iteration (and therefore bus
+  /// subscription) order is SdpId order: slp, upnp, jini, mdns.
+  std::set<SdpId> enabled_sdps = {SdpId::kSlp, SdpId::kUpnp};
   Unit::Options unit_options;
   SlpUnit::Config slp;
   UpnpUnit::Config upnp;
@@ -65,13 +70,13 @@ struct IndissConfig {
 
 class Indiss {
  public:
-  explicit Indiss(net::Host& host, IndissConfig config = {});
+  explicit Indiss(transport::Transport& transport, IndissConfig config = {});
   ~Indiss();
 
   Indiss(const Indiss&) = delete;
   Indiss& operator=(const Indiss&) = delete;
 
-  /// Instantiates the configured units, subscribes them to the event bus,
+  /// Instantiates a unit per enabled SDP, subscribes them to the event bus,
   /// points the monitor at the IANA table entries of the enabled SDPs, and
   /// (when configured) starts the context manager.
   void start();
@@ -86,12 +91,26 @@ class Indiss {
   /// The bus all inter-unit event delivery goes through.
   [[nodiscard]] EventBus& bus() { return bus_; }
   [[nodiscard]] const EventBus& bus() const { return bus_; }
-  [[nodiscard]] SlpUnit* slp_unit() { return slp_unit_.get(); }
-  [[nodiscard]] UpnpUnit* upnp_unit() { return upnp_unit_.get(); }
-  [[nodiscard]] JiniUnit* jini_unit() { return jini_unit_.get(); }
-  [[nodiscard]] MdnsUnit* mdns_unit() { return mdns_unit_.get(); }
+
+  /// The unit bridging `sdp`, or nullptr while that SDP is disabled. This is
+  /// the only lookup path — units are registry entries, not named members.
   [[nodiscard]] Unit* unit(SdpId sdp);
-  [[nodiscard]] net::Host& host() { return host_; }
+
+  /// Registry lookup downcast to a concrete unit type (tests and the
+  /// context manager poking SDP-specific surface). Nullptr when the SDP is
+  /// disabled or U is not that unit's type.
+  template <typename U>
+  [[nodiscard]] U* unit_as(SdpId sdp) {
+    return dynamic_cast<U*>(unit(sdp));
+  }
+
+  /// SDPs with a live unit right now (start()-time config plus dynamic
+  /// enable/disable edits).
+  [[nodiscard]] const std::set<SdpId>& enabled_sdps() const {
+    return enabled_sdps_;
+  }
+
+  [[nodiscard]] transport::Transport& transport() { return host_; }
 
   /// Dynamic composition (Fig 5's evolution of the INDISS configuration):
   /// adds a unit for an SDP that was not part of the initial configuration.
@@ -110,26 +129,28 @@ class Indiss {
 
   /// Total footprint proxy: bytes of live unit/session state (Table 2's
   /// runtime companion measurement).
-  [[nodiscard]] std::size_t unit_count() const;
+  [[nodiscard]] std::size_t unit_count() const { return units_.size(); }
 
  private:
   void sample_traffic();
   void subscribe_units();
+  [[nodiscard]] std::unique_ptr<Unit> make_unit(SdpId sdp);
+  void attach_unit(SdpId sdp);
 
-  net::Host& host_;
+  transport::Transport& host_;
   IndissConfig config_;
+  std::set<SdpId> enabled_sdps_;
   std::shared_ptr<OwnEndpoints> own_endpoints_;
   std::shared_ptr<TranslationCache> translation_cache_;
   EventBus bus_;
   std::unique_ptr<Monitor> monitor_;
-  std::unique_ptr<SlpUnit> slp_unit_;
-  std::unique_ptr<UpnpUnit> upnp_unit_;
-  std::unique_ptr<JiniUnit> jini_unit_;
-  std::unique_ptr<MdnsUnit> mdns_unit_;
+  /// SdpId-keyed unit registry; map order = SdpId order = bus subscription
+  /// order (fig6-9 determinism depends on it).
+  std::map<SdpId, std::unique_ptr<Unit>> units_;
   bool running_ = false;
   bool active_mode_ = false;
   std::uint64_t last_sample_bytes_ = 0;
-  sim::TaskHandle sample_task_;
+  transport::TaskHandle sample_task_;
 };
 
 }  // namespace indiss::core

@@ -4,7 +4,6 @@
 #include "core/unit.hpp"
 #include "jini/discovery.hpp"
 #include "mdns/dns.hpp"
-#include "net/network.hpp"
 #include "slp/agents.hpp"
 #include "upnp/ssdp.hpp"
 
@@ -21,15 +20,16 @@ const std::vector<IanaEntry>& iana_table() {
   return kTable;
 }
 
-Monitor::Monitor(net::Host& host, std::shared_ptr<OwnEndpoints> own_endpoints)
-    : host_(host), own_endpoints_(std::move(own_endpoints)) {}
+Monitor::Monitor(transport::Transport& transport,
+                 std::shared_ptr<OwnEndpoints> own_endpoints)
+    : host_(transport), own_endpoints_(std::move(own_endpoints)) {}
 
 Monitor::~Monitor() {
   for (auto& [sdp, socket] : sockets_) socket->close();
 }
 
 void Monitor::scan(const IanaEntry& entry) {
-  auto socket = host_.udp_socket(entry.port);
+  auto socket = host_.open_udp(entry.port);
   socket->join_group(entry.group);
   SdpId sdp = entry.sdp;
   socket->set_receive_handler([this, sdp](const net::Datagram& datagram) {
@@ -62,7 +62,7 @@ void Monitor::on_datagram(SdpId sdp, const net::Datagram& datagram) {
 
   // Detection is data *arrival*, not data content (paper §2.1).
   if (!detected_.contains(sdp)) {
-    detected_[sdp] = host_.network().scheduler().now();
+    detected_[sdp] = host_.now();
     log::info("monitor", "detected ", sdp_name(sdp), " on port ",
               datagram.destination.port);
   }

@@ -23,9 +23,7 @@
 
 #include "core/translation_cache.hpp"
 #include "core/types.hpp"
-#include "net/host.hpp"
-#include "net/udp.hpp"
-#include "sim/time.hpp"
+#include "transport/transport.hpp"
 
 namespace indiss::core {
 
@@ -37,7 +35,7 @@ class Monitor {
   using DetectionHandler =
       std::function<void(SdpId, const net::Datagram&)>;
 
-  Monitor(net::Host& host,
+  Monitor(transport::Transport& transport,
           std::shared_ptr<OwnEndpoints> own_endpoints = nullptr);
   ~Monitor();
 
@@ -55,7 +53,7 @@ class Monitor {
   void forward_to(SdpId sdp, Unit* unit);
 
   /// SDPs observed so far, with first-detection timestamps.
-  [[nodiscard]] const std::map<SdpId, sim::SimTime>& detected() const {
+  [[nodiscard]] const std::map<SdpId, transport::TimePoint>& detected() const {
     return detected_;
   }
   [[nodiscard]] bool has_detected(SdpId sdp) const {
@@ -93,12 +91,12 @@ class Monitor {
  private:
   void on_datagram(SdpId sdp, const net::Datagram& datagram);
 
-  net::Host& host_;
+  transport::Transport& host_;
   std::shared_ptr<OwnEndpoints> own_endpoints_;
   std::shared_ptr<const TranslationCache> translation_cache_;
-  std::vector<std::pair<SdpId, std::shared_ptr<net::UdpSocket>>> sockets_;
+  std::vector<std::pair<SdpId, std::shared_ptr<transport::UdpSocket>>> sockets_;
   std::map<SdpId, Unit*> forwards_;
-  std::map<SdpId, sim::SimTime> detected_;
+  std::map<SdpId, transport::TimePoint> detected_;
   DetectionHandler detection_handler_;
   std::uint64_t datagrams_seen_ = 0;
   std::uint64_t datagrams_filtered_ = 0;

@@ -14,7 +14,7 @@
 #include "core/event.hpp"
 #include "core/types.hpp"
 #include "net/address.hpp"
-#include "sim/time.hpp"
+#include "transport/time.hpp"
 
 namespace indiss::core {
 
@@ -48,7 +48,7 @@ struct Session {
   std::string active_parser;
 
   bool done = false;
-  sim::SimTime created_at{0};
+  transport::TimePoint created_at{0};
 
   /// The returned view aliases the session's storage; copy it if it must
   /// outlive the session (or survive a later set_var of the same key).

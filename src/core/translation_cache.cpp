@@ -15,7 +15,7 @@ std::uint64_t wire_hash(BytesView bytes) {
 
 const TranslationCache::Bundle* TranslationCache::lookup(SdpId source,
                                                          BytesView bytes,
-                                                         sim::SimTime now) {
+                                                         transport::TimePoint now) {
   auto& stats = stats_[static_cast<std::size_t>(source)];
   Key key{source, wire_hash(bytes),
           static_cast<std::uint32_t>(bytes.size())};
@@ -42,7 +42,7 @@ void TranslationCache::replay(SdpId source, const Bundle& bundle) {
 
 void TranslationCache::open_bundle(SdpId source, BytesView bytes,
                                    std::uint64_t origin_session,
-                                   sim::SimTime now) {
+                                   transport::TimePoint now) {
   if (config_.max_entries == 0) return;  // bound of 0 = store nothing
   Key key{source, wire_hash(bytes),
           static_cast<std::uint32_t>(bytes.size())};

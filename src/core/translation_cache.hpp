@@ -52,8 +52,7 @@
 #include "common/bytes.hpp"
 #include "core/types.hpp"
 #include "net/address.hpp"
-#include "net/udp.hpp"
-#include "sim/time.hpp"
+#include "transport/transport.hpp"
 
 namespace indiss::core {
 
@@ -68,14 +67,14 @@ class TranslationCache {
     /// A bundle replays only this long after creation, so every target
     /// unit's deferred compose has landed. Keep well above the units'
     /// translate_delay and well below the shortest re-announcement period.
-    sim::SimDuration settle = sim::millis(200);
+    transport::Duration settle = transport::millis(200);
   };
 
   /// A composed outbound frame one target unit produced for the cached
   /// advertisement: replaying it is byte-identical to re-translating.
   struct Frame {
     SdpId target = SdpId::kSlp;
-    std::shared_ptr<net::UdpSocket> socket;
+    std::shared_ptr<transport::UdpSocket> socket;
     net::Endpoint to;
     std::shared_ptr<const Bytes> payload;
 
@@ -96,7 +95,7 @@ class TranslationCache {
     Bytes wire;  // full key bytes: hits are byte-verified, not hash-trusted
     std::uint64_t generation = 0;
     std::uint64_t last_used = 0;
-    sim::SimTime created_at{0};
+    transport::TimePoint created_at{0};
   };
 
   struct SdpStats {
@@ -114,7 +113,7 @@ class TranslationCache {
   /// arriving at the `source` unit, or nullptr (counting a miss). The
   /// returned pointer is valid until the next non-const cache call.
   [[nodiscard]] const Bundle* lookup(SdpId source, BytesView bytes,
-                                     sim::SimTime now);
+                                     transport::TimePoint now);
 
   /// Replays every frame of a bundle returned by lookup() and counts them.
   void replay(SdpId source, const Bundle& bundle);
@@ -124,7 +123,7 @@ class TranslationCache {
   /// current-generation bundle already exists (a repeat arriving inside the
   /// settle window must not wipe the frames the first pass collected).
   void open_bundle(SdpId source, BytesView bytes, std::uint64_t origin_session,
-                   sim::SimTime now);
+                   transport::TimePoint now);
 
   /// Called by a *target* unit when it composes an outbound advertisement
   /// frame for a peer session: appends the frame to the bundle its origin

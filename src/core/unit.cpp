@@ -3,12 +3,11 @@
 #include <stdexcept>
 
 #include "common/logging.hpp"
-#include "net/network.hpp"
 
 namespace indiss::core {
 
-Unit::Unit(SdpId sdp, net::Host& host, Options options)
-    : sdp_(sdp), host_(host), options_(options) {}
+Unit::Unit(SdpId sdp, transport::Transport& transport, Options options)
+    : sdp_(sdp), host_(transport), options_(options) {}
 
 Unit::~Unit() {
   // A unit destroyed while still subscribed must not leave a dangling
@@ -16,10 +15,9 @@ Unit::~Unit() {
   if (bus_ != nullptr) bus_->unsubscribe(*this);
 }
 
-sim::Scheduler& Unit::scheduler() { return host_.network().scheduler(); }
-
-void Unit::schedule_guarded(sim::SimDuration delay, std::function<void()> fn) {
-  scheduler().schedule(
+void Unit::schedule_guarded(transport::Duration delay,
+                            std::function<void()> fn) {
+  host_.schedule(
       delay, [alive = std::weak_ptr<void>(alive_), fn = std::move(fn)]() {
         if (!alive.expired()) fn();
       });
@@ -43,7 +41,7 @@ Session& Unit::open_session(Session::Origin origin) {
   session.origin = origin;
   session.state = fsm_.start();
   session.active_parser = default_parser_;
-  session.created_at = scheduler().now();
+  session.created_at = now();
   // The collected buffer is pooled: a unit translating a steady message flow
   // stops allocating stream storage once the pool is warm.
   session.collected = stream_pool_.acquire();
@@ -117,7 +115,7 @@ void Unit::on_native_message(const net::Datagram& datagram) {
     TranslationCache* cache = options_.translation_cache.get();
     if (cache != nullptr) {
       if (const auto* bundle =
-              cache->lookup(sdp_, datagram.payload, scheduler().now())) {
+              cache->lookup(sdp_, datagram.payload, now())) {
         cache->replay(sdp_, *bundle);
         stats_.cache_short_circuits += 1;
         return;
@@ -148,7 +146,7 @@ void Unit::on_native_message(const net::Datagram& datagram) {
       } else if (kind == "alive" || kind == "register" ||
                  kind == "repo_announce") {
         cache->open_bundle(sdp_, datagram.payload, session_id,
-                           scheduler().now());
+                           now());
       }
     }
   });
@@ -214,14 +212,14 @@ Action Unit::set(std::string var, std::string value) {
   };
 }
 
-void Unit::mark_own(const net::UdpSocket& socket) {
+void Unit::mark_own(const transport::UdpSocket& socket) {
   if (options_.own_endpoints != nullptr) {
     options_.own_endpoints->insert(socket.local_endpoint());
   }
 }
 
 void Unit::cache_outbound_frame(const Session& session,
-                                std::shared_ptr<net::UdpSocket> socket,
+                                std::shared_ptr<transport::UdpSocket> socket,
                                 const net::Endpoint& to, BytesView payload) {
   TranslationCache* cache = options_.translation_cache.get();
   if (cache == nullptr || session.origin != Session::Origin::kPeer) return;

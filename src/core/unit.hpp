@@ -30,10 +30,8 @@
 #include "core/session.hpp"
 #include "core/translation_cache.hpp"
 #include "core/types.hpp"
-#include "net/host.hpp"
 #include "net/packet.hpp"
-#include "net/udp.hpp"
-#include "sim/scheduler.hpp"
+#include "transport/transport.hpp"
 
 namespace indiss::core {
 
@@ -41,9 +39,9 @@ struct UnitOptions {
   /// INDISS's own per-message processing cost (parse or compose). This is
   /// the system's overhead knob; Ablation A1 measures the real wall-clock
   /// cost, this models it in simulated time.
-  sim::SimDuration translate_delay = sim::micros(20);
+  transport::Duration translate_delay = transport::micros(20);
   /// Forget completed/abandoned sessions after this long.
-  sim::SimDuration session_timeout = sim::seconds(10);
+  transport::Duration session_timeout = transport::seconds(10);
   /// Own-endpoint registry shared with the monitor (loop prevention). May
   /// be null for standalone unit tests.
   std::shared_ptr<OwnEndpoints> own_endpoints;
@@ -57,14 +55,16 @@ class Unit {
  public:
   using Options = UnitOptions;
 
-  Unit(SdpId sdp, net::Host& host, Options options = {});
+  Unit(SdpId sdp, transport::Transport& transport, Options options = {});
   virtual ~Unit();
 
   Unit(const Unit&) = delete;
   Unit& operator=(const Unit&) = delete;
 
   [[nodiscard]] SdpId sdp() const { return sdp_; }
-  [[nodiscard]] net::Host& host() { return host_; }
+  /// The node this unit is deployed on — sim Host or live event loop; units
+  /// never see which.
+  [[nodiscard]] transport::Transport& transport() { return host_; }
   [[nodiscard]] const Options& options() const { return options_; }
 
   /// The bus this unit is subscribed to, or nullptr while detached. Wiring
@@ -178,10 +178,10 @@ class Unit {
   [[nodiscard]] StreamPool& stream_pool() { return stream_pool_; }
 
   /// Schedules `fn` to run after `delay` only while this unit is alive.
-  /// Scheduler callbacks otherwise outlive units destroyed mid-run by
+  /// Timer callbacks otherwise outlive units destroyed mid-run by
   /// dynamic detach (Indiss::disable_unit) or stop() — `fn` may capture
   /// `this` safely.
-  void schedule_guarded(sim::SimDuration delay, std::function<void()> fn);
+  void schedule_guarded(transport::Duration delay, std::function<void()> fn);
 
   /// Lifetime token for guards in subclass-owned callbacks (HTTP fetches,
   /// socket handlers): bail out when expired.
@@ -192,21 +192,21 @@ class Unit {
                           const MessageContext& ctx);
 
   /// Registers a socket's endpoint in the shared own-endpoint set.
-  void mark_own(const net::UdpSocket& socket);
+  void mark_own(const transport::UdpSocket& socket);
 
   /// Target-side cache hook: a composer produced an outbound advertisement
   /// frame for a peer session; stores it so the source unit can replay it
   /// when the same wire bytes arrive again. No-op without a cache, for
   /// non-peer sessions, or when the origin session opened no bundle.
   void cache_outbound_frame(const Session& session,
-                            std::shared_ptr<net::UdpSocket> socket,
+                            std::shared_ptr<transport::UdpSocket> socket,
                             const net::Endpoint& to, BytesView payload);
 
   [[nodiscard]] TranslationCache* translation_cache() {
     return options_.translation_cache.get();
   }
 
-  [[nodiscard]] sim::Scheduler& scheduler();
+  [[nodiscard]] transport::TimePoint now() const { return host_.now(); }
 
   StateMachine fsm_;
   Stats stats_;
@@ -222,7 +222,7 @@ class Unit {
   void close_session(std::uint64_t id);
 
   SdpId sdp_;
-  net::Host& host_;
+  transport::Transport& host_;
   Options options_;
   EventBus* bus_ = nullptr;
   std::shared_ptr<void> alive_ = std::make_shared<char>('\0');

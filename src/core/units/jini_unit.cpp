@@ -7,8 +7,6 @@
 #include "common/strings.hpp"
 #include "core/typemap.hpp"
 #include "jini/discovery.hpp"
-#include "net/network.hpp"
-#include "net/tcp.hpp"
 
 namespace indiss::core {
 
@@ -112,8 +110,8 @@ bool compose_jini_announcement(const EventStream& stream,
 
 // ---------------------------------------------------------------------------
 
-JiniUnit::JiniUnit(net::Host& host, Config config)
-    : Unit(SdpId::kJini, host, config.unit), config_(config) {
+JiniUnit::JiniUnit(transport::Transport& transport, Config config)
+    : Unit(SdpId::kJini, transport, config.unit), config_(config) {
   register_parser(std::make_unique<JiniEventParser>());
   set_default_parser("jini");
   build_standard_fsm(fsm_);
@@ -156,7 +154,7 @@ void JiniUnit::registrar_op(Bytes request, std::function<void(Bytes)> handler) {
     handler({});
     return;
   }
-  auto socket = host().tcp_connect(*registrar_);
+  auto socket = transport().connect_tcp(*registrar_);
   if (socket == nullptr) {
     handler({});
     return;

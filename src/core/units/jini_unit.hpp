@@ -20,7 +20,6 @@
 #include "core/unit.hpp"
 #include "core/units/standard_fsm.hpp"
 #include "jini/lookup.hpp"
-#include "net/udp.hpp"
 
 namespace indiss::core {
 
@@ -56,7 +55,7 @@ class JiniUnit : public Unit {
  public:
   using Config = JiniUnitConfig;
 
-  JiniUnit(net::Host& host, Config config = {});
+  JiniUnit(transport::Transport& transport, Config config = {});
   ~JiniUnit() override;
 
   [[nodiscard]] std::optional<net::Endpoint> known_registrar() const {

@@ -6,7 +6,6 @@
 #include "common/reuse.hpp"
 #include "common/strings.hpp"
 #include "core/typemap.hpp"
-#include "net/network.hpp"
 
 namespace indiss::core {
 
@@ -356,8 +355,8 @@ std::size_t compose_dnssd_answers(const EventStream& stream,
 // MdnsUnit
 // ---------------------------------------------------------------------------
 
-MdnsUnit::MdnsUnit(net::Host& host, Config config)
-    : Unit(SdpId::kMdns, host, config.unit), config_(config) {
+MdnsUnit::MdnsUnit(transport::Transport& transport, Config config)
+    : Unit(SdpId::kMdns, transport, config.unit), config_(config) {
   register_parser(std::make_unique<MdnsEventParser>());
   set_default_parser("mdns");
   build_standard_fsm(fsm_);
@@ -366,7 +365,7 @@ MdnsUnit::MdnsUnit(net::Host& host, Config config)
   fsm_.add_tuple("parsing", EventType::kMdnsQuestion, any(), "parsing",
                  {Unit::record("qname", "name"), Unit::record("qid", "id")});
 
-  reply_socket_ = host.udp_socket(0);
+  reply_socket_ = transport.open_udp(0);
   mark_own(*reply_socket_);
 }
 
@@ -389,7 +388,7 @@ void MdnsUnit::compose_native_request(Session& session) {
   append_marker(compose_scratch_, &additionals);
   compose_scratch_.additionals.resize(additionals);
 
-  auto socket = host().udp_socket(0);
+  auto socket = this->transport().open_udp(0);
   mark_own(*socket);
   std::uint64_t session_id = session.id;
   socket->set_receive_handler([this, session_id](const net::Datagram& d) {
@@ -397,7 +396,7 @@ void MdnsUnit::compose_native_request(Session& session) {
     ctx.source = d.source;
     ctx.destination = d.destination;
     ctx.multicast = d.multicast;
-    ctx.from_local_host = d.source.address == host().address();
+    ctx.from_local_host = d.source.address == transport().address();
     schedule_guarded(options().translate_delay, [this, session_id, d, ctx]() {
       on_native_response(session_id, d.payload, ctx);
     });
@@ -438,11 +437,11 @@ void MdnsUnit::compose_native_reply(Session& session) {
   // medium; loopback interception answers immediately.
   bool from_network = session.var("src_local") != "1" &&
                       session.var("net") == "multicast";
-  sim::SimDuration pacing =
-      from_network ? config_.response_pacing : sim::SimDuration::zero();
+  transport::Duration pacing =
+      from_network ? config_.response_pacing : transport::Duration::zero();
   BytesView wire = encoder_.encode(compose_scratch_);
   Bytes payload(wire.begin(), wire.end());
-  scheduler().schedule(pacing, [socket = reply_socket_, to,
+  transport().schedule(pacing, [socket = reply_socket_, to,
                                 payload = std::move(payload)]() {
     if (!socket->closed()) socket->send_to(to, payload);
   });

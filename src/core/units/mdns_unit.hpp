@@ -29,7 +29,6 @@
 #include "core/unit.hpp"
 #include "core/units/standard_fsm.hpp"
 #include "mdns/dns.hpp"
-#include "net/udp.hpp"
 
 namespace indiss::core {
 
@@ -54,7 +53,7 @@ struct MdnsUnitConfig {
   std::uint32_t record_ttl = 120;
   /// Answers to multicast queries that crossed the shared medium are paced
   /// (RFC 6762 §6 etiquette); loopback queries are answered immediately.
-  sim::SimDuration response_pacing = sim::millis(20);
+  transport::Duration response_pacing = transport::millis(20);
 };
 
 /// A foreign service the unit bridges into the Bonjour world.
@@ -71,7 +70,7 @@ class MdnsUnit : public Unit {
  public:
   using Config = MdnsUnitConfig;
 
-  MdnsUnit(net::Host& host, Config config = {});
+  MdnsUnit(transport::Transport& transport, Config config = {});
   ~MdnsUnit() override;
 
   [[nodiscard]] const std::vector<MdnsForeignService>& foreign_services()
@@ -93,8 +92,9 @@ class MdnsUnit : public Unit {
                                 const MdnsForeignService& hint);
 
   Config config_;
-  std::shared_ptr<net::UdpSocket> reply_socket_;
-  std::map<std::uint64_t, std::shared_ptr<net::UdpSocket>> client_sockets_;
+  std::shared_ptr<transport::UdpSocket> reply_socket_;
+  std::map<std::uint64_t, std::shared_ptr<transport::UdpSocket>>
+      client_sockets_;
   std::vector<MdnsForeignService> foreign_services_;
   std::set<std::string> announced_urls_;
   mdns::DnsMessage compose_scratch_;

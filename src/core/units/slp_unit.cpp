@@ -4,7 +4,6 @@
 #include "common/reuse.hpp"
 #include "common/strings.hpp"
 #include "core/typemap.hpp"
-#include "net/network.hpp"
 #include "slp/agents.hpp"
 
 namespace indiss::core {
@@ -204,8 +203,8 @@ std::size_t compose_slp_reply(const EventStream& stream, std::string_view type,
 
 // ---------------------------------------------------------------------------
 
-SlpUnit::SlpUnit(net::Host& host, Config config)
-    : Unit(SdpId::kSlp, host, config.unit), config_(config) {
+SlpUnit::SlpUnit(transport::Transport& transport, Config config)
+    : Unit(SdpId::kSlp, transport, config.unit), config_(config) {
   register_parser(std::make_unique<SlpEventParser>());
   set_default_parser("slp");
   build_standard_fsm(fsm_);
@@ -218,7 +217,7 @@ SlpUnit::SlpUnit(net::Host& host, Config config)
   fsm_.add_tuple("parsing", EventType::kSlpReqScope, any(), "parsing",
                  {Unit::record("scopes", "scopes")});
 
-  reply_socket_ = host.udp_socket(0);
+  reply_socket_ = transport.open_udp(0);
   mark_own(*reply_socket_);
 }
 
@@ -240,7 +239,7 @@ void SlpUnit::compose_native_request(Session& session) {
   // does not translate it back (two-node deployments would loop forever).
   request.previous_responders = "INDISS-bridge";
 
-  auto socket = host().udp_socket(0);
+  auto socket = this->transport().open_udp(0);
   mark_own(*socket);
   std::uint64_t session_id = session.id;
   socket->set_receive_handler([this, session_id](const net::Datagram& d) {
@@ -248,7 +247,7 @@ void SlpUnit::compose_native_request(Session& session) {
     ctx.source = d.source;
     ctx.destination = d.destination;
     ctx.multicast = d.multicast;
-    ctx.from_local_host = d.source.address == host().address();
+    ctx.from_local_host = d.source.address == transport().address();
     schedule_guarded(options().translate_delay, [this, session_id, d, ctx]() {
       on_native_response(session_id, d.payload, ctx);
     });

@@ -10,7 +10,6 @@
 
 #include "core/unit.hpp"
 #include "core/units/standard_fsm.hpp"
-#include "net/udp.hpp"
 #include "slp/service.hpp"
 #include "slp/wire.hpp"
 
@@ -69,7 +68,7 @@ class SlpUnit : public Unit {
  public:
   using Config = SlpUnitConfig;
 
-  SlpUnit(net::Host& host, Config config = {});
+  SlpUnit(transport::Transport& transport, Config config = {});
   ~SlpUnit() override;
 
   [[nodiscard]] const std::vector<ForeignService>& foreign_services() const {
@@ -84,8 +83,9 @@ class SlpUnit : public Unit {
 
  private:
   Config config_;
-  std::shared_ptr<net::UdpSocket> reply_socket_;
-  std::map<std::uint64_t, std::shared_ptr<net::UdpSocket>> client_sockets_;
+  std::shared_ptr<transport::UdpSocket> reply_socket_;
+  std::map<std::uint64_t, std::shared_ptr<transport::UdpSocket>>
+      client_sockets_;
   std::vector<ForeignService> foreign_services_;
   std::uint16_t next_xid_ = 0x4000;  // distinct from native agents' ranges
   // Compose-side scratch (slot-reused across replies; docs/events.md).

@@ -6,7 +6,6 @@
 #include "common/strings.hpp"
 #include "common/uri.hpp"
 #include "core/typemap.hpp"
-#include "net/network.hpp"
 #include "upnp/http_client.hpp"
 #include "xml/dom.hpp"
 
@@ -251,8 +250,8 @@ void UpnpDescriptionParser::parse(BytesView raw, const MessageContext&,
 // UpnpUnit
 // ---------------------------------------------------------------------------
 
-UpnpUnit::UpnpUnit(net::Host& host, Config config)
-    : Unit(SdpId::kUpnp, host, config.unit), config_(config) {
+UpnpUnit::UpnpUnit(transport::Transport& transport, Config config)
+    : Unit(SdpId::kUpnp, transport, config.unit), config_(config) {
   register_parser(std::make_unique<SsdpEventParser>());
   register_parser(std::make_unique<UpnpDescriptionParser>());
   set_default_parser("ssdp");
@@ -307,7 +306,7 @@ UpnpUnit::UpnpUnit(net::Host& host, Config config)
   fsm_.add_tuple("parsing_desc", ET::kControlStop, lacks_var("url"),
                  "fetching", {});
 
-  reply_socket_ = host.udp_socket(0);
+  reply_socket_ = transport.open_udp(0);
   mark_own(*reply_socket_);
 }
 
@@ -320,7 +319,7 @@ void UpnpUnit::ensure_http_server() {
   if (http_server_ != nullptr) return;
   // INDISS's description server is lightweight — no CyberLink-style delay.
   http_server_ = std::make_unique<upnp::HttpServer>(
-      host(), config_.http_port, sim::SimDuration::zero());
+      transport(), config_.http_port, transport::Duration::zero());
 }
 
 // Acting as a UPnP control point for a foreign request: multicast M-SEARCH
@@ -331,7 +330,7 @@ void UpnpUnit::compose_native_request(Session& session) {
   request.mx = 1;
   request.user_agent = std::string(kBridgeServer);
 
-  auto socket = host().udp_socket(0);
+  auto socket = this->transport().open_udp(0);
   mark_own(*socket);
   std::uint64_t session_id = session.id;
   socket->set_receive_handler([this, session_id](const net::Datagram& d) {
@@ -339,7 +338,7 @@ void UpnpUnit::compose_native_request(Session& session) {
     ctx.source = d.source;
     ctx.destination = d.destination;
     ctx.multicast = d.multicast;
-    ctx.from_local_host = d.source.address == host().address();
+    ctx.from_local_host = d.source.address == transport().address();
     schedule_guarded(options().translate_delay, [this, session_id, d, ctx]() {
       on_native_response(session_id, d.payload, ctx);
     });
@@ -362,7 +361,7 @@ void UpnpUnit::compose_follow_up(Session& session, const Event&) {
   std::uint64_t session_id = session.id;
   // The HTTP client outlives the unit: guard the callback against a unit
   // detached while the description GET is in flight.
-  upnp::http_get(host(), *uri,
+  upnp::http_get(transport(), *uri,
                  [this, session_id, alive = lifetime()](
                      std::optional<http::HttpMessage> response) {
                    if (alive.expired()) return;  // unit detached mid-fetch
@@ -441,7 +440,7 @@ void UpnpUnit::compose_native_reply(Session& session) {
                     ? served.description.device_type
                     : st;
   response.usn = served.usn;
-  response.location = "http://" + host().address().to_string() + ":" +
+  response.location = "http://" + transport().address().to_string() + ":" +
                       std::to_string(http_server_->port()) + served.path;
   response.server = std::string(kBridgeServer);
 
@@ -455,15 +454,15 @@ void UpnpUnit::compose_native_reply(Session& session) {
   // this).
   bool from_network = session.var("src_local") != "1" &&
                       session.var("net") == "multicast";
-  sim::SimDuration pacing = sim::SimDuration::zero();
+  transport::Duration pacing = transport::Duration::zero();
   if (from_network) {
-    auto elapsed = scheduler().now() - session.created_at;
+    auto elapsed = now() - session.created_at;
     if (elapsed < config_.search_response_pacing) {
       pacing = config_.search_response_pacing - elapsed;
     }
   }
   response.serialize_into(ssdp_scratch_);
-  scheduler().schedule(pacing, [socket = reply_socket_, to,
+  transport().schedule(pacing, [socket = reply_socket_, to,
                                 payload = to_bytes(ssdp_scratch_)]() {
     if (!socket->closed()) socket->send_to(to, payload);
   });
@@ -545,7 +544,7 @@ void UpnpUnit::on_advertisement(Session& session) {
     notify.kind = upnp::Notify::Kind::kAlive;
     notify.nt = served.description.device_type;
     notify.usn = served.usn;
-    notify.location = "http://" + host().address().to_string() + ":" +
+    notify.location = "http://" + transport().address().to_string() + ":" +
                       std::to_string(http_server_->port()) + served.path;
     notify.server = std::string(kBridgeServer);
     notify.max_age_seconds = config_.notify_max_age;
@@ -593,7 +592,7 @@ void UpnpUnit::announce_foreign_services() {
     notify.kind = upnp::Notify::Kind::kAlive;
     notify.nt = served.description.device_type;
     notify.usn = served.usn;
-    notify.location = "http://" + host().address().to_string() + ":" +
+    notify.location = "http://" + transport().address().to_string() + ":" +
                       std::to_string(http_server_->port()) + served.path;
     notify.server = std::string(kBridgeServer);
     notify.max_age_seconds = config_.notify_max_age;

@@ -15,7 +15,6 @@
 #include "core/unit.hpp"
 #include "core/units/standard_fsm.hpp"
 #include "http/parser.hpp"
-#include "net/udp.hpp"
 #include "upnp/description.hpp"
 #include "upnp/http_server.hpp"
 #include "upnp/ssdp.hpp"
@@ -82,7 +81,7 @@ struct UpnpUnitConfig {
   /// medium (MX-derived scheduling). Loopback searches from a co-located
   /// client are answered immediately — this asymmetry is what produces the
   /// paper's 40 ms (Fig 8) vs 0.12 ms (Fig 9b) split.
-  sim::SimDuration search_response_pacing = sim::millis(30);
+  transport::Duration search_response_pacing = transport::millis(30);
   /// Re-announce foreign services as NOTIFY alive when the context manager
   /// switches the unit to active advertising (Fig 6).
   bool active_advertising = false;
@@ -93,7 +92,7 @@ class UpnpUnit : public Unit {
  public:
   using Config = UpnpUnitConfig;
 
-  UpnpUnit(net::Host& host, Config config = {});
+  UpnpUnit(transport::Transport& transport, Config config = {});
   ~UpnpUnit() override;
 
   /// Foreign services currently impersonated as UPnP devices.
@@ -133,8 +132,9 @@ class UpnpUnit : public Unit {
   void do_finalize_reply(Session& session);
 
   Config config_;
-  std::shared_ptr<net::UdpSocket> reply_socket_;
-  std::map<std::uint64_t, std::shared_ptr<net::UdpSocket>> client_sockets_;
+  std::shared_ptr<transport::UdpSocket> reply_socket_;
+  std::map<std::uint64_t, std::shared_ptr<transport::UdpSocket>>
+      client_sockets_;
   std::unique_ptr<upnp::HttpServer> http_server_;
   std::map<std::string, ServedDescription> served_descriptions_;  // by USN key
   std::uint64_t next_device_index_ = 1;

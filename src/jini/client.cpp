@@ -1,8 +1,7 @@
 #include "jini/client.hpp"
 
 #include "common/logging.hpp"
-#include "net/network.hpp"
-#include "net/tcp.hpp"
+#include "transport/transport.hpp"
 
 namespace indiss::jini {
 
@@ -10,10 +9,10 @@ namespace {
 
 /// One-shot unicast registrar operation: connect, send, read full reply,
 /// close. The reply handler receives the raw reply bytes (empty on failure).
-void registrar_op(net::Host& host, const net::Endpoint& registrar,
+void registrar_op(transport::Transport& host, const net::Endpoint& registrar,
                   Bytes request, std::function<void(Bytes)> handler,
-                  sim::SimDuration timeout) {
-  auto socket = host.tcp_connect(registrar);
+                  transport::Duration timeout) {
+  auto socket = host.connect_tcp(registrar);
   if (socket == nullptr) {
     handler({});
     return;
@@ -34,7 +33,7 @@ void registrar_op(net::Host& host, const net::Endpoint& registrar,
     } catch (...) {
     }
   });
-  host.network().scheduler().schedule(timeout, [socket, done, handler]() {
+  host.schedule(timeout, [socket, done, handler]() {
     if (*done) return;
     *done = true;
     socket->close();
@@ -49,9 +48,9 @@ void registrar_op(net::Host& host, const net::Endpoint& registrar,
 // RegistrarDiscovery
 // ---------------------------------------------------------------------------
 
-RegistrarDiscovery::RegistrarDiscovery(net::Host& host, JiniConfig config)
+RegistrarDiscovery::RegistrarDiscovery(transport::Transport& host, JiniConfig config)
     : host_(host), config_(config) {
-  response_socket_ = host_.udp_socket(0);
+  response_socket_ = host_.open_udp(0);
   response_socket_->set_receive_handler(
       [this](const net::Datagram& d) { on_unicast(d); });
 }
@@ -64,7 +63,7 @@ RegistrarDiscovery::~RegistrarDiscovery() {
 
 void RegistrarDiscovery::enable_passive_listening() {
   if (announce_socket_) return;
-  announce_socket_ = host_.udp_socket(kJiniPort);
+  announce_socket_ = host_.open_udp(kJiniPort);
   announce_socket_->join_group(kAnnouncementGroup);
   announce_socket_->set_receive_handler(
       [this](const net::Datagram& d) { on_announcement(d); });
@@ -77,7 +76,7 @@ void RegistrarDiscovery::discover(RegistrarHandler handler) {
   sends_remaining_ = 1 + config_.discovery_retries;
   transmit();
   // Close the discovery session after the window.
-  host_.network().scheduler().schedule(config_.discovery_window, [this]() {
+  host_.schedule(config_.discovery_window, [this]() {
     pending_.clear();
     retry_task_.cancel();
   });
@@ -87,7 +86,7 @@ void RegistrarDiscovery::transmit() {
   if (sends_remaining_ <= 0) return;
   sends_remaining_ -= 1;
   MulticastRequest request;
-  request.response_port = response_socket_->port();
+  request.response_port = response_socket_->local_endpoint().port;
   request.groups = config_.groups;
   for (const auto& [id, info] : known_) {
     request.heard.push_back(info.endpoint.address.to_string());
@@ -95,7 +94,7 @@ void RegistrarDiscovery::transmit() {
   response_socket_->send_to(net::Endpoint{kRequestGroup, kJiniPort},
                             request.encode());
   if (sends_remaining_ > 0) {
-    retry_task_ = host_.network().scheduler().schedule(
+    retry_task_ = host_.schedule(
         config_.retry_interval, [this]() { transmit(); });
   }
 }
@@ -128,7 +127,7 @@ void RegistrarDiscovery::accept(const MulticastAnnouncement& announcement) {
 // JiniClient
 // ---------------------------------------------------------------------------
 
-JiniClient::JiniClient(net::Host& host, JiniConfig config)
+JiniClient::JiniClient(transport::Transport& host, JiniConfig config)
     : host_(host), config_(config), discovery_(host, config) {}
 
 void JiniClient::lookup(const ServiceTemplate& tmpl, LookupHandler handler) {
@@ -145,8 +144,8 @@ void JiniClient::lookup(const ServiceTemplate& tmpl, LookupHandler handler) {
     });
   });
   // No registrar at all: report empty after the discovery window.
-  host_.network().scheduler().schedule(
-      config_.discovery_window + sim::millis(1), [done, shared_handler]() {
+  host_.schedule(
+      config_.discovery_window + transport::millis(1), [done, shared_handler]() {
         if (*done) return;
         *done = true;
         (*shared_handler)({});
@@ -176,14 +175,14 @@ void JiniClient::lookup_at(const RegistrarInfo& registrar,
         }
         handler(items);
       },
-      sim::seconds(2));
+      transport::seconds(2));
 }
 
 // ---------------------------------------------------------------------------
 // JiniServiceProvider
 // ---------------------------------------------------------------------------
 
-JiniServiceProvider::JiniServiceProvider(net::Host& host, ServiceItem item,
+JiniServiceProvider::JiniServiceProvider(transport::Transport& host, ServiceItem item,
                                          JiniConfig config)
     : host_(host),
       config_(config),
@@ -209,7 +208,7 @@ void JiniServiceProvider::leave() {
   w.u8(kOpCancel);
   w.u64(*lease_id_);
   registrar_op(host_, registrar_->endpoint, w.take(), [](Bytes) {},
-               sim::seconds(2));
+               transport::seconds(2));
   lease_id_.reset();
 }
 
@@ -227,15 +226,15 @@ void JiniServiceProvider::register_with(const RegistrarInfo& registrar) {
           if (reply.empty() || r.u8() != kStatusOk) return;
           lease_id_ = r.u64();
           granted_seconds_ = r.u32();
-          auto renew_after = sim::SimDuration(static_cast<std::int64_t>(
-              static_cast<double>(sim::seconds(granted_seconds_).count()) *
+          auto renew_after = transport::Duration(static_cast<std::int64_t>(
+              static_cast<double>(transport::seconds(granted_seconds_).count()) *
               config_.renew_fraction));
-          renew_task_ = host_.network().scheduler().schedule_periodic(
+          renew_task_ = host_.schedule_periodic(
               renew_after, [this]() { renew(); });
         } catch (const DecodeError&) {
         }
       },
-      sim::seconds(2));
+      transport::seconds(2));
 }
 
 void JiniServiceProvider::renew() {
@@ -257,7 +256,7 @@ void JiniServiceProvider::renew() {
                  } catch (const DecodeError&) {
                  }
                },
-               sim::seconds(2));
+               transport::seconds(2));
 }
 
 }  // namespace indiss::jini

@@ -14,9 +14,7 @@
 
 #include "jini/discovery.hpp"
 #include "jini/lookup.hpp"
-#include "net/host.hpp"
-#include "net/udp.hpp"
-#include "sim/scheduler.hpp"
+#include "transport/transport.hpp"
 
 namespace indiss::jini {
 
@@ -28,10 +26,10 @@ struct RegistrarInfo {
 
 struct JiniConfig {
   std::vector<std::string> groups = {""};
-  sim::SimDuration discovery_window = sim::millis(200);
+  transport::Duration discovery_window = transport::millis(200);
   int discovery_retries = 2;
-  sim::SimDuration retry_interval = sim::millis(75);
-  sim::SimDuration handling = sim::millis(1);
+  transport::Duration retry_interval = transport::millis(75);
+  transport::Duration handling = transport::millis(1);
   std::uint32_t lease_seconds = 300;
   /// Renew at this fraction of the granted lease.
   double renew_fraction = 0.5;
@@ -43,7 +41,7 @@ class RegistrarDiscovery {
  public:
   using RegistrarHandler = std::function<void(const RegistrarInfo&)>;
 
-  RegistrarDiscovery(net::Host& host, JiniConfig config = {});
+  RegistrarDiscovery(transport::Transport& host, JiniConfig config = {});
   ~RegistrarDiscovery();
 
   /// Multicasts discovery requests; fires `handler` once per distinct
@@ -64,21 +62,21 @@ class RegistrarDiscovery {
   void accept(const MulticastAnnouncement& announcement);
   void transmit();
 
-  net::Host& host_;
+  transport::Transport& host_;
   JiniConfig config_;
-  std::shared_ptr<net::UdpSocket> response_socket_;  // unicast responses
-  std::shared_ptr<net::UdpSocket> announce_socket_;  // group member
+  std::shared_ptr<transport::UdpSocket> response_socket_;  // unicast responses
+  std::shared_ptr<transport::UdpSocket> announce_socket_;  // group member
   std::map<std::uint64_t, RegistrarInfo> known_;
   std::vector<RegistrarHandler> pending_;
   int sends_remaining_ = 0;
-  sim::TaskHandle retry_task_;
+  transport::TaskHandle retry_task_;
 };
 
 class JiniClient {
  public:
   using LookupHandler = std::function<void(const std::vector<ServiceItem>&)>;
 
-  JiniClient(net::Host& host, JiniConfig config = {});
+  JiniClient(transport::Transport& host, JiniConfig config = {});
 
   /// Discovers a registrar (if none known) and performs a unicast lookup.
   /// Fires with an empty vector when no registrar answers within the
@@ -91,14 +89,14 @@ class JiniClient {
   void lookup_at(const RegistrarInfo& registrar, const ServiceTemplate& tmpl,
                  LookupHandler handler);
 
-  net::Host& host_;
+  transport::Transport& host_;
   JiniConfig config_;
   RegistrarDiscovery discovery_;
 };
 
 class JiniServiceProvider {
  public:
-  JiniServiceProvider(net::Host& host, ServiceItem item,
+  JiniServiceProvider(transport::Transport& host, ServiceItem item,
                       JiniConfig config = {});
   ~JiniServiceProvider();
 
@@ -113,14 +111,14 @@ class JiniServiceProvider {
   void register_with(const RegistrarInfo& registrar);
   void renew();
 
-  net::Host& host_;
+  transport::Transport& host_;
   JiniConfig config_;
   ServiceItem item_;
   RegistrarDiscovery discovery_;
   std::optional<RegistrarInfo> registrar_;
   std::optional<std::uint64_t> lease_id_;
   std::uint32_t granted_seconds_ = 0;
-  sim::TaskHandle renew_task_;
+  transport::TaskHandle renew_task_;
 };
 
 }  // namespace indiss::jini

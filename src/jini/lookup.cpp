@@ -1,6 +1,6 @@
 #include "jini/lookup.hpp"
+#include "transport/transport.hpp"
 
-#include "net/network.hpp"
 
 namespace indiss::jini {
 
@@ -91,26 +91,26 @@ ServiceTemplate ServiceTemplate::decode(ByteReader& r) {
 
 // ---------------------------------------------------------------------------
 
-LookupService::LookupService(net::Host& host, LookupConfig config)
+LookupService::LookupService(transport::Transport& host, LookupConfig config)
     : host_(host),
       config_(config),
-      registrar_id_(host.network().random().uniform_int(1, 1'000'000'000)) {
-  request_socket_ = host_.udp_socket(config_.port);
+      registrar_id_(host.random().uniform_int(1, 1'000'000'000)) {
+  request_socket_ = host_.open_udp(config_.port);
   request_socket_->join_group(kRequestGroup);
   request_socket_->set_receive_handler(
       [this](const net::Datagram& d) { on_request_datagram(d); });
 
-  announce_socket_ = host_.udp_socket(0);
+  announce_socket_ = host_.open_udp(0);
 
-  listener_ = host_.tcp_listen(config_.port);
-  listener_->set_accept_handler([this](std::shared_ptr<net::TcpSocket> s) {
+  listener_ = host_.listen_tcp(config_.port);
+  listener_->set_accept_handler([this](std::shared_ptr<transport::TcpSocket> s) {
     on_accept(std::move(s));
   });
 
   announce(std::nullopt);  // boot announcement
-  announce_task_ = host_.network().scheduler().schedule_periodic(
+  announce_task_ = host_.schedule_periodic(
       config_.announcement_interval, [this]() { announce(std::nullopt); });
-  sweep_task_ = host_.network().scheduler().schedule_periodic(
+  sweep_task_ = host_.schedule_periodic(
       config_.lease_sweep, [this]() { sweep_leases(); });
 }
 
@@ -152,13 +152,13 @@ void LookupService::on_request_datagram(const net::Datagram& datagram) {
   for (const auto& heard : request->heard) {
     if (heard == host_.address().to_string()) return;
   }
-  host_.network().scheduler().schedule(config_.handling, [this, datagram,
+  host_.schedule(config_.handling, [this, datagram,
                                                           request]() {
     announce(net::Endpoint{datagram.source.address, request->response_port});
   });
 }
 
-void LookupService::on_accept(std::shared_ptr<net::TcpSocket> socket) {
+void LookupService::on_accept(std::shared_ptr<transport::TcpSocket> socket) {
   // One request per connection; buffer until decode succeeds.
   auto buffer = std::make_shared<Bytes>();
   socket->set_data_handler([this, socket, buffer](BytesView data) {
@@ -173,7 +173,7 @@ void LookupService::on_accept(std::shared_ptr<net::TcpSocket> socket) {
 }
 
 void LookupService::handle_op(ByteReader& r,
-                              const std::shared_ptr<net::TcpSocket>& socket) {
+                              const std::shared_ptr<transport::TcpSocket>& socket) {
   std::uint8_t op = r.u8();
   ByteWriter reply;
   switch (op) {
@@ -185,7 +185,7 @@ void LookupService::handle_op(ByteReader& r,
       stored.item = std::move(item);
       stored.lease_id = next_lease_id_++;
       stored.expires_at =
-          host_.network().scheduler().now() + sim::seconds(granted);
+          host_.now() + transport::seconds(granted);
       reply.u8(kStatusOk);
       reply.u64(stored.lease_id);
       reply.u32(granted);
@@ -210,7 +210,7 @@ void LookupService::handle_op(ByteReader& r,
       } else {
         std::uint32_t granted = std::min(requested, config_.max_lease_seconds);
         it->second.expires_at =
-            host_.network().scheduler().now() + sim::seconds(granted);
+            host_.now() + transport::seconds(granted);
         reply.u8(kStatusOk);
         reply.u32(granted);
       }
@@ -224,14 +224,14 @@ void LookupService::handle_op(ByteReader& r,
     default:
       reply.u8(kStatusError);
   }
-  host_.network().scheduler().schedule(
+  host_.schedule(
       config_.handling, [socket, bytes = reply.take()]() {
         if (socket->open()) socket->send(bytes);
       });
 }
 
 void LookupService::sweep_leases() {
-  auto now = host_.network().scheduler().now();
+  auto now = host_.now();
   std::erase_if(items_,
                 [now](const auto& kv) { return kv.second.expires_at <= now; });
 }

@@ -19,10 +19,7 @@
 
 #include "common/bytes.hpp"
 #include "jini/discovery.hpp"
-#include "net/host.hpp"
-#include "net/tcp.hpp"
-#include "net/udp.hpp"
-#include "sim/scheduler.hpp"
+#include "transport/transport.hpp"
 
 namespace indiss::jini {
 
@@ -69,15 +66,15 @@ inline constexpr std::uint8_t kStatusError = 1;
 struct LookupConfig {
   std::uint16_t port = kJiniPort;
   std::vector<std::string> groups = {""};  // "" is the public group
-  sim::SimDuration announcement_interval = sim::seconds(120);
-  sim::SimDuration handling = sim::millis(1);  // per-request processing
+  transport::Duration announcement_interval = transport::seconds(120);
+  transport::Duration handling = transport::millis(1);  // per-request processing
   std::uint32_t max_lease_seconds = 300;
-  sim::SimDuration lease_sweep = sim::seconds(10);
+  transport::Duration lease_sweep = transport::seconds(10);
 };
 
 class LookupService {
  public:
-  LookupService(net::Host& host, LookupConfig config = {});
+  LookupService(transport::Transport& host, LookupConfig config = {});
   ~LookupService();
 
   [[nodiscard]] std::uint64_t registrar_id() const { return registrar_id_; }
@@ -95,26 +92,26 @@ class LookupService {
   struct StoredItem {
     ServiceItem item;
     std::uint64_t lease_id = 0;
-    sim::SimTime expires_at{0};
+    transport::TimePoint expires_at{0};
   };
 
   void on_request_datagram(const net::Datagram& datagram);
-  void on_accept(std::shared_ptr<net::TcpSocket> socket);
-  void handle_op(ByteReader& r, const std::shared_ptr<net::TcpSocket>& socket);
+  void on_accept(std::shared_ptr<transport::TcpSocket> socket);
+  void handle_op(ByteReader& r, const std::shared_ptr<transport::TcpSocket>& socket);
   void announce(std::optional<net::Endpoint> to);
   void sweep_leases();
 
-  net::Host& host_;
+  transport::Transport& host_;
   LookupConfig config_;
   std::uint64_t registrar_id_;
-  std::shared_ptr<net::UdpSocket> request_socket_;   // request group member
-  std::shared_ptr<net::UdpSocket> announce_socket_;  // sends announcements
-  std::shared_ptr<net::TcpListener> listener_;
+  std::shared_ptr<transport::UdpSocket> request_socket_;   // request group member
+  std::shared_ptr<transport::UdpSocket> announce_socket_;  // sends announcements
+  std::shared_ptr<transport::TcpListener> listener_;
   std::map<std::uint64_t, StoredItem> items_;  // keyed by lease id
   std::uint64_t next_lease_id_ = 1;
   std::uint64_t lookups_served_ = 0;
-  sim::TaskHandle announce_task_;
-  sim::TaskHandle sweep_task_;
+  transport::TaskHandle announce_task_;
+  transport::TaskHandle sweep_task_;
 };
 
 }  // namespace indiss::jini

@@ -1,6 +1,6 @@
 #include "mdns/dnssd.hpp"
+#include "transport/transport.hpp"
 
-#include "net/network.hpp"
 
 namespace indiss::mdns {
 
@@ -14,9 +14,9 @@ Bytes to_payload(BytesView view) { return Bytes(view.begin(), view.end()); }
 // MdnsResponder
 // ---------------------------------------------------------------------------
 
-MdnsResponder::MdnsResponder(net::Host& host, MdnsConfig config)
+MdnsResponder::MdnsResponder(transport::Transport& host, MdnsConfig config)
     : host_(host), config_(config), rng_(config.seed) {
-  socket_ = host.udp_socket(config_.port);
+  socket_ = host.open_udp(config_.port);
   socket_->join_group(config_.group);
   socket_->set_receive_handler(
       [this](const net::Datagram& datagram) { on_datagram(datagram); });
@@ -55,7 +55,7 @@ void MdnsResponder::announce(const ServiceInstance& service,
   send(message, net::Endpoint{config_.group, config_.port});
   if (repeats_left > 1) {
     std::string instance_name = service.instance_name();
-    host_.network().scheduler().schedule(
+    host_.schedule(
         config_.announce_interval,
         [this, alive = std::weak_ptr<char>(alive_), instance_name,
          repeats_left]() {
@@ -122,7 +122,7 @@ void MdnsResponder::handle_query(const DnsMessage& query,
       response.id = query.id;
       response.flags = kFlagResponse | kFlagAuthoritative;
       build_answer(service, /*announce=*/false, config_.record_ttl, response);
-      host_.network().scheduler().schedule(
+      host_.schedule(
           config_.handling,
           [this, alive = std::weak_ptr<char>(alive_), response, from]() {
             if (!alive.expired() && !closed_) send(response, from);
@@ -139,7 +139,7 @@ void MdnsResponder::handle_query(const DnsMessage& query,
     build_answer(service, /*announce=*/false, config_.record_ttl, response);
     auto delay = rng_.uniform_duration(config_.response_delay_min,
                                        config_.response_delay_max);
-    pending_answers_[key] = host_.network().scheduler().schedule(
+    pending_answers_[key] = host_.schedule(
         delay, [this, alive = std::weak_ptr<char>(alive_), response, key]() {
           if (alive.expired()) return;
           pending_answers_.erase(key);
@@ -234,9 +234,9 @@ std::string BrowseResult::url() const {
   return synthesized;
 }
 
-MdnsBrowser::MdnsBrowser(net::Host& host, MdnsConfig config)
+MdnsBrowser::MdnsBrowser(transport::Transport& host, MdnsConfig config)
     : host_(host), config_(config) {
-  socket_ = host.udp_socket(0);  // legacy one-shot querier (§6.7)
+  socket_ = host.open_udp(0);  // legacy one-shot querier (§6.7)
   socket_->set_receive_handler(
       [this](const net::Datagram& datagram) { on_datagram(datagram); });
 }
@@ -276,14 +276,14 @@ void MdnsBrowser::browse(const std::string& service_type,
   transmit(it->second);
   // Retransmissions spread evenly across the collection window.
   for (int retry = 1; retry <= config_.browse_retransmits; ++retry) {
-    it->second.retry_tasks.push_back(host_.network().scheduler().schedule(
+    it->second.retry_tasks.push_back(host_.schedule(
         config_.browse_window * retry / (config_.browse_retransmits + 1),
         [this, id]() {
           auto found = browses_.find(id);
           if (found != browses_.end()) transmit(found->second);
         }));
   }
-  it->second.deadline_task = host_.network().scheduler().schedule(
+  it->second.deadline_task = host_.schedule(
       config_.browse_window, [this, id]() { finish(id); });
 }
 

@@ -26,10 +26,7 @@
 #include <vector>
 
 #include "mdns/dns.hpp"
-#include "net/host.hpp"
-#include "net/udp.hpp"
-#include "sim/random.hpp"
-#include "sim/scheduler.hpp"
+#include "transport/transport.hpp"
 
 namespace indiss::mdns {
 
@@ -56,20 +53,20 @@ struct MdnsConfig {
   /// RFC 6762 §6: responders answering a multicast query for a shared
   /// record delay the response uniformly in this window so simultaneous
   /// responders interleave (and can suppress duplicates).
-  sim::SimDuration response_delay_min = sim::millis(20);
-  sim::SimDuration response_delay_max = sim::millis(120);
+  transport::Duration response_delay_min = transport::millis(20);
+  transport::Duration response_delay_max = transport::millis(120);
   /// Legacy (ephemeral-port) queries are answered after only the stack's
   /// processing delay.
-  sim::SimDuration handling = sim::micros(50);
+  transport::Duration handling = transport::micros(50);
   /// Announcements on publish: repeated this many times, one interval apart
   /// (RFC 6762 §8.3).
   int announce_repeats = 2;
-  sim::SimDuration announce_interval = sim::seconds(1);
+  transport::Duration announce_interval = transport::seconds(1);
   std::uint32_t record_ttl = 120;  // seconds
   std::uint64_t seed = 1;
   /// Browser: how long one browse collects answers, and how many times the
   /// query is retransmitted inside that window.
-  sim::SimDuration browse_window = sim::millis(500);
+  transport::Duration browse_window = transport::millis(500);
   int browse_retransmits = 1;
 };
 
@@ -77,7 +74,7 @@ struct MdnsConfig {
 
 class MdnsResponder {
  public:
-  MdnsResponder(net::Host& host, MdnsConfig config = {});
+  MdnsResponder(transport::Transport& host, MdnsConfig config = {});
   ~MdnsResponder();
 
   /// Advertises an instance: multicasts the announce burst and starts
@@ -117,16 +114,16 @@ class MdnsResponder {
   void send(const DnsMessage& message, const net::Endpoint& to);
   void announce(const ServiceInstance& service, int repeats_left);
 
-  net::Host& host_;
+  transport::Transport& host_;
   MdnsConfig config_;
-  std::shared_ptr<net::UdpSocket> socket_;
+  std::shared_ptr<transport::UdpSocket> socket_;
   /// Liveness token for scheduled callbacks that outlive the responder.
   std::shared_ptr<char> alive_ = std::make_shared<char>('\0');
   std::vector<ServiceInstance> services_;
   /// Pending paced multicast answers, keyed by instance name — cancelled by
   /// duplicate-answer suppression (the cancel path of the slot arena).
-  std::map<std::string, sim::TaskHandle> pending_answers_;
-  sim::Random rng_;
+  std::map<std::string, transport::TaskHandle> pending_answers_;
+  transport::Random rng_;
   DnsEncoder encoder_;
   std::uint64_t queries_seen_ = 0;
   std::uint64_t responses_sent_ = 0;
@@ -156,7 +153,7 @@ class MdnsBrowser {
   using CompleteHandler =
       std::function<void(const std::vector<BrowseResult>&)>;
 
-  MdnsBrowser(net::Host& host, MdnsConfig config = {});
+  MdnsBrowser(transport::Transport& host, MdnsConfig config = {});
   ~MdnsBrowser();
 
   /// One-shot browse for `service_type` ("_clock._tcp"). Fires `handler`
@@ -173,17 +170,17 @@ class MdnsBrowser {
     DnsMessage query;
     std::map<std::string, BrowseResult> results;  // by instance name
     CompleteHandler handler;
-    std::vector<sim::TaskHandle> retry_tasks;
-    sim::TaskHandle deadline_task;
+    std::vector<transport::TaskHandle> retry_tasks;
+    transport::TaskHandle deadline_task;
   };
 
   void on_datagram(const net::Datagram& datagram);
   void transmit(PendingBrowse& browse);
   void finish(std::uint16_t id);
 
-  net::Host& host_;
+  transport::Transport& host_;
   MdnsConfig config_;
-  std::shared_ptr<net::UdpSocket> socket_;
+  std::shared_ptr<transport::UdpSocket> socket_;
   std::map<std::uint16_t, PendingBrowse> browses_;
   DnsEncoder encoder_;
   std::uint16_t next_id_ = 1;

@@ -22,4 +22,32 @@ std::shared_ptr<TcpSocket> Host::tcp_connect(const Endpoint& to) {
   return network_.tcp_connect(*this, to);
 }
 
+std::shared_ptr<transport::UdpSocket> Host::open_udp(std::uint16_t port) {
+  return udp_socket(port);
+}
+
+std::shared_ptr<transport::TcpListener> Host::listen_tcp(std::uint16_t port) {
+  return tcp_listen(port);
+}
+
+std::shared_ptr<transport::TcpSocket> Host::connect_tcp(const Endpoint& to) {
+  return tcp_connect(to);
+}
+
+transport::TimePoint Host::now() const { return network_.scheduler().now(); }
+
+transport::TaskHandle Host::schedule(transport::Duration delay,
+                                     transport::InlineTask task) {
+  return network_.scheduler().schedule(delay, std::move(task));
+}
+
+transport::TaskHandle Host::schedule_periodic(transport::Duration period,
+                                              transport::InlineTask task) {
+  return network_.scheduler().schedule_periodic(period, std::move(task));
+}
+
+const TrafficStats& Host::stats() const { return network_.stats(); }
+
+transport::Random& Host::random() { return network_.random(); }
+
 }  // namespace indiss::net

@@ -16,6 +16,7 @@
 #include "common/bytes.hpp"
 #include "net/address.hpp"
 #include "sim/time.hpp"
+#include "transport/transport.hpp"
 
 namespace indiss::net {
 
@@ -25,26 +26,26 @@ class TcpSocket;
 
 /// Listening socket; invokes the accept handler with the server-side socket
 /// once a client's handshake completes.
-class TcpListener {
+class TcpListener : public transport::TcpListener {
  public:
-  using AcceptHandler = std::function<void(std::shared_ptr<TcpSocket>)>;
+  using AcceptHandler = transport::TcpListener::AcceptHandler;
 
   TcpListener(Host& host, std::uint16_t port);
-  ~TcpListener();
+  ~TcpListener() override;
 
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
   [[nodiscard]] Host& host() { return host_; }
-  [[nodiscard]] std::uint16_t port() const { return port_; }
-  void set_accept_handler(AcceptHandler handler) {
+  [[nodiscard]] std::uint16_t port() const override { return port_; }
+  void set_accept_handler(AcceptHandler handler) override {
     handler_ = std::move(handler);
   }
   [[nodiscard]] const AcceptHandler& accept_handler() const {
     return handler_;
   }
 
-  void close();
+  void close() override;
 
  private:
   Host& host_;
@@ -54,24 +55,25 @@ class TcpListener {
 };
 
 /// One side of an established connection.
-class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
+class TcpSocket : public transport::TcpSocket,
+                  public std::enable_shared_from_this<TcpSocket> {
  public:
-  using DataHandler = std::function<void(BytesView)>;
-  using CloseHandler = std::function<void()>;
+  using DataHandler = transport::TcpSocket::DataHandler;
+  using CloseHandler = transport::TcpSocket::CloseHandler;
 
   /// Internal shared state of a connection; created by Network::tcp_connect.
   struct Pipe;
 
   TcpSocket(std::shared_ptr<Pipe> pipe, int side);
 
-  [[nodiscard]] Endpoint local_endpoint() const;
-  [[nodiscard]] Endpoint remote_endpoint() const;
+  [[nodiscard]] Endpoint local_endpoint() const override;
+  [[nodiscard]] Endpoint remote_endpoint() const override;
 
-  void send(Bytes payload);
-  void set_data_handler(DataHandler handler);
-  void set_close_handler(CloseHandler handler);
-  void close();
-  [[nodiscard]] bool open() const;
+  void send(Bytes payload) override;
+  void set_data_handler(DataHandler handler) override;
+  void set_close_handler(CloseHandler handler) override;
+  void close() override;
+  [[nodiscard]] bool open() const override;
 
  private:
   std::shared_ptr<Pipe> pipe_;

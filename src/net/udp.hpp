@@ -11,18 +11,19 @@
 
 #include "net/address.hpp"
 #include "net/packet.hpp"
+#include "transport/transport.hpp"
 
 namespace indiss::net {
 
 class Host;
 class Network;
 
-class UdpSocket {
+class UdpSocket : public transport::UdpSocket {
  public:
-  using ReceiveHandler = std::function<void(const Datagram&)>;
+  using ReceiveHandler = transport::UdpSocket::ReceiveHandler;
 
   UdpSocket(Host& host, std::uint16_t port);
-  ~UdpSocket();
+  ~UdpSocket() override;
 
   UdpSocket(const UdpSocket&) = delete;
   UdpSocket& operator=(const UdpSocket&) = delete;
@@ -31,22 +32,22 @@ class UdpSocket {
   [[nodiscard]] const Host& host() const { return host_; }
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] std::uint64_t id() const { return id_; }
-  [[nodiscard]] Endpoint local_endpoint() const;
+  [[nodiscard]] Endpoint local_endpoint() const override;
   [[nodiscard]] const std::set<IpAddress>& groups() const { return groups_; }
 
-  void join_group(IpAddress group);
-  void leave_group(IpAddress group);
+  void join_group(IpAddress group) override;
+  void leave_group(IpAddress group) override;
 
-  void send_to(const Endpoint& to, Bytes payload);
+  void send_to(const Endpoint& to, Bytes payload) override;
 
   /// At most one handler; replacing is allowed (e.g. a unit re-wiring its
   /// socket on SDP_C_SOCKET_SWITCH).
-  void set_receive_handler(ReceiveHandler handler) {
+  void set_receive_handler(ReceiveHandler handler) override {
     handler_ = std::move(handler);
   }
 
-  void close();
-  [[nodiscard]] bool closed() const { return closed_; }
+  void close() override;
+  [[nodiscard]] bool closed() const override { return closed_; }
 
   /// Called by the Network when a datagram reaches this socket.
   void deliver(const Datagram& datagram);

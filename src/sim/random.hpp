@@ -1,41 +1,12 @@
-// Seeded randomness for the simulator. Every source of jitter (SSDP MX reply
-// scheduling, packet-loss injection) draws from an explicitly seeded engine so
-// experiments are reproducible and trials can be varied by seed alone.
+// Seeded randomness for the simulator. The class lives in
+// transport/random.hpp, shared with the live backend; the alias keeps the
+// historic sim::Random spelling for the substrate and its tests.
 #pragma once
 
-#include <cstdint>
-#include <random>
-
-#include "sim/time.hpp"
+#include "transport/random.hpp"
 
 namespace indiss::sim {
 
-class Random {
- public:
-  explicit Random(std::uint64_t seed = 1) : engine_(seed) {}
-
-  void reseed(std::uint64_t seed) { engine_.seed(seed); }
-
-  /// Uniform in [0, 1).
-  [[nodiscard]] double uniform() {
-    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
-  }
-
-  /// Uniform integer in [lo, hi] inclusive.
-  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
-    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
-  }
-
-  /// Uniform duration in [lo, hi].
-  [[nodiscard]] SimDuration uniform_duration(SimDuration lo, SimDuration hi) {
-    return SimDuration(uniform_int(lo.count(), hi.count()));
-  }
-
-  /// Bernoulli trial.
-  [[nodiscard]] bool chance(double p) { return uniform() < p; }
-
- private:
-  std::mt19937_64 engine_;
-};
+using Random = transport::Random;
 
 }  // namespace indiss::sim

@@ -45,6 +45,12 @@ void Scheduler::drop_stale_entries() {
   while (!heap_.empty() && entry_stale(heap_.front())) pop_entry();
 }
 
+std::optional<SimTime> Scheduler::next_deadline() {
+  drop_stale_entries();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.front().at;
+}
+
 TaskHandle Scheduler::schedule_at(SimTime at, SimDuration period, Task task) {
   std::uint32_t index = acquire_slot();
   Slot& slot = slots_[index];

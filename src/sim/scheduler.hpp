@@ -10,172 +10,28 @@
 // Cancellation is a generation bump, so a handle can never touch a later
 // task that reuses its slot, and the common schedule/cancel/fire cycle
 // performs zero heap allocations once the arena and heap are warm.
+//
+// The InlineTask callable and the TaskHandle value type live in
+// transport/task.hpp, shared with the live epoll backend: live::EventLoop
+// embeds a Scheduler as its timer wheel, so handle semantics are identical
+// across backends by construction.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>  // std::bad_function_call
 #include <memory>
-#include <new>
-#include <type_traits>
-#include <utility>
+#include <optional>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "transport/task.hpp"
 
 namespace indiss::sim {
 
-class Scheduler;
+using InlineTask = transport::InlineTask;
+using TaskHandle = transport::TaskHandle;
 
-/// Move-only callable with small-buffer optimization: callables up to
-/// kInlineSize bytes (a delivery lambda capturing this + target + two
-/// shared_ptrs) are stored in place; larger ones fall back to the heap. This
-/// replaces std::function in the scheduler hot path so scheduling a typical
-/// task allocates nothing.
-class InlineTask {
- public:
-  static constexpr std::size_t kInlineSize = 48;
-
-  InlineTask() = default;
-
-  template <typename F,
-            typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, InlineTask> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  // NOLINTNEXTLINE(google-explicit-constructor): implicit like std::function
-  InlineTask(F&& f) {
-    using Fn = std::decay_t<F>;
-    if constexpr (sizeof(Fn) <= kInlineSize &&
-                  alignof(Fn) <= alignof(std::max_align_t) &&
-                  std::is_nothrow_move_constructible_v<Fn>) {
-      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
-      vtable_ = &kInlineVTable<Fn>;
-    } else {
-      heap_ = new Fn(std::forward<F>(f));
-      vtable_ = &kHeapVTable<Fn>;
-    }
-  }
-
-  InlineTask(InlineTask&& other) noexcept { move_from(other); }
-  InlineTask& operator=(InlineTask&& other) noexcept {
-    if (this != &other) {
-      reset();
-      move_from(other);
-    }
-    return *this;
-  }
-  InlineTask(const InlineTask&) = delete;
-  InlineTask& operator=(const InlineTask&) = delete;
-  ~InlineTask() { reset(); }
-
-  /// Invoking an empty task throws like std::function would.
-  void operator()() {
-    if (vtable_ == nullptr) throw std::bad_function_call();
-    vtable_->invoke(payload());
-  }
-  explicit operator bool() const { return vtable_ != nullptr; }
-
-  void reset() {
-    if (vtable_ != nullptr) {
-      vtable_->destroy(payload());
-      vtable_ = nullptr;
-      heap_ = nullptr;
-    }
-  }
-
- private:
-  struct VTable {
-    void (*invoke)(void*);
-    void (*destroy)(void*);
-    // Move-constructs dst's payload from src's and destroys src's; dst is
-    // raw (no live payload). Callers reset src's vtable afterwards.
-    void (*relocate)(InlineTask& dst, InlineTask& src);
-  };
-
-  [[nodiscard]] void* payload() {
-    return heap_ != nullptr ? heap_ : static_cast<void*>(storage_);
-  }
-
-  void move_from(InlineTask& other) noexcept {
-    if (other.vtable_ == nullptr) return;
-    other.vtable_->relocate(*this, other);
-    other.vtable_ = nullptr;
-    other.heap_ = nullptr;
-  }
-
-  template <typename Fn>
-  static void invoke_impl(void* p) {
-    (*static_cast<Fn*>(p))();
-  }
-  template <typename Fn>
-  static void destroy_inline(void* p) {
-    static_cast<Fn*>(p)->~Fn();
-  }
-  template <typename Fn>
-  static void destroy_heap(void* p) {
-    delete static_cast<Fn*>(p);
-  }
-  template <typename Fn>
-  static void relocate_inline(InlineTask& dst, InlineTask& src) {
-    Fn* from = std::launder(reinterpret_cast<Fn*>(src.storage_));
-    ::new (static_cast<void*>(dst.storage_)) Fn(std::move(*from));
-    from->~Fn();
-    dst.vtable_ = src.vtable_;
-    dst.heap_ = nullptr;
-  }
-  static void relocate_heap(InlineTask& dst, InlineTask& src) {
-    dst.heap_ = src.heap_;
-    dst.vtable_ = src.vtable_;
-  }
-
-  template <typename Fn>
-  static constexpr VTable kInlineVTable{&invoke_impl<Fn>, &destroy_inline<Fn>,
-                                        &relocate_inline<Fn>};
-  template <typename Fn>
-  static constexpr VTable kHeapVTable{&invoke_impl<Fn>, &destroy_heap<Fn>,
-                                      &relocate_heap};
-
-  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
-  void* heap_ = nullptr;
-  const VTable* vtable_ = nullptr;
-};
-
-/// Handle for a scheduled task; lets the owner cancel it (e.g. a periodic
-/// advertisement loop stopped when a device leaves the network).
-///
-/// A handle names its task as (slot index, generation): once the task fires
-/// (one-shot) or is cancelled, the slot's generation moves on and the handle
-/// goes inert — cancel() of a fired handle is a no-op, and a stale handle can
-/// never cancel a later task that reuses the same slot. Handles are cheap to
-/// copy and may outlive the Scheduler itself (they hold a liveness token and
-/// degrade to no-ops once it is gone).
-class TaskHandle {
- public:
-  TaskHandle() = default;
-
-  void cancel();
-  /// True while the task is still queued (or, for periodic tasks, currently
-  /// executing): i.e. cancel() would still suppress a future run.
-  [[nodiscard]] bool pending() const;
-
- private:
-  friend class Scheduler;
-  TaskHandle(Scheduler* scheduler, std::weak_ptr<const void> live,
-             std::uint32_t slot, std::uint64_t generation)
-      : scheduler_(scheduler),
-        live_(std::move(live)),
-        slot_(slot),
-        generation_(generation) {}
-
-  Scheduler* scheduler_ = nullptr;
-  std::weak_ptr<const void> live_;
-  std::uint32_t slot_ = 0;
-  // 64-bit so a long-held stale handle can never collide with a reused
-  // slot's generation, even after billions of churn cycles (ABA safety).
-  std::uint64_t generation_ = 0;
-};
-
-class Scheduler {
+class Scheduler : public transport::TimerService {
  public:
   using Task = InlineTask;
 
@@ -218,13 +74,21 @@ class Scheduler {
   /// Number of live (not cancelled) queued tasks.
   [[nodiscard]] std::size_t pending_tasks() const { return live_queued_; }
 
+  /// Deadline of the earliest live queued task, or nullopt when idle. The
+  /// live event loop arms its timerfd from this.
+  [[nodiscard]] std::optional<SimTime> next_deadline();
+
   /// Total task bodies invoked over the scheduler's lifetime; the substrate
   /// benchmark derives events/sec from this.
   [[nodiscard]] std::uint64_t executed_tasks() const { return executed_total_; }
 
- private:
-  friend class TaskHandle;
+  // --- transport::TimerService (TaskHandle plumbing; slot/generation pairs
+  // come from handles this scheduler minted) ------------------------------
+  void cancel_task(std::uint32_t slot, std::uint64_t generation) override;
+  [[nodiscard]] bool task_pending(std::uint32_t slot,
+                                  std::uint64_t generation) const override;
 
+ private:
   struct Slot {
     InlineTask task;
     SimDuration period{0};  // zero for one-shot tasks
@@ -248,9 +112,6 @@ class Scheduler {
   };
 
   TaskHandle schedule_at(SimTime at, SimDuration period, Task task);
-  void cancel_task(std::uint32_t slot, std::uint64_t generation);
-  [[nodiscard]] bool task_pending(std::uint32_t slot,
-                                  std::uint64_t generation) const;
 
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t index);
@@ -272,15 +133,5 @@ class Scheduler {
   // a handle outliving the scheduler degrades to a no-op instead of UB.
   std::shared_ptr<const void> live_token_ = std::make_shared<int>(0);
 };
-
-inline void TaskHandle::cancel() {
-  if (scheduler_ == nullptr || live_.expired()) return;
-  scheduler_->cancel_task(slot_, generation_);
-}
-
-inline bool TaskHandle::pending() const {
-  if (scheduler_ == nullptr || live_.expired()) return false;
-  return scheduler_->task_pending(slot_, generation_);
-}
 
 }  // namespace indiss::sim

@@ -1,44 +1,25 @@
 // Virtual time for the discrete-event simulator.
 //
-// All protocol and network delays are expressed in SimDuration (integer
-// nanoseconds) so that runs are exactly reproducible: the paper's response
-// times (0.12 ms .. 80 ms) are medians over 30 trials, and our trials must
-// differ only through explicitly seeded jitter, never through wall-clock
-// noise.
+// The actual types live in transport/time.hpp, shared with the live backend:
+// all protocol and network delays are expressed in integer nanoseconds so
+// that simulated runs are exactly reproducible — the paper's response times
+// (0.12 ms .. 80 ms) are medians over 30 trials, and our trials must differ
+// only through explicitly seeded jitter, never through wall-clock noise.
 #pragma once
 
-#include <chrono>
-#include <cstdint>
-#include <string>
+#include "transport/time.hpp"
 
 namespace indiss::sim {
 
-using SimDuration = std::chrono::nanoseconds;
-using SimTime = SimDuration;  // time since simulation start
+using SimDuration = transport::Duration;
+using SimTime = transport::TimePoint;  // time since simulation start
 
-constexpr SimDuration nanos(std::int64_t n) { return SimDuration(n); }
-constexpr SimDuration micros(std::int64_t n) { return SimDuration(n * 1000); }
-constexpr SimDuration millis(std::int64_t n) {
-  return SimDuration(n * 1'000'000);
-}
-constexpr SimDuration seconds(std::int64_t n) {
-  return SimDuration(n * 1'000'000'000);
-}
-
-/// Fractional milliseconds, for calibration constants like 0.3 ms.
-constexpr SimDuration millis_f(double ms) {
-  return SimDuration(static_cast<std::int64_t>(ms * 1e6));
-}
-
-constexpr double to_millis(SimDuration d) {
-  return static_cast<double>(d.count()) / 1e6;
-}
-
-inline std::string format_millis(SimDuration d) {
-  double ms = to_millis(d);
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.3f", ms);
-  return std::string(buf) + " ms";
-}
+using transport::format_millis;
+using transport::micros;
+using transport::millis;
+using transport::millis_f;
+using transport::nanos;
+using transport::seconds;
+using transport::to_millis;
 
 }  // namespace indiss::sim

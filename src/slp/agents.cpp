@@ -33,9 +33,9 @@ bool pr_list_contains(const std::string& pr_list, const net::IpAddress& self) {
 // ServiceAgent
 // ---------------------------------------------------------------------------
 
-ServiceAgent::ServiceAgent(net::Host& host, SlpConfig config)
+ServiceAgent::ServiceAgent(transport::Transport& host, SlpConfig config)
     : host_(host), config_(config) {
-  socket_ = host_.udp_socket(config_.port);
+  socket_ = host_.open_udp(config_.port);
   socket_->join_group(config_.multicast_group);
   socket_->set_receive_handler(
       [this](const net::Datagram& d) { on_datagram(d); });
@@ -101,8 +101,7 @@ void ServiceAgent::on_datagram(const net::Datagram& datagram) {
   }
   // Processing-cost model: the native stack takes `handling` to act on a
   // request.
-  auto& scheduler = host_.network().scheduler();
-  scheduler.schedule(config_.profile.handling, [this, m = std::move(*message),
+  host_.schedule(config_.profile.handling, [this, m = std::move(*message),
                                                 datagram]() {
     std::visit(
         [&](const auto& msg) {
@@ -235,9 +234,9 @@ void ServiceAgent::send(const Message& message, const net::Endpoint& to) {
 // UserAgent
 // ---------------------------------------------------------------------------
 
-UserAgent::UserAgent(net::Host& host, SlpConfig config)
+UserAgent::UserAgent(transport::Transport& host, SlpConfig config)
     : host_(host), config_(config) {
-  socket_ = host_.udp_socket(0);  // ephemeral; replies come back here
+  socket_ = host_.open_udp(0);  // ephemeral; replies come back here
   socket_->set_receive_handler(
       [this](const net::Datagram& d) { on_datagram(d); });
 }
@@ -253,7 +252,7 @@ void UserAgent::set_directory_agent(const net::Endpoint& da) {
 
 void UserAgent::enable_da_listening() {
   if (da_listener_) return;
-  da_listener_ = host_.udp_socket(config_.port);
+  da_listener_ = host_.open_udp(config_.port);
   da_listener_->join_group(config_.multicast_group);
   da_listener_->set_receive_handler([this](const net::Datagram& d) {
     std::string error;
@@ -295,16 +294,14 @@ void UserAgent::find_services(const std::string& service_type,
   search.sends_remaining = 1 + config_.retransmissions;
 
   auto [it, inserted] = searches_.emplace(xid, std::move(search));
-  auto& scheduler = host_.network().scheduler();
-
   // Native-stack cost: building and serializing the request.
-  scheduler.schedule(config_.profile.request_prep,
+  host_.schedule(config_.profile.request_prep,
                      [this, xid]() {
                        auto sit = searches_.find(xid);
                        if (sit == searches_.end()) return;
                        transmit_search(sit->second);
                      });
-  it->second.deadline_task = scheduler.schedule(
+  it->second.deadline_task = host_.schedule(
       config_.profile.request_prep + config_.multicast_wait,
       [this, xid]() { finish_search(xid); });
 }
@@ -326,7 +323,7 @@ void UserAgent::transmit_search(PendingSearch& search) {
   }
   if (search.sends_remaining > 0) {
     std::uint16_t xid = search.xid;
-    search.retry_task = host_.network().scheduler().schedule(
+    search.retry_task = host_.schedule(
         config_.retry_interval, [this, xid]() {
           auto it = searches_.find(xid);
           if (it == searches_.end()) return;
@@ -352,8 +349,7 @@ void UserAgent::find_attributes(const std::string& url,
   request.url = url;
   attr_requests_[xid] = PendingAttrRqst{xid, std::move(handler)};
 
-  auto& scheduler = host_.network().scheduler();
-  scheduler.schedule(config_.profile.request_prep, [this, request]() {
+  host_.schedule(config_.profile.request_prep, [this, request]() {
     if (directory_agent_.has_value()) {
       send(Message(request), *directory_agent_);
     } else {
@@ -383,7 +379,7 @@ void UserAgent::on_datagram(const net::Datagram& datagram) {
       if (!search.first_delivered && search.on_first) {
         search.first_delivered = true;
         // Native-stack cost: parsing the reply before the app sees it.
-        host_.network().scheduler().schedule(
+        host_.schedule(
             config_.profile.reply_parse,
             [handler = search.on_first, result]() { handler(result); });
       }
@@ -396,7 +392,7 @@ void UserAgent::on_datagram(const net::Datagram& datagram) {
     auto pending = std::move(it->second);
     attr_requests_.erase(it);
     auto attrs = AttributeList::parse(reply->attr_list);
-    host_.network().scheduler().schedule(
+    host_.schedule(
         config_.profile.reply_parse,
         [handler = std::move(pending.handler), error_code = reply->error,
          attrs]() {
@@ -414,20 +410,20 @@ void UserAgent::send(const Message& message, const net::Endpoint& to) {
 // DirectoryAgent
 // ---------------------------------------------------------------------------
 
-DirectoryAgent::DirectoryAgent(net::Host& host, SlpConfig config)
+DirectoryAgent::DirectoryAgent(transport::Transport& host, SlpConfig config)
     : host_(host),
       config_(config),
       boot_timestamp_(static_cast<std::uint32_t>(
-          host.network().scheduler().now().count() / 1'000'000'000 + 1)) {
-  socket_ = host_.udp_socket(config_.port);
+          host.now().count() / 1'000'000'000 + 1)) {
+  socket_ = host_.open_udp(config_.port);
   socket_->join_group(config_.multicast_group);
   socket_->set_receive_handler(
       [this](const net::Datagram& d) { on_datagram(d); });
 
   advertise();  // boot-time unsolicited DAAdvert (RFC 2608 §12.1)
-  advert_task_ = host_.network().scheduler().schedule_periodic(
+  advert_task_ = host_.schedule_periodic(
       config_.da_advert_interval, [this]() { advertise(); });
-  sweep_task_ = host_.network().scheduler().schedule_periodic(
+  sweep_task_ = host_.schedule_periodic(
       config_.da_expiry_sweep, [this]() { sweep_expired(); });
 }
 
@@ -450,7 +446,7 @@ void DirectoryAgent::advertise() {
 }
 
 void DirectoryAgent::sweep_expired() {
-  auto now = host_.network().scheduler().now();
+  auto now = host_.now();
   std::erase_if(store_, [now](const auto& kv) {
     return kv.second.expires_at <= now;
   });
@@ -461,8 +457,7 @@ void DirectoryAgent::on_datagram(const net::Datagram& datagram) {
   auto message = decode(datagram.payload, &error);
   if (!message.has_value()) return;
 
-  auto& scheduler = host_.network().scheduler();
-  scheduler.schedule(config_.profile.handling, [this, m = std::move(*message),
+  host_.schedule(config_.profile.handling, [this, m = std::move(*message),
                                                 datagram]() {
     std::visit(
         [&](const auto& msg) {
@@ -473,8 +468,8 @@ void DirectoryAgent::on_datagram(const net::Datagram& datagram) {
             stored.registration = msg;
             stored.attributes = AttributeList::parse(msg.attr_list);
             stored.expires_at =
-                host_.network().scheduler().now() +
-                sim::seconds(msg.url_entry.lifetime_seconds);
+                host_.now() +
+                transport::seconds(msg.url_entry.lifetime_seconds);
             store_[msg.service_type + "|" + msg.url_entry.url] = stored;
             SrvAck ack;
             ack.header.xid = msg.header.xid;

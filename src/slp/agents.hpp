@@ -21,12 +21,9 @@
 #include <string>
 #include <vector>
 
-#include "net/host.hpp"
-#include "net/network.hpp"
-#include "net/udp.hpp"
-#include "sim/random.hpp"
 #include "slp/service.hpp"
 #include "slp/wire.hpp"
+#include "transport/transport.hpp"
 
 namespace indiss::slp {
 
@@ -37,9 +34,9 @@ inline const net::IpAddress kSlpMulticastGroup(239, 255, 255, 253);
 
 /// Processing-cost model of a native SLP implementation.
 struct StackProfile {
-  sim::SimDuration request_prep = sim::micros(300);  // UA builds a request
-  sim::SimDuration reply_parse = sim::micros(300);   // UA parses a reply
-  sim::SimDuration handling = sim::micros(20);       // SA/DA serves a request
+  transport::Duration request_prep = transport::micros(300);  // UA builds a request
+  transport::Duration reply_parse = transport::micros(300);   // UA parses a reply
+  transport::Duration handling = transport::micros(20);       // SA/DA serves a request
 };
 
 struct SlpConfig {
@@ -48,12 +45,12 @@ struct SlpConfig {
   StackProfile profile;
   /// Multicast convergence: how long a UA collects replies, and how often it
   /// retransmits with an updated previous-responder list.
-  sim::SimDuration multicast_wait = sim::millis(200);
+  transport::Duration multicast_wait = transport::millis(200);
   int retransmissions = 2;
-  sim::SimDuration retry_interval = sim::millis(75);
+  transport::Duration retry_interval = transport::millis(75);
   /// DA behaviour.
-  sim::SimDuration da_advert_interval = sim::seconds(30);
-  sim::SimDuration da_expiry_sweep = sim::seconds(5);
+  transport::Duration da_advert_interval = transport::seconds(30);
+  transport::Duration da_expiry_sweep = transport::seconds(5);
 };
 
 struct ServiceRegistration {
@@ -74,7 +71,7 @@ struct SearchResult {
 
 class ServiceAgent {
  public:
-  ServiceAgent(net::Host& host, SlpConfig config = {});
+  ServiceAgent(transport::Transport& host, SlpConfig config = {});
   ~ServiceAgent();
 
   void register_service(ServiceRegistration registration);
@@ -108,9 +105,9 @@ class ServiceAgent {
   [[nodiscard]] bool in_previous_responders(const std::string& pr_list) const;
   [[nodiscard]] bool scopes_intersect(const std::string& scopes) const;
 
-  net::Host& host_;
+  transport::Transport& host_;
   SlpConfig config_;
-  std::shared_ptr<net::UdpSocket> socket_;
+  std::shared_ptr<transport::UdpSocket> socket_;
   std::vector<ServiceRegistration> registrations_;
   std::optional<net::Endpoint> directory_agent_;
   std::uint32_t da_boot_timestamp_ = 0;
@@ -130,7 +127,7 @@ class UserAgent {
   using AttributesHandler =
       std::function<void(ErrorCode, const AttributeList&)>;
 
-  UserAgent(net::Host& host, SlpConfig config = {});
+  UserAgent(transport::Transport& host, SlpConfig config = {});
   ~UserAgent();
 
   /// Active discovery. Multicasts (or unicasts to the known DA) a SrvRqst and
@@ -169,8 +166,8 @@ class UserAgent {
     CompleteHandler on_complete;
     int sends_remaining = 0;
     bool first_delivered = false;
-    sim::TaskHandle retry_task;
-    sim::TaskHandle deadline_task;
+    transport::TaskHandle retry_task;
+    transport::TaskHandle deadline_task;
   };
   struct PendingAttrRqst {
     std::uint16_t xid = 0;
@@ -182,10 +179,10 @@ class UserAgent {
   void finish_search(std::uint16_t xid);
   void send(const Message& message, const net::Endpoint& to);
 
-  net::Host& host_;
+  transport::Transport& host_;
   SlpConfig config_;
-  std::shared_ptr<net::UdpSocket> socket_;      // ephemeral request socket
-  std::shared_ptr<net::UdpSocket> da_listener_;  // optional, port 427 + group
+  std::shared_ptr<transport::UdpSocket> socket_;      // ephemeral request socket
+  std::shared_ptr<transport::UdpSocket> da_listener_;  // optional, port 427 + group
   std::optional<net::Endpoint> directory_agent_;
   std::map<std::uint16_t, PendingSearch> searches_;
   std::map<std::uint16_t, PendingAttrRqst> attr_requests_;
@@ -197,7 +194,7 @@ class UserAgent {
 
 class DirectoryAgent {
  public:
-  DirectoryAgent(net::Host& host, SlpConfig config = {});
+  DirectoryAgent(transport::Transport& host, SlpConfig config = {});
   ~DirectoryAgent();
 
   [[nodiscard]] std::size_t registration_count() const {
@@ -212,7 +209,7 @@ class DirectoryAgent {
   struct StoredRegistration {
     SrvReg registration;
     AttributeList attributes;
-    sim::SimTime expires_at;
+    transport::TimePoint expires_at;
   };
 
   void on_datagram(const net::Datagram& datagram);
@@ -220,15 +217,15 @@ class DirectoryAgent {
   void sweep_expired();
   void send(const Message& message, const net::Endpoint& to);
 
-  net::Host& host_;
+  transport::Transport& host_;
   SlpConfig config_;
-  std::shared_ptr<net::UdpSocket> socket_;
+  std::shared_ptr<transport::UdpSocket> socket_;
   std::map<std::string, StoredRegistration> store_;  // key: type|url
   std::uint32_t boot_timestamp_;
   std::uint16_t next_xid_ = 1;
   std::uint64_t registrations_received_ = 0;
-  sim::TaskHandle advert_task_;
-  sim::TaskHandle sweep_task_;
+  transport::TaskHandle advert_task_;
+  transport::TaskHandle sweep_task_;
 };
 
 }  // namespace indiss::slp

@@ -1,0 +1,44 @@
+// Seeded randomness behind the transport interface. Every source of jitter
+// (SSDP MX reply scheduling, packet-loss injection, Jini registrar ids)
+// draws from an explicitly seeded engine so simulated experiments are
+// reproducible and trials can be varied by seed alone; the live backend
+// seeds from configuration (defaulting to a per-process value) since real
+// networks supply their own nondeterminism anyway.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "transport/time.hpp"
+
+namespace indiss::transport {
+
+class Random {
+ public:
+  explicit Random(std::uint64_t seed = 1) : engine_(seed) {}
+
+  void reseed(std::uint64_t seed) { engine_.seed(seed); }
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform duration in [lo, hi].
+  [[nodiscard]] Duration uniform_duration(Duration lo, Duration hi) {
+    return Duration(uniform_int(lo.count(), hi.count()));
+  }
+
+  /// Bernoulli trial.
+  [[nodiscard]] bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace indiss::transport

@@ -1,0 +1,44 @@
+// Time types shared by every transport backend.
+//
+// The simulated backend interprets these as virtual time (integer
+// nanoseconds since simulation start, advanced only by the discrete-event
+// scheduler — runs are bit-for-bit reproducible). The live backend
+// interprets them as CLOCK_MONOTONIC nanoseconds since the event loop's
+// epoch. Code written against the transport interface never needs to know
+// which one it is running on.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace indiss::transport {
+
+using Duration = std::chrono::nanoseconds;
+using TimePoint = Duration;  // time since the backend's epoch
+
+constexpr Duration nanos(std::int64_t n) { return Duration(n); }
+constexpr Duration micros(std::int64_t n) { return Duration(n * 1000); }
+constexpr Duration millis(std::int64_t n) { return Duration(n * 1'000'000); }
+constexpr Duration seconds(std::int64_t n) {
+  return Duration(n * 1'000'000'000);
+}
+
+/// Fractional milliseconds, for calibration constants like 0.3 ms.
+constexpr Duration millis_f(double ms) {
+  return Duration(static_cast<std::int64_t>(ms * 1e6));
+}
+
+constexpr double to_millis(Duration d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+
+inline std::string format_millis(Duration d) {
+  double ms = to_millis(d);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return std::string(buf) + " ms";
+}
+
+}  // namespace indiss::transport

@@ -1,15 +1,15 @@
+#include "transport/transport.hpp"
 #include "upnp/control_point.hpp"
 
 #include "common/logging.hpp"
 #include "common/strings.hpp"
-#include "net/network.hpp"
 #include "upnp/http_client.hpp"
 
 namespace indiss::upnp {
 
-ControlPoint::ControlPoint(net::Host& host, ControlPointConfig config)
+ControlPoint::ControlPoint(transport::Transport& host, ControlPointConfig config)
     : host_(host), config_(config) {
-  search_socket_ = host_.udp_socket(0);
+  search_socket_ = host_.open_udp(0);
   search_socket_->set_receive_handler(
       [this](const net::Datagram& d) { on_search_datagram(d); });
 }
@@ -38,7 +38,7 @@ void ControlPoint::search(const std::string& st, ResponseHandler on_response,
   search_socket_->send_to(net::Endpoint{kSsdpMulticastGroup, kSsdpPort},
                           to_bytes(request.to_http().serialize()));
 
-  host_.network().scheduler().schedule(config_.search_window, [this, id]() {
+  host_.schedule(config_.search_window, [this, id]() {
     auto it = sessions_.find(id);
     if (it == sessions_.end()) return;
     it->second.window_closed = true;
@@ -51,7 +51,7 @@ void ControlPoint::enable_passive_listening(DeviceHandler on_alive,
   on_alive_ = std::move(on_alive);
   on_byebye_ = std::move(on_bye);
   if (group_socket_) return;
-  group_socket_ = host_.udp_socket(kSsdpPort);
+  group_socket_ = host_.open_udp(kSsdpPort);
   group_socket_->join_group(kSsdpMulticastGroup);
   group_socket_->set_receive_handler(
       [this](const net::Datagram& d) { on_group_datagram(d); });
@@ -64,7 +64,7 @@ void ControlPoint::on_search_datagram(const net::Datagram& datagram) {
   if (response == nullptr) return;
 
   // Client-side stack cost before the response is acted upon.
-  host_.network().scheduler().schedule(
+  host_.schedule(
       config_.stack_handling, [this, response = *response, datagram]() {
         // Route to every session whose target the response satisfies.
         for (auto& [id, session] : sessions_) {

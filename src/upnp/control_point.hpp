@@ -12,9 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "net/host.hpp"
-#include "net/udp.hpp"
-#include "sim/scheduler.hpp"
+#include "transport/transport.hpp"
 #include "upnp/description.hpp"
 #include "upnp/ssdp.hpp"
 
@@ -24,12 +22,12 @@ struct ControlPointConfig {
   /// MX advertised in M-SEARCH requests (seconds).
   int mx = 1;
   /// How long a search session collects responses before completing.
-  sim::SimDuration search_window = sim::millis(200);
+  transport::Duration search_window = transport::millis(200);
   /// Whether discovered devices' description documents are fetched
   /// automatically before on_device fires.
   bool fetch_descriptions = true;
   /// Client-side stack processing per inbound message.
-  sim::SimDuration stack_handling = sim::micros(50);
+  transport::Duration stack_handling = transport::micros(50);
 };
 
 struct DiscoveredDevice {
@@ -50,7 +48,7 @@ class ControlPoint {
       std::function<void(const std::vector<DiscoveredDevice>&)>;
   using ByeByeHandler = std::function<void(const Notify&)>;
 
-  ControlPoint(net::Host& host, ControlPointConfig config = {});
+  ControlPoint(transport::Transport& host, ControlPointConfig config = {});
   ~ControlPoint();
 
   /// Active discovery: multicasts an M-SEARCH for `st` and collects unicast
@@ -82,10 +80,10 @@ class ControlPoint {
   void fetch_description(std::uint64_t session_id, DiscoveredDevice device);
   void maybe_complete(std::uint64_t session_id);
 
-  net::Host& host_;
+  transport::Transport& host_;
   ControlPointConfig config_;
-  std::shared_ptr<net::UdpSocket> search_socket_;  // ephemeral, for responses
-  std::shared_ptr<net::UdpSocket> group_socket_;   // 1900 + group, passive
+  std::shared_ptr<transport::UdpSocket> search_socket_;  // ephemeral, for responses
+  std::shared_ptr<transport::UdpSocket> group_socket_;   // 1900 + group, passive
   std::map<std::uint64_t, SearchSession> sessions_;
   std::uint64_t next_session_id_ = 1;
   std::uint64_t searches_sent_ = 0;

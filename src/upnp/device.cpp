@@ -1,12 +1,12 @@
+#include "transport/transport.hpp"
 #include "upnp/device.hpp"
 
 #include "common/logging.hpp"
 #include "common/strings.hpp"
-#include "net/network.hpp"
 
 namespace indiss::upnp {
 
-RootDevice::RootDevice(net::Host& host, DeviceDescription description,
+RootDevice::RootDevice(transport::Transport& host, DeviceDescription description,
                        std::uint16_t http_port, UpnpStackProfile profile)
     : host_(host),
       description_(std::move(description)),
@@ -49,13 +49,13 @@ void RootDevice::start() {
     });
   }
 
-  ssdp_socket_ = host_.udp_socket(kSsdpPort);
+  ssdp_socket_ = host_.open_udp(kSsdpPort);
   ssdp_socket_->join_group(kSsdpMulticastGroup);
   ssdp_socket_->set_receive_handler(
       [this](const net::Datagram& d) { on_datagram(d); });
 
   send_alive();
-  notify_task_ = host_.network().scheduler().schedule_periodic(
+  notify_task_ = host_.schedule_periodic(
       profile_.notify_interval, [this]() { send_alive(); });
 }
 
@@ -120,10 +120,10 @@ void RootDevice::handle_search(const SearchRequest& request,
   // Device-stack response scheduling (MX pacing + processing).
   auto delay = profile_.msearch_handling;
   if (profile_.mx_jitter && request.mx > 0) {
-    delay += host_.network().random().uniform_duration(
-        sim::SimDuration::zero(), sim::seconds(request.mx));
+    delay += host_.random().uniform_duration(
+        transport::Duration::zero(), transport::seconds(request.mx));
   }
-  host_.network().scheduler().schedule(delay, [this, response, from]() {
+  host_.schedule(delay, [this, response, from]() {
     if (!running_) return;
     responses_sent_ += 1;
     ssdp_socket_->send_to(from, to_bytes(response.to_http().serialize()));

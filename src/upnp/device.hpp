@@ -15,9 +15,7 @@
 #include <optional>
 #include <string>
 
-#include "net/host.hpp"
-#include "net/udp.hpp"
-#include "sim/scheduler.hpp"
+#include "transport/transport.hpp"
 #include "upnp/description.hpp"
 #include "upnp/http_server.hpp"
 #include "upnp/ssdp.hpp"
@@ -27,20 +25,20 @@ namespace indiss::upnp {
 struct UpnpStackProfile {
   /// Delay between receiving an M-SEARCH and emitting the response. Models
   /// MX-derived response scheduling plus stack processing.
-  sim::SimDuration msearch_handling = sim::millis(30);
+  transport::Duration msearch_handling = transport::millis(30);
   /// Extra uniform jitter in [0, mx] applied on top (off by default so runs
   /// are deterministic; the UDA mandates jitter to avoid response implosion).
   bool mx_jitter = false;
   /// HTTP server processing per request (description document, control).
-  sim::SimDuration description_handling = sim::millis(30);
+  transport::Duration description_handling = transport::millis(30);
   /// Re-advertisement period for ssdp:alive notifications.
-  sim::SimDuration notify_interval = sim::seconds(900);
+  transport::Duration notify_interval = transport::seconds(900);
   int max_age_seconds = 1800;
 };
 
 class RootDevice {
  public:
-  RootDevice(net::Host& host, DeviceDescription description,
+  RootDevice(transport::Transport& host, DeviceDescription description,
              std::uint16_t http_port, UpnpStackProfile profile = {});
   ~RootDevice();
 
@@ -78,13 +76,13 @@ class RootDevice {
   [[nodiscard]] bool matches_target(const std::string& st,
                                     std::string* nt) const;
 
-  net::Host& host_;
+  transport::Transport& host_;
   DeviceDescription description_;
   UpnpStackProfile profile_;
   std::uint16_t http_port_;
-  std::shared_ptr<net::UdpSocket> ssdp_socket_;
+  std::shared_ptr<transport::UdpSocket> ssdp_socket_;
   std::unique_ptr<HttpServer> http_server_;
-  sim::TaskHandle notify_task_;
+  transport::TaskHandle notify_task_;
   bool running_ = false;
   std::uint64_t msearches_seen_ = 0;
   std::uint64_t responses_sent_ = 0;

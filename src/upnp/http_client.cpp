@@ -1,7 +1,7 @@
 #include "upnp/http_client.hpp"
 
 #include "http/parser.hpp"
-#include "net/tcp.hpp"
+#include "net/address.hpp"
 
 namespace indiss::upnp {
 
@@ -14,7 +14,7 @@ struct GetContext : std::enable_shared_from_this<GetContext> {
   HttpResponseHandler handler;
   http::MessageCollector collector;
   std::unique_ptr<http::HttpParser> parser;
-  std::shared_ptr<net::TcpSocket> socket;
+  std::shared_ptr<transport::TcpSocket> socket;
   bool done = false;
 
   void finish(std::optional<http::HttpMessage> result) {
@@ -27,7 +27,8 @@ struct GetContext : std::enable_shared_from_this<GetContext> {
 
 }  // namespace
 
-void http_request(net::Host& host, const Uri& uri, http::HttpMessage request,
+void http_request(transport::Transport& host, const Uri& uri,
+                  http::HttpMessage request,
                   HttpResponseHandler handler) {
   auto context = std::make_shared<GetContext>(std::move(handler));
   context->parser = std::make_unique<http::HttpParser>(context->collector);
@@ -37,7 +38,7 @@ void http_request(net::Host& host, const Uri& uri, http::HttpMessage request,
     context->finish(std::nullopt);
     return;
   }
-  auto socket = host.tcp_connect(net::Endpoint{*addr, uri.port});
+  auto socket = host.connect_tcp(net::Endpoint{*addr, uri.port});
   if (socket == nullptr) {
     context->finish(std::nullopt);  // connection refused
     return;
@@ -71,7 +72,8 @@ void http_request(net::Host& host, const Uri& uri, http::HttpMessage request,
   socket->send(request.serialize_bytes());
 }
 
-void http_get(net::Host& host, const Uri& uri, HttpResponseHandler handler) {
+void http_get(transport::Transport& host, const Uri& uri,
+              HttpResponseHandler handler) {
   auto request = http::HttpMessage::request(
       "GET", uri.path.empty() ? "/" : uri.path);
   http_request(host, uri, std::move(request), std::move(handler));

@@ -13,7 +13,7 @@
 
 #include "common/uri.hpp"
 #include "http/message.hpp"
-#include "net/host.hpp"
+#include "transport/transport.hpp"
 
 namespace indiss::upnp {
 
@@ -24,10 +24,12 @@ using HttpResponseHandler =
 
 /// Issues `GET <uri.path>` to uri.host:uri.port from `host`. The connection
 /// is closed after the response.
-void http_get(net::Host& host, const Uri& uri, HttpResponseHandler handler);
+void http_get(transport::Transport& host, const Uri& uri,
+              HttpResponseHandler handler);
 
 /// Issues an arbitrary request (e.g. POST to a control URL).
-void http_request(net::Host& host, const Uri& uri, http::HttpMessage request,
+void http_request(transport::Transport& host, const Uri& uri,
+                  http::HttpMessage request,
                   HttpResponseHandler handler);
 
 }  // namespace indiss::upnp

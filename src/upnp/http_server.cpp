@@ -1,25 +1,24 @@
 #include "upnp/http_server.hpp"
 
 #include "http/parser.hpp"
-#include "net/network.hpp"
 
 namespace indiss::upnp {
 
 struct HttpServer::Connection : std::enable_shared_from_this<Connection> {
-  explicit Connection(std::shared_ptr<net::TcpSocket> s)
+  explicit Connection(std::shared_ptr<transport::TcpSocket> s)
       : socket(std::move(s)), parser(collector) {}
 
-  std::shared_ptr<net::TcpSocket> socket;
+  std::shared_ptr<transport::TcpSocket> socket;
   http::MessageCollector collector;
   http::HttpParser parser;
 };
 
-HttpServer::HttpServer(net::Host& host, std::uint16_t port,
-                       sim::SimDuration handling_delay)
+HttpServer::HttpServer(transport::Transport& host, std::uint16_t port,
+                       transport::Duration handling_delay)
     : host_(host), handling_delay_(handling_delay) {
-  listener_ = host_.tcp_listen(port);
+  listener_ = host_.listen_tcp(port);
   listener_->set_accept_handler(
-      [this](std::shared_ptr<net::TcpSocket> socket) {
+      [this](std::shared_ptr<transport::TcpSocket> socket) {
         on_accept(std::move(socket));
       });
 }
@@ -34,7 +33,7 @@ void HttpServer::route(const std::string& path, RouteHandler handler) {
   routes_[path] = std::move(handler);
 }
 
-void HttpServer::on_accept(std::shared_ptr<net::TcpSocket> socket) {
+void HttpServer::on_accept(std::shared_ptr<transport::TcpSocket> socket) {
   auto connection = std::make_shared<Connection>(std::move(socket));
   connection->socket->set_data_handler([this, connection](BytesView data) {
     connection->parser.feed(data);
@@ -63,7 +62,7 @@ void HttpServer::respond(const std::shared_ptr<Connection>& connection,
     response = it->second(request);
   }
   // Device-stack processing cost before the response hits the wire.
-  host_.network().scheduler().schedule(
+  host_.schedule(
       handling_delay_, [connection, response = std::move(response)]() {
         if (connection->socket->open()) {
           connection->socket->send(response.serialize_bytes());

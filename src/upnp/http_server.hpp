@@ -12,9 +12,7 @@
 #include <vector>
 
 #include "http/message.hpp"
-#include "net/host.hpp"
-#include "net/tcp.hpp"
-#include "sim/time.hpp"
+#include "transport/transport.hpp"
 
 namespace indiss::upnp {
 
@@ -24,8 +22,8 @@ class HttpServer {
       std::function<http::HttpMessage(const http::HttpMessage&)>;
 
   /// Starts listening on `port` (0 = ephemeral).
-  HttpServer(net::Host& host, std::uint16_t port,
-             sim::SimDuration handling_delay = sim::SimDuration::zero());
+  HttpServer(transport::Transport& host, std::uint16_t port,
+             transport::Duration handling_delay = transport::Duration::zero());
   ~HttpServer();
 
   /// Registers a handler for an exact path. GET/POST both route here.
@@ -35,18 +33,20 @@ class HttpServer {
   [[nodiscard]] std::uint64_t requests_served() const {
     return requests_served_;
   }
-  void set_handling_delay(sim::SimDuration delay) { handling_delay_ = delay; }
+  void set_handling_delay(transport::Duration delay) {
+    handling_delay_ = delay;
+  }
 
  private:
   struct Connection;
-  void on_accept(std::shared_ptr<net::TcpSocket> socket);
+  void on_accept(std::shared_ptr<transport::TcpSocket> socket);
   void respond(const std::shared_ptr<Connection>& connection,
                const http::HttpMessage& request);
 
-  net::Host& host_;
-  std::shared_ptr<net::TcpListener> listener_;
+  transport::Transport& host_;
+  std::shared_ptr<transport::TcpListener> listener_;
   std::map<std::string, RouteHandler> routes_;
-  sim::SimDuration handling_delay_;
+  transport::Duration handling_delay_;
   std::uint64_t requests_served_ = 0;
 };
 

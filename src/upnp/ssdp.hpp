@@ -16,7 +16,7 @@
 
 #include "http/message.hpp"
 #include "net/address.hpp"
-#include "sim/time.hpp"
+#include "transport/transport.hpp"
 
 namespace indiss::upnp {
 

@@ -6,6 +6,7 @@
 
 #include "core/event_bus.hpp"
 #include "core/unit.hpp"
+#include "net/host.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 

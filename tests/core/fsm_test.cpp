@@ -4,6 +4,7 @@
 
 #include "core/fsm.hpp"
 #include "core/unit.hpp"
+#include "net/host.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 

@@ -4,6 +4,8 @@
 
 #include "core/monitor.hpp"
 #include "core/unit.hpp"
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "slp/agents.hpp"

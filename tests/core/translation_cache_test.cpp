@@ -8,6 +8,8 @@
 #include "core/indiss.hpp"
 #include "core/translation_cache.hpp"
 #include "mdns/dns.hpp"
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "slp/agents.hpp"
@@ -196,7 +198,7 @@ TEST(TranslationCacheEndToEnd, RepeatedRegistrationShortCircuitsAndReplays) {
   net::Host& observer = network.add_host("obs", net::IpAddress(10, 0, 0, 8));
 
   IndissConfig config;
-  config.enable_mdns = true;
+  config.enabled_sdps.insert(SdpId::kMdns);
   Indiss indiss(gateway, config);
   indiss.start();
   scheduler.run_for(sim::millis(10));
@@ -237,13 +239,13 @@ TEST(TranslationCacheEndToEnd, RepeatedRegistrationShortCircuitsAndReplays) {
   EXPECT_GE(bridged_announcements, static_cast<std::size_t>(kPeriods - 1))
       << "the bridge must keep re-announcing on replay, not just on first "
          "translation";
-  EXPECT_EQ(indiss.mdns_unit()->stats().cache_short_circuits, 0u);
+  EXPECT_EQ(indiss.unit_as<MdnsUnit>(SdpId::kMdns)->stats().cache_short_circuits, 0u);
   EXPECT_GE(indiss.unit(SdpId::kSlp)->stats().cache_short_circuits,
             static_cast<std::uint64_t>(kPeriods - 2));
   // The mDNS unit translated the registration exactly once; replays bypassed
   // it entirely.
-  EXPECT_EQ(indiss.mdns_unit()->stats().messages_composed, 0u);
-  EXPECT_EQ(indiss.mdns_unit()->announcements_sent(), 1u);
+  EXPECT_EQ(indiss.unit_as<MdnsUnit>(SdpId::kMdns)->stats().messages_composed, 0u);
+  EXPECT_EQ(indiss.unit_as<MdnsUnit>(SdpId::kMdns)->announcements_sent(), 1u);
 }
 
 // Byebyes must never be served from the cache: a second, byte-identical
@@ -256,7 +258,7 @@ TEST(TranslationCacheEndToEnd, RepeatedWithdrawalAlwaysRunsStateChanges) {
   net::Host& service = network.add_host("svc", net::IpAddress(10, 0, 0, 2));
 
   IndissConfig config;
-  config.enable_mdns = true;
+  config.enabled_sdps.insert(SdpId::kMdns);
   Indiss indiss(gateway, config);
   indiss.start();
   scheduler.run_for(sim::millis(10));
@@ -274,16 +276,16 @@ TEST(TranslationCacheEndToEnd, RepeatedWithdrawalAlwaysRunsStateChanges) {
   for (int flap = 0; flap < 2; ++flap) {
     announcer->send_to(group, reg_wire);
     scheduler.run_for(sim::seconds(30));
-    EXPECT_EQ(indiss.mdns_unit()->foreign_services().size(), 1u)
+    EXPECT_EQ(indiss.unit_as<MdnsUnit>(SdpId::kMdns)->foreign_services().size(), 1u)
         << "flap " << flap << ": announcement must register";
     announcer->send_to(group, dereg_wire);
     scheduler.run_for(sim::seconds(30));
-    EXPECT_TRUE(indiss.mdns_unit()->foreign_services().empty())
+    EXPECT_TRUE(indiss.unit_as<MdnsUnit>(SdpId::kMdns)->foreign_services().empty())
         << "flap " << flap
         << ": a (repeated) byebye must always run the withdrawal";
   }
   // Two announcements + two goodbyes crossed the mDNS wire.
-  EXPECT_EQ(indiss.mdns_unit()->announcements_sent(), 4u);
+  EXPECT_EQ(indiss.unit_as<MdnsUnit>(SdpId::kMdns)->announcements_sent(), 4u);
 }
 
 // After a generation bump forces a re-parse of an already-bridged alive,
@@ -298,7 +300,7 @@ TEST(TranslationCacheEndToEnd, RefreshSurvivesGenerationBump) {
   net::Host& observer = network.add_host("obs", net::IpAddress(10, 0, 0, 8));
 
   IndissConfig config;
-  config.enable_mdns = true;
+  config.enabled_sdps.insert(SdpId::kMdns);
   Indiss indiss(gateway, config);
   indiss.start();
   scheduler.run_for(sim::millis(10));

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "core/indiss.hpp"
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "slp/agents.hpp"
@@ -95,7 +97,7 @@ TEST_F(AdaptationFixture, ManualProbeBridgesWithoutContextManager) {
   add_local_slp_service();
   Indiss indiss(service_host);
   indiss.start();
-  indiss.upnp_unit()->set_active_advertising(true);
+  indiss.unit_as<UpnpUnit>(SdpId::kUpnp)->set_active_advertising(true);
 
   upnp::ControlPoint cp(client_host);
   std::vector<upnp::DiscoveredDevice> discovered;
@@ -106,7 +108,7 @@ TEST_F(AdaptationFixture, ManualProbeBridgesWithoutContextManager) {
   indiss.trigger_active_probe();
   scheduler.run_for(sim::seconds(2));
   ASSERT_FALSE(discovered.empty());
-  EXPECT_GE(indiss.upnp_unit()->impersonated_devices(), 1u);
+  EXPECT_GE(indiss.unit_as<UpnpUnit>(SdpId::kUpnp)->impersonated_devices(), 1u);
 }
 
 TEST_F(AdaptationFixture, ActiveModeCostsBandwidth) {

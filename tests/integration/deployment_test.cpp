@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "core/indiss.hpp"
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "slp/agents.hpp"
@@ -74,19 +76,19 @@ TEST_F(DeploymentFixture, DynamicUnitComposition) {
   // Fig 5: the configuration evolves at run time; a Jini unit is added to a
   // running instance.
   IndissConfig config;
-  config.enable_jini = false;
+  config.enabled_sdps.erase(SdpId::kJini);
   Indiss indiss(gateway_host, config);
   indiss.start();
   EXPECT_EQ(indiss.unit_count(), 2u);
-  EXPECT_EQ(indiss.jini_unit(), nullptr);
+  EXPECT_EQ(indiss.unit_as<JiniUnit>(SdpId::kJini), nullptr);
 
   indiss.enable_unit(SdpId::kJini);
   EXPECT_EQ(indiss.unit_count(), 3u);
-  ASSERT_NE(indiss.jini_unit(), nullptr);
+  ASSERT_NE(indiss.unit_as<JiniUnit>(SdpId::kJini), nullptr);
   // The new unit is subscribed to the bus alongside the existing two.
   EXPECT_EQ(indiss.bus().subscriber_count(), 3u);
-  EXPECT_EQ(indiss.bus().subscriber(SdpId::kJini), indiss.jini_unit());
-  EXPECT_EQ(indiss.jini_unit()->bus(), &indiss.bus());
+  EXPECT_EQ(indiss.bus().subscriber(SdpId::kJini), indiss.unit_as<JiniUnit>(SdpId::kJini));
+  EXPECT_EQ(indiss.unit_as<JiniUnit>(SdpId::kJini)->bus(), &indiss.bus());
 }
 
 TEST_F(DeploymentFixture, DynamicAttachDetachRoutesThroughBus) {
@@ -95,14 +97,14 @@ TEST_F(DeploymentFixture, DynamicAttachDetachRoutesThroughBus) {
   upnp::RootDevice device(service_host, upnp::make_clock_device(), 4004);
   device.start();
   IndissConfig config;
-  config.enable_jini = false;
+  config.enabled_sdps.erase(SdpId::kJini);
   Indiss indiss(gateway_host, config);
   indiss.start();
   scheduler.run_for(sim::millis(10));
 
   // Mid-run attach.
   indiss.enable_unit(SdpId::kJini);
-  ASSERT_NE(indiss.jini_unit(), nullptr);
+  ASSERT_NE(indiss.unit_as<JiniUnit>(SdpId::kJini), nullptr);
   EXPECT_EQ(indiss.bus().subscriber_count(), 3u);
 
   slp::UserAgent client(client_host);
@@ -111,7 +113,7 @@ TEST_F(DeploymentFixture, DynamicAttachDetachRoutesThroughBus) {
 
   // The bus delivered the translated SLP request to the new unit: it opened
   // a (peer-originated) session even though no Jini registrar exists.
-  EXPECT_GT(indiss.jini_unit()->stats().sessions_opened, 0u);
+  EXPECT_GT(indiss.unit_as<JiniUnit>(SdpId::kJini)->stats().sessions_opened, 0u);
   std::uint64_t deliveries_attached = indiss.bus().stats().deliveries;
   std::uint64_t published_attached = indiss.bus().stats().streams_published;
   EXPECT_GT(deliveries_attached, published_attached)
@@ -119,7 +121,7 @@ TEST_F(DeploymentFixture, DynamicAttachDetachRoutesThroughBus) {
 
   // Detach: the unit is gone, the bus forgets it immediately.
   indiss.disable_unit(SdpId::kJini);
-  EXPECT_EQ(indiss.jini_unit(), nullptr);
+  EXPECT_EQ(indiss.unit_as<JiniUnit>(SdpId::kJini), nullptr);
   EXPECT_EQ(indiss.unit_count(), 2u);
   EXPECT_EQ(indiss.bus().subscriber_count(), 2u);
   EXPECT_EQ(indiss.bus().subscriber(SdpId::kJini), nullptr);
@@ -152,8 +154,8 @@ TEST_F(DeploymentFixture, DynamicAttachDetachRoutesThroughBus) {
 
 TEST_F(DeploymentFixture, MonitorSeesOnlyEnabledSdps) {
   IndissConfig config;
-  config.enable_upnp = false;
-  config.enable_jini = false;
+  config.enabled_sdps.erase(SdpId::kUpnp);
+  config.enabled_sdps.erase(SdpId::kJini);
   Indiss indiss(gateway_host, config);
   indiss.start();
 
@@ -217,8 +219,8 @@ TEST_F(DeploymentFixture, UnitStatsAccumulate) {
   client.find_services("service:clock", "", nullptr, nullptr);
   scheduler.run_for(sim::seconds(2));
 
-  const auto& slp_stats = indiss.slp_unit()->stats();
-  const auto& upnp_stats = indiss.upnp_unit()->stats();
+  const auto& slp_stats = indiss.unit_as<SlpUnit>(SdpId::kSlp)->stats();
+  const auto& upnp_stats = indiss.unit_as<UpnpUnit>(SdpId::kUpnp)->stats();
   EXPECT_GT(slp_stats.messages_parsed, 0u);
   EXPECT_GT(slp_stats.streams_dispatched, 0u);
   EXPECT_GT(slp_stats.messages_composed, 0u);  // the SrvRply back

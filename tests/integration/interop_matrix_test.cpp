@@ -31,6 +31,8 @@
 #include "jini/lookup.hpp"
 #include "mdns/dns.hpp"
 #include "mdns/dnssd.hpp"
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "slp/agents.hpp"
@@ -247,16 +249,16 @@ TEST_P(InteropMatrix, RequestOnADiscoversServiceAnnouncedOnB) {
   }
 
   IndissConfig config;
-  config.enable_slp = true;
-  config.enable_upnp = true;
-  config.enable_jini = jini_involved;
-  config.enable_mdns = true;
+  config.enabled_sdps.insert(SdpId::kSlp);
+  config.enabled_sdps.insert(SdpId::kUpnp);
+  if (jini_involved) config.enabled_sdps.insert(SdpId::kJini);
+  config.enabled_sdps.insert(SdpId::kMdns);
   Indiss indiss(gateway_host, config);
   indiss.start();
   // Let the gateway settle (and, with Jini, hear a registrar announcement).
   scheduler.run_for(sim::millis(500));
   if (jini_involved) {
-    ASSERT_TRUE(indiss.jini_unit()->known_registrar().has_value())
+    ASSERT_TRUE(indiss.unit_as<JiniUnit>(SdpId::kJini)->known_registrar().has_value())
         << "gateway must have learned the registrar before bridging";
   }
 
@@ -298,10 +300,10 @@ TEST_P(InteropMatrix, WithdrawalOnBPropagatesToRequesterOnA) {
   }
 
   IndissConfig config;
-  config.enable_slp = true;
-  config.enable_upnp = true;
-  config.enable_jini = jini_involved;
-  config.enable_mdns = true;
+  config.enabled_sdps.insert(SdpId::kSlp);
+  config.enabled_sdps.insert(SdpId::kUpnp);
+  if (jini_involved) config.enabled_sdps.insert(SdpId::kJini);
+  config.enabled_sdps.insert(SdpId::kMdns);
   Indiss indiss(gateway_host, config);
   indiss.start();
   scheduler.run_for(sim::millis(500));
@@ -341,7 +343,7 @@ TEST_P(InteropMatrix, WithdrawalOnBPropagatesToRequesterOnA) {
 // LOCATION).
 TEST_F(InteropMatrix, UpnpByebyeEmergesAsMdnsGoodbye) {
   IndissConfig config;
-  config.enable_mdns = true;
+  config.enabled_sdps.insert(SdpId::kMdns);
   Indiss indiss(gateway_host, config);
   indiss.start();
   scheduler.run_for(sim::millis(100));
@@ -368,7 +370,7 @@ TEST_F(InteropMatrix, UpnpByebyeEmergesAsMdnsGoodbye) {
   ASSERT_FALSE(withdrawn.empty()) << "byebye must bridge into a goodbye";
   EXPECT_EQ(withdrawn.front(), announced.front())
       << "the goodbye must name the instance the announcement created";
-  EXPECT_TRUE(indiss.mdns_unit()->foreign_services().empty());
+  EXPECT_TRUE(indiss.unit_as<MdnsUnit>(SdpId::kMdns)->foreign_services().empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -10,6 +10,8 @@
 
 #include "core/indiss.hpp"
 #include "jini/client.hpp"
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "slp/agents.hpp"
@@ -183,19 +185,19 @@ TEST_F(InteropFixture, UpnpAdvertisementReachesJiniClientsViaRegistrar) {
   scheduler.run_for(sim::millis(10));
 
   IndissConfig config;
-  config.enable_jini = true;
+  config.enabled_sdps.insert(SdpId::kJini);
   Indiss indiss(service_host, config);
   indiss.start();
   // Let a registrar announcement teach the Jini unit before the device's
   // alive burst needs it.
   scheduler.run_for(sim::millis(500));
-  ASSERT_TRUE(indiss.jini_unit()->known_registrar().has_value());
+  ASSERT_TRUE(indiss.unit_as<JiniUnit>(SdpId::kJini)->known_registrar().has_value());
 
   // The UPnP device's alive burst is translated into a Jini registration.
   upnp::RootDevice device(service_host, upnp::make_clock_device(), 4004);
   device.start();
   scheduler.run_for(sim::seconds(2));
-  EXPECT_GE(indiss.jini_unit()->foreign_registrations(), 1u);
+  EXPECT_GE(indiss.unit_as<JiniUnit>(SdpId::kJini)->foreign_registrations(), 1u);
   EXPECT_EQ(registrar.item_count(), 1u);
 
   jini::JiniClient client(client_host);
@@ -231,14 +233,14 @@ TEST_F(InteropFixture, SlpClientFindsJiniServiceThroughIndiss) {
   ASSERT_TRUE(provider.joined());
 
   IndissConfig config;
-  config.enable_jini = true;
-  config.enable_upnp = false;
+  config.enabled_sdps.insert(SdpId::kJini);
+  config.enabled_sdps.erase(SdpId::kUpnp);
   Indiss indiss(client_host, config);
   indiss.start();
   scheduler.run_for(sim::millis(500));  // hear a registrar announcement? boot one passed already
   // The registrar announces at boot; ensure the Jini unit learned it by
   // forcing one more announcement cycle if needed.
-  ASSERT_TRUE(indiss.jini_unit() != nullptr);
+  ASSERT_TRUE(indiss.unit_as<JiniUnit>(SdpId::kJini) != nullptr);
 
   slp::UserAgent client(client_host);
   std::vector<slp::SearchResult> results;
@@ -247,7 +249,7 @@ TEST_F(InteropFixture, SlpClientFindsJiniServiceThroughIndiss) {
                          results = r;
                        });
   scheduler.run_for(sim::seconds(3));
-  ASSERT_TRUE(indiss.jini_unit()->known_registrar().has_value());
+  ASSERT_TRUE(indiss.unit_as<JiniUnit>(SdpId::kJini)->known_registrar().has_value());
   ASSERT_FALSE(results.empty());
   EXPECT_NE(results[0].entry.url.find("soap://10.0.0.2:4005/jini-clock"),
             std::string::npos);

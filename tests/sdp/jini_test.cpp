@@ -5,6 +5,8 @@
 #include "jini/client.hpp"
 #include "jini/discovery.hpp"
 #include "jini/lookup.hpp"
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 

@@ -10,6 +10,8 @@
 #include "core/units/mdns_unit.hpp"
 #include "mdns/dns.hpp"
 #include "mdns/dnssd.hpp"
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 

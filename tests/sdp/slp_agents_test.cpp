@@ -3,6 +3,8 @@
 // (repository) mode.
 #include <gtest/gtest.h>
 
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "slp/agents.hpp"

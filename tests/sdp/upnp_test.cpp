@@ -2,6 +2,8 @@
 // device behaviour and control-point discovery.
 #include <gtest/gtest.h>
 
+#include "net/host.hpp"
+#include "net/udp.hpp"
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "upnp/control_point.hpp"

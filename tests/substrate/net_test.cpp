@@ -229,9 +229,9 @@ TEST_F(NetFixture, DuplicateHostAddressThrows) {
 
 TEST_F(NetFixture, TcpConnectAcceptAndExchange) {
   auto listener = bob.tcp_listen(8080);
-  std::shared_ptr<TcpSocket> server;
+  std::shared_ptr<transport::TcpSocket> server;
   std::string server_got;
-  listener->set_accept_handler([&](std::shared_ptr<TcpSocket> s) {
+  listener->set_accept_handler([&](std::shared_ptr<transport::TcpSocket> s) {
     server = s;
     server->set_data_handler([&](BytesView data) {
       server_got += to_string(data);
@@ -256,9 +256,9 @@ TEST_F(NetFixture, TcpConnectionRefusedWithoutListener) {
 
 TEST_F(NetFixture, TcpSegmentsStayOrdered) {
   auto listener = bob.tcp_listen(8080);
-  std::shared_ptr<TcpSocket> server;
+  std::shared_ptr<transport::TcpSocket> server;
   std::string got;
-  listener->set_accept_handler([&](std::shared_ptr<TcpSocket> s) {
+  listener->set_accept_handler([&](std::shared_ptr<transport::TcpSocket> s) {
     server = s;
     server->set_data_handler([&](BytesView data) { got += to_string(data); });
   });
@@ -277,9 +277,9 @@ TEST_F(NetFixture, TcpSegmentsStayOrdered) {
 
 TEST_F(NetFixture, TcpCloseNotifiesPeer) {
   auto listener = bob.tcp_listen(8080);
-  std::shared_ptr<TcpSocket> server;
+  std::shared_ptr<transport::TcpSocket> server;
   bool closed = false;
-  listener->set_accept_handler([&](std::shared_ptr<TcpSocket> s) {
+  listener->set_accept_handler([&](std::shared_ptr<transport::TcpSocket> s) {
     server = s;
     server->set_close_handler([&]() { closed = true; });
   });
@@ -294,9 +294,9 @@ TEST_F(NetFixture, TcpCloseNotifiesPeer) {
 
 TEST_F(NetFixture, TcpDataBeforeHandlerIsBuffered) {
   auto listener = bob.tcp_listen(8080);
-  std::shared_ptr<TcpSocket> server;
+  std::shared_ptr<transport::TcpSocket> server;
   listener->set_accept_handler(
-      [&](std::shared_ptr<TcpSocket> s) { server = s; });
+      [&](std::shared_ptr<transport::TcpSocket> s) { server = s; });
   auto client = alice.tcp_connect(Endpoint{bob.address(), 8080});
   ASSERT_NE(client, nullptr);
   client->send(to_bytes("early"));
