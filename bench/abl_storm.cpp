@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/indiss.hpp"
+#include "core/shard/router.hpp"
 #include "jini/discovery.hpp"
 #include "jini/lookup.hpp"
 #include "mdns/dns.hpp"
@@ -109,7 +110,13 @@ struct StormRig {
     return config;
   }
 
-  StormRig(int devices, bool cache_enabled) {
+  /// With shard_count > 1 the rig models ONE shard of the sharded pipeline
+  /// (docs/sharding.md): it keeps only the announcements whose wire hash
+  /// routes to shard_index, using a 3-SDP mix (slp/upnp/mdns) because the
+  /// deployed Jini heartbeat is a single repeated wire — it would land
+  /// whole on one shard and say nothing about spreading.
+  StormRig(int devices, bool cache_enabled, int shard_count = 1,
+           int shard_index = 0) {
     core::IndissConfig config;
     config.enabled_sdps.insert(core::SdpId::kSlp);
     config.enabled_sdps.insert(core::SdpId::kUpnp);
@@ -120,12 +127,13 @@ struct StormRig {
     indiss->start();
     scheduler.run_for(sim::millis(10));
 
+    const bool sharded = shard_count > 1;
     for (int i = 0; i < devices; ++i) {
       Announcement a;
       net::Endpoint source{net::IpAddress(10, 0, 1,
                                           static_cast<std::uint8_t>(i % 250)),
                            static_cast<std::uint16_t>(40000 + i)};
-      switch (i % 4) {
+      switch (i % (sharded ? 3 : 4)) {
         case 0:
           a.sdp = core::SdpId::kSlp;
           a.datagram.payload = slp_registration(i);
@@ -145,6 +153,14 @@ struct StormRig {
       }
       a.datagram.source = source;
       a.datagram.multicast = true;
+      if (sharded) {
+        BytesView wire(a.datagram.payload.data(), a.datagram.payload.size());
+        if (core::shard::shard_for(
+                wire, static_cast<std::size_t>(shard_count)) !=
+            static_cast<std::size_t>(shard_index)) {
+          continue;
+        }
+      }
       announcements.push_back(std::move(a));
     }
   }
@@ -201,6 +217,50 @@ BENCHMARK(BM_StormCacheEnabled)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond)
 
 void BM_StormCacheDisabled(benchmark::State& state) { run_storm(state, false); }
 BENCHMARK(BM_StormCacheDisabled)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+// The cores axis: the same storm through the sharded pipeline at 1/2/4
+// shards. Each benchmark thread is one shard — an independent gateway
+// processing exactly the slice of the fleet the wire hash routes to it, the
+// way the live pool's shard threads do. events_per_sec sums across threads
+// (google-benchmark accumulates counters), so the N-thread entries measure
+// aggregate translation throughput; the only cross-thread state is the
+// internally synchronized SymbolTable, same as the live pool. Interpreting
+// the scaling requires >= N physical cores — on fewer cores the threads
+// time-slice and the aggregate stays flat (see docs/sharding.md).
+void BM_StormSharded(benchmark::State& state) {
+  const int devices = static_cast<int>(state.range(0));
+  StormRig rig(devices, true, state.threads(), state.thread_index());
+  rig.cycle();
+  rig.cycle();
+
+  // The alloc meter is thread_local, so this delta is exactly this shard's
+  // allocations even while sibling shard threads allocate concurrently.
+  std::uint64_t allocs_before = indiss::testing::g_heap_allocs;
+  for (auto _ : state) {
+    rig.cycle();
+  }
+  std::uint64_t announcements =
+      state.iterations() * static_cast<std::uint64_t>(rig.announcements.size());
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(announcements), benchmark::Counter::kIsRate);
+  state.counters["heap_allocs_per_op"] = benchmark::Counter(
+      announcements == 0
+          ? 0.0
+          : static_cast<double>(indiss::testing::g_heap_allocs - allocs_before) /
+                static_cast<double>(announcements),
+      benchmark::Counter::kAvgThreads);
+  state.counters["shards"] = benchmark::Counter(
+      static_cast<double>(state.threads()), benchmark::Counter::kAvgThreads);
+  state.counters["cache_hit_rate"] = benchmark::Counter(
+      rig.hit_rate(), benchmark::Counter::kAvgThreads);
+  state.SetItemsProcessed(static_cast<std::int64_t>(announcements));
+}
+BENCHMARK(BM_StormSharded)
+    ->Arg(64)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -9,8 +9,15 @@
 //
 // Usage:
 //   indissd --loopback [--name gw] [--duration 2s] [--sdps slp,upnp,mdns]
-//           [--seed 7]
+//           [--seed 7] [--shards N]
 //   indissd --iface eth0 --addr 192.168.1.10 [--sdps upnp,mdns]
+//
+// `--shards N` (N >= 2) runs the translation pipeline sharded across N
+// threads (docs/sharding.md): the main loop scans the well-known ports and
+// hash-routes each datagram into per-shard ingress rings; each shard thread
+// runs a full scan-less gateway. The exit summary keeps the same `unit
+// sdp=...` key shape with counters merged across shards, plus one `shard
+// index=...` line per shard.
 //
 // Without --duration the daemon runs until SIGINT/SIGTERM. On exit it prints
 // a machine-greppable summary (one `key=value` line per subsystem) that the
@@ -29,6 +36,7 @@
 #include "core/indiss.hpp"
 #include "core/units/mdns_unit.hpp"
 #include "live/event_loop.hpp"
+#include "live/sharded.hpp"
 #include "live/transport.hpp"
 
 namespace {
@@ -70,9 +78,106 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--loopback | --iface NAME --addr A.B.C.D)\n"
                "          [--name NAME] [--duration 2s|500ms|inf]\n"
-               "          [--sdps slp,upnp,mdns,jini] [--seed N]\n",
+               "          [--sdps slp,upnp,mdns,jini] [--seed N] [--shards N]\n",
                argv0);
   return 2;
+}
+
+/// The --shards N (N >= 2) deployment: dispatcher loop + N shard threads
+/// (live::LiveShardPool). Summary keys match the unsharded daemon where the
+/// quantity is the same thing merged, plus per-shard and dispatch lines.
+int run_sharded(const indiss::live::LiveConfig& live_config,
+                const std::set<SdpId>& sdps,
+                indiss::transport::Duration duration, std::size_t shards) {
+  using namespace indiss;
+
+  live::EventLoop loop;
+  live::LiveShardConfig pool_config;
+  pool_config.shards = shards;
+  pool_config.live = live_config;
+  pool_config.indiss.enabled_sdps = sdps;
+  live::LiveShardPool pool(loop, pool_config);
+  pool.start();
+
+  std::fprintf(stderr, "indissd: %s up on %s (%s), %zu shards, bridging",
+               live_config.name.c_str(),
+               live_config.address.to_string().c_str(),
+               live_config.interface.c_str(), shards);
+  for (core::SdpId sdp : sdps) {
+    std::fprintf(stderr, " %s", std::string(core::sdp_name(sdp)).c_str());
+  }
+  std::fprintf(stderr, "\n");
+
+  pool.front_transport().schedule_periodic(transport::millis(50), [&loop]() {
+    if (g_stop.load()) loop.stop();
+  });
+
+  if (duration == transport::Duration::max()) {
+    loop.run();
+  } else {
+    loop.run_for(duration);
+  }
+
+  // Joining the shard threads is what makes their counters mergeable; the
+  // shards stay constructed (inert) until pool destruction, so the summary
+  // reads real numbers.
+  pool.stop();
+
+  std::printf("indissd name=%s up_ms=%.0f shards=%zu\n",
+              live_config.name.c_str(), transport::to_millis(loop.now()),
+              shards);
+  std::printf("monitor datagrams_seen=%llu\n",
+              static_cast<unsigned long long>(
+                  pool.front_monitor().datagrams_seen()));
+  for (const auto& [sdp, when] : pool.front_monitor().detected()) {
+    std::printf("detected sdp=%s at_ms=%.0f\n",
+                std::string(core::sdp_name(sdp)).c_str(),
+                transport::to_millis(when));
+  }
+  for (std::size_t i = 0; i < pool.shard_count(); ++i) {
+    std::printf("shard index=%zu ingested=%llu ring_dropped=%llu\n", i,
+                static_cast<unsigned long long>(pool.shard_consumed(i)),
+                static_cast<unsigned long long>(pool.shard_dropped(i)));
+  }
+  std::printf("dispatch routed=%llu replicated=%llu\n",
+              static_cast<unsigned long long>(pool.datagrams_dispatched()),
+              static_cast<unsigned long long>(pool.datagrams_replicated()));
+  for (core::SdpId sdp : sdps) {
+    const auto s = pool.unit_stats(sdp);
+    std::printf(
+        "unit sdp=%s parsed=%llu composed=%llu sessions=%llu dispatched=%llu "
+        "cache_hits=%llu\n",
+        std::string(core::sdp_name(sdp)).c_str(),
+        static_cast<unsigned long long>(s.messages_parsed),
+        static_cast<unsigned long long>(s.messages_composed),
+        static_cast<unsigned long long>(s.sessions_opened),
+        static_cast<unsigned long long>(s.streams_dispatched),
+        static_cast<unsigned long long>(s.cache_short_circuits));
+  }
+  if (sdps.contains(core::SdpId::kMdns)) {
+    unsigned long long announcements = 0;
+    std::size_t cached = 0;
+    for (std::size_t i = 0; i < pool.shard_count(); ++i) {
+      if (auto* mdns = pool.shard(i).unit_as<core::MdnsUnit>(
+              core::SdpId::kMdns)) {
+        announcements += mdns->announcements_sent();
+        cached += mdns->foreign_services().size();
+      }
+    }
+    std::printf("mdns announcements_sent=%llu cached_services=%zu\n",
+                announcements, cached);
+  }
+  std::uint64_t wire_bytes = pool.front_transport().stats().wire_bytes();
+  std::uint64_t wire_packets = pool.front_transport().stats().wire_packets();
+  for (std::size_t i = 0; i < pool.shard_count(); ++i) {
+    const auto& ts = pool.shard(i).transport().stats();
+    wire_bytes += ts.wire_bytes();
+    wire_packets += ts.wire_packets();
+  }
+  std::printf("traffic wire_bytes=%llu wire_packets=%llu\n",
+              static_cast<unsigned long long>(wire_bytes),
+              static_cast<unsigned long long>(wire_packets));
+  return 0;
 }
 
 }  // namespace
@@ -86,6 +191,7 @@ int main(int argc, char** argv) {
   bool have_iface = false;
   bool have_addr = false;
   transport::Duration duration = transport::Duration::max();
+  std::size_t shards = 1;
   std::set<core::SdpId> sdps = {core::SdpId::kSlp, core::SdpId::kUpnp,
                                 core::SdpId::kMdns};
 
@@ -141,6 +247,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       live_config.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      shards = std::strtoul(v, nullptr, 10);
+      if (shards == 0) {
+        std::fprintf(stderr, "indissd: bad --shards '%s'\n", v);
+        return 2;
+      }
     } else {
       return usage(argv[0]);
     }
@@ -154,6 +268,8 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
+
+  if (shards > 1) return run_sharded(live_config, sdps, duration, shards);
 
   live::EventLoop loop;
   live::LiveTransport transport(loop, live_config);

@@ -154,6 +154,7 @@ run_bench() {
   # offender) is stripped instead of shipped inside the tracked JSON.
   python3 - "${out}" "${BENCH_DIR}/CMakeCache.txt" <<EOF
 ${LOAD_BENCH_JSON}
+import os
 import sys
 
 out_path, cache_path = sys.argv[1], sys.argv[2]
@@ -163,7 +164,20 @@ with open(cache_path) as f:
         if line.startswith("CMAKE_BUILD_TYPE:"):
             build_type = line.split("=", 1)[1].strip().lower() or "unknown"
 doc = load_bench_json(out_path)
-doc.setdefault("context", {})["bench_binary_build_type"] = build_type
+context = doc.setdefault("context", {})
+context["bench_binary_build_type"] = build_type
+# The cores axis (docs/sharding.md): record how many hardware threads the
+# recording machine had, and which shard counts the run actually measured
+# (the BM_StormSharded "shards" counter). A reader comparing the 4-shard
+# entry against 1-shard needs num_threads to know whether the machine could
+# even express the speedup — on a 1-core recorder the axis is flat by
+# construction.
+context["num_threads"] = os.cpu_count() or 1
+shards_axis = sorted(
+    {int(bench["shards"]) for bench in doc.get("benchmarks", [])
+     if "shards" in bench and bench.get("run_type") != "aggregate"})
+if shards_axis:
+    context["shards"] = shards_axis
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
@@ -187,6 +201,10 @@ import sys
 merged = load_bench_json(sys.argv[1])
 storm = load_bench_json(sys.argv[2])
 merged["benchmarks"].extend(storm.get("benchmarks", []))
+# The shards axis is stamped on the storm run's context; keep it on the
+# merged document (the round-trip binary has no sharded benchmarks).
+if "shards" in storm.get("context", {}):
+    merged.setdefault("context", {})["shards"] = storm["context"]["shards"]
 with open(sys.argv[3], "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
@@ -234,6 +252,11 @@ shared = [name for name in base if name in current]
 if not shared:
     print("no common events_per_sec benchmarks between the two files")
     sys.exit(2)
+# Benchmarks only the current run has (e.g. the BM_StormSharded cores axis
+# against a baseline recorded before sharding existed) are informational:
+# they cannot regress against nothing, so they are listed and excluded.
+for name in sorted(set(current) - set(base)):
+    print(f"{name}: new (no baseline) — {current[name]:.0f} events/sec")
 
 # The baseline may come from different hardware (CI runners vs the machine
 # that recorded the checked-in JSON). A uniform speed difference shifts every

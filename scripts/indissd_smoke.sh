@@ -2,8 +2,10 @@
 # Loopback smoke test for the live backend: two indissd gateways on
 # 127.0.0.1 bridge a scripted SSDP NOTIFY alive into the Bonjour world.
 #
-#   gwA bridges upnp+mdns: the scripted alive on 239.255.255.250:1900 comes
-#       out as a DNS-SD announcement on 224.0.0.251:5353.
+#   gwA bridges upnp+mdns and runs sharded (--shards 2, docs/sharding.md):
+#       the scripted alive on 239.255.255.250:1900 is hash-routed to a shard
+#       thread and comes out as a DNS-SD announcement on 224.0.0.251:5353 —
+#       covering the threaded dispatch path end to end on a real wire.
 #   gwB bridges mdns+slp: it ingests gwA's announcement (counted in its exit
 #       summary) and, because the announcement carries the INDISS-bridge
 #       marker, does NOT re-translate it — the two-gateway loop stays closed.
@@ -28,6 +30,7 @@ workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
 "$INDISSD" --loopback --name gwA --duration "$DURATION" --sdps upnp,mdns \
+  --shards 2 \
   > "$workdir/gwA.log" 2> "$workdir/gwA.err" &
 GWA=$!
 "$INDISSD" --loopback --name gwB --duration "$DURATION" --sdps mdns,slp \
@@ -57,11 +60,16 @@ wait "$EXPECT" || fail "no mDNS announcement containing '_clock' seen on 224.0.0
 wait "$GWA" || fail "gwA exited non-zero"
 wait "$GWB" || fail "gwB exited non-zero"
 
-# gwA did the bridging: its upnp unit parsed the alive and dispatched it.
+# gwA did the bridging: its upnp unit (merged across shards) parsed the
+# alive and dispatched it, and the dispatcher routed it into a shard ring.
 grep -Eq 'unit sdp=upnp parsed=[1-9]' "$workdir/gwA.log" \
   || fail "gwA upnp unit parsed nothing"
 grep -Eq 'mdns announcements_sent=[1-9]' "$workdir/gwA.log" \
   || fail "gwA mdns unit announced nothing"
+grep -Eq 'dispatch routed=[1-9]' "$workdir/gwA.log" \
+  || fail "gwA dispatcher routed nothing to its shards"
+grep -Eq 'shard index=1' "$workdir/gwA.log" \
+  || fail "gwA summary missing per-shard lines"
 
 # gwB heard the announcement (monitor + mdns unit), proving a second INDISS
 # node on the same wire sees bridged traffic...

@@ -1,6 +1,7 @@
 #include "common/interning.hpp"
 
 #include <functional>
+#include <mutex>
 
 namespace indiss {
 
@@ -10,6 +11,13 @@ SymbolTable& SymbolTable::global() {
 }
 
 Symbol SymbolTable::intern(std::string_view name) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  // Re-check: another shard thread may have interned it between the locks.
   auto it = index_.find(name);
   if (it != index_.end()) return it->second;
   names_.emplace_back(name);
@@ -20,12 +28,15 @@ Symbol SymbolTable::intern(std::string_view name) {
 }
 
 Symbol SymbolTable::find(std::string_view name) const {
+  std::shared_lock lock(mu_);
   auto it = index_.find(name);
   return it == index_.end() ? kNoSymbol : it->second;
 }
 
 std::string_view SymbolTable::name(Symbol symbol) const {
+  std::shared_lock lock(mu_);
   if (symbol == kNoSymbol || symbol > names_.size()) return {};
+  // Deque elements have stable addresses: the view outlives the lock.
   return names_[symbol - 1];
 }
 

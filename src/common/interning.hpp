@@ -7,8 +7,13 @@
 // for the common case (<= 4 entries) so that building and querying an event
 // performs no heap allocation at all when values fit the std::string SSO.
 //
-// Like the rest of the substrate, none of this is thread-safe: the simulator
-// and every unit run on one scheduler thread.
+// SmallRecord is, like the rest of the substrate, not thread-safe: records
+// live and die on one shard's scheduler thread. The process-wide SymbolTable
+// is the exception — it is shared by every shard thread of the sharded
+// pipeline (docs/sharding.md), so it synchronizes internally: shared-lock
+// lookups, exclusive lock only on first-sight interning. The deque gives
+// interned names stable addresses, so the string_views it hands out stay
+// valid without holding the lock.
 #pragma once
 
 #include <array>
@@ -16,6 +21,7 @@
 #include <deque>
 #include <initializer_list>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -46,9 +52,13 @@ class SymbolTable {
   /// The interned spelling; empty view for kNoSymbol / unknown ids.
   [[nodiscard]] std::string_view name(Symbol symbol) const;
 
-  [[nodiscard]] std::size_t size() const { return names_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    std::shared_lock lock(mu_);
+    return names_.size();
+  }
 
  private:
+  mutable std::shared_mutex mu_;
   std::deque<std::string> names_;
   std::unordered_map<std::string_view, Symbol> index_;
 };

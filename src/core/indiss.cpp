@@ -8,7 +8,9 @@ Indiss::Indiss(transport::Transport& transport, IndissConfig config)
     : host_(transport),
       config_(std::move(config)),
       enabled_sdps_(config_.enabled_sdps),
-      own_endpoints_(std::make_shared<OwnEndpoints>()) {
+      own_endpoints_(config_.own_endpoints != nullptr
+                         ? config_.own_endpoints
+                         : std::make_shared<OwnEndpoints>()) {
   if (config_.enable_translation_cache) {
     translation_cache_ =
         std::make_shared<TranslationCache>(config_.translation_cache);
@@ -62,8 +64,10 @@ void Indiss::start() {
   for (SdpId sdp : enabled_sdps_) attach_unit(sdp);
   subscribe_units();
 
-  for (const auto& entry : iana_table()) {
-    if (enabled_sdps_.contains(entry.sdp)) monitor_->scan(entry);
+  if (config_.scan_ports) {
+    for (const auto& entry : iana_table()) {
+      if (enabled_sdps_.contains(entry.sdp)) monitor_->scan(entry);
+    }
   }
 
   if (config_.context.enabled) {
@@ -100,6 +104,11 @@ void Indiss::subscribe_units() {
   if (translation_cache_) translation_cache_->bump_generation();
 }
 
+void Indiss::ingest(SdpId sdp, const net::Datagram& datagram) {
+  if (!running_) return;
+  monitor_->ingest(sdp, datagram);
+}
+
 Unit* Indiss::unit(SdpId sdp) {
   auto it = units_.find(sdp);
   return it == units_.end() ? nullptr : it->second.get();
@@ -109,8 +118,10 @@ void Indiss::enable_unit(SdpId sdp) {
   if (!running_ || unit(sdp) != nullptr) return;
   enabled_sdps_.insert(sdp);
   attach_unit(sdp);
-  for (const auto& entry : iana_table()) {
-    if (entry.sdp == sdp) monitor_->scan(entry);
+  if (config_.scan_ports) {
+    for (const auto& entry : iana_table()) {
+      if (entry.sdp == sdp) monitor_->scan(entry);
+    }
   }
   subscribe_units();
 }

@@ -66,6 +66,15 @@ struct IndissConfig {
   /// re-running the translation pipeline (docs/events.md).
   bool enable_translation_cache = true;
   TranslationCache::Config translation_cache;
+  /// When false, start() skips binding the IANA well-known ports — inbound
+  /// traffic arrives through ingest() instead. This is how shard instances
+  /// run behind a single front-end dispatcher (docs/sharding.md): only the
+  /// dispatcher scans; units still open their ephemeral send sockets.
+  bool scan_ports = true;
+  /// Loop-prevention set shared with other Indiss instances on the same
+  /// wire (every shard's sends must be invisible to the one dispatcher).
+  /// Null: the instance makes its own private set.
+  std::shared_ptr<OwnEndpoints> own_endpoints;
 };
 
 class Indiss {
@@ -84,6 +93,11 @@ class Indiss {
   [[nodiscard]] bool running() const { return running_; }
 
   [[nodiscard]] Monitor& monitor() { return *monitor_; }
+  /// Feeds one datagram through the monitor's filter/detect/forward path as
+  /// if it had arrived on a scanned port. The ingress side of a scan-less
+  /// shard instance (docs/sharding.md); must run on this instance's
+  /// scheduler thread.
+  void ingest(SdpId sdp, const net::Datagram& datagram);
   /// The node's bridged-translation cache, or nullptr when disabled.
   [[nodiscard]] TranslationCache* translation_cache() {
     return translation_cache_.get();

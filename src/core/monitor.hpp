@@ -49,6 +49,13 @@ class Monitor {
   void set_detection_handler(DetectionHandler handler) {
     detection_handler_ = std::move(handler);
   }
+  /// Feeds a datagram as if it had arrived on a scanned socket: same
+  /// own-endpoint filter, detection record, and forward path. Lets a
+  /// dispatcher hand ring-delivered datagrams to a scan-less monitor
+  /// (docs/sharding.md).
+  void ingest(SdpId sdp, const net::Datagram& datagram) {
+    on_datagram(sdp, datagram);
+  }
   /// Routes raw messages of `sdp` to `unit` (Fig 2 step 2).
   void forward_to(SdpId sdp, Unit* unit);
 

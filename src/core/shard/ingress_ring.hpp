@@ -1,0 +1,117 @@
+// Bounded lock-light MPSC ingress ring (docs/sharding.md).
+//
+// One ring per shard: any number of dispatcher/receive threads offer() into
+// it, exactly one shard thread poll()s out of it. The design is the classic
+// bounded-queue-with-sequence-numbers scheme: each cell carries an atomic
+// sequence counter that producers CAS-claim and publish with a release
+// store, so the fast path is one CAS plus one store per offer and a plain
+// load plus a store per poll — no mutex anywhere, no allocation after
+// construction.
+//
+// Overflow policy: offer() on a full ring drops the item, counts it into
+// dropped(), and returns false. It NEVER blocks — the receive path (an
+// epoll loop draining a kernel socket buffer) must stay lossy-but-live
+// under a storm, exactly like the socket buffer beneath it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace indiss::core::shard {
+
+template <typename T>
+class IngressRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2). All cell storage
+  /// is allocated here, once.
+  explicit IngressRing(std::size_t capacity = 1024) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  IngressRing(const IngressRing&) = delete;
+  IngressRing& operator=(const IngressRing&) = delete;
+
+  /// Producer side (any thread). False = ring full: the item is dropped and
+  /// counted. Never blocks, never allocates.
+  bool offer(T value) {
+    Cell* cell = nullptr;
+    std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      std::uint64_t seq = cell->sequence.load(std::memory_order_acquire);
+      auto dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        // The consumer has not freed this cell yet: full.
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side (single thread). False = empty (or the next item is
+  /// claimed but not yet published by its producer).
+  bool poll(T& out) {
+    Cell& cell = cells_[dequeue_pos_ & mask_];
+    std::uint64_t seq = cell.sequence.load(std::memory_order_acquire);
+    if (seq != dequeue_pos_ + 1) return false;
+    out = std::move(cell.value);
+    cell.sequence.store(dequeue_pos_ + mask_ + 1, std::memory_order_release);
+    dequeue_pos_ += 1;
+    popped_.store(dequeue_pos_, std::memory_order_relaxed);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+  /// Items rejected by offer() on a full ring. Any thread.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Items accepted by offer() so far (includes claimed-not-yet-published).
+  /// Any thread.
+  [[nodiscard]] std::uint64_t accepted() const {
+    return enqueue_pos_.load(std::memory_order_relaxed);
+  }
+  /// Items handed out by poll() so far. Any thread (the consumer publishes
+  /// its private cursor after each poll); pair with accepted() to watch a
+  /// ring drain from outside the consumer thread.
+  [[nodiscard]] std::uint64_t consumed() const {
+    return popped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> sequence{0};
+    T value{};
+  };
+
+  std::size_t mask_ = 0;
+  std::unique_ptr<Cell[]> cells_;
+  // Producer and consumer cursors on their own cache lines so producers
+  // hammering the CAS do not false-share with the consumer's cursor.
+  alignas(64) std::atomic<std::uint64_t> enqueue_pos_{0};
+  alignas(64) std::uint64_t dequeue_pos_ = 0;
+  std::atomic<std::uint64_t> popped_{0};
+  alignas(64) std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace indiss::core::shard

@@ -1,0 +1,153 @@
+#include "core/shard/router.hpp"
+
+#include <string_view>
+
+#include "core/translation_cache.hpp"
+#include "mdns/dns.hpp"
+#include "slp/wire.hpp"
+
+namespace indiss::core::shard {
+namespace {
+
+constexpr std::size_t kDnsHeaderSize = 12;  // RFC 1035 §4.1.1
+
+constexpr char ascii_lower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+bool starts_with_ci(BytesView wire, std::string_view prefix) {
+  if (wire.size() < prefix.size()) return false;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (ascii_lower(static_cast<char>(wire[i])) != ascii_lower(prefix[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Naive case-insensitive substring scan; SSDP payloads are a few hundred
+// bytes and this only runs on NOTIFYs, so O(n*m) is fine.
+bool contains_ci(BytesView wire, std::string_view token) {
+  if (wire.size() < token.size()) return false;
+  for (std::size_t i = 0; i + token.size() <= wire.size(); ++i) {
+    std::size_t j = 0;
+    while (j < token.size() &&
+           ascii_lower(static_cast<char>(wire[i + j])) ==
+               ascii_lower(token[j])) {
+      ++j;
+    }
+    if (j == token.size()) return true;
+  }
+  return false;
+}
+
+std::uint16_t read_u16(BytesView wire, std::size_t off) {
+  return static_cast<std::uint16_t>((wire[off] << 8) | wire[off + 1]);
+}
+
+// Advances `off` past one DNS name (label sequence or compression pointer).
+// False on malformed input.
+bool skip_dns_name(BytesView wire, std::size_t& off) {
+  while (off < wire.size()) {
+    std::uint8_t len = wire[off];
+    if (len == 0) {
+      off += 1;
+      return true;
+    }
+    if ((len & 0xC0) == 0xC0) {  // compression pointer ends the name
+      off += 2;
+      return off <= wire.size();
+    }
+    if ((len & 0xC0) != 0) return false;
+    off += 1 + len;
+  }
+  return false;
+}
+
+// True when any answer record of an mDNS response carries TTL 0 — the
+// RFC 6762 goodbye form, i.e. a withdrawal. Also true on any walk failure:
+// if we cannot tell, replicating is the safe direction.
+bool mdns_response_has_goodbye(BytesView wire) {
+  if (wire.size() < kDnsHeaderSize) return true;
+  std::size_t questions = read_u16(wire, 4);
+  std::size_t answers = read_u16(wire, 6);
+  std::size_t off = kDnsHeaderSize;
+  for (std::size_t i = 0; i < questions; ++i) {
+    if (!skip_dns_name(wire, off)) return true;
+    off += 4;  // qtype + qclass
+    if (off > wire.size()) return true;
+  }
+  for (std::size_t i = 0; i < answers; ++i) {
+    if (!skip_dns_name(wire, off)) return true;
+    if (off + 10 > wire.size()) return true;  // type+class+ttl+rdlength
+    std::uint32_t ttl = (static_cast<std::uint32_t>(wire[off + 4]) << 24) |
+                        (static_cast<std::uint32_t>(wire[off + 5]) << 16) |
+                        (static_cast<std::uint32_t>(wire[off + 6]) << 8) |
+                        static_cast<std::uint32_t>(wire[off + 7]);
+    if (ttl == 0) return true;
+    std::size_t rdlength = read_u16(wire, off + 8);
+    off += 10 + rdlength;
+    if (off > wire.size()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t shard_for(BytesView wire, std::size_t shard_count) {
+  if (shard_count <= 1) return 0;
+  // FNV-1a's low bit is linear in the input (the parity of the XOR of every
+  // byte's low bit — the odd multiplier preserves parity), so near-identical
+  // text payloads that swap one ASCII digit for another keep their parity
+  // and `hash % 2` would pin a whole device fleet onto one shard. Run the
+  // 64-bit avalanche finalizer (murmur3 fmix64) before the modulo so every
+  // input bit reaches the low bits.
+  std::uint64_t h = wire_hash(wire);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return static_cast<std::size_t>(h % shard_count);
+}
+
+Route classify(SdpId sdp, const net::Datagram& datagram) {
+  BytesView wire(datagram.payload.data(), datagram.payload.size());
+  switch (sdp) {
+    case SdpId::kSlp:
+      // Function-ID byte: only SrvReg (a registration, i.e. an
+      // advertisement) hashes; SrvRqst, SrvDeReg, acks, replies and any
+      // truncated frame replicate.
+      if (wire.size() > 1 &&
+          wire[1] == static_cast<std::uint8_t>(slp::FunctionId::kSrvReg)) {
+        return Route::kHashed;
+      }
+      return Route::kBroadcast;
+
+    case SdpId::kUpnp:
+      // Only NOTIFY carries announcements; M-SEARCH and responses are
+      // requests. A NOTIFY whose NTS is ssdp:byebye is a withdrawal.
+      if (!starts_with_ci(wire, "NOTIFY")) return Route::kBroadcast;
+      if (contains_ci(wire, "ssdp:byebye")) return Route::kBroadcast;
+      return Route::kHashed;
+
+    case SdpId::kJini:
+      // Announcement-group traffic is how every shard's JiniUnit learns the
+      // registrar (without it no shard can bridge into Jini); request-group
+      // traffic is requests. Both replicate.
+      return Route::kBroadcast;
+
+    case SdpId::kMdns: {
+      // Too short to carry the header: the unit's parser will reject it
+      // anyway, so hash it to one shard instead of replicating junk N ways.
+      if (wire.size() < kDnsHeaderSize) return Route::kHashed;
+      std::uint16_t flags = read_u16(wire, 2);
+      if ((flags & mdns::kFlagResponse) == 0) return Route::kBroadcast;
+      return mdns_response_has_goodbye(wire) ? Route::kBroadcast
+                                             : Route::kHashed;
+    }
+  }
+  return Route::kBroadcast;
+}
+
+}  // namespace indiss::core::shard

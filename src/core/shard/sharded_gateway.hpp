@@ -1,0 +1,124 @@
+// The sharded translation pipeline, virtual-shard form (docs/sharding.md).
+//
+// One front-end Monitor scans the IANA correspondence table; its detection
+// handler classifies each datagram (core/shard/router.hpp) and routes it
+// into per-shard ingress rings. Each shard is a full scan-less Indiss
+// instance — its own unit set, EventBus, sessions, and TranslationCache —
+// sharing only the transport (egress) and the internally-synchronized
+// OwnEndpoints loop-filter set.
+//
+// This class is the deterministic single-threaded mode: dispatch() drains
+// the rings round-robin inline, so against the sim transport every tier-1
+// test stays reproducible — same arrival order, same scheduler
+// interleaving, no threads. The live threaded counterpart
+// (live::LiveShardPool) reuses the same rings, router, and scan-less Indiss
+// shards but pumps each ring from its own thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/indiss.hpp"
+#include "core/monitor.hpp"
+#include "core/shard/ingress_ring.hpp"
+#include "core/shard/router.hpp"
+#include "core/translation_cache.hpp"
+#include "core/types.hpp"
+#include "core/unit.hpp"
+#include "transport/transport.hpp"
+
+namespace indiss::core::shard {
+
+struct ShardedConfig {
+  std::size_t shards = 2;
+  /// Per-shard ingress ring capacity (rounded up to a power of two).
+  /// Overflow drops — see ring_dropped().
+  std::size_t ring_capacity = 1024;
+  /// When false the front monitor binds nothing and callers feed traffic
+  /// through dispatch() directly (tests, benches).
+  bool scan_ports = true;
+  /// When true (the sim default) dispatch() drains the rings before
+  /// returning, keeping delivery order deterministic. False: callers pump()
+  /// explicitly (overflow tests, batching experiments).
+  bool auto_pump = true;
+  /// Template for every shard instance (enabled_sdps, unit options, cache
+  /// config). scan_ports/own_endpoints fields inside are overwritten.
+  IndissConfig indiss;
+};
+
+class ShardedGateway {
+ public:
+  explicit ShardedGateway(transport::Transport& transport,
+                          ShardedConfig config = {});
+  ~ShardedGateway();
+
+  ShardedGateway(const ShardedGateway&) = delete;
+  ShardedGateway& operator=(const ShardedGateway&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Routes one datagram: hash-routed to its owning shard's ring, or
+  /// replicated to every ring for control traffic. With auto_pump the rings
+  /// are drained before returning.
+  void dispatch(SdpId sdp, const net::Datagram& datagram);
+
+  /// Drains the rings round-robin (one item per shard per pass, lowest
+  /// shard first) until all are empty. Returns items ingested.
+  std::size_t pump();
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Where a wire would hash-route (stability tests, benches).
+  [[nodiscard]] std::size_t shard_for(BytesView wire) const {
+    return shard::shard_for(wire, shards_.size());
+  }
+  [[nodiscard]] Indiss& shard(std::size_t index) {
+    return *shards_[index].indiss;
+  }
+  /// The scanning/dispatching monitor (detections, datagrams_seen).
+  [[nodiscard]] Monitor& front_monitor() { return *front_monitor_; }
+
+  /// Runs one active probe sweep on every shard (each shard bridges its own
+  /// answers; state gating keeps re-advertisement single per service).
+  void trigger_active_probe();
+
+  // --- Merged (read-time) statistics ---------------------------------------
+  //
+  // Per-shard counters are plain members owned by the shard's scheduler
+  // thread; these accessors sum them at read time without locks. Valid from
+  // the dispatching thread in virtual mode; in threaded mode only once the
+  // shard threads are quiesced (docs/sharding.md).
+
+  [[nodiscard]] Unit::Stats unit_stats(SdpId sdp) const;
+  [[nodiscard]] TranslationCache::SdpStats translation_stats(SdpId sdp) const;
+  /// Datagrams routed (each broadcast counts once).
+  [[nodiscard]] std::uint64_t datagrams_dispatched() const {
+    return dispatched_;
+  }
+  /// Extra ring entries created by broadcasts beyond the first copy.
+  [[nodiscard]] std::uint64_t datagrams_replicated() const {
+    return replicated_;
+  }
+  /// Sum of ring overflow drops across shards.
+  [[nodiscard]] std::uint64_t ring_dropped() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<Indiss> indiss;
+    std::unique_ptr<IngressRing<IngressItem>> ring;
+  };
+
+  transport::Transport& host_;
+  ShardedConfig config_;
+  std::shared_ptr<OwnEndpoints> own_endpoints_;
+  std::unique_ptr<Monitor> front_monitor_;
+  std::vector<Shard> shards_;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t replicated_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace indiss::core::shard

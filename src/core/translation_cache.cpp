@@ -64,6 +64,19 @@ void TranslationCache::open_bundle(SdpId source, BytesView bytes,
     bundle.wire.assign(bytes.begin(), bytes.end());
     entries_.emplace(key, std::move(bundle));
   }
+  // Retire origin sessions that can no longer receive frames: the bundle
+  // has settled (composes land within translate_delay, long before settle),
+  // was evicted, or belongs to a stale generation. Without this the ring
+  // only ever shrinks via the overflow below — and a sustained miss burst
+  // (the cycle after a generation bump, or a fleet of 65+ distinct wires)
+  // wraps it, making the overflow erase live settled bundles whose repeats
+  // then miss and push yet more sessions: a permanent cache collapse.
+  std::erase_if(open_sessions_, [&](const OpenSession& s) {
+    auto entry = entries_.find(s.key);
+    return entry == entries_.end() ||
+           entry->second.generation != generation_ ||
+           now - entry->second.created_at > config_.settle;
+  });
   // Remember which origin session feeds this bundle; target units report
   // their composed frames under that session id. The ring is bounded: an
   // advertisement's composes land within translate_delay, long before 64
@@ -71,7 +84,8 @@ void TranslationCache::open_bundle(SdpId source, BytesView bytes,
   // it (65+ distinct advertisements in one scheduler instant), the evicted
   // session's half-built bundle is erased with it — leaving it behind would
   // cache an empty *negative* entry that silently swallowed every future
-  // repeat; erasing degrades to a plain miss that re-translates.
+  // repeat; erasing degrades to a plain miss that re-translates and, once
+  // the burst's bundles settle, re-caches.
   open_sessions_.push_back(OpenSession{source, origin_session, key});
   if (open_sessions_.size() > 64) {
     entries_.erase(open_sessions_.front().key);

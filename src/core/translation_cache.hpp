@@ -102,6 +102,15 @@ class TranslationCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t frames_replayed = 0;
+
+    /// Merge-on-read accumulation across per-shard caches (docs/sharding.md);
+    /// valid only from the owning thread or with shard threads quiesced.
+    SdpStats& operator+=(const SdpStats& other) {
+      hits += other.hits;
+      misses += other.misses;
+      frames_replayed += other.frames_replayed;
+      return *this;
+    }
   };
 
   // Defined below the class: a `= {}` default argument here would need

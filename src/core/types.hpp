@@ -4,7 +4,11 @@
 // SDP").
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <set>
 #include <string_view>
 #include <vector>
@@ -15,7 +19,43 @@ namespace indiss::core {
 
 /// Shared registry of endpoints INDISS itself sends from; the monitor
 /// filters against it so the system never re-ingests its own traffic.
-using OwnEndpoints = std::set<net::Endpoint>;
+///
+/// Internally synchronized: in the sharded gateway (docs/sharding.md) units
+/// running on shard threads register their socket endpoints while the
+/// dispatcher thread filters inbound traffic against the same set. Inserts
+/// happen at unit/session setup, not per datagram, but contains() runs once
+/// per inbound datagram on the monitor's hot path, so the read side must
+/// not take a lock: insert() builds a new immutable generation of the set
+/// under the writer mutex and publishes it with one release-store; readers
+/// acquire-load the current generation and search it lock-free. Retired
+/// generations stay alive in the deque (stable addresses) so a reader that
+/// loaded an old pointer can finish its lookup — with a handful of inserts
+/// over a process lifetime that leak-by-design costs nothing.
+class OwnEndpoints {
+ public:
+  OwnEndpoints() { live_.store(&generations_.emplace_back()); }
+
+  void insert(const net::Endpoint& endpoint) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Set next = *live_.load(std::memory_order_relaxed);
+    next.insert(endpoint);
+    live_.store(&generations_.emplace_back(std::move(next)),
+                std::memory_order_release);
+  }
+  [[nodiscard]] bool contains(const net::Endpoint& endpoint) const {
+    return live_.load(std::memory_order_acquire)->contains(endpoint);
+  }
+  [[nodiscard]] std::size_t size() const {
+    return live_.load(std::memory_order_acquire)->size();
+  }
+
+ private:
+  using Set = std::set<net::Endpoint>;
+
+  std::mutex mu_;  // serializes writers only; readers never take it
+  std::deque<Set> generations_;
+  std::atomic<const Set*> live_{nullptr};
+};
 
 enum class SdpId : std::uint8_t { kSlp, kUpnp, kJini, kMdns };
 

@@ -134,6 +134,22 @@ class Unit {
     /// Native datagrams short-circuited by the translation cache (no
     /// session, no parse: the stored outbound frames were replayed).
     std::uint64_t cache_short_circuits = 0;
+
+    /// Merge-on-read accumulation across shard instances (docs/sharding.md).
+    /// Counters stay plain members — each shard's scheduler thread owns its
+    /// unit exclusively, so merging is only valid from that thread (sim) or
+    /// after the shard threads are joined (live).
+    Stats& operator+=(const Stats& other) {
+      messages_parsed += other.messages_parsed;
+      events_emitted += other.events_emitted;
+      messages_composed += other.messages_composed;
+      sessions_opened += other.sessions_opened;
+      sessions_completed += other.sessions_completed;
+      streams_dispatched += other.streams_dispatched;
+      events_ignored += other.events_ignored;
+      cache_short_circuits += other.cache_short_circuits;
+      return *this;
+    }
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 

@@ -114,13 +114,17 @@ std::size_t EventLoop::pump_until(transport::TimePoint deadline) {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   std::size_t executed = 0;
-  stop_requested_ = false;
+  // A pending stop() is *consumed* (exchange, not a read-then-clear at pump
+  // entry): a stop flagged from another thread before the loop thread even
+  // reaches here — the sharded pool can stop() a shard right after spawning
+  // it — must still terminate this pump, not be erased by it.
+  bool stopping = false;
 
   for (;;) {
     transport::TimePoint t = now();
     if (t > deadline) t = deadline;
     executed += scheduler_.run_until(t);
-    if (stop_requested_ || t >= deadline) break;
+    if (stop_requested_.exchange(false) || t >= deadline) break;
 
     transport::TimePoint wake = deadline;
     if (auto next = scheduler_.next_deadline();
@@ -141,9 +145,12 @@ std::size_t EventLoop::pump_until(transport::TimePoint deadline) {
       if (it == handlers_.end()) continue;  // unwatched by an earlier handler
       FdHandler handler = it->second;  // copy: handler may unwatch itself
       handler(events[i].events);
-      if (stop_requested_) break;
+      if (stop_requested_.exchange(false)) {
+        stopping = true;
+        break;
+      }
     }
-    if (stop_requested_) break;
+    if (stopping) break;
   }
   return executed;
 }

@@ -15,6 +15,7 @@
 // unit pipeline needs no locks on either backend.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -66,9 +67,10 @@ class EventLoop {
   std::size_t run();
 
   /// Makes the innermost run()/run_for() return after the current pump
-  /// iteration. Callable from handlers; also safe to flag from a signal
-  /// handler via an external atomic checked in a periodic task.
-  void stop() { stop_requested_ = true; }
+  /// iteration. Callable from handlers and from other threads (the sharded
+  /// gateway stops shard loops from the dispatcher thread; pair with an
+  /// eventfd write so a loop parked in epoll_wait wakes to notice).
+  void stop() { stop_requested_.store(true, std::memory_order_relaxed); }
 
   /// The embedded timer wheel (tests; TaskHandles point into it).
   [[nodiscard]] sim::Scheduler& timer_wheel() { return scheduler_; }
@@ -81,7 +83,7 @@ class EventLoop {
   int epoll_fd_ = -1;
   int timer_fd_ = -1;
   std::int64_t epoch_ns_ = 0;
-  bool stop_requested_ = false;
+  std::atomic<bool> stop_requested_{false};
   sim::Scheduler scheduler_;
   std::unordered_map<int, FdHandler> handlers_;
 };

@@ -178,6 +178,68 @@ TEST_F(CacheFixture, OverflowingTheOpenRingDropsTheBundleNotJustTheSession) {
   EXPECT_EQ(cache.lookup(SdpId::kUpnp, first, at_ms(1)), nullptr);
 }
 
+TEST_F(CacheFixture, SustainedMissCyclesAfterGenerationBumpRecover) {
+  // Regression: open sessions used to be retired only by the 64-slot
+  // overflow, which erases the session's cache entry with it. One full-miss
+  // re-translation cycle after a generation bump then pushed fleet-many new
+  // sessions on top of the fleet-many stale ones, wrapped the ring, and the
+  // overflow erased the freshly re-opened *live* bundles — whose repeats
+  // missed and pushed again: permanent cache collapse for any fleet with
+  // more than 32 distinct wires. Settled/stale sessions are pruned instead.
+  TranslationCache cache({.max_entries = 256, .settle = sim::millis(200)});
+  const int kWires = 40;
+  std::uint64_t session = 0;
+  auto cycle = [&](std::int64_t t_ms) {
+    int hits = 0;
+    for (int i = 0; i < kWires; ++i) {
+      Bytes wire = wire_bytes("advert " + std::to_string(i));
+      if (cache.lookup(SdpId::kUpnp, wire, at_ms(t_ms)) != nullptr) {
+        ++hits;
+      } else {
+        cache.open_bundle(SdpId::kUpnp, wire, ++session, at_ms(t_ms));
+      }
+    }
+    return hits;
+  };
+
+  EXPECT_EQ(cycle(0), 0);           // cold: every wire translates
+  EXPECT_EQ(cycle(30000), kWires);  // steady state: every wire replays
+
+  cache.bump_generation();  // e.g. a newly learned Jini registrar
+  EXPECT_EQ(cycle(60000), 0);  // one full re-translation cycle, by design
+  EXPECT_EQ(cycle(90000), kWires);   // ...and the cache must recover
+  EXPECT_EQ(cycle(120000), kWires);  // ...permanently
+}
+
+TEST_F(CacheFixture, FleetLargerThanTheSessionRingStillCaches) {
+  // 70 distinct advertisements in one scheduler instant overflow the
+  // 64-slot open-session ring, erasing the first 6 half-built bundles (by
+  // design, see OverflowingTheOpenRingDropsTheBundleNotJustTheSession).
+  // Those 6 re-translate on the next period — and the erase-by-key must not
+  // domino through the 64 live bundles, which used to leave a 65+-wire
+  // fleet permanently uncached.
+  TranslationCache cache({.max_entries = 256, .settle = sim::millis(200)});
+  const int kWires = 70;
+  std::uint64_t session = 0;
+  auto cycle = [&](std::int64_t t_ms) {
+    int hits = 0;
+    for (int i = 0; i < kWires; ++i) {
+      Bytes wire = wire_bytes("advert " + std::to_string(i));
+      if (cache.lookup(SdpId::kUpnp, wire, at_ms(t_ms)) != nullptr) {
+        ++hits;
+      } else {
+        cache.open_bundle(SdpId::kUpnp, wire, ++session, at_ms(t_ms));
+      }
+    }
+    return hits;
+  };
+
+  EXPECT_EQ(cycle(0), 0);
+  EXPECT_EQ(cycle(30000), kWires - 6);  // the 6 overflow victims re-open
+  EXPECT_EQ(cycle(60000), kWires);      // whole fleet cached
+  EXPECT_EQ(cycle(90000), kWires);
+}
+
 TEST_F(CacheFixture, AddFrameWithoutOpenBundleIsANoOp) {
   TranslationCache cache;
   auto socket = host.udp_socket(0);

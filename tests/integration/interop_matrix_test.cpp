@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/indiss.hpp"
+#include "core/shard/sharded_gateway.hpp"
 #include "jini/client.hpp"
 #include "jini/lookup.hpp"
 #include "mdns/dns.hpp"
@@ -57,17 +58,73 @@ const char* proto_name(Proto p) {
 struct Pair {
   Proto requester;
   Proto announcer;
+  /// 1 = a plain Indiss gateway; >1 = a ShardedGateway in deterministic
+  /// virtual-shard mode (docs/sharding.md) — the matrix must pass unchanged
+  /// when the pipeline is sharded.
+  std::size_t shards = 1;
 };
 
-std::vector<Pair> all_directed_pairs() {
+std::vector<Pair> all_directed_pairs(std::size_t shards) {
   std::vector<Pair> pairs;
   for (Proto a : {Proto::kSlp, Proto::kUpnp, Proto::kJini, Proto::kMdns}) {
     for (Proto b : {Proto::kSlp, Proto::kUpnp, Proto::kJini, Proto::kMdns}) {
-      if (a != b) pairs.push_back(Pair{a, b});
+      if (a != b) pairs.push_back(Pair{a, b, shards});
     }
   }
   return pairs;
 }
+
+/// The gateway under test: one Indiss, or a ShardedGateway splitting the
+/// same configuration across N virtual shards. The matrix body only needs
+/// start / probe / registrar-known, so the wrapper stays minimal.
+class GatewayHarness {
+ public:
+  GatewayHarness(net::Host& host, const IndissConfig& config,
+                 std::size_t shards) {
+    if (shards <= 1) {
+      single_ = std::make_unique<Indiss>(host, config);
+    } else {
+      shard::ShardedConfig sharded_config;
+      sharded_config.shards = shards;
+      sharded_config.indiss = config;
+      sharded_ = std::make_unique<shard::ShardedGateway>(host, sharded_config);
+    }
+  }
+
+  void start() {
+    if (single_ != nullptr) {
+      single_->start();
+    } else {
+      sharded_->start();
+    }
+  }
+
+  void trigger_active_probe() {
+    if (single_ != nullptr) {
+      single_->trigger_active_probe();
+    } else {
+      sharded_->trigger_active_probe();
+    }
+  }
+
+  /// With shards, registrar announcements replicate: every shard's JiniUnit
+  /// must have learned it before bridging can work anywhere.
+  [[nodiscard]] bool registrar_known() {
+    if (single_ != nullptr) {
+      auto* unit = single_->unit_as<JiniUnit>(SdpId::kJini);
+      return unit != nullptr && unit->known_registrar().has_value();
+    }
+    for (std::size_t i = 0; i < sharded_->shard_count(); ++i) {
+      auto* unit = sharded_->shard(i).unit_as<JiniUnit>(SdpId::kJini);
+      if (unit == nullptr || !unit->known_registrar().has_value()) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::unique_ptr<Indiss> single_;
+  std::unique_ptr<shard::ShardedGateway> sharded_;
+};
 
 /// A substring of the discovered access URL that uniquely identifies the
 /// announcer's native endpoint. For UPnP it is the device's host:port: a
@@ -253,12 +310,12 @@ TEST_P(InteropMatrix, RequestOnADiscoversServiceAnnouncedOnB) {
   config.enabled_sdps.insert(SdpId::kUpnp);
   if (jini_involved) config.enabled_sdps.insert(SdpId::kJini);
   config.enabled_sdps.insert(SdpId::kMdns);
-  Indiss indiss(gateway_host, config);
-  indiss.start();
+  GatewayHarness gateway(gateway_host, config, pair.shards);
+  gateway.start();
   // Let the gateway settle (and, with Jini, hear a registrar announcement).
   scheduler.run_for(sim::millis(500));
   if (jini_involved) {
-    ASSERT_TRUE(indiss.unit_as<JiniUnit>(SdpId::kJini)->known_registrar().has_value())
+    ASSERT_TRUE(gateway.registrar_known())
         << "gateway must have learned the registrar before bridging";
   }
 
@@ -268,7 +325,7 @@ TEST_P(InteropMatrix, RequestOnADiscoversServiceAnnouncedOnB) {
   if (pair.requester == Proto::kJini && pair.announcer == Proto::kSlp) {
     // SLP services never advertise unsolicited; the Fig 6 active probe
     // re-announces them so the Jini unit can register them natively.
-    indiss.trigger_active_probe();
+    gateway.trigger_active_probe();
     scheduler.run_for(sim::seconds(2));
   }
 
@@ -304,14 +361,14 @@ TEST_P(InteropMatrix, WithdrawalOnBPropagatesToRequesterOnA) {
   config.enabled_sdps.insert(SdpId::kUpnp);
   if (jini_involved) config.enabled_sdps.insert(SdpId::kJini);
   config.enabled_sdps.insert(SdpId::kMdns);
-  Indiss indiss(gateway_host, config);
-  indiss.start();
+  GatewayHarness gateway(gateway_host, config, pair.shards);
+  gateway.start();
   scheduler.run_for(sim::millis(500));
 
   start_announcer(pair.announcer);
   scheduler.run_for(sim::seconds(2));
   if (pair.requester == Proto::kJini && pair.announcer == Proto::kSlp) {
-    indiss.trigger_active_probe();
+    gateway.trigger_active_probe();
     scheduler.run_for(sim::seconds(2));
   }
 
@@ -374,10 +431,22 @@ TEST_F(InteropMatrix, UpnpByebyeEmergesAsMdnsGoodbye) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllOrderedPairs, InteropMatrix, ::testing::ValuesIn(all_directed_pairs()),
+    AllOrderedPairs, InteropMatrix, ::testing::ValuesIn(all_directed_pairs(1)),
     [](const ::testing::TestParamInfo<Pair>& info) {
       return std::string(proto_name(info.param.requester)) + "Finds" +
              proto_name(info.param.announcer);
+    });
+
+// The same 12 directed pairs through a 2-way sharded gateway (virtual-shard
+// mode: deterministic, single-threaded). Interop must be indistinguishable
+// from the unsharded gateway — the broadcast policy for requests/withdrawals
+// and per-shard registrar learning are exactly what this exercises.
+INSTANTIATE_TEST_SUITE_P(
+    AllOrderedPairsVirtualShards2, InteropMatrix,
+    ::testing::ValuesIn(all_directed_pairs(2)),
+    [](const ::testing::TestParamInfo<Pair>& info) {
+      return std::string(proto_name(info.param.requester)) + "Finds" +
+             proto_name(info.param.announcer) + "Sharded";
     });
 
 }  // namespace

@@ -1,0 +1,165 @@
+// MPSC ingress ring tests (docs/sharding.md): bounded capacity with
+// drop-and-count overflow, per-producer FIFO under a seeded multi-producer
+// stress run, and a 0-allocs/op steady state pinned by the alloc meter.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "core/shard/ingress_ring.hpp"
+#include "tests/support/alloc_meter.hpp"
+
+namespace indiss::core::shard {
+namespace {
+
+TEST(IngressRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(IngressRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(IngressRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(IngressRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(IngressRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(IngressRing, OverflowDropsAndCountsNeverBlocks) {
+  IngressRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.offer(i));
+  // Full: the next offers are rejected immediately and counted.
+  EXPECT_FALSE(ring.offer(100));
+  EXPECT_FALSE(ring.offer(101));
+  EXPECT_EQ(ring.dropped(), 2u);
+  EXPECT_EQ(ring.accepted(), 8u);
+
+  // Draining frees capacity again; accepted items come out FIFO and the
+  // dropped ones are really gone.
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.poll(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.poll(out));
+  EXPECT_TRUE(ring.offer(200));
+  ASSERT_TRUE(ring.poll(out));
+  EXPECT_EQ(out, 200);
+  EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(IngressRing, FifoAcrossWraparound) {
+  IngressRing<int> ring(4);
+  int out = -1;
+  int next_in = 0;
+  int next_out = 0;
+  // Push/pop in a balanced pattern that wraps the (4-slot) ring many times;
+  // the extra single offer/poll every third round shifts the slot phase so
+  // wraparound happens at every alignment.
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(ring.offer(next_in++));
+    EXPECT_TRUE(ring.offer(next_in++));
+    ASSERT_TRUE(ring.poll(out));
+    EXPECT_EQ(out, next_out++);
+    ASSERT_TRUE(ring.poll(out));
+    EXPECT_EQ(out, next_out++);
+    if (round % 3 == 0) {
+      EXPECT_TRUE(ring.offer(next_in++));
+      ASSERT_TRUE(ring.poll(out));
+      EXPECT_EQ(out, next_out++);
+    }
+  }
+  while (ring.poll(out)) EXPECT_EQ(out, next_out++);
+  EXPECT_EQ(next_out, next_in);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+// Seeded multi-producer stress: every *accepted* item must come out exactly
+// once, in per-producer FIFO order, with drops accounted. Producers jitter
+// with a seeded PRNG so the interleavings vary but the run is reproducible.
+TEST(IngressRing, MultiProducerStressKeepsPerProducerFifo) {
+  struct Item {
+    std::uint32_t producer = 0;
+    std::uint32_t sequence = 0;
+  };
+  constexpr std::uint32_t kProducers = 4;
+  constexpr std::uint32_t kPerProducer = 20000;
+  IngressRing<Item> ring(256);
+
+  std::vector<std::vector<std::uint32_t>> accepted(kProducers);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, &accepted, p]() {
+      std::mt19937 rng(1234u + p);
+      for (std::uint32_t i = 0; i < kPerProducer; ++i) {
+        if (ring.offer(Item{p, i})) accepted[p].push_back(i);
+        // Occasional tiny pause varies the interleaving (and lets the
+        // consumer catch up so drops stay partial, not total).
+        if ((rng() & 0x3F) == 0) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::vector<std::uint32_t>> received(kProducers);
+  std::thread consumer([&ring, &received]() {
+    Item item;
+    std::uint32_t idle = 0;
+    // Drain until the ring stays empty for a while after producers finish;
+    // the join below bounds the test, not this heuristic.
+    while (idle < 10000) {
+      if (ring.poll(item)) {
+        received[item.producer].push_back(item.sequence);
+        idle = 0;
+      } else {
+        ++idle;
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  for (auto& t : producers) t.join();
+  consumer.join();
+  // Producers are done: anything still queued drains synchronously.
+  Item item;
+  while (ring.poll(item)) received[item.producer].push_back(item.sequence);
+
+  std::uint64_t total_accepted = 0;
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    total_accepted += accepted[p].size();
+    // Exactly the accepted items, in exactly the offered order.
+    EXPECT_EQ(received[p], accepted[p]) << "producer " << p;
+  }
+  EXPECT_EQ(ring.accepted(), total_accepted);
+  EXPECT_EQ(ring.dropped(),
+            std::uint64_t{kProducers} * kPerProducer - total_accepted);
+}
+
+TEST(IngressRing, SteadyStateMovesItemsWithZeroAllocations) {
+  struct Item {
+    Bytes payload;
+  };
+  IngressRing<Item> ring(64);
+  Item in;
+  in.payload.assign(512, 0xAB);
+  Item out;
+
+  // Warm: the payload buffer cycles in -> cell -> out -> (swap) -> in, so
+  // after the first lap every move reuses the same heap block.
+  for (int i = 0; i < 128; ++i) {
+    ASSERT_TRUE(ring.offer(std::move(in)));
+    ASSERT_TRUE(ring.poll(out));
+    std::swap(in, out);
+  }
+
+  std::uint64_t before = testing::g_heap_allocs;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(ring.offer(std::move(in)));
+    ASSERT_TRUE(ring.poll(out));
+    std::swap(in, out);
+  }
+  EXPECT_EQ(testing::g_heap_allocs - before, 0u)
+      << "offer/poll must move payloads through the ring without allocating";
+}
+
+}  // namespace
+}  // namespace indiss::core::shard

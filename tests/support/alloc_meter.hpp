@@ -16,8 +16,14 @@
 
 namespace indiss::testing {
 
-inline std::uint64_t g_heap_allocs = 0;    // operator new calls
-inline std::uint64_t g_heap_bytes = 0;     // bytes requested
+// thread_local, not atomic: every consumer measures a same-thread
+// before/after delta, so per-thread counters are exact where it matters and
+// stay race-free when the multi-threaded shard tests allocate concurrently —
+// without putting a lock-prefixed RMW into every operator new on the
+// benchmarks' hot path. A thread only ever sees its own allocations; there
+// is deliberately no cross-thread aggregate.
+inline thread_local std::uint64_t g_heap_allocs = 0;  // operator new calls
+inline thread_local std::uint64_t g_heap_bytes = 0;   // bytes requested
 
 }  // namespace indiss::testing
 
