@@ -116,8 +116,11 @@ struct StormRig {
   /// deployed Jini heartbeat is a single repeated wire — it would land
   /// whole on one shard and say nothing about spreading.
   StormRig(int devices, bool cache_enabled, int shard_count = 1,
-           int shard_index = 0) {
+           int shard_index = 0, net::LinkProfile profile = {},
+           core::MonitorConfig monitor = {})
+      : network{scheduler, profile, 17} {
     core::IndissConfig config;
+    config.monitor = monitor;
     config.enabled_sdps.insert(core::SdpId::kSlp);
     config.enabled_sdps.insert(core::SdpId::kUpnp);
     config.enabled_sdps.insert(core::SdpId::kJini);
@@ -175,6 +178,27 @@ struct StormRig {
     scheduler.run_for(sim::seconds(30));
   }
 
+  /// The hostile period (docs/chaos.md): the legit fleet re-announces
+  /// through the monitor path (ingest, so the per-source token bucket and
+  /// the cache both run), and one misbehaving source floods byte-varying
+  /// garbage between them — every flood datagram is a cache miss by
+  /// construction, so whatever the limiter admits costs a full parse.
+  void hostile_cycle(int flood_per_cycle) {
+    for (const auto& a : announcements) {
+      indiss->ingest(a.sdp, a.datagram);
+    }
+    net::Datagram junk;
+    junk.source = net::Endpoint{net::IpAddress(10, 0, 0, 66), 41000};
+    junk.multicast = true;
+    for (int i = 0; i < flood_per_cycle; ++i) {
+      junk.payload = to_bytes("hostile-" + std::to_string(flood_counter_++));
+      indiss->ingest(core::SdpId::kSlp, junk);
+    }
+    scheduler.run_for(sim::seconds(30));
+  }
+
+  int flood_counter_ = 0;
+
   [[nodiscard]] double hit_rate() const {
     std::uint64_t hits = 0;
     std::uint64_t total = 0;
@@ -217,6 +241,54 @@ BENCHMARK(BM_StormCacheEnabled)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond)
 
 void BM_StormCacheDisabled(benchmark::State& state) { run_storm(state, false); }
 BENCHMARK(BM_StormCacheDisabled)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+// The same storm under hostile conditions (docs/chaos.md): ~5% bursty
+// (Gilbert-Elliott) loss on every cross-host frame, plus a single
+// misbehaving source flooding 4x the fleet's own traffic in byte-varying
+// garbage each period, shed by the monitor's per-source token bucket.
+// events_per_sec counts only the legit fleet — the figure of merit is how
+// much of the clean-path BM_StormCacheEnabled rate survives an attack.
+void BM_StormHostile(benchmark::State& state) {
+  const int devices = static_cast<int>(state.range(0));
+  net::LinkProfile profile;
+  profile.faults.ge_p_good_to_bad = 0.02;
+  profile.faults.ge_p_bad_to_good = 0.38;
+  profile.faults.ge_loss_bad = 1.0;  // steady state: 0.02/0.40 = 5% loss
+  core::MonitorConfig monitor;
+  monitor.rate_limit_per_sec = 5.0;  // burst defaults to 10
+  StormRig rig(devices, true, 1, 0, profile, monitor);
+
+  // A cross-host subscriber: with a remote member in the mDNS group, the
+  // gateway's composed announcements traverse the fault engine instead of
+  // staying loopback-only (faults never touch loopback).
+  net::Host& observer =
+      rig.network.add_host("obs", net::IpAddress(10, 0, 0, 12));
+  auto mdns_listener = observer.udp_socket(5353);
+  mdns_listener->join_group(net::IpAddress(224, 0, 0, 251));
+
+  const int flood_per_cycle = devices * 4;
+  rig.hostile_cycle(flood_per_cycle);
+  rig.hostile_cycle(flood_per_cycle);
+
+  std::uint64_t allocs_before = indiss::testing::g_heap_allocs;
+  for (auto _ : state) {
+    rig.hostile_cycle(flood_per_cycle);
+  }
+  std::uint64_t announcements =
+      state.iterations() * static_cast<std::uint64_t>(devices);
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(announcements), benchmark::Counter::kIsRate);
+  state.counters["heap_allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(indiss::testing::g_heap_allocs - allocs_before) /
+      static_cast<double>(announcements));
+  state.counters["cache_hit_rate"] = benchmark::Counter(rig.hit_rate());
+  state.counters["rate_limited"] = benchmark::Counter(
+      static_cast<double>(rig.indiss->monitor().stats().rate_limited));
+  state.counters["fault_lost"] = benchmark::Counter(
+      static_cast<double>(rig.network.stats().fault_lost_packets));
+  state.SetItemsProcessed(static_cast<std::int64_t>(announcements));
+}
+BENCHMARK(BM_StormHostile)->Arg(64)->Unit(benchmark::kMicrosecond);
 
 // The cores axis: the same storm through the sharded pipeline at 1/2/4
 // shards. Each benchmark thread is one shard — an independent gateway

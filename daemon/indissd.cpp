@@ -9,7 +9,7 @@
 //
 // Usage:
 //   indissd --loopback [--name gw] [--duration 2s] [--sdps slp,upnp,mdns]
-//           [--seed 7] [--shards N]
+//           [--seed 7] [--shards N] [--rate-limit 200]
 //   indissd --iface eth0 --addr 192.168.1.10 [--sdps upnp,mdns]
 //
 // `--shards N` (N >= 2) runs the translation pipeline sharded across N
@@ -78,7 +78,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--loopback | --iface NAME --addr A.B.C.D)\n"
                "          [--name NAME] [--duration 2s|500ms|inf]\n"
-               "          [--sdps slp,upnp,mdns,jini] [--seed N] [--shards N]\n",
+               "          [--sdps slp,upnp,mdns,jini] [--seed N] [--shards N]\n"
+               "          [--rate-limit N]   per-source datagrams/sec "
+               "(0 = off, docs/chaos.md)\n",
                argv0);
   return 2;
 }
@@ -88,7 +90,8 @@ int usage(const char* argv0) {
 /// quantity is the same thing merged, plus per-shard and dispatch lines.
 int run_sharded(const indiss::live::LiveConfig& live_config,
                 const std::set<SdpId>& sdps,
-                indiss::transport::Duration duration, std::size_t shards) {
+                indiss::transport::Duration duration, std::size_t shards,
+                double rate_limit) {
   using namespace indiss;
 
   live::EventLoop loop;
@@ -96,6 +99,7 @@ int run_sharded(const indiss::live::LiveConfig& live_config,
   pool_config.shards = shards;
   pool_config.live = live_config;
   pool_config.indiss.enabled_sdps = sdps;
+  pool_config.indiss.monitor.rate_limit_per_sec = rate_limit;
   live::LiveShardPool pool(loop, pool_config);
   pool.start();
 
@@ -126,9 +130,11 @@ int run_sharded(const indiss::live::LiveConfig& live_config,
   std::printf("indissd name=%s up_ms=%.0f shards=%zu\n",
               live_config.name.c_str(), transport::to_millis(loop.now()),
               shards);
-  std::printf("monitor datagrams_seen=%llu\n",
-              static_cast<unsigned long long>(
-                  pool.front_monitor().datagrams_seen()));
+  const auto front_stats = pool.front_monitor().stats();
+  std::printf("monitor datagrams_seen=%llu filtered=%llu rate_limited=%llu\n",
+              static_cast<unsigned long long>(front_stats.seen),
+              static_cast<unsigned long long>(front_stats.filtered),
+              static_cast<unsigned long long>(front_stats.rate_limited));
   for (const auto& [sdp, when] : pool.front_monitor().detected()) {
     std::printf("detected sdp=%s at_ms=%.0f\n",
                 std::string(core::sdp_name(sdp)).c_str(),
@@ -142,6 +148,17 @@ int run_sharded(const indiss::live::LiveConfig& live_config,
   std::printf("dispatch routed=%llu replicated=%llu\n",
               static_cast<unsigned long long>(pool.datagrams_dispatched()),
               static_cast<unsigned long long>(pool.datagrams_replicated()));
+  // Aggregate ingress accounting across the shard rings (docs/chaos.md):
+  // how much hostile load the gateway shed and where.
+  unsigned long long ring_consumed = 0;
+  unsigned long long ring_dropped = 0;
+  for (std::size_t i = 0; i < pool.shard_count(); ++i) {
+    ring_consumed += pool.shard_consumed(i);
+    ring_dropped += pool.shard_dropped(i);
+  }
+  std::printf("ingress consumed=%llu ring_dropped=%llu rate_limited=%llu\n",
+              ring_consumed, ring_dropped,
+              static_cast<unsigned long long>(front_stats.rate_limited));
   for (core::SdpId sdp : sdps) {
     const auto s = pool.unit_stats(sdp);
     std::printf(
@@ -192,6 +209,7 @@ int main(int argc, char** argv) {
   bool have_addr = false;
   transport::Duration duration = transport::Duration::max();
   std::size_t shards = 1;
+  double rate_limit = 0.0;
   std::set<core::SdpId> sdps = {core::SdpId::kSlp, core::SdpId::kUpnp,
                                 core::SdpId::kMdns};
 
@@ -255,6 +273,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "indissd: bad --shards '%s'\n", v);
         return 2;
       }
+    } else if (arg == "--rate-limit") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      char* end = nullptr;
+      rate_limit = std::strtod(v, &end);
+      if (end == v || rate_limit < 0.0) {
+        std::fprintf(stderr, "indissd: bad --rate-limit '%s'\n", v);
+        return 2;
+      }
     } else {
       return usage(argv[0]);
     }
@@ -269,13 +296,16 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
-  if (shards > 1) return run_sharded(live_config, sdps, duration, shards);
+  if (shards > 1) {
+    return run_sharded(live_config, sdps, duration, shards, rate_limit);
+  }
 
   live::EventLoop loop;
   live::LiveTransport transport(loop, live_config);
 
   core::IndissConfig config;
   config.enabled_sdps = sdps;
+  config.monitor.rate_limit_per_sec = rate_limit;
   core::Indiss indiss(transport, config);
   indiss.start();
   std::fprintf(stderr, "indissd: %s up on %s (%s), bridging",
@@ -302,9 +332,11 @@ int main(int argc, char** argv) {
   // Printed before stop(): stop() tears the unit registry down. -----------
   std::printf("indissd name=%s up_ms=%.0f\n", live_config.name.c_str(),
               transport::to_millis(loop.now()));
-  std::printf("monitor datagrams_seen=%llu\n",
-              static_cast<unsigned long long>(
-                  indiss.monitor().datagrams_seen()));
+  const auto monitor_stats = indiss.monitor().stats();
+  std::printf("monitor datagrams_seen=%llu filtered=%llu rate_limited=%llu\n",
+              static_cast<unsigned long long>(monitor_stats.seen),
+              static_cast<unsigned long long>(monitor_stats.filtered),
+              static_cast<unsigned long long>(monitor_stats.rate_limited));
   for (const auto& [sdp, when] : indiss.monitor().detected()) {
     std::printf("detected sdp=%s at_ms=%.0f\n",
                 std::string(core::sdp_name(sdp)).c_str(),

@@ -1,0 +1,22 @@
+// Jini multicast discovery codec + event parser fuzz target (docs/chaos.md).
+#include "harness.hpp"
+
+#include "core/units/jini_unit.hpp"
+#include "jini/discovery.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace indiss;
+  BytesView wire(data, size);
+
+  auto kind = jini::packet_kind(wire);
+  auto request = jini::MulticastRequest::decode(wire);
+  auto announcement = jini::MulticastAnnouncement::decode(wire);
+  (void)kind;
+  (void)request;
+  (void)announcement;
+
+  static core::JiniEventParser parser;
+  fuzz::check_parser(parser, wire);
+  return 0;
+}

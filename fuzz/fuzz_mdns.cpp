@@ -1,0 +1,18 @@
+// mDNS/DNS-SD codec + event parser fuzz target (docs/chaos.md).
+#include "harness.hpp"
+
+#include "core/units/mdns_unit.hpp"
+#include "mdns/dns.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace indiss;
+  BytesView wire(data, size);
+
+  std::string error;
+  if (auto decoded = mdns::decode(wire, &error)) (void)mdns::encode(*decoded);
+
+  static core::MdnsEventParser parser;
+  fuzz::check_parser(parser, wire);
+  return 0;
+}

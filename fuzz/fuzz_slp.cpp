@@ -1,0 +1,20 @@
+// SLP wire codec + event parser fuzz target (docs/chaos.md).
+#include "harness.hpp"
+
+#include "core/units/slp_unit.hpp"
+#include "slp/wire.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace indiss;
+  BytesView wire(data, size);
+
+  // Decode must fail or succeed cleanly; a successful decode must re-encode
+  // without faulting (round-trip exercises the writer's bounds too).
+  std::string error;
+  if (auto decoded = slp::decode(wire, &error)) (void)slp::encode(*decoded);
+
+  static core::SlpEventParser parser;
+  fuzz::check_parser(parser, wire);
+  return 0;
+}

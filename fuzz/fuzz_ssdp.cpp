@@ -1,0 +1,18 @@
+// SSDP (HTTP-over-UDP) codec + event parser fuzz target (docs/chaos.md).
+#include "harness.hpp"
+
+#include "core/units/upnp_unit.hpp"
+#include "upnp/ssdp.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace indiss;
+  BytesView wire(data, size);
+
+  auto message = upnp::parse_ssdp(wire);
+  (void)message;
+
+  static core::SsdpEventParser parser;
+  fuzz::check_parser(parser, wire);
+  return 0;
+}

@@ -15,7 +15,7 @@ Indiss::Indiss(transport::Transport& transport, IndissConfig config)
     translation_cache_ =
         std::make_shared<TranslationCache>(config_.translation_cache);
   }
-  monitor_ = std::make_unique<Monitor>(host_, own_endpoints_);
+  monitor_ = std::make_unique<Monitor>(host_, own_endpoints_, config_.monitor);
   monitor_->set_translation_cache(translation_cache_);
 }
 

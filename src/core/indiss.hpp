@@ -55,6 +55,9 @@ struct IndissConfig {
   /// paper's prototype shipped SLP + UPnP. Iteration (and therefore bus
   /// subscription) order is SdpId order: slp, upnp, jini, mdns.
   std::set<SdpId> enabled_sdps = {SdpId::kSlp, SdpId::kUpnp};
+  /// Ingress defenses (per-source rate limiting) for the monitor — and, in
+  /// the sharded deployment, for the front dispatcher's monitor too.
+  MonitorConfig monitor;
   Unit::Options unit_options;
   SlpUnit::Config slp;
   UpnpUnit::Config upnp;

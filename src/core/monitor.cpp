@@ -1,5 +1,7 @@
 #include "core/monitor.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 #include "core/unit.hpp"
 #include "jini/discovery.hpp"
@@ -21,8 +23,15 @@ const std::vector<IanaEntry>& iana_table() {
 }
 
 Monitor::Monitor(transport::Transport& transport,
-                 std::shared_ptr<OwnEndpoints> own_endpoints)
-    : host_(transport), own_endpoints_(std::move(own_endpoints)) {}
+                 std::shared_ptr<OwnEndpoints> own_endpoints,
+                 MonitorConfig config)
+    : host_(transport),
+      own_endpoints_(std::move(own_endpoints)),
+      config_(config) {
+  if (config_.rate_limit_per_sec > 0.0 && config_.rate_limit_burst <= 0.0) {
+    config_.rate_limit_burst = 2.0 * config_.rate_limit_per_sec;
+  }
+}
 
 Monitor::~Monitor() {
   for (auto& [sdp, socket] : sockets_) socket->close();
@@ -51,14 +60,54 @@ void Monitor::stop_scanning(SdpId sdp) {
 
 void Monitor::forward_to(SdpId sdp, Unit* unit) { forwards_[sdp] = unit; }
 
+// Token-bucket admission, keyed by source address. Buckets refill lazily at
+// arrival time; a new source starts with a full bucket. The tracked-source
+// map is bounded: at capacity the stalest bucket (oldest refill) is
+// recycled, so an address-spoofing flood can rotate buckets but never grow
+// monitor state.
+bool Monitor::admit(net::IpAddress source) {
+  transport::TimePoint now = host_.now();
+  auto it = buckets_.find(source);
+  if (it == buckets_.end()) {
+    if (buckets_.size() >= config_.max_tracked_sources &&
+        !buckets_.empty()) {
+      auto stalest = buckets_.begin();
+      for (auto b = buckets_.begin(); b != buckets_.end(); ++b) {
+        if (b->second.last_refill < stalest->second.last_refill) stalest = b;
+      }
+      buckets_.erase(stalest);
+    }
+    it = buckets_.emplace(source, SourceBucket{config_.rate_limit_burst, now})
+             .first;
+    stats_.sources_tracked = buckets_.size();
+  } else {
+    double elapsed_sec =
+        static_cast<double>((now - it->second.last_refill).count()) / 1e9;
+    it->second.tokens =
+        std::min(config_.rate_limit_burst,
+                 it->second.tokens + elapsed_sec * config_.rate_limit_per_sec);
+    it->second.last_refill = now;
+  }
+  if (it->second.tokens < 1.0) return false;
+  it->second.tokens -= 1.0;
+  return true;
+}
+
 void Monitor::on_datagram(SdpId sdp, const net::Datagram& datagram) {
   // Never re-ingest INDISS's own traffic.
   if (own_endpoints_ != nullptr &&
       own_endpoints_->contains(datagram.source)) {
-    datagrams_filtered_ += 1;
+    stats_.filtered += 1;
     return;
   }
-  datagrams_seen_ += 1;
+  // Shed floods before spending any translation work on them (the per-unit
+  // parse behind forward costs ~translate_delay each; an advert storm from
+  // one source must not starve the rest of the fleet).
+  if (config_.rate_limit_per_sec > 0.0 && !admit(datagram.source.address)) {
+    stats_.rate_limited += 1;
+    return;
+  }
+  stats_.seen += 1;
 
   // Detection is data *arrival*, not data content (paper §2.1).
   if (!detected_.contains(sdp)) {

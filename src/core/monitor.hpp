@@ -29,6 +29,21 @@ namespace indiss::core {
 
 class Unit;
 
+/// Survival knobs for hostile traffic (docs/chaos.md). Defaults leave every
+/// defense off: the monitor behaves exactly as before unless deployed with
+/// explicit limits.
+struct MonitorConfig {
+  /// Per-source token-bucket rate limit on forwarded datagrams, in
+  /// datagrams/second. 0 disables rate limiting entirely (no tracking).
+  double rate_limit_per_sec = 0.0;
+  /// Bucket depth: how large a burst a single source may deliver before
+  /// drops start. 0 defaults to 2x the per-second rate.
+  double rate_limit_burst = 0.0;
+  /// Sources tracked at once; beyond this the stalest bucket is recycled,
+  /// so one address-spoofing flood cannot grow monitor state unboundedly.
+  std::size_t max_tracked_sources = 1024;
+};
+
 class Monitor {
  public:
   /// Fired on every detection event (including repeats), before forwarding.
@@ -36,7 +51,8 @@ class Monitor {
       std::function<void(SdpId, const net::Datagram&)>;
 
   Monitor(transport::Transport& transport,
-          std::shared_ptr<OwnEndpoints> own_endpoints = nullptr);
+          std::shared_ptr<OwnEndpoints> own_endpoints = nullptr,
+          MonitorConfig config = {});
   ~Monitor();
 
   /// Scans one (group, port) pair from the correspondence table.
@@ -67,14 +83,27 @@ class Monitor {
     return detected_.contains(sdp);
   }
   [[nodiscard]] std::uint64_t datagrams_seen() const {
-    return datagrams_seen_;
+    return stats_.seen;
   }
   [[nodiscard]] std::uint64_t datagrams_filtered() const {
-    return datagrams_filtered_;
+    return stats_.filtered;
   }
   [[nodiscard]] std::size_t scanned_port_count() const {
     return sockets_.size();
   }
+
+  /// Drop accounting, the operator's view of shed load: `seen` datagrams
+  /// passed every filter and were processed; `filtered` were INDISS's own
+  /// traffic; `rate_limited` were dropped by the per-source token bucket
+  /// before detection or forwarding.
+  struct Stats {
+    std::uint64_t seen = 0;
+    std::uint64_t filtered = 0;
+    std::uint64_t rate_limited = 0;
+    std::uint64_t sources_tracked = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const MonitorConfig& config() const { return config_; }
 
   // --- Translation-cache introspection --------------------------------------
   //
@@ -97,16 +126,25 @@ class Monitor {
 
  private:
   void on_datagram(SdpId sdp, const net::Datagram& datagram);
+  /// Token-bucket admission for `source`. True = admit; false = shed.
+  [[nodiscard]] bool admit(net::IpAddress source);
+
+  /// One source's token bucket (lazily refilled on arrival).
+  struct SourceBucket {
+    double tokens = 0.0;
+    transport::TimePoint last_refill{0};
+  };
 
   transport::Transport& host_;
   std::shared_ptr<OwnEndpoints> own_endpoints_;
+  MonitorConfig config_;
   std::shared_ptr<const TranslationCache> translation_cache_;
   std::vector<std::pair<SdpId, std::shared_ptr<transport::UdpSocket>>> sockets_;
   std::map<SdpId, Unit*> forwards_;
   std::map<SdpId, transport::TimePoint> detected_;
   DetectionHandler detection_handler_;
-  std::uint64_t datagrams_seen_ = 0;
-  std::uint64_t datagrams_filtered_ = 0;
+  Stats stats_;
+  std::map<net::IpAddress, SourceBucket> buckets_;
 };
 
 }  // namespace indiss::core

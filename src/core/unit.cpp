@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/logging.hpp"
+#include "common/strings.hpp"
 
 namespace indiss::core {
 
@@ -35,6 +36,17 @@ Session* Unit::find_session(std::uint64_t id) {
 }
 
 Session& Unit::open_session(Session::Origin origin) {
+  // Bounded session table: at the cap the oldest session goes first — with a
+  // cap's worth of live sessions it is overwhelmingly a half-open leftover
+  // (a truncated frame's parse, a search nobody answered). Safe here
+  // because open_session only runs at scheduler-task top level (every entry
+  // point defers through schedule_guarded), so no evicted session's frame is
+  // on the call stack.
+  if (options_.max_open_sessions > 0 &&
+      sessions_.size() >= options_.max_open_sessions) {
+    stats_.sessions_evicted += 1;
+    close_session(sessions_.begin()->first);
+  }
   std::uint64_t id = next_session_id_++;
   Session session;
   session.id = id;
@@ -254,6 +266,8 @@ Action Unit::begin_native_request() {
 
 Action Unit::send_native_reply() {
   return [](Unit& unit, const Event&, Session& session) {
+    // Expired bridged state must not be served to native clients.
+    unit.sweep_bridged_state();
     unit.stats_.messages_composed += 1;
     unit.compose_native_reply(session);
   };
@@ -274,6 +288,9 @@ Action Unit::do_parser_switch() {
 
 Action Unit::deliver_advertisement() {
   return [](Unit& unit, const Event&, Session& session) {
+    // Sweep-on-touch: age out TTL-expired bridged entries before this
+    // advertisement updates the same containers.
+    unit.sweep_bridged_state();
     unit.on_advertisement(session);
   };
 }
@@ -337,5 +354,25 @@ void Unit::compose_follow_up(Session&, const Event&) {}
 void Unit::on_advertisement(Session&) {}
 
 void Unit::on_session_complete(Session&) {}
+
+std::size_t Unit::expire_bridged_state(transport::TimePoint) { return 0; }
+
+void Unit::sweep_bridged_state() {
+  if (!options_.expire_bridged_state) return;
+  stats_.bridged_state_expired += expire_bridged_state(now());
+}
+
+transport::TimePoint Unit::bridged_state_deadline(
+    const Session& session) const {
+  transport::Duration ttl = options_.default_bridged_ttl;
+  for (const auto& event : session.collected) {
+    if (event.type == EventType::kResTtl) {
+      long seconds = str::parse_long(event.get("seconds"), 0);
+      if (seconds > 0) ttl = transport::seconds(seconds);
+      break;
+    }
+  }
+  return now() + ttl;
+}
 
 }  // namespace indiss::core

@@ -49,6 +49,19 @@ struct UnitOptions {
   /// disabled): byte-identical repeated advertisements short-circuit to
   /// their previously composed outbound frames (docs/events.md).
   std::shared_ptr<TranslationCache> translation_cache;
+  /// Cap on concurrently open sessions (0 = unbounded). At the cap,
+  /// open_session evicts the oldest live session first, so half-open parse
+  /// sessions from truncated or hostile frames are bounded by this instead
+  /// of accumulating for a whole session_timeout (docs/chaos.md).
+  std::size_t max_open_sessions = 0;
+  /// When true the unit expires bridged foreign-service state whose
+  /// advertised TTL elapsed (sweep-on-touch, no timers; docs/chaos.md), so
+  /// devices that crashed without a byebye age out of every unit instead of
+  /// being re-announced forever. Off by default: expiry changes steady-state
+  /// re-announcement behaviour, so calibrated runs keep it off.
+  bool expire_bridged_state = false;
+  /// Lifetime for bridged state whose advertisement carried no TTL.
+  transport::Duration default_bridged_ttl = transport::seconds(300);
 };
 
 class Unit {
@@ -134,6 +147,10 @@ class Unit {
     /// Native datagrams short-circuited by the translation cache (no
     /// session, no parse: the stored outbound frames were replayed).
     std::uint64_t cache_short_circuits = 0;
+    /// Sessions force-closed by the max_open_sessions cap.
+    std::uint64_t sessions_evicted = 0;
+    /// Bridged foreign-service entries expired by TTL sweeps.
+    std::uint64_t bridged_state_expired = 0;
 
     /// Merge-on-read accumulation across shard instances (docs/sharding.md).
     /// Counters stay plain members — each shard's scheduler thread owns its
@@ -148,6 +165,8 @@ class Unit {
       streams_dispatched += other.streams_dispatched;
       events_ignored += other.events_ignored;
       cache_short_circuits += other.cache_short_circuits;
+      sessions_evicted += other.sessions_evicted;
+      bridged_state_expired += other.bridged_state_expired;
       return *this;
     }
   };
@@ -158,6 +177,12 @@ class Unit {
 
   /// Looks up a live session (tests and subclasses).
   [[nodiscard]] Session* find_session(std::uint64_t id);
+
+  /// TTL-derived expiry of bridged foreign-service state (docs/chaos.md).
+  /// No-op unless options().expire_bridged_state; called lazily before the
+  /// unit touches its bridged state (advertisement delivery, native reply
+  /// composition) and callable directly by tests and the context manager.
+  void sweep_bridged_state();
 
  protected:
   // --- Subclass surface -------------------------------------------------------
@@ -176,6 +201,15 @@ class Unit {
   virtual void on_advertisement(Session& session);
   /// Session ended: release any per-session transport resources.
   virtual void on_session_complete(Session& session);
+  /// Drops every bridged foreign-service entry whose deadline is <= now and
+  /// returns how many were dropped. Default: no bridged state.
+  virtual std::size_t expire_bridged_state(transport::TimePoint now);
+
+  /// Deadline for bridged state learned from `session`: now() plus the
+  /// stream's advertised TTL (first SDP_RES_TTL event) or, when the
+  /// advertisement carried none, options().default_bridged_ttl.
+  [[nodiscard]] transport::TimePoint bridged_state_deadline(
+      const Session& session) const;
 
   /// Native response arriving on a per-session socket the subclass opened
   /// (the unit acting as a native client). Parses it into the session.

@@ -261,8 +261,13 @@ void JiniUnit::on_advertisement(Session& session) {
   if (!meaningful_advert_type(session.var("service_type"))) return;
   // One registration per foreign endpoint; alive bursts repeat the URL
   // under several notification types.
-  if (!registered_urls_.insert(url).second) return;
+  if (!registered_urls_.insert(url).second) {
+    // Alive refresh: re-arm the TTL clock; the registrar lease is untouched.
+    expiry_by_url_[url] = bridged_state_deadline(session);
+    return;
+  }
   if (!usn.empty()) url_by_usn_[usn] = url;
+  expiry_by_url_[url] = bridged_state_deadline(session);
 
   jini::ServiceItem item;
   item.id = jini::ServiceId{0x1D15500000000000ULL, next_service_id_++};
@@ -297,6 +302,31 @@ void JiniUnit::on_advertisement(Session& session) {
   });
 }
 
+// TTL expiry of registered foreign services (crash without byebye): forget
+// the registration locally — registered_urls_, the lease handle, the USN
+// alias. No kOpCancel is sent: the registrar's lease expires by its own
+// clock, and racing a cancel against a dead lease just burns a TCP connect.
+// Forgetting locally is what matters — a rejoining device (new endpoint,
+// fresh URL) registers cleanly instead of being swallowed by the
+// one-registration-per-URL guard.
+std::size_t JiniUnit::expire_bridged_state(transport::TimePoint now) {
+  std::size_t expired = 0;
+  for (auto it = expiry_by_url_.begin(); it != expiry_by_url_.end();) {
+    if (it->second.count() == 0 || it->second > now) {
+      ++it;
+      continue;
+    }
+    const std::string& url = it->first;
+    registered_urls_.erase(url);
+    leases_by_url_.erase(url);
+    std::erase_if(url_by_usn_,
+                  [&url](const auto& entry) { return entry.second == url; });
+    it = expiry_by_url_.erase(it);
+    expired += 1;
+  }
+  return expired;
+}
+
 // Withdrawal: cancel the lease the registration was granted (matching by
 // URL, or by USN for UPnP byebyes that name no URL) so native Jini lookups
 // stop returning the departed service.
@@ -310,6 +340,7 @@ void JiniUnit::withdraw_foreign_service(const std::string& url,
   if (key.empty()) return;
   if (registered_urls_.erase(key) == 0) return;
   if (!usn.empty()) url_by_usn_.erase(usn);
+  expiry_by_url_.erase(key);
 
   auto lease = leases_by_url_.find(key);
   if (lease == leases_by_url_.end() || !registrar_.has_value()) return;

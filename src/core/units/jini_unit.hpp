@@ -72,6 +72,7 @@ class JiniUnit : public Unit {
   void compose_native_request(Session& session) override;
   void compose_native_reply(Session& session) override;
   void on_advertisement(Session& session) override;
+  std::size_t expire_bridged_state(transport::TimePoint now) override;
 
  private:
   static Action note_registrar();
@@ -88,6 +89,9 @@ class JiniUnit : public Unit {
   std::map<std::string, std::uint64_t> leases_by_url_;
   /// UPnP byebyes identify the device by USN, not URL.
   std::map<std::string, std::string> url_by_usn_;
+  /// TTL-derived expiry instant per registered URL (only enforced when the
+  /// unit runs with expire_bridged_state — docs/chaos.md).
+  std::map<std::string, transport::TimePoint> expiry_by_url_;
   std::uint64_t foreign_registrations_ = 0;
   std::uint64_t foreign_deregistrations_ = 0;
   std::uint64_t next_service_id_ = 0x1D155;

@@ -473,6 +473,7 @@ void MdnsUnit::on_advertisement(Session& session) {
 
   if (service.url.empty()) return;
   if (!meaningful_advert_type(service.canonical_type)) return;
+  service.expires_at = bridged_state_deadline(session);
 
   // Refresh only the same-typed entry: a UPnP alive burst repeats one URL
   // under several notification types, and the announced instance's identity
@@ -569,6 +570,19 @@ void MdnsUnit::on_session_complete(Session& session) {
     it->second->close();
     client_sockets_.erase(it);
   }
+}
+
+// TTL expiry: silent forget (no composed goodbye — native Bonjour caches
+// age the bridged records out by their own TTLs). The announced-URL set is
+// released too, so a device that rejoins after a crash re-announces instead
+// of being treated as an already-bridged repeat.
+std::size_t MdnsUnit::expire_bridged_state(transport::TimePoint now) {
+  return std::erase_if(
+      foreign_services_, [this, now](const MdnsForeignService& s) {
+        bool gone = s.expires_at.count() != 0 && s.expires_at <= now;
+        if (gone) announced_urls_.erase(s.url);
+        return gone;
+      });
 }
 
 }  // namespace indiss::core

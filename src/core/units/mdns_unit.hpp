@@ -64,6 +64,9 @@ struct MdnsForeignService {
   /// withdrawal key for byebyes that name no URL.
   std::string usn;
   std::vector<std::pair<std::string, std::string>> attributes;
+  /// TTL-derived expiry instant (zero = never; only enforced when the unit
+  /// runs with expire_bridged_state — docs/chaos.md).
+  transport::TimePoint expires_at{0};
 };
 
 class MdnsUnit : public Unit {
@@ -86,6 +89,7 @@ class MdnsUnit : public Unit {
   void compose_native_reply(Session& session) override;
   void on_advertisement(Session& session) override;
   void on_session_complete(Session& session) override;
+  std::size_t expire_bridged_state(transport::TimePoint now) override;
 
  private:
   void withdraw_foreign_service(Session& session,

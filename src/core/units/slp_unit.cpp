@@ -321,6 +321,7 @@ void SlpUnit::on_advertisement(Session& session) {
 
   if (service.url.empty()) return;
   if (!meaningful_advert_type(service.canonical_type)) return;
+  service.expires_at = bridged_state_deadline(session);
   for (auto& existing : foreign_services_) {
     if (existing.url == service.url) {
       existing = service;
@@ -328,6 +329,12 @@ void SlpUnit::on_advertisement(Session& session) {
     }
   }
   foreign_services_.push_back(std::move(service));
+}
+
+std::size_t SlpUnit::expire_bridged_state(transport::TimePoint now) {
+  return std::erase_if(foreign_services_, [now](const ForeignService& s) {
+    return s.expires_at.count() != 0 && s.expires_at <= now;
+  });
 }
 
 void SlpUnit::on_session_complete(Session& session) {

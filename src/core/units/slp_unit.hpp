@@ -52,6 +52,9 @@ struct ForeignService {
   /// withdrawal key for byebyes that name no URL.
   std::string usn;
   std::vector<std::pair<std::string, std::string>> attributes;
+  /// TTL-derived expiry instant (zero = never; only enforced when the unit
+  /// runs with expire_bridged_state — docs/chaos.md).
+  transport::TimePoint expires_at{0};
 };
 
 struct SlpUnitConfig {
@@ -80,6 +83,7 @@ class SlpUnit : public Unit {
   void compose_native_reply(Session& session) override;
   void on_advertisement(Session& session) override;
   void on_session_complete(Session& session) override;
+  std::size_t expire_bridged_state(transport::TimePoint now) override;
 
  private:
   Config config_;

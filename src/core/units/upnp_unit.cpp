@@ -486,7 +486,11 @@ UpnpUnit::ServedDescription& UpnpUnit::serve_description(
   }
   std::string usn_key = type + "|" + url;
   auto it = served_descriptions_.find(usn_key);
-  if (it != served_descriptions_.end()) return it->second;
+  if (it != served_descriptions_.end()) {
+    // A refresh re-arms the TTL clock, like a native device re-announcing.
+    it->second.expires_at = bridged_state_deadline(session);
+    return it->second;
+  }
 
   ServedDescription served;
   std::uint64_t index = next_device_index_++;
@@ -511,6 +515,7 @@ UpnpUnit::ServedDescription& UpnpUnit::serve_description(
 
   served.description = description;
   served.usn = description.usn_for(description.device_type);
+  served.expires_at = bridged_state_deadline(session);
 
   http_server_->route(served.path, [description](const http::HttpMessage&) {
     auto response = http::HttpMessage::response(200, "OK");
@@ -601,6 +606,18 @@ void UpnpUnit::announce_foreign_services() {
         net::Endpoint{upnp::kSsdpMulticastGroup, config_.ssdp_port},
         to_bytes(ssdp_scratch_));
   }
+}
+
+// TTL expiry of impersonated devices (crash without byebye): drop the served
+// description so M-SEARCHes stop advertising a dead endpoint. As in
+// withdraw_foreign_service, the HTTP route stays registered — nothing
+// advertises its LOCATION any more. No byebye NOTIFY is multicast: native
+// control points age the device out by its own CACHE-CONTROL max-age.
+std::size_t UpnpUnit::expire_bridged_state(transport::TimePoint now) {
+  return std::erase_if(served_descriptions_, [now](const auto& entry) {
+    const ServedDescription& served = entry.second;
+    return served.expires_at.count() != 0 && served.expires_at <= now;
+  });
 }
 
 void UpnpUnit::on_session_complete(Session& session) {

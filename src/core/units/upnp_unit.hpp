@@ -112,12 +112,16 @@ class UpnpUnit : public Unit {
   void compose_follow_up(Session& session, const Event& event) override;
   void on_advertisement(Session& session) override;
   void on_session_complete(Session& session) override;
+  std::size_t expire_bridged_state(transport::TimePoint now) override;
 
  private:
   struct ServedDescription {
     std::string path;  // "/indiss/<n>/description.xml"
     upnp::DeviceDescription description;
     std::string usn;
+    /// TTL-derived expiry instant (zero = never; enforced only with
+    /// expire_bridged_state — docs/chaos.md).
+    transport::TimePoint expires_at{0};
   };
 
   /// Builds (or reuses) a served description for a translated reply stream /

@@ -76,7 +76,7 @@ void RegistrarDiscovery::discover(RegistrarHandler handler) {
   sends_remaining_ = 1 + config_.discovery_retries;
   transmit();
   // Close the discovery session after the window.
-  host_.schedule(config_.discovery_window, [this]() {
+  schedule_guarded(host_, alive_, config_.discovery_window, [this]() {
     pending_.clear();
     retry_task_.cancel();
   });

@@ -70,6 +70,10 @@ class RegistrarDiscovery {
   std::vector<RegistrarHandler> pending_;
   int sends_remaining_ = 0;
   transport::TaskHandle retry_task_;
+  /// Liveness token for transport::schedule_guarded: the discovery-window
+  /// close task becomes a no-op if this actor is destroyed first (the retry
+  /// chain is cancelled via retry_task_ in the destructor).
+  std::shared_ptr<void> alive_ = std::make_shared<char>('\0');
 };
 
 class JiniClient {

@@ -152,8 +152,8 @@ void LookupService::on_request_datagram(const net::Datagram& datagram) {
   for (const auto& heard : request->heard) {
     if (heard == host_.address().to_string()) return;
   }
-  host_.schedule(config_.handling, [this, datagram,
-                                                          request]() {
+  schedule_guarded(host_, alive_, config_.handling, [this, datagram,
+                                                     request]() {
     announce(net::Endpoint{datagram.source.address, request->response_port});
   });
 }

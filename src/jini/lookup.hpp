@@ -112,6 +112,9 @@ class LookupService {
   std::uint64_t lookups_served_ = 0;
   transport::TaskHandle announce_task_;
   transport::TaskHandle sweep_task_;
+  /// Liveness token for transport::schedule_guarded: the deferred
+  /// request-handling task becomes a no-op if the registrar dies first.
+  std::shared_ptr<void> alive_ = std::make_shared<char>('\0');
 };
 
 }  // namespace indiss::jini

@@ -22,8 +22,10 @@ LiveShardPool::LiveShardPool(EventLoop& dispatcher_loop,
   front_config.name += "-front";
   front_transport_ =
       std::make_unique<LiveTransport>(dispatcher_loop_, front_config);
-  front_monitor_ =
-      std::make_unique<core::Monitor>(*front_transport_, own_endpoints_);
+  // The front monitor carries the node's ingress defenses: a flooding source
+  // is rate-limited once, here, before its datagrams fan out to shard rings.
+  front_monitor_ = std::make_unique<core::Monitor>(
+      *front_transport_, own_endpoints_, config_.indiss.monitor);
 
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
@@ -39,6 +41,9 @@ LiveShardPool::LiveShardPool(EventLoop& dispatcher_loop,
     core::IndissConfig shard_config = config_.indiss;
     shard_config.scan_ports = false;
     shard_config.own_endpoints = own_endpoints_;
+    // Ingress was already rate-limited at the front monitor; limiting again
+    // per shard would double-charge sources whose traffic hashes unevenly.
+    shard_config.monitor = core::MonitorConfig{};
     shard->indiss = std::make_unique<core::Indiss>(*shard->transport,
                                                    std::move(shard_config));
 

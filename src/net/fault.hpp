@@ -1,0 +1,76 @@
+// The hostile-network fault model: what the simulated LAN does to packets
+// beyond the calibrated timing of LinkProfile.
+//
+// The paper evaluates INDISS on a benign 10 Mb/s LAN; real deployments add
+// bursty loss (interference, congested ad-hoc links), reordering (route
+// flaps, queue scheduling), duplication (retransmit races) and outright
+// partitions. Every fault here is drawn from the network's one seeded RNG,
+// so a (FaultProfile, seed) pair reproduces a hostile run bit-for-bit — and
+// every draw is gated on its rate being nonzero, so the all-zero default
+// consumes no randomness and leaves calibrated runs (fig 7-9) untouched.
+//
+// Semantics (docs/chaos.md):
+//  - Bursty loss is a Gilbert-Elliott two-state channel: the shared medium
+//    is either Good or Bad; each cross-host frame advances the state once,
+//    then every remote receiver of the frame rolls against the state's loss
+//    rate. Steady-state loss = loss_good * P(good) + loss_bad * P(bad) with
+//    P(bad) = p_good_to_bad / (p_good_to_bad + p_bad_to_good).
+//  - Reordering adds an extra uniform delay to an individual delivery,
+//    letting a later frame overtake it (UDP makes no ordering promise; this
+//    makes the simulator exercise that truth).
+//  - Duplication schedules a second delivery of the same frame a small
+//    random skew later (retransmit-race style).
+//  - Partitions are not probabilistic: they are scripted through
+//    Network::set_partition_group / heal_partitions (driven by a
+//    sim::FaultPlan), and sever UDP delivery and new TCP connects between
+//    hosts in different groups. Established TCP pipes are deliberately left
+//    alone — a 2005-era stack keeps retransmitting through a short
+//    partition, and that cost is already folded into the segment overhead.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace indiss::net {
+
+/// Probabilistic fault injection parameters. All-zero (the default) disables
+/// every fault and draws nothing from the network RNG.
+struct FaultProfile {
+  // --- Gilbert-Elliott bursty loss (cross-host UDP only) ------------------
+  /// Per-frame transition probability Good -> Bad.
+  double ge_p_good_to_bad = 0.0;
+  /// Per-frame transition probability Bad -> Good.
+  double ge_p_bad_to_good = 0.0;
+  /// Per-delivery loss probability while the channel is Good.
+  double ge_loss_good = 0.0;
+  /// Per-delivery loss probability while the channel is Bad.
+  double ge_loss_bad = 0.0;
+
+  // --- Reordering (cross-host UDP only) -----------------------------------
+  /// Probability that an individual delivery is delayed by an extra uniform
+  /// draw in (0, reorder_max_extra], allowing later frames to overtake it.
+  double reorder_rate = 0.0;
+  sim::SimDuration reorder_max_extra = sim::millis(5);
+
+  // --- Duplication (cross-host UDP only) ----------------------------------
+  /// Probability that an individual delivery is delivered twice, the copy
+  /// landing a uniform skew in (0, duplicate_max_skew] later.
+  double duplicate_rate = 0.0;
+  sim::SimDuration duplicate_max_skew = sim::millis(2);
+
+  [[nodiscard]] bool bursty_enabled() const {
+    return ge_p_good_to_bad > 0.0 || ge_loss_good > 0.0;
+  }
+  [[nodiscard]] bool any_enabled() const {
+    return bursty_enabled() || reorder_rate > 0.0 || duplicate_rate > 0.0;
+  }
+
+  /// Steady-state loss fraction of the Gilbert-Elliott channel.
+  [[nodiscard]] double bursty_steady_state_loss() const {
+    double denom = ge_p_good_to_bad + ge_p_bad_to_good;
+    if (denom <= 0.0) return ge_loss_good;
+    double p_bad = ge_p_good_to_bad / denom;
+    return ge_loss_good * (1.0 - p_bad) + ge_loss_bad * p_bad;
+  }
+};
+
+}  // namespace indiss::net

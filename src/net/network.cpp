@@ -44,6 +44,21 @@ bool Network::host_down(const Host& host) const {
   return down_hosts_.contains(&host);
 }
 
+void Network::set_partition_group(const Host& host, int group) {
+  if (group == 0) {
+    partition_groups_.erase(&host);
+  } else {
+    partition_groups_[&host] = group;
+  }
+}
+
+int Network::partition_group(const Host& host) const {
+  auto it = partition_groups_.find(&host);
+  return it == partition_groups_.end() ? 0 : it->second;
+}
+
+void Network::heal_partitions() { partition_groups_.clear(); }
+
 void Network::udp_register(UdpSocket* socket) {
   udp_bindings_[endpoint_key(socket->host().address(), socket->port())]
       .push_back(socket);
@@ -141,9 +156,25 @@ void Network::udp_send(const UdpSocket& from, const Endpoint& to,
   // dispatches as one scheduler task per latency class walking a pooled
   // target list, not one task per member. Targets are gathered in member
   // order, preserving the historic per-member delivery order and the loss
-  // injection RNG draw order.
+  // injection RNG draw order. Fault injection (net/fault.hpp) peels
+  // individual deliveries out of the batch: a reordered delivery gets its
+  // own later task, a duplicated one an extra task; every fault draw is
+  // gated on its rate so the all-zero default consumes no randomness.
+  const FaultProfile& faults = profile_.faults;
+  // The Gilbert-Elliott channel advances once per cross-host frame, lazily
+  // at the first remote target (loopback-only frames never touch it).
+  bool channel_advanced = false;
+  double bursty_loss = 0.0;
   std::shared_ptr<TargetList> loopback_targets;
   std::shared_ptr<TargetList> remote_targets;
+  // One delivery outside the batch: reordered or duplicated arrivals.
+  auto deliver_single = [&](UdpSocket* target, sim::SimDuration when) {
+    stats_.udp_deliveries += 1;
+    scheduler_.schedule(
+        when, [this, frame, target, alive = target->liveness()]() {
+          if (*alive) deliver_udp(target, *frame);
+        });
+  };
   auto add_target = [&](UdpSocket* target) {
     const bool loopback = &target->host() == &from.host();
     if (!loopback) {
@@ -151,10 +182,55 @@ void Network::udp_send(const UdpSocket& from, const Endpoint& to,
         stats_.dropped_packets += 1;
         return;
       }
+      if (partitioned(from.host(), target->host())) {
+        stats_.dropped_packets += 1;
+        stats_.partition_dropped_packets += 1;
+        return;
+      }
       if (profile_.udp_loss_rate > 0.0 &&
           random_.chance(profile_.udp_loss_rate)) {
         stats_.dropped_packets += 1;
         return;
+      }
+      if (faults.bursty_enabled()) {
+        if (!channel_advanced) {
+          channel_advanced = true;
+          if (fault_channel_bad_) {
+            if (random_.chance(faults.ge_p_bad_to_good)) {
+              fault_channel_bad_ = false;
+            }
+          } else if (random_.chance(faults.ge_p_good_to_bad)) {
+            fault_channel_bad_ = true;
+          }
+          bursty_loss =
+              fault_channel_bad_ ? faults.ge_loss_bad : faults.ge_loss_good;
+        }
+        if (bursty_loss > 0.0 && random_.chance(bursty_loss)) {
+          stats_.dropped_packets += 1;
+          stats_.fault_lost_packets += 1;
+          return;
+        }
+      }
+      if (faults.reorder_rate > 0.0 && random_.chance(faults.reorder_rate)) {
+        // Extra delay strictly after the batch instant: later frames to the
+        // same receiver can overtake this one.
+        sim::SimDuration base =
+            udp_latency(from.host(), target->host(), frame->payload.size());
+        sim::SimDuration extra = random_.uniform_duration(
+            sim::nanos(1), faults.reorder_max_extra);
+        stats_.reordered_packets += 1;
+        deliver_single(target, base + extra);
+        return;
+      }
+      if (faults.duplicate_rate > 0.0 &&
+          random_.chance(faults.duplicate_rate)) {
+        // The original still rides the batch; the copy lands a skew later.
+        sim::SimDuration base =
+            udp_latency(from.host(), target->host(), frame->payload.size());
+        sim::SimDuration skew = random_.uniform_duration(
+            sim::nanos(1), faults.duplicate_max_skew);
+        stats_.duplicated_packets += 1;
+        deliver_single(target, base + skew);
       }
     } else {
       stats_.loopback_packets += 1;
@@ -238,6 +314,9 @@ std::shared_ptr<TcpSocket> Network::tcp_connect(Host& from,
   if (target_host == nullptr || host_down(*target_host) || host_down(from)) {
     return nullptr;
   }
+  // A partition refuses new connections (SYNs never cross); established
+  // pipes are left alone (net/fault.hpp).
+  if (partitioned(from, *target_host)) return nullptr;
   auto it = tcp_listeners_.find(endpoint_key(to.address, to.port));
   if (it == tcp_listeners_.end()) return nullptr;  // connection refused
   TcpListener* listener = it->second;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "net/address.hpp"
+#include "net/fault.hpp"
 #include "net/packet.hpp"
 #include "net/stats.hpp"
 #include "sim/random.hpp"
@@ -46,6 +47,9 @@ struct LinkProfile {
   // Probability that a cross-host UDP packet is dropped (TCP is modelled as
   // reliable; retransmission cost is folded into tcp_segment_overhead).
   double udp_loss_rate = 0.0;
+  // Hostile-network fault injection (bursty loss, reordering, duplication);
+  // all-zero by default so calibrated runs draw nothing extra from the RNG.
+  FaultProfile faults;
 };
 
 /// The network fabric. Owns hosts; routes datagrams and TCP segments between
@@ -75,6 +79,22 @@ class Network {
   /// dropped; existing TCP pipes deliver nothing further).
   void set_host_down(Host& host, bool down);
   [[nodiscard]] bool host_down(const Host& host) const;
+
+  /// Scripted partitions: hosts can only exchange UDP frames / open TCP
+  /// connections within their partition group (default group 0 = everyone).
+  /// Established TCP pipes are unaffected (see net/fault.hpp). Typically
+  /// driven by a sim::FaultPlan cutting and healing groups at programmed
+  /// instants.
+  void set_partition_group(const Host& host, int group);
+  [[nodiscard]] int partition_group(const Host& host) const;
+  /// Restores full connectivity (every host back in group 0).
+  void heal_partitions();
+  [[nodiscard]] bool partitioned(const Host& a, const Host& b) const {
+    // Empty-map fast path: unpartitioned runs pay one branch per target,
+    // not two hash probes.
+    return !partition_groups_.empty() &&
+           partition_group(a) != partition_group(b);
+  }
 
   // --- UDP plumbing (used by UdpSocket) ---------------------------------
   void udp_register(UdpSocket* socket);
@@ -129,6 +149,12 @@ class Network {
   std::vector<std::unique_ptr<Host>> hosts_;
   std::unordered_map<IpAddress, Host*> hosts_by_address_;
   std::unordered_set<const Host*> down_hosts_;
+  /// Hosts moved out of partition group 0 (absent = group 0). Cleared whole
+  /// by heal_partitions().
+  std::unordered_map<const Host*, int> partition_groups_;
+  /// Gilbert-Elliott channel state (false = Good); advanced once per
+  /// cross-host frame while bursty loss is enabled.
+  bool fault_channel_bad_ = false;
 
   // (host address, port) -> bound sockets (multiple sockets may share a port
   // when they joined a multicast group, mirroring SO_REUSEADDR semantics).

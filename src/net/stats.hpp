@@ -17,8 +17,16 @@ struct TrafficStats {
   std::uint64_t udp_multicast_bytes = 0;
   std::uint64_t tcp_segments = 0;
   std::uint64_t tcp_bytes = 0;
-  std::uint64_t dropped_packets = 0;  // loss injection + partitions
+  std::uint64_t dropped_packets = 0;  // every dropped delivery, all causes
   std::uint64_t loopback_packets = 0; // same-host traffic, not on the wire
+
+  // Fault-injection attribution (each also counts into dropped_packets where
+  // a delivery was lost): which hostile-network mechanism did it. The
+  // uniform udp_loss_rate drops are dropped_packets minus these.
+  std::uint64_t fault_lost_packets = 0;      // Gilbert-Elliott bursty loss
+  std::uint64_t reordered_packets = 0;       // deliveries given extra delay
+  std::uint64_t duplicated_packets = 0;      // extra copies delivered
+  std::uint64_t partition_dropped_packets = 0;  // severed by a partition
 
   // Fan-out accounting (not wire traffic): how many socket deliveries the
   // network scheduled, and how many payload buffer copies it materialized to

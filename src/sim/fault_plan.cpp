@@ -1,0 +1,33 @@
+#include "sim/fault_plan.hpp"
+
+#include <stdexcept>
+
+#include "common/logging.hpp"
+#include "sim/scheduler.hpp"
+
+namespace indiss::sim {
+
+FaultPlan& FaultPlan::at(SimDuration after, std::string label,
+                         std::function<void()> action) {
+  if (armed_) {
+    throw std::logic_error("FaultPlan: cannot add steps after arm()");
+  }
+  steps_.push_back(Step{after, std::move(label), std::move(action)});
+  return *this;
+}
+
+void FaultPlan::arm(Scheduler& scheduler) {
+  if (armed_) throw std::logic_error("FaultPlan: armed twice");
+  armed_ = true;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    scheduler.schedule(steps_[i].after, [this, i]() {
+      Step& step = steps_[i];
+      log::info("fault-plan", "firing '", step.label, "'");
+      fired_ += 1;
+      log_.push_back(step.label);
+      if (step.action) step.action();
+    });
+  }
+}
+
+}  // namespace indiss::sim

@@ -1,0 +1,63 @@
+// Scripted fault timelines for the discrete-event simulator.
+//
+// A FaultPlan is an ordered list of (instant, label, action) steps — cut a
+// partition at t=30s, crash a host at t=45s, heal at t=60s — armed onto a
+// Scheduler once and then driven by it. The plan itself is network-agnostic
+// (actions are closures), so the same scripting works for partitions
+// (Network::set_partition_group), crashes (Network::set_host_down), profile
+// edits mid-run, or anything else a chaos scenario needs to happen at a
+// programmed virtual instant.
+//
+// Determinism: steps fire at exact simulated times in the order they were
+// added (ties broken by insertion order, which the scheduler preserves), so
+// an identical (FaultPlan, seed) pair reproduces a hostile run bit-for-bit —
+// the property tests/integration/chaos_test.cpp pins.
+//
+// Lifetime: the plan must outlive the scheduler run that fires its steps
+// (armed tasks point back into it).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace indiss::sim {
+
+class Scheduler;
+
+class FaultPlan {
+ public:
+  /// Adds a step firing `after` the instant arm() is called. Chainable:
+  ///   plan.at(seconds(30), "cut", [&]{ ... }).at(seconds(60), "heal", ...);
+  FaultPlan& at(SimDuration after, std::string label,
+                std::function<void()> action);
+
+  /// Schedules every step on `scheduler`, relative to its current now().
+  /// May only be called once per plan.
+  void arm(Scheduler& scheduler);
+
+  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] std::size_t size() const { return steps_.size(); }
+  /// Steps that have fired so far (== size() once the run passed the last
+  /// programmed instant).
+  [[nodiscard]] std::size_t fired() const { return fired_; }
+  /// Labels of fired steps in firing order — a scenario's scripted-event log.
+  [[nodiscard]] const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  struct Step {
+    SimDuration after;
+    std::string label;
+    std::function<void()> action;
+  };
+
+  std::vector<Step> steps_;
+  std::vector<std::string> log_;
+  std::size_t fired_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace indiss::sim

@@ -29,6 +29,8 @@ bool pr_list_contains(const std::string& pr_list, const net::IpAddress& self) {
 
 }  // namespace
 
+using transport::schedule_guarded;
+
 // ---------------------------------------------------------------------------
 // ServiceAgent
 // ---------------------------------------------------------------------------
@@ -101,8 +103,8 @@ void ServiceAgent::on_datagram(const net::Datagram& datagram) {
   }
   // Processing-cost model: the native stack takes `handling` to act on a
   // request.
-  host_.schedule(config_.profile.handling, [this, m = std::move(*message),
-                                                datagram]() {
+  schedule_guarded(host_, alive_, config_.profile.handling,
+                   [this, m = std::move(*message), datagram]() {
     std::visit(
         [&](const auto& msg) {
           using T = std::decay_t<decltype(msg)>;
@@ -295,14 +297,14 @@ void UserAgent::find_services(const std::string& service_type,
 
   auto [it, inserted] = searches_.emplace(xid, std::move(search));
   // Native-stack cost: building and serializing the request.
-  host_.schedule(config_.profile.request_prep,
-                     [this, xid]() {
-                       auto sit = searches_.find(xid);
-                       if (sit == searches_.end()) return;
-                       transmit_search(sit->second);
-                     });
-  it->second.deadline_task = host_.schedule(
-      config_.profile.request_prep + config_.multicast_wait,
+  schedule_guarded(host_, alive_, config_.profile.request_prep,
+                   [this, xid]() {
+                     auto sit = searches_.find(xid);
+                     if (sit == searches_.end()) return;
+                     transmit_search(sit->second);
+                   });
+  it->second.deadline_task = schedule_guarded(
+      host_, alive_, config_.profile.request_prep + config_.multicast_wait,
       [this, xid]() { finish_search(xid); });
 }
 
@@ -323,8 +325,8 @@ void UserAgent::transmit_search(PendingSearch& search) {
   }
   if (search.sends_remaining > 0) {
     std::uint16_t xid = search.xid;
-    search.retry_task = host_.schedule(
-        config_.retry_interval, [this, xid]() {
+    search.retry_task = schedule_guarded(
+        host_, alive_, config_.retry_interval, [this, xid]() {
           auto it = searches_.find(xid);
           if (it == searches_.end()) return;
           transmit_search(it->second);
@@ -349,14 +351,16 @@ void UserAgent::find_attributes(const std::string& url,
   request.url = url;
   attr_requests_[xid] = PendingAttrRqst{xid, std::move(handler)};
 
-  host_.schedule(config_.profile.request_prep, [this, request]() {
-    if (directory_agent_.has_value()) {
-      send(Message(request), *directory_agent_);
-    } else {
-      send(Message(request),
-           net::Endpoint{config_.multicast_group, config_.port});
-    }
-  });
+  schedule_guarded(host_, alive_, config_.profile.request_prep,
+                   [this, request]() {
+                     if (directory_agent_.has_value()) {
+                       send(Message(request), *directory_agent_);
+                     } else {
+                       send(Message(request),
+                            net::Endpoint{config_.multicast_group,
+                                          config_.port});
+                     }
+                   });
 }
 
 void UserAgent::on_datagram(const net::Datagram& datagram) {
@@ -457,8 +461,8 @@ void DirectoryAgent::on_datagram(const net::Datagram& datagram) {
   auto message = decode(datagram.payload, &error);
   if (!message.has_value()) return;
 
-  host_.schedule(config_.profile.handling, [this, m = std::move(*message),
-                                                datagram]() {
+  schedule_guarded(host_, alive_, config_.profile.handling,
+                   [this, m = std::move(*message), datagram]() {
     std::visit(
         [&](const auto& msg) {
           using T = std::decay_t<decltype(msg)>;

@@ -114,6 +114,10 @@ class ServiceAgent {
   std::uint16_t next_xid_ = 1;
   std::uint64_t requests_seen_ = 0;
   std::uint64_t replies_sent_ = 0;
+  /// Liveness token for deferred processing-cost tasks: a task scheduled
+  /// before destruction must become a no-op, not a dangling `this` — agents
+  /// are routinely stack-scoped in tests and short-lived probes.
+  std::shared_ptr<void> alive_ = std::make_shared<char>('\0');
 };
 
 // ---------------------------------------------------------------------------
@@ -188,6 +192,9 @@ class UserAgent {
   std::map<std::uint16_t, PendingAttrRqst> attr_requests_;
   std::uint16_t next_xid_ = 1;
   std::uint64_t requests_sent_ = 0;
+  /// See ServiceAgent::alive_: search prep / retry / deadline timers must
+  /// not outlive the agent that owns `searches_`.
+  std::shared_ptr<void> alive_ = std::make_shared<char>('\0');
 };
 
 // ---------------------------------------------------------------------------
@@ -226,6 +233,9 @@ class DirectoryAgent {
   std::uint64_t registrations_received_ = 0;
   transport::TaskHandle advert_task_;
   transport::TaskHandle sweep_task_;
+  /// See ServiceAgent::alive_: the deferred request-handling task must not
+  /// outlive the agent (the periodic handles above are cancelled explicitly).
+  std::shared_ptr<void> alive_ = std::make_shared<char>('\0');
 };
 
 }  // namespace indiss::slp

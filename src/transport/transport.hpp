@@ -150,4 +150,21 @@ class Transport {
   [[nodiscard]] virtual Random& random() = 0;
 };
 
+/// Defers `fn` by `delay` but drops it if the owner died first: the weak_ptr
+/// observes the owner's liveness token (conventionally a
+/// `std::shared_ptr<void> alive_` member), so an actor destroyed with timers
+/// in flight leaves inert tasks behind instead of dangling `this` pointers.
+/// Every native SDP actor's processing-cost deferral goes through this — the
+/// chaos gauntlet runs stack-scoped actors through exactly that lifecycle
+/// (see docs/chaos.md).
+template <typename Fn>
+TaskHandle schedule_guarded(Transport& host,
+                            const std::shared_ptr<void>& alive,
+                            Duration delay, Fn&& fn) {
+  return host.schedule(delay, [alive = std::weak_ptr<void>(alive),
+                               fn = std::forward<Fn>(fn)]() {
+    if (!alive.expired()) fn();
+  });
+}
+
 }  // namespace indiss::transport

@@ -38,7 +38,7 @@ void ControlPoint::search(const std::string& st, ResponseHandler on_response,
   search_socket_->send_to(net::Endpoint{kSsdpMulticastGroup, kSsdpPort},
                           to_bytes(request.to_http().serialize()));
 
-  host_.schedule(config_.search_window, [this, id]() {
+  schedule_guarded(host_, alive_, config_.search_window, [this, id]() {
     auto it = sessions_.find(id);
     if (it == sessions_.end()) return;
     it->second.window_closed = true;
@@ -64,8 +64,9 @@ void ControlPoint::on_search_datagram(const net::Datagram& datagram) {
   if (response == nullptr) return;
 
   // Client-side stack cost before the response is acted upon.
-  host_.schedule(
-      config_.stack_handling, [this, response = *response, datagram]() {
+  schedule_guarded(
+      host_, alive_, config_.stack_handling,
+      [this, response = *response, datagram]() {
         // Route to every session whose target the response satisfies.
         for (auto& [id, session] : sessions_) {
           if (session.window_closed) continue;

@@ -89,6 +89,9 @@ class ControlPoint {
   std::uint64_t searches_sent_ = 0;
   DeviceHandler on_alive_;
   ByeByeHandler on_byebye_;
+  /// Liveness token for transport::schedule_guarded: deferred stack-cost
+  /// tasks become no-ops if this actor is destroyed before they fire.
+  std::shared_ptr<void> alive_ = std::make_shared<char>('\0');
 };
 
 }  // namespace indiss::upnp

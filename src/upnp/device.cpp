@@ -123,7 +123,7 @@ void RootDevice::handle_search(const SearchRequest& request,
     delay += host_.random().uniform_duration(
         transport::Duration::zero(), transport::seconds(request.mx));
   }
-  host_.schedule(delay, [this, response, from]() {
+  schedule_guarded(host_, alive_, delay, [this, response, from]() {
     if (!running_) return;
     responses_sent_ += 1;
     ssdp_socket_->send_to(from, to_bytes(response.to_http().serialize()));

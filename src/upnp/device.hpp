@@ -87,6 +87,9 @@ class RootDevice {
   std::uint64_t msearches_seen_ = 0;
   std::uint64_t responses_sent_ = 0;
   std::uint64_t notifies_sent_ = 0;
+  /// Liveness token for transport::schedule_guarded: MX-paced responses
+  /// become no-ops if the device is destroyed before they fire.
+  std::shared_ptr<void> alive_ = std::make_shared<char>('\0');
 };
 
 }  // namespace indiss::upnp

@@ -146,6 +146,90 @@ TEST_F(MonitorFixture, IanaTableCoversAllSdps) {
   EXPECT_TRUE(jini);
 }
 
+// --- Rate limiting (docs/chaos.md) -----------------------------------------
+
+TEST_F(MonitorFixture, RateLimiterShedsAFloodingSourceButNotItsNeighbours) {
+  MonitorConfig config;
+  config.rate_limit_per_sec = 10.0;  // burst defaults to 20
+  Monitor monitor(indiss_host, nullptr, config);
+  monitor.scan_all();
+
+  // 100 datagrams from one source in one instant: the burst passes, the
+  // rest are shed before any translation work.
+  auto flooder = other_host.udp_socket(0);
+  for (int i = 0; i < 100; ++i) {
+    flooder->send_to(net::Endpoint{slp::kSlpMulticastGroup, slp::kSlpPort},
+                     to_bytes("flood-" + std::to_string(i)));
+  }
+  scheduler.run_all();
+  EXPECT_EQ(monitor.stats().seen, 20u);
+  EXPECT_EQ(monitor.stats().rate_limited, 80u);
+
+  // A well-behaved source on another address is untouched: buckets are
+  // per-source, so the flooder cannot starve its neighbours.
+  net::Host& polite = network.add_host("polite", net::IpAddress(10, 0, 0, 7));
+  send_slp_request_from(polite);
+  EXPECT_EQ(monitor.stats().seen, 21u);
+  EXPECT_EQ(monitor.stats().rate_limited, 80u);
+}
+
+TEST_F(MonitorFixture, RateLimiterBucketsRefillOverTime) {
+  MonitorConfig config;
+  config.rate_limit_per_sec = 10.0;
+  config.rate_limit_burst = 5.0;
+  Monitor monitor(indiss_host, nullptr, config);
+  monitor.scan_all();
+
+  auto socket = other_host.udp_socket(0);
+  auto burst = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      socket->send_to(net::Endpoint{slp::kSlpMulticastGroup, slp::kSlpPort},
+                      to_bytes("x"));
+    }
+    scheduler.run_all();
+  };
+  burst(10);
+  EXPECT_EQ(monitor.stats().seen, 5u);  // burst capacity
+  scheduler.run_until(scheduler.now() + sim::seconds(1));  // refills 10 > cap 5
+  burst(10);
+  EXPECT_EQ(monitor.stats().seen, 10u);
+}
+
+TEST_F(MonitorFixture, TrackedSourcesAreBoundedAgainstAddressSpoofing) {
+  MonitorConfig config;
+  config.rate_limit_per_sec = 10.0;
+  config.max_tracked_sources = 8;
+  Monitor monitor(indiss_host, nullptr, config);
+  monitor.scan_all();
+
+  // 50 distinct spoofed sources: bucket state must stay at the cap (stalest
+  // recycled), not grow per address.
+  for (int i = 0; i < 50; ++i) {
+    net::Host& host = network.add_host(
+        "spoof" + std::to_string(i),
+        net::IpAddress(10, 0, 1, static_cast<std::uint8_t>(i + 1)));
+    auto socket = host.udp_socket(0);
+    socket->send_to(net::Endpoint{slp::kSlpMulticastGroup, slp::kSlpPort},
+                    to_bytes("s"));
+  }
+  scheduler.run_all();
+  EXPECT_LE(monitor.stats().sources_tracked, 8u);
+  EXPECT_EQ(monitor.stats().seen, 50u);  // each new source starts full
+}
+
+TEST_F(MonitorFixture, ZeroRateConfigDisablesLimiting) {
+  Monitor monitor(indiss_host);  // default config: no limiting
+  monitor.scan_all();
+  auto socket = other_host.udp_socket(0);
+  for (int i = 0; i < 200; ++i) {
+    socket->send_to(net::Endpoint{slp::kSlpMulticastGroup, slp::kSlpPort},
+                    to_bytes("x"));
+  }
+  scheduler.run_all();
+  EXPECT_EQ(monitor.stats().seen, 200u);
+  EXPECT_EQ(monitor.stats().rate_limited, 0u);
+}
+
 TEST_F(MonitorFixture, DetectionTimestampRecorded) {
   Monitor monitor(indiss_host);
   monitor.scan_all();

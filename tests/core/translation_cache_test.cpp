@@ -401,5 +401,73 @@ TEST(TranslationCacheEndToEnd, RefreshSurvivesGenerationBump) {
   EXPECT_EQ(bridged, 5u);
 }
 
+// A misbehaving device defeats the cache on purpose: every datagram varies
+// by a byte, so none ever repeats — each is a miss that costs a parse. The
+// defense is that only frames which *parse to an advertisement* ever open a
+// bundle (unit.cpp), so garbage creates no entries: the cache cannot be
+// grown, the legit advert cannot be evicted, and replays resume unharmed
+// once the flood stops.
+TEST(TranslationCacheEndToEnd, ByteVaryingMalformedFloodCannotGrowOrPoisonTheCache) {
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, 17};
+  net::Host& gateway = network.add_host("gw", net::IpAddress(10, 0, 0, 3));
+  net::Host& service = network.add_host("svc", net::IpAddress(10, 0, 0, 2));
+  net::Host& flooder = network.add_host("bad", net::IpAddress(10, 0, 0, 66));
+
+  IndissConfig config;
+  config.enabled_sdps.insert(SdpId::kMdns);
+  Indiss indiss(gateway, config);
+  indiss.start();
+  scheduler.run_for(sim::millis(10));
+
+  slp::SrvReg reg;
+  reg.url_entry = {300, "service:clock:soap://10.0.0.2:4005/steady-clock"};
+  reg.service_type = "service:clock";
+  Bytes wire = slp::encode(slp::Message(reg));
+  auto announcer = service.udp_socket(0);
+  net::Endpoint group{slp::kSlpMulticastGroup, slp::kSlpPort};
+
+  // Steady state first: the legit advert caches and replays.
+  for (int i = 0; i < 3; ++i) {
+    announcer->send_to(group, wire);
+    scheduler.run_for(sim::seconds(30));
+  }
+  ASSERT_GE(indiss.monitor().translation_stats(SdpId::kSlp).hits, 2u);
+
+  // The flood: 600 distinct malformed datagrams — far more than the cache
+  // holds — interleaved with the legit advert's periods.
+  std::size_t entries_before_flood = indiss.translation_cache()->size();
+  auto flood_socket = flooder.udp_socket(0);
+  for (int i = 0; i < 600; ++i) {
+    flood_socket->send_to(group, to_bytes("malformed-" + std::to_string(i)));
+    if (i % 100 == 99) {
+      announcer->send_to(group, wire);
+      scheduler.run_for(sim::seconds(30));
+    } else {
+      scheduler.run_for(sim::millis(5));
+    }
+  }
+
+  ASSERT_NE(indiss.translation_cache(), nullptr);
+  EXPECT_EQ(indiss.translation_cache()->size(), entries_before_flood)
+      << "garbage frames must not open cache bundles";
+  EXPECT_EQ(indiss.translation_cache()->evictions(), 0u)
+      << "the flood must not churn the legit advert out of the cache";
+
+  // Replays resume unharmed: every post-flood repeat is still a hit.
+  std::uint64_t hits_before =
+      indiss.monitor().translation_stats(SdpId::kSlp).hits;
+  for (int i = 0; i < 3; ++i) {
+    announcer->send_to(group, wire);
+    scheduler.run_for(sim::seconds(30));
+  }
+  EXPECT_EQ(indiss.monitor().translation_stats(SdpId::kSlp).hits,
+            hits_before + 3)
+      << "the storm must not poison the legit advert";
+  // And the bridged state survived the whole ordeal.
+  EXPECT_EQ(indiss.unit_as<MdnsUnit>(SdpId::kMdns)->foreign_services().size(),
+            1u);
+}
+
 }  // namespace
 }  // namespace indiss::core

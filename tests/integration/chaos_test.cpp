@@ -1,0 +1,289 @@
+// Hostile-network churn scenario (the PR's acceptance gauntlet): a gateway
+// bridging all four SDPs survives 10% bursty loss, reordering, duplication,
+// one scripted partition/heal cycle, a device that crashes without a byebye
+// and rejoins from a new endpoint, and a single flooding source — with its
+// defenses on (per-source rate limiting, bounded sessions, TTL-derived
+// expiry of bridged state).
+//
+// Everything is seeded and discrete-event, so the whole hostile run is
+// bit-reproducible: the determinism test runs the scenario twice and compares
+// fingerprints.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/indiss.hpp"
+#include "jini/lookup.hpp"
+#include "mdns/dnssd.hpp"
+#include "net/host.hpp"
+#include "net/network.hpp"
+#include "net/udp.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/scheduler.hpp"
+#include "slp/agents.hpp"
+#include "upnp/device.hpp"
+
+namespace indiss::core {
+namespace {
+
+/// A misbehaving device: blasts byte-varying SSDP NOTIFYs (half well-formed
+/// with rotating USNs — each a TranslationCache miss — half plain garbage)
+/// at the gateway's scanned SSDP port.
+void schedule_flood(sim::Scheduler& scheduler, net::Host& flooder,
+                    std::shared_ptr<net::UdpSocket> socket, int datagrams) {
+  for (int i = 0; i < datagrams; ++i) {
+    scheduler.schedule(sim::millis(2) * i, [socket, i]() {
+      std::string payload;
+      if (i % 2 == 0) {
+        payload = "NOTIFY * HTTP/1.1\r\nHOST: 239.255.255.250:1900\r\n"
+                  "NT: urn:schemas-upnp-org:device:junk:1\r\n"
+                  "NTS: ssdp:alive\r\nUSN: uuid:flood-" + std::to_string(i) +
+                  "\r\nLOCATION: http://10.0.0.66:80/d" + std::to_string(i) +
+                  ".xml\r\nCACHE-CONTROL: max-age=60\r\n"
+                  "SERVER: flooder/0.1\r\n\r\n";
+      } else {
+        payload = "\x01\x02garbage-frame-" + std::to_string(i) + "\xff\xfe";
+      }
+      socket->send_to(net::Endpoint{net::IpAddress(239, 255, 255, 250), 1900},
+                      to_bytes(payload));
+    });
+  }
+  (void)flooder;
+}
+
+/// One full hostile run; returns a fingerprint string covering network
+/// stats, defense counters and final bridged state, so two runs with the
+/// same seed can be compared bit-for-bit.
+struct ChaosOutcome {
+  std::string fingerprint;
+  bool survivor_discovered = false;
+  bool crashed_state_gone = false;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t fault_lost = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t partition_dropped = 0;
+  std::size_t plan_fired = 0;
+  std::size_t plan_size = 0;
+  std::uint64_t bridged_expired = 0;
+};
+
+ChaosOutcome run_chaos_scenario(std::uint64_t seed) {
+  sim::Scheduler scheduler;
+  net::LinkProfile profile;
+  // ~10% steady-state bursty loss: P(bad) = 0.05/(0.05+0.45) = 10% with
+  // total loss in the Bad state.
+  profile.faults.ge_p_good_to_bad = 0.05;
+  profile.faults.ge_p_bad_to_good = 0.45;
+  profile.faults.ge_loss_bad = 1.0;
+  profile.faults.reorder_rate = 0.05;
+  profile.faults.duplicate_rate = 0.02;
+  net::Network network{scheduler, profile, seed};
+
+  net::Host& client = network.add_host("client", net::IpAddress(10, 0, 0, 1));
+  net::Host& upnp_host =
+      network.add_host("upnp-dev", net::IpAddress(10, 0, 0, 2));
+  net::Host& gateway_host =
+      network.add_host("gateway", net::IpAddress(10, 0, 0, 3));
+  net::Host& mdns_host =
+      network.add_host("mdns-dev", net::IpAddress(10, 0, 0, 4));
+  net::Host& rejoin_host =
+      network.add_host("mdns-dev2", net::IpAddress(10, 0, 0, 5));
+  net::Host& registrar_host =
+      network.add_host("reggie", net::IpAddress(10, 0, 0, 9));
+  net::Host& flood_host =
+      network.add_host("flooder", net::IpAddress(10, 0, 0, 66));
+
+  jini::LookupConfig registrar_config;
+  registrar_config.announcement_interval = sim::millis(200);
+  jini::LookupService registrar(registrar_host, registrar_config);
+
+  IndissConfig config;
+  config.enabled_sdps = {SdpId::kSlp, SdpId::kUpnp, SdpId::kJini,
+                         SdpId::kMdns};
+  config.monitor.rate_limit_per_sec = 20.0;   // flood shedding
+  config.unit_options.expire_bridged_state = true;
+  config.unit_options.max_open_sessions = 64;
+  Indiss gateway(gateway_host, config);
+  gateway.start();
+  scheduler.run_for(sim::millis(500));
+
+  // Native announcers: a UPnP clock (the survivor) and a Bonjour clock (the
+  // device that will crash without a goodbye).
+  upnp::RootDevice upnp_device(upnp_host, upnp::make_clock_device(), 4004);
+  upnp_device.start();
+  mdns::MdnsResponder mdns_device(mdns_host);
+  {
+    mdns::ServiceInstance instance;
+    instance.instance = "clock1";
+    instance.service_type = "_clock._tcp";
+    instance.port = 4006;
+    instance.txt = {{"url", "soap://10.0.0.4:4006/mdns-clock"}};
+    mdns_device.publish(std::move(instance));
+  }
+
+  // The scripted hostile timeline.
+  auto flood_socket = flood_host.udp_socket(0);
+  sim::FaultPlan plan;
+  plan.at(sim::seconds(2), "flood",
+          [&] { schedule_flood(scheduler, flood_host, flood_socket, 400); })
+      .at(sim::seconds(5), "partition-mdns-device",
+          [&] { network.set_partition_group(mdns_host, 1); })
+      // Traffic during the cut: these frames reach the gateway but are
+      // severed on the leg toward the partitioned device.
+      .at(sim::seconds(6), "flood-mdns-during-partition",
+          [&] {
+            flood_socket->send_to(
+                net::Endpoint{net::IpAddress(224, 0, 0, 251), 5353},
+                to_bytes("junk-mdns-frame"));
+          })
+      .at(sim::seconds(8), "heal", [&] { network.heal_partitions(); })
+      .at(sim::seconds(12), "crash-mdns-device-no-byebye",
+          [&] { network.set_host_down(mdns_host, true); });
+  plan.arm(scheduler);
+  scheduler.run_for(sim::seconds(20));
+
+  // Long quiet stretch: the crashed device's bridged state (record TTL 120s)
+  // ages past its deadline. Expiry is sweep-on-touch, so the rejoin
+  // announcement below is also what triggers the sweeps.
+  scheduler.run_for(sim::seconds(200));
+
+  // Churn: the device rejoins from a new endpoint (new host, new URL).
+  mdns::MdnsResponder rejoined(rejoin_host);
+  {
+    mdns::ServiceInstance instance;
+    instance.instance = "clock1";
+    instance.service_type = "_clock._tcp";
+    instance.port = 4007;
+    instance.txt = {{"url", "soap://10.0.0.5:4007/mdns-clock"}};
+    rejoined.publish(std::move(instance));
+  }
+  scheduler.run_for(sim::seconds(5));
+
+  ChaosOutcome outcome;
+  outcome.plan_fired = plan.fired();
+  outcome.plan_size = plan.size();
+  outcome.rate_limited = gateway.monitor().stats().rate_limited;
+  outcome.fault_lost = network.stats().fault_lost_packets;
+  outcome.reordered = network.stats().reordered_packets;
+  outcome.partition_dropped = network.stats().partition_dropped_packets;
+
+  // Surviving cross-SDP announcements bridged, crashed state expired: the
+  // SLP unit's foreign-service table must carry the survivor (UPnP clock)
+  // and the rejoined endpoint, and nothing from the crashed endpoint.
+  auto* slp_unit = gateway.unit_as<SlpUnit>(SdpId::kSlp);
+  bool has_survivor = false, has_rejoined = false, has_crashed = false;
+  for (const auto& service : slp_unit->foreign_services()) {
+    if (service.url.find("10.0.0.2") != std::string::npos) has_survivor = true;
+    if (service.url.find("10.0.0.5") != std::string::npos) has_rejoined = true;
+    if (service.url.find("10.0.0.4") != std::string::npos) has_crashed = true;
+  }
+  outcome.crashed_state_gone = !has_crashed;
+  outcome.survivor_discovered = has_survivor && has_rejoined;
+  for (SdpId sdp : {SdpId::kSlp, SdpId::kUpnp, SdpId::kJini, SdpId::kMdns}) {
+    outcome.bridged_expired += gateway.unit(sdp)->stats().bridged_state_expired;
+  }
+
+  // A native SLP discovery still works end to end through the hostile
+  // network (request-driven bridging; the UA retransmits through the loss).
+  std::vector<std::string> discovered;
+  slp::UserAgent ua(client);
+  ua.find_services("service:clock", "", nullptr,
+                   [&](const std::vector<slp::SearchResult>& results) {
+                     for (const auto& result : results) {
+                       discovered.push_back(result.entry.url);
+                     }
+                   });
+  scheduler.run_for(sim::seconds(3));
+  bool slp_found = false;
+  for (const auto& url : discovered) {
+    if (url.find("10.0.0.2:4004") != std::string::npos ||
+        url.find("10.0.0.5") != std::string::npos) {
+      slp_found = true;
+    }
+  }
+  outcome.survivor_discovered = outcome.survivor_discovered && slp_found;
+
+  // The determinism fingerprint: counters + final bridged state.
+  outcome.fingerprint += std::to_string(outcome.rate_limited) + "|" +
+                         std::to_string(outcome.fault_lost) + "|" +
+                         std::to_string(outcome.reordered) + "|" +
+                         std::to_string(outcome.partition_dropped) + "|" +
+                         std::to_string(network.stats().duplicated_packets) +
+                         "|" + std::to_string(network.stats().udp_deliveries) +
+                         "|" + std::to_string(outcome.bridged_expired) + "|";
+  for (const auto& service : slp_unit->foreign_services()) {
+    outcome.fingerprint += service.url + ";";
+  }
+  for (const auto& url : discovered) outcome.fingerprint += url + ";";
+  auto* mdns_unit = gateway.unit_as<MdnsUnit>(SdpId::kMdns);
+  for (const auto& service : mdns_unit->foreign_services()) {
+    outcome.fingerprint += service.url + ";";
+  }
+  return outcome;
+}
+
+TEST(ChaosChurn, GatewaySurvivesChurnFloodAndPartitionWithDefensesOn) {
+  ChaosOutcome outcome = run_chaos_scenario(/*seed=*/11);
+
+  EXPECT_EQ(outcome.plan_fired, outcome.plan_size) << "scripted steps ran";
+  EXPECT_GT(outcome.rate_limited, 0u) << "the flood must hit the limiter";
+  EXPECT_GT(outcome.fault_lost, 0u) << "bursty loss must have bitten";
+  EXPECT_GT(outcome.reordered, 0u);
+  EXPECT_GT(outcome.partition_dropped, 0u)
+      << "the partition must have severed traffic";
+  EXPECT_GT(outcome.bridged_expired, 0u)
+      << "the crashed device's bridged state must expire somewhere";
+  EXPECT_TRUE(outcome.crashed_state_gone)
+      << "no unit may keep serving the crashed endpoint";
+  EXPECT_TRUE(outcome.survivor_discovered)
+      << "surviving + rejoined services must still bridge";
+}
+
+TEST(ChaosChurn, HostileRunsAreBitIdenticalUnderTheSameSeed) {
+  ChaosOutcome a = run_chaos_scenario(/*seed=*/23);
+  ChaosOutcome b = run_chaos_scenario(/*seed=*/23);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  ChaosOutcome c = run_chaos_scenario(/*seed=*/24);
+  EXPECT_NE(a.fingerprint, c.fingerprint)
+      << "a different seed must actually vary the hostile run";
+}
+
+// Bounded session lifetimes: a source that opens parse sessions faster than
+// they complete cannot grow unit state past the configured cap — the oldest
+// session is evicted.
+TEST(ChaosDefenses, OpenSessionsAreBoundedByEvictingTheOldest) {
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, /*seed=*/3};
+  net::Host& gateway_host =
+      network.add_host("gateway", net::IpAddress(10, 0, 0, 3));
+  net::Host& prober = network.add_host("probe", net::IpAddress(10, 0, 0, 7));
+
+  IndissConfig config;
+  config.enabled_sdps = {SdpId::kSlp};
+  config.unit_options.max_open_sessions = 4;
+  config.enable_translation_cache = false;  // every request parses fresh
+  Indiss gateway(gateway_host, config);
+  gateway.start();
+  scheduler.run_for(sim::millis(100));
+
+  // 12 distinct multicast SrvRqsts: with no peer units to answer, each
+  // session stays open awaiting replies, so the 5th onwards must evict.
+  auto tx = prober.udp_socket(0);
+  for (int i = 0; i < 12; ++i) {
+    slp::UserAgent ua(prober);
+    ua.find_services("service:probe-" + std::to_string(i), "", nullptr,
+                     [](const std::vector<slp::SearchResult>&) {});
+    scheduler.run_for(sim::millis(20));
+  }
+  scheduler.run_for(sim::millis(100));
+
+  const Unit::Stats& stats = gateway.unit(SdpId::kSlp)->stats();
+  EXPECT_GT(stats.sessions_evicted, 0u);
+  EXPECT_LE(gateway.unit(SdpId::kSlp)->open_sessions(), 4u);
+  (void)tx;
+}
+
+}  // namespace
+}  // namespace indiss::core
