@@ -334,6 +334,97 @@ BENCHMARK(BM_StormSharded)
     ->Threads(4)
     ->Unit(benchmark::kMicrosecond);
 
+// The query-side storm --directory exists for (docs/directory.md): the
+// fleet announces once, then clients re-browse every period. With the
+// directory on, the gateway answers from the index — byte-identical repeats
+// replay straight from the answer cache — instead of fanning every browse
+// out to the origin networks. answered_ratio is the figure of merit: the
+// fraction of browses that never left the gateway.
+void run_browse_storm(benchmark::State& state, bool directory) {
+  const int devices = static_cast<int>(state.range(0));
+  const int requesters = 16;
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, 17};
+  net::Host& gateway = network.add_host("gw", net::IpAddress(10, 0, 0, 3));
+  core::IndissConfig config;
+  config.enabled_sdps = {core::SdpId::kSlp, core::SdpId::kMdns};
+  config.enable_directory = directory;
+  core::Indiss indiss(gateway, config);
+  indiss.start();
+  scheduler.run_for(sim::millis(10));
+
+  // The fleet's periodic mDNS adverts: the first period populates the index,
+  // later byte-identical repeats just re-arm deadlines through the wire
+  // index (a refresh never invalidates cached answers).
+  std::vector<net::Datagram> adverts(static_cast<std::size_t>(devices));
+  for (int i = 0; i < devices; ++i) {
+    adverts[i].source =
+        net::Endpoint{net::IpAddress(10, 0, 1,
+                                     static_cast<std::uint8_t>(i % 250)),
+                      static_cast<std::uint16_t>(40000 + i)};
+    adverts[i].multicast = true;
+    adverts[i].payload = mdns_announce(i);
+  }
+
+  // Byte-identical SrvRqsts from a rotating requester set: each
+  // (wire, source) pair is its own answer-cache entry.
+  slp::SrvRqst request;
+  request.header.xid = 7;
+  request.service_type = "service:clock";
+  const Bytes query = slp::encode(slp::Message(request));
+  std::vector<net::Datagram> browses(requesters);
+  for (int i = 0; i < requesters; ++i) {
+    browses[i].source =
+        net::Endpoint{net::IpAddress(10, 0, 2, static_cast<std::uint8_t>(i)),
+                      static_cast<std::uint16_t>(7000 + i)};
+    browses[i].multicast = true;
+    browses[i].payload = query;
+  }
+  auto cycle = [&] {
+    for (const auto& a : adverts) {
+      indiss.unit(core::SdpId::kMdns)->on_native_message(a);
+    }
+    for (const auto& b : browses) {
+      indiss.unit(core::SdpId::kSlp)->on_native_message(b);
+    }
+    scheduler.run_for(sim::seconds(30));
+  };
+  cycle();
+  cycle();
+
+  std::uint64_t allocs_before = indiss::testing::g_heap_allocs;
+  for (auto _ : state) {
+    cycle();
+  }
+  std::uint64_t queries =
+      state.iterations() * static_cast<std::uint64_t>(requesters);
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(queries), benchmark::Counter::kIsRate);
+  state.counters["heap_allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(indiss::testing::g_heap_allocs - allocs_before) /
+      static_cast<double>(queries));
+  double answered_ratio = 0.0;
+  if (indiss.directory() != nullptr) {
+    auto stats = indiss.directory()->stats(core::SdpId::kSlp);
+    std::uint64_t total = stats.answered + stats.bridged;
+    answered_ratio = total == 0 ? 0.0
+                                : static_cast<double>(stats.answered) /
+                                      static_cast<double>(total);
+  }
+  state.counters["answered_ratio"] = benchmark::Counter(answered_ratio);
+  state.SetItemsProcessed(static_cast<std::int64_t>(queries));
+}
+
+void BM_BrowseStormDirectory(benchmark::State& state) {
+  run_browse_storm(state, true);
+}
+BENCHMARK(BM_BrowseStormDirectory)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_BrowseStormBridged(benchmark::State& state) {
+  run_browse_storm(state, false);
+}
+BENCHMARK(BM_BrowseStormBridged)->Arg(64)->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

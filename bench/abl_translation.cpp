@@ -8,10 +8,14 @@
 // the same parse+compose cost without the reuse.
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/strings.hpp"
+#include "core/directory/service_directory.hpp"
 #include "core/units/jini_unit.hpp"
 #include "core/units/mdns_unit.hpp"
 #include "core/units/slp_unit.hpp"
@@ -408,6 +412,54 @@ void BM_SsdpSerializeParseRoundTrip(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_SsdpSerializeParseRoundTrip);
+
+// --- Directory lookup scaling -----------------------------------------------
+//
+// BM_DirectoryLookup: collect() against an index of 10k / 100k / 1M records
+// (8 instances per service type) — the query-answering hot path behind
+// --directory (docs/directory.md). Registered last: filling the 1M-record
+// index interns hundreds of thousands of URL symbols into the process-wide
+// SymbolTable, which must not skew the translation fixtures above.
+
+void BM_DirectoryLookup(benchmark::State& state) {
+  const std::size_t records = static_cast<std::size_t>(state.range(0));
+  const std::size_t types = records / 8;
+  core::ServiceDirectory directory(
+      {.max_records = records, .type_buckets = 64, .max_answers = 4});
+  const auto t0 = transport::TimePoint(transport::seconds(0));
+  std::vector<std::string> type_names(types);
+  for (std::size_t i = 0; i < types; ++i) {
+    type_names[i] = "svc" + std::to_string(i);
+  }
+  for (std::size_t i = 0; i < records; ++i) {
+    core::EventStream stream;
+    stream.push_back(core::Event(core::EventType::kControlStart));
+    stream.push_back(core::Event(core::EventType::kServiceAlive));
+    stream.push_back(core::Event(core::EventType::kServiceTypeIs,
+                                 {{"type", type_names[i % types]}}));
+    stream.push_back(
+        core::Event(core::EventType::kResTtl, {{"seconds", "600"}}));
+    stream.push_back(core::Event(
+        core::EventType::kResServUrl,
+        {{"url", "soap://10.0.0.2:4000/s" + std::to_string(i)}}));
+    stream.push_back(core::Event(core::EventType::kControlStop));
+    directory.record_advertisement(core::SdpId::kMdns, stream, {}, t0);
+  }
+  std::vector<const core::ServiceDirectory::Record*> out;
+  std::size_t query = 0;
+  std::uint64_t allocs_before = indiss::testing::g_heap_allocs;
+  for (auto _ : state) {
+    std::size_t found = directory.collect(type_names[query++ % types], t0, out);
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["heap_allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(indiss::testing::g_heap_allocs - allocs_before) /
+      static_cast<double>(state.iterations()));
+  state.counters["records"] =
+      benchmark::Counter(static_cast<double>(records));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DirectoryLookup)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
 
 }  // namespace
 

@@ -80,7 +80,9 @@ int usage(const char* argv0) {
                "          [--name NAME] [--duration 2s|500ms|inf]\n"
                "          [--sdps slp,upnp,mdns,jini] [--seed N] [--shards N]\n"
                "          [--rate-limit N]   per-source datagrams/sec "
-               "(0 = off, docs/chaos.md)\n",
+               "(0 = off, docs/chaos.md)\n"
+               "          [--directory]      answer repeat queries from the "
+               "service index (docs/directory.md)\n",
                argv0);
   return 2;
 }
@@ -91,7 +93,7 @@ int usage(const char* argv0) {
 int run_sharded(const indiss::live::LiveConfig& live_config,
                 const std::set<SdpId>& sdps,
                 indiss::transport::Duration duration, std::size_t shards,
-                double rate_limit) {
+                double rate_limit, bool directory) {
   using namespace indiss;
 
   live::EventLoop loop;
@@ -100,6 +102,7 @@ int run_sharded(const indiss::live::LiveConfig& live_config,
   pool_config.live = live_config;
   pool_config.indiss.enabled_sdps = sdps;
   pool_config.indiss.monitor.rate_limit_per_sec = rate_limit;
+  pool_config.indiss.enable_directory = directory;
   live::LiveShardPool pool(loop, pool_config);
   pool.start();
 
@@ -171,6 +174,24 @@ int run_sharded(const indiss::live::LiveConfig& live_config,
         static_cast<unsigned long long>(s.streams_dispatched),
         static_cast<unsigned long long>(s.cache_short_circuits));
   }
+  if (directory) {
+    std::size_t records = 0;
+    for (std::size_t i = 0; i < pool.shard_count(); ++i) {
+      if (const auto* dir = pool.shard(i).directory()) records += dir->size();
+    }
+    std::printf("directory records=%zu\n", records);
+    for (core::SdpId sdp : sdps) {
+      const auto d = pool.directory_stats(sdp);
+      std::printf(
+          "directory sdp=%s answered=%llu bridged=%llu stored=%llu "
+          "withdrawals=%llu\n",
+          std::string(core::sdp_name(sdp)).c_str(),
+          static_cast<unsigned long long>(d.answered),
+          static_cast<unsigned long long>(d.bridged),
+          static_cast<unsigned long long>(d.records_stored),
+          static_cast<unsigned long long>(d.withdrawals));
+    }
+  }
   if (sdps.contains(core::SdpId::kMdns)) {
     unsigned long long announcements = 0;
     std::size_t cached = 0;
@@ -210,6 +231,7 @@ int main(int argc, char** argv) {
   transport::Duration duration = transport::Duration::max();
   std::size_t shards = 1;
   double rate_limit = 0.0;
+  bool directory = false;
   std::set<core::SdpId> sdps = {core::SdpId::kSlp, core::SdpId::kUpnp,
                                 core::SdpId::kMdns};
 
@@ -273,6 +295,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "indissd: bad --shards '%s'\n", v);
         return 2;
       }
+    } else if (arg == "--directory") {
+      directory = true;
     } else if (arg == "--rate-limit") {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
@@ -297,7 +321,8 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, on_signal);
 
   if (shards > 1) {
-    return run_sharded(live_config, sdps, duration, shards, rate_limit);
+    return run_sharded(live_config, sdps, duration, shards, rate_limit,
+                       directory);
   }
 
   live::EventLoop loop;
@@ -306,6 +331,7 @@ int main(int argc, char** argv) {
   core::IndissConfig config;
   config.enabled_sdps = sdps;
   config.monitor.rate_limit_per_sec = rate_limit;
+  config.enable_directory = directory;
   core::Indiss indiss(transport, config);
   indiss.start();
   std::fprintf(stderr, "indissd: %s up on %s (%s), bridging",
@@ -355,6 +381,20 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.sessions_opened),
         static_cast<unsigned long long>(s.streams_dispatched),
         static_cast<unsigned long long>(s.cache_short_circuits));
+  }
+  if (const auto* dir = indiss.directory()) {
+    std::printf("directory records=%zu\n", dir->size());
+    for (core::SdpId sdp : sdps) {
+      const auto d = indiss.monitor().directory_stats(sdp);
+      std::printf(
+          "directory sdp=%s answered=%llu bridged=%llu stored=%llu "
+          "withdrawals=%llu\n",
+          std::string(core::sdp_name(sdp)).c_str(),
+          static_cast<unsigned long long>(d.answered),
+          static_cast<unsigned long long>(d.bridged),
+          static_cast<unsigned long long>(d.records_stored),
+          static_cast<unsigned long long>(d.withdrawals));
+    }
   }
   if (auto* mdns = indiss.unit_as<core::MdnsUnit>(core::SdpId::kMdns)) {
     std::printf("mdns announcements_sent=%llu cached_services=%zu\n",

@@ -15,8 +15,12 @@ Indiss::Indiss(transport::Transport& transport, IndissConfig config)
     translation_cache_ =
         std::make_shared<TranslationCache>(config_.translation_cache);
   }
+  if (config_.enable_directory) {
+    directory_ = std::make_shared<ServiceDirectory>(config_.directory);
+  }
   monitor_ = std::make_unique<Monitor>(host_, own_endpoints_, config_.monitor);
   monitor_->set_translation_cache(translation_cache_);
+  monitor_->set_directory(directory_);
 }
 
 Indiss::~Indiss() { stop(); }
@@ -25,6 +29,7 @@ std::unique_ptr<Unit> Indiss::make_unit(SdpId sdp) {
   Unit::Options options = config_.unit_options;
   options.own_endpoints = own_endpoints_;
   options.translation_cache = translation_cache_;
+  options.directory = directory_;
   switch (sdp) {
     case SdpId::kSlp: {
       auto unit_config = config_.slp;
@@ -75,6 +80,23 @@ void Indiss::start() {
     sample_task_ = host_.schedule_periodic(
         config_.context.sample_interval, [this]() { sample_traffic(); });
   }
+
+  // The timer-driven expiry sweep: only scheduled when some TTL-bounded
+  // state actually exists to expire, so default configurations add no
+  // scheduler activity at all (chaos/zero-fault fingerprints depend on it).
+  if (directory_ != nullptr || config_.unit_options.expire_bridged_state) {
+    sweep_task_ = host_.schedule_periodic(config_.expiry_sweep_interval,
+                                          [this]() { run_expiry_sweep(); });
+  }
+
+  // Directory mode makes the gateway an SLP Directory Agent: advertise the
+  // DA so agents on the SLP side can discover and use it (RFC 2608 §12.1).
+  if (directory_ != nullptr) {
+    if (auto* slp = unit_as<SlpUnit>(SdpId::kSlp)) {
+      slp->announce_directory_agent();
+    }
+  }
+
   log::info("indiss", "started on ", host_.name(), " (slp=",
             enabled_sdps_.contains(SdpId::kSlp), " upnp=",
             enabled_sdps_.contains(SdpId::kUpnp), " jini=",
@@ -86,6 +108,7 @@ void Indiss::stop() {
   if (!running_) return;
   running_ = false;
   sample_task_.cancel();
+  sweep_task_.cancel();
   // Tear down routing before the units so in-flight datagrams cannot reach
   // freed memory. Each unit's destructor unsubscribes itself from the bus.
   for (SdpId sdp : {SdpId::kSlp, SdpId::kUpnp, SdpId::kJini, SdpId::kMdns}) {
@@ -100,8 +123,18 @@ void Indiss::subscribe_units() {
     if (unit->bus() == nullptr) bus_.subscribe(*unit);
   }
   // The subscriber set defines what a cached translation fans out to;
-  // (re)wiring invalidates everything composed under the old set.
+  // (re)wiring invalidates everything composed under the old set. The
+  // directory follows the same rule: when the bridged world changes shape,
+  // stop answering from the old one until services re-announce.
   if (translation_cache_) translation_cache_->bump_generation();
+  if (directory_) directory_->bump_generation();
+}
+
+void Indiss::run_expiry_sweep() {
+  // The bugfix for sweep-on-touch-only expiry: an idle unit's dead entries
+  // now age out on the timer even when no further message ever arrives.
+  for (auto& [sdp, unit] : units_) unit->sweep_bridged_state();
+  if (directory_ != nullptr) directory_->sweep(host_.now());
 }
 
 void Indiss::ingest(SdpId sdp, const net::Datagram& datagram) {
@@ -135,8 +168,10 @@ void Indiss::disable_unit(SdpId sdp) {
   enabled_sdps_.erase(sdp);
   units_.erase(sdp);
   // Cached frames hold the detached unit's sockets (now closed, so replays
-  // are inert) — invalidate so the remaining units re-translate fresh.
+  // are inert) — invalidate so the remaining units re-translate fresh, and
+  // stop answering queries from records the detached unit recorded.
   if (translation_cache_) translation_cache_->bump_generation();
+  if (directory_) directory_->bump_generation();
 }
 
 void Indiss::sample_traffic() {

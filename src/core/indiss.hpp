@@ -69,6 +69,19 @@ struct IndissConfig {
   /// re-running the translation pipeline (docs/events.md).
   bool enable_translation_cache = true;
   TranslationCache::Config translation_cache;
+  /// Directory mode (docs/directory.md): the gateway answers browse/lookup
+  /// queries from an in-memory service index populated by the bridged
+  /// advertisements (SLP DA / Jini-registrar front / mDNS-SSDP cache roles)
+  /// instead of translating every query out to the origin network. Off by
+  /// default so calibrated and zero-fault runs stay bit-identical.
+  bool enable_directory = false;
+  ServiceDirectory::Config directory;
+  /// Period of the timer-driven expiry sweep that ages out directory
+  /// records and the units' TTL-expired bridged state even when no further
+  /// message arrives. Scheduled only when directory mode or
+  /// unit_options.expire_bridged_state is on — default configs schedule
+  /// nothing, keeping their event sequences untouched.
+  transport::Duration expiry_sweep_interval = transport::seconds(5);
   /// When false, start() skips binding the IANA well-known ports — inbound
   /// traffic arrives through ingest() instead. This is how shard instances
   /// run behind a single front-end dispatcher (docs/sharding.md): only the
@@ -105,6 +118,8 @@ class Indiss {
   [[nodiscard]] TranslationCache* translation_cache() {
     return translation_cache_.get();
   }
+  /// The node's service directory, or nullptr when directory mode is off.
+  [[nodiscard]] ServiceDirectory* directory() { return directory_.get(); }
   /// The bus all inter-unit event delivery goes through.
   [[nodiscard]] EventBus& bus() { return bus_; }
   [[nodiscard]] const EventBus& bus() const { return bus_; }
@@ -150,6 +165,9 @@ class Indiss {
 
  private:
   void sample_traffic();
+  /// Timer-driven expiry: sweeps every unit's bridged state and the
+  /// directory's records (docs/directory.md's expiry contract).
+  void run_expiry_sweep();
   void subscribe_units();
   [[nodiscard]] std::unique_ptr<Unit> make_unit(SdpId sdp);
   void attach_unit(SdpId sdp);
@@ -159,6 +177,7 @@ class Indiss {
   std::set<SdpId> enabled_sdps_;
   std::shared_ptr<OwnEndpoints> own_endpoints_;
   std::shared_ptr<TranslationCache> translation_cache_;
+  std::shared_ptr<ServiceDirectory> directory_;
   EventBus bus_;
   std::unique_ptr<Monitor> monitor_;
   /// SdpId-keyed unit registry; map order = SdpId order = bus subscription
@@ -168,6 +187,7 @@ class Indiss {
   bool active_mode_ = false;
   std::uint64_t last_sample_bytes_ = 0;
   transport::TaskHandle sample_task_;
+  transport::TaskHandle sweep_task_;
 };
 
 }  // namespace indiss::core

@@ -21,6 +21,7 @@
 #include <set>
 #include <vector>
 
+#include "core/directory/service_directory.hpp"
 #include "core/translation_cache.hpp"
 #include "core/types.hpp"
 #include "transport/transport.hpp"
@@ -124,6 +125,24 @@ class Monitor {
                                          : translation_cache_->stats(sdp);
   }
 
+  // --- Directory introspection ----------------------------------------------
+  //
+  // Same surfacing rule for directory mode (docs/directory.md): the
+  // per-SDP answered-vs-bridged counters are read through the monitor.
+
+  void set_directory(std::shared_ptr<const ServiceDirectory> directory) {
+    directory_ = std::move(directory);
+  }
+  /// Null when directory mode is off.
+  [[nodiscard]] const ServiceDirectory* directory() const {
+    return directory_.get();
+  }
+  /// Zeroed stats when directory mode is off.
+  [[nodiscard]] ServiceDirectory::SdpStats directory_stats(SdpId sdp) const {
+    return directory_ == nullptr ? ServiceDirectory::SdpStats{}
+                                 : directory_->stats(sdp);
+  }
+
  private:
   void on_datagram(SdpId sdp, const net::Datagram& datagram);
   /// Token-bucket admission for `source`. True = admit; false = shed.
@@ -139,6 +158,7 @@ class Monitor {
   std::shared_ptr<OwnEndpoints> own_endpoints_;
   MonitorConfig config_;
   std::shared_ptr<const TranslationCache> translation_cache_;
+  std::shared_ptr<const ServiceDirectory> directory_;
   std::vector<std::pair<SdpId, std::shared_ptr<transport::UdpSocket>>> sockets_;
   std::map<SdpId, Unit*> forwards_;
   std::map<SdpId, transport::TimePoint> detected_;

@@ -117,6 +117,16 @@ TranslationCache::SdpStats ShardedGateway::translation_stats(
   return merged;
 }
 
+ServiceDirectory::SdpStats ShardedGateway::directory_stats(SdpId sdp) const {
+  ServiceDirectory::SdpStats merged;
+  for (const auto& entry : shards_) {
+    if (const ServiceDirectory* dir = entry.indiss->directory()) {
+      merged += dir->stats(sdp);
+    }
+  }
+  return merged;
+}
+
 std::uint64_t ShardedGateway::ring_dropped() const {
   std::uint64_t total = 0;
   for (const auto& entry : shards_) total += entry.ring->dropped();

@@ -94,6 +94,10 @@ class ShardedGateway {
 
   [[nodiscard]] Unit::Stats unit_stats(SdpId sdp) const;
   [[nodiscard]] TranslationCache::SdpStats translation_stats(SdpId sdp) const;
+  /// Per-shard directory counters summed (zeroed when directory mode is
+  /// off). Adverts land in their hash-owning shard's directory, so the sum
+  /// is the gateway-wide answered-vs-bridged picture (docs/directory.md).
+  [[nodiscard]] ServiceDirectory::SdpStats directory_stats(SdpId sdp) const;
   /// Datagrams routed (each broadcast counts once).
   [[nodiscard]] std::uint64_t datagrams_dispatched() const {
     return dispatched_;

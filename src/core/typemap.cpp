@@ -67,10 +67,20 @@ std::string canonical_from_dnssd(std::string_view name) {
 }
 
 std::string dnssd_from_canonical(std::string_view canonical) {
+  std::string out;
+  dnssd_from_canonical_into(canonical, out);
+  return out;
+}
+
+void dnssd_from_canonical_into(std::string_view canonical, std::string& out) {
+  out.clear();
   if (canonical == "*" || canonical.empty()) {
-    return "_services._dns-sd._udp.local";
+    out.assign("_services._dns-sd._udp.local");
+    return;
   }
-  return "_" + std::string(canonical) + "._tcp.local";
+  out.push_back('_');
+  out.append(canonical);
+  out.append("._tcp.local");
 }
 
 std::string_view canonical_from_slp_view(std::string_view type) {

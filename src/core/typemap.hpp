@@ -34,6 +34,10 @@ namespace indiss::core {
 /// "clock" -> "_clock._tcp.local" ("*" -> the enumeration name).
 [[nodiscard]] std::string dnssd_from_canonical(std::string_view canonical);
 
+/// dnssd_from_canonical into caller storage: a reused scratch string keeps
+/// its capacity, so the warm compose path allocates nothing.
+void dnssd_from_canonical_into(std::string_view canonical, std::string& out);
+
 // --- Allocation-free view variants (hot-path parsers) -----------------------
 //
 // Same extraction as the std::string versions, but the result aliases the

@@ -1,9 +1,11 @@
 #include "core/unit.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "common/logging.hpp"
 #include "common/strings.hpp"
+#include "core/units/standard_fsm.hpp"
 
 namespace indiss::core {
 
@@ -124,14 +126,28 @@ void Unit::on_native_message(const net::Datagram& datagram) {
   schedule_guarded(options_.translate_delay, [this, datagram]() {
     // Short-circuit: a byte-identical advertisement translated before
     // replays its composed outbound frames without a session or a parse.
+    // In directory mode the advert's index record re-arms its TTL too —
+    // short-circuited repeats must keep the record alive.
     TranslationCache* cache = options_.translation_cache.get();
+    ServiceDirectory* dir = options_.directory.get();
     if (cache != nullptr) {
       if (const auto* bundle =
               cache->lookup(sdp_, datagram.payload, now())) {
         cache->replay(sdp_, *bundle);
         stats_.cache_short_circuits += 1;
+        if (dir != nullptr) dir->touch(sdp_, datagram.payload, now());
         return;
       }
+    }
+
+    // Short-circuit: the identical query from the identical requester was
+    // answered from the directory this epoch — replay the composed reply
+    // frames without a session, a parse or a compose.
+    if (dir != nullptr &&
+        dir->replay_answer(sdp_, datagram.payload, datagram.source, now())) {
+      dir->count_answered(sdp_);
+      stats_.directory_answers += 1;
+      return;
     }
 
     Session& session = open_session(Session::Origin::kNative);
@@ -141,7 +157,12 @@ void Unit::on_native_message(const net::Datagram& datagram) {
     ctx.destination = datagram.destination;
     ctx.multicast = datagram.multicast;
     ctx.from_local_host = datagram.source.address == host_.address();
+    if (dir != nullptr) {
+      pending_query_wire_ = datagram.payload;
+      pending_query_source_ = datagram.source;
+    }
     parse_into_session(session, datagram.payload, ctx);
+    pending_query_wire_ = {};
 
     // The FSM ran to SDP_C_STOP inside the parse; advertisement kinds were
     // dispatched to the peers, whose composed frames will land in the
@@ -151,14 +172,27 @@ void Unit::on_native_message(const net::Datagram& datagram) {
     // bookkeeping) must run on every arrival, so each one re-parses and
     // invalidates everything cached under the pre-withdrawal world.
     Session* parsed = find_session(session_id);
-    if (cache != nullptr && parsed != nullptr) {
+    if (parsed != nullptr) {
       auto kind = parsed->var("kind");
-      if (kind == "byebye") {
-        cache->bump_generation();
-      } else if (kind == "alive" || kind == "register" ||
-                 kind == "repo_announce") {
-        cache->open_bundle(sdp_, datagram.payload, session_id,
-                           now());
+      if (cache != nullptr) {
+        if (kind == "byebye") {
+          cache->bump_generation();
+        } else if (kind == "alive" || kind == "register" ||
+                   kind == "repo_announce") {
+          cache->open_bundle(sdp_, datagram.payload, session_id,
+                             now());
+        }
+      }
+      // Directory population rides the same classification: adverts are
+      // recorded (or TTL-refreshed), byebyes tombstone their record so a
+      // withdrawn service is never answered from the index again.
+      if (dir != nullptr) {
+        if (kind == "byebye") {
+          dir->withdraw(sdp_, parsed->collected);
+        } else if (kind == "alive" || kind == "register") {
+          dir->record_advertisement(sdp_, parsed->collected, datagram.payload,
+                                    now());
+        }
       }
     }
   });
@@ -245,6 +279,23 @@ void Unit::cache_outbound_frame(const Session& session,
                    std::move(frame));
 }
 
+void Unit::cache_reply_frame(const Session& session,
+                             std::shared_ptr<transport::UdpSocket> socket,
+                             const net::Endpoint& to, BytesView payload) {
+  ServiceDirectory* dir = options_.directory.get();
+  if (dir == nullptr || session.origin != Session::Origin::kNative ||
+      session.var("directory_answer") != "1") {
+    return;
+  }
+  TranslationCache::Frame frame;
+  frame.target = sdp_;
+  frame.socket = std::move(socket);
+  frame.to = to;
+  frame.payload =
+      std::make_shared<const Bytes>(payload.begin(), payload.end());
+  dir->add_answer_frame(sdp_, session.id, std::move(frame));
+}
+
 Action Unit::dispatch_to_peers() {
   return [](Unit& unit, const Event&, Session& session) {
     unit.do_dispatch_to_peers(session);
@@ -306,12 +357,92 @@ Action Unit::complete() {
 // ---------------------------------------------------------------------------
 
 void Unit::do_dispatch_to_peers(Session& session) {
+  // Directory mode: a native query the index can answer never reaches the
+  // bus (and therefore never reaches the origin network).
+  if (try_answer_from_directory(session)) return;
   if (bus_ == nullptr || bus_->subscriber_count() < 2) return;
+  ServiceDirectory* dir = options_.directory.get();
+  if (dir != nullptr && session.origin == Session::Origin::kNative &&
+      session.var("kind") == "request") {
+    dir->count_bridged(sdp_);
+  }
   stats_.streams_dispatched += 1;
   // One copy into a shared buffer, however many subscribers the bus fans
   // out to (the hand-wired mesh copied the stream once per peer).
   bus_->publish(*this, session.id,
                 std::make_shared<const EventStream>(session.collected));
+}
+
+bool Unit::try_answer_from_directory(Session& session) {
+  ServiceDirectory* dir = options_.directory.get();
+  if (dir == nullptr || session.origin != Session::Origin::kNative ||
+      !answers_from_directory()) {
+    return false;
+  }
+  if (session.var("kind") != "request") return false;
+  std::string_view type = session.var("service_type");
+  // Wildcard and uuid-targeted searches bridge: the index keys on concrete
+  // canonical types (docs/directory.md's decision table).
+  if (!meaningful_advert_type(type)) return false;
+  if (dir->collect(type, now(), directory_matches_) == 0) return false;
+
+  // Synthesize the foreign-reply stream a peer unit would have delivered,
+  // in the same per-record event order the bridged path produces, and feed
+  // it back after the usual translate delay — the session's own
+  // await_foreign -> collect_reply -> send_native_reply machinery then
+  // composes a reply byte-compatible with the bridged one.
+  SymbolTable& table = SymbolTable::global();
+  auto stream = std::make_shared<EventStream>();
+  stream->reserve(3 + 5 * directory_matches_.size());
+  stream->push_back(Event(EventType::kControlStart));
+  stream->push_back(Event(EventType::kServiceResponse));
+  stream->push_back(Event(EventType::kResOk));
+  for (const ServiceDirectory::Record* record : directory_matches_) {
+    Event type_event(EventType::kServiceTypeIs);
+    type_event.set("type", table.name(record->canonical_type));
+    stream->push_back(std::move(type_event));
+    if (record->usn != kNoSymbol) {
+      Event usn_event(EventType::kUpnpUsn);
+      usn_event.set("usn", table.name(record->usn));
+      stream->push_back(std::move(usn_event));
+    }
+    for (std::size_t i = 0; i < record->attr_count; ++i) {
+      Event attr_event(EventType::kServiceAttr);
+      attr_event.set("key", table.name(record->attributes[i].first));
+      attr_event.set("value", record->attributes[i].second);
+      stream->push_back(std::move(attr_event));
+    }
+    Event ttl_event(EventType::kResTtl);
+    ttl_event.set(
+        "seconds",
+        std::to_string(
+            std::chrono::duration_cast<std::chrono::seconds>(record->ttl)
+                .count()));
+    stream->push_back(std::move(ttl_event));
+    Event url_event(EventType::kResServUrl);
+    url_event.set("url", table.name(record->url));
+    stream->push_back(std::move(url_event));
+  }
+  stream->push_back(Event(EventType::kControlStop));
+
+  // Key the composed reply frames by (query wire, requester) so the
+  // identical repeat replays straight from the answer cache.
+  if (!pending_query_wire_.empty()) {
+    dir->open_answer(sdp_, pending_query_wire_, pending_query_source_,
+                     session.id, now());
+  }
+  session.set_var("directory_answer", "1");
+  dir->count_answered(sdp_);
+  stats_.directory_answers += 1;
+
+  std::uint64_t id = session.id;
+  schedule_guarded(options_.translate_delay,
+                   [this, id, stream = std::move(stream)]() {
+                     Session* answered = find_session(id);
+                     if (answered == nullptr || answered->done) return;
+                     feed_stream(*answered, *stream);
+                   });
+  return true;
 }
 
 void Unit::do_reply_to_origin(Session& session) {

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/directory/service_directory.hpp"
 #include "core/event.hpp"
 #include "core/event_bus.hpp"
 #include "core/fsm.hpp"
@@ -55,13 +56,21 @@ struct UnitOptions {
   /// of accumulating for a whole session_timeout (docs/chaos.md).
   std::size_t max_open_sessions = 0;
   /// When true the unit expires bridged foreign-service state whose
-  /// advertised TTL elapsed (sweep-on-touch, no timers; docs/chaos.md), so
-  /// devices that crashed without a byebye age out of every unit instead of
-  /// being re-announced forever. Off by default: expiry changes steady-state
-  /// re-announcement behaviour, so calibrated runs keep it off.
+  /// advertised TTL elapsed. Expiry runs sweep-on-touch (before the unit
+  /// serves or updates its bridged containers) *and* from the gateway's
+  /// low-frequency timer sweep (Indiss schedules it on the transport
+  /// scheduler; docs/chaos.md, docs/directory.md), so an idle unit's dead
+  /// entries age out even when no further message ever arrives. Off by
+  /// default: expiry changes steady-state re-announcement behaviour, so
+  /// calibrated runs keep it off.
   bool expire_bridged_state = false;
   /// Lifetime for bridged state whose advertisement carried no TTL.
   transport::Duration default_bridged_ttl = transport::seconds(300);
+  /// Directory mode (docs/directory.md): the shared per-gateway service
+  /// index (null = off). When set, the unit records every advertisement it
+  /// parses into the index and answers native browse/lookup queries from it
+  /// instead of bridging them to the origin network.
+  std::shared_ptr<ServiceDirectory> directory;
 };
 
 class Unit {
@@ -151,6 +160,9 @@ class Unit {
     std::uint64_t sessions_evicted = 0;
     /// Bridged foreign-service entries expired by TTL sweeps.
     std::uint64_t bridged_state_expired = 0;
+    /// Native queries answered from the service directory (synthesized
+    /// reply streams plus replayed cached answers), never bridged out.
+    std::uint64_t directory_answers = 0;
 
     /// Merge-on-read accumulation across shard instances (docs/sharding.md).
     /// Counters stay plain members — each shard's scheduler thread owns its
@@ -167,6 +179,7 @@ class Unit {
       cache_short_circuits += other.cache_short_circuits;
       sessions_evicted += other.sessions_evicted;
       bridged_state_expired += other.bridged_state_expired;
+      directory_answers += other.directory_answers;
       return *this;
     }
   };
@@ -185,7 +198,7 @@ class Unit {
   void sweep_bridged_state();
 
  protected:
-  // --- Subclass surface -------------------------------------------------------
+  // --- Subclass surface ------------------------------------------------------
 
   /// Parser registry. Every unit has a default parser; the UPnP unit also
   /// registers an XML parser as the switch target.
@@ -256,6 +269,24 @@ class Unit {
     return options_.translation_cache.get();
   }
 
+  [[nodiscard]] ServiceDirectory* directory() {
+    return options_.directory.get();
+  }
+
+  /// Whether native queries on this unit may be answered from the service
+  /// directory. The Jini unit opts out: its native clients query the
+  /// registrar directly, so the gateway never composes Jini replies.
+  [[nodiscard]] virtual bool answers_from_directory() const { return true; }
+
+  /// Requester-side answer-cache hook: a composer produced an outbound
+  /// reply frame for a native session answered from the directory; stores
+  /// it keyed by (query wire bytes, requester endpoint) so the identical
+  /// repeat replays without a parse or a compose. No-op without a
+  /// directory or for sessions not answered from it.
+  void cache_reply_frame(const Session& session,
+                         std::shared_ptr<transport::UdpSocket> socket,
+                         const net::Endpoint& to, BytesView payload);
+
   [[nodiscard]] transport::TimePoint now() const { return host_.now(); }
 
   StateMachine fsm_;
@@ -266,6 +297,13 @@ class Unit {
   void bind_bus(EventBus* bus) { bus_ = bus; }
 
   void do_dispatch_to_peers(Session& session);
+  /// Directory-mode interception of a native query's dispatch: when the
+  /// index holds fresh records of the requested type, schedules a
+  /// synthesized foreign-reply stream back into the session (so the normal
+  /// collect_reply -> send_native_reply machinery composes the native
+  /// answer) and returns true — nothing reaches the bus or the origin
+  /// network.
+  bool try_answer_from_directory(Session& session);
   void do_reply_to_origin(Session& session);
   void do_complete(Session& session);
   void do_switch(Session& session, const Event& event);
@@ -283,6 +321,13 @@ class Unit {
   std::map<std::string, std::unique_ptr<SdpParser>, std::less<>> parsers_;
   std::string default_parser_;
   std::uint64_t next_session_id_ = 1;
+  /// Wire bytes + source of the native datagram currently being parsed
+  /// (directory mode only): try_answer_from_directory keys the answer cache
+  /// by them. Valid only for the duration of the parse.
+  BytesView pending_query_wire_{};
+  net::Endpoint pending_query_source_{};
+  /// collect() scratch (capacity reused across queries).
+  std::vector<const ServiceDirectory::Record*> directory_matches_;
 };
 
 }  // namespace indiss::core

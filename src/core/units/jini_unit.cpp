@@ -143,9 +143,12 @@ void JiniUnit::do_note_registrar(const Event& event) {
   bool changed = !registrar_.has_value() || *registrar_ != endpoint;
   registrar_ = endpoint;
   // A newly learned registrar changes what foreign advertisements translate
-  // into (they can now be registered), so cached translations are stale.
-  if (changed && translation_cache() != nullptr) {
-    translation_cache()->bump_generation();
+  // into (they can now be registered), so cached translations are stale —
+  // and so are directory records, whose Jini-side registrations now point
+  // at the wrong (or no) registrar until services re-announce.
+  if (changed) {
+    if (translation_cache() != nullptr) translation_cache()->bump_generation();
+    if (directory() != nullptr) directory()->bump_generation();
   }
 }
 
@@ -235,19 +238,20 @@ void JiniUnit::compose_native_reply(Session&) {}
 // Jini clients can look the service up; a byebye cancels the lease so they
 // stop finding it.
 void JiniUnit::on_advertisement(Session& session) {
-  std::string url;
-  std::string desc_url;
-  std::string usn;
-  jini::EntryAttributes attributes;
+  // View-based extraction: the alive-refresh path (the steady-state case for
+  // a chatty announcer) must not build strings or attribute vectors it then
+  // throws away. Views stay valid for the duration of this call — they point
+  // into the session's collected events.
+  std::string_view url;
+  std::string_view desc_url;
+  std::string_view usn;
   for (const auto& event : session.collected) {
     if (event.type == EventType::kResServUrl && url.empty()) {
       url = event.get("url");
     } else if (event.type == EventType::kUpnpDeviceUrlDesc) {
       desc_url = event.get("url");
-    } else if (event.type == EventType::kUpnpUsn) {
+    } else if (event.type == EventType::kUpnpUsn && usn.empty()) {
       usn = event.get("usn");
-    } else if (event.type == EventType::kServiceAttr) {
-      attributes.emplace_back(event.get("key"), event.get("value"));
     }
   }
   if (url.empty()) url = desc_url;
@@ -259,15 +263,26 @@ void JiniUnit::on_advertisement(Session& session) {
 
   if (url.empty() || !registrar_.has_value()) return;
   if (!meaningful_advert_type(session.var("service_type"))) return;
+  auto& table = SymbolTable::global();
   // One registration per foreign endpoint; alive bursts repeat the URL
   // under several notification types.
-  if (!registered_urls_.insert(url).second) {
+  Symbol url_sym = table.find(url);
+  if (url_sym != kNoSymbol && registered_urls_.contains(url_sym)) {
     // Alive refresh: re-arm the TTL clock; the registrar lease is untouched.
-    expiry_by_url_[url] = bridged_state_deadline(session);
+    expiry_by_url_[url_sym] = bridged_state_deadline(session);
     return;
   }
-  if (!usn.empty()) url_by_usn_[usn] = url;
-  expiry_by_url_[url] = bridged_state_deadline(session);
+  url_sym = table.intern(url);
+  registered_urls_.insert(url_sym);
+  if (!usn.empty()) url_by_usn_[table.intern(usn)] = url_sym;
+  expiry_by_url_[url_sym] = bridged_state_deadline(session);
+
+  jini::EntryAttributes attributes;
+  for (const auto& event : session.collected) {
+    if (event.type == EventType::kServiceAttr) {
+      attributes.emplace_back(event.get("key"), event.get("value"));
+    }
+  }
 
   jini::ServiceItem item;
   item.id = jini::ServiceId{0x1D15500000000000ULL, next_service_id_++};
@@ -280,12 +295,12 @@ void JiniUnit::on_advertisement(Session& session) {
   w.u8(jini::kOpRegister);
   item.encode(w);
   w.u32(config_.lease_seconds);
-  registrar_op(w.take(), [this, url](Bytes reply) {
+  registrar_op(w.take(), [this, url_sym](Bytes reply) {
     try {
       ByteReader r(reply);
       if (reply.empty() || r.u8() != jini::kStatusOk) return;
       std::uint64_t lease = r.u64();
-      if (registered_urls_.count(url) == 0) {
+      if (registered_urls_.count(url_sym) == 0) {
         // Withdrawn while the registration was in flight: cancel the lease
         // we were just granted instead of stranding it at the registrar.
         ByteWriter cancel;
@@ -296,7 +311,7 @@ void JiniUnit::on_advertisement(Session& session) {
       }
       foreign_registrations_ += 1;
       // Remember the granted lease: a later byebye cancels it.
-      leases_by_url_[url] = lease;
+      leases_by_url_[url_sym] = lease;
     } catch (const DecodeError&) {
     }
   });
@@ -316,11 +331,11 @@ std::size_t JiniUnit::expire_bridged_state(transport::TimePoint now) {
       ++it;
       continue;
     }
-    const std::string& url = it->first;
+    Symbol url = it->first;
     registered_urls_.erase(url);
     leases_by_url_.erase(url);
     std::erase_if(url_by_usn_,
-                  [&url](const auto& entry) { return entry.second == url; });
+                  [url](const auto& entry) { return entry.second == url; });
     it = expiry_by_url_.erase(it);
     expired += 1;
   }
@@ -329,17 +344,27 @@ std::size_t JiniUnit::expire_bridged_state(transport::TimePoint now) {
 
 // Withdrawal: cancel the lease the registration was granted (matching by
 // URL, or by USN for UPnP byebyes that name no URL) so native Jini lookups
-// stop returning the departed service.
-void JiniUnit::withdraw_foreign_service(const std::string& url,
-                                        const std::string& usn) {
-  std::string key = url;
-  if (key.empty() && !usn.empty()) {
-    auto aliased = url_by_usn_.find(usn);
-    if (aliased != url_by_usn_.end()) key = aliased->second;
+// stop returning the departed service. Lookup-only symbol resolution: a
+// never-interned URL/USN was never registered, so there is nothing to undo.
+void JiniUnit::withdraw_foreign_service(std::string_view url,
+                                        std::string_view usn) {
+  auto& table = SymbolTable::global();
+  Symbol key = kNoSymbol;
+  if (!url.empty()) {
+    key = table.find(url);
+  } else if (!usn.empty()) {
+    Symbol usn_sym = table.find(usn);
+    if (usn_sym != kNoSymbol) {
+      auto aliased = url_by_usn_.find(usn_sym);
+      if (aliased != url_by_usn_.end()) key = aliased->second;
+    }
   }
-  if (key.empty()) return;
+  if (key == kNoSymbol) return;
   if (registered_urls_.erase(key) == 0) return;
-  if (!usn.empty()) url_by_usn_.erase(usn);
+  if (!usn.empty()) {
+    Symbol usn_sym = table.find(usn);
+    if (usn_sym != kNoSymbol) url_by_usn_.erase(usn_sym);
+  }
   expiry_by_url_.erase(key);
 
   auto lease = leases_by_url_.find(key);

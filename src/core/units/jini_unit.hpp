@@ -10,13 +10,14 @@
 //    lookup protocol.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "common/interning.hpp"
 #include "core/unit.hpp"
 #include "core/units/standard_fsm.hpp"
 #include "jini/lookup.hpp"
@@ -73,25 +74,30 @@ class JiniUnit : public Unit {
   void compose_native_reply(Session& session) override;
   void on_advertisement(Session& session) override;
   std::size_t expire_bridged_state(transport::TimePoint now) override;
+  /// Native Jini clients resolve services through a registrar, never by
+  /// multicast query, so there is no request for the directory to answer.
+  [[nodiscard]] bool answers_from_directory() const override { return false; }
 
  private:
   static Action note_registrar();
   void do_note_registrar(const Event& event);
-  void withdraw_foreign_service(const std::string& url,
-                                const std::string& usn);
+  void withdraw_foreign_service(std::string_view url, std::string_view usn);
   /// One-shot unicast registrar op; hands raw reply bytes to the handler.
   void registrar_op(Bytes request, std::function<void(Bytes)> handler);
 
   Config config_;
   std::optional<net::Endpoint> registrar_;
-  std::set<std::string> registered_urls_;
+  // Per-URL bookkeeping keyed on interned symbols: an alive burst repeating
+  // a known URL touches only symbol lookups (no per-refresh string churn),
+  // and the URL spelling lives once in the process-wide SymbolTable.
+  std::unordered_set<Symbol> registered_urls_;
   /// Lease granted per registered foreign URL — the handle a byebye cancels.
-  std::map<std::string, std::uint64_t> leases_by_url_;
+  std::unordered_map<Symbol, std::uint64_t> leases_by_url_;
   /// UPnP byebyes identify the device by USN, not URL.
-  std::map<std::string, std::string> url_by_usn_;
+  std::unordered_map<Symbol, Symbol> url_by_usn_;
   /// TTL-derived expiry instant per registered URL (only enforced when the
   /// unit runs with expire_bridged_state — docs/chaos.md).
-  std::map<std::string, transport::TimePoint> expiry_by_url_;
+  std::unordered_map<Symbol, transport::TimePoint> expiry_by_url_;
   std::uint64_t foreign_registrations_ = 0;
   std::uint64_t foreign_deregistrations_ = 0;
   std::uint64_t next_service_id_ = 0x1D155;

@@ -410,15 +410,18 @@ void MdnsUnit::compose_native_request(Session& session) {
 // Answering a native mDNS browser on behalf of foreign services: compose the
 // PTR+SRV+TXT+A bundle and unicast it back to the querier.
 void MdnsUnit::compose_native_reply(Session& session) {
-  std::string qname(session.var("qname"));
-  if (qname.empty()) {
-    qname = dnssd_from_canonical(session.var("service_type", "*"));
+  std::string_view recorded_qname = session.var("qname");
+  if (recorded_qname.empty()) {
+    dnssd_from_canonical_into(session.var("service_type", "*"),
+                              qname_scratch_);
+  } else {
+    qname_scratch_.assign(recorded_qname);
   }
   std::uint32_t ttl = config_.record_ttl;
   if (session.has_var("ttl")) {
     ttl = static_cast<std::uint32_t>(str::parse_long(session.var("ttl"), ttl));
   }
-  if (compose_dnssd_answers(session.collected, qname, ttl,
+  if (compose_dnssd_answers(session.collected, qname_scratch_, ttl,
                             compose_scratch_) == 0) {
     return;  // nothing found: mDNS answers with silence
   }
@@ -440,6 +443,9 @@ void MdnsUnit::compose_native_reply(Session& session) {
   transport::Duration pacing =
       from_network ? config_.response_pacing : transport::Duration::zero();
   BytesView wire = encoder_.encode(compose_scratch_);
+  // Directory-answered sessions remember the composed bytes so a repeated
+  // browse replays them without re-compose (docs/directory.md).
+  cache_reply_frame(session, reply_socket_, to, wire);
   Bytes payload(wire.begin(), wire.end());
   transport().schedule(pacing, [socket = reply_socket_, to,
                                 payload = std::move(payload)]() {
@@ -450,46 +456,66 @@ void MdnsUnit::compose_native_reply(Session& session) {
 // A peer advertised (or withdrew) a foreign service: re-announce it in the
 // Bonjour world as an unsolicited multicast response (TTL 0 for goodbyes).
 void MdnsUnit::on_advertisement(Session& session) {
-  MdnsForeignService service;
-  service.canonical_type = session.var("service_type");
-  std::string desc_url;
+  // View-based extraction: the alive-refresh path (the steady-state case
+  // for a chatty announcer) must not build the strings and attribute vector
+  // a new MdnsForeignService needs — views into the collected events are
+  // enough to recognize a repeat.
+  std::string_view type = session.var("service_type");
+  std::string_view url;
+  std::string_view desc_url;
+  std::string_view usn;
   for (const auto& event : session.collected) {
-    if (event.type == EventType::kResServUrl && service.url.empty()) {
-      service.url = event.get("url");
+    if (event.type == EventType::kResServUrl && url.empty()) {
+      url = event.get("url");
     } else if (event.type == EventType::kUpnpDeviceUrlDesc) {
       desc_url = event.get("url");
-    } else if (event.type == EventType::kUpnpUsn) {
-      service.usn = event.get("usn");
-    } else if (event.type == EventType::kServiceAttr) {
-      service.attributes.emplace_back(event.get("key"), event.get("value"));
+    } else if (event.type == EventType::kUpnpUsn && usn.empty()) {
+      usn = event.get("usn");
     }
   }
-  if (service.url.empty()) service.url = desc_url;
+  if (url.empty()) url = desc_url;
 
   if (session.var("kind") == "byebye") {
-    withdraw_foreign_service(session, service);
+    withdraw_foreign_service(session, url, usn);
     return;
   }
 
-  if (service.url.empty()) return;
-  if (!meaningful_advert_type(service.canonical_type)) return;
-  service.expires_at = bridged_state_deadline(session);
+  if (url.empty()) return;
+  if (!meaningful_advert_type(type)) return;
+  transport::TimePoint deadline = bridged_state_deadline(session);
 
-  // Refresh only the same-typed entry: a UPnP alive burst repeats one URL
-  // under several notification types, and the announced instance's identity
-  // (qname, USN) must stay the one actually put on the wire.
-  for (auto& existing : foreign_services_) {
-    if (existing.url == service.url &&
-        existing.canonical_type == service.canonical_type) {
-      existing = service;
+  auto& table = SymbolTable::global();
+  Symbol url_sym = table.find(url);
+  bool first_announcement =
+      url_sym == kNoSymbol || !announced_urls_.contains(url_sym);
+  if (first_announcement) {
+    announced_urls_.insert(table.intern(url));
+    MdnsForeignService service;
+    service.canonical_type.assign(type);
+    service.url.assign(url);
+    service.usn.assign(usn);
+    for (const auto& event : session.collected) {
+      if (event.type == EventType::kServiceAttr) {
+        service.attributes.emplace_back(event.get("key"), event.get("value"));
+      }
+    }
+    service.expires_at = deadline;
+    foreign_services_.push_back(std::move(service));
+  } else {
+    // Alive refresh: re-arm the TTL clock on the same-typed entry (a UPnP
+    // alive burst repeats one URL under several notification types); the
+    // announced instance's identity (qname, USN) stays the one actually put
+    // on the wire, so nothing else needs rebuilding.
+    for (auto& existing : foreign_services_) {
+      if (existing.url == url && existing.canonical_type == type) {
+        existing.expires_at = deadline;
+      }
     }
   }
-  bool first_announcement = announced_urls_.insert(service.url).second;
-  if (first_announcement) foreign_services_.push_back(service);
 
-  std::string qname = dnssd_from_canonical(service.canonical_type);
+  dnssd_from_canonical_into(type, qname_scratch_);
   std::size_t groups = compose_dnssd_answers(
-      session.collected, qname, config_.record_ttl, compose_scratch_);
+      session.collected, qname_scratch_, config_.record_ttl, compose_scratch_);
   if (groups == 0) {
     // The advertisement named no service URL directly (a UPnP alive only
     // carries the description LOCATION): announce the resolved URL instead,
@@ -497,9 +523,9 @@ void MdnsUnit::on_advertisement(Session& session) {
     // the service.
     EventStream minimal = stream_pool().acquire();
     minimal.push_back(Event(EventType::kControlStart));
-    minimal.push_back(Event(EventType::kResServUrl, {{"url", service.url}}));
+    minimal.push_back(Event(EventType::kResServUrl, {{"url", url}}));
     minimal.push_back(Event(EventType::kControlStop));
-    groups = compose_dnssd_answers(minimal, qname, config_.record_ttl,
+    groups = compose_dnssd_answers(minimal, qname_scratch_, config_.record_ttl,
                                    compose_scratch_);
     stream_pool().release(std::move(minimal));
   }
@@ -524,12 +550,13 @@ void MdnsUnit::on_advertisement(Session& session) {
 // byebyes, which only identify the device), multicast the RFC 6762 TTL-0
 // goodbye for it, and forget it.
 void MdnsUnit::withdraw_foreign_service(Session& session,
-                                        const MdnsForeignService& hint) {
-  std::string url = hint.url;
+                                        std::string_view url_hint,
+                                        std::string_view usn) {
+  std::string url(url_hint);
   std::string qname;
   for (const auto& known : foreign_services_) {
     bool match = (!url.empty() && known.url == url) ||
-                 (url.empty() && !hint.usn.empty() && known.usn == hint.usn);
+                 (url.empty() && !usn.empty() && known.usn == usn);
     if (match) {
       url = known.url;
       qname = dnssd_from_canonical(known.canonical_type);
@@ -537,7 +564,8 @@ void MdnsUnit::withdraw_foreign_service(Session& session,
     }
   }
   if (url.empty()) return;
-  if (announced_urls_.erase(url) == 0) return;
+  Symbol url_sym = SymbolTable::global().find(url);
+  if (url_sym == kNoSymbol || announced_urls_.erase(url_sym) == 0) return;
   std::erase_if(foreign_services_,
                 [&](const MdnsForeignService& s) { return s.url == url; });
   if (qname.empty()) {
@@ -580,7 +608,10 @@ std::size_t MdnsUnit::expire_bridged_state(transport::TimePoint now) {
   return std::erase_if(
       foreign_services_, [this, now](const MdnsForeignService& s) {
         bool gone = s.expires_at.count() != 0 && s.expires_at <= now;
-        if (gone) announced_urls_.erase(s.url);
+        if (gone) {
+          Symbol sym = SymbolTable::global().find(s.url);
+          if (sym != kNoSymbol) announced_urls_.erase(sym);
+        }
         return gone;
       });
 }

@@ -22,10 +22,11 @@
 
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "common/interning.hpp"
 #include "core/unit.hpp"
 #include "core/units/standard_fsm.hpp"
 #include "mdns/dns.hpp"
@@ -92,16 +93,19 @@ class MdnsUnit : public Unit {
   std::size_t expire_bridged_state(transport::TimePoint now) override;
 
  private:
-  void withdraw_foreign_service(Session& session,
-                                const MdnsForeignService& hint);
+  void withdraw_foreign_service(Session& session, std::string_view url,
+                                std::string_view usn);
 
   Config config_;
   std::shared_ptr<transport::UdpSocket> reply_socket_;
   std::map<std::uint64_t, std::shared_ptr<transport::UdpSocket>>
       client_sockets_;
   std::vector<MdnsForeignService> foreign_services_;
-  std::set<std::string> announced_urls_;
+  /// Announced-URL membership keyed on interned symbols: an alive refresh
+  /// touches only a symbol lookup, no per-refresh string construction.
+  std::unordered_set<Symbol> announced_urls_;
   mdns::DnsMessage compose_scratch_;
+  std::string qname_scratch_;
   mdns::DnsEncoder encoder_;
   std::uint64_t announcements_sent_ = 0;
 };

@@ -284,50 +284,74 @@ void SlpUnit::compose_native_reply(Session& session) {
   auto port = static_cast<std::uint16_t>(
       str::parse_long(session.var("src_port", "0"), 0));
   BytesView wire = slp::encode_into(compose_scratch_, writer_);
-  reply_socket_->send_to(net::Endpoint{*addr, port},
-                         Bytes(wire.begin(), wire.end()));
+  net::Endpoint to{*addr, port};
+  cache_reply_frame(session, reply_socket_, to, wire);
+  reply_socket_->send_to(to, Bytes(wire.begin(), wire.end()));
+}
+
+void SlpUnit::announce_directory_agent() {
+  slp::DAAdvert advert;
+  advert.url = "service:directory-agent://" + transport().address().to_string();
+  advert.boot_timestamp = static_cast<std::uint32_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(now()).count());
+  reply_socket_->send_to(
+      net::Endpoint{slp::kSlpMulticastGroup, config_.slp_port},
+      slp::encode(slp::Message(std::move(advert))));
 }
 
 void SlpUnit::on_advertisement(Session& session) {
   // Remember foreign services announced by peers; the context manager and
   // Table-2-style introspection read this, and it feeds dynamic composition.
-  ForeignService service;
-  service.canonical_type = session.var("service_type");
-  std::string desc_url;
+  // Extraction stays view-based (into the session's collected events) so
+  // the steady-state refresh of an already-known service allocates nothing.
+  std::string_view type = session.var("service_type");
+  std::string_view url;
+  std::string_view desc_url;
+  std::string_view usn;
   for (const auto& event : session.collected) {
-    if (event.type == EventType::kResServUrl && service.url.empty()) {
-      service.url = event.get("url");
-    } else if (event.type == EventType::kUpnpDeviceUrlDesc) {
+    if (event.type == EventType::kResServUrl && url.empty()) {
+      url = event.get("url");
+    } else if (event.type == EventType::kUpnpDeviceUrlDesc &&
+               desc_url.empty()) {
       desc_url = event.get("url");
-    } else if (event.type == EventType::kUpnpUsn) {
-      service.usn = event.get("usn");
-    } else if (event.type == EventType::kServiceAttr) {
-      service.attributes.emplace_back(event.get("key"), event.get("value"));
+    } else if (event.type == EventType::kUpnpUsn && usn.empty()) {
+      usn = event.get("usn");
     }
   }
   // UPnP NOTIFYs only carry the description LOCATION; it still identifies
   // the service well enough to remember.
-  if (service.url.empty()) service.url = desc_url;
+  if (url.empty()) url = desc_url;
 
   if (session.var("kind") == "byebye") {
     // Withdrawal: forget the service, matching by URL when the byebye names
     // one (SLP SrvDeReg, mDNS goodbye) or by USN (UPnP byebye).
     std::erase_if(foreign_services_, [&](const ForeignService& s) {
-      return (!service.url.empty() && s.url == service.url) ||
-             (!service.usn.empty() && s.usn == service.usn);
+      return (!url.empty() && s.url == url) || (!usn.empty() && s.usn == usn);
     });
     return;
   }
 
-  if (service.url.empty()) return;
-  if (!meaningful_advert_type(service.canonical_type)) return;
-  service.expires_at = bridged_state_deadline(session);
+  if (url.empty()) return;
+  if (!meaningful_advert_type(type)) return;
   for (auto& existing : foreign_services_) {
-    if (existing.url == service.url) {
-      existing = service;
+    if (existing.url == url) {
+      // Refresh: re-arm the TTL deadline only. In steady state the repeat
+      // is byte-identical to the advertisement that built the entry, so
+      // rewriting identity or attributes would only allocate.
+      existing.expires_at = bridged_state_deadline(session);
       return;
     }
   }
+  ForeignService service;
+  service.canonical_type = std::string(type);
+  service.url = std::string(url);
+  service.usn = std::string(usn);
+  for (const auto& event : session.collected) {
+    if (event.type == EventType::kServiceAttr) {
+      service.attributes.emplace_back(event.get("key"), event.get("value"));
+    }
+  }
+  service.expires_at = bridged_state_deadline(session);
   foreign_services_.push_back(std::move(service));
 }
 

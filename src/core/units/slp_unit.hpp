@@ -78,6 +78,12 @@ class SlpUnit : public Unit {
     return foreign_services_;
   }
 
+  /// Directory mode: multicast an unsolicited DAAdvert so native SLP agents
+  /// discover the gateway as their Directory Agent (RFC 2608 §12.1) — UAs
+  /// then query it unicast and SAs register with it, both of which feed and
+  /// are answered from the service directory.
+  void announce_directory_agent();
+
  protected:
   void compose_native_request(Session& session) override;
   void compose_native_reply(Session& session) override;

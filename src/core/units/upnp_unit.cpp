@@ -462,6 +462,12 @@ void UpnpUnit::compose_native_reply(Session& session) {
     }
   }
   response.serialize_into(ssdp_scratch_);
+  // Directory-answered sessions remember the composed bytes so a repeated
+  // search replays them without re-compose (docs/directory.md).
+  cache_reply_frame(
+      session, reply_socket_, to,
+      BytesView(reinterpret_cast<const std::uint8_t*>(ssdp_scratch_.data()),
+                ssdp_scratch_.size()));
   transport().schedule(pacing, [socket = reply_socket_, to,
                                 payload = to_bytes(ssdp_scratch_)]() {
     if (!socket->closed()) socket->send_to(to, payload);
@@ -472,26 +478,35 @@ UpnpUnit::ServedDescription& UpnpUnit::serve_description(
     const Session& session) {
   ensure_http_server();
 
-  std::string type(session.var("service_type", "service"));
-  std::string url;
-  std::string friendly_name;
+  // View-based extraction: an alive refresh (the steady-state case) resolves
+  // the (type, url) identity through interned symbols and re-arms the TTL
+  // clock without building a single string.
+  std::string_view type_view = session.var("service_type", "service");
+  std::string_view url_view;
+  std::string_view friendly_name;
   for (const auto& event : session.collected) {
-    if (event.type == EventType::kResServUrl && url.empty()) {
-      url = event.get("url");
+    if (event.type == EventType::kResServUrl && url_view.empty()) {
+      url_view = event.get("url");
     }
     if (event.type == EventType::kServiceAttr &&
         event.get("key") == "friendlyName") {
       friendly_name = event.get("value");
     }
   }
-  std::string usn_key = type + "|" + url;
-  auto it = served_descriptions_.find(usn_key);
-  if (it != served_descriptions_.end()) {
-    // A refresh re-arms the TTL clock, like a native device re-announcing.
-    it->second.expires_at = bridged_state_deadline(session);
-    return it->second;
+  auto& table = SymbolTable::global();
+  Symbol type_sym = table.find(type_view);
+  Symbol url_sym = table.find(url_view);
+  if (type_sym != kNoSymbol && url_sym != kNoSymbol) {
+    auto it = served_descriptions_.find(served_key(type_sym, url_sym));
+    if (it != served_descriptions_.end()) {
+      // A refresh re-arms the TTL clock, like a native device re-announcing.
+      it->second.expires_at = bridged_state_deadline(session);
+      return it->second;
+    }
   }
 
+  std::string type(type_view);
+  std::string url(url_view);
   ServedDescription served;
   std::uint64_t index = next_device_index_++;
   served.path = "/indiss/" + std::to_string(index) + "/description.xml";
@@ -499,7 +514,8 @@ UpnpUnit::ServedDescription& UpnpUnit::serve_description(
   upnp::DeviceDescription description;
   description.device_type = upnp_device_from_canonical(type);
   description.friendly_name =
-      friendly_name.empty() ? "INDISS bridged " + type : friendly_name;
+      friendly_name.empty() ? "INDISS bridged " + type
+                            : std::string(friendly_name);
   description.manufacturer = "INDISS";
   description.model_name = type;
   description.model_description = "Foreign " + type + " service bridged by "
@@ -525,7 +541,8 @@ UpnpUnit::ServedDescription& UpnpUnit::serve_description(
     return response;
   });
 
-  auto [inserted, ok] = served_descriptions_.emplace(usn_key, std::move(served));
+  auto [inserted, ok] = served_descriptions_.emplace(
+      served_key(table.intern(type), table.intern(url)), std::move(served));
   return inserted->second;
 }
 
@@ -567,17 +584,20 @@ void UpnpUnit::on_advertisement(Session& session) {
 // ssdp:byebye for the served device and stop serving it. (The HTTP route
 // stays registered — harmless, nothing advertises its LOCATION any more.)
 void UpnpUnit::withdraw_foreign_service(Session& session) {
-  std::string url;
+  std::string_view url;
   for (const auto& event : session.collected) {
     if (event.type == EventType::kResServUrl && url.empty()) {
       url = event.get("url");
     }
   }
   if (url.empty()) return;
-  std::string usn_key(session.var("service_type", "service"));
-  usn_key += "|";
-  usn_key += url;
-  auto it = served_descriptions_.find(usn_key);
+  // Lookup-only symbol resolution: a never-interned (type, url) pair was
+  // never served, so there is nothing to retract.
+  auto& table = SymbolTable::global();
+  Symbol type_sym = table.find(session.var("service_type", "service"));
+  Symbol url_sym = table.find(url);
+  if (type_sym == kNoSymbol || url_sym == kNoSymbol) return;
+  auto it = served_descriptions_.find(served_key(type_sym, url_sym));
   if (it == served_descriptions_.end()) return;
 
   upnp::Notify notify;

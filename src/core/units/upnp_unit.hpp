@@ -10,8 +10,10 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/interning.hpp"
 #include "core/unit.hpp"
 #include "core/units/standard_fsm.hpp"
 #include "http/parser.hpp"
@@ -135,12 +137,19 @@ class UpnpUnit : public Unit {
   static Action finalize_reply();
   void do_finalize_reply(Session& session);
 
+  /// Identity of a served description: interned (type, url) symbols packed
+  /// into one integer key — the refresh lookup for an alive burst touches no
+  /// string construction at all.
+  [[nodiscard]] static std::uint64_t served_key(Symbol type, Symbol url) {
+    return (static_cast<std::uint64_t>(type) << 32) | url;
+  }
+
   Config config_;
   std::shared_ptr<transport::UdpSocket> reply_socket_;
   std::map<std::uint64_t, std::shared_ptr<transport::UdpSocket>>
       client_sockets_;
   std::unique_ptr<upnp::HttpServer> http_server_;
-  std::map<std::string, ServedDescription> served_descriptions_;  // by USN key
+  std::unordered_map<std::uint64_t, ServedDescription> served_descriptions_;
   std::uint64_t next_device_index_ = 1;
   // Compose-side scratch: SSDP messages serialize into this reused buffer
   // (docs/events.md scratch recipe) before the one unavoidable payload copy.

@@ -193,4 +193,15 @@ core::TranslationCache::SdpStats LiveShardPool::translation_stats(
   return merged;
 }
 
+core::ServiceDirectory::SdpStats LiveShardPool::directory_stats(
+    core::SdpId sdp) const {
+  core::ServiceDirectory::SdpStats merged;
+  for (const auto& shard : shards_) {
+    if (const core::ServiceDirectory* dir = shard->indiss->directory()) {
+      merged += dir->stats(sdp);
+    }
+  }
+  return merged;
+}
+
 }  // namespace indiss::live

@@ -106,6 +106,10 @@ class LiveShardPool {
   [[nodiscard]] core::Unit::Stats unit_stats(core::SdpId sdp) const;
   [[nodiscard]] core::TranslationCache::SdpStats translation_stats(
       core::SdpId sdp) const;
+  /// Per-shard directory counters summed (zeroed when directory mode is
+  /// off) — the gateway-wide answered-vs-bridged picture (docs/directory.md).
+  [[nodiscard]] core::ServiceDirectory::SdpStats directory_stats(
+      core::SdpId sdp) const;
   /// Datagrams routed (each broadcast counts once). Dispatcher thread.
   [[nodiscard]] std::uint64_t datagrams_dispatched() const {
     return dispatched_;

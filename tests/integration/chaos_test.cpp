@@ -145,8 +145,8 @@ ChaosOutcome run_chaos_scenario(std::uint64_t seed) {
   scheduler.run_for(sim::seconds(20));
 
   // Long quiet stretch: the crashed device's bridged state (record TTL 120s)
-  // ages past its deadline. Expiry is sweep-on-touch, so the rejoin
-  // announcement below is also what triggers the sweeps.
+  // ages past its deadline. The gateway's low-frequency expiry timer drives
+  // the sweeps on its own — no inbound traffic is needed to trigger them.
   scheduler.run_for(sim::seconds(200));
 
   // Churn: the device rejoins from a new endpoint (new host, new URL).
@@ -248,6 +248,74 @@ TEST(ChaosChurn, HostileRunsAreBitIdenticalUnderTheSameSeed) {
   ChaosOutcome c = run_chaos_scenario(/*seed=*/24);
   EXPECT_NE(a.fingerprint, c.fingerprint)
       << "a different seed must actually vary the hostile run";
+}
+
+// Directory TTL ageout under a hostile link: a service indexed from a lossy
+// mDNS announcement must age out of the directory once the device crashes
+// without a goodbye — retired by the low-frequency expiry timer alone, with
+// no inbound traffic to piggyback a sweep on — and a browse after the
+// ageout must fall back to bridging instead of answering the stale record.
+TEST(ChaosDirectory, DirectoryRecordAgesOutAfterSilentCrash) {
+  sim::Scheduler scheduler;
+  net::LinkProfile profile;
+  profile.faults.ge_p_good_to_bad = 0.05;
+  profile.faults.ge_p_bad_to_good = 0.45;
+  profile.faults.ge_loss_bad = 1.0;
+  net::Network network{scheduler, profile, /*seed=*/31};
+  net::Host& client = network.add_host("client", net::IpAddress(10, 0, 0, 1));
+  net::Host& gateway_host =
+      network.add_host("gateway", net::IpAddress(10, 0, 0, 3));
+  net::Host& mdns_host =
+      network.add_host("mdns-dev", net::IpAddress(10, 0, 0, 4));
+
+  IndissConfig config;
+  config.enabled_sdps = {SdpId::kSlp, SdpId::kMdns};
+  config.enable_directory = true;
+  config.unit_options.expire_bridged_state = true;
+  Indiss gateway(gateway_host, config);
+  gateway.start();
+  scheduler.run_for(sim::millis(100));
+
+  mdns::MdnsResponder device(mdns_host);
+  {
+    mdns::ServiceInstance instance;
+    instance.instance = "clock1";
+    instance.service_type = "_clock._tcp";
+    instance.port = 4006;
+    instance.txt = {{"url", "soap://10.0.0.4:4006/mdns-clock"}};
+    device.publish(std::move(instance));
+  }
+  scheduler.run_for(sim::seconds(3));
+  ASSERT_NE(gateway.directory()->find("soap://10.0.0.4:4006/mdns-clock"),
+            nullptr)
+      << "the announcement must survive the lossy link and index the service";
+
+  network.set_host_down(mdns_host, true);  // crash: no byebye, no refresh
+  // Quiet stretch past the record TTL (120s): only the expiry timer can
+  // retire the record now.
+  scheduler.run_for(sim::seconds(200));
+
+  EXPECT_EQ(gateway.directory()->find("soap://10.0.0.4:4006/mdns-clock"),
+            nullptr)
+      << "the crashed device's record must age out of the index";
+  EXPECT_GT(gateway.directory()->records_expired(), 0u);
+
+  // A browse after the ageout: the gateway must bridge it to the (dead)
+  // origin network, never answer from the retired record.
+  std::vector<std::string> discovered;
+  slp::UserAgent ua(client);
+  ua.find_services("service:clock", "", nullptr,
+                   [&](const std::vector<slp::SearchResult>& results) {
+                     for (const auto& result : results) {
+                       discovered.push_back(result.entry.url);
+                     }
+                   });
+  scheduler.run_for(sim::seconds(3));
+  EXPECT_TRUE(discovered.empty())
+      << "stale answer for the crashed device: " << discovered.front();
+  EXPECT_EQ(gateway.directory()->stats(SdpId::kSlp).answered, 0u);
+  EXPECT_GT(gateway.directory()->stats(SdpId::kSlp).bridged, 0u)
+      << "the unanswerable browse must have been counted as bridged";
 }
 
 // Bounded session lifetimes: a source that opens parse sessions faster than

@@ -22,8 +22,11 @@
 //    the context manager's active probe (Fig 6) bridges the gap.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "core/indiss.hpp"
@@ -37,6 +40,7 @@
 #include "net/network.hpp"
 #include "sim/scheduler.hpp"
 #include "slp/agents.hpp"
+#include "slp/wire.hpp"
 #include "upnp/control_point.hpp"
 #include "upnp/device.hpp"
 
@@ -62,13 +66,18 @@ struct Pair {
   /// virtual-shard mode (docs/sharding.md) — the matrix must pass unchanged
   /// when the pipeline is sharded.
   std::size_t shards = 1;
+  /// Directory mode (docs/directory.md): queries the service index can
+  /// answer never reach the origin network — discovery and withdrawal
+  /// behavior must be indistinguishable from the bridged path.
+  bool directory = false;
 };
 
-std::vector<Pair> all_directed_pairs(std::size_t shards) {
+std::vector<Pair> all_directed_pairs(std::size_t shards,
+                                     bool directory = false) {
   std::vector<Pair> pairs;
   for (Proto a : {Proto::kSlp, Proto::kUpnp, Proto::kJini, Proto::kMdns}) {
     for (Proto b : {Proto::kSlp, Proto::kUpnp, Proto::kJini, Proto::kMdns}) {
-      if (a != b) pairs.push_back(Pair{a, b, shards});
+      if (a != b) pairs.push_back(Pair{a, b, shards, directory});
     }
   }
   return pairs;
@@ -310,6 +319,7 @@ TEST_P(InteropMatrix, RequestOnADiscoversServiceAnnouncedOnB) {
   config.enabled_sdps.insert(SdpId::kUpnp);
   if (jini_involved) config.enabled_sdps.insert(SdpId::kJini);
   config.enabled_sdps.insert(SdpId::kMdns);
+  config.enable_directory = pair.directory;
   GatewayHarness gateway(gateway_host, config, pair.shards);
   gateway.start();
   // Let the gateway settle (and, with Jini, hear a registrar announcement).
@@ -361,6 +371,7 @@ TEST_P(InteropMatrix, WithdrawalOnBPropagatesToRequesterOnA) {
   config.enabled_sdps.insert(SdpId::kUpnp);
   if (jini_involved) config.enabled_sdps.insert(SdpId::kJini);
   config.enabled_sdps.insert(SdpId::kMdns);
+  config.enable_directory = pair.directory;
   GatewayHarness gateway(gateway_host, config, pair.shards);
   gateway.start();
   scheduler.run_for(sim::millis(500));
@@ -430,6 +441,101 @@ TEST_F(InteropMatrix, UpnpByebyeEmergesAsMdnsGoodbye) {
   EXPECT_TRUE(indiss.unit_as<MdnsUnit>(SdpId::kMdns)->foreign_services().empty());
 }
 
+/// One full run of the mDNS-announcer / raw-SLP-requester scenario: the
+/// same three byte-identical SrvRqst frames, with the origin (mDNS) network
+/// observed for forwarded queries once the announcement has settled.
+struct ByteCompatRun {
+  Bytes first_reply;
+  std::size_t replies = 0;
+  std::size_t origin_queries = 0;
+  std::size_t answered = 0;
+};
+
+ByteCompatRun run_mdns_announcer_slp_requester(bool directory) {
+  ByteCompatRun run;
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, 41};
+  net::Host& client_host =
+      network.add_host("client", net::IpAddress(10, 0, 0, 1));
+  net::Host& service_host =
+      network.add_host("service", net::IpAddress(10, 0, 0, 2));
+  net::Host& gateway_host =
+      network.add_host("gateway", net::IpAddress(10, 0, 0, 3));
+  net::Host& observer_host =
+      network.add_host("observer", net::IpAddress(10, 0, 0, 8));
+
+  IndissConfig config;
+  config.enabled_sdps = {SdpId::kSlp, SdpId::kMdns};
+  config.enable_directory = directory;
+  Indiss indiss(gateway_host, config);
+  indiss.start();
+  scheduler.run_for(sim::millis(10));
+
+  mdns::MdnsResponder responder(service_host);
+  mdns::ServiceInstance instance;
+  instance.instance = "clock1";
+  instance.service_type = "_clock._tcp";
+  instance.port = 4006;
+  instance.txt = {{"url", "soap://10.0.0.2:4006/mdns-clock"},
+                  {"friendlyName", "Bonjour Clock"}};
+  responder.publish(std::move(instance));
+  scheduler.run_for(sim::seconds(3));
+
+  // Installed only after the announcement burst: every further question on
+  // the origin group is a browse the gateway forwarded instead of answering.
+  auto observer = observer_host.udp_socket(5353);
+  observer->join_group(net::IpAddress(224, 0, 0, 251));
+  observer->set_receive_handler([&](const net::Datagram& d) {
+    auto message = mdns::decode(d.payload);
+    if (message.has_value() && !message->is_response()) ++run.origin_queries;
+  });
+
+  slp::SrvRqst request;
+  request.header.xid = 321;
+  request.service_type = "service:clock";
+  const Bytes query = slp::encode(slp::Message(request));
+
+  auto requester = client_host.udp_socket(7700);
+  requester->set_receive_handler([&](const net::Datagram& d) {
+    auto message = slp::decode(d.payload);
+    if (!message.has_value() || !std::holds_alternative<slp::SrvRply>(*message))
+      return;
+    if (run.replies++ == 0) run.first_reply = d.payload;
+  });
+  for (int i = 0; i < 3; ++i) {
+    requester->send_to(net::Endpoint{slp::kSlpMulticastGroup, slp::kSlpPort},
+                       query);
+    scheduler.run_for(sim::seconds(1));
+  }
+
+  run.answered = indiss.directory() != nullptr
+                     ? indiss.directory()->stats(SdpId::kSlp).answered
+                     : 0;
+  return run;
+}
+
+// The directory-answered variant of the matrix's byte-level contract: the
+// SrvRply the index produces must be byte-identical to the one the bridged
+// path produces for the same query, and in directory mode the browses must
+// generate zero origin-side frames.
+TEST(InteropDirectoryByteCompat, DirectoryAnswerMatchesBridgedReplyBytes) {
+  ByteCompatRun bridged = run_mdns_announcer_slp_requester(false);
+  ByteCompatRun answered = run_mdns_announcer_slp_requester(true);
+
+  ASSERT_GT(bridged.replies, 0u) << "bridged path must produce a reply";
+  ASSERT_GT(answered.replies, 0u) << "directory path must produce a reply";
+  EXPECT_EQ(answered.first_reply, bridged.first_reply)
+      << "a directory answer must be byte-compatible with the bridged reply";
+
+  EXPECT_EQ(bridged.answered, 0u);
+  EXPECT_GT(bridged.origin_queries, 0u)
+      << "bridged browses must reach the origin (proves the observer works)";
+  EXPECT_GE(answered.answered, answered.replies)
+      << "directory mode must answer from the index";
+  EXPECT_EQ(answered.origin_queries, 0u)
+      << "directory-answered browses must never reach the origin network";
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllOrderedPairs, InteropMatrix, ::testing::ValuesIn(all_directed_pairs(1)),
     [](const ::testing::TestParamInfo<Pair>& info) {
@@ -447,6 +553,18 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<Pair>& info) {
       return std::string(proto_name(info.param.requester)) + "Finds" +
              proto_name(info.param.announcer) + "Sharded";
+    });
+
+// The same 12 directed pairs with --directory on: queries the index can
+// answer never cross to the origin network, yet discovery results and
+// withdrawal propagation (tombstones, not just impersonation retraction)
+// must be indistinguishable from the bridged path.
+INSTANTIATE_TEST_SUITE_P(
+    AllOrderedPairsDirectory, InteropMatrix,
+    ::testing::ValuesIn(all_directed_pairs(1, /*directory=*/true)),
+    [](const ::testing::TestParamInfo<Pair>& info) {
+      return std::string(proto_name(info.param.requester)) + "Finds" +
+             proto_name(info.param.announcer) + "Directory";
     });
 
 }  // namespace

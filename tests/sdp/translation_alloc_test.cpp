@@ -5,10 +5,16 @@
 // has reached its high-water capacity.
 #include <gtest/gtest.h>
 
+#include "core/directory/service_directory.hpp"
 #include "core/units/jini_unit.hpp"
+#include "core/units/mdns_unit.hpp"
 #include "core/units/slp_unit.hpp"
 #include "core/units/upnp_unit.hpp"
 #include "jini/discovery.hpp"
+#include "jini/lookup.hpp"
+#include "net/host.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
 #include "slp/wire.hpp"
 #include "upnp/ssdp.hpp"
 
@@ -203,6 +209,165 @@ TEST(JiniAllocs, AnnouncementParseComposeRoundTripIsZeroAllocSteadyState) {
       << "warm Jini parse -> events -> compose must not allocate";
   EXPECT_EQ(composed.registrar_id, announcement.registrar_id);
   EXPECT_EQ(composed.registrar_host, announcement.registrar_host);
+}
+
+// --- Service directory (PR 9) ----------------------------------------------
+
+TEST(DirectoryAllocs, RefreshTouchAndCollectAreZeroAllocSteadyState) {
+  ServiceDirectory dir;
+  EventStream advert;
+  advert.push_back(Event(EventType::kControlStart));
+  advert.push_back(Event(EventType::kServiceAlive));
+  advert.push_back(Event(EventType::kServiceTypeIs, {{"type", "clock"}}));
+  advert.push_back(Event(EventType::kResTtl, {{"seconds", "600"}}));
+  advert.push_back(Event(EventType::kServiceAttr,
+                         {{"key", "friendlyName"}, {"value", "Alloc Clock"}}));
+  advert.push_back(Event(
+      EventType::kResServUrl,
+      {{"url", "service:clock:soap://10.0.0.2:4005/alloc-clock"}}));
+  advert.push_back(Event(EventType::kControlStop));
+  Bytes wire = to_bytes("SRVREG alloc-clock (byte-identical repeat)");
+
+  auto at = [](int s) { return transport::TimePoint(transport::seconds(s)); };
+  ASSERT_TRUE(dir.record_advertisement(SdpId::kSlp, advert, wire, at(0)));
+  std::vector<const ServiceDirectory::Record*> matches;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(dir.record_advertisement(SdpId::kSlp, advert, wire, at(i)));
+    ASSERT_TRUE(dir.touch(SdpId::kSlp, wire, at(i)));
+    ASSERT_EQ(dir.collect("clock", at(i), matches), 1u);
+    ASSERT_TRUE(dir.has_fresh("clock", at(i)));
+  }
+  std::uint64_t before = indiss::testing::g_heap_allocs;
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_TRUE(dir.record_advertisement(SdpId::kSlp, advert, wire, at(i)));
+    ASSERT_TRUE(dir.touch(SdpId::kSlp, wire, at(i)));
+    ASSERT_EQ(dir.collect("clock", at(i), matches), 1u);
+    ASSERT_TRUE(dir.has_fresh("clock", at(i)));
+  }
+  EXPECT_EQ(indiss::testing::g_heap_allocs - before, 0u)
+      << "warm directory refresh/touch/collect must not allocate";
+  EXPECT_EQ(dir.size(), 1u);
+  EXPECT_EQ(dir.stats(SdpId::kSlp).records_stored, 1u);
+}
+
+// --- Unit bridged-state refresh paths (PR 9 symbol re-keying) ---------------
+//
+// The units' foreign-state containers key on interned Symbols so the
+// alive-refresh path — the steady-state case for a chatty announcer — only
+// re-arms TTL clocks. A hand-built peer session drives the protected
+// on_advertisement hook directly, the way deliver_advertisement does.
+
+Session foreign_alive_session(std::string_view type, std::string_view url,
+                              std::string_view usn = "") {
+  Session session;
+  session.id = 1;
+  session.origin = Session::Origin::kPeer;
+  session.set_var("kind", "alive");
+  session.set_var("service_type", type);
+  session.collected.push_back(Event(EventType::kControlStart));
+  session.collected.push_back(Event(EventType::kServiceAlive));
+  session.collected.push_back(
+      Event(EventType::kServiceTypeIs, {{"type", type}}));
+  session.collected.push_back(Event(EventType::kResTtl, {{"seconds", "60"}}));
+  if (!usn.empty()) {
+    session.collected.push_back(Event(EventType::kUpnpUsn, {{"usn", usn}}));
+  }
+  session.collected.push_back(Event(
+      EventType::kServiceAttr,
+      {{"key", "friendlyName"}, {"value", "Alloc Clock"}}));
+  session.collected.push_back(Event(EventType::kResServUrl, {{"url", url}}));
+  session.collected.push_back(Event(EventType::kControlStop));
+  return session;
+}
+
+struct TestMdnsUnit : MdnsUnit {
+  using MdnsUnit::MdnsUnit;
+  using MdnsUnit::on_advertisement;
+};
+
+TEST(MdnsAllocs, ForeignAliveRefreshIsZeroAllocSteadyState) {
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, 7};
+  net::Host& host = network.add_host("gw", net::IpAddress(10, 0, 0, 3));
+  TestMdnsUnit unit(host);
+  Session session = foreign_alive_session(
+      "clock", "service:clock:soap://10.0.0.2:4005/alloc-clock");
+
+  unit.on_advertisement(session);  // first announcement builds the mirror
+  scheduler.run_for(sim::millis(10));
+  ASSERT_EQ(unit.foreign_services().size(), 1u);
+  for (int i = 0; i < 16; ++i) unit.on_advertisement(session);
+
+  std::uint64_t before = indiss::testing::g_heap_allocs;
+  for (int i = 0; i < 256; ++i) unit.on_advertisement(session);
+  EXPECT_EQ(indiss::testing::g_heap_allocs - before, 0u)
+      << "warm mDNS alive refresh must not allocate";
+  EXPECT_EQ(unit.foreign_services().size(), 1u);
+}
+
+struct TestUpnpUnit : UpnpUnit {
+  using UpnpUnit::UpnpUnit;
+  using UpnpUnit::on_advertisement;
+};
+
+TEST(UpnpAllocs, ForeignAliveRefreshIsZeroAllocSteadyState) {
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, 7};
+  net::Host& host = network.add_host("gw", net::IpAddress(10, 0, 0, 3));
+  TestUpnpUnit unit(host);  // active_advertising off: refresh is bookkeeping
+  Session session = foreign_alive_session(
+      "clock", "service:clock:soap://10.0.0.2:4005/alloc-clock");
+
+  unit.on_advertisement(session);  // first advert builds the impersonation
+  scheduler.run_for(sim::millis(10));
+  for (int i = 0; i < 16; ++i) unit.on_advertisement(session);
+
+  std::uint64_t before = indiss::testing::g_heap_allocs;
+  for (int i = 0; i < 256; ++i) unit.on_advertisement(session);
+  EXPECT_EQ(indiss::testing::g_heap_allocs - before, 0u)
+      << "warm UPnP alive refresh must not allocate";
+}
+
+struct TestJiniUnit : JiniUnit {
+  using JiniUnit::JiniUnit;
+  using JiniUnit::on_advertisement;
+};
+
+TEST(JiniAllocs, ForeignAliveRefreshIsZeroAllocSteadyState) {
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, 7};
+  net::Host& gateway = network.add_host("gw", net::IpAddress(10, 0, 0, 3));
+  net::Host& registrar = network.add_host("reg", net::IpAddress(10, 0, 0, 9));
+  jini::LookupService lookup(registrar);
+  TestJiniUnit unit(gateway);
+
+  // The unit learns the registrar the way the monitor delivers it: a
+  // multicast announcement through on_native_message.
+  jini::MulticastAnnouncement announcement;
+  announcement.registrar_host = "10.0.0.9";
+  announcement.registrar_port = jini::kJiniPort;
+  announcement.registrar_id = lookup.registrar_id();
+  net::Datagram datagram;
+  datagram.source = net::Endpoint{net::IpAddress(10, 0, 0, 9), jini::kJiniPort};
+  datagram.destination = net::Endpoint{net::IpAddress(224, 0, 1, 84), 4160};
+  datagram.multicast = true;
+  datagram.payload = announcement.encode();
+  unit.on_native_message(datagram);
+  scheduler.run_for(sim::millis(100));
+
+  Session session = foreign_alive_session(
+      "clock", "service:clock:soap://10.0.0.2:4005/alloc-clock");
+  unit.on_advertisement(session);  // first advert registers with the lookup
+  scheduler.run_for(sim::millis(100));
+  ASSERT_EQ(unit.foreign_registrations(), 1u);
+  for (int i = 0; i < 16; ++i) unit.on_advertisement(session);
+
+  std::uint64_t before = indiss::testing::g_heap_allocs;
+  for (int i = 0; i < 256; ++i) unit.on_advertisement(session);
+  EXPECT_EQ(indiss::testing::g_heap_allocs - before, 0u)
+      << "warm Jini alive refresh must not allocate";
+  EXPECT_EQ(unit.foreign_registrations(), 1u)
+      << "refreshes must not re-register at the registrar";
 }
 
 }  // namespace
