@@ -22,6 +22,7 @@
 #include "jini/discovery.hpp"
 #include "jini/lookup.hpp"
 #include "mdns/dns.hpp"
+#include "mdns/dnssd.hpp"
 #include "net/host.hpp"
 #include "net/udp.hpp"
 #include "net/network.hpp"
@@ -424,6 +425,88 @@ void BM_BrowseStormBridged(benchmark::State& state) {
   run_browse_storm(state, false);
 }
 BENCHMARK(BM_BrowseStormBridged)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+// Contested airwaves (docs/chaos.md): N probing responders all claim the
+// SAME instance name with different rdata, so every §8.2 tiebreak is a real
+// fight and the losers cycle through rename-and-retry until everyone holds a
+// distinct established name. events_per_sec rates the probe engine's
+// throughput (probes + conflicts processed); renames_per_run and
+// established_ratio record how expensive and how complete convergence was
+// inside the 60-simulated-second budget.
+struct ProbeContestTotals {
+  std::uint64_t probes = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t renames = 0;
+  std::uint64_t established = 0;
+};
+
+ProbeContestTotals run_probe_contest(int responders) {
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, 17};
+  std::vector<std::unique_ptr<mdns::MdnsResponder>> fleet;
+  for (int i = 0; i < responders; ++i) {
+    net::Host& host = network.add_host(
+        "r" + std::to_string(i),
+        net::IpAddress(10, 0, 3, static_cast<std::uint8_t>(i + 1)));
+    mdns::MdnsConfig config;
+    config.probe = true;
+    config.seed = static_cast<std::uint64_t>(i + 1);
+    auto responder = std::make_unique<mdns::MdnsResponder>(host, config);
+    mdns::ServiceInstance instance;
+    instance.instance = "clock1";
+    instance.service_type = "_clock._tcp";
+    instance.port = static_cast<std::uint16_t>(4000 + i);
+    instance.txt = {{"url", "soap://10.0.3." + std::to_string(i + 1) +
+                                ":4006/r" + std::to_string(i)}};
+    responder->publish(std::move(instance));
+    fleet.push_back(std::move(responder));
+  }
+  scheduler.run_for(sim::seconds(60));
+  ProbeContestTotals totals;
+  for (const auto& responder : fleet) {
+    mdns::ProbeStats stats = responder->probe_stats();
+    totals.probes += stats.probes_sent;
+    totals.conflicts += stats.conflicts;
+    totals.renames += stats.renames;
+    totals.established += stats.names_established;
+  }
+  return totals;
+}
+
+void BM_ProbeConflictStorm(benchmark::State& state) {
+  const int responders = static_cast<int>(state.range(0));
+  // Warm-up, like every other bench here: the first scenario after a
+  // heap-heavy sibling (BM_BrowseStormBridged frees ~10^8 blocks on
+  // teardown) absorbs glibc's free-list consolidation, which would
+  // otherwise be billed to this benchmark's only measured iteration.
+  run_probe_contest(responders);
+
+  std::uint64_t probes = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t renames = 0;
+  std::uint64_t established = 0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    ProbeContestTotals totals = run_probe_contest(responders);
+    probes += totals.probes;
+    conflicts += totals.conflicts;
+    renames += totals.renames;
+    established += totals.established;
+    ++runs;
+  }
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(probes + conflicts), benchmark::Counter::kIsRate);
+  state.counters["renames_per_run"] = benchmark::Counter(
+      static_cast<double>(renames) / static_cast<double>(runs));
+  state.counters["established_ratio"] = benchmark::Counter(
+      static_cast<double>(established) /
+      static_cast<double>(runs * static_cast<std::uint64_t>(responders)));
+  state.SetItemsProcessed(static_cast<std::int64_t>(probes));
+}
+BENCHMARK(BM_ProbeConflictStorm)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -82,7 +82,9 @@ int usage(const char* argv0) {
                "          [--rate-limit N]   per-source datagrams/sec "
                "(0 = off, docs/chaos.md)\n"
                "          [--directory]      answer repeat queries from the "
-               "service index (docs/directory.md)\n",
+               "service index (docs/directory.md)\n"
+               "          [--probe]          RFC 6762 probe/tiebreak bridged "
+               "mDNS names before announcing (docs/chaos.md)\n",
                argv0);
   return 2;
 }
@@ -93,7 +95,7 @@ int usage(const char* argv0) {
 int run_sharded(const indiss::live::LiveConfig& live_config,
                 const std::set<SdpId>& sdps,
                 indiss::transport::Duration duration, std::size_t shards,
-                double rate_limit, bool directory) {
+                double rate_limit, bool directory, bool probe) {
   using namespace indiss;
 
   live::EventLoop loop;
@@ -103,6 +105,7 @@ int run_sharded(const indiss::live::LiveConfig& live_config,
   pool_config.indiss.enabled_sdps = sdps;
   pool_config.indiss.monitor.rate_limit_per_sec = rate_limit;
   pool_config.indiss.enable_directory = directory;
+  pool_config.indiss.mdns.probe = probe;
   live::LiveShardPool pool(loop, pool_config);
   pool.start();
 
@@ -204,6 +207,19 @@ int run_sharded(const indiss::live::LiveConfig& live_config,
     }
     std::printf("mdns announcements_sent=%llu cached_services=%zu\n",
                 announcements, cached);
+    if (probe) {
+      const auto p = pool.probe_stats();
+      std::printf(
+          "mdns probes=%llu conflicts=%llu renames=%llu tiebreaks_lost=%llu "
+          "defenses=%llu backoffs=%llu established=%llu\n",
+          static_cast<unsigned long long>(p.probes_sent),
+          static_cast<unsigned long long>(p.conflicts),
+          static_cast<unsigned long long>(p.renames),
+          static_cast<unsigned long long>(p.tiebreaks_lost),
+          static_cast<unsigned long long>(p.defenses_sent),
+          static_cast<unsigned long long>(p.backoffs_engaged),
+          static_cast<unsigned long long>(p.names_established));
+    }
   }
   std::uint64_t wire_bytes = pool.front_transport().stats().wire_bytes();
   std::uint64_t wire_packets = pool.front_transport().stats().wire_packets();
@@ -232,6 +248,7 @@ int main(int argc, char** argv) {
   std::size_t shards = 1;
   double rate_limit = 0.0;
   bool directory = false;
+  bool probe = false;
   std::set<core::SdpId> sdps = {core::SdpId::kSlp, core::SdpId::kUpnp,
                                 core::SdpId::kMdns};
 
@@ -297,6 +314,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--directory") {
       directory = true;
+    } else if (arg == "--probe") {
+      probe = true;
     } else if (arg == "--rate-limit") {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
@@ -322,7 +341,7 @@ int main(int argc, char** argv) {
 
   if (shards > 1) {
     return run_sharded(live_config, sdps, duration, shards, rate_limit,
-                       directory);
+                       directory, probe);
   }
 
   live::EventLoop loop;
@@ -332,6 +351,7 @@ int main(int argc, char** argv) {
   config.enabled_sdps = sdps;
   config.monitor.rate_limit_per_sec = rate_limit;
   config.enable_directory = directory;
+  config.mdns.probe = probe;
   core::Indiss indiss(transport, config);
   indiss.start();
   std::fprintf(stderr, "indissd: %s up on %s (%s), bridging",
@@ -400,6 +420,19 @@ int main(int argc, char** argv) {
     std::printf("mdns announcements_sent=%llu cached_services=%zu\n",
                 static_cast<unsigned long long>(mdns->announcements_sent()),
                 mdns->foreign_services().size());
+    if (probe) {
+      const auto p = indiss.probe_stats();
+      std::printf(
+          "mdns probes=%llu conflicts=%llu renames=%llu tiebreaks_lost=%llu "
+          "defenses=%llu backoffs=%llu established=%llu\n",
+          static_cast<unsigned long long>(p.probes_sent),
+          static_cast<unsigned long long>(p.conflicts),
+          static_cast<unsigned long long>(p.renames),
+          static_cast<unsigned long long>(p.tiebreaks_lost),
+          static_cast<unsigned long long>(p.defenses_sent),
+          static_cast<unsigned long long>(p.backoffs_engaged),
+          static_cast<unsigned long long>(p.names_established));
+    }
   }
   const auto& ts = transport.stats();
   std::printf("traffic wire_bytes=%llu wire_packets=%llu\n",

@@ -12,6 +12,13 @@
 //     Joins the group and waits for one datagram (optionally containing
 //     TEXT as a byte substring). Exit 0 and a `match ...` line on success,
 //     exit 1 on timeout — the assertion half of the smoke test.
+//
+//   sdptool collide [--instance NAME] [--timeout 10s]
+//     The hostile mDNS responder from docs/chaos.md: joins 224.0.0.251:5353
+//     and answers every RFC 6762 §8.1 probe for NAME (every probed name when
+//     omitted) with a defending TXT record carrying adversarial rdata, which
+//     forces the probing gateway to rename and back off. Prints one
+//     `defend ...` line per answer and a final `defended count=N`.
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
@@ -22,6 +29,7 @@
 
 #include "live/event_loop.hpp"
 #include "live/transport.hpp"
+#include "mdns/dns.hpp"
 #include "upnp/ssdp.hpp"
 
 namespace {
@@ -49,8 +57,9 @@ int usage(const char* argv0) {
                "usage: %s ssdp-alive [--nt URN] [--usn USN] [--location URL]\n"
                "                     [--group A.B.C.D] [--port N] [--repeat N]\n"
                "       %s expect [--group A.B.C.D] [--port N] [--timeout 3s]\n"
-               "                 [--contains TEXT]\n",
-               argv0, argv0);
+               "                 [--contains TEXT]\n"
+               "       %s collide [--instance NAME] [--timeout 10s]\n",
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -69,6 +78,7 @@ int main(int argc, char** argv) {
   std::string usn = "uuid:sdptool-0001";
   std::string location = "http://127.0.0.1:49152/description.xml";
   std::string contains;
+  std::string instance;
   int repeat = 1;
   if (command == "ssdp-alive") {
     group = upnp::kSsdpMulticastGroup;
@@ -76,6 +86,10 @@ int main(int argc, char** argv) {
   } else if (command == "expect") {
     group = net::IpAddress(224, 0, 0, 251);
     port = 5353;
+  } else if (command == "collide") {
+    group = mdns::kMdnsGroup;
+    port = mdns::kMdnsPort;
+    timeout = transport::seconds(10);
   } else {
     return usage(argv[0]);
   }
@@ -104,6 +118,8 @@ int main(int argc, char** argv) {
       location = v;
     } else if (arg == "--contains" && (v = next()) != nullptr) {
       contains = v;
+    } else if (arg == "--instance" && (v = next()) != nullptr) {
+      instance = v;
     } else if (arg == "--repeat" && (v = next()) != nullptr) {
       repeat = std::atoi(v);
     } else {
@@ -134,6 +150,48 @@ int main(int argc, char** argv) {
     loop.run_for(transport::millis(20));
     std::printf("sent ssdp-alive nt=%s to %s x%d\n", nt.c_str(),
                 to.to_string().c_str(), repeat);
+    return 0;
+  }
+
+  if (command == "collide") {
+    // The hostile responder: defend probed names with rdata the gateway
+    // cannot have composed itself, so every probe registers as a conflict
+    // (RFC 6762 §8.1 step "if a conflicting response is received, choose
+    // new name"). Distinct rdata matters — identical records would tiebreak
+    // as a benign simultaneous probe and the gateway would keep its name.
+    auto socket = transport.open_udp(port);
+    socket->join_group(group);
+    std::uint64_t defended = 0;
+    mdns::DnsMessage message;
+    mdns::DnsMessage defense;
+    mdns::DnsEncoder encoder;
+    net::Endpoint to{group, port};
+    socket->set_receive_handler([&](const net::Datagram& datagram) {
+      if (!mdns::decode_into(datagram.payload, message)) return;
+      // Probes are queries carrying the proposed records in the authority
+      // section (§8.1); plain browses have no business being answered here.
+      if (message.is_response() || message.authorities.empty()) return;
+      for (const auto& question : message.questions) {
+        if (!instance.empty() && question.name != instance) continue;
+        defense.clear();
+        defense.flags = mdns::kFlagResponse | mdns::kFlagAuthoritative;
+        auto& record = defense.answers.emplace_back();
+        record.name = question.name;
+        record.type = mdns::kTypeTxt;
+        record.cache_flush = true;
+        record.ttl = 120;
+        record.txt.emplace_back("defender", "sdptool");
+        BytesView wire = encoder.encode(defense);
+        socket->send_to(to, Bytes(wire.begin(), wire.end()));
+        ++defended;
+        std::printf("defend name=%s from=%s\n", question.name.c_str(),
+                    datagram.source.to_string().c_str());
+        std::fflush(stdout);
+      }
+    });
+    loop.run_for(timeout);
+    std::printf("defended count=%llu\n",
+                static_cast<unsigned long long>(defended));
     return 0;
   }
 

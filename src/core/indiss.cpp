@@ -58,6 +58,13 @@ std::unique_ptr<Unit> Indiss::make_unit(SdpId sdp) {
 void Indiss::attach_unit(SdpId sdp) {
   auto [it, inserted] = units_.emplace(sdp, make_unit(sdp));
   monitor_->forward_to(sdp, it->second.get());
+  if (sdp == SdpId::kMdns) {
+    // Surface the RFC 6762 probe/conflict counters alongside the cache and
+    // directory stats; the shared_ptr survives unit detach so a final report
+    // can still read the totals.
+    monitor_->set_probe_stats(
+        static_cast<MdnsUnit*>(it->second.get())->probe_stats_ptr());
+  }
 }
 
 void Indiss::start() {

@@ -120,6 +120,11 @@ class Indiss {
   }
   /// The node's service directory, or nullptr when directory mode is off.
   [[nodiscard]] ServiceDirectory* directory() { return directory_.get(); }
+  /// mDNS probe/conflict counters (zeroed until an mDNS unit with probing
+  /// enabled attaches; the monitor keeps the view across unit detach).
+  [[nodiscard]] mdns::ProbeStats probe_stats() const {
+    return monitor_->probe_stats();
+  }
   /// The bus all inter-unit event delivery goes through.
   [[nodiscard]] EventBus& bus() { return bus_; }
   [[nodiscard]] const EventBus& bus() const { return bus_; }

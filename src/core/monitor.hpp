@@ -24,6 +24,7 @@
 #include "core/directory/service_directory.hpp"
 #include "core/translation_cache.hpp"
 #include "core/types.hpp"
+#include "mdns/probe.hpp"
 #include "transport/transport.hpp"
 
 namespace indiss::core {
@@ -125,6 +126,19 @@ class Monitor {
                                          : translation_cache_->stats(sdp);
   }
 
+  // --- Probe/conflict introspection -----------------------------------------
+  //
+  // Same surfacing rule for RFC 6762 §8 probing (docs/chaos.md): the mDNS
+  // unit's conflict/rename/defense counters are read through the monitor.
+
+  void set_probe_stats(std::shared_ptr<const mdns::ProbeStats> stats) {
+    probe_stats_ = std::move(stats);
+  }
+  /// Zeroed stats when probing is off.
+  [[nodiscard]] mdns::ProbeStats probe_stats() const {
+    return probe_stats_ == nullptr ? mdns::ProbeStats{} : *probe_stats_;
+  }
+
   // --- Directory introspection ----------------------------------------------
   //
   // Same surfacing rule for directory mode (docs/directory.md): the
@@ -159,6 +173,7 @@ class Monitor {
   MonitorConfig config_;
   std::shared_ptr<const TranslationCache> translation_cache_;
   std::shared_ptr<const ServiceDirectory> directory_;
+  std::shared_ptr<const mdns::ProbeStats> probe_stats_;
   std::vector<std::pair<SdpId, std::shared_ptr<transport::UdpSocket>>> sockets_;
   std::map<SdpId, Unit*> forwards_;
   std::map<SdpId, transport::TimePoint> detected_;

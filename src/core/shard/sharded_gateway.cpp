@@ -127,6 +127,12 @@ ServiceDirectory::SdpStats ShardedGateway::directory_stats(SdpId sdp) const {
   return merged;
 }
 
+mdns::ProbeStats ShardedGateway::probe_stats() const {
+  mdns::ProbeStats merged;
+  for (const auto& entry : shards_) merged += entry.indiss->probe_stats();
+  return merged;
+}
+
 std::uint64_t ShardedGateway::ring_dropped() const {
   std::uint64_t total = 0;
   for (const auto& entry : shards_) total += entry.ring->dropped();

@@ -98,6 +98,9 @@ class ShardedGateway {
   /// off). Adverts land in their hash-owning shard's directory, so the sum
   /// is the gateway-wide answered-vs-bridged picture (docs/directory.md).
   [[nodiscard]] ServiceDirectory::SdpStats directory_stats(SdpId sdp) const;
+  /// Per-shard mDNS probe/conflict counters summed (zeroed when probing is
+  /// off).
+  [[nodiscard]] mdns::ProbeStats probe_stats() const;
   /// Datagrams routed (each broadcast counts once).
   [[nodiscard]] std::uint64_t datagrams_dispatched() const {
     return dispatched_;

@@ -257,9 +257,10 @@ void MdnsEventParser::parse(BytesView raw, const MessageContext& ctx,
 // compose_dnssd_answers
 // ---------------------------------------------------------------------------
 
-std::size_t compose_dnssd_answers(const EventStream& stream,
-                                  std::string_view qname, std::uint32_t ttl,
-                                  mdns::DnsMessage& out) {
+std::size_t compose_dnssd_answers(
+    const EventStream& stream, std::string_view qname, std::uint32_t ttl,
+    mdns::DnsMessage& out,
+    const std::unordered_map<std::uint32_t, std::string>* overrides) {
   out.flags = mdns::kFlagResponse | mdns::kFlagAuthoritative;
   out.questions.resize(0);
   out.authorities.resize(0);
@@ -289,13 +290,23 @@ std::size_t compose_dnssd_answers(const EventStream& stream,
     // vector (emplace_back may reallocate) — every record is filled right
     // after its slot is taken, and cross-record values come from `stream`
     // or `endpoint` views, never from earlier slots of the same vector.
-    std::snprintf(digits, sizeof(digits), "indiss-%08x", fnv1a(url));
+    std::uint32_t url_hash = fnv1a(url);
+    const std::string* renamed = nullptr;
+    if (overrides != nullptr && !overrides->empty()) {
+      auto found = overrides->find(url_hash);
+      if (found != overrides->end()) renamed = &found->second;
+    }
+    std::snprintf(digits, sizeof(digits), "indiss-%08x", url_hash);
     mdns::DnsRecord& ptr = slot(out.answers, answers++);
     reset_record(ptr);
     ptr.name.assign(qname);
     ptr.type = mdns::kTypePtr;
     ptr.ttl = ttl;
-    ptr.target.assign(digits);
+    if (renamed != nullptr) {
+      ptr.target.assign(*renamed);
+    } else {
+      ptr.target.assign(digits);
+    }
     ptr.target.push_back('.');
     ptr.target.append(qname);
 
@@ -367,11 +378,53 @@ MdnsUnit::MdnsUnit(transport::Transport& transport, Config config)
 
   reply_socket_ = transport.open_udp(0);
   mark_own(*reply_socket_);
+
+  if (config_.probe) {
+    mdns::ProbeEngine::Callbacks callbacks;
+    callbacks.send = [this](const mdns::DnsMessage& message) {
+      // Probe/defense frames carry the bridge marker so a peer gateway's
+      // FSM ignores them as bridge echoes; its probe engine still sees them
+      // (engine feeding happens before the FSM guard).
+      probe_send_scratch_ = message;
+      std::size_t additionals = probe_send_scratch_.additionals.size();
+      append_marker(probe_send_scratch_, &additionals);
+      probe_send_scratch_.additionals.resize(additionals);
+      BytesView wire = encoder_.encode(probe_send_scratch_);
+      reply_socket_->send_to(net::Endpoint{mdns::kMdnsGroup, config_.mdns_port},
+                             Bytes(wire.begin(), wire.end()));
+    };
+    callbacks.on_established = [this](const std::string& name) {
+      on_probe_established(name);
+    };
+    callbacks.on_renamed = [this](const std::string& old_name,
+                                  const std::string& new_name) {
+      on_probe_renamed(old_name, new_name);
+    };
+    probe_ = std::make_unique<mdns::ProbeEngine>(
+        transport, config_.probe_config, std::move(callbacks));
+  }
 }
 
 MdnsUnit::~MdnsUnit() {
   if (reply_socket_) reply_socket_->close();
   for (auto& [id, socket] : client_sockets_) socket->close();
+}
+
+// Inbound native mDNS traffic feeds the probe engine before the normal
+// pipeline: probe queries drive §8.2 tiebreaks and defenses, responses drive
+// conflict detection — including frames the FSM will later discard as bridge
+// echoes or that the translation cache short-circuits.
+void MdnsUnit::on_native_message(const net::Datagram& datagram) {
+  if (probe_ && probe_->claim_count() > 0) {
+    if (mdns::decode_into(datagram.payload, probe_scratch_)) {
+      if (probe_scratch_.is_response()) {
+        probe_->handle_response(probe_scratch_);
+      } else if (!probe_scratch_.questions.empty()) {
+        probe_->handle_query(probe_scratch_);
+      }
+    }
+  }
+  Unit::on_native_message(datagram);
 }
 
 // Acting as a one-shot mDNS browser for a foreign request: multicast a PTR
@@ -422,8 +475,11 @@ void MdnsUnit::compose_native_reply(Session& session) {
     ttl = static_cast<std::uint32_t>(str::parse_long(session.var("ttl"), ttl));
   }
   if (compose_dnssd_answers(session.collected, qname_scratch_, ttl,
-                            compose_scratch_) == 0) {
+                            compose_scratch_, &name_overrides_) == 0) {
     return;  // nothing found: mDNS answers with silence
+  }
+  if (blocked_by_probing(compose_scratch_)) {
+    return;  // §8.1: a still-probing instance must not be answered for
   }
   compose_scratch_.id = static_cast<std::uint16_t>(
       str::parse_long(session.var("qid", "0"), 0));
@@ -514,8 +570,10 @@ void MdnsUnit::on_advertisement(Session& session) {
   }
 
   dnssd_from_canonical_into(type, qname_scratch_);
-  std::size_t groups = compose_dnssd_answers(
-      session.collected, qname_scratch_, config_.record_ttl, compose_scratch_);
+  std::size_t groups =
+      compose_dnssd_answers(session.collected, qname_scratch_,
+                            config_.record_ttl, compose_scratch_,
+                            &name_overrides_);
   if (groups == 0) {
     // The advertisement named no service URL directly (a UPnP alive only
     // carries the description LOCATION): announce the resolved URL instead,
@@ -526,11 +584,23 @@ void MdnsUnit::on_advertisement(Session& session) {
     minimal.push_back(Event(EventType::kResServUrl, {{"url", url}}));
     minimal.push_back(Event(EventType::kControlStop));
     groups = compose_dnssd_answers(minimal, qname_scratch_, config_.record_ttl,
-                                   compose_scratch_);
+                                   compose_scratch_, &name_overrides_);
     stream_pool().release(std::move(minimal));
   }
   if (groups == 0) return;
   compose_scratch_.id = 0;
+
+  if (probe_ && first_announcement) {
+    // RFC 6762 §8.1: claim the composed instance names first; the
+    // announcement fires from on_probe_established. Nothing is cached yet —
+    // a replayed frame must never announce an unprobed name.
+    begin_probes(type);
+    return;
+  }
+  if (blocked_by_probing(compose_scratch_)) {
+    return;  // refresh arrived while the claim is still probing
+  }
+
   net::Endpoint to{mdns::kMdnsGroup, config_.mdns_port};
   BytesView wire = encoder_.encode(compose_scratch_);
   // Already-bridged repeats stay silent on the parse path (alive bursts
@@ -545,6 +615,164 @@ void MdnsUnit::on_advertisement(Session& session) {
   cache_outbound_frame(session, reply_socket_, to, wire);
 }
 
+// ---------------------------------------------------------------------------
+// RFC 6762 §8: probe/tiebreak plumbing for bridged instance names
+// ---------------------------------------------------------------------------
+
+bool MdnsUnit::blocked_by_probing(const mdns::DnsMessage& composed) const {
+  if (!probe_) return false;
+  for (const auto& record : composed.answers) {
+    if (record.type != mdns::kTypePtr) continue;
+    auto it = bridged_claims_.find(record.target);
+    if (it != bridged_claims_.end() && !it->second.announced) return true;
+  }
+  return false;
+}
+
+void MdnsUnit::begin_probes(std::string_view canonical_type) {
+  for (const auto& record : compose_scratch_.answers) {
+    if (record.type != mdns::kTypePtr) continue;
+    const std::string& instance = record.target;
+    if (bridged_claims_.contains(instance)) continue;
+    std::vector<mdns::DnsRecord> records;
+    std::string url;
+    for (const auto& extra : compose_scratch_.additionals) {
+      if (extra.name != instance) continue;
+      if (extra.type != mdns::kTypeSrv && extra.type != mdns::kTypeTxt) {
+        continue;
+      }
+      records.push_back(extra);
+      records.back().cache_flush = false;  // probes propose, not assert
+      if (extra.type == mdns::kTypeTxt) {
+        for (const auto& [key, value] : extra.txt) {
+          if (key == "url" && url.empty()) url = value;
+        }
+      }
+    }
+    BridgedClaim claim;
+    claim.url = std::move(url);
+    claim.canonical_type.assign(canonical_type);
+    bridged_claims_.emplace(instance, std::move(claim));
+    probe_->claim(instance, std::move(records));
+  }
+}
+
+void MdnsUnit::on_probe_established(const std::string& name) {
+  auto it = bridged_claims_.find(name);
+  if (it == bridged_claims_.end() || it->second.announced) return;
+  announce_bridged(name, it->second);
+  it->second.announced = true;
+}
+
+// Announce exactly the records that survived probing: the §8.2 tiebreak is a
+// byte comparison, so a peer gateway that probed identical rdata must hear
+// identical rdata back or it would manufacture a conflict.
+void MdnsUnit::announce_bridged(const std::string& name,
+                                const BridgedClaim& claim) {
+  const auto* records = probe_->claim_records(name);
+  if (records == nullptr) return;
+  compose_scratch_.clear();
+  compose_scratch_.flags = mdns::kFlagResponse | mdns::kFlagAuthoritative;
+  dnssd_from_canonical_into(claim.canonical_type, qname_scratch_);
+
+  mdns::DnsRecord ptr;
+  ptr.name = qname_scratch_;
+  ptr.type = mdns::kTypePtr;
+  ptr.ttl = config_.record_ttl;
+  ptr.target = name;
+  compose_scratch_.answers.push_back(std::move(ptr));
+
+  std::size_t additionals = 0;
+  for (const auto& record : *records) {
+    mdns::DnsRecord& copy = slot(compose_scratch_.additionals, additionals++);
+    copy = record;
+    copy.cache_flush = true;
+    copy.ttl = config_.record_ttl;
+  }
+  UrlEndpoint endpoint = url_endpoint(claim.url);
+  auto address = net::IpAddress::parse(endpoint.host);
+  if (address.has_value()) {
+    mdns::DnsRecord& a = slot(compose_scratch_.additionals, additionals++);
+    reset_record(a);
+    a.name.assign(endpoint.host);
+    a.type = mdns::kTypeA;
+    a.cache_flush = true;
+    a.ttl = config_.record_ttl;
+    a.address = *address;
+  }
+  append_marker(compose_scratch_, &additionals);
+  compose_scratch_.additionals.resize(additionals);
+  compose_scratch_.id = 0;
+
+  BytesView wire = encoder_.encode(compose_scratch_);
+  reply_socket_->send_to(net::Endpoint{mdns::kMdnsGroup, config_.mdns_port},
+                         Bytes(wire.begin(), wire.end()));
+  announcements_sent_ += 1;
+}
+
+void MdnsUnit::on_probe_renamed(const std::string& old_name,
+                                const std::string& new_name) {
+  auto it = bridged_claims_.find(old_name);
+  if (it == bridged_claims_.end()) return;
+  BridgedClaim claim = std::move(it->second);
+  bridged_claims_.erase(it);
+
+  if (claim.announced) {
+    // The old name was live on the wire (§9 conflict on an established
+    // record): goodbye it before the override swaps the label.
+    send_goodbye(claim.url, claim.canonical_type);
+  }
+  name_overrides_[fnv1a(claim.url)] =
+      std::string(mdns::instance_label(new_name));
+  claim.announced = false;
+  bridged_claims_.emplace(new_name, std::move(claim));
+
+  // Every later compose — answers, cached replays, goodbyes — must use the
+  // new name: logically empty both caches.
+  if (translation_cache() != nullptr) translation_cache()->bump_generation();
+  if (directory() != nullptr) directory()->bump_generation();
+}
+
+void MdnsUnit::send_goodbye(std::string_view url,
+                            std::string_view canonical_type) {
+  dnssd_from_canonical_into(canonical_type, qname_scratch_);
+  EventStream goodbye = stream_pool().acquire();
+  goodbye.push_back(Event(EventType::kControlStart));
+  goodbye.push_back(Event(EventType::kResServUrl, {{"url", url}}));
+  goodbye.push_back(Event(EventType::kControlStop));
+  std::size_t groups = compose_dnssd_answers(goodbye, qname_scratch_,
+                                             /*ttl=*/0, compose_scratch_,
+                                             &name_overrides_);
+  stream_pool().release(std::move(goodbye));
+  if (groups == 0) return;
+  compose_scratch_.id = 0;
+  BytesView wire = encoder_.encode(compose_scratch_);
+  reply_socket_->send_to(net::Endpoint{mdns::kMdnsGroup, config_.mdns_port},
+                         Bytes(wire.begin(), wire.end()));
+  announcements_sent_ += 1;
+}
+
+void MdnsUnit::release_probe_state(std::string_view url,
+                                   std::string_view canonical_type) {
+  if (!probe_) return;
+  std::uint32_t url_hash = fnv1a(url);
+  dnssd_from_canonical_into(canonical_type, qname_scratch_);
+  std::string name;
+  auto renamed = name_overrides_.find(url_hash);
+  if (renamed != name_overrides_.end()) {
+    name = renamed->second;
+    name_overrides_.erase(renamed);
+  } else {
+    char digits[24];
+    std::snprintf(digits, sizeof(digits), "indiss-%08x", url_hash);
+    name = digits;
+  }
+  name += '.';
+  name += qname_scratch_;
+  probe_->release(name);
+  bridged_claims_.erase(name);
+}
+
 // Goodbye propagation: resolve which bridged instance the byebye names (by
 // URL when it carries one — SLP SrvDeReg, mDNS goodbye — or by USN for UPnP
 // byebyes, which only identify the device), multicast the RFC 6762 TTL-0
@@ -554,11 +782,13 @@ void MdnsUnit::withdraw_foreign_service(Session& session,
                                         std::string_view usn) {
   std::string url(url_hint);
   std::string qname;
+  std::string canonical_type;
   for (const auto& known : foreign_services_) {
     bool match = (!url.empty() && known.url == url) ||
                  (url.empty() && !usn.empty() && known.usn == usn);
     if (match) {
       url = known.url;
+      canonical_type = known.canonical_type;
       qname = dnssd_from_canonical(known.canonical_type);
       break;
     }
@@ -569,7 +799,8 @@ void MdnsUnit::withdraw_foreign_service(Session& session,
   std::erase_if(foreign_services_,
                 [&](const MdnsForeignService& s) { return s.url == url; });
   if (qname.empty()) {
-    qname = dnssd_from_canonical(session.var("service_type"));
+    canonical_type.assign(session.var("service_type"));
+    qname = dnssd_from_canonical(canonical_type);
   }
 
   // The goodbye must name the same hash-stable instance the announcement
@@ -579,10 +810,16 @@ void MdnsUnit::withdraw_foreign_service(Session& session,
   goodbye.push_back(Event(EventType::kControlStart));
   goodbye.push_back(Event(EventType::kResServUrl, {{"url", url}}));
   goodbye.push_back(Event(EventType::kControlStop));
-  std::size_t groups =
-      compose_dnssd_answers(goodbye, qname, /*ttl=*/0, compose_scratch_);
+  std::size_t groups = compose_dnssd_answers(goodbye, qname, /*ttl=*/0,
+                                             compose_scratch_,
+                                             &name_overrides_);
   stream_pool().release(std::move(goodbye));
   if (groups == 0) return;
+  // A name still probing was never announced: forget it silently instead of
+  // multicasting a goodbye nobody heard an announcement for.
+  bool announced = !blocked_by_probing(compose_scratch_);
+  release_probe_state(url, canonical_type);
+  if (!announced) return;
   compose_scratch_.id = 0;
   net::Endpoint to{mdns::kMdnsGroup, config_.mdns_port};
   BytesView wire = encoder_.encode(compose_scratch_);
@@ -611,6 +848,8 @@ std::size_t MdnsUnit::expire_bridged_state(transport::TimePoint now) {
         if (gone) {
           Symbol sym = SymbolTable::global().find(s.url);
           if (sym != kNoSymbol) announced_urls_.erase(sym);
+          // A rejoining service re-probes from its base name.
+          release_probe_state(s.url, s.canonical_type);
         }
         return gone;
       });

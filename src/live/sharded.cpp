@@ -204,4 +204,10 @@ core::ServiceDirectory::SdpStats LiveShardPool::directory_stats(
   return merged;
 }
 
+mdns::ProbeStats LiveShardPool::probe_stats() const {
+  mdns::ProbeStats merged;
+  for (const auto& shard : shards_) merged += shard->indiss->probe_stats();
+  return merged;
+}
+
 }  // namespace indiss::live

@@ -110,6 +110,9 @@ class LiveShardPool {
   /// off) — the gateway-wide answered-vs-bridged picture (docs/directory.md).
   [[nodiscard]] core::ServiceDirectory::SdpStats directory_stats(
       core::SdpId sdp) const;
+  /// Per-shard mDNS probe/conflict counters summed (zeroed when probing is
+  /// off).
+  [[nodiscard]] mdns::ProbeStats probe_stats() const;
   /// Datagrams routed (each broadcast counts once). Dispatcher thread.
   [[nodiscard]] std::uint64_t datagrams_dispatched() const {
     return dispatched_;

@@ -20,6 +20,23 @@ MdnsResponder::MdnsResponder(transport::Transport& host, MdnsConfig config)
   socket_->join_group(config_.group);
   socket_->set_receive_handler(
       [this](const net::Datagram& datagram) { on_datagram(datagram); });
+  if (config_.probe) {
+    ProbeEngine::Callbacks callbacks;
+    callbacks.send = [this](const DnsMessage& message) {
+      if (closed_) return;
+      socket_->send_to(net::Endpoint{config_.group, config_.port},
+                       to_payload(encoder_.encode(message)));
+    };
+    callbacks.on_established = [this](const std::string& name) {
+      on_probe_established(name);
+    };
+    callbacks.on_renamed = [this](const std::string& old_name,
+                                  const std::string& new_name) {
+      on_probe_renamed(old_name, new_name);
+    };
+    probe_ = std::make_unique<ProbeEngine>(host_, config_.probe_config,
+                                           std::move(callbacks));
+  }
 }
 
 MdnsResponder::~MdnsResponder() {
@@ -30,7 +47,29 @@ MdnsResponder::~MdnsResponder() {
 
 void MdnsResponder::publish(ServiceInstance service) {
   services_.push_back(std::move(service));
-  announce(services_.back(), config_.announce_repeats);
+  const ServiceInstance& stored = services_.back();
+  if (probe_) {
+    // RFC 6762 §8.1: probe for the instance's unique records (SRV + TXT)
+    // before announcing; announce fires from on_probe_established.
+    std::string instance_name = stored.instance_name();
+    std::vector<DnsRecord> records;
+    DnsRecord srv;
+    srv.name = instance_name;
+    srv.type = kTypeSrv;
+    srv.ttl = config_.record_ttl;
+    srv.port = stored.port;
+    srv.target = host_.name() + ".local";
+    records.push_back(std::move(srv));
+    DnsRecord txt;
+    txt.name = instance_name;
+    txt.type = kTypeTxt;
+    txt.ttl = config_.record_ttl;
+    txt.txt = stored.txt;
+    records.push_back(std::move(txt));
+    probe_->claim(std::move(instance_name), std::move(records));
+    return;
+  }
+  announce(stored, config_.announce_repeats);
 }
 
 void MdnsResponder::goodbye() {
@@ -38,12 +77,42 @@ void MdnsResponder::goodbye() {
   pending_answers_.clear();
   DnsMessage message;
   for (const auto& service : services_) {
+    if (probe_) {
+      bool was_established = probe_->established(service.instance_name());
+      probe_->release(service.instance_name());
+      // A name still probing was never announced: a TTL-0 goodbye for it
+      // would be noise.
+      if (!was_established) continue;
+    }
     message.clear();
     message.flags = kFlagResponse | kFlagAuthoritative;
     build_answer(service, /*announce=*/true, /*ttl=*/0, message);
     send(message, net::Endpoint{config_.group, config_.port});
   }
   services_.clear();
+}
+
+bool MdnsResponder::answerable(const ServiceInstance& service) const {
+  return !probe_ || probe_->established(service.instance_name());
+}
+
+void MdnsResponder::on_probe_established(const std::string& name) {
+  for (const auto& service : services_) {
+    if (service.instance_name() == name) {
+      announce(service, config_.announce_repeats);
+      return;
+    }
+  }
+}
+
+void MdnsResponder::on_probe_renamed(const std::string& old_name,
+                                     const std::string& new_name) {
+  for (auto& service : services_) {
+    if (service.instance_name() == old_name) {
+      service.instance = std::string(instance_label(new_name));
+      return;
+    }
+  }
 }
 
 void MdnsResponder::announce(const ServiceInstance& service,
@@ -83,8 +152,10 @@ void MdnsResponder::on_datagram(const net::Datagram& datagram) {
   DnsMessage message;
   if (!decode_into(datagram.payload, message)) return;
   if (message.is_response()) {
+    if (probe_) probe_->handle_response(message);
     handle_response(message);
   } else if (!message.questions.empty()) {
+    if (probe_) probe_->handle_query(message);
     handle_query(message, datagram.source);
   }
 }
@@ -94,6 +165,9 @@ void MdnsResponder::handle_query(const DnsMessage& query,
   queries_seen_ += 1;
   const bool legacy = from.port != config_.port;  // RFC 6762 §6.7
   for (const auto& service : services_) {
+    // A still-probing instance does not own its name yet and must stay
+    // silent (§8.1); the probe engine handles tiebreaks and defenses.
+    if (!answerable(service)) continue;
     bool wanted = false;
     for (const auto& question : query.questions) {
       if (matches(question, service)) wanted = true;

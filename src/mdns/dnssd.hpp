@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "mdns/dns.hpp"
+#include "mdns/probe.hpp"
 #include "transport/transport.hpp"
 
 namespace indiss::mdns {
@@ -64,6 +65,13 @@ struct MdnsConfig {
   transport::Duration announce_interval = transport::seconds(1);
   std::uint32_t record_ttl = 120;  // seconds
   std::uint64_t seed = 1;
+  /// RFC 6762 §8 probing before announcing. Off by default: probing adds
+  /// wire traffic and a ~750 ms claim delay, and zero-conflict runs must
+  /// stay bit-identical to pre-probe builds (docs/chaos.md determinism
+  /// contract). Turn on when two responders — or a hostile one — can
+  /// contend for the same instance name.
+  bool probe = false;
+  ProbeConfig probe_config;
   /// Browser: how long one browse collects answers, and how many times the
   /// query is retransmitted inside that window.
   transport::Duration browse_window = transport::millis(500);
@@ -102,6 +110,12 @@ class MdnsResponder {
   [[nodiscard]] std::uint64_t duplicates_cancelled() const {
     return duplicates_cancelled_;
   }
+  /// Probe/tiebreak counters; zeroed when probing is off.
+  [[nodiscard]] ProbeStats probe_stats() const {
+    return probe_ ? probe_->stats() : ProbeStats{};
+  }
+  /// True while any published instance is still probing for its name.
+  [[nodiscard]] bool probing() const { return probe_ && probe_->busy(); }
 
  private:
   void on_datagram(const net::Datagram& datagram);
@@ -113,6 +127,12 @@ class MdnsResponder {
                     std::uint32_t ttl, DnsMessage& out) const;
   void send(const DnsMessage& message, const net::Endpoint& to);
   void announce(const ServiceInstance& service, int repeats_left);
+  /// True when queries for `service` may be answered (established, or
+  /// probing disabled).
+  [[nodiscard]] bool answerable(const ServiceInstance& service) const;
+  void on_probe_established(const std::string& name);
+  void on_probe_renamed(const std::string& old_name,
+                        const std::string& new_name);
 
   transport::Transport& host_;
   MdnsConfig config_;
@@ -125,6 +145,8 @@ class MdnsResponder {
   std::map<std::string, transport::TaskHandle> pending_answers_;
   transport::Random rng_;
   DnsEncoder encoder_;
+  /// RFC 6762 §8 claiming engine; null when `config.probe` is off.
+  std::unique_ptr<ProbeEngine> probe_;
   std::uint64_t queries_seen_ = 0;
   std::uint64_t responses_sent_ = 0;
   std::uint64_t known_answer_suppressed_ = 0;

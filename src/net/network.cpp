@@ -59,6 +59,21 @@ int Network::partition_group(const Host& host) const {
 
 void Network::heal_partitions() { partition_groups_.clear(); }
 
+void Network::set_reachability_zone(const Host& host, int zone) {
+  if (zone == 0) {
+    reachability_zones_.erase(&host);
+  } else {
+    reachability_zones_[&host] = zone;
+  }
+}
+
+int Network::reachability_zone(const Host& host) const {
+  auto it = reachability_zones_.find(&host);
+  return it == reachability_zones_.end() ? 0 : it->second;
+}
+
+void Network::collapse_zones() { reachability_zones_.clear(); }
+
 void Network::udp_register(UdpSocket* socket) {
   udp_bindings_[endpoint_key(socket->host().address(), socket->port())]
       .push_back(socket);
@@ -185,6 +200,14 @@ void Network::udp_send(const UdpSocket& from, const Endpoint& to,
       if (partitioned(from.host(), target->host())) {
         stats_.dropped_packets += 1;
         stats_.partition_dropped_packets += 1;
+        return;
+      }
+      // Mobility: a host that roamed out of multicast range hears nothing.
+      // Checked before any random fault draw, so zone churn never shifts
+      // the seeded fault sequence (determinism contract, docs/chaos.md).
+      if (out_of_range(from.host(), target->host())) {
+        stats_.dropped_packets += 1;
+        stats_.zone_dropped_packets += 1;
         return;
       }
       if (profile_.udp_loss_rate > 0.0 &&
@@ -317,6 +340,8 @@ std::shared_ptr<TcpSocket> Network::tcp_connect(Host& from,
   // A partition refuses new connections (SYNs never cross); established
   // pipes are left alone (net/fault.hpp).
   if (partitioned(from, *target_host)) return nullptr;
+  // Out of radio range: SYNs never cross either (mobility model).
+  if (out_of_range(from, *target_host)) return nullptr;
   auto it = tcp_listeners_.find(endpoint_key(to.address, to.port));
   if (it == tcp_listeners_.end()) return nullptr;  // connection refused
   TcpListener* listener = it->second;

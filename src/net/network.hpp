@@ -96,6 +96,22 @@ class Network {
            partition_group(a) != partition_group(b);
   }
 
+  /// Mobility model (docs/chaos.md): hosts roam between multicast
+  /// reachability zones (default zone 0) and exchange frames — or open TCP
+  /// connections — only with hosts in the same zone. Orthogonal to scripted
+  /// partitions, so a sim::MobilityModel and a FaultPlan compose; like
+  /// partitions, zone checks consume no randomness (determinism contract).
+  void set_reachability_zone(const Host& host, int zone);
+  [[nodiscard]] int reachability_zone(const Host& host) const;
+  /// Moves every host back to zone 0.
+  void collapse_zones();
+  [[nodiscard]] bool out_of_range(const Host& a, const Host& b) const {
+    // Same empty-map fast path as partitioned(): immobile runs pay one
+    // branch per target.
+    return !reachability_zones_.empty() &&
+           reachability_zone(a) != reachability_zone(b);
+  }
+
   // --- UDP plumbing (used by UdpSocket) ---------------------------------
   void udp_register(UdpSocket* socket);
   void udp_unregister(UdpSocket* socket);
@@ -152,6 +168,9 @@ class Network {
   /// Hosts moved out of partition group 0 (absent = group 0). Cleared whole
   /// by heal_partitions().
   std::unordered_map<const Host*, int> partition_groups_;
+  /// Hosts that roamed out of reachability zone 0 (absent = zone 0).
+  /// Cleared whole by collapse_zones().
+  std::unordered_map<const Host*, int> reachability_zones_;
   /// Gilbert-Elliott channel state (false = Good); advanced once per
   /// cross-host frame while bursty loss is enabled.
   bool fault_channel_bad_ = false;

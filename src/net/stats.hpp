@@ -27,6 +27,7 @@ struct TrafficStats {
   std::uint64_t reordered_packets = 0;       // deliveries given extra delay
   std::uint64_t duplicated_packets = 0;      // extra copies delivered
   std::uint64_t partition_dropped_packets = 0;  // severed by a partition
+  std::uint64_t zone_dropped_packets = 0;  // out of multicast reachability
 
   // Fan-out accounting (not wire traffic): how many socket deliveries the
   // network scheduled, and how many payload buffer copies it materialized to

@@ -1,0 +1,81 @@
+#include "sim/mobility.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace indiss::sim {
+
+MobilityModel::MobilityModel(MoveFn move) : move_(std::move(move)) {
+  if (!move_) {
+    throw std::invalid_argument("MobilityModel: move callback required");
+  }
+}
+
+MobilityModel& MobilityModel::add_node(std::string node, int initial_zone) {
+  if (find(node) != nullptr) {
+    throw std::invalid_argument("MobilityModel: duplicate node " + node);
+  }
+  nodes_.push_back(Node{std::move(node), initial_zone, initial_zone});
+  return *this;
+}
+
+MobilityModel& MobilityModel::move_at(SimDuration after,
+                                      const std::string& node, int zone) {
+  Node* entry = find(node);
+  if (entry == nullptr) {
+    throw std::invalid_argument("MobilityModel: unknown node " + node);
+  }
+  entry->planned_zone = zone;
+  std::string name = entry->name;  // plan steps must not dangle on nodes_
+  std::string label = name + " -> zone " + std::to_string(zone);
+  plan_.at(after, std::move(label),
+           [this, name = std::move(name), zone] { move_(name, zone); });
+  return *this;
+}
+
+MobilityModel& MobilityModel::random_waypoints(std::uint64_t seed,
+                                               const WaypointProfile& profile) {
+  if (profile.zone_count < 2) {
+    throw std::invalid_argument("MobilityModel: need at least 2 zones to roam");
+  }
+  if (profile.dwell_min <= SimDuration::zero() ||
+      profile.dwell_max < profile.dwell_min) {
+    throw std::invalid_argument("MobilityModel: bad dwell bounds");
+  }
+  // A private engine, consumed entirely here: node by node in insertion
+  // order, waypoint by waypoint in time order. The network's fault RNG never
+  // sees these draws.
+  Random random(seed);
+  for (Node& node : nodes_) {
+    SimDuration at = SimDuration::zero();
+    for (;;) {
+      at += random.uniform_duration(profile.dwell_min, profile.dwell_max);
+      if (at > profile.horizon) break;
+      // Draw over zone_count - 1 candidates and skip past the current zone,
+      // so every hop changes zone with a single draw.
+      int hop = static_cast<int>(
+          random.uniform_int(0, profile.zone_count - 2));
+      int zone = hop >= node.planned_zone ? hop + 1 : hop;
+      move_at(at, node.name, zone);
+    }
+  }
+  return *this;
+}
+
+void MobilityModel::arm(Scheduler& scheduler) {
+  // Initial placement happens synchronously, before any scheduled traffic,
+  // so a scenario's t=0 state is fully determined by add_node calls.
+  for (const Node& node : nodes_) {
+    move_(node.name, node.initial_zone);
+  }
+  plan_.arm(scheduler);
+}
+
+MobilityModel::Node* MobilityModel::find(const std::string& node) {
+  for (Node& entry : nodes_) {
+    if (entry.name == node) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace indiss::sim

@@ -1,0 +1,108 @@
+// Dynamic-reachability mobility model for the discrete-event simulator.
+//
+// Hosts roam between multicast reachability zones (Network::
+// set_reachability_zone) on a timeline that is either scripted waypoint by
+// waypoint (move_at) or generated up front from a seeded random-waypoint
+// profile (random_waypoints). Either way the timeline is layered on a
+// FaultPlan, so mobility composes with scripted partitions, crashes, and
+// profile edits in one chaos scenario, and inherits the plan's determinism:
+// steps fire at exact virtual instants in insertion order.
+//
+// Determinism contract (docs/chaos.md): random-waypoint generation draws from
+// the model's OWN engine at generation time — node by node in insertion
+// order, before anything is armed — and never from the network's fault RNG.
+// A mobile run therefore consumes exactly the same network random sequence as
+// an immobile one, and an identical (seed, profile, node set) reproduces the
+// same roaming timeline bit-for-bit.
+//
+// Like FaultPlan, the model is network-agnostic: moves are delivered through
+// a caller-supplied closure, typically
+//   MobilityModel roam([&](const std::string& node, int zone) {
+//     network.set_reachability_zone(*hosts.at(node), zone);
+//   });
+//
+// Lifetime: must outlive the scheduler run that fires its moves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/fault_plan.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace indiss::sim {
+
+class Scheduler;
+
+class MobilityModel {
+ public:
+  /// Applies one move: `node` (a label chosen at add_node time) enters
+  /// `zone`. Called once per node when arm() places everyone at their
+  /// initial zone, then once per fired waypoint.
+  using MoveFn = std::function<void(const std::string& node, int zone)>;
+
+  /// Random-waypoint parameters: each node repeatedly dwells a uniform
+  /// [dwell_min, dwell_max] interval, then hops to a uniformly drawn zone in
+  /// [0, zone_count) other than its current one, until `horizon` is reached.
+  struct WaypointProfile {
+    int zone_count = 2;
+    SimDuration dwell_min = seconds(5);
+    SimDuration dwell_max = seconds(30);
+    SimDuration horizon = seconds(120);
+  };
+
+  explicit MobilityModel(MoveFn move);
+
+  /// Registers a roaming node. Its initial zone is applied (through the move
+  /// closure) when arm() is called, before any waypoint fires. Chainable.
+  MobilityModel& add_node(std::string node, int initial_zone = 0);
+
+  /// Scripted waypoint: `node` enters `zone` at `after` (relative to the
+  /// instant arm() is called). Chainable; the node must be registered.
+  MobilityModel& move_at(SimDuration after, const std::string& node, int zone);
+
+  /// Generates a full random-waypoint timeline for every registered node.
+  /// All draws happen here, now, from a private engine seeded with `seed`;
+  /// nothing is drawn when the waypoints later fire. Chainable.
+  MobilityModel& random_waypoints(std::uint64_t seed,
+                                  const WaypointProfile& profile);
+
+  /// Applies every node's initial zone, then schedules the timeline on
+  /// `scheduler` relative to its current now(). May only be called once.
+  void arm(Scheduler& scheduler);
+
+  [[nodiscard]] bool armed() const { return plan_.armed(); }
+  /// Scheduled waypoints (excluding the initial placements).
+  [[nodiscard]] std::size_t size() const { return plan_.size(); }
+  /// Waypoints that have fired so far.
+  [[nodiscard]] std::size_t fired() const { return plan_.fired(); }
+  /// Labels of fired waypoints in firing order ("alice -> zone 2"), the
+  /// scenario's roaming log — and the raw material for the bit-identical
+  /// double-run fingerprints chaos tests pin.
+  [[nodiscard]] const std::vector<std::string>& log() const {
+    return plan_.log();
+  }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::string name;
+    int initial_zone;
+    /// Zone at the end of the timeline built so far; lets random_waypoints
+    /// guarantee every hop actually changes zone, and move_at compose with
+    /// generated segments.
+    int planned_zone;
+  };
+
+  Node* find(const std::string& node);
+
+  MoveFn move_;
+  std::vector<Node> nodes_;
+  FaultPlan plan_;
+};
+
+}  // namespace indiss::sim

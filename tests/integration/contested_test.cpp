@@ -1,0 +1,343 @@
+// Contested airwaves (the PR's acceptance gauntlet): RFC 6762 §8 probing
+// under realistic contention.
+//
+//   - Coexistence: two INDISS gateways bridging the same UPnP fleet into the
+//     same mDNS domain compose byte-identical records, so §8.2's tiebreak
+//     degenerates to equality — both converge on the same stable names with
+//     zero renames, zero conflicts and no bridge loops.
+//   - Hostility: a responder that defends *every* probed name with foreign
+//     rdata forces the gateway through rename-and-retry into the §8.1
+//     exponential backoff; the claim never establishes, never announces, and
+//     the rename count stays bounded instead of storming.
+//   - Mobility: a client roams out of the gateway's reachability zone and
+//     back (sim::MobilityModel over net zones) while a chaff node roams on a
+//     seeded random-waypoint timeline through a lossy link; discovery fails
+//     exactly while out of range, and the whole run is bit-reproducible.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/indiss.hpp"
+#include "mdns/dns.hpp"
+#include "mdns/dnssd.hpp"
+#include "net/host.hpp"
+#include "net/network.hpp"
+#include "net/udp.hpp"
+#include "sim/mobility.hpp"
+#include "sim/scheduler.hpp"
+#include "slp/agents.hpp"
+#include "upnp/device.hpp"
+
+namespace indiss::core {
+namespace {
+
+// --- Two-gateway coexistence ------------------------------------------------
+
+struct CoexistFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, /*seed=*/17};
+  net::Host& device_host =
+      network.add_host("upnp-dev", net::IpAddress(10, 0, 0, 2));
+  net::Host& gateway_a_host =
+      network.add_host("gateway-a", net::IpAddress(10, 0, 0, 3));
+  net::Host& gateway_b_host =
+      network.add_host("gateway-b", net::IpAddress(10, 0, 0, 4));
+  net::Host& client_host =
+      network.add_host("client", net::IpAddress(10, 0, 0, 5));
+
+  static IndissConfig probing_gateway_config() {
+    IndissConfig config;
+    config.enabled_sdps = {SdpId::kUpnp, SdpId::kMdns};
+    config.mdns.probe = true;
+    return config;
+  }
+};
+
+TEST_F(CoexistFixture, TwoGatewaysConvergeOnIdenticalNamesWithZeroRenames) {
+  Indiss gateway_a(gateway_a_host, probing_gateway_config());
+  Indiss gateway_b(gateway_b_host, probing_gateway_config());
+  gateway_a.start();
+  gateway_b.start();
+  scheduler.run_for(sim::millis(500));
+
+  upnp::RootDevice device(device_host, upnp::make_clock_device(), 4004);
+  device.start();
+  scheduler.run_for(sim::seconds(10));
+
+  // Both gateways bridge the same clock, propose byte-identical records for
+  // the same hash-derived instance name, and win it: identical rdata is
+  // never a conflict (§8.2's comparison returns equality), so neither
+  // gateway renames or backs off.
+  mdns::ProbeStats stats_a = gateway_a.probe_stats();
+  mdns::ProbeStats stats_b = gateway_b.probe_stats();
+  EXPECT_GE(stats_a.names_established, 1u);
+  EXPECT_GE(stats_b.names_established, 1u);
+  EXPECT_EQ(stats_a.renames, 0u);
+  EXPECT_EQ(stats_b.renames, 0u);
+  EXPECT_EQ(stats_a.conflicts, 0u);
+  EXPECT_EQ(stats_b.conflicts, 0u);
+  EXPECT_EQ(stats_a.backoffs_engaged, 0u);
+  EXPECT_EQ(stats_b.backoffs_engaged, 0u);
+
+  // No bridge loop: each gateway's mDNS side carries exactly the one real
+  // clock — the peer gateway's marked announcements must never re-enter as
+  // fresh foreign services.
+  auto* mdns_a = gateway_a.unit_as<MdnsUnit>(SdpId::kMdns);
+  auto* mdns_b = gateway_b.unit_as<MdnsUnit>(SdpId::kMdns);
+  ASSERT_NE(mdns_a, nullptr);
+  ASSERT_NE(mdns_b, nullptr);
+  ASSERT_EQ(mdns_a->foreign_services().size(), 1u);
+  ASSERT_EQ(mdns_b->foreign_services().size(), 1u);
+  EXPECT_NE(mdns_a->foreign_services()[0].url.find("10.0.0.2"),
+            std::string::npos);
+  EXPECT_TRUE(mdns_a->name_overrides().empty()) << "no rename happened";
+  EXPECT_TRUE(mdns_b->name_overrides().empty());
+
+  // Extended quiet run: a rename storm or announcement loop would show up as
+  // counter growth here. Nothing may move.
+  std::uint64_t announced_a = mdns_a->announcements_sent();
+  std::uint64_t announced_b = mdns_b->announcements_sent();
+  scheduler.run_for(sim::seconds(60));
+  EXPECT_EQ(gateway_a.probe_stats().renames, 0u);
+  EXPECT_EQ(gateway_b.probe_stats().renames, 0u);
+  EXPECT_EQ(gateway_a.probe_stats().conflicts, 0u);
+  EXPECT_EQ(gateway_b.probe_stats().conflicts, 0u);
+  EXPECT_EQ(mdns_a->announcements_sent(), announced_a)
+      << "announcement loop between the two gateways";
+  EXPECT_EQ(mdns_b->announcements_sent(), announced_b);
+  EXPECT_EQ(mdns_a->foreign_services().size(), 1u);
+  EXPECT_EQ(mdns_b->foreign_services().size(), 1u);
+
+  // A native Bonjour browser sees exactly one instance of the clock — the
+  // converged name, backed by the real device's URL — not one per gateway.
+  std::vector<mdns::BrowseResult> results;
+  mdns::MdnsBrowser browser(client_host);
+  browser.browse("_clock._tcp",
+                 [&](const std::vector<mdns::BrowseResult>& found) {
+                   results = found;
+                 });
+  scheduler.run_for(sim::seconds(2));
+  ASSERT_EQ(results.size(), 1u)
+      << "the two gateways must answer with the same instance name";
+  EXPECT_NE(results[0].url().find("10.0.0.2"), std::string::npos);
+  EXPECT_EQ(results[0].instance.rfind("indiss-", 0), 0u)
+      << "hash-derived bridged instance label, not a renamed one: "
+      << results[0].instance;
+}
+
+// --- Hostile responder ------------------------------------------------------
+
+TEST_F(CoexistFixture, HostileResponderForcesBoundedBackoffNotAStorm) {
+  net::Host& hostile_host =
+      network.add_host("hostile", net::IpAddress(10, 0, 0, 66));
+
+  Indiss gateway(gateway_a_host, probing_gateway_config());
+  gateway.start();
+  scheduler.run_for(sim::millis(100));
+
+  // The adversary: defends every probed name it hears with conflicting
+  // rdata, whatever the gateway renames to (the sim twin of
+  // `sdptool collide`).
+  auto hostile_socket = hostile_host.udp_socket(mdns::kMdnsPort);
+  hostile_socket->join_group(mdns::kMdnsGroup);
+  std::uint64_t defended = 0;
+  mdns::DnsMessage hostile_scratch;
+  hostile_socket->set_receive_handler([&](const net::Datagram& datagram) {
+    if (!mdns::decode_into(datagram.payload, hostile_scratch)) return;
+    if (hostile_scratch.is_response()) return;
+    if (hostile_scratch.authorities.empty()) return;  // only fight probes
+    mdns::DnsMessage defense;
+    defense.flags = mdns::kFlagResponse | mdns::kFlagAuthoritative;
+    for (const auto& question : hostile_scratch.questions) {
+      mdns::DnsRecord record;
+      record.name = question.name;
+      record.type = mdns::kTypeTxt;
+      record.cache_flush = true;
+      record.ttl = 120;
+      record.txt = {{"defender", "hostile"}};
+      defense.answers.push_back(std::move(record));
+    }
+    hostile_socket->send_to(
+        net::Endpoint{mdns::kMdnsGroup, mdns::kMdnsPort},
+        mdns::encode(defense));
+    ++defended;
+  });
+
+  upnp::RootDevice device(device_host, upnp::make_clock_device(), 4004);
+  device.start();
+  scheduler.run_for(sim::seconds(60));
+
+  // Every probe was answered with a conflict, so the claim cycles
+  // rename -> re-probe -> conflict until the >=15-conflicts/10 s limiter
+  // engages; from then on the backoff gates every attempt, so a minute of
+  // hostility yields a bounded handful of renames, not hundreds.
+  mdns::ProbeStats stats = gateway.probe_stats();
+  EXPECT_GT(defended, 0u);
+  EXPECT_GE(stats.conflicts, 15u) << "the limiter threshold must be reached";
+  EXPECT_GE(stats.backoffs_engaged, 1u);
+  EXPECT_EQ(stats.names_established, 0u)
+      << "a defended name must never be won";
+  EXPECT_GE(stats.renames, 1u);
+  EXPECT_LT(stats.renames, 40u) << "rename storm: backoff did not bite";
+
+  // §8.1: no answering, no announcing before the name is won. The bridged
+  // state exists but stays silent.
+  auto* mdns_unit = gateway.unit_as<MdnsUnit>(SdpId::kMdns);
+  ASSERT_NE(mdns_unit, nullptr);
+  EXPECT_EQ(mdns_unit->announcements_sent(), 0u);
+  EXPECT_EQ(mdns_unit->foreign_services().size(), 1u);
+}
+
+// --- Mobility roaming -------------------------------------------------------
+
+/// One roaming run: an SLP client discovers an mDNS clock through the
+/// gateway, roams out of the gateway's zone (discovery goes dark), and roams
+/// back (discovery resumes) — all through ~10% bursty loss, with a chaff
+/// multicast listener roaming on a seeded random-waypoint timeline.
+struct RoamOutcome {
+  std::string fingerprint;
+  bool found_in_range = false;
+  bool lost_out_of_range = false;
+  bool found_after_return = false;
+  std::uint64_t zone_dropped = 0;
+  std::size_t scripted_fired = 0;
+  std::size_t waypoints_fired = 0;
+};
+
+RoamOutcome run_roaming_scenario(std::uint64_t seed) {
+  sim::Scheduler scheduler;
+  net::LinkProfile profile;
+  profile.faults.ge_p_good_to_bad = 0.05;
+  profile.faults.ge_p_bad_to_good = 0.45;
+  profile.faults.ge_loss_bad = 1.0;
+  net::Network network{scheduler, profile, seed};
+
+  net::Host& client = network.add_host("client", net::IpAddress(10, 0, 0, 1));
+  net::Host& gateway_host =
+      network.add_host("gateway", net::IpAddress(10, 0, 0, 3));
+  net::Host& mdns_host =
+      network.add_host("mdns-dev", net::IpAddress(10, 0, 0, 4));
+  net::Host& chaff = network.add_host("chaff", net::IpAddress(10, 0, 0, 7));
+
+  IndissConfig config;
+  config.enabled_sdps = {SdpId::kSlp, SdpId::kMdns};
+  Indiss gateway(gateway_host, config);
+  gateway.start();
+  scheduler.run_for(sim::millis(500));
+
+  mdns::MdnsResponder device(mdns_host);
+  {
+    mdns::ServiceInstance instance;
+    instance.instance = "clock1";
+    instance.service_type = "_clock._tcp";
+    instance.port = 4006;
+    instance.txt = {{"url", "soap://10.0.0.4:4006/mdns-clock"}};
+    device.publish(std::move(instance));
+  }
+  scheduler.run_for(sim::seconds(2));  // announcements bridge into SLP state
+
+  // The chaff listener is a multicast group member, so its zone membership
+  // deterministically perturbs delivery/drop counters as it roams.
+  auto chaff_rx = chaff.udp_socket(mdns::kMdnsPort);
+  chaff_rx->join_group(mdns::kMdnsGroup);
+  chaff_rx->set_receive_handler([](const net::Datagram&) {});
+
+  std::unordered_map<std::string, net::Host*> hosts{{"client", &client},
+                                                    {"chaff", &chaff}};
+  auto move = [&](const std::string& node, int zone) {
+    network.set_reachability_zone(*hosts.at(node), zone);
+  };
+
+  sim::MobilityModel scripted(move);
+  scripted.add_node("client", 0)
+      .move_at(sim::seconds(4), "client", 1)
+      .move_at(sim::seconds(20), "client", 0);
+  scripted.arm(scheduler);
+
+  sim::MobilityModel waypoints(move);
+  waypoints.add_node("chaff", 0);
+  sim::MobilityModel::WaypointProfile waypoint_profile;
+  waypoint_profile.zone_count = 3;
+  waypoint_profile.dwell_min = sim::seconds(2);
+  waypoint_profile.dwell_max = sim::seconds(8);
+  waypoint_profile.horizon = sim::seconds(30);
+  waypoints.random_waypoints(seed, waypoint_profile);
+  waypoints.arm(scheduler);
+
+  // One SLP discovery round: the UA retransmits through the loss for 3 s.
+  std::vector<std::vector<std::string>> rounds;
+  auto find = [&]() {
+    std::vector<std::string> discovered;
+    slp::UserAgent ua(client);
+    ua.find_services("service:clock", "", nullptr,
+                     [&](const std::vector<slp::SearchResult>& results) {
+                       for (const auto& result : results) {
+                         discovered.push_back(result.entry.url);
+                       }
+                     });
+    scheduler.run_for(sim::seconds(3));
+    rounds.push_back(discovered);
+    return !discovered.empty();
+  };
+
+  RoamOutcome outcome;
+  outcome.found_in_range = find();        // t in [0,3): client in zone 0
+  scheduler.run_for(sim::seconds(3));     // client moved to zone 1 at t=4
+  outcome.lost_out_of_range = !find();    // t in [6,9): out of range
+  scheduler.run_for(sim::seconds(12));    // client back in zone 0 at t=20
+  outcome.found_after_return = find();    // t in [21,24): rediscovered
+  scheduler.run_for(sim::seconds(20));    // drain the waypoint horizon
+
+  outcome.zone_dropped = network.stats().zone_dropped_packets;
+  outcome.scripted_fired = scripted.fired();
+  outcome.waypoints_fired = waypoints.fired();
+
+  // The determinism fingerprint: traffic counters, both roaming timelines,
+  // every discovery round, and the gateway's final bridged state.
+  outcome.fingerprint =
+      std::to_string(network.stats().udp_deliveries) + "|" +
+      std::to_string(network.stats().fault_lost_packets) + "|" +
+      std::to_string(network.stats().reordered_packets) + "|" +
+      std::to_string(network.stats().duplicated_packets) + "|" +
+      std::to_string(outcome.zone_dropped) + "|";
+  for (const auto& label : scripted.log()) outcome.fingerprint += label + ";";
+  for (const auto& label : waypoints.log()) outcome.fingerprint += label + ";";
+  for (const auto& round : rounds) {
+    outcome.fingerprint += "[";
+    for (const auto& url : round) outcome.fingerprint += url + ";";
+    outcome.fingerprint += "]";
+  }
+  auto* slp_unit = gateway.unit_as<SlpUnit>(SdpId::kSlp);
+  for (const auto& service : slp_unit->foreign_services()) {
+    outcome.fingerprint += service.url + ";";
+  }
+  return outcome;
+}
+
+TEST(ContestedMobility, DiscoveryTracksTheClientsReachabilityZone) {
+  RoamOutcome outcome = run_roaming_scenario(/*seed=*/41);
+  EXPECT_TRUE(outcome.found_in_range)
+      << "in-range discovery must work through the lossy link";
+  EXPECT_TRUE(outcome.lost_out_of_range)
+      << "an out-of-zone client must not reach the gateway";
+  EXPECT_TRUE(outcome.found_after_return)
+      << "roaming back must restore discovery without any reset";
+  EXPECT_GT(outcome.zone_dropped, 0u);
+  EXPECT_EQ(outcome.scripted_fired, 2u) << "both scripted moves ran";
+  EXPECT_GT(outcome.waypoints_fired, 1u) << "the chaff node actually roamed";
+}
+
+TEST(ContestedMobility, RoamingRunsAreBitIdenticalUnderTheSameSeed) {
+  RoamOutcome a = run_roaming_scenario(/*seed=*/43);
+  RoamOutcome b = run_roaming_scenario(/*seed=*/43);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  RoamOutcome c = run_roaming_scenario(/*seed=*/44);
+  EXPECT_NE(a.fingerprint, c.fingerprint)
+      << "a different seed must vary both the link faults and the roaming";
+}
+
+}  // namespace
+}  // namespace indiss::core

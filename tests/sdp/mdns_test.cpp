@@ -516,6 +516,310 @@ TEST_F(DnssdFixture, GoodbyeWithdrawsTheInstance) {
   EXPECT_TRUE(results.empty());
 }
 
+// --- RFC 6762 §8 probing ----------------------------------------------------
+
+TEST(ProbeHelpers, RdataComparisonIsSignSymmetricAndZeroOnIdentity) {
+  DnsRecord mine;
+  mine.name = "clock1._clock._tcp.local";
+  mine.type = kTypeTxt;
+  mine.txt = {{"url", "soap://10.0.0.2:4006/a"}};
+  DnsRecord theirs = mine;
+  EXPECT_EQ(compare_rdata_sets({mine}, {theirs}), 0)
+      << "identical rdata is never a conflict";
+
+  theirs.txt = {{"url", "soap://10.0.0.9:4006/z"}};
+  int forward = compare_rdata_sets({mine}, {theirs});
+  int backward = compare_rdata_sets({theirs}, {mine});
+  EXPECT_NE(forward, 0);
+  EXPECT_EQ(forward > 0, backward < 0) << "exactly one side wins a tiebreak";
+
+  // §8.2.1: the cache-flush bit is excluded from the comparison key.
+  theirs = mine;
+  theirs.cache_flush = !mine.cache_flush;
+  EXPECT_EQ(compare_rdata_sets({mine}, {theirs}), 0);
+}
+
+TEST(ProbeHelpers, RenamedLabelIsBoundedAndHashStable) {
+  std::string first = renamed_label("clock1", 1);
+  EXPECT_EQ(first, renamed_label("clock1", 1)) << "renames are reproducible";
+  EXPECT_EQ(first.size(), std::string("clock1").size() + 4)
+      << "base plus '-' plus 3 hex digits";
+  EXPECT_EQ(first.compare(0, 6, "clock1"), 0);
+  EXPECT_NE(first, renamed_label("clock1", 2));
+  for (int attempt = 1; attempt < 50; ++attempt) {
+    EXPECT_LE(renamed_label("clock1", attempt).size(),
+              std::string("clock1").size() + 4)
+        << "the suffix must stay bounded however many conflicts pile up";
+  }
+}
+
+/// Harness for driving a ProbeEngine directly: collects every sent message
+/// and lets tests feed hand-crafted inbound traffic.
+struct ProbeFixture : ::testing::Test {
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, 7};
+  net::Host& host = network.add_host("gw", net::IpAddress(10, 0, 0, 3));
+
+  std::vector<DnsMessage> sent;
+  std::vector<std::string> established;
+  std::vector<std::pair<std::string, std::string>> renamed;
+
+  ProbeEngine::Callbacks callbacks() {
+    ProbeEngine::Callbacks cb;
+    cb.send = [this](const DnsMessage& m) { sent.push_back(m); };
+    cb.on_established = [this](const std::string& n) {
+      established.push_back(n);
+    };
+    cb.on_renamed = [this](const std::string& o, const std::string& n) {
+      renamed.emplace_back(o, n);
+    };
+    return cb;
+  }
+
+  static std::vector<DnsRecord> claim_records(const std::string& name,
+                                              const std::string& url) {
+    DnsRecord txt;
+    txt.name = name;
+    txt.type = kTypeTxt;
+    txt.ttl = 120;
+    txt.txt = {{"url", url}};
+    return {txt};
+  }
+};
+
+TEST_F(ProbeFixture, ThreeUnansweredProbesWinTheName) {
+  ProbeEngine engine(host, {}, callbacks());
+  const std::string name = "clock1._clock._tcp.local";
+  engine.claim(name, claim_records(name, "soap://10.0.0.2:4006/a"));
+  EXPECT_TRUE(engine.busy());
+  EXPECT_FALSE(engine.established(name));
+
+  scheduler.run_for(sim::millis(1100));
+  ASSERT_EQ(sent.size(), 3u) << "three probes, 250 ms apart";
+  for (const DnsMessage& probe : sent) {
+    EXPECT_FALSE(probe.is_response());
+    ASSERT_EQ(probe.questions.size(), 1u);
+    EXPECT_EQ(probe.questions[0].name, name);
+    EXPECT_EQ(probe.questions[0].qtype, kTypeAny);
+    ASSERT_EQ(probe.authorities.size(), 1u)
+        << "§8.1: proposed records ride in the authority section";
+    EXPECT_EQ(probe.authorities[0].name, name);
+  }
+  EXPECT_TRUE(engine.established(name));
+  EXPECT_FALSE(engine.busy());
+  ASSERT_EQ(established.size(), 1u);
+  EXPECT_EQ(established[0], name);
+  EXPECT_EQ(engine.stats().probes_sent, 3u);
+  EXPECT_EQ(engine.stats().names_established, 1u);
+  EXPECT_EQ(engine.stats().conflicts, 0u);
+}
+
+TEST_F(ProbeFixture, SimultaneousProbeTiebreakLoserDefersWinnerProceeds) {
+  ProbeEngine engine(host, {}, callbacks());
+  const std::string name = "clock1._clock._tcp.local";
+  engine.claim(name, claim_records(name, "soap://10.0.0.2:4006/a"));
+  scheduler.run_for(sim::millis(10));  // first probe out
+
+  // A simultaneous probe with lexicographically greater rdata: we lose.
+  DnsMessage their_probe;
+  DnsQuestion question;
+  question.name = name;
+  question.qtype = kTypeAny;
+  their_probe.questions.push_back(question);
+  their_probe.authorities =
+      claim_records(name, "soap://10.0.0.9:4006/z");  // "z" > "a"
+  engine.handle_query(their_probe);
+  EXPECT_EQ(engine.stats().tiebreaks_lost, 1u);
+  EXPECT_FALSE(engine.established(name));
+
+  // The deferred claim restarts after tiebreak_defer (1 s) and, unopposed
+  // this time, wins: 3 original-claim probes would have finished by 750 ms,
+  // the deferred rerun by ~1.75 s.
+  scheduler.run_for(sim::seconds(3));
+  EXPECT_TRUE(engine.established(name));
+  EXPECT_EQ(engine.stats().renames, 0u)
+      << "a lost tiebreak defers, it never renames";
+
+  // And the mirror image: a probe with lesser rdata loses to us.
+  ProbeEngine winner(host, {}, callbacks());
+  const std::string other = "clock2._clock._tcp.local";
+  winner.claim(other, claim_records(other, "soap://10.0.0.9:4006/z"));
+  scheduler.run_for(sim::millis(10));
+  DnsMessage lesser;
+  question.name = other;
+  lesser.questions.push_back(question);
+  lesser.authorities = claim_records(other, "soap://10.0.0.2:4006/a");
+  winner.handle_query(lesser);
+  EXPECT_EQ(winner.stats().tiebreaks_won, 1u);
+  EXPECT_EQ(winner.stats().tiebreaks_lost, 0u);
+}
+
+TEST_F(ProbeFixture, ConflictingResponseRenamesWithTheBoundedSuffix) {
+  ProbeEngine engine(host, {}, callbacks());
+  const std::string name = "clock1._clock._tcp.local";
+  engine.claim(name, claim_records(name, "soap://10.0.0.2:4006/a"));
+  scheduler.run_for(sim::millis(10));
+
+  DnsMessage defense;
+  defense.flags = kFlagResponse | kFlagAuthoritative;
+  defense.answers = claim_records(name, "soap://10.0.0.9:4006/z");
+  engine.handle_response(defense);
+
+  ASSERT_EQ(renamed.size(), 1u);
+  EXPECT_EQ(renamed[0].first, name);
+  std::string expected =
+      renamed_label("clock1", 1) + "._clock._tcp.local";
+  EXPECT_EQ(renamed[0].second, expected);
+  EXPECT_EQ(engine.stats().conflicts, 1u);
+  EXPECT_EQ(engine.stats().renames, 1u);
+
+  // The renamed claim re-probes and, unopposed, establishes — and its
+  // records were rewritten to the new name.
+  scheduler.run_for(sim::seconds(2));
+  EXPECT_TRUE(engine.established(expected));
+  const auto* records = engine.claim_records(expected);
+  ASSERT_NE(records, nullptr);
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].name, expected);
+}
+
+TEST_F(ProbeFixture, IdenticalRdataFromAPeerIsNeverAConflict) {
+  // The two-gateway coexistence property at engine level: a response (or
+  // probe) carrying byte-identical records must not rename or defer us.
+  ProbeEngine engine(host, {}, callbacks());
+  const std::string name = "clock1._clock._tcp.local";
+  const std::string url = "soap://10.0.0.2:4006/a";
+  engine.claim(name, claim_records(name, url));
+  scheduler.run_for(sim::millis(10));
+
+  DnsMessage twin_announce;
+  twin_announce.flags = kFlagResponse | kFlagAuthoritative;
+  twin_announce.answers = claim_records(name, url);
+  engine.handle_response(twin_announce);
+
+  DnsMessage twin_probe;
+  DnsQuestion question;
+  question.name = name;
+  question.qtype = kTypeAny;
+  twin_probe.questions.push_back(question);
+  twin_probe.authorities = claim_records(name, url);
+  engine.handle_query(twin_probe);
+
+  scheduler.run_for(sim::seconds(2));
+  EXPECT_TRUE(engine.established(name));
+  EXPECT_EQ(engine.stats().conflicts, 0u);
+  EXPECT_EQ(engine.stats().renames, 0u);
+  EXPECT_EQ(engine.stats().tiebreaks_lost, 0u);
+
+  // Goodbyes (TTL 0) assert absence, not ownership: never a conflict.
+  DnsMessage goodbye;
+  goodbye.flags = kFlagResponse | kFlagAuthoritative;
+  goodbye.answers = claim_records(name, "soap://10.0.0.9:4006/z");
+  goodbye.answers[0].ttl = 0;
+  engine.handle_response(goodbye);
+  EXPECT_EQ(engine.stats().conflicts, 0u);
+  EXPECT_TRUE(engine.established(name));
+}
+
+TEST_F(ProbeFixture, EstablishedNamesAreDefendedWithCacheFlushAnswers) {
+  ProbeEngine engine(host, {}, callbacks());
+  const std::string name = "clock1._clock._tcp.local";
+  engine.claim(name, claim_records(name, "soap://10.0.0.2:4006/a"));
+  scheduler.run_for(sim::seconds(2));
+  ASSERT_TRUE(engine.established(name));
+  sent.clear();
+
+  DnsMessage hostile_probe;
+  DnsQuestion question;
+  question.name = name;
+  question.qtype = kTypeAny;
+  hostile_probe.questions.push_back(question);
+  hostile_probe.authorities = claim_records(name, "soap://10.0.0.9:4006/z");
+  engine.handle_query(hostile_probe);
+
+  ASSERT_EQ(sent.size(), 1u) << "the defending answer goes out immediately";
+  EXPECT_TRUE(sent[0].is_response());
+  ASSERT_EQ(sent[0].answers.size(), 1u);
+  EXPECT_EQ(sent[0].answers[0].name, name);
+  EXPECT_TRUE(sent[0].answers[0].cache_flush)
+      << "§10.2: defended records carry the cache-flush bit";
+  EXPECT_EQ(engine.stats().defenses_sent, 1u);
+  EXPECT_TRUE(engine.established(name)) << "defending never renames us";
+}
+
+TEST_F(ProbeFixture, ConflictStormEngagesExponentialBackoff) {
+  // A hostile responder defends every name we try: every probe draws a
+  // conflicting response. ≥15 conflicts inside 10 s must engage backoff —
+  // the rename count stays bounded instead of flooding the wire.
+  const std::string name = "clock1._clock._tcp.local";
+
+  // Auto-responder: answer each probe (observed via the send callback) with
+  // a conflicting response one millisecond later.
+  ProbeEngine* engine_ptr = nullptr;
+  int answered = 0;
+  ProbeEngine::Callbacks cb = callbacks();
+  cb.send = [&](const DnsMessage& m) {
+    sent.push_back(m);
+    if (m.is_response() || m.questions.empty()) return;
+    DnsMessage conflict;
+    conflict.flags = kFlagResponse | kFlagAuthoritative;
+    conflict.answers =
+        claim_records(m.questions[0].name, "soap://10.0.0.9:4006/z");
+    ++answered;
+    host.schedule(transport::millis(1),
+                  [&, conflict]() { engine_ptr->handle_response(conflict); });
+  };
+  ProbeEngine hostile_target(host, {}, std::move(cb));
+  engine_ptr = &hostile_target;
+  hostile_target.claim(name, claim_records(name, "soap://10.0.0.2:4006/a"));
+
+  scheduler.run_for(sim::seconds(60));
+  const ProbeStats& stats = hostile_target.stats();
+  EXPECT_GE(stats.conflicts, 15u);
+  EXPECT_GE(stats.backoffs_engaged, 1u)
+      << "the §8.1 rate limit must have engaged";
+  EXPECT_EQ(stats.names_established, 0u);
+  EXPECT_LT(stats.renames, 40u)
+      << "backoff must bound the rename rate (one per 5..60 s once engaged)";
+  EXPECT_GT(answered, 0);
+}
+
+// Responder-level coexistence: two probing responders claim the same
+// instance name with different rdata. The tiebreak sorts out who keeps
+// "clock1"; the loser renames once and both end up answerable under
+// distinct names.
+TEST_F(DnssdFixture, TwoProbingRespondersConvergeOnDistinctNames) {
+  MdnsConfig probing;
+  probing.probe = true;
+  MdnsResponder first(service_host, probing);
+  MdnsResponder second(client_host, probing);
+  first.publish(clock_instance("clock1"));
+  ServiceInstance other = clock_instance("clock1");
+  other.txt = {{"url", "soap://10.0.0.1:4006/mdns-clock"}};  // different rdata
+  second.publish(std::move(other));
+
+  scheduler.run_for(sim::seconds(8));
+  const ProbeStats& a = first.probe_stats();
+  const ProbeStats& b = second.probe_stats();
+  EXPECT_EQ(a.names_established + b.names_established, 2u)
+      << "both must win some name";
+  EXPECT_EQ(a.renames + b.renames, 1u) << "exactly one side renames once";
+  EXPECT_EQ(a.tiebreaks_lost + b.tiebreaks_lost, 1u);
+
+  net::Host& browser_host =
+      network.add_host("browser", net::IpAddress(10, 0, 0, 9));
+  MdnsBrowser browser(browser_host);
+  std::vector<BrowseResult> results;
+  browser.browse("_clock._tcp",
+                 [&](const std::vector<BrowseResult>& r) { results = r; });
+  scheduler.run_for(sim::seconds(1));
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_NE(results[0].instance, results[1].instance);
+  bool one_is_base =
+      results[0].instance == "clock1" || results[1].instance == "clock1";
+  EXPECT_TRUE(one_is_base) << "the tiebreak winner keeps the original name";
+}
+
 // --- Allocation pins --------------------------------------------------------
 
 TEST(MdnsAllocs, CodecDecodeEncodeRoundTripIsZeroAllocSteadyState) {

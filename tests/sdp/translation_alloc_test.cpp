@@ -305,6 +305,38 @@ TEST(MdnsAllocs, ForeignAliveRefreshIsZeroAllocSteadyState) {
   EXPECT_EQ(unit.foreign_services().size(), 1u);
 }
 
+// The contested-airwaves extension of the same pin: with RFC 6762 §8 probing
+// enabled, the first advertisement funds the probe cycle (claim bookkeeping,
+// probe frames, the deferred announcement), but once the name is established
+// the alive-refresh path must be as silent as the probe-less one — re-checking
+// the claim and the name-override table costs no heap traffic.
+TEST(MdnsAllocs, PostProbeAnnouncePathIsZeroAllocSteadyState) {
+  sim::Scheduler scheduler;
+  net::Network network{scheduler, net::LinkProfile{}, 7};
+  net::Host& host = network.add_host("gw", net::IpAddress(10, 0, 0, 3));
+  MdnsUnitConfig config;
+  config.probe = true;
+  TestMdnsUnit unit(host, config);
+  Session session = foreign_alive_session(
+      "clock", "service:clock:soap://10.0.0.2:4005/alloc-clock");
+
+  unit.on_advertisement(session);  // starts the §8.1 probe cycle
+  EXPECT_EQ(unit.announcements_sent(), 0u)
+      << "no announcing before the name is won";
+  scheduler.run_for(sim::seconds(2));  // 3 unanswered probes -> established
+  ASSERT_GE(unit.announcements_sent(), 1u);
+  ASSERT_EQ(unit.probe_stats().names_established, 1u);
+  for (int i = 0; i < 16; ++i) unit.on_advertisement(session);
+  scheduler.run_for(sim::millis(100));
+
+  std::uint64_t before = indiss::testing::g_heap_allocs;
+  for (int i = 0; i < 256; ++i) unit.on_advertisement(session);
+  EXPECT_EQ(indiss::testing::g_heap_allocs - before, 0u)
+      << "warm post-probe alive refresh must not allocate";
+  EXPECT_EQ(unit.probe_stats().renames, 0u);
+  EXPECT_EQ(unit.foreign_services().size(), 1u);
+}
+
 struct TestUpnpUnit : UpnpUnit {
   using UpnpUnit::UpnpUnit;
   using UpnpUnit::on_advertisement;
